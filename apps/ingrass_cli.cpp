@@ -1,0 +1,155 @@
+// ingrass_cli — command-line front end for the library.
+//
+// Subcommands:
+//   info <g.mtx>                            graph statistics
+//   sparsify <g.mtx> <out.mtx> [density]    GRASS pass (default 10% off-tree)
+//   kappa <g.mtx> <h.mtx>                   relative condition number
+//   update <g.mtx> <h.mtx> <edges.txt> <out.mtx> [targetC]
+//       incremental inGRASS update: edges.txt holds "u v w" per line
+//       (0-based node ids); the updated sparsifier is written to out.mtx.
+//
+// Exit status 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ingrass.hpp"
+#include "graph/components.hpp"
+#include "graph/mtx_io.hpp"
+#include "graph/ops.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/timer.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ingrass_cli info <g.mtx>\n"
+               "  ingrass_cli sparsify <g.mtx> <out.mtx> [offtree-density]\n"
+               "  ingrass_cli kappa <g.mtx> <h.mtx>\n"
+               "  ingrass_cli update <g.mtx> <h.mtx> <edges.txt> <out.mtx> [targetC]\n");
+  return 1;
+}
+
+std::vector<Edge> read_edge_list(const std::string& path, NodeId num_nodes) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  std::vector<Edge> edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream row(line);
+    std::int64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(row >> u >> v)) throw std::runtime_error("bad edge line: " + line);
+    row >> w;  // optional weight
+    if (u < 0 || v < 0 || u >= num_nodes || v >= num_nodes || u == v || w <= 0) {
+      throw std::runtime_error("invalid edge: " + line);
+    }
+    Edge e;
+    e.u = static_cast<NodeId>(std::min(u, v));
+    e.v = static_cast<NodeId>(std::max(u, v));
+    e.w = w;
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+int cmd_info(const std::string& path) {
+  const Graph g = read_mtx_file(path);
+  const DegreeStats deg = degree_stats(g);
+  std::printf("nodes:            %d\n", g.num_nodes());
+  std::printf("edges:            %lld\n", static_cast<long long>(g.num_edges()));
+  std::printf("connected:        %s\n", is_connected(g) ? "yes" : "no");
+  std::printf("degree min/mean/max: %d / %.2f / %d\n", deg.min, deg.mean, deg.max);
+  std::printf("total weight:     %.6g\n", g.total_weight());
+  std::printf("off-tree density: %.2f%%\n", 100.0 * offtree_density(g));
+  return 0;
+}
+
+int cmd_sparsify(const std::string& in, const std::string& out, double density) {
+  const Graph g = read_mtx_file(in);
+  Timer t;
+  GrassOptions opts;
+  opts.target_offtree_density = density;
+  const GrassResult r = grass_sparsify(g, opts);
+  std::printf("sparsified %d nodes in %s: kept %lld of %lld edges (%.1f%% off-tree)\n",
+              g.num_nodes(), format_seconds(t.seconds()).c_str(),
+              static_cast<long long>(r.sparsifier.num_edges()),
+              static_cast<long long>(g.num_edges()),
+              100.0 * offtree_density(r.sparsifier));
+  write_mtx_file(out, r.sparsifier);
+  return 0;
+}
+
+int cmd_kappa(const std::string& gpath, const std::string& hpath) {
+  const Graph g = read_mtx_file(gpath);
+  const Graph h = read_mtx_file(hpath);
+  const ConditionNumberResult r = relative_condition_number(g, h);
+  std::printf("kappa(L_G, L_H) = %.3f  (lambda_max %.4f, lambda_min %.4f)\n",
+              r.kappa, r.lambda_max, r.lambda_min);
+  return 0;
+}
+
+int cmd_update(const std::string& gpath, const std::string& hpath,
+               const std::string& epath, const std::string& out, double target) {
+  Graph g = read_mtx_file(gpath);
+  Graph h = read_mtx_file(hpath);
+  if (g.num_nodes() != h.num_nodes()) {
+    throw std::runtime_error("graph and sparsifier node counts differ");
+  }
+  const std::vector<Edge> batch = read_edge_list(epath, g.num_nodes());
+
+  Ingrass::Options opts;
+  opts.target_condition =
+      target > 0 ? target : condition_number(g, h);
+  Ingrass ing(std::move(h), opts);
+  std::printf("setup: %s (%d levels, filtering level %d, target C = %.1f)\n",
+              format_seconds(ing.setup_seconds()).c_str(), ing.num_levels(),
+              ing.filtering_level(), opts.target_condition);
+
+  for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+  const auto stats = ing.insert_edges(batch);
+  std::printf("update: %zu edges in %s — %lld inserted, %lld merged, %lld redistributed\n",
+              batch.size(), format_seconds(stats.seconds).c_str(),
+              static_cast<long long>(stats.inserted),
+              static_cast<long long>(stats.merged),
+              static_cast<long long>(stats.redistributed));
+  std::printf("kappa after update: %.1f; off-tree density %.1f%%\n",
+              condition_number(g, ing.sparsifier()),
+              100.0 * offtree_density(ing.sparsifier()));
+  write_mtx_file(out, ing.sparsifier());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
+    if (cmd == "sparsify" && (argc == 4 || argc == 5)) {
+      return cmd_sparsify(argv[2], argv[3], argc == 5 ? std::atof(argv[4]) : 0.10);
+    }
+    if (cmd == "kappa" && argc == 4) return cmd_kappa(argv[2], argv[3]);
+    if (cmd == "update" && (argc == 6 || argc == 7)) {
+      return cmd_update(argv[2], argv[3], argv[4], argv[5],
+                        argc == 7 ? std::atof(argv[6]) : 0.0);
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,194 @@
+// stream_replay — replay a recorded edge-insertion stream through inGRASS
+// against a Matrix Market base graph, reporting per-batch update outcomes
+// and end-of-stream quality (what Table II measures, but on user data).
+//
+// Subcommands:
+//   replay <g.mtx> <stream.txt> [options]
+//       Build H(0) with GRASS at --density, run the inGRASS setup once,
+//       then apply every batch of the stream. Prints per-batch counters
+//       and final density / condition number against the evolved graph.
+//   generate <g.mtx> <stream.txt> [options]
+//       Synthesize a Table-II-style insertion stream for the graph and
+//       write it in the stream file format (see graph/stream_io.hpp) —
+//       a convenient way to produce demo inputs for `replay`.
+//
+// Options:
+//   --density <frac>     H(0) off-tree density        (default 0.10)
+//   --target <C>         kappa target for filtering   (default: measured kappa0)
+//   --iterations <n>     generate: number of batches  (default 10)
+//   --per-node <frac>    generate: total edges / N    (default 0.24)
+//   --seed <s>           generate: workload seed      (default 2024)
+//   --quantile <q>       filtering-level size quantile (default 0.5)
+//   --no-kappa           replay: skip condition-number measurements
+//
+// Exit status 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/mtx_io.hpp"
+#include "graph/stream_io.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/timer.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  stream_replay replay   <g.mtx> <stream.txt> [--density f] "
+               "[--target C] [--quantile q] [--no-kappa]\n"
+               "  stream_replay generate <g.mtx> <stream.txt> [--iterations n] "
+               "[--per-node f] [--seed s]\n");
+  return 1;
+}
+
+struct Args {
+  std::string command;
+  std::string graph_path;
+  std::string stream_path;
+  double density = 0.10;
+  std::optional<double> target;
+  int iterations = 10;
+  double per_node = 0.24;
+  std::uint64_t seed = 2024;
+  double quantile = 0.5;
+  bool no_kappa = false;
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 4) return std::nullopt;
+  Args a;
+  a.command = argv[1];
+  a.graph_path = argv[2];
+  a.stream_path = argv[3];
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (flag == "--no-kappa") {
+      a.no_kappa = true;
+    } else if (flag == "--density") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.density = std::stod(*v);
+    } else if (flag == "--target") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.target = std::stod(*v);
+    } else if (flag == "--iterations") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.iterations = std::stoi(*v);
+    } else if (flag == "--per-node") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.per_node = std::stod(*v);
+    } else if (flag == "--seed") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.seed = static_cast<std::uint64_t>(std::stoull(*v));
+    } else if (flag == "--quantile") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.quantile = std::stod(*v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+int run_generate(const Args& a) {
+  const Graph g = read_mtx_file(a.graph_path);
+  EdgeStreamOptions opts;
+  opts.iterations = a.iterations;
+  opts.total_per_node = a.per_node;
+  opts.seed = a.seed;
+  const auto batches = make_edge_stream(g, opts);
+  save_edge_stream(a.stream_path, batches);
+  EdgeId total = 0;
+  for (const auto& b : batches) total += static_cast<EdgeId>(b.size());
+  std::printf("wrote %lld edges in %zu batches to %s\n",
+              static_cast<long long>(total), batches.size(), a.stream_path.c_str());
+  return 0;
+}
+
+int run_replay(const Args& a) {
+  const Graph g0 = read_mtx_file(a.graph_path);
+  std::printf("graph: %d nodes, %lld edges\n", g0.num_nodes(),
+              static_cast<long long>(g0.num_edges()));
+  const auto batches = load_edge_stream(a.stream_path, g0.num_nodes());
+
+  GrassOptions gopts;
+  gopts.target_offtree_density = a.density;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  double kappa0 = 0.0;
+  if (!a.no_kappa) {
+    kappa0 = condition_number(g0, h0);
+    std::printf("H(0): density %.1f%%, kappa0 = %.1f\n",
+                100.0 * offtree_density(h0), kappa0);
+  }
+
+  Ingrass::Options iopts;
+  iopts.target_condition = a.target.value_or(a.no_kappa ? 100.0 : kappa0);
+  iopts.level_size_quantile = a.quantile;
+  Ingrass ing(Graph(h0), iopts);
+  std::printf("setup: %.3f s, %d levels, filtering level %d\n\n",
+              ing.setup_seconds(), ing.num_levels(), ing.filtering_level());
+
+  Graph g = g0;
+  AccumTimer updates;
+  std::printf("%-7s %-7s %-9s %-8s %-7s %-11s %-9s\n", "batch", "edges", "inserted",
+              "merged", "redist", "reinforced", "ms");
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (const Edge& e : batches[b]) g.add_or_merge_edge(e.u, e.v, e.w);
+    updates.start();
+    const auto stats = ing.insert_edges(batches[b]);
+    updates.stop();
+    std::printf("%-7zu %-7zu %-9lld %-8lld %-7lld %-11lld %-9.3f\n", b,
+                batches[b].size(), static_cast<long long>(stats.inserted),
+                static_cast<long long>(stats.merged),
+                static_cast<long long>(stats.redistributed),
+                static_cast<long long>(stats.reinforced), stats.seconds * 1e3);
+  }
+
+  std::printf("\ntotal update time: %.4f s (setup %.3f s)\n", updates.seconds(),
+              ing.setup_seconds());
+  std::printf("final sparsifier density: %.1f%%\n",
+              100.0 * offtree_density(ing.sparsifier()));
+  if (!a.no_kappa) {
+    std::printf("kappa(G_final, H_final) = %.1f  (target %.1f)\n",
+                condition_number(g, ing.sparsifier()), iopts.target_condition);
+    std::printf("kappa(G_final, H(0))    = %.1f  (if you never updated)\n",
+                condition_number(g, h0));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "replay") return run_replay(*args);
+    if (args->command == "generate") return run_generate(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,84 @@
+// Ablation A: Krylov order m vs resistance-estimate accuracy (DESIGN.md
+// §7.1). The paper fixes the embedding dimension at O(log N); this sweep
+// shows the accuracy/time trade-off behind that choice, against the exact
+// CG oracle, on a mesh and a power-grid analog.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "spectral/resistance_embedding.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+using namespace ingrass;
+using namespace ingrass::bench;
+
+namespace {
+
+void sweep(const std::string& name, const Graph& g, TablePrinter& table) {
+  const EffectiveResistanceOracle oracle(g);
+  // Fixed evaluation pairs: every k-th edge plus random far pairs.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (EdgeId e = 0; e < g.num_edges(); e += std::max<EdgeId>(1, g.num_edges() / 60)) {
+    pairs.emplace_back(g.edge(e).u, g.edge(e).v);
+  }
+  Rng prng(5);
+  for (int i = 0; i < 40; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+    const auto v = static_cast<NodeId>(prng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+    if (u != v) pairs.emplace_back(u, v);
+  }
+  std::vector<double> exact;
+  exact.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) exact.push_back(oracle.resistance(u, v));
+
+  for (const int m : {4, 8, 16, 32, 64}) {
+    ResistanceEmbedding::Options opts;
+    opts.order = m;
+    Timer t;
+    const ResistanceEmbedding emb = ResistanceEmbedding::build(g, opts);
+    const double build_s = t.seconds();
+    RunningStats err;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      err.add(rel_err(emb.estimate(pairs[i].first, pairs[i].second), exact[i]));
+    }
+    // Rank concordance: the estimator's job in inGRASS is *ordering* node
+    // pairs by resistance (critical-first processing), not absolute value.
+    int concordant = 0, comparisons = 0;
+    for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+      const double ed = exact[i] - exact[i + 1];
+      if (std::abs(ed) < 1e-9) continue;
+      const double dd = emb.estimate(pairs[i].first, pairs[i].second) -
+                        emb.estimate(pairs[i + 1].first, pairs[i + 1].second);
+      ++comparisons;
+      if ((ed > 0) == (dd > 0)) ++concordant;
+    }
+    const double concord =
+        comparisons > 0 ? static_cast<double>(concordant) / comparisons : 0.0;
+    table.add_row({name, std::to_string(m), format_fixed(concord, 2),
+                   format_fixed(err.mean(), 3), format_seconds(build_s)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation A: Krylov order m vs resistance accuracy ===\n\n";
+  TablePrinter table({"Graph", "m", "rank concordance", "mean rel err", "build (s)"});
+  {
+    Rng rng(1);
+    sweep("fe mesh (40x40)", make_triangulated_grid(40, 40, rng), table);
+  }
+  {
+    Rng rng(2);
+    sweep("power grid (24x24x2)", make_power_grid(24, 24, 2, rng), table);
+  }
+  table.print(std::cout);
+  std::cout << "\nAt m << N the estimates are biased low in absolute terms "
+               "(few spectral modes captured), but the pair *ordering* — the "
+               "quantity the LRD contraction and the update-phase ranking "
+               "consume — is already usable at m = O(log N) and improves "
+               "with m, while build time grows linearly in m.\n";
+  return 0;
+}

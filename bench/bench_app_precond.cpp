@@ -1,0 +1,120 @@
+// Application bench: sparsifier-preconditioned Laplacian solves — the
+// downstream use the paper's introduction motivates (circuit simulation,
+// vectorless power-grid verification run many solves against L_G).
+//
+// For each case: build G(0), its GRASS sparsifier H(0), and the insertion
+// stream. After the stream lands in G, solve L_G x = b three ways:
+//
+//   jacobi     plain Jacobi-PCG on L_G (no sparsifier at all)
+//   stale-H    flexible CG preconditioned with the *unmaintained* H(0)
+//   inGRASS-H  flexible CG preconditioned with the inGRASS-updated H
+//
+// Shape to demonstrate: outer iteration count tracks sqrt(kappa(L_G, L_H)),
+// so the inGRASS-maintained preconditioner solves in far fewer iterations
+// than the stale one and far fewer than unpreconditioned Jacobi — the
+// whole point of keeping the sparsifier fresh incrementally.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/ingrass.hpp"
+#include "linalg/cg.hpp"
+#include "solver/sparsifier_solver.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/rng.hpp"
+
+using namespace ingrass;
+using namespace ingrass::bench;
+
+namespace {
+
+/// A reproducible zero-sum right-hand side (current injections).
+Vec make_rhs(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vec b(static_cast<std::size_t>(n));
+  for (double& x : b) x = rng.uniform() - 0.5;
+  double mean = 0.0;
+  for (const double x : b) mean += x;
+  mean /= static_cast<double>(n);
+  for (double& x : b) x -= mean;
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Application: PCG solve iterations on L_G after the stream ===\n"
+            << "    (paper intro motivation; lower is better)\n\n";
+
+  TablePrinter table({"Test Cases", "|V|", "k stale-H", "k inGRASS-H", "jacobi-its",
+                      "stale-H-its", "inGRASS-H-its", "stale/inGRASS"});
+  for (const std::string& name :
+       selected_cases({"G2_circuit", "G3_circuit", "fe_4elt2", "delaunay_n18"})) {
+    const Graph g0 = build_case(name, 0.5);
+
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    gopts.cond = bench_cond_options();
+    const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+    const double kappa0 = condition_number(g0, h0, bench_cond_options());
+
+    // Stream the insertions into G and through inGRASS.
+    EdgeStreamOptions sopts;
+    sopts.seed = static_cast<std::uint64_t>(env_long("INGRASS_BENCH_SEED", 2024));
+    const auto batches = make_edge_stream(g0, sopts);
+    Graph g = g0;
+    Ingrass::Options iopts;
+    iopts.target_condition = kappa0;
+    Ingrass ing(Graph(h0), iopts);
+    for (const auto& b : batches) {
+      for (const Edge& e : b) g.add_or_merge_edge(e.u, e.v, e.w);
+      ing.insert_edges(b);
+    }
+
+    const double kappa_stale = condition_number(g, h0, bench_cond_options());
+    const double kappa_fresh =
+        condition_number(g, ing.sparsifier(), bench_cond_options());
+
+    const Vec b = make_rhs(g.num_nodes(), 7);
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+
+    // 1. Plain Jacobi-PCG on L_G.
+    const CsrAdjacency csr = build_csr(g);
+    const LinOp lap = laplacian_operator(csr);
+    const JacobiPreconditioner jacobi(csr.degree);
+    Vec x(n, 0.0);
+    CgOptions copts;
+    copts.rel_tol = 1e-8;
+    copts.project_nullspace = true;
+    const CgResult jr = pcg(lap, b, x, &jacobi, copts);
+
+    // 2. Stale sparsifier preconditioner.
+    SparsifierSolver::Options sopts2;
+    sopts2.outer_tol = 1e-8;
+    SparsifierSolver stale(g, h0, sopts2);
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto sr = stale.solve(b, x);
+
+    // 3. inGRASS-maintained sparsifier preconditioner.
+    SparsifierSolver fresh(g, ing.sparsifier(), sopts2);
+    std::fill(x.begin(), x.end(), 0.0);
+    const auto fr = fresh.solve(b, x);
+
+    table.add_row({name, format_count(g.num_nodes()), format_fixed(kappa_stale, 0),
+                   format_fixed(kappa_fresh, 0), std::to_string(jr.iterations),
+                   std::to_string(sr.outer_iterations),
+                   std::to_string(fr.outer_iterations),
+                   format_fixed(static_cast<double>(sr.outer_iterations) /
+                                    std::max(1, fr.outer_iterations),
+                                1) +
+                       " x"});
+    std::cerr << "done: " << name << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nOuter PCG iterations track sqrt(kappa(L_G,L_H)): the stale H(0)\n"
+               "preconditioner degrades as the stream lands while the "
+               "inGRASS-maintained\none keeps solves near their original cost.\n";
+  return 0;
+}

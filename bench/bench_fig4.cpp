@@ -1,0 +1,60 @@
+// Figure 4: runtime scalability of inGRASS vs GRASS (log-scale series).
+//
+// Emits, per test case (sorted by |V|), the three series the figure plots:
+//   GRASS              total time of 10 from-scratch re-sparsifications
+//   inGRASS            total update-phase time across the 10 iterations
+//   inGRASS + setup    update time plus the one-time setup
+// The reproduction target is the *gap*: inGRASS sits orders of magnitude
+// below GRASS, and even with setup included stays well below one GRASS
+// pass, with the gap widening as graphs grow.
+//
+// Default cases: the delaunay_n18..n22 size ladder (clean scaling trend);
+// set INGRASS_BENCH_CASES to run others.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace ingrass;
+using namespace ingrass::bench;
+
+int main() {
+  std::cout << "=== Figure 4: runtime scalability (GRASS vs inGRASS) ===\n\n";
+
+  const std::vector<std::string> default_cases{
+      "delaunay_n18", "delaunay_n19", "delaunay_n20", "delaunay_n21",
+      "delaunay_n22"};
+
+  struct Point {
+    ProtocolResult r;
+  };
+  std::vector<Point> points;
+  for (const std::string& name : selected_cases(default_cases)) {
+    const Graph g = build_case(name, 0.35);
+    ProtocolOptions popts;
+    popts.run_random = false;  // the figure has no Random series
+    points.push_back({run_incremental_protocol(name, g, popts)});
+    std::cerr << "done: " << name << "\n";
+  }
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.r.nodes < b.r.nodes;
+  });
+
+  TablePrinter table({"Test Cases", "|V|", "GRASS (s)", "inGRASS (s)",
+                      "inGRASS+setup (s)", "log10 gap"});
+  for (const Point& p : points) {
+    const double with_setup = p.r.ingrass_update_seconds + p.r.ingrass_setup_seconds;
+    const double gap = p.r.ingrass_update_seconds > 0
+                           ? std::log10(p.r.grass_seconds / p.r.ingrass_update_seconds)
+                           : 0.0;
+    table.add_row({p.r.name, format_count(p.r.nodes),
+                   format_seconds(p.r.grass_seconds),
+                   format_seconds(p.r.ingrass_update_seconds),
+                   format_seconds(with_setup), format_fixed(gap, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(plot these three series on a log axis to recover Fig. 4)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark): the complexity claims behind the
+// paper's §III.D analysis.
+//   * setup phase ~ O(N log N): build time across grid sizes
+//   * resistance_bound query ~ O(log N)
+//   * insert_edges ~ O(log N) per edge
+//   * exact-resistance CG solve (the cost inGRASS avoids per query)
+
+#include <benchmark/benchmark.h>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/effective_resistance.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+Graph sparsifier_for(NodeId side) {
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(side, side, rng);
+  GrassOptions opts;
+  opts.target_offtree_density = 0.10;
+  return grass_sparsify(g, opts).sparsifier;
+}
+
+void BM_SetupPhase(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Graph h = sparsifier_for(side);
+  for (auto _ : state) {
+    const Ingrass ing{Graph(h)};
+    benchmark::DoNotOptimize(ing.num_levels());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(side) * side);
+}
+BENCHMARK(BM_SetupPhase)->RangeMultiplier(2)->Range(16, 128)->Complexity(benchmark::oNLogN);
+
+void BM_ResistanceBoundQuery(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  const Ingrass ing(sparsifier_for(side));
+  Rng rng(7);
+  const auto n = static_cast<std::uint64_t>(side) * side;
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(n));
+    const auto v = static_cast<NodeId>(rng.uniform_index(n));
+    benchmark::DoNotOptimize(ing.estimate_resistance(u, v));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ResistanceBoundQuery)->RangeMultiplier(2)->Range(16, 256)->Complexity(benchmark::oLogN);
+
+void BM_InsertEdgesPerEdge(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(side, side, rng);
+  GrassOptions opts;
+  opts.target_offtree_density = 0.10;
+  Ingrass ing(grass_sparsify(g, opts).sparsifier);
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.5;
+  const auto batches = make_edge_stream(g, sopts);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const Edge e = batches[0][cursor % batches[0].size()];
+    ++cursor;
+    std::vector<Edge> one{e};
+    benchmark::DoNotOptimize(ing.insert_edges(one));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(side) * side);
+}
+BENCHMARK(BM_InsertEdgesPerEdge)->RangeMultiplier(2)->Range(16, 128)->Complexity(benchmark::oLogN);
+
+void BM_ExactResistanceSolve(benchmark::State& state) {
+  const auto side = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(side, side, rng);
+  const EffectiveResistanceOracle oracle(g);
+  Rng qrng(9);
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(qrng.uniform_index(n));
+    const auto v = static_cast<NodeId>(qrng.uniform_index(n));
+    benchmark::DoNotOptimize(oracle.resistance(u, v));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(side) * side);
+}
+BENCHMARK(BM_ExactResistanceSolve)->RangeMultiplier(2)->Range(16, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Parallel-friendliness microbench (google-benchmark): update-phase batch
+// scoring throughput vs thread count. The paper calls inGRASS
+// "parallel-friendly"; the data-parallel part is the per-edge spectral
+// distortion estimation (read-only O(log N) lookups), measured here on a
+// large synthetic batch against one fixed setup.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+namespace {
+
+struct Fixture {
+  Graph h;
+  std::vector<Edge> batch;
+
+  Fixture() {
+    Rng rng(0xC0FFEE);
+    const Graph g = make_triangulated_grid(120, 120, rng);
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    h = grass_sparsify(g, gopts).sparsifier;
+    Rng brng(5);
+    batch.reserve(200'000);
+    while (batch.size() < 200'000) {
+      const auto u = static_cast<NodeId>(brng.uniform_index(g.num_nodes()));
+      const auto v = static_cast<NodeId>(brng.uniform_index(g.num_nodes()));
+      if (u != v) batch.push_back(Edge{std::min(u, v), std::max(u, v), 1.0});
+    }
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+void BM_ScoreBatch(benchmark::State& state) {
+  const Fixture& f = fixture();
+  Ingrass::Options opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  opts.parallel_batch_threshold = 1;
+  const Ingrass ing{Graph(f.h), opts};
+  for (auto _ : state) {
+    auto scores = ing.score_batch(f.batch);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.batch.size()));
+}
+BENCHMARK(BM_ScoreBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InsertBatchSerialVsParallel(benchmark::State& state) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Ingrass::Options opts;
+    opts.num_threads = static_cast<int>(state.range(0));
+    opts.parallel_batch_threshold = 1;
+    Ingrass ing{Graph(f.h), opts};
+    state.ResumeTiming();
+    ing.insert_edges(f.batch);
+  }
+}
+BENCHMARK(BM_InsertBatchSerialVsParallel)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ingrass
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table II: incremental sparsification through 10 iterative updates —
+// GRASS (re-run from scratch each iteration), inGRASS (incremental
+// updates) and Random (random inclusion until the kappa target), all at
+// the same target condition number (the initial kappa(G(0), H(0))).
+//
+// Reported per case, matching the paper's columns:
+//   Density (D)        initial -> with-all-new-edges off-tree density
+//   kappa(LG,LH)       initial -> perturbed (stale H(0) vs final G)
+//   GRASS-D / inGRASS-D / Random-D   final densities at the same target
+//   GRASS-T / inGRASS-T              total runtimes and the speedup ratio
+//
+// Shape to reproduce: inGRASS density ~ GRASS density << Random density,
+// with a runtime speedup of 2-3 orders of magnitude.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace ingrass;
+using namespace ingrass::bench;
+
+int main() {
+  std::cout << "=== Table II: 10-iteration incremental updates "
+               "(GRASS vs inGRASS vs Random) ===\n";
+  std::cout << "(synthetic analogs at scale " << bench_scale()
+            << "; absolute seconds differ from the paper's testbed — the "
+               "density parity and the speedup magnitude are the target)\n\n";
+
+  TablePrinter table({"Test Cases", "Density (D)", "k(LG,LH)", "GRASS-D",
+                      "inGRASS-D", "Random-D", "k-inGRASS", "GRASS-T",
+                      "inGRASS-T", "Speedup"});
+  for (const std::string& name : selected_cases()) {
+    const Graph g = build_case(name, 0.25);  // protocol is kappa-heavy: quarter size
+    ProtocolOptions popts;
+    const ProtocolResult r = run_incremental_protocol(name, g, popts);
+    table.add_row({r.name,
+                   format_pct(r.density0) + " -> " + format_pct(r.density_all),
+                   format_fixed(r.kappa0, 0) + " -> " + format_fixed(r.kappa_pert, 0),
+                   format_pct(r.grass_density), format_pct(r.ingrass_density),
+                   format_pct(r.random_density), format_fixed(r.ingrass_kappa, 0),
+                   format_seconds(r.grass_seconds),
+                   format_seconds(r.ingrass_update_seconds),
+                   format_fixed(r.speedup(), 0) + " x"});
+    std::cerr << "done: " << name << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nk-inGRASS: achieved condition number after the stream "
+               "(target = the initial kappa).\nSpeedups exceed the paper's "
+               "71-218x because this GRASS reimplementation pays explicit "
+               "CG-based kappa checks per rerun; see EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "common.hpp"
+
+#include <sstream>
+
+#include "core/ingrass.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "sparsify/random_update.hpp"
+#include "util/timer.hpp"
+
+namespace ingrass::bench {
+
+std::vector<std::string> selected_cases(const std::vector<std::string>& fallback) {
+  const std::string env = env_string("INGRASS_BENCH_CASES", "");
+  if (!env.empty()) {
+    std::vector<std::string> cases;
+    std::istringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) cases.push_back(item);
+    }
+    return cases;
+  }
+  return fallback.empty() ? paper_testcase_names() : fallback;
+}
+
+Graph build_case(const std::string& name, double extra_scale) {
+  Rng rng(0xC0FFEE);  // fixed graph seed: cases identical across binaries
+  return make_paper_testcase(name, bench_scale() * extra_scale, rng);
+}
+
+ConditionNumberOptions bench_cond_options() {
+  ConditionNumberOptions cond;
+  cond.power_iters = 22;
+  cond.rel_change_tol = 5e-3;
+  cond.cg_tol = 3e-6;
+  return cond;
+}
+
+ProtocolResult run_incremental_protocol(const std::string& name, const Graph& g0,
+                                        const ProtocolOptions& opts) {
+  ProtocolResult out;
+  out.name = name;
+  out.nodes = g0.num_nodes();
+  out.edges = g0.num_edges();
+  const ConditionNumberOptions cond = bench_cond_options();
+
+  // Initial sparsifier H(0) at the requested off-tree density.
+  GrassOptions gopts;
+  gopts.target_offtree_density = opts.initial_density;
+  gopts.cond = cond;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  out.density0 = offtree_density(h0);
+  out.kappa0 = condition_number(g0, h0, cond);
+
+  // Insertion stream.
+  EdgeStreamOptions sopts;
+  sopts.iterations = opts.iterations;
+  sopts.total_per_node = opts.total_per_node;
+  sopts.seed = static_cast<std::uint64_t>(env_long("INGRASS_BENCH_SEED", 2024));
+  const auto batches = make_edge_stream(g0, sopts);
+  EdgeId streamed = 0;
+  for (const auto& b : batches) streamed += static_cast<EdgeId>(b.size());
+  out.density_all = offtree_density_with(h0, streamed);
+
+  // Final graph (for kappa_pert and end-of-stream quality checks).
+  Graph g_final = g0;
+  for (const auto& b : batches) {
+    for (const Edge& e : b) g_final.add_or_merge_edge(e.u, e.v, e.w);
+  }
+  out.kappa_pert = condition_number(g_final, h0, cond);
+
+  // --- inGRASS: one-time setup + per-batch O(log N) updates. ---
+  {
+    Ingrass::Options iopts;
+    iopts.target_condition = out.kappa0;
+    Ingrass ing(Graph(h0), iopts);
+    out.ingrass_setup_seconds = ing.setup_seconds();
+    AccumTimer t;
+    for (const auto& batch : batches) {
+      t.start();
+      ing.insert_edges(batch);
+      t.stop();
+    }
+    out.ingrass_update_seconds = t.seconds();
+    out.ingrass_density = offtree_density(ing.sparsifier());
+    out.ingrass_kappa = condition_number(g_final, ing.sparsifier(), cond);
+  }
+
+  // --- GRASS: full re-sparsification after every batch (the paper's
+  // baseline cost model). kappa target = the initial condition number. ---
+  if (opts.run_grass) {
+    Graph g = g0;
+    GrassOptions per_iter;
+    per_iter.target_offtree_density.reset();
+    per_iter.target_condition = out.kappa0;
+    per_iter.cond = cond;
+    AccumTimer t;
+    double final_density = 0.0;
+    for (const auto& batch : batches) {
+      for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+      t.start();
+      const GrassResult r = grass_sparsify(g, per_iter);
+      t.stop();
+      final_density = offtree_density(r.sparsifier);
+    }
+    out.grass_seconds = t.seconds();
+    out.grass_density = final_density;
+  }
+
+  // --- Random: per batch, add random edges until the kappa target. ---
+  if (opts.run_random) {
+    Graph g = g0;
+    Graph h = h0;
+    std::uint64_t seed = 99;
+    for (const auto& batch : batches) {
+      for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+      RandomUpdateOptions ropts;
+      ropts.target_condition = out.kappa0;
+      ropts.cond = cond;
+      ropts.seed = seed++;
+      random_update(g, h, batch, ropts);
+    }
+    out.random_density = offtree_density(h);
+  }
+
+  return out;
+}
+
+}  // namespace ingrass::bench

@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Environment knobs (all optional):
+//   INGRASS_BENCH_SCALE   multiply every case's node budget (default 1.0)
+//   INGRASS_BENCH_CASES   comma-separated subset of paper case names
+//                         (default: binary-specific, usually all 14)
+//   INGRASS_BENCH_SEED    workload seed (default 2024)
+
+#include <string>
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ingrass::bench {
+
+/// Case names to run: INGRASS_BENCH_CASES if set, else `fallback`
+/// (empty fallback = all 14 paper cases).
+[[nodiscard]] std::vector<std::string> selected_cases(
+    const std::vector<std::string>& fallback = {});
+
+/// Build the synthetic analog of `name` at INGRASS_BENCH_SCALE times
+/// `extra_scale` times its default size.
+[[nodiscard]] Graph build_case(const std::string& name, double extra_scale = 1.0);
+
+/// Condition-number estimator settings shared by all benches: accuracy is
+/// tuned for table-shape fidelity, not third-digit precision.
+[[nodiscard]] ConditionNumberOptions bench_cond_options();
+
+/// Full Table II protocol for one test case.
+struct ProtocolOptions {
+  int iterations = 10;
+  double total_per_node = 0.24;   // density 10% -> 34% as in the paper
+  double initial_density = 0.10;
+  std::uint64_t seed = 2024;
+  bool run_grass = true;   // the expensive per-iteration re-sparsification
+  bool run_random = true;
+};
+
+struct ProtocolResult {
+  std::string name;
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  double density0 = 0.0;      // initial off-tree density
+  double density_all = 0.0;   // density if every streamed edge were kept
+  double kappa0 = 0.0;        // kappa(G(0), H(0)) — also the target
+  double kappa_pert = 0.0;    // kappa(G(10), H(0)): stale sparsifier
+  double grass_density = 0.0;
+  double ingrass_density = 0.0;
+  double random_density = 0.0;
+  double ingrass_kappa = 0.0;  // achieved by inGRASS at the end
+  double grass_seconds = 0.0;  // total across iterations (re-run from scratch)
+  double ingrass_update_seconds = 0.0;  // update phases only
+  double ingrass_setup_seconds = 0.0;   // one-time setup
+  [[nodiscard]] double speedup() const {
+    return ingrass_update_seconds > 0 ? grass_seconds / ingrass_update_seconds : 0.0;
+  }
+};
+
+/// Run the 10-iteration incremental comparison (GRASS re-run vs inGRASS vs
+/// Random) on one case. This is the engine behind Tables II/III and Fig 4.
+[[nodiscard]] ProtocolResult run_incremental_protocol(const std::string& name,
+                                                      const Graph& g0,
+                                                      const ProtocolOptions& opts);
+
+}  // namespace ingrass::bench

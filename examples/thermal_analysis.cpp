@@ -1,0 +1,125 @@
+// Worst-case on-chip temperature analysis (the third application the
+// paper's introduction names).
+//
+// Steady-state heat conduction on a chip stack discretizes to a 3-D
+// resistive network: G_th T = P, where G_th is the thermal-conductance
+// Laplacian (plus ambient ties), T the nodal temperature rise, and P the
+// per-node power. Design iterations add thermal vias / TSVs — incremental
+// edge insertions — after which the hot-spot analysis must be re-run.
+//
+// The example maintains the sparsifier across via-insertion rounds with
+// inGRASS and shows (a) hot-spot temperatures dropping as vias land and
+// (b) the analysis cost (preconditioned solve iterations) staying flat.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "solver/sparsifier_solver.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/rng.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+constexpr NodeId kNx = 24, kNy = 24, kNz = 3;  // die stack: 3 tiers
+
+NodeId site(NodeId x, NodeId y, NodeId z) { return (z * kNy + y) * kNx + x; }
+
+/// Power map: two hot blocks on the bottom tier, plus a uniform floor,
+/// zero-summed through the top-tier heat-sink nodes.
+Vec power_map() {
+  Vec p(static_cast<std::size_t>(kNx * kNy * kNz), 0.0);
+  double total = 0.0;
+  auto block = [&](NodeId x0, NodeId y0, NodeId sz, double watts) {
+    for (NodeId dy = 0; dy < sz; ++dy) {
+      for (NodeId dx = 0; dx < sz; ++dx) {
+        p[static_cast<std::size_t>(site(x0 + dx, y0 + dy, 0))] += watts;
+        total += watts;
+      }
+    }
+  };
+  block(3, 3, 5, 0.8);    // hot block A
+  block(15, 14, 6, 0.5);  // hot block B
+  // Heat sink: return through the whole top tier.
+  const double per_sink = total / static_cast<double>(kNx * kNy);
+  for (NodeId y = 0; y < kNy; ++y) {
+    for (NodeId x = 0; x < kNx; ++x) {
+      p[static_cast<std::size_t>(site(x, y, kNz - 1))] -= per_sink;
+    }
+  }
+  return p;
+}
+
+double hotspot(const SparsifierSolver& solver, const Vec& p, long& iters) {
+  Vec t(p.size(), 0.0);
+  const auto r = solver.solve(p, t);
+  iters += r.outer_iterations;
+  // Temperature rise of the hottest node relative to the coolest.
+  const auto [lo, hi] = std::minmax_element(t.begin(), t.end());
+  return *hi - *lo;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(29);
+  Graph g = make_grid3d(kNx, kNy, kNz, rng, /*w_min=*/0.8, /*w_max=*/1.2);
+  std::printf("thermal stack: %d nodes (%dx%dx%d), %lld conductances\n",
+              g.num_nodes(), kNx, kNy, kNz, static_cast<long long>(g.num_edges()));
+
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  const double kappa0 = condition_number(g, h0);
+  Ingrass::Options iopts;
+  iopts.target_condition = kappa0;
+  Ingrass ing(Graph(h0), iopts);
+  std::printf("sparsifier kappa = %.1f, setup %.3f s\n\n", kappa0,
+              ing.setup_seconds());
+
+  const Vec p = power_map();
+  std::printf("%-7s %-10s %-14s %-12s %-10s\n", "round", "hotspot", "solve iters",
+              "kappa", "upd (ms)");
+  for (int round = 0; round <= 5; ++round) {
+    if (round > 0) {
+      // Drop a column of thermal vias through the hottest region: strong
+      // vertical conductances shortcutting die tiers.
+      std::vector<Edge> vias;
+      for (int v = 0; v < 12; ++v) {
+        const auto x = static_cast<NodeId>(2 + rng.uniform_index(8));
+        const auto y = static_cast<NodeId>(2 + rng.uniform_index(8));
+        for (NodeId z = 0; z + 1 < kNz; ++z) {
+          // New via or widening of an existing one — both are weight
+          // additions that G merges and the inGRASS update phase filters.
+          const NodeId a = site(x, y, z);
+          const NodeId b = site(x, y, z + 1);
+          vias.push_back(Edge{std::min(a, b), std::max(a, b), 6.0});
+        }
+      }
+      for (const Edge& e : vias) g.add_or_merge_edge(e.u, e.v, e.w);
+      const auto stats = ing.insert_edges(vias);
+      SparsifierSolver solver(g, ing.sparsifier());
+      long iters = 0;
+      const double rise = hotspot(solver, p, iters);
+      std::printf("%-7d %-10.3f %-14ld %-12.1f %-10.2f\n", round, rise, iters,
+                  condition_number(g, ing.sparsifier()), stats.seconds * 1e3);
+    } else {
+      SparsifierSolver solver(g, ing.sparsifier());
+      long iters = 0;
+      const double rise = hotspot(solver, p, iters);
+      std::printf("%-7d %-10.3f %-14ld %-12.1f %-10s\n", round, rise, iters, kappa0,
+                  "-");
+    }
+  }
+
+  std::printf(
+      "\nThermal vias lower the hot-spot rise; inGRASS absorbs each via batch\n"
+      "in O(log N) per edge so the analysis loop never re-sparsifies.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Vectorless power-grid integrity verification (one of the applications
+// the paper's introduction names for spectrally-sparsified graphs).
+//
+// Vectorless verification bounds the worst-case IR drop without knowing
+// the exact current waveforms: for a set of candidate worst-case current
+// injections it solves L_G v = i and checks max |v| against the drop
+// budget. Every candidate pattern costs one Laplacian solve, so the solver
+// is the bottleneck — and the sparsifier is its preconditioner.
+//
+// This example verifies a grid, applies ECO batches (new straps), and
+// re-verifies. The inGRASS-maintained sparsifier keeps the per-pattern
+// solve cost flat across ECOs, while a stale H(0) preconditioner degrades.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "solver/sparsifier_solver.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+/// A candidate worst-case current pattern: a hot block of sinks drawing
+/// current, returned through the pad nodes (zero-sum injection vector).
+Vec current_pattern(NodeId nx, NodeId ny, NodeId block, Rng& rng) {
+  Vec i(static_cast<std::size_t>(2 * nx * ny), 0.0);
+  const auto bx = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(nx - block)));
+  const auto by = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(ny - block)));
+  double drawn = 0.0;
+  for (NodeId dy = 0; dy < block; ++dy) {
+    for (NodeId dx = 0; dx < block; ++dx) {
+      const NodeId site = (by + dy) * nx + (bx + dx);
+      const double amps = 0.5 + rng.uniform();
+      i[static_cast<std::size_t>(site)] -= amps;  // lower-layer sink
+      drawn += amps;
+    }
+  }
+  // Return the current through four corner pads on the top layer.
+  const NodeId per_layer = nx * ny;
+  const NodeId pads[4] = {per_layer, per_layer + nx - 1, per_layer + nx * (ny - 1),
+                          per_layer + nx * ny - 1};
+  for (const NodeId pad : pads) i[static_cast<std::size_t>(pad)] += drawn / 4.0;
+  return i;
+}
+
+/// Worst voltage drop over a set of candidate patterns; returns the max
+/// |v| and accumulates outer PCG iterations into `iters`.
+double verify(const SparsifierSolver& solver, NodeId nx, NodeId ny, int patterns,
+              std::uint64_t seed, long& iters) {
+  Rng rng(seed);
+  double worst = 0.0;
+  Vec v(static_cast<std::size_t>(2 * nx * ny));
+  for (int p = 0; p < patterns; ++p) {
+    const Vec i = current_pattern(nx, ny, 6, rng);
+    std::fill(v.begin(), v.end(), 0.0);
+    const auto r = solver.solve(i, v);
+    iters += r.outer_iterations;
+    for (const double x : v) worst = std::max(worst, std::abs(x));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const NodeId nx = 36, ny = 36;
+  Rng rng(13);
+  Graph g = make_power_grid(nx, ny, 2, rng);
+  std::printf("vectorless verification: %d-node power grid, %lld edges\n",
+              g.num_nodes(), static_cast<long long>(g.num_edges()));
+
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  const double kappa0 = condition_number(g, h0);
+  std::printf("sparsifier kappa = %.1f\n\n", kappa0);
+
+  Ingrass::Options iopts;
+  iopts.target_condition = kappa0;
+  Ingrass ing(Graph(h0), iopts);
+
+  const int kPatterns = 12;
+  std::printf("%-5s %-12s %-14s %-14s %-14s\n", "ECO", "worst drop", "fresh-H iters",
+              "stale-H iters", "fresh kappa");
+  for (int round = 0; round <= 4; ++round) {
+    if (round > 0) {
+      // ECO: two new straps + vias, then an O(log N) sparsifier update.
+      std::vector<Edge> batch;
+      for (int s = 0; s < 24; ++s) {
+        const auto a = static_cast<NodeId>(rng.uniform_index(
+            static_cast<std::uint64_t>(g.num_nodes())));
+        const auto b = static_cast<NodeId>(rng.uniform_index(
+            static_cast<std::uint64_t>(g.num_nodes())));
+        if (a != b && !g.has_edge(a, b)) {
+          batch.push_back(Edge{std::min(a, b), std::max(a, b), 12.0});
+        }
+      }
+      for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+      ing.insert_edges(batch);
+    }
+
+    SparsifierSolver fresh(g, ing.sparsifier());
+    SparsifierSolver stale(g, h0);
+    long fresh_iters = 0;
+    long stale_iters = 0;
+    const double worst = verify(fresh, nx, ny, kPatterns, 99, fresh_iters);
+    (void)verify(stale, nx, ny, kPatterns, 99, stale_iters);
+    const double kappa = condition_number(g, ing.sparsifier());
+    std::printf("%-5d %-12.4f %-14ld %-14ld %-14.1f\n", round, worst, fresh_iters,
+                stale_iters, kappa);
+  }
+
+  std::printf(
+      "\nPer-pattern solve cost stays flat with the inGRASS-maintained\n"
+      "preconditioner; the stale H(0) pays more iterations every ECO round.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "core/cluster_structure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ingrass {
+
+int ClusterStructure::choose_filtering_level(const MultilevelEmbedding& emb,
+                                             double target_condition,
+                                             double size_quantile) {
+  const double cap = std::max(1.0, target_condition / 2.0);
+  int chosen = 0;
+  for (int l = 0; l < emb.num_levels(); ++l) {
+    if (static_cast<double>(emb.cluster_size_quantile(l, size_quantile)) <= cap) {
+      chosen = l;  // deeper levels have larger clusters; keep the deepest fit
+    } else {
+      break;
+    }
+  }
+  return chosen;
+}
+
+std::uint64_t ClusterStructure::pair_key(NodeId a, NodeId b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (lo << 32) | hi;
+}
+
+ClusterStructure::ClusterStructure(const MultilevelEmbedding& emb, const Graph& h,
+                                   int filtering_level)
+    : emb_(emb), h_(h), level_(filtering_level) {
+  if (filtering_level < 0 || filtering_level >= emb.num_levels()) {
+    throw std::out_of_range("ClusterStructure: bad filtering level");
+  }
+  intra_.resize(static_cast<std::size_t>(emb.num_clusters(level_)));
+  bridge_.reserve(static_cast<std::size_t>(h.num_edges()));
+  for (EdgeId e = 0; e < h.num_edges(); ++e) register_edge(e);
+}
+
+EdgeId ClusterStructure::bridge_edge(NodeId u, NodeId v) const {
+  const NodeId cu = cluster_of(u);
+  const NodeId cv = cluster_of(v);
+  if (cu == cv) return kInvalidEdge;
+  const auto it = bridge_.find(pair_key(cu, cv));
+  return it != bridge_.end() ? it->second : kInvalidEdge;
+}
+
+const std::vector<EdgeId>& ClusterStructure::intra_cluster_edges(NodeId cluster) const {
+  return intra_.at(static_cast<std::size_t>(cluster));
+}
+
+void ClusterStructure::register_edge(EdgeId e) {
+  const Edge& edge = h_.edge(e);
+  const NodeId cu = cluster_of(edge.u);
+  const NodeId cv = cluster_of(edge.v);
+  if (cu == cv) {
+    intra_[static_cast<std::size_t>(cu)].push_back(e);
+  } else {
+    bridge_.try_emplace(pair_key(cu, cv), e);  // first edge stays canonical
+  }
+}
+
+}  // namespace ingrass

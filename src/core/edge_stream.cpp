@@ -1,0 +1,74 @@
+#include "core/edge_stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ingrass {
+
+std::vector<std::vector<Edge>> make_edge_stream(const Graph& g,
+                                                const EdgeStreamOptions& opts) {
+  if (opts.iterations <= 0) throw std::invalid_argument("edge stream: iterations > 0");
+  const NodeId n = g.num_nodes();
+  if (n < 4) throw std::invalid_argument("edge stream: graph too small");
+
+  Rng rng(opts.seed);
+  const auto total =
+      static_cast<EdgeId>(opts.total_per_node * static_cast<double>(n));
+
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(static_cast<std::size_t>(g.num_edges() + total));
+  auto key = [](NodeId a, NodeId b) {
+    const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+    const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+    return (lo << 32) | hi;
+  };
+  for (const Edge& e : g.edges()) used.insert(key(e.u, e.v));
+
+  auto sample_weight = [&] {
+    const EdgeId e = static_cast<EdgeId>(
+        rng.uniform_index(static_cast<std::uint64_t>(g.num_edges())));
+    return g.edge(e).w;
+  };
+  auto random_node = [&] {
+    return static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+  };
+  /// Random walk of `hops` steps from u (returns u itself on dead ends).
+  auto hop_neighbor = [&](NodeId u, int hops) {
+    NodeId v = u;
+    for (int i = 0; i < hops; ++i) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) return u;
+      v = nbrs[rng.uniform_index(nbrs.size())].to;
+    }
+    return v;
+  };
+
+  std::vector<std::vector<Edge>> batches(static_cast<std::size_t>(opts.iterations));
+  for (int it = 0; it < opts.iterations; ++it) {
+    // Spread `total` evenly, remainder to the earliest batches.
+    EdgeId quota = total / opts.iterations;
+    if (it < static_cast<int>(total % opts.iterations)) ++quota;
+    auto& batch = batches[static_cast<std::size_t>(it)];
+    batch.reserve(static_cast<std::size_t>(quota));
+    int stale = 0;
+    while (static_cast<EdgeId>(batch.size()) < quota && stale < 200) {
+      const bool local = rng.uniform() < opts.locality_fraction;
+      const NodeId u = random_node();
+      const NodeId v = local ? hop_neighbor(u, opts.local_hops) : random_node();
+      if (u == v || !used.insert(key(u, v)).second) {
+        ++stale;
+        continue;
+      }
+      stale = 0;
+      Edge e;
+      e.u = std::min(u, v);
+      e.v = std::max(u, v);
+      e.w = sample_weight() * (local ? 1.0 : opts.global_weight_factor);
+      batch.push_back(e);
+    }
+  }
+  return batches;
+}
+
+}  // namespace ingrass

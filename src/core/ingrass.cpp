@@ -1,0 +1,203 @@
+#include "core/ingrass.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tree/spanning_tree.hpp"
+#include "util/timer.hpp"
+
+namespace ingrass {
+
+Ingrass::Ingrass(Graph initial_sparsifier, const Options& opts)
+    : opts_(opts), h_(std::move(initial_sparsifier)) {
+  if (h_.num_edges() == 0) {
+    throw std::invalid_argument("Ingrass: sparsifier has no edges to decompose");
+  }
+  const Timer timer;
+  emb_ = MultilevelEmbedding::build(h_, opts_.embedding);
+  structure_ = std::make_unique<ClusterStructure>(emb_, h_, pick_level());
+  if (opts_.use_tree_bound) {
+    tree_bound_ = std::make_unique<TreePathResistance>(
+        h_, max_weight_spanning_forest(h_));
+  }
+  if (opts_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(opts_.num_threads);
+  }
+  setup_seconds_ = timer.seconds();
+}
+
+int Ingrass::pick_level() const {
+  if (opts_.filtering_level_override.has_value()) {
+    return std::clamp(*opts_.filtering_level_override, 0, emb_.num_levels() - 1);
+  }
+  return ClusterStructure::choose_filtering_level(emb_, opts_.target_condition,
+                                                  opts_.level_size_quantile);
+}
+
+double Ingrass::estimate_resistance(NodeId u, NodeId v) const {
+  double bound = emb_.resistance_bound(u, v);
+  if (tree_bound_) bound = std::min(bound, tree_bound_->resistance(u, v));
+  if (std::isfinite(bound)) return bound;
+  return emb_.base_embedding().estimate(u, v);
+}
+
+std::vector<double> Ingrass::score_batch(std::span<const Edge> new_edges) const {
+  std::vector<double> scores(new_edges.size());
+  if (pool_ && new_edges.size() >= opts_.parallel_batch_threshold) {
+    pool_->parallel_for(new_edges.size(), 256, [&](std::size_t i) {
+      scores[i] = estimate_distortion(new_edges[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < new_edges.size(); ++i) {
+      scores[i] = estimate_distortion(new_edges[i]);
+    }
+  }
+  return scores;
+}
+
+Ingrass::UpdateStats Ingrass::insert_edges(std::span<const Edge> new_edges) {
+  const Timer timer;
+  UpdateStats stats;
+
+  // Update Phase 1: rank the batch by estimated spectral distortion so the
+  // most spectrally-critical edges claim bridge slots first. Scoring is
+  // the data-parallel part; the filtering pass below stays sequential (it
+  // mutates H and the cluster index).
+  struct Scored {
+    Edge edge;
+    double distortion;
+  };
+  const std::vector<double> scores = score_batch(new_edges);
+  std::vector<Scored> batch;
+  batch.reserve(new_edges.size());
+  for (std::size_t i = 0; i < new_edges.size(); ++i) {
+    batch.push_back(Scored{new_edges[i], scores[i]});
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const Scored& a, const Scored& b) { return a.distortion > b.distortion; });
+
+  // Update Phase 2: spectral-similarity filtering at the filtering level.
+  const double ratio = opts_.merge_weight_ratio;
+  const double fold = opts_.fold_weight_fraction;
+  auto insert = [&](const Edge& e) {
+    const EdgeId id = h_.add_edge(e.u, e.v, e.w);
+    structure_->register_edge(id);
+    ++stats.inserted;
+  };
+  const double critical =
+      opts_.critical_distortion_factor > 0.0
+          ? opts_.critical_distortion_factor * opts_.target_condition
+          : std::numeric_limits<double>::infinity();
+  for (const Scored& s : batch) {
+    const Edge& e = s.edge;
+    const EdgeId existing = h_.find_edge(e.u, e.v);
+    if (existing != kInvalidEdge) {
+      // Parallel to an edge H already carries: conductances in parallel
+      // sum, so adding the weight is *exact* — no spectral-similarity
+      // approximation is involved and the fold fraction does not apply.
+      h_.add_to_weight(existing, e.w);
+      ++stats.reinforced;
+      continue;
+    }
+    if (s.distortion > critical) {
+      // Spectrally-critical: excluding this edge would by itself push the
+      // condition number past the target, so no existing edge can be
+      // spectrally similar to it.
+      insert(e);
+      continue;
+    }
+    if (structure_->same_cluster(e.u, e.v)) {
+      // Redundant within a low-resistance-diameter cluster: fold its
+      // weight into the cluster's internal edges. Prefer the edges
+      // incident to the new edge's own endpoints — that keeps the folded
+      // weight where the conductance actually appeared, instead of
+      // inflating edges across the whole cluster — and fall back to the
+      // full cluster when an endpoint has no internal edge. The dominance
+      // guard inserts edges that would outweigh their fold target.
+      const NodeId c = structure_->cluster_of(e.u);
+      auto incident_intra = [&](NodeId node, std::vector<EdgeId>& out) {
+        double total = 0.0;
+        for (const Arc& a : h_.neighbors(node)) {
+          if (structure_->cluster_of(a.to) == c) {
+            out.push_back(a.edge);
+            total += h_.edge(a.edge).w;
+          }
+        }
+        return total;
+      };
+      std::vector<EdgeId> near_u, near_v;
+      const double total_u = incident_intra(e.u, near_u);
+      const double total_v = incident_intra(e.v, near_v);
+      auto fold_into = [&](const std::vector<EdgeId>& edges, double total, double w) {
+        const double factor = 1.0 + w / total;
+        for (const EdgeId ie : edges) h_.scale_weight(ie, factor);
+      };
+      const double local_total = total_u + total_v;
+      if (local_total > 0.0 && !(ratio > 0.0 && e.w > ratio * local_total)) {
+        // Split across the two endpoint neighborhoods (all to one side if
+        // the other has no internal edges).
+        if (total_u > 0.0 && total_v > 0.0) {
+          fold_into(near_u, total_u, fold * e.w / 2.0);
+          fold_into(near_v, total_v, fold * e.w / 2.0);
+        } else if (total_u > 0.0) {
+          fold_into(near_u, total_u, fold * e.w);
+        } else {
+          fold_into(near_v, total_v, fold * e.w);
+        }
+        ++stats.redistributed;
+        continue;
+      }
+      const std::vector<EdgeId>& intra = structure_->intra_cluster_edges(c);
+      double cluster_total = 0.0;
+      for (const EdgeId ie : intra) cluster_total += h_.edge(ie).w;
+      const bool dominates = ratio > 0.0 && e.w > ratio * cluster_total;
+      if (cluster_total > 0.0 && !dominates) {
+        fold_into(intra, cluster_total, fold * e.w);
+        ++stats.redistributed;
+      } else if (opts_.insert_when_no_redistribution_target || dominates) {
+        insert(e);
+      }
+      continue;
+    }
+    const EdgeId bridge = structure_->bridge_edge(e.u, e.v);
+    if (bridge != kInvalidEdge &&
+        !(ratio > 0.0 && e.w > ratio * h_.edge(bridge).w)) {
+      // A spectrally-similar edge already connects these clusters: merge.
+      if (fold > 0.0) h_.add_to_weight(bridge, fold * e.w);
+      ++stats.merged;
+      continue;
+    }
+    // Spectrally-unique or weight-dominant: include in the sparsifier.
+    insert(e);
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+EdgeId Ingrass::remove_edges(std::span<const std::pair<NodeId, NodeId>> pairs) {
+  EdgeId removed = 0;
+  for (const auto& [u, v] : pairs) {
+    const EdgeId e = h_.find_edge(u, v);
+    if (e == kInvalidEdge) continue;
+    h_.remove_edge(e);
+    ++removed;
+  }
+  if (removed > 0) resetup();
+  return removed;
+}
+
+void Ingrass::resetup() {
+  const Timer timer;
+  emb_ = MultilevelEmbedding::build(h_, opts_.embedding);
+  structure_ = std::make_unique<ClusterStructure>(emb_, h_, pick_level());
+  if (opts_.use_tree_bound) {
+    tree_bound_ = std::make_unique<TreePathResistance>(
+        h_, max_weight_spanning_forest(h_));
+  }
+  setup_seconds_ = timer.seconds();
+}
+
+}  // namespace ingrass

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/cluster_structure.hpp"
+#include "core/multilevel_embedding.hpp"
+#include "graph/graph.hpp"
+#include "tree/tree_resistance.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ingrass {
+
+/// inGRASS: incremental spectral graph sparsification (the paper's
+/// Algorithm 1). Owns the evolving sparsifier H.
+///
+/// Construction runs the one-time *setup phase* on the initial sparsifier
+/// H(0): multilevel LRD decomposition -> per-node O(log N) resistance
+/// embeddings, cluster diameter bounds, and the filtering-level cluster
+/// index. Each call to insert_edges() runs the *update phase* on a batch of
+/// newly introduced edges in O(log N) per edge:
+///
+///   1. estimate each edge's spectral distortion w * R_H(u,v) from the
+///      embeddings and process edges most-critical-first;
+///   2. filter by spectral similarity at the filtering level L:
+///        - endpoints share a cluster        -> discard, redistribute the
+///          weight proportionally over that cluster's internal edges;
+///        - cluster pair already bridged     -> discard, add the weight to
+///          the existing bridge edge;
+///        - otherwise                        -> spectrally-unique edge:
+///          insert into H and index it.
+///
+/// The caller maintains the original graph G; inGRASS never looks at it
+/// (that independence is what makes updates O(log N)).
+class Ingrass {
+ public:
+  struct Options {
+    /// Target relative condition number C = kappa(L_G, L_H); fixes the
+    /// filtering level (deepest level with max cluster size <= C/2).
+    double target_condition = 100.0;
+    /// Setup-phase decomposition settings.
+    MultilevelEmbedding::Options embedding;
+    /// When an edge lands inside a cluster that has no internal edges at
+    /// the filtering level (possible after aggressive contraction), insert
+    /// it instead of dropping its weight.
+    bool insert_when_no_redistribution_target = true;
+
+    /// Weight-dominance guard on the similarity filter: folding a new edge
+    /// into existing sparsifier edges approximates it by a detour, and the
+    /// approximation error grows with the new edge's weight relative to
+    /// the detour's conductance. An edge heavier than this multiple of its
+    /// merge target (bridge edge, or intra-cluster total) is treated as
+    /// spectrally unique and inserted. <= 0 disables the guard.
+    double merge_weight_ratio = 4.0;
+
+    /// Worker threads for the update phase's batch distortion scoring
+    /// (each edge's score is an independent read-only O(log N) lookup, the
+    /// "parallel-friendly" property the paper advertises). 1 = serial.
+    /// Parallelism only engages for batches of at least
+    /// parallel_batch_threshold edges — below that the fork/join overhead
+    /// exceeds the scoring work.
+    int num_threads = 1;
+    std::size_t parallel_batch_threshold = 4096;
+
+    /// Also bound R_H(u,v) by the path resistance through a max-weight
+    /// spanning tree of H(0), min-combined with the LRD cluster-diameter
+    /// bound. The tree bound is a *certain* upper bound (the tree is a
+    /// subgraph of H, and H only gains weight during updates), has the
+    /// right absolute units, and costs O(log N) per query via LCA — it
+    /// sharpens both the distortion ranking and the criticality guard.
+    bool use_tree_bound = true;
+
+    /// Criticality guard on the similarity filter. Excluding an edge whose
+    /// true spectral distortion is w * R_H(u,v) forces
+    /// kappa(L_G, L_H) >= 1 + w * R_H(u,v) (take x = the harmonic potential
+    /// of the (u,v) resistance problem in the quadratic-form ratio), so an
+    /// edge with estimated distortion above
+    ///   critical_distortion_factor * target_condition
+    /// can never be redundant at the target and is inserted regardless of
+    /// structural redundancy. This implements the paper's "exclude ... if
+    /// there is already an existing edge ... with a similar spectral
+    /// distortion" wording: a much-higher-distortion edge has no similar
+    /// peer. <= 0 disables the guard (pure structural filtering).
+    double critical_distortion_factor = 1.0;
+
+    /// Cluster-size quantile the filtering-level rule caps at C/2. The
+    /// paper caps the maximum cluster size (quantile 1.0); our LRD
+    /// decomposition yields heavy-tailed cluster sizes where a single
+    /// outlier cluster pins the max rule several levels too shallow and
+    /// roughly doubles the final density on the circuit-style cases, so
+    /// the library defaults to the median and relies on the criticality
+    /// guard for the outlier clusters. See
+    /// ClusterStructure::choose_filtering_level.
+    double level_size_quantile = 0.5;
+
+    /// Override the automatic filtering-level choice (paper: deepest level
+    /// with max cluster size <= C/2). The paper notes the level "can be
+    /// adjusted to achieve various degrees of spectral similarity"; this is
+    /// that knob. Values are clamped to the available levels.
+    std::optional<int> filtering_level_override;
+
+    /// Fraction of a filtered edge's weight folded into the sparsifier.
+    /// The paper's description folds the full weight (1.0); our
+    /// measurements (bench_ablation_fold) show folded weight lands on
+    /// *different* edges than in G and drags the pencil's lambda_min well
+    /// below 1, inflating kappa by 2-4x on locality-heavy streams.
+    /// Dropping filtered weight (0.0) keeps H sub-weighted w.r.t. G
+    /// (lambda_min ~ 1) while the filtering level already bounds the
+    /// lambda_max side — measurably the better default.
+    double fold_weight_fraction = 0.0;
+  };
+
+  /// Setup phase. Copies the initial sparsifier.
+  Ingrass(Graph initial_sparsifier, const Options& opts);
+  explicit Ingrass(Graph initial_sparsifier)
+      : Ingrass(std::move(initial_sparsifier), Options{}) {}
+
+  Ingrass(const Ingrass&) = delete;
+  Ingrass& operator=(const Ingrass&) = delete;
+
+  /// The current sparsifier H.
+  [[nodiscard]] const Graph& sparsifier() const { return h_; }
+
+  [[nodiscard]] const MultilevelEmbedding& embedding() const { return emb_; }
+  [[nodiscard]] int filtering_level() const { return structure_->filtering_level(); }
+  [[nodiscard]] int num_levels() const { return emb_.num_levels(); }
+  [[nodiscard]] double setup_seconds() const { return setup_seconds_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Outcome counters for one update batch.
+  struct UpdateStats {
+    EdgeId inserted = 0;       // spectrally-unique edges added to H
+    EdgeId merged = 0;         // absorbed into an existing bridge edge
+    EdgeId redistributed = 0;  // intra-cluster, weight spread over the cluster
+    EdgeId reinforced = 0;     // parallel to an existing H edge: exact
+                               // weight addition, no filtering involved
+    double seconds = 0.0;
+
+    [[nodiscard]] EdgeId total() const {
+      return inserted + merged + redistributed + reinforced;
+    }
+  };
+
+  /// Update phase: process one batch of newly introduced edges.
+  UpdateStats insert_edges(std::span<const Edge> new_edges);
+
+  /// Estimated spectral distortion of each batch edge, in batch order —
+  /// the update phase's ranking pass, exposed for inspection and
+  /// benchmarks. Runs on the option-configured thread pool when the batch
+  /// is large enough.
+  [[nodiscard]] std::vector<double> score_batch(std::span<const Edge> new_edges) const;
+
+  /// O(log N) effective-resistance upper bound from the LRD hierarchy,
+  /// falling back to the flat Krylov estimate for pairs that never share a
+  /// cluster (different components of H(0)).
+  [[nodiscard]] double estimate_resistance(NodeId u, NodeId v) const;
+
+  /// Estimated spectral distortion w * R_H(u,v) of a candidate edge.
+  [[nodiscard]] double estimate_distortion(const Edge& e) const {
+    return e.w * estimate_resistance(e.u, e.v);
+  }
+
+  /// Re-run the setup phase on the *current* sparsifier. Optional
+  /// maintenance for very long streams, where drift between the frozen
+  /// H(0) clustering and the evolved H degrades filtering quality.
+  void resetup();
+
+  /// Extension beyond the paper (which handles insertions only): remove
+  /// the given node pairs from the sparsifier where present, then re-run
+  /// the setup phase once. Deletions invalidate the LRD hierarchy (a
+  /// removed edge may have been contracted into it), so they cost a
+  /// re-setup — acceptable for the rare-deletion regimes (ECO removals)
+  /// this targets. Returns the number of edges actually removed. Pairs
+  /// whose removal is not found are ignored.
+  EdgeId remove_edges(std::span<const std::pair<NodeId, NodeId>> pairs);
+
+ private:
+  [[nodiscard]] int pick_level() const;
+
+  Options opts_;
+  Graph h_;
+  MultilevelEmbedding emb_;
+  std::unique_ptr<ClusterStructure> structure_;
+  /// Tree-path resistance over a max-weight spanning forest of H(0); stays
+  /// a valid upper bound as the update phase only adds edges and weight.
+  std::unique_ptr<TreePathResistance> tree_bound_;
+  /// Present only when opts_.num_threads > 1.
+  std::unique_ptr<ThreadPool> pool_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace ingrass

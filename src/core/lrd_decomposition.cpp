@@ -1,0 +1,97 @@
+#include "core/lrd_decomposition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "tree/union_find.hpp"
+
+namespace ingrass {
+
+LrdLevel lrd_contract(NodeId num_input, std::span<const ClusterEdge> edges,
+                      std::span<const double> input_diameter, double threshold) {
+  if (static_cast<NodeId>(input_diameter.size()) != num_input) {
+    throw std::invalid_argument("lrd_contract: diameter size mismatch");
+  }
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (edges[x].resistance != edges[y].resistance) {
+      return edges[x].resistance < edges[y].resistance;
+    }
+    return x < y;  // deterministic tie-break
+  });
+
+  UnionFind uf(num_input);
+  std::vector<double> diam(input_diameter.begin(), input_diameter.end());
+
+  LrdLevel out;
+  for (const std::size_t i : order) {
+    const ClusterEdge& e = edges[i];
+    const NodeId ra = uf.find(e.a);
+    const NodeId rb = uf.find(e.b);
+    if (ra == rb) continue;
+    const double merged =
+        diam[static_cast<std::size_t>(ra)] + e.resistance + diam[static_cast<std::size_t>(rb)];
+    if (merged > threshold) continue;
+    uf.unite(ra, rb);
+    diam[static_cast<std::size_t>(uf.find(ra))] = merged;
+    ++out.merges;
+  }
+
+  // Compact relabeling in first-seen order of input cluster ids.
+  out.parent.assign(static_cast<std::size_t>(num_input), kInvalidNode);
+  std::vector<NodeId> root_label(static_cast<std::size_t>(num_input), kInvalidNode);
+  out.diameter.reserve(static_cast<std::size_t>(uf.num_sets()));
+  for (NodeId c = 0; c < num_input; ++c) {
+    const NodeId r = uf.find(c);
+    NodeId& label = root_label[static_cast<std::size_t>(r)];
+    if (label == kInvalidNode) {
+      label = out.num_output++;
+      out.diameter.push_back(diam[static_cast<std::size_t>(r)]);
+    }
+    out.parent[static_cast<std::size_t>(c)] = label;
+  }
+  return out;
+}
+
+std::vector<ClusterEdge> coarsen_edges(std::span<const ClusterEdge> edges,
+                                       const LrdLevel& level) {
+  // Merge parallel coarse edges: weights add (parallel conductances),
+  // resistances combine harmonically (parallel resistors).
+  std::unordered_map<std::uint64_t, ClusterEdge> merged;
+  merged.reserve(edges.size());
+  for (const ClusterEdge& e : edges) {
+    const NodeId ca = level.parent[static_cast<std::size_t>(e.a)];
+    const NodeId cb = level.parent[static_cast<std::size_t>(e.b)];
+    if (ca == cb) continue;
+    const auto lo = static_cast<std::uint64_t>(std::min(ca, cb));
+    const auto hi = static_cast<std::uint64_t>(std::max(ca, cb));
+    const std::uint64_t key = (lo << 32) | hi;
+    auto [it, inserted] = merged.try_emplace(
+        key, ClusterEdge{static_cast<NodeId>(lo), static_cast<NodeId>(hi),
+                         e.resistance, e.weight});
+    if (!inserted) {
+      ClusterEdge& acc = it->second;
+      acc.weight += e.weight;
+      if (acc.resistance > 0.0 && e.resistance > 0.0) {
+        acc.resistance =
+            1.0 / (1.0 / acc.resistance + 1.0 / e.resistance);
+      } else {
+        acc.resistance = 0.0;
+      }
+    }
+  }
+  std::vector<ClusterEdge> out;
+  out.reserve(merged.size());
+  for (const auto& [key, e] : merged) out.push_back(e);
+  // Deterministic order regardless of hash iteration.
+  std::sort(out.begin(), out.end(), [](const ClusterEdge& x, const ClusterEdge& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  return out;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// One level of low-resistance-diameter (LRD) contraction (paper §III.B.2).
+///
+/// Input: a "cluster graph" — the supernodes of the previous level, each
+/// carrying a resistance-diameter bound, plus inter-cluster edges annotated
+/// with estimated effective resistance. Edges are visited in ascending
+/// resistance order and contracted greedily as long as the merged cluster's
+/// diameter bound stays under the level threshold:
+///     diam(a) + R(a,b) + diam(b) <= threshold.
+/// The bound is the path bound through the contracted edge, so every
+/// cluster's true effective-resistance diameter is <= its stored bound.
+
+struct ClusterEdge {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double resistance = 0.0;  // estimated effective resistance of the edge
+  double weight = 0.0;      // conductance weight (carried for coarsening)
+};
+
+struct LrdLevel {
+  /// Input cluster -> output cluster, compact ids in [0, num_output).
+  std::vector<NodeId> parent;
+  /// Resistance-diameter bound per output cluster.
+  std::vector<double> diameter;
+  NodeId num_output = 0;
+  /// Number of contractions performed (0 = the threshold was too tight).
+  NodeId merges = 0;
+};
+
+/// Contract one level. `input_diameter` has one entry per input cluster.
+[[nodiscard]] LrdLevel lrd_contract(NodeId num_input,
+                                    std::span<const ClusterEdge> edges,
+                                    std::span<const double> input_diameter,
+                                    double threshold);
+
+/// Coarsen the edge list through a contraction: drops intra-cluster edges,
+/// relabels endpoints, and merges parallel edges (weights add; resistances
+/// combine as parallel resistors, 1/R = sum 1/R_i).
+[[nodiscard]] std::vector<ClusterEdge> coarsen_edges(
+    std::span<const ClusterEdge> edges, const LrdLevel& level);
+
+}  // namespace ingrass

@@ -1,0 +1,168 @@
+#include "core/multilevel_embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/components.hpp"
+
+namespace ingrass {
+
+namespace {
+
+double median_resistance(const std::vector<ClusterEdge>& edges) {
+  if (edges.empty()) return 0.0;
+  std::vector<double> r;
+  r.reserve(edges.size());
+  for (const ClusterEdge& e : edges) r.push_back(e.resistance);
+  const auto mid = r.begin() + static_cast<std::ptrdiff_t>(r.size() / 2);
+  std::nth_element(r.begin(), mid, r.end());
+  return *mid;
+}
+
+/// Rebuild a Graph from coarse cluster edges so the per-level resistance
+/// re-estimation (paper step S1) can run a fresh Krylov embedding on it.
+Graph coarse_graph(NodeId num_clusters, const std::vector<ClusterEdge>& edges) {
+  Graph g(num_clusters);
+  g.reserve_edges(static_cast<EdgeId>(edges.size()));
+  for (const ClusterEdge& e : edges) g.add_edge(e.a, e.b, e.weight);
+  return g;
+}
+
+}  // namespace
+
+MultilevelEmbedding MultilevelEmbedding::build(const Graph& h, const Options& opts) {
+  MultilevelEmbedding out;
+  out.n_ = h.num_nodes();
+  if (out.n_ == 0) return out;
+
+  out.base_ = ResistanceEmbedding::build(h, opts.resistance);
+
+  // Level 0 is the identity clustering (every node its own cluster,
+  // diameter 0) — the finest filtering granularity the update phase can
+  // select when the target condition number is very tight.
+  {
+    Level identity;
+    identity.cluster_of.resize(static_cast<std::size_t>(out.n_));
+    for (NodeId v = 0; v < out.n_; ++v) {
+      identity.cluster_of[static_cast<std::size_t>(v)] = v;
+    }
+    identity.diameter.assign(static_cast<std::size_t>(out.n_), 0.0);
+    identity.size.assign(static_cast<std::size_t>(out.n_), 1);
+    identity.max_size = out.n_ > 0 ? 1 : 0;
+    out.levels_.push_back(std::move(identity));
+  }
+
+  // Initial cluster graph: every node its own cluster, diameter 0.
+  std::vector<ClusterEdge> edges;
+  edges.reserve(static_cast<std::size_t>(h.num_edges()));
+  for (const Edge& e : h.edges()) {
+    edges.push_back(ClusterEdge{e.u, e.v, out.base_.estimate(e.u, e.v), e.w});
+  }
+  std::vector<NodeId> map(static_cast<std::size_t>(out.n_));
+  for (NodeId v = 0; v < out.n_; ++v) map[static_cast<std::size_t>(v)] = v;
+  std::vector<double> diam(static_cast<std::size_t>(out.n_), 0.0);
+  NodeId cur_n = out.n_;
+  const NodeId num_components = connected_components(h).count;
+
+  double threshold = opts.initial_threshold_factor * median_resistance(edges);
+  if (threshold <= 0.0) threshold = 1e-6;
+
+  int attempts = 0;
+  constexpr int kMaxAttempts = 200;
+  while (cur_n > num_components && static_cast<int>(out.levels_.size()) < opts.max_levels &&
+         attempts++ < kMaxAttempts && !edges.empty()) {
+    const LrdLevel lvl =
+        lrd_contract(cur_n, edges, std::span<const double>(diam), threshold);
+    if (lvl.merges == 0) {
+      threshold *= opts.growth;  // too tight — widen and retry
+      continue;
+    }
+
+    // Compose down to original nodes and collect per-cluster sizes.
+    Level stored;
+    stored.cluster_of.resize(static_cast<std::size_t>(out.n_));
+    stored.size.assign(static_cast<std::size_t>(lvl.num_output), 0);
+    for (NodeId v = 0; v < out.n_; ++v) {
+      const NodeId c = lvl.parent[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])];
+      stored.cluster_of[static_cast<std::size_t>(v)] = c;
+      map[static_cast<std::size_t>(v)] = c;
+      ++stored.size[static_cast<std::size_t>(c)];
+    }
+    stored.diameter = lvl.diameter;
+    stored.max_size = *std::max_element(stored.size.begin(), stored.size.end());
+    out.levels_.push_back(std::move(stored));
+
+    edges = coarsen_edges(edges, lvl);
+    diam = lvl.diameter;
+    cur_n = lvl.num_output;
+
+    if (opts.recompute_per_level && cur_n > 2 && !edges.empty()) {
+      // Fresh resistance estimates on the contracted graph (S1 of the next
+      // iteration). Vary the seed per level so the Krylov start vectors of
+      // successive levels are independent. The fresh embedding is *anchored*
+      // to the resistances carried from the previous level (parallel-
+      // resistor merges of already-calibrated values) instead of running
+      // its own calibration pass: that keeps the absolute scale consistent
+      // across levels — the accumulated cluster diameters mix levels — at
+      // zero extra cost.
+      const Graph cg = coarse_graph(cur_n, edges);
+      ResistanceEmbedding::Options ropts = opts.resistance;
+      ropts.seed += static_cast<std::uint64_t>(out.levels_.size());
+      ropts.calibration = ResistanceEmbedding::Options::Calibration::kNone;
+      ResistanceEmbedding cemb = ResistanceEmbedding::build(cg, ropts);
+      std::vector<double> anchor_ratios;
+      anchor_ratios.reserve(edges.size());
+      for (const ClusterEdge& e : edges) {
+        const double est = cemb.estimate(e.a, e.b);
+        if (est > 1e-300 && e.resistance > 0.0) {
+          anchor_ratios.push_back(e.resistance / est);
+        }
+      }
+      cemb.apply_calibration(anchor_ratios);
+      for (ClusterEdge& e : edges) e.resistance = cemb.estimate(e.a, e.b);
+    }
+    threshold *= opts.growth;
+  }
+  return out;
+}
+
+NodeId MultilevelEmbedding::cluster_size_quantile(int level, double q) const {
+  const Level& lvl = levels_[check_level(level)];
+  if (lvl.size.empty()) return 0;
+  if (q >= 1.0) return lvl.max_size;
+  std::vector<NodeId> sizes = lvl.size;
+  const auto idx = static_cast<std::ptrdiff_t>(
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(sizes.size() - 1));
+  const auto mid = sizes.begin() + idx;
+  std::nth_element(sizes.begin(), mid, sizes.end());
+  return *mid;
+}
+
+std::vector<NodeId> MultilevelEmbedding::embedding_vector(NodeId v) const {
+  std::vector<NodeId> vec;
+  vec.reserve(levels_.size());
+  for (const Level& l : levels_) vec.push_back(l.cluster_of[static_cast<std::size_t>(v)]);
+  return vec;
+}
+
+int MultilevelEmbedding::first_shared_level(NodeId u, NodeId v) const {
+  for (int l = 0; l < num_levels(); ++l) {
+    const Level& lvl = levels_[static_cast<std::size_t>(l)];
+    if (lvl.cluster_of[static_cast<std::size_t>(u)] ==
+        lvl.cluster_of[static_cast<std::size_t>(v)]) {
+      return l;
+    }
+  }
+  return -1;
+}
+
+double MultilevelEmbedding::resistance_bound(NodeId u, NodeId v) const {
+  if (u == v) return 0.0;
+  const int l = first_shared_level(u, v);
+  if (l < 0) return std::numeric_limits<double>::infinity();
+  const Level& lvl = levels_[static_cast<std::size_t>(l)];
+  return lvl.diameter[static_cast<std::size_t>(
+      lvl.cluster_of[static_cast<std::size_t>(u)])];
+}
+
+}  // namespace ingrass

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/lrd_decomposition.hpp"
+#include "graph/graph.hpp"
+#include "spectral/resistance_embedding.hpp"
+
+namespace ingrass {
+
+/// Multilevel resistance embedding (paper §III.B.2-3, Fig. 2).
+///
+/// Repeatedly applies LRD contraction with a geometrically growing diameter
+/// threshold, recording for every *original* node its cluster index at each
+/// level — the O(log N)-dimensional embedding vector — together with each
+/// cluster's resistance-diameter bound and node count. The effective
+/// resistance between any two nodes is then bounded by the diameter of the
+/// first (shallowest) cluster that contains both, an O(log N) lookup.
+class MultilevelEmbedding {
+ public:
+  struct Options {
+    /// Krylov resistance-embedding settings used to estimate edge
+    /// resistances (per level when recompute_per_level, else once).
+    ResistanceEmbedding::Options resistance;
+    /// First-level diameter threshold as a multiple of the median edge
+    /// resistance estimate.
+    double initial_threshold_factor = 2.0;
+    /// Threshold growth per level (the paper doubles it).
+    double growth = 2.0;
+    /// Re-estimate edge resistances on the coarse graph at every level
+    /// (paper step S1 per iteration). When false, coarse resistances come
+    /// from parallel-resistor merging only — cheaper, looser bounds.
+    bool recompute_per_level = true;
+    /// Hard cap on stored levels (safety; log2(N) levels is typical).
+    int max_levels = 64;
+  };
+
+  /// Decompose the sparsifier `h`. Works on disconnected graphs too (each
+  /// component ends in its own top-level cluster).
+  static MultilevelEmbedding build(const Graph& h, const Options& opts);
+  static MultilevelEmbedding build(const Graph& h) { return build(h, Options{}); }
+
+  [[nodiscard]] int num_levels() const { return static_cast<int>(levels_.size()); }
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+
+  /// Cluster index of node v at a level (0 = finest stored level).
+  [[nodiscard]] NodeId cluster_of(int level, NodeId v) const {
+    return levels_[check_level(level)].cluster_of[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId num_clusters(int level) const {
+    return static_cast<NodeId>(levels_[check_level(level)].diameter.size());
+  }
+  [[nodiscard]] double cluster_diameter(int level, NodeId cluster) const {
+    return levels_[check_level(level)].diameter[static_cast<std::size_t>(cluster)];
+  }
+  /// Number of original nodes inside a cluster.
+  [[nodiscard]] NodeId cluster_size(int level, NodeId cluster) const {
+    return levels_[check_level(level)].size[static_cast<std::size_t>(cluster)];
+  }
+  [[nodiscard]] NodeId max_cluster_size(int level) const {
+    return levels_[check_level(level)].max_size;
+  }
+
+  /// q-quantile of the per-cluster node counts at a level (q in [0,1];
+  /// 1.0 = max). Used by the filtering-level rule: LRD cluster sizes are
+  /// heavy-tailed, so a robust quantile tracks the typical cluster where
+  /// the max is dominated by one outlier.
+  [[nodiscard]] NodeId cluster_size_quantile(int level, double q) const;
+
+  /// The node's embedding vector: its cluster index at every level.
+  [[nodiscard]] std::vector<NodeId> embedding_vector(NodeId v) const;
+
+  /// Shallowest level at which u and v share a cluster; -1 if none
+  /// (different components).
+  [[nodiscard]] int first_shared_level(NodeId u, NodeId v) const;
+
+  /// Upper bound on the effective resistance between u and v: the diameter
+  /// of their first shared cluster (+infinity across components).
+  [[nodiscard]] double resistance_bound(NodeId u, NodeId v) const;
+
+  /// The flat Krylov resistance embedding built over the input sparsifier
+  /// (level-0 resistance source) — exposed for distortion estimation.
+  [[nodiscard]] const ResistanceEmbedding& base_embedding() const { return base_; }
+
+ private:
+  struct Level {
+    std::vector<NodeId> cluster_of;  // per original node
+    std::vector<double> diameter;    // per cluster
+    std::vector<NodeId> size;        // per cluster (original nodes)
+    NodeId max_size = 0;
+  };
+
+  std::size_t check_level(int level) const {
+    if (level < 0 || level >= num_levels()) throw std::out_of_range("bad level");
+    return static_cast<std::size_t>(level);
+  }
+
+  NodeId n_ = 0;
+  std::vector<Level> levels_;
+  ResistanceEmbedding base_;
+};
+
+}  // namespace ingrass

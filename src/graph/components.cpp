@@ -1,0 +1,58 @@
+#include "graph/components.hpp"
+
+#include <deque>
+
+namespace ingrass {
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components out;
+  out.label.assign(static_cast<std::size_t>(n), kInvalidNode);
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (out.label[static_cast<std::size_t>(s)] != kInvalidNode) continue;
+    const NodeId c = out.count++;
+    out.label[static_cast<std::size_t>(s)] = c;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const Arc& a : g.neighbors(u)) {
+        if (out.label[static_cast<std::size_t>(a.to)] == kInvalidNode) {
+          out.label[static_cast<std::size_t>(a.to)] = c;
+          queue.push_back(a.to);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() == 0 || connected_components(g).count == 1;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId root) {
+  const NodeId n = g.num_nodes();
+  BfsTree t;
+  t.parent.assign(static_cast<std::size_t>(n), kInvalidNode);
+  t.parent_edge.assign(static_cast<std::size_t>(n), kInvalidEdge);
+  t.order.reserve(static_cast<std::size_t>(n));
+  t.parent[static_cast<std::size_t>(root)] = root;
+  std::deque<NodeId> queue{root};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    t.order.push_back(u);
+    for (const Arc& a : g.neighbors(u)) {
+      if (t.parent[static_cast<std::size_t>(a.to)] == kInvalidNode) {
+        t.parent[static_cast<std::size_t>(a.to)] = u;
+        t.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Result of a connected-components sweep.
+struct Components {
+  std::vector<NodeId> label;  // per node, in [0, count)
+  NodeId count = 0;
+
+  [[nodiscard]] bool connected() const { return count <= 1; }
+};
+
+/// Label connected components with BFS. O(N + E).
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True iff g has exactly one connected component (or is empty).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Breadth-first order and parents from a root (parent[root] = root;
+/// unreachable nodes have parent kInvalidNode).
+struct BfsTree {
+  std::vector<NodeId> order;    // visited nodes in BFS order
+  std::vector<NodeId> parent;   // per node
+  std::vector<EdgeId> parent_edge;  // edge to parent, kInvalidEdge at root
+};
+
+[[nodiscard]] BfsTree bfs_tree(const Graph& g, NodeId root);
+
+}  // namespace ingrass

@@ -1,0 +1,367 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/components.hpp"
+
+namespace ingrass {
+
+namespace {
+
+NodeId grid_id(NodeId x, NodeId y, NodeId nx) { return y * nx + x; }
+
+double lognormal(Rng& rng, double median, double sigma) {
+  return median * std::exp(sigma * rng.normal());
+}
+
+}  // namespace
+
+Graph make_grid2d(NodeId nx, NodeId ny, Rng& rng, double wlo, double whi) {
+  if (nx < 2 || ny < 2) throw std::invalid_argument("grid needs nx,ny >= 2");
+  Graph g(nx * ny);
+  g.reserve_edges(static_cast<EdgeId>(nx) * ny * 2);
+  for (NodeId y = 0; y < ny; ++y) {
+    for (NodeId x = 0; x < nx; ++x) {
+      const NodeId u = grid_id(x, y, nx);
+      if (x + 1 < nx) g.add_edge(u, grid_id(x + 1, y, nx), rng.uniform(wlo, whi));
+      if (y + 1 < ny) g.add_edge(u, grid_id(x, y + 1, nx), rng.uniform(wlo, whi));
+    }
+  }
+  return g;
+}
+
+Graph make_grid3d(NodeId nx, NodeId ny, NodeId nz, Rng& rng, double wlo,
+                  double whi) {
+  if (nx < 2 || ny < 2 || nz < 1) throw std::invalid_argument("bad grid dims");
+  Graph g(nx * ny * nz);
+  auto id = [&](NodeId x, NodeId y, NodeId z) { return (z * ny + y) * nx + x; };
+  for (NodeId z = 0; z < nz; ++z) {
+    for (NodeId y = 0; y < ny; ++y) {
+      for (NodeId x = 0; x < nx; ++x) {
+        const NodeId u = id(x, y, z);
+        if (x + 1 < nx) g.add_edge(u, id(x + 1, y, z), rng.uniform(wlo, whi));
+        if (y + 1 < ny) g.add_edge(u, id(x, y + 1, z), rng.uniform(wlo, whi));
+        if (z + 1 < nz) g.add_edge(u, id(x, y, z + 1), rng.uniform(wlo, whi));
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_triangulated_grid(NodeId nx, NodeId ny, Rng& rng, double wlo,
+                             double whi) {
+  Graph g = make_grid2d(nx, ny, rng, wlo, whi);
+  for (NodeId y = 0; y + 1 < ny; ++y) {
+    for (NodeId x = 0; x + 1 < nx; ++x) {
+      // One diagonal per cell, orientation chosen at random: the result is
+      // a planar triangulation with the degree distribution of a Delaunay
+      // mesh (avg degree ~6).
+      const NodeId a = grid_id(x, y, nx);
+      const NodeId b = grid_id(x + 1, y, nx);
+      const NodeId c = grid_id(x, y + 1, nx);
+      const NodeId d = grid_id(x + 1, y + 1, nx);
+      if (rng.bernoulli(0.5)) {
+        g.add_edge(a, d, rng.uniform(wlo, whi));
+      } else {
+        g.add_edge(b, c, rng.uniform(wlo, whi));
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_sphere_mesh(NodeId nlat, NodeId nlon, Rng& rng) {
+  if (nlat < 3 || nlon < 3) throw std::invalid_argument("sphere needs nlat,nlon >= 3");
+  // Nodes: interior ring vertices plus two poles at the end.
+  const NodeId rings = nlat - 2;
+  const NodeId north = rings * nlon;
+  const NodeId south = north + 1;
+  Graph g(rings * nlon + 2);
+  auto id = [&](NodeId r, NodeId l) { return r * nlon + (l % nlon); };
+  auto w = [&] { return rng.uniform(0.5, 2.0); };
+  for (NodeId r = 0; r < rings; ++r) {
+    for (NodeId l = 0; l < nlon; ++l) {
+      g.add_edge(id(r, l), id(r, l + 1), w());  // along the ring
+      if (r + 1 < rings) {
+        g.add_edge(id(r, l), id(r + 1, l), w());      // meridian
+        g.add_edge(id(r, l), id(r + 1, l + 1), w());  // diagonal: triangulates
+      }
+    }
+  }
+  for (NodeId l = 0; l < nlon; ++l) {
+    g.add_edge(north, id(0, l), w());
+    g.add_edge(south, id(rings - 1, l), w());
+  }
+  return g;
+}
+
+Graph make_masked_mesh(NodeId nx, NodeId ny, double hole_frac, Rng& rng) {
+  if (hole_frac < 0.0 || hole_frac > 0.35) {
+    throw std::invalid_argument("hole_frac must be in [0, 0.35]");
+  }
+  // Carve circular holes out of a triangulated grid, keep the largest
+  // connected component, and relabel nodes compactly.
+  std::vector<char> dead(static_cast<std::size_t>(nx) * ny, 0);
+  const double target_dead = hole_frac * static_cast<double>(nx) * ny;
+  double carved = 0.0;
+  while (carved < target_dead) {
+    const auto cx = static_cast<double>(rng.uniform_index(static_cast<std::uint64_t>(nx)));
+    const auto cy = static_cast<double>(rng.uniform_index(static_cast<std::uint64_t>(ny)));
+    const double rad = rng.uniform(2.0, std::max(3.0, std::min(nx, ny) / 10.0));
+    const NodeId x0 = static_cast<NodeId>(std::max(0.0, cx - rad));
+    const NodeId x1 = static_cast<NodeId>(std::min<double>(nx - 1, cx + rad));
+    const NodeId y0 = static_cast<NodeId>(std::max(0.0, cy - rad));
+    const NodeId y1 = static_cast<NodeId>(std::min<double>(ny - 1, cy + rad));
+    for (NodeId y = y0; y <= y1; ++y) {
+      for (NodeId x = x0; x <= x1; ++x) {
+        const double dx = x - cx;
+        const double dy = y - cy;
+        auto& cell = dead[static_cast<std::size_t>(grid_id(x, y, nx))];
+        if (dx * dx + dy * dy <= rad * rad && !cell) {
+          cell = 1;
+          carved += 1.0;
+        }
+      }
+    }
+  }
+  Graph full = make_triangulated_grid(nx, ny, rng);
+  Graph masked(full.num_nodes());
+  for (const Edge& e : full.edges()) {
+    if (!dead[static_cast<std::size_t>(e.u)] && !dead[static_cast<std::size_t>(e.v)]) {
+      masked.add_edge(e.u, e.v, e.w);
+    }
+  }
+  // Keep the largest component.
+  const Components comps = connected_components(masked);
+  std::vector<EdgeId> comp_size(static_cast<std::size_t>(comps.count), 0);
+  for (NodeId v = 0; v < masked.num_nodes(); ++v) {
+    ++comp_size[static_cast<std::size_t>(comps.label[static_cast<std::size_t>(v)])];
+  }
+  const NodeId keep = static_cast<NodeId>(
+      std::max_element(comp_size.begin(), comp_size.end()) - comp_size.begin());
+  std::vector<NodeId> remap(static_cast<std::size_t>(masked.num_nodes()), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < masked.num_nodes(); ++v) {
+    if (comps.label[static_cast<std::size_t>(v)] == keep) remap[static_cast<std::size_t>(v)] = next++;
+  }
+  Graph out(next);
+  for (const Edge& e : masked.edges()) {
+    const NodeId u = remap[static_cast<std::size_t>(e.u)];
+    const NodeId v = remap[static_cast<std::size_t>(e.v)];
+    if (u != kInvalidNode && v != kInvalidNode) out.add_edge(u, v, e.w);
+  }
+  return out;
+}
+
+Graph make_graded_mesh(NodeId nx, NodeId ny, double grading, Rng& rng) {
+  if (grading < 0.0) throw std::invalid_argument("grading must be >= 0");
+  Graph g = make_grid2d(nx, ny, rng, 1.0, 1.0);
+  // Conductance grows geometrically toward the y=0 boundary (the "airfoil
+  // surface"), spanning `grading` orders of magnitude, with mild jitter.
+  auto row_scale = [&](NodeId y) {
+    const double t = 1.0 - static_cast<double>(y) / static_cast<double>(ny - 1);
+    return std::pow(10.0, grading * t);
+  };
+  Graph out(g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    const NodeId ya = e.u / nx;
+    const NodeId yb = e.v / nx;
+    const double s = 0.5 * (row_scale(ya) + row_scale(yb));
+    out.add_edge(e.u, e.v, s * rng.uniform(0.8, 1.25));
+  }
+  // Triangulate with diagonals carrying the same graded weights.
+  for (NodeId y = 0; y + 1 < ny; ++y) {
+    const double s = 0.5 * (row_scale(y) + row_scale(y + 1));
+    for (NodeId x = 0; x + 1 < nx; ++x) {
+      const NodeId a = grid_id(x, y, nx);
+      const NodeId d = grid_id(x + 1, y + 1, nx);
+      const NodeId b = grid_id(x + 1, y, nx);
+      const NodeId c = grid_id(x, y + 1, nx);
+      if (rng.bernoulli(0.5)) {
+        out.add_edge(a, d, s * rng.uniform(0.8, 1.25));
+      } else {
+        out.add_edge(b, c, s * rng.uniform(0.8, 1.25));
+      }
+    }
+  }
+  return out;
+}
+
+Graph make_power_grid(NodeId nx, NodeId ny, NodeId layers, Rng& rng) {
+  if (layers < 1) throw std::invalid_argument("need >= 1 layer");
+  const NodeId per_layer = nx * ny;
+  Graph g(per_layer * layers);
+  auto id = [&](NodeId x, NodeId y, NodeId z) { return z * per_layer + grid_id(x, y, nx); };
+  for (NodeId z = 0; z < layers; ++z) {
+    // Upper metal layers are thicker: higher median conductance.
+    const double median = std::pow(4.0, z);
+    for (NodeId y = 0; y < ny; ++y) {
+      for (NodeId x = 0; x < nx; ++x) {
+        if (x + 1 < nx) g.add_edge(id(x, y, z), id(x + 1, y, z), lognormal(rng, median, 0.3));
+        if (y + 1 < ny) g.add_edge(id(x, y, z), id(x, y + 1, z), lognormal(rng, median, 0.3));
+      }
+    }
+  }
+  // Vias: regular pitch with jitter, denser between lower layers.
+  for (NodeId z = 0; z + 1 < layers; ++z) {
+    const NodeId pitch = 2 + z;
+    for (NodeId y = 0; y < ny; y += pitch) {
+      for (NodeId x = 0; x < nx; x += pitch) {
+        if (rng.bernoulli(0.9)) {
+          g.add_edge(id(x, y, z), id(x, y, z + 1), lognormal(rng, 8.0, 0.2));
+        }
+      }
+    }
+  }
+  // A few low-resistance global straps on the top layer.
+  const NodeId top = layers - 1;
+  for (int s = 0; s < 4; ++s) {
+    const auto y = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(ny)));
+    for (NodeId x = 0; x + 1 < nx; ++x) {
+      g.add_or_merge_edge(id(x, y, top), id(x + 1, y, top), lognormal(rng, 40.0, 0.1));
+    }
+  }
+  return g;
+}
+
+Graph make_barabasi_albert(NodeId n, NodeId attach, Rng& rng, double wlo,
+                           double whi) {
+  if (n < attach + 1 || attach < 1) throw std::invalid_argument("bad BA params");
+  Graph g(n);
+  // Seed clique on attach+1 nodes.
+  std::vector<NodeId> targets;  // one entry per edge endpoint: degree-proportional sampling
+  for (NodeId u = 0; u <= attach; ++u) {
+    for (NodeId v = u + 1; v <= attach; ++v) {
+      g.add_edge(u, v, rng.uniform(wlo, whi));
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (NodeId u = attach + 1; u < n; ++u) {
+    NodeId added = 0;
+    std::vector<NodeId> chosen;
+    while (added < attach) {
+      const NodeId cand = targets[rng.uniform_index(targets.size())];
+      if (cand == u) continue;
+      if (std::find(chosen.begin(), chosen.end(), cand) != chosen.end()) continue;
+      g.add_edge(u, cand, rng.uniform(wlo, whi));
+      chosen.push_back(cand);
+      ++added;
+    }
+    for (const NodeId c : chosen) {
+      targets.push_back(u);
+      targets.push_back(c);
+    }
+  }
+  return g;
+}
+
+Graph make_watts_strogatz(NodeId n, NodeId k, double rewire, Rng& rng,
+                          double wlo, double whi) {
+  if (n < 4 || k < 1 || 2 * k >= n) throw std::invalid_argument("bad WS params");
+  if (rewire < 0.0 || rewire > 1.0) throw std::invalid_argument("bad rewire prob");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId j = 1; j <= k; ++j) {
+      NodeId v = (u + j) % n;
+      if (rng.bernoulli(rewire)) {
+        // Rewire the far endpoint to a uniform non-neighbor.
+        for (int tries = 0; tries < 16; ++tries) {
+          const auto cand =
+              static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+          if (cand != u && !g.has_edge(u, cand)) {
+            v = cand;
+            break;
+          }
+        }
+      }
+      if (v != u && !g.has_edge(u, v)) g.add_edge(u, v, rng.uniform(wlo, whi));
+    }
+  }
+  return g;
+}
+
+namespace {
+
+struct CaseSpec {
+  const char* name;
+  std::int64_t paper_nodes;
+  std::int64_t paper_edges;
+  // Default synthetic node budget at scale 1 (laptop-sized; shapes, not
+  // absolute seconds, are the reproduction target).
+  NodeId default_nodes;
+  enum class Kind { PowerGrid, FeMesh, Ocean, Sphere, Delaunay, Airfoil } kind;
+};
+
+const CaseSpec kCases[] = {
+    {"G3_circuit", 1'500'000, 3'000'000, 24'000, CaseSpec::Kind::PowerGrid},
+    {"G2_circuit", 150'000, 290'000, 6'000, CaseSpec::Kind::PowerGrid},
+    {"fe_4elt2", 11'000, 33'000, 4'000, CaseSpec::Kind::FeMesh},
+    {"fe_ocean", 140'000, 410'000, 9'000, CaseSpec::Kind::Ocean},
+    {"fe_sphere", 16'000, 49'000, 5'000, CaseSpec::Kind::Sphere},
+    {"delaunay_n18", 260'000, 650'000, 8'000, CaseSpec::Kind::Delaunay},
+    {"delaunay_n19", 520'000, 1'600'000, 12'000, CaseSpec::Kind::Delaunay},
+    {"delaunay_n20", 1'000'000, 3'100'000, 16'000, CaseSpec::Kind::Delaunay},
+    {"delaunay_n21", 2'100'000, 6'300'000, 24'000, CaseSpec::Kind::Delaunay},
+    {"delaunay_n22", 4'200'000, 13'000'000, 36'000, CaseSpec::Kind::Delaunay},
+    {"M6", 3'500'000, 11'000'000, 32'000, CaseSpec::Kind::Airfoil},
+    {"333SP", 3'700'000, 11'000'000, 34'000, CaseSpec::Kind::Airfoil},
+    {"AS365", 3'800'000, 11'000'000, 36'000, CaseSpec::Kind::Airfoil},
+    {"NACA15", 1'000'000, 3'100'000, 16'000, CaseSpec::Kind::Airfoil},
+};
+
+const CaseSpec& find_case(const std::string& name) {
+  for (const CaseSpec& c : kCases) {
+    if (name == c.name) return c;
+  }
+  throw std::invalid_argument("unknown paper test case: " + name);
+}
+
+}  // namespace
+
+const std::vector<std::string>& paper_testcase_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const CaseSpec& c : kCases) v.emplace_back(c.name);
+    return v;
+  }();
+  return names;
+}
+
+PaperSize paper_testcase_size(const std::string& name) {
+  const CaseSpec& c = find_case(name);
+  return PaperSize{c.paper_nodes, c.paper_edges};
+}
+
+Graph make_paper_testcase(const std::string& name, double scale, Rng& rng) {
+  const CaseSpec& c = find_case(name);
+  const double budget = std::max(1'000.0, c.default_nodes * scale);
+  const auto side = static_cast<NodeId>(std::sqrt(budget));
+  switch (c.kind) {
+    case CaseSpec::Kind::PowerGrid: {
+      // Two metal layers: budget split across them.
+      const auto s = static_cast<NodeId>(std::sqrt(budget / 2.0));
+      return make_power_grid(s, s, 2, rng);
+    }
+    case CaseSpec::Kind::FeMesh:
+      return make_triangulated_grid(side, side, rng);
+    case CaseSpec::Kind::Ocean:
+      // Oversize before carving ~20% holes.
+      return make_masked_mesh(static_cast<NodeId>(side * 1.12),
+                              static_cast<NodeId>(side * 1.12), 0.20, rng);
+    case CaseSpec::Kind::Sphere: {
+      const auto nlat = static_cast<NodeId>(std::sqrt(budget / 2.0));
+      return make_sphere_mesh(nlat, 2 * nlat, rng);
+    }
+    case CaseSpec::Kind::Delaunay:
+      return make_triangulated_grid(side, side, rng, 0.25, 4.0);
+    case CaseSpec::Kind::Airfoil:
+      return make_graded_mesh(side, side, 2.0, rng);
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace ingrass

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+/// Synthetic workload generators.
+///
+/// The paper evaluates on SuiteSparse matrices (circuit simulation, finite
+/// element meshes, Delaunay triangulations, large aerodynamic meshes). Those
+/// files are not available offline, so each paper test case is mapped to a
+/// structural analog from the same topology class (see DESIGN.md §5). All
+/// generators are deterministic given the Rng and produce connected graphs
+/// with positive conductance-style weights.
+
+/// nx-by-ny 4-neighbor lattice. Weights uniform in [wlo, whi].
+[[nodiscard]] Graph make_grid2d(NodeId nx, NodeId ny, Rng& rng,
+                                double wlo = 0.5, double whi = 2.0);
+
+/// nx-by-ny-by-nz 6-neighbor lattice.
+[[nodiscard]] Graph make_grid3d(NodeId nx, NodeId ny, NodeId nz, Rng& rng,
+                                double wlo = 0.5, double whi = 2.0);
+
+/// Triangulated lattice: grid2d plus one random diagonal per cell.
+/// Structural analog of 2-D finite-element meshes (fe_4elt2) and, with
+/// jittered weights, of random planar Delaunay triangulations
+/// (delaunay_nXX): bounded degree, planar, low expansion.
+[[nodiscard]] Graph make_triangulated_grid(NodeId nx, NodeId ny, Rng& rng,
+                                           double wlo = 0.5, double whi = 2.0);
+
+/// Triangulated lat-long sphere (poles collapsed to single vertices).
+/// Analog of fe_sphere: closed 2-manifold triangulation.
+[[nodiscard]] Graph make_sphere_mesh(NodeId nlat, NodeId nlon, Rng& rng);
+
+/// Triangulated grid with randomly carved holes (largest component kept,
+/// nodes relabeled compactly). Analog of fe_ocean: an irregular mesh with
+/// coastline-like boundary. hole_frac in [0, 0.35].
+[[nodiscard]] Graph make_masked_mesh(NodeId nx, NodeId ny, double hole_frac,
+                                     Rng& rng);
+
+/// Geometrically graded triangulated mesh: cell size shrinks toward one
+/// edge, so conductances (~1/h) vary over ~`grading` orders of magnitude.
+/// Analog of aerodynamic meshes (M6, 333SP, AS365, NACA15) refined near an
+/// airfoil surface.
+[[nodiscard]] Graph make_graded_mesh(NodeId nx, NodeId ny, double grading,
+                                     Rng& rng);
+
+/// Multi-layer IC power-delivery grid: `layers` stacked nx-by-ny grids with
+/// lognormal per-wire conductances (upper layers thicker/more conductive),
+/// sparse vias between layers, and a few low-resistance global straps.
+/// Analog of G2_circuit / G3_circuit.
+[[nodiscard]] Graph make_power_grid(NodeId nx, NodeId ny, NodeId layers,
+                                    Rng& rng);
+
+/// Barabasi-Albert preferential attachment with `attach` edges per new
+/// node; weights uniform in [wlo, whi]. Social-network analog.
+[[nodiscard]] Graph make_barabasi_albert(NodeId n, NodeId attach, Rng& rng,
+                                         double wlo = 0.5, double whi = 2.0);
+
+/// Watts-Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired to a random endpoint with probability `rewire`.
+/// Second social-network analog (high clustering, short diameters).
+[[nodiscard]] Graph make_watts_strogatz(NodeId n, NodeId k, double rewire,
+                                        Rng& rng, double wlo = 0.5,
+                                        double whi = 2.0);
+
+/// The 14 evaluation test cases of the paper (Table I order).
+[[nodiscard]] const std::vector<std::string>& paper_testcase_names();
+
+/// Paper-reported sizes, used to derive the scaled synthetic sizes.
+struct PaperSize {
+  std::int64_t nodes;
+  std::int64_t edges;
+};
+[[nodiscard]] PaperSize paper_testcase_size(const std::string& name);
+
+/// Build the synthetic analog of a paper test case. `scale` multiplies the
+/// default (laptop-sized) node count; the same name+scale+seed always
+/// yields the same graph.
+[[nodiscard]] Graph make_paper_testcase(const std::string& name, double scale,
+                                        Rng& rng);
+
+}  // namespace ingrass

@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace ingrass {
+
+NodeId Graph::add_nodes(NodeId count) {
+  if (count < 0) throw std::invalid_argument("negative node count");
+  const NodeId first = num_nodes();
+  adj_.resize(adj_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double w) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("self-loop rejected");
+  if (!(w > 0.0)) throw std::invalid_argument("edge weight must be positive");
+  if (u > v) std::swap(u, v);
+  const EdgeId id = num_edges();
+  edges_.push_back(Edge{u, v, w});
+  adj_[static_cast<std::size_t>(u)].push_back(Arc{v, id});
+  adj_[static_cast<std::size_t>(v)].push_back(Arc{u, id});
+  return id;
+}
+
+EdgeId Graph::add_or_merge_edge(NodeId u, NodeId v, double w) {
+  const EdgeId existing = find_edge(u, v);
+  if (existing != kInvalidEdge) {
+    add_to_weight(existing, w);
+    return existing;
+  }
+  return add_edge(u, v, w);
+}
+
+void Graph::set_weight(EdgeId e, double w) {
+  if (!(w > 0.0)) throw std::invalid_argument("edge weight must be positive");
+  edges_[check(e)].w = w;
+}
+
+void Graph::add_to_weight(EdgeId e, double dw) {
+  const std::size_t i = check(e);
+  const double nw = edges_[i].w + dw;
+  if (!(nw > 0.0)) throw std::invalid_argument("weight update made edge non-positive");
+  edges_[i].w = nw;
+}
+
+void Graph::scale_weight(EdgeId e, double factor) {
+  if (!(factor > 0.0)) throw std::invalid_argument("scale factor must be positive");
+  edges_[check(e)].w *= factor;
+}
+
+EdgeId Graph::remove_edge(EdgeId e) {
+  const std::size_t slot = check(e);
+  auto drop_arc = [&](NodeId node, EdgeId id) {
+    auto& arcs = adj_[static_cast<std::size_t>(node)];
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (arcs[i].edge == id) {
+        arcs[i] = arcs.back();
+        arcs.pop_back();
+        return;
+      }
+    }
+  };
+  drop_arc(edges_[slot].u, e);
+  drop_arc(edges_[slot].v, e);
+
+  const EdgeId last = num_edges() - 1;
+  if (e != last) {
+    // Move the last edge into the freed slot and retarget its arcs.
+    const Edge moved = edges_[static_cast<std::size_t>(last)];
+    edges_[slot] = moved;
+    auto retarget = [&](NodeId node) {
+      for (Arc& a : adj_[static_cast<std::size_t>(node)]) {
+        if (a.edge == last) a.edge = e;
+      }
+    };
+    retarget(moved.u);
+    retarget(moved.v);
+  }
+  edges_.pop_back();
+  return e != last ? last : kInvalidEdge;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  check_node(v);
+  // Scan the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (const Arc& a : adj_[static_cast<std::size_t>(u)]) {
+    if (a.to == v) return a.edge;
+  }
+  return kInvalidEdge;
+}
+
+double Graph::weighted_degree(NodeId u) const {
+  double d = 0.0;
+  for (const Arc& a : adj_[check_node(u)]) d += edges_[static_cast<std::size_t>(a.edge)].w;
+  return d;
+}
+
+double Graph::total_weight() const {
+  double t = 0.0;
+  for (const Edge& e : edges_) t += e.w;
+  return t;
+}
+
+CsrAdjacency build_csr(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  CsrAdjacency csr;
+  csr.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    csr.offsets[static_cast<std::size_t>(u) + 1] =
+        csr.offsets[static_cast<std::size_t>(u)] + g.degree(u);
+  }
+  const auto nnz = static_cast<std::size_t>(csr.offsets.back());
+  csr.targets.resize(nnz);
+  csr.weights.resize(nnz);
+  csr.degree.assign(static_cast<std::size_t>(n), 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    auto pos = static_cast<std::size_t>(csr.offsets[static_cast<std::size_t>(u)]);
+    for (const Arc& a : g.neighbors(u)) {
+      const double w = g.edge(a.edge).w;
+      csr.targets[pos] = a.to;
+      csr.weights[pos] = w;
+      csr.degree[static_cast<std::size_t>(u)] += w;
+      ++pos;
+    }
+  }
+  return csr;
+}
+
+}  // namespace ingrass

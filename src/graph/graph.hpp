@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ingrass {
+
+/// Node index. Graphs in this library are laptop-scale (<= tens of millions
+/// of nodes), so 32-bit indices keep adjacency structures compact.
+using NodeId = std::int32_t;
+
+/// Edge index into Graph::edge(). 64-bit so edge counts never overflow even
+/// at INGRASS_BENCH_SCALE > 1.
+using EdgeId = std::int64_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr EdgeId kInvalidEdge = -1;
+
+/// A weighted undirected edge. Invariant: u < v after normalization inside
+/// Graph::add_edge; weight > 0.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double w = 0.0;
+};
+
+/// One adjacency entry: the neighbor and the id of the connecting edge.
+struct Arc {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+/// Weighted undirected graph supporting incremental edge insertion and
+/// in-place weight adjustment — the two mutations the inGRASS update phase
+/// performs. Self-loops are rejected; parallel edges are allowed at this
+/// layer (use add_or_merge_edge to coalesce them).
+///
+/// Storage: a flat edge array plus per-node adjacency vectors that index
+/// into it. Edge weights live only in the edge array, so reweighting an
+/// edge is O(1) and every adjacency view observes it immediately.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId num_nodes) : adj_(checked_count(num_nodes)) {}
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(adj_.size());
+  }
+  [[nodiscard]] EdgeId num_edges() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  /// Append `count` fresh isolated nodes; returns the id of the first one.
+  NodeId add_nodes(NodeId count);
+
+  /// Insert edge {u,v} with weight w > 0. Returns its EdgeId.
+  /// Throws on self-loops, bad node ids, or non-positive weight.
+  EdgeId add_edge(NodeId u, NodeId v, double w);
+
+  /// Insert {u,v,w}, or if an edge between u and v already exists add w to
+  /// its weight instead (parallel resistors in a conductance graph sum).
+  /// Returns the id of the inserted-or-updated edge.
+  EdgeId add_or_merge_edge(NodeId u, NodeId v, double w);
+
+  /// Edge accessors.
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[check(e)]; }
+  void set_weight(EdgeId e, double w);
+  void add_to_weight(EdgeId e, double dw);
+  /// Multiply an edge's weight by factor > 0.
+  void scale_weight(EdgeId e, double factor);
+
+  /// Remove an edge. O(deg(u) + deg(v)). The last edge is moved into the
+  /// freed slot, so the id previously equal to num_edges()-1 becomes `e`;
+  /// returns that moved id (or kInvalidEdge when e was the last edge).
+  /// Any externally stored edge ids must be refreshed accordingly.
+  EdgeId remove_edge(EdgeId e);
+
+  /// Id of an edge between u and v (any parallel one), or kInvalidEdge.
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+  /// Neighbors of u as arcs (neighbor id + edge id).
+  [[nodiscard]] std::span<const Arc> neighbors(NodeId u) const {
+    return adj_[check_node(u)];
+  }
+  [[nodiscard]] NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(adj_[check_node(u)].size());
+  }
+  /// Sum of incident edge weights.
+  [[nodiscard]] double weighted_degree(NodeId u) const;
+
+  /// Sum of all edge weights.
+  [[nodiscard]] double total_weight() const;
+
+  /// All edges (index i is EdgeId i).
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Reserve capacity for an anticipated number of edges.
+  void reserve_edges(EdgeId count) { edges_.reserve(static_cast<std::size_t>(count)); }
+
+ private:
+  static std::size_t checked_count(NodeId n) {
+    if (n < 0) throw std::invalid_argument("negative node count");
+    return static_cast<std::size_t>(n);
+  }
+  std::size_t check(EdgeId e) const {
+    if (e < 0 || e >= num_edges()) throw std::out_of_range("bad edge id");
+    return static_cast<std::size_t>(e);
+  }
+  std::size_t check_node(NodeId u) const {
+    if (u < 0 || u >= num_nodes()) throw std::out_of_range("bad node id");
+    return static_cast<std::size_t>(u);
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Arc>> adj_;
+};
+
+/// Compressed sparse row snapshot of a graph's adjacency, for fast
+/// Laplacian/adjacency matvecs. Weights are copied at construction time;
+/// rebuild after mutating the graph.
+struct CsrAdjacency {
+  std::vector<EdgeId> offsets;   // size num_nodes+1
+  std::vector<NodeId> targets;   // size 2*num_edges
+  std::vector<double> weights;   // parallel to targets
+  std::vector<double> degree;    // weighted degree per node
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(offsets.size()) - 1;
+  }
+};
+
+/// Build a CSR snapshot of g.
+[[nodiscard]] CsrAdjacency build_csr(const Graph& g);
+
+}  // namespace ingrass

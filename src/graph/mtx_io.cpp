@@ -1,0 +1,106 @@
+#include "graph/mtx_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ingrass {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Graph read_mtx(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("mtx: empty stream");
+  std::istringstream header(lower(line));
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  if (banner != "%%matrixmarket" || object != "matrix" || fmt != "coordinate") {
+    throw std::runtime_error("mtx: unsupported header: " + line);
+  }
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    throw std::runtime_error("mtx: unsupported field type: " + field);
+  }
+  if (symmetry != "symmetric" && symmetry != "general") {
+    throw std::runtime_error("mtx: unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::int64_t rows = 0, cols = 0, nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz) || rows <= 0 || cols != rows) {
+    throw std::runtime_error("mtx: bad size line (need square matrix): " + line);
+  }
+
+  // Merge duplicates (and the two triangles of a `general` symmetric file).
+  std::unordered_map<std::uint64_t, double> merged;
+  merged.reserve(static_cast<std::size_t>(nnz));
+  std::int64_t seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream row(line);
+    std::int64_t i = 0, j = 0;
+    double v = 1.0;
+    if (!(row >> i >> j)) throw std::runtime_error("mtx: bad entry: " + line);
+    if (!pattern && !(row >> v)) throw std::runtime_error("mtx: missing value: " + line);
+    ++seen;
+    if (i < 1 || i > rows || j < 1 || j > rows) {
+      throw std::runtime_error("mtx: index out of range: " + line);
+    }
+    if (i == j) continue;  // Laplacian diagonal is implied
+    const double w = std::abs(v);
+    if (w == 0.0) continue;
+    auto a = static_cast<std::uint64_t>(std::min(i, j) - 1);
+    auto b = static_cast<std::uint64_t>(std::max(i, j) - 1);
+    merged[(a << 32) | b] += w;
+  }
+  if (seen != nnz) throw std::runtime_error("mtx: truncated entry list");
+
+  Graph g(static_cast<NodeId>(rows));
+  g.reserve_edges(static_cast<EdgeId>(merged.size()));
+  for (const auto& [key, w] : merged) {
+    g.add_edge(static_cast<NodeId>(key >> 32),
+               static_cast<NodeId>(key & 0xffffffffULL), w);
+  }
+  return g;
+}
+
+Graph read_mtx_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("mtx: cannot open " + path);
+  return read_mtx(in);
+}
+
+void write_mtx(std::ostream& out, const Graph& g) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << "% written by ingrass\n";
+  out << g.num_nodes() << " " << g.num_nodes() << " " << g.num_edges() << "\n";
+  out.precision(17);
+  for (const Edge& e : g.edges()) {
+    // Lower triangle, 1-based: row > col.
+    out << (e.v + 1) << " " << (e.u + 1) << " " << e.w << "\n";
+  }
+}
+
+void write_mtx_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("mtx: cannot open " + path + " for write");
+  write_mtx(out, g);
+}
+
+}  // namespace ingrass

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Matrix Market I/O for weighted undirected graphs.
+///
+/// Lets the benchmark harness run on the actual SuiteSparse matrices the
+/// paper used (G2_circuit, fe_ocean, delaunay_nXX, ...) when their .mtx
+/// files are available locally; otherwise the synthetic analogs from
+/// generators.hpp are used.
+///
+/// Reading: accepts `matrix coordinate (real|integer|pattern) (symmetric|
+/// general)` headers. Off-diagonal entries become edges; diagonal entries
+/// are ignored (a Laplacian's diagonal is implied by its off-diagonals);
+/// entry values are mapped through |value| so Laplacian files (negative
+/// off-diagonals) and adjacency files both load as positive conductances;
+/// pattern files get unit weights; duplicate/symmetric-duplicate entries
+/// are merged by summing.
+
+/// Parse a Matrix Market stream into a graph. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] Graph read_mtx(std::istream& in);
+
+/// Load from a file path.
+[[nodiscard]] Graph read_mtx_file(const std::string& path);
+
+/// Write a graph as `matrix coordinate real symmetric` (adjacency, 1-based).
+void write_mtx(std::ostream& out, const Graph& g);
+void write_mtx_file(const std::string& path, const Graph& g);
+
+}  // namespace ingrass

@@ -1,0 +1,75 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace ingrass {
+
+Graph subgraph(const Graph& g, const std::vector<EdgeId>& keep) {
+  Graph out(g.num_nodes());
+  out.reserve_edges(static_cast<EdgeId>(keep.size()));
+  for (const EdgeId e : keep) {
+    const Edge& edge = g.edge(e);
+    out.add_edge(edge.u, edge.v, edge.w);
+  }
+  return out;
+}
+
+Graph scaled_copy(const Graph& g, double factor) {
+  if (!(factor > 0.0)) throw std::invalid_argument("factor must be positive");
+  Graph out(g.num_nodes());
+  out.reserve_edges(g.num_edges());
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v, e.w * factor);
+  return out;
+}
+
+std::vector<EdgeId> merge_edges(Graph& base, const Graph& extra) {
+  if (base.num_nodes() != extra.num_nodes()) {
+    throw std::invalid_argument("merge_edges: node counts differ");
+  }
+  std::vector<EdgeId> affected;
+  affected.reserve(static_cast<std::size_t>(extra.num_edges()));
+  for (const Edge& e : extra.edges()) {
+    affected.push_back(base.add_or_merge_edge(e.u, e.v, e.w));
+  }
+  return affected;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.num_nodes() == 0) return s;
+  s.min = g.degree(0);
+  double total = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId d = g.degree(u);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    total += d;
+  }
+  s.mean = total / g.num_nodes();
+  return s;
+}
+
+bool graphs_equal(const Graph& a, const Graph& b, double tol) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) return false;
+  using Key = std::tuple<NodeId, NodeId, double>;
+  auto canon = [](const Graph& g) {
+    std::vector<Key> keys;
+    keys.reserve(static_cast<std::size_t>(g.num_edges()));
+    for (const Edge& e : g.edges()) keys.emplace_back(e.u, e.v, e.w);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  const auto ka = canon(a);
+  const auto kb = canon(b);
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    if (std::get<0>(ka[i]) != std::get<0>(kb[i])) return false;
+    if (std::get<1>(ka[i]) != std::get<1>(kb[i])) return false;
+    if (std::abs(std::get<2>(ka[i]) - std::get<2>(kb[i])) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ingrass

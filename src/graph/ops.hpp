@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Graph-level operations shared by the sparsifiers and the benchmark
+/// harness.
+
+/// Deep copy of g restricted to the given edge ids (same node set).
+[[nodiscard]] Graph subgraph(const Graph& g, const std::vector<EdgeId>& keep);
+
+/// Copy of g with every edge weight multiplied by `factor`.
+[[nodiscard]] Graph scaled_copy(const Graph& g, double factor);
+
+/// Append every edge of `extra` into `base` (same node count required);
+/// parallel edges are merged by weight addition. Returns ids of the
+/// affected base edges, parallel to extra.edges().
+std::vector<EdgeId> merge_edges(Graph& base, const Graph& extra);
+
+/// Basic degree statistics.
+struct DegreeStats {
+  NodeId min = 0;
+  NodeId max = 0;
+  double mean = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// Exact equality of node count, edge multiset (u,v,w) — for tests.
+[[nodiscard]] bool graphs_equal(const Graph& a, const Graph& b, double tol = 0.0);
+
+}  // namespace ingrass

@@ -1,0 +1,85 @@
+#include "graph/stream_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ingrass {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("edge stream line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+std::vector<std::vector<Edge>> read_edge_stream(std::istream& in, NodeId num_nodes) {
+  std::vector<std::vector<Edge>> batches;
+  std::string line;
+  std::size_t line_no = 0;
+  long prev_batch = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments; skip blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    long batch = 0;
+    long u = 0;
+    long v = 0;
+    double w = 0.0;
+    if (!(ss >> batch)) continue;  // blank after comment strip
+    if (!(ss >> u >> v >> w)) fail(line_no, "expected '<batch> <u> <v> <w>'");
+    std::string trailing;
+    if (ss >> trailing) fail(line_no, "trailing tokens after weight");
+    if (batch < 0) fail(line_no, "negative batch index");
+    if (batch < prev_batch) fail(line_no, "batch indices must be non-decreasing");
+    if (u < 0 || v < 0) fail(line_no, "negative node id");
+    if (u == v) fail(line_no, "self-loop");
+    if (num_nodes >= 0 && (u >= num_nodes || v >= num_nodes)) {
+      fail(line_no, "node id exceeds graph size");
+    }
+    if (!(w > 0.0)) fail(line_no, "weight must be positive");
+    prev_batch = batch;
+    if (static_cast<std::size_t>(batch) >= batches.size()) {
+      batches.resize(static_cast<std::size_t>(batch) + 1);
+    }
+    Edge e;
+    e.u = static_cast<NodeId>(std::min(u, v));
+    e.v = static_cast<NodeId>(std::max(u, v));
+    e.w = w;
+    batches[static_cast<std::size_t>(batch)].push_back(e);
+  }
+  return batches;
+}
+
+std::vector<std::vector<Edge>> load_edge_stream(const std::string& path,
+                                                NodeId num_nodes) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge stream file: " + path);
+  return read_edge_stream(in, num_nodes);
+}
+
+void write_edge_stream(std::ostream& out, const std::vector<std::vector<Edge>>& batches) {
+  out << "# inGRASS edge stream: <batch> <u> <v> <w>\n";
+  const auto saved = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);  // lossless round-trip
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (const Edge& e : batches[b]) {
+      out << b << ' ' << e.u << ' ' << e.v << ' ' << e.w << '\n';
+    }
+  }
+  out.precision(saved);
+}
+
+void save_edge_stream(const std::string& path,
+                      const std::vector<std::vector<Edge>>& batches) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge stream file: " + path);
+  write_edge_stream(out, batches);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace ingrass

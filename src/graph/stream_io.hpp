@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Plain-text edge-stream files: the recorded insertion workloads the
+/// incremental experiments replay (and that `stream_replay` accepts next
+/// to a Matrix Market base graph).
+///
+/// Format — one edge per line, batches in file order:
+///
+///     # comment lines and blank lines are ignored
+///     <batch-index> <u> <v> <w>
+///
+/// Batch indices are non-negative, non-decreasing, and may skip values
+/// (a skipped index is an empty batch — an iteration where nothing was
+/// inserted). Node ids are 0-based. Weights must be positive. Writers
+/// emit exactly this shape; readers reject anything else with a
+/// std::runtime_error naming the offending line.
+
+/// Parse a stream from an input stream. `num_nodes` (when >= 0) bounds the
+/// node ids for early validation.
+[[nodiscard]] std::vector<std::vector<Edge>> read_edge_stream(std::istream& in,
+                                                              NodeId num_nodes = -1);
+
+/// Load a stream file from disk.
+[[nodiscard]] std::vector<std::vector<Edge>> load_edge_stream(const std::string& path,
+                                                              NodeId num_nodes = -1);
+
+/// Serialize batches (inverse of read_edge_stream).
+void write_edge_stream(std::ostream& out, const std::vector<std::vector<Edge>>& batches);
+
+/// Write a stream file to disk.
+void save_edge_stream(const std::string& path,
+                      const std::vector<std::vector<Edge>>& batches);
+
+}  // namespace ingrass

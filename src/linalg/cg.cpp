@@ -1,0 +1,82 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ingrass {
+
+CgResult pcg(const LinOp& apply_a, std::span<const double> b, std::span<double> x,
+             const JacobiPreconditioner* precond, const CgOptions& opts) {
+  const std::size_t n = b.size();
+  if (x.size() != n) throw std::invalid_argument("pcg: size mismatch");
+
+  Vec r(n), z(n), p(n), ap(n), b_proj;
+  std::span<const double> rhs = b;
+  if (opts.project_nullspace) {
+    // Work with the projection of b onto range(A); otherwise the system is
+    // inconsistent and CG diverges.
+    b_proj.assign(b.begin(), b.end());
+    project_out_ones(b_proj);
+    rhs = b_proj;
+    project_out_ones(x);
+  }
+
+  const double bnorm = norm2(rhs);
+  CgResult res;
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    res.converged = true;
+    return res;
+  }
+
+  // r = b - A x
+  apply_a(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - r[i];
+  if (opts.project_nullspace) project_out_ones(r);
+
+  auto precondition = [&](const Vec& in, Vec& out) {
+    if (precond != nullptr) {
+      precond->apply(in, out);
+    } else {
+      copy(in, out);
+    }
+    if (opts.project_nullspace) project_out_ones(out);
+  };
+
+  precondition(r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    const double rnorm = norm2(r);
+    res.relative_residual = rnorm / bnorm;
+    if (res.relative_residual <= opts.rel_tol) {
+      res.converged = true;
+      res.iterations = it;
+      return res;
+    }
+    apply_a(p, ap);
+    if (opts.project_nullspace) project_out_ones(ap);
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) {
+      // Operator not positive definite on this subspace (or numerical
+      // breakdown) — report what we have.
+      res.iterations = it;
+      return res;
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    precondition(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    xpby(z, beta, p);
+  }
+  res.iterations = opts.max_iters;
+  res.relative_residual = norm2(r) / bnorm;
+  res.converged = res.relative_residual <= opts.rel_tol;
+  return res;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "linalg/jacobi.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace ingrass {
+
+/// y = A x for an abstract symmetric positive (semi-)definite operator.
+/// Implemented by CsrMatrix matvecs and by matrix-free Laplacian operators.
+using LinOp = std::function<void(std::span<const double>, std::span<double>)>;
+
+struct CgOptions {
+  double rel_tol = 1e-10;   // stop when ||r|| <= rel_tol * ||b||
+  int max_iters = 10'000;
+  /// Project iterates/rhs orthogonal to the all-ones vector. Required when
+  /// A is a connected graph's Laplacian (singular with nullspace = span{1}):
+  /// CG then converges to the pseudo-inverse solution.
+  bool project_nullspace = false;
+};
+
+struct CgResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Preconditioned conjugate gradient. Solves A x = b, starting from the
+/// incoming content of x. `precond` may be null (plain CG).
+CgResult pcg(const LinOp& apply_a, std::span<const double> b, std::span<double> x,
+             const JacobiPreconditioner* precond, const CgOptions& opts = {});
+
+}  // namespace ingrass

@@ -1,0 +1,104 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ingrass {
+
+CsrMatrix::CsrMatrix(std::int32_t n, std::span<const Triplet> triplets) : n_(n) {
+  if (n < 0) throw std::invalid_argument("negative dimension");
+  // Count, bucket, then merge duplicates per sorted row.
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= n || t.col < 0 || t.col >= n) {
+      throw std::out_of_range("triplet index out of range");
+    }
+    ++offsets_[static_cast<std::size_t>(t.row) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+  std::vector<std::int32_t> cols(triplets.size());
+  std::vector<double> vals(triplets.size());
+  {
+    std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const Triplet& t : triplets) {
+      const auto pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.row)]++);
+      cols[pos] = t.col;
+      vals[pos] = t.value;
+    }
+  }
+  // Sort each row by column and coalesce duplicates in place.
+  cols_.reserve(cols.size());
+  values_.reserve(vals.size());
+  std::vector<std::int64_t> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::size_t> perm;
+  for (std::int32_t r = 0; r < n; ++r) {
+    const auto begin = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r)]);
+    const auto end = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r) + 1]);
+    perm.resize(end - begin);
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = begin + i;
+    std::sort(perm.begin(), perm.end(),
+              [&](std::size_t a, std::size_t b) { return cols[a] < cols[b]; });
+    const std::size_t row_begin = cols_.size();
+    for (const std::size_t p : perm) {
+      if (cols_.size() > row_begin && cols_.back() == cols[p]) {
+        values_.back() += vals[p];  // coalesce duplicate (row,col)
+      } else {
+        cols_.push_back(cols[p]);
+        values_.push_back(vals[p]);
+      }
+    }
+    new_offsets[static_cast<std::size_t>(r) + 1] = static_cast<std::int64_t>(cols_.size());
+  }
+  offsets_ = std::move(new_offsets);
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  assert(static_cast<std::int32_t>(x.size()) == n_);
+  assert(static_cast<std::int32_t>(y.size()) == n_);
+  for (std::int32_t r = 0; r < n_; ++r) {
+    double s = 0.0;
+    const auto begin = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r)]);
+    const auto end = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t i = begin; i < end; ++i) {
+      s += values_[i] * x[static_cast<std::size_t>(cols_[i])];
+    }
+    y[static_cast<std::size_t>(r)] = s;
+  }
+}
+
+void CsrMatrix::multiply_add(std::span<const double> x, double beta,
+                             std::span<double> y) const {
+  assert(static_cast<std::int32_t>(x.size()) == n_);
+  for (std::int32_t r = 0; r < n_; ++r) {
+    double s = 0.0;
+    const auto begin = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r)]);
+    const auto end = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t i = begin; i < end; ++i) {
+      s += values_[i] * x[static_cast<std::size_t>(cols_[i])];
+    }
+    y[static_cast<std::size_t>(r)] = s + beta * y[static_cast<std::size_t>(r)];
+  }
+}
+
+Vec CsrMatrix::diagonal() const {
+  Vec d(static_cast<std::size_t>(n_), 0.0);
+  for (std::int32_t r = 0; r < n_; ++r) {
+    d[static_cast<std::size_t>(r)] = at(r, r);
+  }
+  return d;
+}
+
+double CsrMatrix::at(std::int32_t row, std::int32_t col) const {
+  if (row < 0 || row >= n_ || col < 0 || col >= n_) {
+    throw std::out_of_range("CsrMatrix::at index out of range");
+  }
+  const auto begin = cols_.begin() + offsets_[static_cast<std::size_t>(row)];
+  const auto end = cols_.begin() + offsets_[static_cast<std::size_t>(row) + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - cols_.begin())];
+}
+
+}  // namespace ingrass

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace ingrass {
+
+/// Square sparse matrix in compressed-sparse-row form.
+///
+/// Built once from coordinate triplets (duplicates summed), then used for
+/// matvecs by the iterative solvers. Symmetry is the caller's contract —
+/// Laplacians and adjacency matrices built by spectral/laplacian.cpp are
+/// symmetric by construction.
+class CsrMatrix {
+ public:
+  struct Triplet {
+    std::int32_t row;
+    std::int32_t col;
+    double value;
+  };
+
+  CsrMatrix() = default;
+
+  /// Assemble an n-by-n matrix from triplets; duplicate (row,col) pairs sum.
+  CsrMatrix(std::int32_t n, std::span<const Triplet> triplets);
+
+  [[nodiscard]] std::int32_t rows() const { return n_; }
+  [[nodiscard]] std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+
+  /// y = A x
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A x + beta y
+  void multiply_add(std::span<const double> x, double beta, std::span<double> y) const;
+
+  /// Diagonal entries (zero when absent).
+  [[nodiscard]] Vec diagonal() const;
+
+  /// Entry lookup, O(log row-nnz). Returns 0 when the position is empty.
+  [[nodiscard]] double at(std::int32_t row, std::int32_t col) const;
+
+  [[nodiscard]] std::span<const std::int64_t> row_offsets() const { return offsets_; }
+  [[nodiscard]] std::span<const std::int32_t> col_indices() const { return cols_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+ private:
+  std::int32_t n_ = 0;
+  std::vector<std::int64_t> offsets_;
+  std::vector<std::int32_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace ingrass

@@ -1,0 +1,22 @@
+#include "linalg/jacobi.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ingrass {
+
+JacobiPreconditioner::JacobiPreconditioner(Vec diagonal)
+    : inv_diag_(std::move(diagonal)) {
+  for (double& d : inv_diag_) {
+    if (!(d > 0.0)) throw std::invalid_argument("Jacobi: non-positive diagonal");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  assert(r.size() == inv_diag_.size() && z.size() == inv_diag_.size());
+  for (std::size_t i = 0; i < inv_diag_.size(); ++i) z[i] = r[i] * inv_diag_[i];
+}
+
+}  // namespace ingrass

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+
+#include "linalg/vector_ops.hpp"
+
+namespace ingrass {
+
+/// Diagonal (Jacobi) preconditioner: z = D^{-1} r.
+///
+/// For graph Laplacians the diagonal is the weighted degree, which is
+/// strictly positive on connected graphs with positive weights, so the
+/// preconditioner is always well defined. Used by the CG solver inside the
+/// condition-number estimator and the exact effective-resistance oracle.
+class JacobiPreconditioner {
+ public:
+  JacobiPreconditioner() = default;
+  explicit JacobiPreconditioner(Vec diagonal);
+
+  /// z = D^{-1} r
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  [[nodiscard]] bool empty() const { return inv_diag_.empty(); }
+  [[nodiscard]] std::size_t size() const { return inv_diag_.size(); }
+
+ private:
+  Vec inv_diag_;
+};
+
+}  // namespace ingrass

@@ -1,0 +1,56 @@
+#include "linalg/krylov_basis.hpp"
+
+#include <cmath>
+
+namespace ingrass {
+
+namespace {
+
+/// Remove components of v along every vector in basis (and optionally the
+/// normalized ones vector), twice for numerical robustness.
+void orthogonalize(Vec& v, const std::vector<Vec>& basis, bool deflate_ones) {
+  for (int pass = 0; pass < 2; ++pass) {
+    if (deflate_ones) project_out_ones(v);
+    for (const Vec& u : basis) {
+      const double c = dot(v, u);
+      axpy(-c, u, v);
+    }
+  }
+}
+
+}  // namespace
+
+KrylovBasis build_krylov_basis(const LinOp& apply_a, std::size_t n,
+                               const KrylovOptions& opts) {
+  KrylovBasis out;
+  if (n == 0 || opts.order <= 0) return out;
+  const int m = std::min<int>(opts.order, static_cast<int>(n));
+  out.vectors.reserve(static_cast<std::size_t>(m));
+
+  Rng rng(opts.seed);
+  Vec v(n);
+  randomize(v, rng);
+
+  Vec next(n);
+  for (int k = 0; k < m; ++k) {
+    orthogonalize(v, out.vectors, opts.deflate_ones);
+    const double nv = norm2(v);
+    if (nv < opts.breakdown_tol) {
+      // Krylov sequence exhausted (graph too small / operator low rank):
+      // try a fresh random direction; give up if that is dependent too.
+      randomize(v, rng);
+      orthogonalize(v, out.vectors, opts.deflate_ones);
+      const double nr = norm2(v);
+      if (nr < opts.breakdown_tol) break;
+      scale(v, 1.0 / nr);
+    } else {
+      scale(v, 1.0 / nv);
+    }
+    out.vectors.push_back(v);
+    apply_a(out.vectors.back(), next);
+    std::swap(v, next);
+  }
+  return out;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/cg.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+/// Orthonormal basis of the Krylov subspace K_m(A, x) = span{x, Ax, ...,
+/// A^{m-1}x}, built with modified Gram-Schmidt and one re-orthogonalization
+/// pass (classic twice-is-enough).
+///
+/// This is Setup Phase 1 of inGRASS (paper eq. 3): the basis vectors stand
+/// in for Laplacian eigenvectors when estimating effective resistances.
+/// `deflate_ones` removes the component along the all-ones vector — the
+/// Laplacian's null direction contributes nothing to resistance and would
+/// otherwise waste a basis dimension.
+struct KrylovBasis {
+  /// Orthonormal vectors, each of length n. size() <= requested order
+  /// (happy breakdown can stop early on tiny graphs).
+  std::vector<Vec> vectors;
+};
+
+struct KrylovOptions {
+  int order = 16;           // m: subspace dimension
+  bool deflate_ones = true;
+  std::uint64_t seed = 42;  // seed for the random start vector
+  /// Tolerance under which a candidate vector counts as linearly dependent.
+  double breakdown_tol = 1e-12;
+};
+
+/// Build the basis for an n-dimensional operator A (typically the adjacency
+/// or Laplacian matvec of a graph).
+[[nodiscard]] KrylovBasis build_krylov_basis(const LinOp& apply_a, std::size_t n,
+                                             const KrylovOptions& opts = {});
+
+}  // namespace ingrass

@@ -1,0 +1,126 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ingrass {
+
+std::vector<double> tridiag_eigenvalues(std::vector<double> diag,
+                                        std::vector<double> offdiag) {
+  const std::size_t n = diag.size();
+  if (n == 0) return {};
+  if (offdiag.size() + 1 != n) {
+    throw std::invalid_argument("tridiag: offdiag must have size n-1");
+  }
+  // Implicit-shift QL (EISPACK tql1 lineage), eigenvalues only.
+  std::vector<double>& d = diag;
+  std::vector<double> e = std::move(offdiag);
+  e.push_back(0.0);
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 50) throw std::runtime_error("tridiag: too many QL iterations");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+SpectrumEstimate lanczos_extreme_eigenvalues(const LinOp& apply_a, std::size_t n,
+                                             const LanczosOptions& opts) {
+  SpectrumEstimate out;
+  if (n == 0) return out;
+  const int max_m = std::min<int>(opts.max_iters, static_cast<int>(n));
+
+  Rng rng(opts.seed);
+  Vec v(n);
+  randomize(v, rng);
+  if (opts.deflate_ones) project_out_ones(v);
+  const double nv = norm2(v);
+  if (nv == 0.0) return out;
+  scale(v, 1.0 / nv);
+
+  std::vector<Vec> basis;  // kept for reorthogonalization
+  basis.push_back(v);
+
+  std::vector<double> alpha, beta;
+  Vec w(n), prev(n, 0.0);
+  double beta_prev = 0.0;
+  double spec_scale = 0.0;  // spectral scale for the relative breakdown test
+
+  for (int j = 0; j < max_m; ++j) {
+    apply_a(basis.back(), w);
+    if (opts.deflate_ones) project_out_ones(w);
+    const double a = dot(w, basis.back());
+    alpha.push_back(a);
+    spec_scale = std::max(spec_scale, std::abs(a));
+    // w -= alpha v_j + beta_{j-1} v_{j-1}
+    axpy(-a, basis.back(), w);
+    if (j > 0) axpy(-beta_prev, prev, w);
+    if (opts.full_reorthogonalize) {
+      for (const Vec& u : basis) {
+        const double c = dot(w, u);
+        axpy(-c, u, w);
+      }
+      if (opts.deflate_ones) project_out_ones(w);
+    }
+    const double b = norm2(w);
+    // Relative breakdown test: once the Krylov space is exhausted the
+    // residual is pure rounding noise — normalizing it would reintroduce
+    // spurious directions (including the deflated null space) and produce
+    // ghost eigenvalues near zero.
+    if (b <= 1e-10 * std::max(spec_scale, 1e-300) || j + 1 == max_m) {
+      out.iterations = j + 1;
+      break;
+    }
+    beta.push_back(b);
+    beta_prev = b;
+    scale(w, 1.0 / b);
+    prev = basis.back();
+    basis.push_back(w);
+    out.iterations = j + 2;
+  }
+
+  const std::vector<double> ritz = tridiag_eigenvalues(alpha, beta);
+  if (!ritz.empty()) {
+    out.lambda_min = ritz.front();
+    out.lambda_max = ritz.back();
+  }
+  return out;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/cg.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+/// Eigenvalues of a symmetric tridiagonal matrix (diag, offdiag) in
+/// ascending order, via implicit-shift QL. offdiag has size diag.size()-1.
+/// Exposed for tests and for the Lanczos-based spectrum estimators.
+[[nodiscard]] std::vector<double> tridiag_eigenvalues(std::vector<double> diag,
+                                                      std::vector<double> offdiag);
+
+struct LanczosOptions {
+  int max_iters = 60;
+  bool deflate_ones = false;  // work orthogonal to span{1} (Laplacian pencils)
+  std::uint64_t seed = 7;
+  /// Full reorthogonalization keeps Ritz values clean at these small
+  /// iteration counts; cost is O(iters^2 n), fine at our scales.
+  bool full_reorthogonalize = true;
+};
+
+struct SpectrumEstimate {
+  double lambda_max = 0.0;
+  double lambda_min = 0.0;  // smallest Ritz value (of the deflated operator)
+  int iterations = 0;
+};
+
+/// Estimate extreme eigenvalues of a symmetric operator with Lanczos.
+/// With deflate_ones=true the operator is restricted to the complement of
+/// the all-ones vector, which turns a connected Laplacian's lambda_min into
+/// the Fiedler value and makes generalized pencils L_H^+ L_G well defined.
+[[nodiscard]] SpectrumEstimate lanczos_extreme_eigenvalues(
+    const LinOp& apply_a, std::size_t n, const LanczosOptions& opts = {});
+
+}  // namespace ingrass

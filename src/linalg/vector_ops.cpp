@@ -1,0 +1,63 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ingrass {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void fill(std::span<double> x, double value) {
+  for (double& v : x) v = value;
+}
+
+void copy(std::span<const double> src, std::span<double> dst) {
+  assert(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+}
+
+void project_out_ones(std::span<double> x) {
+  if (x.empty()) return;
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+void randomize(std::span<double> x, Rng& rng) {
+  for (double& v : x) v = rng.normal();
+}
+
+double rel_diff(std::span<const double> a, std::span<const double> b, double eps) {
+  assert(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num) / std::max(std::sqrt(den), eps);
+}
+
+}  // namespace ingrass

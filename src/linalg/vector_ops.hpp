@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+/// Dense vector kernels used by the iterative solvers and Krylov builders.
+/// All spans must have equal length; that is checked with assertions in
+/// debug builds only (these are inner-loop kernels).
+
+using Vec = std::vector<double>;
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double norm2(std::span<const double> a);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// y = x + beta * y  (classic CG direction update)
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+void scale(std::span<double> x, double alpha);
+void fill(std::span<double> x, double value);
+void copy(std::span<const double> src, std::span<double> dst);
+
+/// Subtract the mean from x, making it orthogonal to the all-ones vector —
+/// the null space of a connected graph's Laplacian. Solvers call this on
+/// right-hand sides and iterates to keep the singular system consistent.
+void project_out_ones(std::span<double> x);
+
+/// Fill with unit-variance Gaussian entries.
+void randomize(std::span<double> x, Rng& rng);
+
+/// Relative difference ||a-b|| / max(||b||, eps).
+[[nodiscard]] double rel_diff(std::span<const double> a, std::span<const double> b,
+                              double eps = 1e-30);
+
+}  // namespace ingrass

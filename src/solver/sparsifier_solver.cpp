@@ -1,0 +1,110 @@
+#include "solver/sparsifier_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spectral/laplacian.hpp"
+
+namespace ingrass {
+
+SparsifierSolver::SparsifierSolver(const Graph& g, const Graph& h,
+                                   const Options& opts)
+    : csr_g_(build_csr(g)), csr_h_(build_csr(h)), opts_(opts) {
+  if (g.num_nodes() != h.num_nodes()) {
+    throw std::invalid_argument("SparsifierSolver: node sets differ");
+  }
+  Vec diag = csr_h_.degree;
+  for (double& d : diag) {
+    if (!(d > 0.0)) d = 1.0;  // isolated sparsifier node: harmless fallback
+  }
+  jacobi_h_ = JacobiPreconditioner(std::move(diag));
+}
+
+void SparsifierSolver::update_sparsifier(const Graph& h) {
+  if (h.num_nodes() != csr_g_.num_nodes()) {
+    throw std::invalid_argument("SparsifierSolver: node sets differ");
+  }
+  csr_h_ = build_csr(h);
+  Vec diag = csr_h_.degree;
+  for (double& d : diag) {
+    if (!(d > 0.0)) d = 1.0;
+  }
+  jacobi_h_ = JacobiPreconditioner(std::move(diag));
+}
+
+SparsifierSolver::Result SparsifierSolver::solve(std::span<const double> b,
+                                                 std::span<double> x) const {
+  const std::size_t n = b.size();
+  if (x.size() != n || static_cast<NodeId>(n) != csr_g_.num_nodes()) {
+    throw std::invalid_argument("SparsifierSolver::solve: size mismatch");
+  }
+  const LinOp apply_g = laplacian_operator(csr_g_);
+  const LinOp apply_h = laplacian_operator(csr_h_);
+
+  // Preconditioner: z ~= L_H^+ r via a fixed number of Jacobi-PCG steps.
+  CgOptions inner;
+  inner.max_iters = opts_.inner_iters;
+  inner.rel_tol = 1e-12;  // run the fixed budget; tolerance rarely binds
+  inner.project_nullspace = true;
+  Vec z(n);
+  auto precondition = [&](const Vec& r, Vec& out) {
+    fill(out, 0.0);
+    pcg(apply_h, r, out, &jacobi_h_, inner);
+    project_out_ones(out);
+  };
+
+  Vec rhs(b.begin(), b.end());
+  project_out_ones(rhs);
+  project_out_ones(x);
+  const double bnorm = norm2(rhs);
+
+  Result res;
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    res.converged = true;
+    return res;
+  }
+
+  Vec r(n), p(n), ap(n), z_prev(n);
+  apply_g(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - r[i];
+  project_out_ones(r);
+  precondition(r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+
+  for (int it = 0; it < opts_.max_outer_iters; ++it) {
+    const double rnorm = norm2(r);
+    res.relative_residual = rnorm / bnorm;
+    if (res.relative_residual <= opts_.outer_tol) {
+      res.converged = true;
+      res.outer_iterations = it;
+      return res;
+    }
+    apply_g(p, ap);
+    project_out_ones(ap);
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) {
+      res.outer_iterations = it;
+      return res;
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    copy(z, z_prev);
+    axpy(-alpha, ap, r);
+    precondition(r, z);
+    // Flexible CG (Polak-Ribiere): beta = r^T (z - z_prev) / rz_old —
+    // robust to the inexact, slightly varying preconditioner.
+    double rz_diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_diff += r[i] * (z[i] - z_prev[i]);
+    const double beta = std::max(0.0, rz_diff / rz);
+    rz = dot(r, z);
+    xpby(z, beta, p);
+  }
+  res.outer_iterations = opts_.max_outer_iters;
+  res.relative_residual = norm2(r) / bnorm;
+  res.converged = res.relative_residual <= opts_.outer_tol;
+  return res;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/jacobi.hpp"
+
+namespace ingrass {
+
+/// Sparsifier-preconditioned Laplacian solver — the application that
+/// motivates spectral sparsification in the paper's introduction
+/// (nearly-linear-time solvers for SDD systems, vectorless power-grid
+/// verification, circuit simulation).
+///
+/// Solves L_G x = b with preconditioned conjugate gradient where the
+/// preconditioner is an (inexact) solve with the sparsifier's Laplacian
+/// L_H: a few inner Jacobi-PCG iterations on H per outer step. Because the
+/// inner solve is inexact the outer iteration uses *flexible* CG
+/// (Polak-Ribiere beta), which tolerates a varying preconditioner.
+///
+/// Outer iteration count tracks sqrt(kappa(L_G, L_H)) — this is exactly
+/// why inGRASS maintaining a low kappa under edge insertions matters
+/// downstream: a stale sparsifier makes every subsequent solve slower.
+class SparsifierSolver {
+ public:
+  struct Options {
+    int inner_iters = 24;       // PCG steps on L_H per preconditioner apply
+    double outer_tol = 1e-8;    // relative residual target on L_G
+    int max_outer_iters = 2000;
+  };
+
+  struct Result {
+    int outer_iterations = 0;
+    double relative_residual = 0.0;
+    bool converged = false;
+  };
+
+  /// Snapshot both graphs' Laplacians. Both must share the node set.
+  SparsifierSolver(const Graph& g, const Graph& h, const Options& opts);
+  SparsifierSolver(const Graph& g, const Graph& h)
+      : SparsifierSolver(g, h, Options{}) {}
+
+  /// Solve L_G x = b (projected onto range(L_G)); x is the starting guess.
+  Result solve(std::span<const double> b, std::span<double> x) const;
+
+  /// Refresh the sparsifier snapshot after incremental updates, keeping
+  /// the (unchanged) original-graph side.
+  void update_sparsifier(const Graph& h);
+
+ private:
+  CsrAdjacency csr_g_;
+  CsrAdjacency csr_h_;
+  JacobiPreconditioner jacobi_h_;
+  Options opts_;
+};
+
+}  // namespace ingrass

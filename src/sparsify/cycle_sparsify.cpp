@@ -1,0 +1,149 @@
+#include "sparsify/cycle_sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "sparsify/density.hpp"
+#include "tree/lca.hpp"
+#include "tree/rooted_tree.hpp"
+#include "tree/spanning_tree.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+std::vector<int> fundamental_cycle_lengths(const Graph& g,
+                                           const std::vector<EdgeId>& forest,
+                                           const std::vector<EdgeId>& off_tree) {
+  const RootedTree tree(g, forest);
+  const LcaIndex lca(tree);
+  std::vector<int> lengths;
+  lengths.reserve(off_tree.size());
+  for (const EdgeId e : off_tree) {
+    const Edge& edge = g.edge(e);
+    const NodeId a = lca.lca(edge.u, edge.v);
+    if (a == kInvalidNode) {
+      lengths.push_back(-1);  // cross-component: no cycle (forest input)
+      continue;
+    }
+    const int hops = static_cast<int>(tree.depth(edge.u)) +
+                     static_cast<int>(tree.depth(edge.v)) -
+                     2 * static_cast<int>(tree.depth(a));
+    lengths.push_back(hops + 1);  // + the off-tree edge itself
+  }
+  return lengths;
+}
+
+namespace {
+
+/// The tree edge of maximum weight on the fundamental-cycle path of an
+/// off-tree edge, as an index into the *sparsifier* (which stores the tree
+/// edges first, in `tree` order). Walks parent pointers from both
+/// endpoints to their LCA.
+EdgeId strongest_path_edge(const Graph& g, const RootedTree& tree, const LcaIndex& lca,
+                           const std::vector<EdgeId>& host_to_sparse, NodeId u,
+                           NodeId v) {
+  const NodeId a = lca.lca(u, v);
+  EdgeId best = kInvalidEdge;
+  double best_w = -1.0;
+  auto climb = [&](NodeId from) {
+    for (NodeId x = from; x != a; x = tree.parent(x)) {
+      const EdgeId host = tree.parent_edge(x);
+      const double w = g.edge(host).w;
+      if (w > best_w) {
+        best_w = w;
+        best = host_to_sparse[static_cast<std::size_t>(host)];
+      }
+    }
+  };
+  climb(u);
+  climb(v);
+  return best;
+}
+
+}  // namespace
+
+CycleSparsifyResult cycle_sparsify(const Graph& g, const CycleSparsifyOptions& opts) {
+  if (!is_connected(g)) {
+    throw std::invalid_argument("cycle_sparsify: input graph must be connected");
+  }
+  int max_hops = opts.short_cycle_max_hops;
+  if (max_hops == 0) {
+    max_hops = 2 * static_cast<int>(std::ceil(
+                       std::log2(std::max<double>(2.0, g.num_nodes()))));
+  }
+  if (max_hops < 3) {
+    throw std::invalid_argument(
+        "cycle_sparsify: a cycle has at least 3 hops; raise short_cycle_max_hops");
+  }
+
+  const std::vector<EdgeId> tree = max_weight_spanning_forest(g);
+  const TreeSplit split = split_by_forest(g, tree);
+  const std::vector<int> cycle_len =
+      fundamental_cycle_lengths(g, tree, split.off_tree);
+
+  // Partition off-tree edges by cycle length.
+  std::vector<EdgeId> long_edges;
+  std::vector<EdgeId> short_edges;
+  for (std::size_t i = 0; i < split.off_tree.size(); ++i) {
+    if (cycle_len[i] > max_hops) {
+      long_edges.push_back(split.off_tree[i]);
+    } else {
+      short_edges.push_back(split.off_tree[i]);
+    }
+  }
+
+  // Keep probability for short-cycle edges: whatever budget the always-kept
+  // long-cycle edges leave over, in expectation.
+  const EdgeId budget =
+      offtree_edge_budget(g.num_nodes(), opts.target_offtree_density);
+  const EdgeId left = budget - static_cast<EdgeId>(long_edges.size());
+  double p = 1.0;
+  if (!short_edges.empty()) {
+    p = std::clamp(static_cast<double>(std::max<EdgeId>(left, 0)) /
+                       static_cast<double>(short_edges.size()),
+                   0.0, 1.0);
+  }
+
+  CycleSparsifyResult res;
+  res.tree_edges = static_cast<EdgeId>(tree.size());
+  res.keep_probability = p;
+  res.sparsifier = Graph(g.num_nodes());
+  res.sparsifier.reserve_edges(res.tree_edges + budget);
+  // host edge id -> sparsifier edge id, for the weight-folding target.
+  std::vector<EdgeId> host_to_sparse(static_cast<std::size_t>(g.num_edges()),
+                                     kInvalidEdge);
+  for (const EdgeId e : tree) {
+    const Edge& edge = g.edge(e);
+    host_to_sparse[static_cast<std::size_t>(e)] =
+        res.sparsifier.add_edge(edge.u, edge.v, edge.w);
+  }
+  for (const EdgeId e : long_edges) {
+    const Edge& edge = g.edge(e);
+    res.sparsifier.add_edge(edge.u, edge.v, edge.w);
+    ++res.kept_long;
+  }
+
+  const RootedTree rooted(g, tree);
+  const LcaIndex lca(rooted);
+  Rng rng(opts.seed);
+  for (const EdgeId e : short_edges) {
+    const Edge& edge = g.edge(e);
+    if (p > 0.0 && rng.uniform() < p) {
+      res.sparsifier.add_edge(edge.u, edge.v, edge.w);
+      ++res.kept_short_sampled;
+    } else {
+      // Fold the dropped conductance onto the cycle's low-resistance
+      // detour: total weight is conserved exactly.
+      const EdgeId target =
+          strongest_path_edge(g, rooted, lca, host_to_sparse, edge.u, edge.v);
+      res.sparsifier.add_to_weight(target, edge.w);
+      res.folded_weight += edge.w;
+      ++res.dropped_short;
+    }
+  }
+  return res;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Short-cycle-decomposition spectral sparsification (paper §II-B,
+/// Lemma 2.1; Chu et al., "Graph sparsification, spectral sketches, and
+/// faster resistance computation via short cycle decompositions", SICOMP
+/// 2020). Practical single-level variant built on a spanning-tree cycle
+/// basis:
+///
+///  * a maximum-weight spanning tree is the backbone (its N-1 edges are
+///    always kept);
+///  * every off-tree edge closes one fundamental cycle through the tree;
+///    the cycle's hop length is depth(u) + depth(v) - 2 depth(lca) + 1;
+///  * *long*-cycle edges (hops > short_cycle_max_hops) are kept — a long
+///    tree detour means high stretch, the spectrally-critical case;
+///  * *short*-cycle edges are redundant within their cycle: each is kept
+///    with a uniform probability chosen so the expected off-tree count
+///    meets the density budget (after the always-kept long-cycle edges
+///    are charged against it), and every *dropped* edge folds its weight
+///    onto the strongest tree edge of its fundamental cycle — the cycle's
+///    low-resistance detour absorbs the dropped conductance, so the total
+///    graph weight is conserved exactly and the quadratic form
+///    x^T L_H x ~ x^T L_G x of Lemma 2.1 is preserved through the detour.
+///
+/// The achieved off-tree density is therefore max(budget, long-edge
+/// fraction): critical long-cycle edges set a floor the sampler will not
+/// cut below.
+///
+/// Role in this library: an alternative *initial-sparsifier construction*
+/// (the paper cites short-cycle decomposition as the TCS route to the same
+/// object GRASS builds) and a reference point for the ablation benches.
+struct CycleSparsifyOptions {
+  /// Off-tree density budget (fraction of N), expectation not exact count,
+  /// floored by the long-cycle edge fraction.
+  double target_offtree_density = 0.10;
+  /// Fundamental cycles with at most this many hops count as short.
+  /// 0 = auto: 2 * ceil(log2 N) — the O(log n) cycle length the short-
+  /// cycle-decomposition literature targets, which scales with the tree
+  /// depth instead of hard-coding a mesh-specific constant.
+  int short_cycle_max_hops = 0;
+  std::uint64_t seed = 1;
+};
+
+struct CycleSparsifyResult {
+  Graph sparsifier;
+  EdgeId tree_edges = 0;
+  /// Off-tree edges kept because their fundamental cycle is long.
+  EdgeId kept_long = 0;
+  /// Short-cycle off-tree edges that survived sampling (original weight).
+  EdgeId kept_short_sampled = 0;
+  /// Short-cycle off-tree edges dropped; their weight was folded onto the
+  /// strongest tree edge of their fundamental cycle.
+  EdgeId dropped_short = 0;
+  /// Total weight folded onto tree edges by dropped short-cycle edges.
+  double folded_weight = 0.0;
+  /// The uniform keep probability used for short-cycle edges.
+  double keep_probability = 1.0;
+};
+
+/// Sparsify g (must be connected). O(E log N) — LCA queries dominate.
+[[nodiscard]] CycleSparsifyResult cycle_sparsify(const Graph& g,
+                                                 const CycleSparsifyOptions& opts = {});
+
+/// Hop length of the fundamental cycle each off-tree edge closes with the
+/// given spanning forest, indexed like `off_tree`. Exposed for tests and
+/// the cycle-length ablation bench.
+[[nodiscard]] std::vector<int> fundamental_cycle_lengths(
+    const Graph& g, const std::vector<EdgeId>& forest,
+    const std::vector<EdgeId>& off_tree);
+
+}  // namespace ingrass

@@ -1,0 +1,33 @@
+#include "sparsify/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ingrass {
+
+double offtree_density(const Graph& h) {
+  const double n = h.num_nodes();
+  if (n <= 1.0) return 0.0;
+  const double off = static_cast<double>(h.num_edges()) - (n - 1.0);
+  return std::max(0.0, off) / n;
+}
+
+double offtree_density_with(const Graph& h, EdgeId extra) {
+  const double n = h.num_nodes();
+  if (n <= 1.0) return 0.0;
+  const double off =
+      static_cast<double>(h.num_edges() + extra) - (n - 1.0);
+  return std::max(0.0, off) / n;
+}
+
+double edge_ratio(const Graph& h, const Graph& g) {
+  return g.num_edges() > 0
+             ? static_cast<double>(h.num_edges()) / static_cast<double>(g.num_edges())
+             : 0.0;
+}
+
+EdgeId offtree_edge_budget(NodeId num_nodes, double density) {
+  return static_cast<EdgeId>(std::llround(density * static_cast<double>(num_nodes)));
+}
+
+}  // namespace ingrass

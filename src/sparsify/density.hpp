@@ -1,0 +1,25 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Density conventions from the GRASS literature (and this paper's tables).
+///
+/// The paper's "density D = |E|/|V| = 10%" is the *off-tree density*: the
+/// number of sparsifier edges beyond the N-1 spanning-tree backbone,
+/// relative to N. A connected sparsifier with 1.10*N edges has D = 10%.
+
+/// Off-tree density of a sparsifier: (|E_H| - (N - 1)) / N, clamped at 0.
+[[nodiscard]] double offtree_density(const Graph& h);
+
+/// Off-tree density that graph h would need to contain `extra` more edges.
+[[nodiscard]] double offtree_density_with(const Graph& h, EdgeId extra);
+
+/// Edge-count ratio |E_H| / |E_G| (a secondary sanity metric).
+[[nodiscard]] double edge_ratio(const Graph& h, const Graph& g);
+
+/// Number of off-tree edges a sparsifier at the given off-tree density has.
+[[nodiscard]] EdgeId offtree_edge_budget(NodeId num_nodes, double density);
+
+}  // namespace ingrass

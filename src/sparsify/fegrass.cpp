@@ -1,0 +1,146 @@
+#include "sparsify/fegrass.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/components.hpp"
+#include "sparsify/density.hpp"
+#include "tree/tree_resistance.hpp"
+#include "tree/union_find.hpp"
+
+namespace ingrass {
+
+double fegrass_effective_weight(const Graph& g, const Edge& e, double influence) {
+  if (influence <= 0.0) return e.w;
+  const double hub = std::sqrt(g.weighted_degree(e.u) * g.weighted_degree(e.v));
+  return e.w * (1.0 + influence * std::log1p(hub / e.w));
+}
+
+namespace {
+
+/// Kruskal maximum spanning forest under the effective-weight score.
+std::vector<EdgeId> effective_weight_forest(const Graph& g, double influence) {
+  std::vector<double> score(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    score[static_cast<std::size_t>(e)] =
+        fegrass_effective_weight(g, g.edge(e), influence);
+  }
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const double sa = score[static_cast<std::size_t>(a)];
+    const double sb = score[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;  // deterministic tie-break
+  });
+  UnionFind uf(g.num_nodes());
+  std::vector<EdgeId> forest;
+  forest.reserve(static_cast<std::size_t>(g.num_nodes()) - 1);
+  for (const EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    if (uf.unite(edge.u, edge.v)) forest.push_back(e);
+  }
+  return forest;
+}
+
+/// Endpoint-disjoint recovery: repeated passes over the stretch ranking,
+/// each admitting at most one edge per node, until `budget` edges are
+/// taken (same similarity-aware idea as GRASS's spread_order, but here it
+/// *is* the selection — feGRASS never re-ranks or evaluates kappa).
+std::vector<EdgeId> recover_offtree(const Graph& g, const std::vector<EdgeId>& ranked,
+                                    EdgeId budget, int rounds) {
+  std::vector<EdgeId> picked;
+  picked.reserve(static_cast<std::size_t>(budget));
+  if (budget <= 0) return picked;
+  if (rounds <= 0) {
+    picked.assign(ranked.begin(),
+                  ranked.begin() + std::min<std::ptrdiff_t>(
+                                       budget, static_cast<std::ptrdiff_t>(ranked.size())));
+    return picked;
+  }
+  std::vector<char> taken(ranked.size(), 0);
+  std::vector<char> used(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (int r = 0; r < rounds && static_cast<EdgeId>(picked.size()) < budget; ++r) {
+    std::fill(used.begin(), used.end(), 0);
+    bool any = false;
+    for (std::size_t i = 0;
+         i < ranked.size() && static_cast<EdgeId>(picked.size()) < budget; ++i) {
+      if (taken[i]) continue;
+      const Edge& e = g.edge(ranked[i]);
+      if (used[static_cast<std::size_t>(e.u)] || used[static_cast<std::size_t>(e.v)]) {
+        continue;
+      }
+      used[static_cast<std::size_t>(e.u)] = used[static_cast<std::size_t>(e.v)] = 1;
+      taken[i] = 1;
+      picked.push_back(ranked[i]);
+      any = true;
+    }
+    if (!any) break;
+  }
+  // Budget not exhausted by disjoint rounds: top up in rank order.
+  for (std::size_t i = 0;
+       i < ranked.size() && static_cast<EdgeId>(picked.size()) < budget; ++i) {
+    if (!taken[i]) picked.push_back(ranked[i]);
+  }
+  return picked;
+}
+
+}  // namespace
+
+FegrassResult fegrass_sparsify(const Graph& g, const FegrassOptions& opts) {
+  if (!is_connected(g)) {
+    throw std::invalid_argument("fegrass_sparsify: input graph must be connected");
+  }
+
+  // Phase 1: maximum effective-weight spanning tree.
+  const std::vector<EdgeId> tree = effective_weight_forest(g, opts.degree_influence);
+
+  // Phase 2: rank off-tree edges by exact tree stretch and recover
+  // endpoint-disjointly up to the density budget.
+  const TreePathResistance tree_res(g, tree);
+  std::vector<EdgeId> ranked;
+  {
+    std::vector<char> in_tree(static_cast<std::size_t>(g.num_edges()), 0);
+    for (const EdgeId e : tree) in_tree[static_cast<std::size_t>(e)] = 1;
+    ranked.reserve(static_cast<std::size_t>(g.num_edges() - static_cast<EdgeId>(tree.size())));
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!in_tree[static_cast<std::size_t>(e)]) ranked.push_back(e);
+    }
+  }
+  std::vector<double> stretch(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const EdgeId e : ranked) {
+    stretch[static_cast<std::size_t>(e)] = tree_res.distortion(g.edge(e));
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](EdgeId a, EdgeId b) {
+    const double sa = stretch[static_cast<std::size_t>(a)];
+    const double sb = stretch[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+
+  const EdgeId budget =
+      std::min(static_cast<EdgeId>(ranked.size()),
+               offtree_edge_budget(g.num_nodes(), opts.target_offtree_density));
+  const std::vector<EdgeId> recovered =
+      recover_offtree(g, ranked, budget, opts.spread_rounds);
+
+  FegrassResult res;
+  res.tree_edges = static_cast<EdgeId>(tree.size());
+  res.offtree_edges = static_cast<EdgeId>(recovered.size());
+  res.sparsifier = Graph(g.num_nodes());
+  res.sparsifier.reserve_edges(res.tree_edges + res.offtree_edges);
+  for (const EdgeId e : tree) {
+    const Edge& edge = g.edge(e);
+    res.sparsifier.add_edge(edge.u, edge.v, edge.w);
+  }
+  for (const EdgeId e : recovered) {
+    const Edge& edge = g.edge(e);
+    res.sparsifier.add_edge(edge.u, edge.v, edge.w);
+  }
+  return res;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,143 @@
+#include "sparsify/grass.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "sparsify/density.hpp"
+#include "tree/spanning_tree.hpp"
+#include "tree/tree_resistance.hpp"
+
+namespace ingrass {
+
+namespace {
+
+/// Build H = tree + the first `count` ranked off-tree edges.
+Graph assemble(const Graph& g, const std::vector<EdgeId>& tree,
+               const std::vector<EdgeId>& ranked_offtree, EdgeId count) {
+  Graph h(g.num_nodes());
+  h.reserve_edges(static_cast<EdgeId>(tree.size()) + count);
+  for (const EdgeId e : tree) {
+    const Edge& edge = g.edge(e);
+    h.add_edge(edge.u, edge.v, edge.w);
+  }
+  for (EdgeId i = 0; i < count; ++i) {
+    const Edge& edge = g.edge(ranked_offtree[static_cast<std::size_t>(i)]);
+    h.add_edge(edge.u, edge.v, edge.w);
+  }
+  return h;
+}
+
+/// Reorder the distortion-ranked edge list so that early prefixes are
+/// spatially spread: repeated passes over the ranking, each admitting at
+/// most one edge per endpoint. Mutually-redundant edges piled on the same
+/// weak region get pushed to later prefixes (similarity-aware filtering).
+std::vector<EdgeId> spread_order(const Graph& g, const std::vector<EdgeId>& ranked,
+                                 int rounds) {
+  if (rounds <= 0) return ranked;
+  std::vector<EdgeId> order;
+  order.reserve(ranked.size());
+  std::vector<char> taken(ranked.size(), 0);
+  std::vector<char> used(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::size_t remaining = ranked.size();
+  for (int r = 0; r < rounds && remaining > 0; ++r) {
+    std::fill(used.begin(), used.end(), 0);
+    bool any = false;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      if (taken[i]) continue;
+      const Edge& e = g.edge(ranked[i]);
+      if (used[static_cast<std::size_t>(e.u)] || used[static_cast<std::size_t>(e.v)]) {
+        continue;
+      }
+      used[static_cast<std::size_t>(e.u)] = used[static_cast<std::size_t>(e.v)] = 1;
+      taken[i] = 1;
+      order.push_back(ranked[i]);
+      --remaining;
+      any = true;
+    }
+    if (!any) break;
+  }
+  for (std::size_t i = 0; i < ranked.size(); ++i) {  // leftovers keep rank order
+    if (!taken[i]) order.push_back(ranked[i]);
+  }
+  return order;
+}
+
+}  // namespace
+
+GrassResult grass_sparsify(const Graph& g, const GrassOptions& opts) {
+  if (!is_connected(g)) {
+    throw std::invalid_argument("grass_sparsify: input graph must be connected");
+  }
+
+  // 1. Backbone tree.
+  const std::vector<EdgeId> tree = max_weight_spanning_forest(g);
+
+  // 2. Exact tree-path distortion ranking of off-tree edges.
+  const TreePathResistance tree_res(g, tree);
+  const TreeSplit split = split_by_forest(g, tree);
+  std::vector<EdgeId> ranked = split.off_tree;
+  std::vector<double> score(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (const EdgeId e : ranked) {
+    score[static_cast<std::size_t>(e)] = tree_res.distortion(g.edge(e));
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](EdgeId a, EdgeId b) {
+    const double sa = score[static_cast<std::size_t>(a)];
+    const double sb = score[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  ranked = spread_order(g, ranked, opts.spread_rounds);
+
+  GrassResult res;
+  res.tree_edges = static_cast<EdgeId>(tree.size());
+
+  const auto max_off = static_cast<EdgeId>(ranked.size());
+
+  if (opts.target_condition.has_value()) {
+    // 3a. kappa-targeted: doubling scan for an upper bracket, then bisect.
+    // kappa(count) is monotone non-increasing in count, so bisection is
+    // sound; each probe costs one kappa estimation.
+    const double target = *opts.target_condition * opts.condition_safety;
+    auto kappa_at = [&](EdgeId count) {
+      const Graph h = assemble(g, tree, ranked, count);
+      ++res.condition_evals;
+      return condition_number(g, h, opts.cond);
+    };
+
+    EdgeId lo = 0;  // known kappa > target (or untested)
+    EdgeId hi = std::max<EdgeId>(EdgeId{1}, g.num_nodes() / 50);
+    hi = std::min(hi, max_off);
+    double kappa_hi = kappa_at(hi);
+    while (kappa_hi > target && hi < max_off) {
+      lo = hi;
+      hi = std::min<EdgeId>(hi * 2, max_off);
+      kappa_hi = kappa_at(hi);
+    }
+    if (kappa_hi <= target) {
+      // Bisect down to ~6% bracket width to limit kappa evaluations.
+      while (hi - lo > std::max<EdgeId>(EdgeId{8}, hi / 16)) {
+        const EdgeId mid = lo + (hi - lo) / 2;
+        if (kappa_at(mid) <= target) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+    }
+    res.sparsifier = assemble(g, tree, ranked, hi);
+    res.offtree_edges = hi;
+    res.achieved_condition = condition_number(g, res.sparsifier, opts.cond);
+    ++res.condition_evals;
+    return res;
+  }
+
+  // 3b. Density-targeted.
+  const double density = opts.target_offtree_density.value_or(0.10);
+  const EdgeId budget = std::min(max_off, offtree_edge_budget(g.num_nodes(), density));
+  res.sparsifier = assemble(g, tree, ranked, budget);
+  res.offtree_edges = budget;
+  return res;
+}
+
+}  // namespace ingrass

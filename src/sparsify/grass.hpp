@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+
+/// From-scratch spectral sparsifier in the GRASS lineage (Feng, TCAD'20):
+/// the comparison baseline the paper re-runs after every insertion batch.
+///
+/// Recipe:
+///  1. Backbone: maximum-weight spanning tree of G (keeps the strongest
+///     conductances; a practical low-stretch stand-in).
+///  2. Rank every off-tree edge by its spectral distortion against the
+///     tree, w_e * R_T(e), computed exactly with LCA tree-path resistance
+///     (spectral perturbation analysis: high-distortion edges fix the
+///     smallest pencil eigenvalues first).
+///  3. Recover off-tree edges in descending distortion order until the
+///     stopping target is met: either a fixed off-tree density, or a
+///     target condition number (checked with geometrically growing
+///     prefixes + bisection, since kappa decreases monotonically as edges
+///     are added).
+struct GrassOptions {
+  /// Stop after reaching this off-tree density (edges beyond the tree per
+  /// node). Used to construct H(0) in the experiments.
+  std::optional<double> target_offtree_density = 0.10;
+
+  /// Alternatively stop as soon as kappa(L_G, L_H) <= this value. When both
+  /// targets are set, the density target is ignored.
+  std::optional<double> target_condition;
+
+  /// kappa estimation settings for the condition-targeted mode.
+  ConditionNumberOptions cond;
+
+  /// Extra multiplicative headroom on the bisection result (1.0 = exact).
+  double condition_safety = 1.0;
+
+  /// Similarity-aware spreading (DAC'18-style edge filtering): recovered
+  /// edges are picked in rounds, each round admitting at most one edge per
+  /// endpoint, so the budget is not blown on a cluster of mutually
+  /// redundant high-distortion edges in one weak region. 0 disables.
+  int spread_rounds = 16;
+};
+
+struct GrassResult {
+  Graph sparsifier;
+  EdgeId tree_edges = 0;
+  EdgeId offtree_edges = 0;
+  /// kappa at the stopping point when condition-targeted (0 otherwise).
+  double achieved_condition = 0.0;
+  int condition_evals = 0;  // number of kappa estimations performed
+};
+
+/// Run the full sparsification pass on g. Requires a connected graph.
+[[nodiscard]] GrassResult grass_sparsify(const Graph& g, const GrassOptions& opts = {});
+
+}  // namespace ingrass

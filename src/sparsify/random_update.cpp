@@ -1,0 +1,48 @@
+#include "sparsify/random_update.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ingrass {
+
+RandomUpdateResult random_update(const Graph& g, Graph& h, std::span<const Edge> batch,
+                                 const RandomUpdateOptions& opts) {
+  if (!(opts.target_condition > 0.0)) {
+    throw std::invalid_argument("random_update: target_condition required");
+  }
+  RandomUpdateResult res;
+  if (batch.empty()) {
+    res.achieved_condition = condition_number(g, h, opts.cond);
+    ++res.condition_evals;
+    return res;
+  }
+
+  std::vector<Edge> pool(batch.begin(), batch.end());
+  Rng rng(opts.seed);
+  shuffle(pool, rng);
+
+  std::size_t included = 0;
+  auto include_up_to = [&](std::size_t count) {
+    for (; included < count && included < pool.size(); ++included) {
+      const Edge& e = pool[included];
+      h.add_or_merge_edge(e.u, e.v, e.w);
+      ++res.edges_added;
+    }
+  };
+
+  std::size_t next = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opts.initial_fraction * static_cast<double>(pool.size())));
+  while (true) {
+    include_up_to(next);
+    res.achieved_condition = condition_number(g, h, opts.cond);
+    ++res.condition_evals;
+    if (res.achieved_condition <= opts.target_condition || included >= pool.size()) break;
+    next = std::max<std::size_t>(
+        included + 1,
+        static_cast<std::size_t>(static_cast<double>(included) * opts.chunk_growth));
+  }
+  return res;
+}
+
+}  // namespace ingrass

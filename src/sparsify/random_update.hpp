@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+/// "Random" incremental baseline from Table II: when a batch of new edges
+/// arrives, add a uniformly random subset of them to the sparsifier —
+/// growing the subset in chunks until the target condition number is met
+/// (or every edge is in). No spectral information is used, so it needs far
+/// more edges than GRASS/inGRASS to reach the same kappa.
+struct RandomUpdateOptions {
+  double target_condition = 0.0;  // required
+  ConditionNumberOptions cond;
+  /// Chunk growth factor for the kappa-checked inclusion loop.
+  double chunk_growth = 2.0;
+  /// First chunk, as a fraction of the batch.
+  double initial_fraction = 0.25;
+  std::uint64_t seed = 99;
+};
+
+struct RandomUpdateResult {
+  EdgeId edges_added = 0;
+  double achieved_condition = 0.0;
+  int condition_evals = 0;
+};
+
+/// Mutates `h` by inserting randomly chosen edges from `batch` until
+/// kappa(L_g, L_h) <= target (g must already contain the batch).
+RandomUpdateResult random_update(const Graph& g, Graph& h, std::span<const Edge> batch,
+                                 const RandomUpdateOptions& opts);
+
+}  // namespace ingrass

@@ -1,0 +1,106 @@
+#include "spectral/condition_number.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/jacobi.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+namespace {
+
+/// Power iteration for the largest generalized eigenvalue of the pencil
+/// (L_num, L_den): repeatedly x <- L_den^+ (L_num x), tracking the Rayleigh
+/// quotient (x^T L_num x)/(x^T L_den x).
+struct PencilSide {
+  const CsrAdjacency& num;
+  const CsrAdjacency& den;
+  const JacobiPreconditioner& den_precond;
+};
+
+double pencil_lambda_max(const PencilSide& side, const ConditionNumberOptions& opts,
+                         Rng& rng, int& iters_out) {
+  const auto n = static_cast<std::size_t>(side.num.num_nodes());
+  const LinOp apply_num = laplacian_operator(side.num);
+  const LinOp apply_den = laplacian_operator(side.den);
+
+  Vec x(n), y(n), solved(n, 0.0);
+  randomize(x, rng);
+  project_out_ones(x);
+
+  CgOptions cg;
+  cg.rel_tol = opts.cg_tol;
+  cg.max_iters = opts.cg_max_iters;
+  cg.project_nullspace = true;
+
+  double lambda = 0.0;
+  iters_out = 0;
+  for (int it = 0; it < opts.power_iters; ++it) {
+    ++iters_out;
+    apply_num(x, y);          // y = L_num x
+    project_out_ones(y);
+    // Warm-start the solve from the previous solution direction.
+    pcg(apply_den, y, solved, &side.den_precond, cg);
+    project_out_ones(solved);
+
+    // Rayleigh quotient at the new iterate.
+    apply_num(solved, y);
+    const double num_q = dot(solved, y);
+    apply_den(solved, y);
+    const double den_q = dot(solved, y);
+    if (!(den_q > 0.0)) break;  // degenerate direction
+    const double next = num_q / den_q;
+
+    const double nv = norm2(solved);
+    if (nv == 0.0) break;
+    copy(solved, x);
+    scale(x, 1.0 / nv);
+    scale(solved, 1.0 / nv);  // keep the warm start well scaled
+
+    if (it > 2 && std::abs(next - lambda) <= opts.rel_change_tol * std::abs(next)) {
+      lambda = next;
+      break;
+    }
+    lambda = next;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+ConditionNumberResult relative_condition_number(const Graph& g, const Graph& h,
+                                                const ConditionNumberOptions& opts) {
+  if (g.num_nodes() != h.num_nodes()) {
+    throw std::invalid_argument("condition number: node sets differ");
+  }
+  if (!is_connected(g) || !is_connected(h)) {
+    throw std::invalid_argument("condition number: both graphs must be connected");
+  }
+
+  const CsrAdjacency csr_g = build_csr(g);
+  const CsrAdjacency csr_h = build_csr(h);
+  const JacobiPreconditioner pre_g{Vec(csr_g.degree)};
+  const JacobiPreconditioner pre_h{Vec(csr_h.degree)};
+
+  Rng rng(opts.seed);
+  ConditionNumberResult res;
+  // lambda_max(L_H^+ L_G)
+  res.lambda_max = pencil_lambda_max({csr_g, csr_h, pre_h}, opts, rng, res.iterations_max);
+  // lambda_min(L_H^+ L_G) = 1 / lambda_max(L_G^+ L_H)
+  const double inv_min =
+      pencil_lambda_max({csr_h, csr_g, pre_g}, opts, rng, res.iterations_min);
+  res.lambda_min = inv_min > 0.0 ? 1.0 / inv_min : 0.0;
+  res.kappa = res.lambda_min > 0.0 ? res.lambda_max / res.lambda_min : 0.0;
+  return res;
+}
+
+double condition_number(const Graph& g, const Graph& h,
+                        const ConditionNumberOptions& opts) {
+  return relative_condition_number(g, h, opts).kappa;
+}
+
+}  // namespace ingrass

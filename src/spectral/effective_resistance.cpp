@@ -1,0 +1,45 @@
+#include "spectral/effective_resistance.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ingrass {
+
+EffectiveResistanceOracle::EffectiveResistanceOracle(const Graph& g, const Options& opts)
+    : csr_(build_csr(g)), opts_(opts) {
+  component_ = connected_components(g).label;
+  // Isolated nodes have zero weighted degree; substitute 1 so the Jacobi
+  // preconditioner stays valid (such nodes are unreachable anyway).
+  Vec diag = csr_.degree;
+  for (double& d : diag) {
+    if (!(d > 0.0)) d = 1.0;
+  }
+  precond_ = JacobiPreconditioner(std::move(diag));
+}
+
+double EffectiveResistanceOracle::resistance(NodeId p, NodeId q) const {
+  const NodeId n = csr_.num_nodes();
+  if (p < 0 || p >= n || q < 0 || q >= n) {
+    throw std::out_of_range("resistance: bad node id");
+  }
+  if (p == q) return 0.0;
+  if (component_[static_cast<std::size_t>(p)] != component_[static_cast<std::size_t>(q)]) {
+    return std::numeric_limits<double>::infinity();
+  }
+  Vec b(static_cast<std::size_t>(n), 0.0);
+  b[static_cast<std::size_t>(p)] = 1.0;
+  b[static_cast<std::size_t>(q)] = -1.0;
+  Vec x(static_cast<std::size_t>(n), 0.0);
+  const LinOp lap = laplacian_operator(csr_);
+  CgOptions cg;
+  cg.rel_tol = opts_.cg_tol;
+  cg.max_iters = opts_.cg_max_iters;
+  cg.project_nullspace = true;
+  pcg(lap, b, x, &precond_, cg);
+  return x[static_cast<std::size_t>(p)] - x[static_cast<std::size_t>(q)];
+}
+
+}  // namespace ingrass

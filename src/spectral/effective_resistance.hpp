@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/jacobi.hpp"
+
+namespace ingrass {
+
+/// Exact effective-resistance oracle: R(p,q) = b_pq^T L^+ b_pq computed by
+/// a Jacobi-preconditioned CG solve per query (paper eq. 2, evaluated
+/// directly rather than via eigenvectors).
+///
+/// This is the ground-truth reference the fast embedding is validated
+/// against in tests and ablation benches; it is also accurate enough to
+/// serve as the resistance source for LRD decomposition on small graphs.
+/// Queries on disconnected node pairs return +infinity.
+class EffectiveResistanceOracle {
+ public:
+  struct Options {
+    double cg_tol = 1e-10;
+    int cg_max_iters = 20'000;
+  };
+
+  EffectiveResistanceOracle(const Graph& g, const Options& opts);
+  explicit EffectiveResistanceOracle(const Graph& g)
+      : EffectiveResistanceOracle(g, Options{}) {}
+
+  /// Exact (to CG tolerance) effective resistance between p and q.
+  [[nodiscard]] double resistance(NodeId p, NodeId q) const;
+
+  [[nodiscard]] NodeId num_nodes() const { return csr_.num_nodes(); }
+
+ private:
+  CsrAdjacency csr_;
+  JacobiPreconditioner precond_;
+  std::vector<NodeId> component_;  // component label per node
+  Options opts_;
+};
+
+}  // namespace ingrass

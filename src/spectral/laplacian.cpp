@@ -1,0 +1,74 @@
+#include "spectral/laplacian.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace ingrass {
+
+CsrMatrix laplacian_matrix(const Graph& g) {
+  std::vector<CsrMatrix::Triplet> t;
+  t.reserve(static_cast<std::size_t>(g.num_edges()) * 4);
+  for (const Edge& e : g.edges()) {
+    t.push_back({e.u, e.v, -e.w});
+    t.push_back({e.v, e.u, -e.w});
+    t.push_back({e.u, e.u, e.w});
+    t.push_back({e.v, e.v, e.w});
+  }
+  return CsrMatrix(g.num_nodes(), t);
+}
+
+CsrMatrix adjacency_matrix(const Graph& g) {
+  std::vector<CsrMatrix::Triplet> t;
+  t.reserve(static_cast<std::size_t>(g.num_edges()) * 2);
+  for (const Edge& e : g.edges()) {
+    t.push_back({e.u, e.v, e.w});
+    t.push_back({e.v, e.u, e.w});
+  }
+  return CsrMatrix(g.num_nodes(), t);
+}
+
+LinOp laplacian_operator(const CsrAdjacency& csr) {
+  return [&csr](std::span<const double> x, std::span<double> y) {
+    const NodeId n = csr.num_nodes();
+    assert(static_cast<NodeId>(x.size()) == n && static_cast<NodeId>(y.size()) == n);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto su = static_cast<std::size_t>(u);
+      double s = csr.degree[su] * x[su];
+      const auto begin = static_cast<std::size_t>(csr.offsets[su]);
+      const auto end = static_cast<std::size_t>(csr.offsets[su + 1]);
+      for (std::size_t i = begin; i < end; ++i) {
+        s -= csr.weights[i] * x[static_cast<std::size_t>(csr.targets[i])];
+      }
+      y[su] = s;
+    }
+  };
+}
+
+LinOp adjacency_operator(const CsrAdjacency& csr) {
+  return [&csr](std::span<const double> x, std::span<double> y) {
+    const NodeId n = csr.num_nodes();
+    assert(static_cast<NodeId>(x.size()) == n && static_cast<NodeId>(y.size()) == n);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto su = static_cast<std::size_t>(u);
+      double s = 0.0;
+      const auto begin = static_cast<std::size_t>(csr.offsets[su]);
+      const auto end = static_cast<std::size_t>(csr.offsets[su + 1]);
+      for (std::size_t i = begin; i < end; ++i) {
+        s += csr.weights[i] * x[static_cast<std::size_t>(csr.targets[i])];
+      }
+      y[su] = s;
+    }
+  };
+}
+
+double laplacian_quadratic(const Graph& g, std::span<const double> x) {
+  assert(static_cast<NodeId>(x.size()) == g.num_nodes());
+  double q = 0.0;
+  for (const Edge& e : g.edges()) {
+    const double d = x[static_cast<std::size_t>(e.u)] - x[static_cast<std::size_t>(e.v)];
+    q += e.w * d * d;
+  }
+  return q;
+}
+
+}  // namespace ingrass

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace ingrass {
+
+/// Graph Laplacian L = D - A as an explicit CSR matrix.
+[[nodiscard]] CsrMatrix laplacian_matrix(const Graph& g);
+
+/// Adjacency matrix A as CSR (parallel edges merged by weight sum).
+[[nodiscard]] CsrMatrix adjacency_matrix(const Graph& g);
+
+/// Matrix-free Laplacian matvec over a CSR adjacency snapshot:
+/// y[u] = deg(u) x[u] - sum_{v ~ u} w(u,v) x[v].
+/// The snapshot is captured by reference — it must outlive the operator.
+[[nodiscard]] LinOp laplacian_operator(const CsrAdjacency& csr);
+
+/// Matrix-free adjacency matvec over a CSR snapshot.
+[[nodiscard]] LinOp adjacency_operator(const CsrAdjacency& csr);
+
+/// Laplacian quadratic form x^T L x = sum_e w_e (x_u - x_v)^2, computed
+/// edge-wise (exact, no matrix needed).
+[[nodiscard]] double laplacian_quadratic(const Graph& g, std::span<const double> x);
+
+}  // namespace ingrass

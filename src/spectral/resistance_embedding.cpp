@@ -1,0 +1,174 @@
+#include "spectral/resistance_embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "linalg/krylov_basis.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "spectral/laplacian.hpp"
+#include "tree/spanning_tree.hpp"
+#include "tree/tree_resistance.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+namespace {
+
+/// One weighted-Jacobi relaxation sweep on L x = 0:
+/// x <- x - omega D^{-1} (L x). Damps high-frequency components so the
+/// Rayleigh quotients below emphasize the low eigenmodes that dominate
+/// effective resistance.
+void jacobi_smooth(const CsrAdjacency& csr, const LinOp& lap, Vec& x, Vec& scratch,
+                   double omega = 0.7) {
+  lap(x, scratch);
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = csr.degree[i];
+    if (d > 0.0) x[i] -= omega * scratch[i] / d;
+  }
+}
+
+}  // namespace
+
+ResistanceEmbedding ResistanceEmbedding::build(const Graph& g, const Options& opts) {
+  ResistanceEmbedding emb;
+  emb.n_ = g.num_nodes();
+  const auto n = static_cast<std::size_t>(emb.n_);
+  if (n == 0) return emb;
+
+  int order = opts.order;
+  if (order <= 0) {
+    order = static_cast<int>(std::ceil(std::log2(std::max<double>(2.0, emb.n_)))) + 4;
+  }
+
+  const CsrAdjacency csr = build_csr(g);
+  const LinOp adj = adjacency_operator(csr);
+  const LinOp lap = laplacian_operator(csr);
+
+  KrylovOptions kopts;
+  kopts.order = order;
+  kopts.deflate_ones = true;
+  kopts.seed = opts.seed;
+  KrylovBasis basis = build_krylov_basis(adj, n, kopts);
+
+  // Optionally smooth each basis vector toward the low-frequency end of
+  // the spectrum (the modes that dominate effective resistance), then
+  // restore orthonormality with a Gram-Schmidt pass so eq. 3's
+  // independent-direction sum stays valid.
+  Vec scratch(n);
+  if (opts.smoothing_steps > 0) {
+    for (std::size_t k = 0; k < basis.vectors.size(); ++k) {
+      Vec& v = basis.vectors[k];
+      for (int s = 0; s < opts.smoothing_steps; ++s) jacobi_smooth(csr, lap, v, scratch);
+      project_out_ones(v);
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t j = 0; j < k; ++j) {
+          const double c = dot(v, basis.vectors[j]);
+          axpy(-c, basis.vectors[j], v);
+        }
+      }
+      const double nv = norm2(v);
+      if (nv > 1e-12) {
+        scale(v, 1.0 / nv);
+      } else {
+        fill(v, 0.0);  // degenerate after smoothing; dropped below
+      }
+    }
+  }
+
+  // z_p[i] = u_i[p] / sqrt(u_i^T L u_i); skip directions with vanishing
+  // Rayleigh quotient (they carry no resistance information).
+  std::vector<std::pair<const Vec*, double>> kept;
+  kept.reserve(basis.vectors.size());
+  for (const Vec& v : basis.vectors) {
+    lap(v, scratch);
+    const double rayleigh = dot(v, scratch);
+    if (rayleigh > 1e-14) kept.emplace_back(&v, 1.0 / std::sqrt(rayleigh));
+  }
+
+  emb.dim_ = static_cast<int>(kept.size());
+  emb.coords_.assign(n * kept.size(), 0.0);
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    const Vec& v = *kept[k].first;
+    const double inv_sqrt_r = kept[k].second;
+    for (std::size_t p = 0; p < n; ++p) {
+      emb.coords_[p * kept.size() + k] = v[p] * inv_sqrt_r;
+    }
+  }
+
+  // Absolute-scale calibration: match the median raw estimate to the median
+  // reference resistance over a sample of edges (edges rather than random
+  // pairs — they are the queries the LRD contraction actually issues, and
+  // they are guaranteed intra-component). Median-of-ratios is robust to the
+  // heavy-tailed per-pair spread of the truncated eq.-3 sum.
+  if (opts.calibration != Options::Calibration::kNone &&
+      opts.calibration_samples > 0 && g.num_edges() > 0 && emb.dim_ > 0) {
+    std::function<double(NodeId, NodeId)> reference;
+    std::unique_ptr<EffectiveResistanceOracle> oracle;
+    std::unique_ptr<TreePathResistance> tree;
+    if (opts.calibration == Options::Calibration::kExactCg) {
+      EffectiveResistanceOracle::Options oopts;
+      oopts.cg_tol = opts.calibration_cg_tol;
+      oracle = std::make_unique<EffectiveResistanceOracle>(g, oopts);
+      reference = [&o = *oracle](NodeId p, NodeId q) { return o.resistance(p, q); };
+    } else {
+      tree = std::make_unique<TreePathResistance>(g, max_weight_spanning_forest(g));
+      reference = [&t = *tree](NodeId p, NodeId q) { return t.resistance(p, q); };
+    }
+
+    Rng rng(opts.seed ^ 0x9E3779B97F4A7C15ULL);
+    const auto samples = std::min<std::size_t>(
+        static_cast<std::size_t>(opts.calibration_samples),
+        static_cast<std::size_t>(g.num_edges()));
+    std::vector<double> ratios;
+    ratios.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const auto id = static_cast<EdgeId>(
+          rng.uniform_index(static_cast<std::uint64_t>(g.num_edges())));
+      const Edge& e = g.edge(id);
+      const double est = emb.estimate(e.u, e.v);
+      if (est <= 1e-300) continue;
+      const double ref = reference(e.u, e.v);
+      if (!std::isfinite(ref) || ref <= 0.0) continue;
+      ratios.push_back(ref / est);
+    }
+    emb.apply_calibration(ratios);
+  }
+  return emb;
+}
+
+void ResistanceEmbedding::apply_calibration(std::vector<double>& ratios) {
+  if (ratios.empty()) return;
+  const auto mid = ratios.begin() + static_cast<std::ptrdiff_t>(ratios.size() / 2);
+  std::nth_element(ratios.begin(), mid, ratios.end());
+  if (!(*mid > 0.0) || !std::isfinite(*mid)) return;
+  calibration_ *= *mid;
+  const double coord_scale = std::sqrt(*mid);
+  for (double& c : coords_) c *= coord_scale;
+}
+
+double ResistanceEmbedding::estimate(NodeId p, NodeId q) const {
+  if (p < 0 || p >= n_ || q < 0 || q >= n_) {
+    throw std::out_of_range("ResistanceEmbedding::estimate: bad node id");
+  }
+  const auto d = static_cast<std::size_t>(dim_);
+  const double* zp = coords_.data() + static_cast<std::size_t>(p) * d;
+  const double* zq = coords_.data() + static_cast<std::size_t>(q) * d;
+  double s = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = zp[i] - zq[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+std::span<const double> ResistanceEmbedding::coords(NodeId p) const {
+  if (p < 0 || p >= n_) throw std::out_of_range("coords: bad node id");
+  const auto d = static_cast<std::size_t>(dim_);
+  return {coords_.data() + static_cast<std::size_t>(p) * d, d};
+}
+
+}  // namespace ingrass

@@ -1,0 +1,27 @@
+#include "spectral/spectral_distortion.hpp"
+
+#include <algorithm>
+
+namespace ingrass {
+
+std::vector<RankedEdge> rank_by_distortion(const ResistanceEmbedding& emb,
+                                           std::span<const Edge> candidates) {
+  std::vector<RankedEdge> ranked;
+  ranked.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ranked.push_back(RankedEdge{candidates[i], emb.distortion(candidates[i]), i});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const RankedEdge& a, const RankedEdge& b) {
+    return a.distortion > b.distortion;
+  });
+  return ranked;
+}
+
+double total_distortion(const ResistanceEmbedding& emb,
+                        std::span<const Edge> candidates) {
+  double t = 0.0;
+  for (const Edge& e : candidates) t += emb.distortion(e);
+  return t;
+}
+
+}  // namespace ingrass

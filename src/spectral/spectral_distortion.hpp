@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spectral/resistance_embedding.hpp"
+
+namespace ingrass {
+
+/// Spectral-distortion utilities (paper Lemma 3.2 / eq. 6).
+///
+/// The spectral distortion of a candidate edge e=(p,q,w) against a
+/// sparsifier H is w * R_H(p,q): the total eigenvalue perturbation inserting
+/// the edge would cause. Edges with large distortion are spectrally
+/// critical; small-distortion edges are redundant.
+
+struct RankedEdge {
+  Edge edge;
+  double distortion = 0.0;
+  /// Position in the caller's original edge array, so stream order can be
+  /// recovered after ranking.
+  std::size_t source_index = 0;
+};
+
+/// Compute distortions for a batch of candidate edges using the fast
+/// embedding and sort them descending (most critical first). O(k log k + k m).
+[[nodiscard]] std::vector<RankedEdge> rank_by_distortion(
+    const ResistanceEmbedding& emb, std::span<const Edge> candidates);
+
+/// Sum of distortions — an aggregate criticality measure used in tests.
+[[nodiscard]] double total_distortion(const ResistanceEmbedding& emb,
+                                      std::span<const Edge> candidates);
+
+}  // namespace ingrass

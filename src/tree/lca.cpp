@@ -1,0 +1,46 @@
+#include "tree/lca.hpp"
+
+namespace ingrass {
+
+LcaIndex::LcaIndex(const RootedTree& tree) : tree_(tree) {
+  const NodeId n = tree.num_nodes();
+  NodeId max_depth = 0;
+  for (NodeId v = 0; v < n; ++v) max_depth = std::max(max_depth, tree.depth(v));
+  while ((NodeId{1} << log_) <= max_depth) ++log_;
+
+  up_.assign(static_cast<std::size_t>(log_) + 1,
+             std::vector<NodeId>(static_cast<std::size_t>(n)));
+  for (NodeId v = 0; v < n; ++v) up_[0][static_cast<std::size_t>(v)] = tree.parent(v);
+  for (int j = 1; j <= log_; ++j) {
+    for (NodeId v = 0; v < n; ++v) {
+      up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)] =
+          up_[static_cast<std::size_t>(j - 1)]
+             [static_cast<std::size_t>(up_[static_cast<std::size_t>(j - 1)][static_cast<std::size_t>(v)])];
+    }
+  }
+}
+
+NodeId LcaIndex::ancestor(NodeId v, NodeId k) const {
+  for (int j = 0; j <= log_ && k > 0; ++j, k >>= 1) {
+    if (k & 1) v = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+NodeId LcaIndex::lca(NodeId u, NodeId v) const {
+  if (!tree_.same_tree(u, v)) return kInvalidNode;
+  if (tree_.depth(u) < tree_.depth(v)) std::swap(u, v);
+  u = ancestor(u, tree_.depth(u) - tree_.depth(v));
+  if (u == v) return u;
+  for (int j = log_; j >= 0; --j) {
+    const NodeId au = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(u)];
+    const NodeId av = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)];
+    if (au != av) {
+      u = au;
+      v = av;
+    }
+  }
+  return tree_.parent(u);
+}
+
+}  // namespace ingrass

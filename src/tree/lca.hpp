@@ -1,0 +1,26 @@
+#pragma once
+
+#include "tree/rooted_tree.hpp"
+
+namespace ingrass {
+
+/// Lowest common ancestor queries on a RootedTree via binary lifting:
+/// O(N log N) preprocessing, O(log N) per query.
+class LcaIndex {
+ public:
+  explicit LcaIndex(const RootedTree& tree);
+
+  /// LCA of u and v. Returns kInvalidNode when they lie in different trees.
+  [[nodiscard]] NodeId lca(NodeId u, NodeId v) const;
+
+  /// k-th ancestor of v (0 = v itself); clamps at the root.
+  [[nodiscard]] NodeId ancestor(NodeId v, NodeId k) const;
+
+ private:
+  const RootedTree& tree_;
+  int log_ = 1;
+  // up_[j][v] = 2^j-th ancestor of v.
+  std::vector<std::vector<NodeId>> up_;
+};
+
+}  // namespace ingrass

@@ -1,0 +1,120 @@
+#include "tree/low_stretch_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "tree/tree_resistance.hpp"
+#include "tree/union_find.hpp"
+
+namespace ingrass {
+
+namespace {
+
+/// One decomposition round on the cluster graph implied by `uf`:
+/// grow resistance-metric balls (Dijkstra over 1/w lengths between cluster
+/// representatives) from randomly ordered centers; claim unassigned
+/// clusters; record the original-graph edge that first reached each
+/// claimed cluster as a tree edge; union the ball.
+void ball_growing_round(const Graph& g, UnionFind& uf, Rng& rng, double beta,
+                        std::vector<EdgeId>& tree_edges) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  shuffle(order, rng);
+
+  // claimed[root] = true once that cluster joined some ball this round.
+  std::vector<char> claimed(static_cast<std::size_t>(n), 0);
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+
+  using Item = std::pair<double, std::pair<NodeId, EdgeId>>;  // (dist, (node, via-edge))
+  for (const NodeId center : order) {
+    const NodeId croot = uf.find(center);
+    if (claimed[static_cast<std::size_t>(croot)]) continue;
+    const double radius = rng.exponential(1.0 / beta);
+    claimed[static_cast<std::size_t>(croot)] = 1;
+
+    // Dijkstra from every node of the center cluster would be costly;
+    // growing from the representative node is enough for tree quality.
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    std::vector<NodeId> touched;
+    dist[static_cast<std::size_t>(center)] = 0.0;
+    touched.push_back(center);
+    heap.push({0.0, {center, kInvalidEdge}});
+    while (!heap.empty()) {
+      const auto [d, payload] = heap.top();
+      heap.pop();
+      const auto [u, via] = payload;
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      if (d > radius) continue;
+      const NodeId uroot = uf.find(u);
+      if (uroot != croot) {
+        if (claimed[static_cast<std::size_t>(uroot)]) continue;
+        // First arrival into an unclaimed cluster: absorb it.
+        claimed[static_cast<std::size_t>(uroot)] = 1;
+        tree_edges.push_back(via);
+        uf.unite(croot, uroot);
+      }
+      for (const Arc& a : g.neighbors(u)) {
+        const double nd = d + 1.0 / g.edge(a.edge).w;
+        if (nd < dist[static_cast<std::size_t>(a.to)] && nd <= radius) {
+          dist[static_cast<std::size_t>(a.to)] = nd;
+          touched.push_back(a.to);
+          heap.push({nd, {a.to, a.edge}});
+        }
+      }
+    }
+    for (const NodeId v : touched) {
+      dist[static_cast<std::size_t>(v)] = std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<EdgeId> low_stretch_spanning_tree(const Graph& g, Rng& rng,
+                                              double beta) {
+  const NodeId n = g.num_nodes();
+  std::vector<EdgeId> tree;
+  if (n <= 1) return tree;
+  tree.reserve(static_cast<std::size_t>(n));
+  UnionFind uf(n);
+  double radius_scale = beta;
+  // Each round merges clusters; widen radii geometrically so later rounds
+  // bridge the longer coarse distances. Bounded rounds, then Kruskal
+  // completion guarantees a spanning forest.
+  for (int round = 0; round < 64; ++round) {
+    const std::int32_t before = uf.num_sets();
+    if (before <= 1) break;
+    ball_growing_round(g, uf, rng, radius_scale, tree);
+    radius_scale *= 2.0;
+    if (uf.num_sets() == before) continue;  // radii too small everywhere
+  }
+  if (uf.num_sets() > 1) {
+    // Finish with max-weight edges between remaining clusters.
+    for (EdgeId e = 0; e < g.num_edges() && uf.num_sets() > 1; ++e) {
+      const Edge& edge = g.edge(e);
+      if (uf.unite(edge.u, edge.v)) tree.push_back(e);
+    }
+  }
+  return tree;
+}
+
+double average_stretch(const Graph& g, const std::vector<EdgeId>& forest) {
+  if (g.num_edges() == 0) return 0.0;
+  const TreePathResistance tr(g, forest);
+  double total = 0.0;
+  EdgeId counted = 0;
+  for (const Edge& e : g.edges()) {
+    const double r = tr.resistance(e.u, e.v);
+    if (std::isfinite(r)) {
+      total += e.w * r;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace ingrass

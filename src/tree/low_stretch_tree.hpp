@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+
+/// Low-stretch spanning tree via randomized low-diameter decomposition
+/// (a practical simplification of the AKPW / petal-decomposition line the
+/// paper cites for spectral sparsification backbones [15]).
+///
+/// Each round grows BFS balls with exponentially distributed radii from
+/// random centers over the current cluster graph, keeps the ball-tree
+/// edges, contracts the balls, and repeats until one cluster remains. The
+/// union of kept edges forms a spanning tree whose expected stretch on
+/// mesh-like graphs is substantially lower than a maximum-weight tree's.
+///
+/// `beta` controls the expected ball radius in resistance distance
+/// (larger = bigger balls, fewer rounds).
+[[nodiscard]] std::vector<EdgeId> low_stretch_spanning_tree(const Graph& g,
+                                                            Rng& rng,
+                                                            double beta = 2.0);
+
+/// Average stretch of g's edges w.r.t. a spanning forest: mean over edges
+/// of w_e * R_T(u, v) (edges across components are skipped). The classic
+/// quality metric for LSST backbones.
+[[nodiscard]] double average_stretch(const Graph& g,
+                                     const std::vector<EdgeId>& forest);
+
+}  // namespace ingrass

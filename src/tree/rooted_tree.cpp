@@ -1,0 +1,45 @@
+#include "tree/rooted_tree.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace ingrass {
+
+RootedTree::RootedTree(const Graph& g, const std::vector<EdgeId>& forest_edges) {
+  const NodeId n = g.num_nodes();
+  // Forest adjacency.
+  std::vector<std::vector<Arc>> adj(static_cast<std::size_t>(n));
+  for (const EdgeId e : forest_edges) {
+    const Edge& edge = g.edge(e);
+    adj[static_cast<std::size_t>(edge.u)].push_back(Arc{edge.v, e});
+    adj[static_cast<std::size_t>(edge.v)].push_back(Arc{edge.u, e});
+  }
+  parent_.assign(static_cast<std::size_t>(n), kInvalidNode);
+  parent_edge_.assign(static_cast<std::size_t>(n), kInvalidEdge);
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  root_.assign(static_cast<std::size_t>(n), kInvalidNode);
+  order_.reserve(static_cast<std::size_t>(n));
+
+  std::deque<NodeId> queue;
+  for (NodeId r = 0; r < n; ++r) {
+    if (root_[static_cast<std::size_t>(r)] != kInvalidNode) continue;
+    root_[static_cast<std::size_t>(r)] = r;
+    parent_[static_cast<std::size_t>(r)] = r;
+    queue.push_back(r);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      order_.push_back(u);
+      for (const Arc& a : adj[static_cast<std::size_t>(u)]) {
+        if (root_[static_cast<std::size_t>(a.to)] != kInvalidNode) continue;
+        root_[static_cast<std::size_t>(a.to)] = r;
+        parent_[static_cast<std::size_t>(a.to)] = u;
+        parent_edge_[static_cast<std::size_t>(a.to)] = a.edge;
+        depth_[static_cast<std::size_t>(a.to)] = depth_[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+}
+
+}  // namespace ingrass

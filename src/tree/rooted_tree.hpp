@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Rooted representation of a spanning forest: per-node parent pointers,
+/// depths and BFS order, built from a host graph plus the forest's edge
+/// ids. Forests are handled by rooting each component at its smallest node.
+class RootedTree {
+ public:
+  /// Build from the forest edges of `g`. O(N).
+  RootedTree(const Graph& g, const std::vector<EdgeId>& forest_edges);
+
+  [[nodiscard]] NodeId num_nodes() const { return static_cast<NodeId>(parent_.size()); }
+  [[nodiscard]] NodeId parent(NodeId v) const { return parent_[static_cast<std::size_t>(v)]; }
+  /// Edge (in the host graph) connecting v to its parent; kInvalidEdge at roots.
+  [[nodiscard]] EdgeId parent_edge(NodeId v) const { return parent_edge_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] NodeId depth(NodeId v) const { return depth_[static_cast<std::size_t>(v)]; }
+  /// Nodes in BFS order (parents before children) across all components.
+  [[nodiscard]] const std::vector<NodeId>& bfs_order() const { return order_; }
+  /// True if u and v are in the same tree of the forest.
+  [[nodiscard]] bool same_tree(NodeId u, NodeId v) const {
+    return root_[static_cast<std::size_t>(u)] == root_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId root_of(NodeId v) const { return root_[static_cast<std::size_t>(v)]; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<NodeId> depth_;
+  std::vector<NodeId> root_;
+  std::vector<NodeId> order_;
+};
+
+}  // namespace ingrass

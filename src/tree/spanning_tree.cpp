@@ -1,0 +1,56 @@
+#include "tree/spanning_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tree/union_find.hpp"
+
+namespace ingrass {
+
+namespace {
+
+std::vector<EdgeId> kruskal(const Graph& g, bool maximize) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const double wa = g.edge(a).w;
+    const double wb = g.edge(b).w;
+    if (wa != wb) return maximize ? wa > wb : wa < wb;
+    return a < b;  // deterministic tie-break
+  });
+  UnionFind uf(g.num_nodes());
+  std::vector<EdgeId> forest;
+  forest.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (const EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    if (uf.unite(edge.u, edge.v)) {
+      forest.push_back(e);
+      if (uf.num_sets() == 1) break;
+    }
+  }
+  return forest;
+}
+
+}  // namespace
+
+std::vector<EdgeId> max_weight_spanning_forest(const Graph& g) {
+  return kruskal(g, /*maximize=*/true);
+}
+
+std::vector<EdgeId> min_weight_spanning_forest(const Graph& g) {
+  return kruskal(g, /*maximize=*/false);
+}
+
+TreeSplit split_by_forest(const Graph& g, const std::vector<EdgeId>& forest) {
+  std::vector<char> in_forest(static_cast<std::size_t>(g.num_edges()), 0);
+  for (const EdgeId e : forest) in_forest[static_cast<std::size_t>(e)] = 1;
+  TreeSplit split;
+  split.tree.reserve(forest.size());
+  split.off_tree.reserve(static_cast<std::size_t>(g.num_edges()) - forest.size());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    (in_forest[static_cast<std::size_t>(e)] ? split.tree : split.off_tree).push_back(e);
+  }
+  return split;
+}
+
+}  // namespace ingrass

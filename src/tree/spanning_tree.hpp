@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Kruskal spanning forests.
+///
+/// GRASS-style sparsifiers start from a maximum-weight spanning tree: in a
+/// conductance graph it keeps the strongest couplings, which empirically
+/// yields low total stretch on circuit/mesh graphs (a practical stand-in
+/// for a true low-stretch spanning tree).
+
+/// Edge ids of a maximum-weight spanning forest (size N - #components).
+[[nodiscard]] std::vector<EdgeId> max_weight_spanning_forest(const Graph& g);
+
+/// Edge ids of a minimum-weight spanning forest.
+[[nodiscard]] std::vector<EdgeId> min_weight_spanning_forest(const Graph& g);
+
+/// Split g's edges into (forest, off-forest) given the forest edge ids.
+struct TreeSplit {
+  std::vector<EdgeId> tree;
+  std::vector<EdgeId> off_tree;
+};
+[[nodiscard]] TreeSplit split_by_forest(const Graph& g,
+                                        const std::vector<EdgeId>& forest);
+
+}  // namespace ingrass

@@ -1,0 +1,30 @@
+#include "tree/tree_resistance.hpp"
+
+#include <limits>
+
+namespace ingrass {
+
+TreePathResistance::TreePathResistance(const Graph& g,
+                                       const std::vector<EdgeId>& forest_edges)
+    : tree_(g, forest_edges), lca_(tree_) {
+  const NodeId n = tree_.num_nodes();
+  res_to_root_.assign(static_cast<std::size_t>(n), 0.0);
+  // BFS order guarantees parents are finalized before children.
+  for (const NodeId v : tree_.bfs_order()) {
+    const EdgeId pe = tree_.parent_edge(v);
+    if (pe == kInvalidEdge) continue;  // root
+    res_to_root_[static_cast<std::size_t>(v)] =
+        res_to_root_[static_cast<std::size_t>(tree_.parent(v))] + 1.0 / g.edge(pe).w;
+  }
+}
+
+double TreePathResistance::resistance(NodeId u, NodeId v) const {
+  if (u == v) return 0.0;
+  const NodeId a = lca_.lca(u, v);
+  if (a == kInvalidNode) return std::numeric_limits<double>::infinity();
+  return res_to_root_[static_cast<std::size_t>(u)] +
+         res_to_root_[static_cast<std::size_t>(v)] -
+         2.0 * res_to_root_[static_cast<std::size_t>(a)];
+}
+
+}  // namespace ingrass

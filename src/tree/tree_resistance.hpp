@@ -1,0 +1,37 @@
+#pragma once
+
+#include <memory>
+
+#include "tree/lca.hpp"
+#include "tree/rooted_tree.hpp"
+
+namespace ingrass {
+
+/// Exact effective resistance *through a spanning forest*: the sum of 1/w
+/// along the unique tree path between two nodes. For an off-tree edge
+/// e=(u,v,w), w * R_T(u,v) is GRASS's spectral-distortion score (and also
+/// the classic stretch of e w.r.t. the tree when weights are conductances).
+///
+/// O(N log N) build, O(log N) per query.
+class TreePathResistance {
+ public:
+  TreePathResistance(const Graph& g, const std::vector<EdgeId>& forest_edges);
+
+  /// Tree-path resistance between u and v; +infinity across components.
+  [[nodiscard]] double resistance(NodeId u, NodeId v) const;
+
+  /// Distortion (stretch) of a candidate edge: w * R_T(u, v).
+  [[nodiscard]] double distortion(const Edge& e) const {
+    return e.w * resistance(e.u, e.v);
+  }
+
+  [[nodiscard]] const RootedTree& tree() const { return tree_; }
+  [[nodiscard]] const LcaIndex& lca() const { return lca_; }
+
+ private:
+  RootedTree tree_;
+  LcaIndex lca_;
+  std::vector<double> res_to_root_;
+};
+
+}  // namespace ingrass

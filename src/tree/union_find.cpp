@@ -1,0 +1,41 @@
+#include "tree/union_find.hpp"
+
+#include <stdexcept>
+
+namespace ingrass {
+
+UnionFind::UnionFind(std::int32_t n) : sets_(n) {
+  if (n < 0) throw std::invalid_argument("UnionFind: negative size");
+  parent_.resize(static_cast<std::size_t>(n));
+  size_.assign(static_cast<std::size_t>(n), 1);
+  for (std::int32_t i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+}
+
+std::int32_t UnionFind::find(std::int32_t x) {
+  if (x < 0 || x >= num_elements()) throw std::out_of_range("UnionFind::find");
+  std::int32_t root = x;
+  while (parent_[static_cast<std::size_t>(root)] != root) {
+    root = parent_[static_cast<std::size_t>(root)];
+  }
+  while (parent_[static_cast<std::size_t>(x)] != root) {  // path compression
+    const std::int32_t next = parent_[static_cast<std::size_t>(x)];
+    parent_[static_cast<std::size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(std::int32_t a, std::int32_t b) {
+  std::int32_t ra = find(a);
+  std::int32_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  --sets_;
+  return true;
+}
+
+}  // namespace ingrass

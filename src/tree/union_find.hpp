@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ingrass {
+
+/// Disjoint-set union with union-by-size and path compression.
+/// Near-O(1) amortized find/unite; used by Kruskal and by the LRD
+/// contraction loop.
+class UnionFind {
+ public:
+  explicit UnionFind(std::int32_t n);
+
+  /// Representative of x's set.
+  [[nodiscard]] std::int32_t find(std::int32_t x);
+
+  /// Merge the sets of a and b. Returns true if they were distinct.
+  bool unite(std::int32_t a, std::int32_t b);
+
+  [[nodiscard]] bool same(std::int32_t a, std::int32_t b) { return find(a) == find(b); }
+
+  /// Number of elements in x's set.
+  [[nodiscard]] std::int32_t set_size(std::int32_t x) { return size_[static_cast<std::size_t>(find(x))]; }
+
+  /// Current number of disjoint sets.
+  [[nodiscard]] std::int32_t num_sets() const { return sets_; }
+
+  [[nodiscard]] std::int32_t num_elements() const { return static_cast<std::int32_t>(parent_.size()); }
+
+ private:
+  std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t> size_;
+  std::int32_t sets_ = 0;
+};
+
+}  // namespace ingrass

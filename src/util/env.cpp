@@ -1,0 +1,30 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace ingrass {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : fallback;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end != v ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+double bench_scale() { return env_double("INGRASS_BENCH_SCALE", 1.0); }
+
+}  // namespace ingrass

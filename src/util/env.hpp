@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+namespace ingrass {
+
+/// Read an environment variable as double, with default when unset/invalid.
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+/// Read an environment variable as long, with default when unset/invalid.
+[[nodiscard]] long env_long(const char* name, long fallback);
+
+/// Read an environment variable as string, with default when unset.
+[[nodiscard]] std::string env_string(const char* name, const std::string& fallback);
+
+/// Global scale multiplier for benchmark problem sizes
+/// (INGRASS_BENCH_SCALE, default 1.0). The benches multiply node counts by
+/// this factor so the same binaries cover both quick CI runs and
+/// paper-scale experiments.
+[[nodiscard]] double bench_scale();
+
+}  // namespace ingrass

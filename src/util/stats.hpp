@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ingrass {
+
+/// Streaming accumulator for min/max/mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation). p in [0,100].
+/// Sorts a copy; fine for the sizes used in benches/tests.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Relative error |a-b| / max(|b|, eps).
+[[nodiscard]] double rel_err(double a, double b, double eps = 1e-30);
+
+}  // namespace ingrass

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ingrass {
+
+/// Plain-text table printer used by the benchmark harness to emit rows in
+/// the same layout as the paper's tables.
+///
+/// Usage:
+///   TablePrinter t({"Test Cases", "|V|", "|E|", "GRASS (s)", "Setup (s)"});
+///   t.add_row({"G3_circuit", "1.5E+6", ...});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Scientific-notation formatting like the paper ("1.5E+6").
+[[nodiscard]] std::string format_count(double v);
+
+/// Percentage with one decimal ("10.5%").
+[[nodiscard]] std::string format_pct(double frac);
+
+/// Fixed-point with n decimals.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+}  // namespace ingrass

@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ingrass {
+
+ThreadPool::ThreadPool(int threads) {
+  const int extra = std::max(threads, 1) - 1;  // caller thread participates
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  try {
+    for (;;) {
+      const std::size_t begin = job.next.fetch_add(job.grain);
+      if (begin >= job.n) break;
+      const std::size_t end = std::min(begin + job.grain, job.n);
+      for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(job.error_mu);
+    if (!job.error) job.error = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || (job_ != nullptr && epoch_ != seen); });
+      if (stop_) return;
+      job = job_;
+      seen = epoch_;
+    }
+    run_chunks(*job);
+    if (job->remaining.fetch_sub(1) == 1) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.fn = &fn;
+  job.remaining.store(static_cast<int>(workers_.size()));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  run_chunks(job);  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return job.remaining.load() == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace ingrass

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ingrass {
+
+/// Fixed-size worker pool for data-parallel loops.
+///
+/// The paper advertises inGRASS as "parallel-friendly": the update phase
+/// scores every edge of a batch independently (read-only O(log N) lookups
+/// against the frozen setup-phase structures), and the setup phase
+/// estimates per-edge resistances independently per level. This pool backs
+/// both — a plain chunked parallel_for over an index range, with no task
+/// futures or work stealing (the loops are regular, so static chunking
+/// with an atomic cursor is enough and keeps the implementation auditable).
+///
+/// Workers live for the pool's lifetime; parallel_for blocks the caller
+/// until every index is processed. Exceptions thrown by the body are
+/// rethrown on the calling thread (first one wins).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1; 1 means the
+  /// pool degenerates to serial execution on the caller's thread).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(i) for every i in [0, n), partitioned into `grain`-sized chunks
+  /// claimed through an atomic cursor. The calling thread participates, so
+  /// a pool of size 1 costs no synchronization beyond one atomic.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<int> remaining{0};   // workers still to finish this job
+    std::exception_ptr error;        // first exception from any worker
+    std::mutex error_mu;
+  };
+
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;       // non-null while a parallel_for is active
+  std::uint64_t epoch_ = 0;  // bumped per job so workers detect new work
+  bool stop_ = false;
+};
+
+}  // namespace ingrass

@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace ingrass {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f s", s);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s >= 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2e s", s);
+  }
+  return buf;
+}
+
+}  // namespace ingrass

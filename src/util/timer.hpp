@@ -1,0 +1,50 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ingrass {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; `seconds()` reports the elapsed wall time
+/// since construction or the last `reset()`.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch at zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time across many disjoint intervals (start/stop pairs).
+/// Useful for summing the cost of all update phases across iterations.
+class AccumTimer {
+ public:
+  void start() { running_ = Timer(); }
+  void stop() { total_ += running_.seconds(); }
+  [[nodiscard]] double seconds() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  Timer running_;
+  double total_ = 0.0;
+};
+
+/// Format a duration in seconds like the paper's tables ("13.7 s", "0.008 s").
+[[nodiscard]] std::string format_seconds(double s);
+
+}  // namespace ingrass

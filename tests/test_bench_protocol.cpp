@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "../bench/common.hpp"
+
+namespace ingrass::bench {
+namespace {
+
+TEST(BenchCommon, SelectedCasesDefaultsToAllFourteen) {
+  ::unsetenv("INGRASS_BENCH_CASES");
+  EXPECT_EQ(selected_cases().size(), 14u);
+  EXPECT_EQ(selected_cases({"a", "b"}), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(BenchCommon, SelectedCasesParsesEnvList) {
+  ::setenv("INGRASS_BENCH_CASES", "G2_circuit,fe_ocean", 1);
+  const auto cases = selected_cases();
+  ::unsetenv("INGRASS_BENCH_CASES");
+  EXPECT_EQ(cases, (std::vector<std::string>{"G2_circuit", "fe_ocean"}));
+}
+
+TEST(BenchCommon, BuildCaseDeterministic) {
+  const Graph a = build_case("fe_4elt2", 0.1);
+  const Graph b = build_case("fe_4elt2", 0.1);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(BenchCommon, ProtocolProducesCoherentRow) {
+  // Tiny end-to-end protocol run: every reported quantity obeys the
+  // relations the tables rely on.
+  const Graph g = build_case("fe_4elt2", 0.08);
+  ProtocolOptions opts;
+  opts.iterations = 3;
+  opts.total_per_node = 0.12;
+  const ProtocolResult r = run_incremental_protocol("fe_4elt2", g, opts);
+
+  EXPECT_EQ(r.nodes, g.num_nodes());
+  EXPECT_EQ(r.edges, g.num_edges());
+  EXPECT_NEAR(r.density0, 0.10, 0.02);
+  EXPECT_GT(r.density_all, r.density0);
+  EXPECT_GT(r.kappa0, 1.0);
+  EXPECT_GT(r.kappa_pert, r.kappa0);            // the stream perturbs kappa
+  EXPECT_GT(r.grass_density, 0.0);
+  EXPECT_GE(r.ingrass_density, r.density0);     // inGRASS only adds edges
+  EXPECT_LE(r.ingrass_density, r.density_all);  // ...but not all of them
+  EXPECT_GE(r.random_density, r.density0);
+  EXPECT_GT(r.grass_seconds, 0.0);
+  EXPECT_GT(r.ingrass_update_seconds, 0.0);
+  EXPECT_GT(r.ingrass_setup_seconds, 0.0);
+  EXPECT_GT(r.speedup(), 1.0);                  // updates beat re-runs
+  EXPECT_GT(r.ingrass_kappa, 0.0);
+}
+
+TEST(BenchCommon, ProtocolSkipsDisabledBaselines) {
+  const Graph g = build_case("fe_4elt2", 0.08);
+  ProtocolOptions opts;
+  opts.iterations = 2;
+  opts.total_per_node = 0.08;
+  opts.run_grass = false;
+  opts.run_random = false;
+  const ProtocolResult r = run_incremental_protocol("fe_4elt2", g, opts);
+  EXPECT_EQ(r.grass_seconds, 0.0);
+  EXPECT_EQ(r.random_density, 0.0);
+  EXPECT_GT(r.ingrass_update_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ingrass::bench

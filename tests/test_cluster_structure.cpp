@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster_structure.hpp"
+#include "graph/generators.hpp"
+
+namespace ingrass {
+namespace {
+
+struct Fixture {
+  Graph h;
+  MultilevelEmbedding emb;
+  Fixture() {
+    Rng rng(1);
+    h = make_triangulated_grid(8, 8, rng);
+    emb = MultilevelEmbedding::build(h);
+  }
+};
+
+TEST(ClusterStructure, FilteringLevelRespectsSizeCap) {
+  Fixture f;
+  for (const double target : {4.0, 16.0, 64.0, 1024.0}) {
+    const int level = ClusterStructure::choose_filtering_level(f.emb, target);
+    ASSERT_GE(level, 0);
+    ASSERT_LT(level, f.emb.num_levels());
+    EXPECT_LE(static_cast<double>(f.emb.max_cluster_size(level)),
+              std::max(1.0, target / 2.0))
+        << "target " << target;
+  }
+}
+
+TEST(ClusterStructure, LargerTargetGivesDeeperLevel) {
+  Fixture f;
+  const int shallow = ClusterStructure::choose_filtering_level(f.emb, 4.0);
+  const int deep = ClusterStructure::choose_filtering_level(f.emb, 1e9);
+  EXPECT_GE(deep, shallow);
+  EXPECT_EQ(deep, f.emb.num_levels() - 1);  // everything fits
+}
+
+TEST(ClusterStructure, EveryEdgeIndexedOnce) {
+  Fixture f;
+  const int level = ClusterStructure::choose_filtering_level(f.emb, 32.0);
+  const ClusterStructure cs(f.emb, f.h, level);
+  std::size_t intra_total = 0;
+  for (NodeId c = 0; c < f.emb.num_clusters(level); ++c) {
+    intra_total += cs.intra_cluster_edges(c).size();
+  }
+  // bridge_ holds at most one edge per cluster pair, so bridges <= edges.
+  EXPECT_LE(cs.num_bridges() + intra_total, static_cast<std::size_t>(f.h.num_edges()));
+  EXPECT_GT(intra_total, 0u);
+  EXPECT_GT(cs.num_bridges(), 0u);
+}
+
+TEST(ClusterStructure, BridgeLookupMatchesClusters) {
+  Fixture f;
+  const int level = ClusterStructure::choose_filtering_level(f.emb, 32.0);
+  const ClusterStructure cs(f.emb, f.h, level);
+  for (EdgeId e = 0; e < f.h.num_edges(); e += 5) {
+    const Edge& edge = f.h.edge(e);
+    if (cs.same_cluster(edge.u, edge.v)) {
+      EXPECT_EQ(cs.bridge_edge(edge.u, edge.v), kInvalidEdge);
+    } else {
+      const EdgeId b = cs.bridge_edge(edge.u, edge.v);
+      ASSERT_NE(b, kInvalidEdge);
+      // The bridge connects the same cluster pair as the query edge.
+      const Edge& be = f.h.edge(b);
+      const auto cu = cs.cluster_of(edge.u);
+      const auto cv = cs.cluster_of(edge.v);
+      const auto cbu = cs.cluster_of(be.u);
+      const auto cbv = cs.cluster_of(be.v);
+      EXPECT_TRUE((cu == cbu && cv == cbv) || (cu == cbv && cv == cbu));
+    }
+  }
+}
+
+TEST(ClusterStructure, RegisterNewEdgeCreatesBridge) {
+  Fixture f;
+  const int level = ClusterStructure::choose_filtering_level(f.emb, 16.0);
+  ClusterStructure cs(f.emb, f.h, level);
+  // Find two nodes in different clusters with no bridge yet.
+  NodeId u = kInvalidNode, v = kInvalidNode;
+  for (NodeId a = 0; a < f.h.num_nodes() && u == kInvalidNode; ++a) {
+    for (NodeId b = a + 1; b < f.h.num_nodes(); ++b) {
+      if (!cs.same_cluster(a, b) && cs.bridge_edge(a, b) == kInvalidEdge) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(u, kInvalidNode);
+  const EdgeId e = f.h.add_edge(u, v, 1.0);
+  cs.register_edge(e);
+  EXPECT_EQ(cs.bridge_edge(u, v), e);
+}
+
+TEST(ClusterStructure, IntraEdgeEndpointsShareCluster) {
+  Fixture f;
+  const int level = ClusterStructure::choose_filtering_level(f.emb, 64.0);
+  const ClusterStructure cs(f.emb, f.h, level);
+  for (NodeId c = 0; c < f.emb.num_clusters(level); ++c) {
+    for (const EdgeId e : cs.intra_cluster_edges(c)) {
+      const Edge& edge = f.h.edge(e);
+      EXPECT_EQ(cs.cluster_of(edge.u), c);
+      EXPECT_EQ(cs.cluster_of(edge.v), c);
+    }
+  }
+}
+
+TEST(ClusterStructure, BadLevelThrows) {
+  Fixture f;
+  EXPECT_THROW(ClusterStructure(f.emb, f.h, -1), std::out_of_range);
+  EXPECT_THROW(ClusterStructure(f.emb, f.h, f.emb.num_levels()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(Components, SingleChainIsConnected) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_TRUE(c.connected());
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, TwoIslands) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3);  // {0,1}, {2}, {3,4}
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyGraphIsConnected) {
+  const Graph g(0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, IsolatedNodesEachOwnComponent) {
+  const Graph g(3);
+  EXPECT_EQ(connected_components(g).count, 3);
+}
+
+TEST(BfsTree, ParentsAndOrder) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 3, 1.0);
+  const BfsTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.order.front(), 0);
+  EXPECT_EQ(t.parent[0], 0);
+  EXPECT_EQ(t.parent[1], 0);
+  EXPECT_EQ(t.parent[2], 0);
+  EXPECT_EQ(t.parent[3], 1);
+  EXPECT_EQ(t.parent[4], kInvalidNode);  // unreachable
+  EXPECT_EQ(t.order.size(), 4u);
+  EXPECT_NE(t.parent_edge[3], kInvalidEdge);
+  EXPECT_EQ(t.parent_edge[0], kInvalidEdge);
+}
+
+TEST(BfsTree, DepthOrderingHoldsOnGrid) {
+  Rng rng(5);
+  const Graph g = make_grid2d(8, 8, rng);
+  const BfsTree t = bfs_tree(g, 0);
+  // Every node except the root appears after its parent in BFS order.
+  std::vector<int> pos(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (std::size_t i = 0; i < t.order.size(); ++i) {
+    pos[static_cast<std::size_t>(t.order[i])] = static_cast<int>(i);
+  }
+  for (const NodeId v : t.order) {
+    if (v == 0) continue;
+    EXPECT_LT(pos[static_cast<std::size_t>(t.parent[static_cast<std::size_t>(v)])],
+              pos[static_cast<std::size_t>(v)]);
+  }
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(ConditionNumber, IdenticalGraphsGiveOne) {
+  Rng rng(1);
+  const Graph g = make_grid2d(8, 8, rng);
+  const double kappa = condition_number(g, g);
+  EXPECT_NEAR(kappa, 1.0, 0.02);
+}
+
+TEST(ConditionNumber, ScalingInvariant) {
+  // L_H = alpha L_G has the same pencil eigenvalue everywhere -> kappa = 1.
+  Rng rng(2);
+  const Graph g = make_grid2d(8, 8, rng);
+  const Graph h = scaled_copy(g, 0.25);
+  EXPECT_NEAR(condition_number(g, h), 1.0, 0.02);
+}
+
+TEST(ConditionNumber, CycleVsPathScalesWithN) {
+  // Dropping one edge from an unweighted N-cycle gives kappa ~= N
+  // (lambda_max = 1 + w R_path = N, lambda_min = 1).
+  for (const NodeId n : {8, 16, 32}) {
+    Graph cycle(n);
+    for (NodeId v = 0; v < n; ++v) cycle.add_edge(v, (v + 1) % n, 1.0);
+    Graph path(n);
+    for (NodeId v = 0; v + 1 < n; ++v) path.add_edge(v, v + 1, 1.0);
+    const ConditionNumberResult r = relative_condition_number(cycle, path);
+    EXPECT_NEAR(r.kappa, static_cast<double>(n), 0.12 * n) << "n=" << n;
+  }
+}
+
+TEST(ConditionNumber, LambdaBoundsForSubgraphSparsifier) {
+  // H subset of G with identical weights: x^T L_H x <= x^T L_G x, so
+  // lambda_min >= 1 of the pencil (L_G, L_H).
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  // Drop the diagonals (every third edge roughly) but keep connectivity:
+  std::vector<EdgeId> keep;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const bool diagonal = (edge.v - edge.u != 1) && (edge.v - edge.u != 8);
+    if (!diagonal) keep.push_back(e);
+  }
+  const Graph h = subgraph(g, keep);
+  const ConditionNumberResult r = relative_condition_number(g, h);
+  EXPECT_GE(r.lambda_min, 0.95);  // tolerance for the iterative estimate
+  EXPECT_GT(r.lambda_max, 1.0);
+  EXPECT_GE(r.kappa, r.lambda_max / r.lambda_min - 1e-9);
+}
+
+TEST(ConditionNumber, MonotoneUnderEdgeRemovalFromH) {
+  // Removing off-tree edges from H can only worsen (increase) kappa.
+  Rng rng(4);
+  const Graph g = make_triangulated_grid(7, 7, rng);
+  std::vector<EdgeId> all;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all.push_back(e);
+  // h1: drop ~20% of diagonals; h2: drop ~all diagonals.
+  std::vector<EdgeId> keep1, keep2;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const bool diagonal = (edge.v - edge.u != 1) && (edge.v - edge.u != 7);
+    if (!diagonal || e % 5 == 0) keep1.push_back(e);
+    if (!diagonal) keep2.push_back(e);
+  }
+  const double k1 = condition_number(g, subgraph(g, keep1));
+  const double k2 = condition_number(g, subgraph(g, keep2));
+  EXPECT_LE(k1, k2 * 1.10);  // allow estimator slack
+}
+
+TEST(ConditionNumber, MismatchedNodeSetsThrow) {
+  Rng rng(5);
+  const Graph g = make_grid2d(4, 4, rng);
+  const Graph h = make_grid2d(5, 4, rng);
+  EXPECT_THROW(condition_number(g, h), std::invalid_argument);
+}
+
+TEST(ConditionNumber, DisconnectedInputThrows) {
+  Rng rng(6);
+  const Graph g = make_grid2d(4, 4, rng);
+  Graph h(16);
+  h.add_edge(0, 1, 1.0);  // disconnected sparsifier
+  EXPECT_THROW(condition_number(g, h), std::invalid_argument);
+}
+
+TEST(ConditionNumber, ReportsIterationCounts) {
+  Rng rng(7);
+  const Graph g = make_grid2d(6, 6, rng);
+  const ConditionNumberResult r = relative_condition_number(g, g);
+  EXPECT_GT(r.iterations_max, 0);
+  EXPECT_GT(r.iterations_min, 0);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+/// Property suite for the update phase's criticality guard (DESIGN.md
+/// §7.7): an edge whose spectral distortion already exceeds the target
+/// condition number must be inserted regardless of structural redundancy,
+/// because excluding it forces kappa >= 1 + w * R_H(u,v).
+
+struct GuardCase {
+  const char* name;
+  Graph (*make)(std::uint64_t);
+};
+
+Graph make_mesh(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_triangulated_grid(14, 14, rng);
+}
+Graph make_pgrid(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_power_grid(12, 12, 2, rng);
+}
+Graph make_lattice(std::uint64_t seed) {
+  Rng rng(seed);
+  return make_grid2d(16, 12, rng);
+}
+
+class CriticalityGuard : public testing::TestWithParam<GuardCase> {};
+
+TEST_P(CriticalityGuard, HeavyLongRangeEdgeAlwaysInserted) {
+  // A very heavy edge between far-apart nodes has distortion far above any
+  // reasonable target; whatever clusters/bridges exist, it must land in H.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = GetParam().make(seed);
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    Graph h0 = grass_sparsify(g, gopts).sparsifier;
+
+    Ingrass::Options opts;
+    opts.target_condition = 30.0;
+    Ingrass ing(std::move(h0), opts);
+
+    // Far apart: first and last node of a lattice-like generator.
+    const NodeId u = 0;
+    const NodeId v = g.num_nodes() - 1;
+    const double w = 1e4;
+    ASSERT_GT(ing.estimate_distortion(Edge{u, v, w}), opts.target_condition);
+    const auto stats = ing.insert_edges(std::vector<Edge>{Edge{u, v, w}});
+    EXPECT_EQ(stats.inserted, 1) << GetParam().name << " seed " << seed;
+    EXPECT_TRUE(ing.sparsifier().has_edge(u, v));
+  }
+}
+
+TEST_P(CriticalityGuard, DisabledGuardCanFilterTheSameEdge) {
+  // With the guard off and a coarse filtering level, the same heavy edge
+  // can be structurally filtered — showing the guard is what saves it.
+  const Graph g = GetParam().make(7);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+
+  Ingrass::Options guarded;
+  guarded.target_condition = 30.0;
+  Ingrass::Options unguarded = guarded;
+  unguarded.critical_distortion_factor = 0.0;
+  unguarded.merge_weight_ratio = 0.0;  // isolate: dominance guard off too
+  // Force the coarsest level: everything shares one cluster -> everything
+  // is structurally redundant.
+  Ingrass a{Graph(h0), guarded};
+  unguarded.filtering_level_override = a.num_levels() - 1;
+  guarded.filtering_level_override = a.num_levels() - 1;
+  Ingrass b{Graph(h0), guarded};
+  Ingrass c{Graph(h0), unguarded};
+
+  const std::vector<Edge> batch{Edge{0, g.num_nodes() - 1, 1e4}};
+  EXPECT_EQ(b.insert_edges(batch).inserted, 1);   // guard fires
+  EXPECT_EQ(c.insert_edges(batch).inserted, 0);   // filtered away
+}
+
+TEST_P(CriticalityGuard, GuardBoundsKappaUnderAdversarialStream) {
+  // Adversarial stream: a handful of heavy random long-range edges per
+  // batch. kappa with the guard must stay within a modest multiple of the
+  // target even at the coarsest filtering level.
+  const Graph g0 = GetParam().make(11);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  const double kappa0 = condition_number(g0, h0);
+
+  Ingrass::Options opts;
+  opts.target_condition = kappa0;
+  Ingrass ing{Graph(h0), opts};
+
+  Graph g = g0;
+  Rng rng(23);
+  for (int batch_no = 0; batch_no < 5; ++batch_no) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 6; ++i) {
+      const auto u = static_cast<NodeId>(rng.uniform_index(g.num_nodes()));
+      const auto v = static_cast<NodeId>(rng.uniform_index(g.num_nodes()));
+      if (u == v || g.has_edge(u, v)) continue;
+      batch.push_back(Edge{std::min(u, v), std::max(u, v), 50.0});
+    }
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    ing.insert_edges(batch);
+  }
+  const double kappa = condition_number(g, ing.sparsifier());
+  EXPECT_LT(kappa, 3.0 * kappa0) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, CriticalityGuard,
+                         testing::Values(GuardCase{"mesh", make_mesh},
+                                         GuardCase{"power_grid", make_pgrid},
+                                         GuardCase{"lattice", make_lattice}),
+                         [](const testing::TestParamInfo<GuardCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(CriticalityGuardUnits, ThresholdScalesWithFactor) {
+  Rng rng(5);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+
+  // Pick an edge whose distortion sits between 1x and 8x the target:
+  // inserted under factor 1, filterable under factor 8.
+  Ingrass::Options probe_opts;
+  probe_opts.target_condition = 20.0;
+  Ingrass probe{Graph(h0), probe_opts};
+  const Edge far{0, g.num_nodes() - 1,
+                 30.0 / probe.estimate_resistance(0, g.num_nodes() - 1)};
+  const double d = probe.estimate_distortion(far);
+  ASSERT_GT(d, probe_opts.target_condition);
+  ASSERT_LT(d, 8.0 * probe_opts.target_condition);
+
+  Ingrass::Options loose = probe_opts;
+  loose.critical_distortion_factor = 8.0;
+  loose.filtering_level_override = probe.num_levels() - 1;  // all-redundant
+  Ingrass relaxed{Graph(h0), loose};
+  EXPECT_EQ(relaxed.insert_edges(std::vector<Edge>{far}).inserted, 0);
+
+  Ingrass::Options tight = loose;
+  tight.critical_distortion_factor = 1.0;
+  Ingrass strict{Graph(h0), tight};
+  EXPECT_EQ(strict.insert_edges(std::vector<Edge>{far}).inserted, 1);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace ingrass {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 2 -1  0]
+  // [-1  2 -1]
+  // [ 0 -1  2]
+  const std::vector<CsrMatrix::Triplet> t{
+      {0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0},
+      {1, 2, -1.0}, {2, 1, -1.0}, {2, 2, 2.0},
+  };
+  return CsrMatrix(3, t);
+}
+
+TEST(CsrMatrix, DimensionsAndNnz) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.nnz(), 7);
+}
+
+TEST(CsrMatrix, Multiply) {
+  const CsrMatrix m = small_matrix();
+  const Vec x{1.0, 2.0, 3.0};
+  Vec y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(CsrMatrix, MultiplyAdd) {
+  const CsrMatrix m = small_matrix();
+  const Vec x{1.0, 0.0, 0.0};
+  Vec y{100.0, 100.0, 100.0};
+  m.multiply_add(x, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 102.0);
+  EXPECT_DOUBLE_EQ(y[1], 99.0);
+  EXPECT_DOUBLE_EQ(y[2], 100.0);
+}
+
+TEST(CsrMatrix, DuplicateTripletsSum) {
+  const std::vector<CsrMatrix::Triplet> t{{0, 1, 1.0}, {0, 1, 2.5}, {1, 0, 3.5}};
+  const CsrMatrix m(2, t);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.5);
+}
+
+TEST(CsrMatrix, AtReturnsZeroForEmptyPositions) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
+  EXPECT_THROW(m.at(0, 5), std::out_of_range);
+  EXPECT_THROW(m.at(-1, 0), std::out_of_range);
+}
+
+TEST(CsrMatrix, Diagonal) {
+  const CsrMatrix m = small_matrix();
+  const Vec d = m.diagonal();
+  EXPECT_EQ(d, (Vec{2.0, 2.0, 2.0}));
+}
+
+TEST(CsrMatrix, RejectsOutOfRangeTriplets) {
+  const std::vector<CsrMatrix::Triplet> t{{0, 5, 1.0}};
+  EXPECT_THROW(CsrMatrix(2, t), std::out_of_range);
+}
+
+TEST(CsrMatrix, EmptyMatrixZeroes) {
+  const CsrMatrix m(3, {});
+  const Vec x{1.0, 1.0, 1.0};
+  Vec y{9.0, 9.0, 9.0};
+  m.multiply(x, y);
+  EXPECT_EQ(y, (Vec{0.0, 0.0, 0.0}));
+}
+
+TEST(CsrMatrix, RowsSortedByColumn) {
+  const std::vector<CsrMatrix::Triplet> t{{0, 2, 1.0}, {0, 0, 2.0}, {0, 1, 3.0}};
+  const CsrMatrix m(3, t);
+  const auto cols = m.col_indices();
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 1);
+  EXPECT_EQ(cols[2], 2);
+}
+
+}  // namespace
+}  // namespace ingrass

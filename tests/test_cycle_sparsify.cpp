@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/cycle_sparsify.hpp"
+#include "sparsify/density.hpp"
+#include "spectral/condition_number.hpp"
+#include "tree/spanning_tree.hpp"
+
+namespace ingrass {
+namespace {
+
+Graph mesh(NodeId side, std::uint64_t seed = 4) {
+  Rng rng(seed);
+  return make_triangulated_grid(side, side, rng);
+}
+
+TEST(CycleSparsify, FundamentalCycleLengthsOnAKnownGraph) {
+  // Path 0-1-2-3 plus chord (0,3): the chord closes a 4-hop cycle.
+  // Heavy path edges guarantee they form the max-weight tree.
+  Graph g(4);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);
+  g.add_edge(2, 3, 10.0);
+  g.add_edge(0, 3, 1.0);
+  const auto tree = max_weight_spanning_forest(g);
+  const TreeSplit split = split_by_forest(g, tree);
+  ASSERT_EQ(split.off_tree.size(), 1u);
+  const auto lens = fundamental_cycle_lengths(g, tree, split.off_tree);
+  EXPECT_EQ(lens[0], 4);
+}
+
+TEST(CycleSparsify, TriangleChordHasThreeHopCycle) {
+  Graph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);
+  g.add_edge(0, 2, 1.0);
+  const auto tree = max_weight_spanning_forest(g);
+  const TreeSplit split = split_by_forest(g, tree);
+  const auto lens = fundamental_cycle_lengths(g, tree, split.off_tree);
+  ASSERT_EQ(lens.size(), 1u);
+  EXPECT_EQ(lens[0], 3);
+}
+
+TEST(CycleSparsify, OutputConnectedAndDensityObeysContract) {
+  const Graph g = mesh(14);
+  CycleSparsifyOptions opts;
+  opts.target_offtree_density = 0.10;
+  const CycleSparsifyResult r = cycle_sparsify(g, opts);
+  EXPECT_TRUE(is_connected(r.sparsifier));
+  EXPECT_EQ(r.tree_edges, g.num_nodes() - 1);
+  // Contract: achieved density ~ max(budget, long-cycle floor), and never
+  // below the requested budget by more than sampling noise.
+  const double floor_density = static_cast<double>(r.kept_long) /
+                               static_cast<double>(g.num_nodes());
+  const double expected = std::max(0.10, floor_density);
+  EXPECT_NEAR(offtree_density(r.sparsifier), expected, 0.05);
+}
+
+TEST(CycleSparsify, GenerousThresholdMeetsBudgetExactly) {
+  // When every cycle counts as short there is no floor and the sampler
+  // should land on the requested budget in expectation.
+  const Graph g = mesh(14);
+  CycleSparsifyOptions opts;
+  opts.target_offtree_density = 0.10;
+  opts.short_cycle_max_hops = 10000;
+  const CycleSparsifyResult r = cycle_sparsify(g, opts);
+  EXPECT_EQ(r.kept_long, 0);
+  EXPECT_NEAR(offtree_density(r.sparsifier), 0.10, 0.05);
+}
+
+TEST(CycleSparsify, AccountingAddsUp) {
+  const Graph g = mesh(12);
+  const CycleSparsifyResult r = cycle_sparsify(g);
+  const EdgeId off_tree_total = g.num_edges() - r.tree_edges;
+  EXPECT_EQ(r.kept_long + r.kept_short_sampled + r.dropped_short, off_tree_total);
+  EXPECT_EQ(r.sparsifier.num_edges(), r.tree_edges + r.kept_long + r.kept_short_sampled);
+  EXPECT_GE(r.keep_probability, 0.0);
+  EXPECT_LE(r.keep_probability, 1.0);
+}
+
+TEST(CycleSparsify, TotalWeightConservedExactly) {
+  // Dropped short-cycle edges fold their weight onto a tree edge of their
+  // cycle, so the output's total weight equals the input's, every run.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = mesh(10, seed);
+    CycleSparsifyOptions opts;
+    opts.seed = seed * 31;
+    const CycleSparsifyResult r = cycle_sparsify(g, opts);
+    EXPECT_NEAR(r.sparsifier.total_weight(), g.total_weight(),
+                1e-9 * g.total_weight());
+  }
+}
+
+TEST(CycleSparsify, FoldedWeightAccountedFor) {
+  const Graph g = mesh(12, 7);
+  const CycleSparsifyResult r = cycle_sparsify(g);
+  if (r.dropped_short == 0) GTEST_SKIP() << "nothing dropped at this density";
+  EXPECT_GT(r.folded_weight, 0.0);
+  // Folded weight shows up as tree-edge weight above the original.
+  double surplus = 0.0;
+  for (EdgeId e = 0; e < r.tree_edges; ++e) {
+    const Edge& se = r.sparsifier.edge(e);
+    const EdgeId orig = g.find_edge(se.u, se.v);
+    ASSERT_NE(orig, kInvalidEdge);
+    surplus += se.w - g.edge(orig).w;
+  }
+  EXPECT_NEAR(surplus, r.folded_weight, 1e-9 * r.folded_weight);
+}
+
+TEST(CycleSparsify, LongCycleEdgesAlwaysKept) {
+  // A ring has one off-tree edge closing an N-hop cycle — always kept even
+  // at zero density budget.
+  Graph g(20);
+  for (NodeId v = 0; v < 20; ++v) g.add_edge(v, (v + 1) % 20, 1.0);
+  CycleSparsifyOptions opts;
+  opts.target_offtree_density = 0.0;
+  opts.short_cycle_max_hops = 8;
+  const CycleSparsifyResult r = cycle_sparsify(g, opts);
+  EXPECT_EQ(r.kept_long, 1);
+  EXPECT_TRUE(is_connected(r.sparsifier));
+}
+
+TEST(CycleSparsify, ShorterThresholdKeepsMoreEdges) {
+  const Graph g = mesh(12, 9);
+  CycleSparsifyOptions tight;
+  tight.short_cycle_max_hops = 3;  // only triangles count as short
+  tight.target_offtree_density = 0.05;
+  CycleSparsifyOptions loose = tight;
+  loose.short_cycle_max_hops = 40;  // nearly everything is short
+  const auto r_tight = cycle_sparsify(g, tight);
+  const auto r_loose = cycle_sparsify(g, loose);
+  EXPECT_GE(r_tight.sparsifier.num_edges(), r_loose.sparsifier.num_edges());
+}
+
+TEST(CycleSparsify, RejectsBadInputs) {
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1, 1.0);
+  disconnected.add_edge(2, 3, 1.0);
+  EXPECT_THROW(cycle_sparsify(disconnected), std::invalid_argument);
+
+  const Graph g = mesh(6);
+  CycleSparsifyOptions opts;
+  opts.short_cycle_max_hops = 2;
+  EXPECT_THROW(cycle_sparsify(g, opts), std::invalid_argument);
+}
+
+TEST(CycleSparsify, SpectralQualityBoundedOnMesh) {
+  // Lemma 2.1's promise in practice: the sampled sparsifier approximates
+  // the quadratic form — kappa stays moderate at 10% density on a mesh.
+  const Graph g = mesh(16);
+  const CycleSparsifyResult r = cycle_sparsify(g);
+  const double kappa = condition_number(g, r.sparsifier);
+  EXPECT_GE(kappa, 1.0);
+  EXPECT_LT(kappa, 2000.0);
+}
+
+TEST(CycleSparsify, DeterministicForSeed) {
+  const Graph g = mesh(10);
+  CycleSparsifyOptions opts;
+  opts.seed = 77;
+  const auto a = cycle_sparsify(g, opts);
+  const auto b = cycle_sparsify(g, opts);
+  ASSERT_EQ(a.sparsifier.num_edges(), b.sparsifier.num_edges());
+  EXPECT_EQ(a.kept_short_sampled, b.kept_short_sampled);
+}
+
+}  // namespace
+}  // namespace ingrass

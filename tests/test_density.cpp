@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sparsify/density.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(Density, TreeHasZeroOfftreeDensity) {
+  Graph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1, 1.0);
+  EXPECT_DOUBLE_EQ(offtree_density(g), 0.0);
+}
+
+TEST(Density, TenPercentConvention) {
+  // N=100 nodes, 99 tree + 10 off-tree edges -> D = 10%.
+  Graph g(100);
+  for (NodeId v = 0; v + 1 < 100; ++v) g.add_edge(v, v + 1, 1.0);
+  for (NodeId v = 0; v < 10; ++v) g.add_edge(v, v + 50, 1.0);
+  EXPECT_NEAR(offtree_density(g), 0.10, 1e-12);
+}
+
+TEST(Density, WithExtraEdges) {
+  Graph g(100);
+  for (NodeId v = 0; v + 1 < 100; ++v) g.add_edge(v, v + 1, 1.0);
+  EXPECT_NEAR(offtree_density_with(g, 24), 0.24, 1e-12);
+}
+
+TEST(Density, SubTreeClampsAtZero) {
+  Graph g(10);
+  g.add_edge(0, 1, 1.0);  // fewer than N-1 edges
+  EXPECT_DOUBLE_EQ(offtree_density(g), 0.0);
+}
+
+TEST(Density, EdgeRatio) {
+  Rng rng(1);
+  const Graph g = make_grid2d(6, 6, rng);
+  Graph h(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) {
+    h.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).w);
+  }
+  EXPECT_NEAR(edge_ratio(h, g), 0.5, 0.02);
+}
+
+TEST(Density, BudgetRounding) {
+  EXPECT_EQ(offtree_edge_budget(100, 0.10), 10);
+  EXPECT_EQ(offtree_edge_budget(1000, 0.24), 240);
+  EXPECT_EQ(offtree_edge_budget(3, 0.10), 0);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/ingrass.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(GraphRemoveEdge, RemovesAndCompacts) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  const EdgeId e2 = g.add_edge(2, 3, 3.0);
+  const EdgeId moved = g.remove_edge(e0);
+  EXPECT_EQ(moved, e2);  // last edge relocated into slot 0
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  // The moved edge is reachable under its new id via adjacency.
+  const EdgeId found = g.find_edge(2, 3);
+  EXPECT_EQ(found, e0);
+  EXPECT_DOUBLE_EQ(g.edge(found).w, 3.0);
+}
+
+TEST(GraphRemoveEdge, RemoveLastNeedsNoMove) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const EdgeId last = g.add_edge(1, 2, 2.0);
+  EXPECT_EQ(g.remove_edge(last), kInvalidEdge);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(GraphRemoveEdge, DegreesStayConsistent) {
+  Rng rng(1);
+  Graph g = make_triangulated_grid(6, 6, rng);
+  const EdgeId before = g.num_edges();
+  // Remove a third of the edges (always id 0, exercising the swap).
+  for (EdgeId i = 0; i < before / 3; ++i) g.remove_edge(0);
+  EXPECT_EQ(g.num_edges(), before - before / 3);
+  // Adjacency and edge array agree.
+  EdgeId arc_count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Arc& a : g.neighbors(v)) {
+      const Edge& e = g.edge(a.edge);
+      EXPECT_TRUE(e.u == v || e.v == v);
+      ++arc_count;
+    }
+  }
+  EXPECT_EQ(arc_count, 2 * g.num_edges());
+}
+
+TEST(GraphRemoveEdge, BadIdThrows) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.remove_edge(5), std::out_of_range);
+  EXPECT_THROW(g.remove_edge(-1), std::out_of_range);
+}
+
+TEST(IngrassRemoveEdges, RemovesAndResetups) {
+  Rng rng(2);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.20;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  Ingrass ing{Graph(h0)};
+
+  // Remove a few off-tree edges that exist in H (pick from its edge list,
+  // skipping ones whose removal would disconnect: use high-id extras).
+  std::vector<std::pair<NodeId, NodeId>> doomed;
+  for (EdgeId e = h0.num_edges() - 5; e < h0.num_edges(); ++e) {
+    doomed.emplace_back(h0.edge(e).u, h0.edge(e).v);
+  }
+  doomed.emplace_back(0, 99);  // not an edge: ignored
+  const EdgeId removed = ing.remove_edges(doomed);
+  EXPECT_EQ(removed, 5);
+  EXPECT_EQ(ing.sparsifier().num_edges(), h0.num_edges() - 5);
+  for (EdgeId i = 0; i < 5; ++i) {
+    EXPECT_FALSE(ing.sparsifier().has_edge(doomed[static_cast<std::size_t>(i)].first,
+                                           doomed[static_cast<std::size_t>(i)].second));
+  }
+  // The hierarchy was rebuilt and stays usable.
+  EXPECT_GE(ing.num_levels(), 1);
+  const auto stats = ing.insert_edges({});
+  EXPECT_EQ(stats.total(), 0);
+}
+
+TEST(IngrassRemoveEdges, NoMatchesIsNoop) {
+  Rng rng(3);
+  const Graph g = make_grid2d(6, 6, rng);
+  GrassOptions gopts;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  Ingrass ing{Graph(h0)};
+  const double setup = ing.setup_seconds();
+  std::vector<std::pair<NodeId, NodeId>> none{{0, 35}};
+  if (h0.has_edge(0, 35)) GTEST_SKIP();
+  EXPECT_EQ(ing.remove_edges(none), 0);
+  EXPECT_DOUBLE_EQ(ing.setup_seconds(), setup);  // no resetup happened
+}
+
+TEST(IngrassRemoveEdges, InsertAfterRemoveRoundTrip) {
+  Rng rng(4);
+  Graph g = make_triangulated_grid(10, 10, rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.20;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  const double kappa0 = condition_number(g, h0);
+  Ingrass::Options iopts;
+  iopts.target_condition = kappa0;
+  Ingrass ing{Graph(h0), iopts};
+
+  // Delete an off-tree sparsifier edge, then re-insert it as a new edge.
+  const Edge victim = h0.edge(h0.num_edges() - 1);
+  std::vector<std::pair<NodeId, NodeId>> doomed{{victim.u, victim.v}};
+  ASSERT_EQ(ing.remove_edges(doomed), 1);
+  std::vector<Edge> batch{victim};
+  const auto stats = ing.insert_edges(batch);
+  EXPECT_EQ(stats.total(), 1);
+  EXPECT_TRUE(is_connected(ing.sparsifier()));
+}
+
+}  // namespace
+}  // namespace ingrass

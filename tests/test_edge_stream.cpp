@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(EdgeStream, BatchCountAndTotalSize) {
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(12, 12, rng);
+  EdgeStreamOptions opts;
+  opts.iterations = 10;
+  opts.total_per_node = 0.24;
+  const auto batches = make_edge_stream(g, opts);
+  EXPECT_EQ(batches.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  const auto expected = static_cast<std::size_t>(0.24 * g.num_nodes());
+  EXPECT_NEAR(static_cast<double>(total), static_cast<double>(expected),
+              0.05 * expected + 2.0);
+}
+
+TEST(EdgeStream, NoDuplicatesOrExistingEdges) {
+  Rng rng(2);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  const auto batches = make_edge_stream(g);
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& b : batches) {
+    for (const Edge& e : b) {
+      EXPECT_NE(e.u, e.v);
+      EXPECT_FALSE(g.has_edge(e.u, e.v)) << e.u << "," << e.v;
+      const auto key = (static_cast<std::uint64_t>(e.u) << 32) |
+                       static_cast<std::uint64_t>(e.v);
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate " << e.u << "," << e.v;
+    }
+  }
+}
+
+TEST(EdgeStream, WeightsDrawnFromExistingDistribution) {
+  Rng rng(3);
+  const Graph g = make_grid2d(10, 10, rng, 2.0, 3.0);
+  EdgeStreamOptions opts;
+  opts.global_weight_factor = 1.0;
+  const auto batches = make_edge_stream(g, opts);
+  for (const auto& b : batches) {
+    for (const Edge& e : b) {
+      EXPECT_GE(e.w, 2.0);
+      EXPECT_LT(e.w, 3.0);
+    }
+  }
+}
+
+TEST(EdgeStream, GlobalEdgesCarryWeightFactor) {
+  Rng rng(3);
+  const Graph g = make_grid2d(12, 12, rng, 2.0, 3.0);
+  EdgeStreamOptions opts;
+  opts.global_weight_factor = 8.0;
+  opts.locality_fraction = 0.5;
+  const auto batches = make_edge_stream(g, opts);
+  int light = 0, heavy = 0;
+  for (const auto& b : batches) {
+    for (const Edge& e : b) {
+      if (e.w < 3.0) {
+        EXPECT_GE(e.w, 2.0);
+        ++light;
+      } else {
+        EXPECT_GE(e.w, 16.0);
+        EXPECT_LT(e.w, 24.0);
+        ++heavy;
+      }
+    }
+  }
+  EXPECT_GT(light, 0);
+  EXPECT_GT(heavy, 0);
+}
+
+TEST(EdgeStream, EndpointsNormalized) {
+  Rng rng(4);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  for (const auto& b : make_edge_stream(g)) {
+    for (const Edge& e : b) {
+      EXPECT_LT(e.u, e.v);
+      EXPECT_GE(e.u, 0);
+      EXPECT_LT(e.v, g.num_nodes());
+    }
+  }
+}
+
+TEST(EdgeStream, DeterministicForSeed) {
+  Rng rng(5);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  EdgeStreamOptions opts;
+  opts.seed = 77;
+  const auto a = make_edge_stream(g, opts);
+  const auto b = make_edge_stream(g, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j].u, b[i][j].u);
+      EXPECT_EQ(a[i][j].v, b[i][j].v);
+      EXPECT_DOUBLE_EQ(a[i][j].w, b[i][j].w);
+    }
+  }
+}
+
+TEST(EdgeStream, LocalityZeroGivesLongRangePairs) {
+  Rng rng(6);
+  const Graph g = make_grid2d(20, 20, rng);
+  EdgeStreamOptions opts;
+  opts.locality_fraction = 0.0;
+  opts.total_per_node = 0.1;
+  const auto batches = make_edge_stream(g, opts);
+  // With purely random pairs on a 20x20 grid, mean manhattan distance
+  // between endpoints should be far above 2.
+  double mean_dist = 0.0;
+  int count = 0;
+  for (const auto& b : batches) {
+    for (const Edge& e : b) {
+      const int x1 = e.u % 20, y1 = e.u / 20;
+      const int x2 = e.v % 20, y2 = e.v / 20;
+      mean_dist += std::abs(x1 - x2) + std::abs(y1 - y2);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 10);
+  EXPECT_GT(mean_dist / count, 5.0);
+}
+
+TEST(EdgeStream, LocalityOneGivesShortPairs) {
+  Rng rng(7);
+  const Graph g = make_grid2d(20, 20, rng);
+  EdgeStreamOptions opts;
+  opts.locality_fraction = 1.0;
+  opts.local_hops = 2;
+  opts.total_per_node = 0.1;
+  const auto batches = make_edge_stream(g, opts);
+  double mean_dist = 0.0;
+  int count = 0;
+  for (const auto& b : batches) {
+    for (const Edge& e : b) {
+      const int x1 = e.u % 20, y1 = e.u / 20;
+      const int x2 = e.v % 20, y2 = e.v / 20;
+      mean_dist += std::abs(x1 - x2) + std::abs(y1 - y2);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 10);
+  EXPECT_LE(mean_dist / count, 2.01);  // 2-hop walks on a grid
+}
+
+TEST(EdgeStream, ValidationErrors) {
+  Rng rng(8);
+  const Graph g = make_grid2d(5, 5, rng);
+  EdgeStreamOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW(make_edge_stream(g, opts), std::invalid_argument);
+  const Graph tiny(2);
+  EXPECT_THROW(make_edge_stream(tiny, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass

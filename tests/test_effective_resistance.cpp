@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/effective_resistance.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(EffectiveResistance, SeriesLaw) {
+  // Path 0-1-2 with conductances 2 and 3: R(0,2) = 1/2 + 1/3.
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const EffectiveResistanceOracle oracle(g);
+  EXPECT_NEAR(oracle.resistance(0, 2), 1.0 / 2.0 + 1.0 / 3.0, 1e-8);
+  EXPECT_NEAR(oracle.resistance(0, 1), 0.5, 1e-8);
+}
+
+TEST(EffectiveResistance, ParallelLaw) {
+  // Two parallel unit edges between 0 and 1: R = 1/2.
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 1.0);
+  const EffectiveResistanceOracle oracle(g);
+  EXPECT_NEAR(oracle.resistance(0, 1), 0.5, 1e-8);
+}
+
+TEST(EffectiveResistance, TriangleSymmetricCase) {
+  // Unit triangle: R between any pair = 2/3.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  const EffectiveResistanceOracle oracle(g);
+  EXPECT_NEAR(oracle.resistance(0, 1), 2.0 / 3.0, 1e-8);
+  EXPECT_NEAR(oracle.resistance(1, 2), 2.0 / 3.0, 1e-8);
+  EXPECT_NEAR(oracle.resistance(0, 2), 2.0 / 3.0, 1e-8);
+}
+
+TEST(EffectiveResistance, SymmetryAndIdentity) {
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(6, 6, rng);
+  const EffectiveResistanceOracle oracle(g);
+  EXPECT_DOUBLE_EQ(oracle.resistance(5, 5), 0.0);
+  EXPECT_NEAR(oracle.resistance(0, 17), oracle.resistance(17, 0), 1e-8);
+}
+
+TEST(EffectiveResistance, DisconnectedPairsInfinite) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const EffectiveResistanceOracle oracle(g);
+  EXPECT_TRUE(std::isinf(oracle.resistance(0, 3)));
+  EXPECT_NEAR(oracle.resistance(0, 1), 1.0, 1e-8);
+}
+
+TEST(EffectiveResistance, BoundedByShortestPathResistance) {
+  // Rayleigh: adding parallel paths only lowers resistance, so R <= the
+  // direct edge's 1/w.
+  Rng rng(2);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  const EffectiveResistanceOracle oracle(g);
+  for (EdgeId e = 0; e < g.num_edges(); e += 17) {
+    const Edge& edge = g.edge(e);
+    EXPECT_LE(oracle.resistance(edge.u, edge.v), 1.0 / edge.w + 1e-8);
+  }
+}
+
+TEST(EffectiveResistance, SumOverTreeEdgesIsNMinusOne) {
+  // Foster's theorem specialization: on a tree, R(u,v) of each edge is
+  // exactly 1/w and the leverage sum w*R is N-1.
+  Graph g(5);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(1, 3, 4.0);
+  g.add_edge(3, 4, 1.0);
+  const EffectiveResistanceOracle oracle(g);
+  double leverage = 0.0;
+  for (const Edge& e : g.edges()) leverage += e.w * oracle.resistance(e.u, e.v);
+  EXPECT_NEAR(leverage, 4.0, 1e-7);
+}
+
+TEST(EffectiveResistance, FosterTheoremOnGeneralGraph) {
+  // Foster: sum over edges of w_e * R(e) = N - #components.
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(5, 5, rng);
+  const EffectiveResistanceOracle oracle(g);
+  double leverage = 0.0;
+  for (const Edge& e : g.edges()) leverage += e.w * oracle.resistance(e.u, e.v);
+  EXPECT_NEAR(leverage, 24.0, 1e-5);
+}
+
+TEST(EffectiveResistance, BadNodeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  const EffectiveResistanceOracle oracle(g);
+  EXPECT_THROW(oracle.resistance(0, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/fegrass.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/timer.hpp"
+
+namespace ingrass {
+namespace {
+
+Graph mesh(NodeId side, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return make_triangulated_grid(side, side, rng);
+}
+
+TEST(Fegrass, OutputIsConnectedSpanningSubgraphAtTargetDensity) {
+  const Graph g = mesh(14);
+  FegrassOptions opts;
+  opts.target_offtree_density = 0.10;
+  const FegrassResult r = fegrass_sparsify(g, opts);
+  EXPECT_EQ(r.sparsifier.num_nodes(), g.num_nodes());
+  EXPECT_TRUE(is_connected(r.sparsifier));
+  EXPECT_EQ(r.tree_edges, g.num_nodes() - 1);
+  EXPECT_NEAR(offtree_density(r.sparsifier), 0.10, 0.02);
+}
+
+TEST(Fegrass, EveryOutputEdgeExistsInInputWithSameWeight) {
+  const Graph g = mesh(8);
+  const FegrassResult r = fegrass_sparsify(g);
+  for (const Edge& e : r.sparsifier.edges()) {
+    const EdgeId orig = g.find_edge(e.u, e.v);
+    ASSERT_NE(orig, kInvalidEdge);
+    EXPECT_DOUBLE_EQ(g.edge(orig).w, e.w);  // feGRASS never reweights
+  }
+}
+
+TEST(Fegrass, RejectsDisconnectedInput) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_THROW(fegrass_sparsify(g), std::invalid_argument);
+}
+
+TEST(Fegrass, EffectiveWeightReducesToPlainWeightAtZeroInfluence) {
+  const Graph g = mesh(6);
+  for (EdgeId e = 0; e < g.num_edges(); e += 5) {
+    EXPECT_DOUBLE_EQ(fegrass_effective_weight(g, g.edge(e), 0.0), g.edge(e).w);
+  }
+}
+
+TEST(Fegrass, EffectiveWeightBoostsHubEdges) {
+  // Star center edges see a large hub term; an isolated pendant edge does
+  // not. Same edge weight, different effective weight.
+  Graph g(6);
+  const EdgeId hub = g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(0, 3, 10.0);
+  g.add_edge(1, 4, 10.0);
+  const EdgeId pendant = g.add_edge(4, 5, 1.0);
+  EXPECT_GT(fegrass_effective_weight(g, g.edge(hub), 1.0),
+            fegrass_effective_weight(g, g.edge(pendant), 1.0));
+}
+
+TEST(Fegrass, EffectiveWeightMonotoneInInfluence) {
+  const Graph g = mesh(6);
+  const Edge& e = g.edge(0);
+  EXPECT_LE(fegrass_effective_weight(g, e, 0.5),
+            fegrass_effective_weight(g, e, 2.0));
+}
+
+TEST(Fegrass, QualityWithinSmallFactorOfGrassAtSameDensity) {
+  // The headline trade: solver-free, no kappa evaluations, quality close
+  // to GRASS at the same density budget.
+  const Graph g = mesh(16);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const double kappa_grass =
+      condition_number(g, grass_sparsify(g, gopts).sparsifier);
+  FegrassOptions fopts;
+  fopts.target_offtree_density = 0.10;
+  const double kappa_fe =
+      condition_number(g, fegrass_sparsify(g, fopts).sparsifier);
+  EXPECT_LT(kappa_fe, 6.0 * kappa_grass);
+  EXPECT_GE(kappa_fe, 1.0);
+}
+
+TEST(Fegrass, SpreadRoundsImproveOrMatchQuality) {
+  const Graph g = mesh(14, 9);
+  FegrassOptions spread;
+  spread.target_offtree_density = 0.08;
+  FegrassOptions no_spread = spread;
+  no_spread.spread_rounds = 0;
+  const double k_spread = condition_number(g, fegrass_sparsify(g, spread).sparsifier);
+  const double k_rank = condition_number(g, fegrass_sparsify(g, no_spread).sparsifier);
+  EXPECT_LE(k_spread, 1.5 * k_rank);  // spreading should not hurt much
+}
+
+TEST(Fegrass, DeterministicAcrossRuns) {
+  const Graph g = mesh(10);
+  const FegrassResult a = fegrass_sparsify(g);
+  const FegrassResult b = fegrass_sparsify(g);
+  ASSERT_EQ(a.sparsifier.num_edges(), b.sparsifier.num_edges());
+  for (EdgeId e = 0; e < a.sparsifier.num_edges(); ++e) {
+    EXPECT_EQ(a.sparsifier.edge(e).u, b.sparsifier.edge(e).u);
+    EXPECT_EQ(a.sparsifier.edge(e).v, b.sparsifier.edge(e).v);
+    EXPECT_DOUBLE_EQ(a.sparsifier.edge(e).w, b.sparsifier.edge(e).w);
+  }
+}
+
+TEST(Fegrass, ZeroDensityYieldsSpanningTreeOnly) {
+  const Graph g = mesh(8);
+  FegrassOptions opts;
+  opts.target_offtree_density = 0.0;
+  const FegrassResult r = fegrass_sparsify(g, opts);
+  EXPECT_EQ(r.sparsifier.num_edges(), g.num_nodes() - 1);
+  EXPECT_EQ(r.offtree_edges, 0);
+  EXPECT_TRUE(is_connected(r.sparsifier));
+}
+
+TEST(Fegrass, FasterThanKappaTargetedGrass) {
+  // feGRASS's reason to exist: no condition-number evaluations. On a mesh
+  // this should beat kappa-targeted GRASS comfortably; allow a wide margin
+  // to stay robust on loaded CI machines.
+  const Graph g = mesh(20);
+  Timer t1;
+  const FegrassResult fr = fegrass_sparsify(g);
+  const double fe_time = t1.seconds();
+
+  GrassOptions gopts;
+  gopts.target_condition = condition_number(g, fr.sparsifier);
+  Timer t2;
+  (void)grass_sparsify(g, gopts);
+  const double grass_time = t2.seconds();
+  if (grass_time > 1e-3) {
+    EXPECT_LT(fe_time, grass_time);
+  }
+}
+
+}  // namespace
+}  // namespace ingrass

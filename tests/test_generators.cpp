@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(Generators, Grid2dSizesAndConnectivity) {
+  Rng rng(1);
+  const Graph g = make_grid2d(5, 7, rng);
+  EXPECT_EQ(g.num_nodes(), 35);
+  EXPECT_EQ(g.num_edges(), 4 * 7 + 5 * 6);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid2dWeightsInRange) {
+  Rng rng(2);
+  const Graph g = make_grid2d(6, 6, rng, 0.5, 2.0);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, 0.5);
+    EXPECT_LT(e.w, 2.0);
+  }
+}
+
+TEST(Generators, Grid3dSizes) {
+  Rng rng(3);
+  const Graph g = make_grid3d(3, 4, 5, rng);
+  EXPECT_EQ(g.num_nodes(), 60);
+  EXPECT_TRUE(is_connected(g));
+  // 6-neighborhood edge count: 2*4*5 + 3*3*5 + 3*4*4
+  EXPECT_EQ(g.num_edges(), 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+}
+
+TEST(Generators, TriangulatedGridHasOneDiagonalPerCell) {
+  Rng rng(4);
+  const Graph g = make_triangulated_grid(6, 5, rng);
+  const EdgeId grid_edges = 5 * 5 + 6 * 4;
+  const EdgeId cells = 5 * 4;
+  EXPECT_EQ(g.num_edges(), grid_edges + cells);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, TriangulatedGridDeterministicPerSeed) {
+  Rng r1(9), r2(9);
+  const Graph a = make_triangulated_grid(7, 7, r1);
+  const Graph b = make_triangulated_grid(7, 7, r2);
+  EXPECT_TRUE(graphs_equal(a, b));
+}
+
+TEST(Generators, SphereMeshClosedSurface) {
+  Rng rng(5);
+  const Graph g = make_sphere_mesh(8, 12, rng);
+  EXPECT_EQ(g.num_nodes(), 6 * 12 + 2);
+  EXPECT_TRUE(is_connected(g));
+  // Poles connect to a full ring.
+  EXPECT_EQ(g.degree(g.num_nodes() - 1), 12);
+  EXPECT_EQ(g.degree(g.num_nodes() - 2), 12);
+}
+
+TEST(Generators, MaskedMeshConnectedAndSmaller) {
+  Rng rng(6);
+  const Graph g = make_masked_mesh(40, 40, 0.2, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LT(g.num_nodes(), 40 * 40);
+  EXPECT_GT(g.num_nodes(), 40 * 40 / 2);
+}
+
+TEST(Generators, MaskedMeshRejectsBadFraction) {
+  Rng rng(6);
+  EXPECT_THROW(make_masked_mesh(10, 10, 0.9, rng), std::invalid_argument);
+}
+
+TEST(Generators, GradedMeshSpansOrdersOfMagnitude) {
+  Rng rng(7);
+  const Graph g = make_graded_mesh(20, 20, 2.0, rng);
+  EXPECT_TRUE(is_connected(g));
+  double wmin = 1e300, wmax = 0;
+  for (const Edge& e : g.edges()) {
+    wmin = std::min(wmin, e.w);
+    wmax = std::max(wmax, e.w);
+  }
+  EXPECT_GT(wmax / wmin, 30.0);  // ~2 decades of grading
+}
+
+TEST(Generators, PowerGridLayeredConnected) {
+  Rng rng(8);
+  const Graph g = make_power_grid(12, 12, 2, rng);
+  EXPECT_EQ(g.num_nodes(), 12 * 12 * 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PowerGridUpperLayerMoreConductive) {
+  Rng rng(8);
+  const Graph g = make_power_grid(16, 16, 2, rng);
+  const NodeId per_layer = 16 * 16;
+  double lower = 0, upper = 0;
+  EdgeId nl = 0, nu = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.u < per_layer && e.v < per_layer) {
+      lower += e.w;
+      ++nl;
+    } else if (e.u >= per_layer && e.v >= per_layer) {
+      upper += e.w;
+      ++nu;
+    }
+  }
+  ASSERT_GT(nl, 0);
+  ASSERT_GT(nu, 0);
+  EXPECT_GT(upper / static_cast<double>(nu), 2.0 * lower / static_cast<double>(nl));
+}
+
+TEST(Generators, BarabasiAlbertDegreeSkew) {
+  Rng rng(10);
+  const Graph g = make_barabasi_albert(500, 3, rng);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.min, 3);
+  EXPECT_GT(s.max, 5 * static_cast<NodeId>(s.mean));  // heavy tail
+}
+
+TEST(Generators, BarabasiAlbertRejectsBadParams) {
+  Rng rng(10);
+  EXPECT_THROW(make_barabasi_albert(3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(make_barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, WattsStrogatzRingAndRewire) {
+  Rng rng(11);
+  const Graph ring = make_watts_strogatz(60, 3, 0.0, rng);
+  EXPECT_TRUE(is_connected(ring));
+  EXPECT_EQ(ring.num_edges(), 60 * 3);  // pure ring lattice, no rewires
+  EXPECT_TRUE(ring.has_edge(0, 1));
+  EXPECT_TRUE(ring.has_edge(0, 3));
+  EXPECT_FALSE(ring.has_edge(0, 4));
+
+  const Graph small_world = make_watts_strogatz(60, 3, 0.3, rng);
+  EXPECT_TRUE(is_connected(small_world));
+  // Rewiring creates at least one long-range shortcut.
+  bool has_long = false;
+  for (const Edge& e : small_world.edges()) {
+    const NodeId gap = std::min<NodeId>(e.v - e.u, 60 - (e.v - e.u));
+    if (gap > 3) has_long = true;
+  }
+  EXPECT_TRUE(has_long);
+}
+
+TEST(Generators, WattsStrogatzValidation) {
+  Rng rng(12);
+  EXPECT_THROW(make_watts_strogatz(3, 1, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_watts_strogatz(10, 5, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_watts_strogatz(10, 2, 1.5, rng), std::invalid_argument);
+}
+
+TEST(PaperTestcases, AllFourteenPresent) {
+  EXPECT_EQ(paper_testcase_names().size(), 14u);
+  EXPECT_EQ(paper_testcase_names().front(), "G3_circuit");
+}
+
+TEST(PaperTestcases, SizesMatchPaperOrdering) {
+  const PaperSize g3 = paper_testcase_size("G3_circuit");
+  EXPECT_EQ(g3.nodes, 1'500'000);
+  const PaperSize d22 = paper_testcase_size("delaunay_n22");
+  EXPECT_GT(d22.edges, d22.nodes);
+  EXPECT_THROW(paper_testcase_size("nonexistent"), std::invalid_argument);
+}
+
+TEST(PaperTestcases, GeneratedAnalogsConnected) {
+  // Tiny scale keeps this test fast while touching every generator branch.
+  for (const std::string& name : paper_testcase_names()) {
+    Rng rng(42);
+    const Graph g = make_paper_testcase(name, 0.1, rng);
+    EXPECT_TRUE(is_connected(g)) << name;
+    EXPECT_GT(g.num_nodes(), 100) << name;
+    EXPECT_GT(g.num_edges(), g.num_nodes()) << name;
+  }
+}
+
+TEST(PaperTestcases, ScaleGrowsTheGraph) {
+  Rng r1(1), r2(1);
+  const Graph small = make_paper_testcase("fe_4elt2", 0.2, r1);
+  const Graph large = make_paper_testcase("fe_4elt2", 0.8, r2);
+  EXPECT_GT(large.num_nodes(), 2 * small.num_nodes());
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  const Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(0), 0);
+}
+
+TEST(Graph, AddEdgeNormalizesEndpoints) {
+  Graph g(4);
+  const EdgeId e = g.add_edge(3, 1, 2.0);
+  EXPECT_EQ(g.edge(e).u, 1);
+  EXPECT_EQ(g.edge(e).v, 3);
+  EXPECT_DOUBLE_EQ(g.edge(e).w, 2.0);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadWeights) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0, 1.0), std::out_of_range);
+}
+
+TEST(Graph, AdjacencyTracksBothEndpoints) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(Graph, FindEdgeAndHasEdge) {
+  Graph g(4);
+  const EdgeId e = g.add_edge(0, 2, 1.5);
+  EXPECT_EQ(g.find_edge(2, 0), e);
+  EXPECT_EQ(g.find_edge(0, 2), e);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.find_edge(1, 3), kInvalidEdge);
+}
+
+TEST(Graph, AddOrMergeCoalescesParallelEdges) {
+  Graph g(3);
+  const EdgeId e1 = g.add_or_merge_edge(0, 1, 1.0);
+  const EdgeId e2 = g.add_or_merge_edge(1, 0, 2.5);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge(e1).w, 3.5);
+}
+
+TEST(Graph, ParallelEdgesAllowedViaAddEdge) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 3.0);
+}
+
+TEST(Graph, WeightMutation) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.set_weight(e, 4.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).w, 4.0);
+  g.add_to_weight(e, -1.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).w, 3.0);
+  g.scale_weight(e, 2.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).w, 6.0);
+  EXPECT_THROW(g.set_weight(e, -1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_to_weight(e, -100.0), std::invalid_argument);
+  EXPECT_THROW(g.scale_weight(e, 0.0), std::invalid_argument);
+}
+
+TEST(Graph, WeightedDegreeAndTotalWeight) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+}
+
+TEST(Graph, AddNodesExtends) {
+  Graph g(2);
+  const NodeId first = g.add_nodes(3);
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(g.num_nodes(), 5);
+  g.add_edge(0, 4, 1.0);  // new node usable
+  EXPECT_TRUE(g.has_edge(0, 4));
+}
+
+TEST(Graph, EdgeAccessorBounds) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.edge(5), std::out_of_range);
+  EXPECT_THROW(g.edge(-1), std::out_of_range);
+}
+
+TEST(CsrAdjacency, MirrorsGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const CsrAdjacency csr = build_csr(g);
+  EXPECT_EQ(csr.num_nodes(), 4);
+  EXPECT_EQ(csr.targets.size(), 6u);  // 2 * num_edges
+  EXPECT_DOUBLE_EQ(csr.degree[1], 3.0);
+  EXPECT_DOUBLE_EQ(csr.degree[3], 3.0);
+  // Node 1's neighborhood holds nodes 0 and 2.
+  std::vector<NodeId> nbrs(csr.targets.begin() + csr.offsets[1],
+                           csr.targets.begin() + csr.offsets[2]);
+  std::sort(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(CsrAdjacency, WeightSnapshotIsStale) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  const CsrAdjacency csr = build_csr(g);
+  g.set_weight(e, 9.0);
+  EXPECT_DOUBLE_EQ(csr.weights[0], 1.0);  // snapshot semantics by design
+}
+
+TEST(Graph, NegativeConstructionRejected) {
+  EXPECT_THROW(Graph(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+
+namespace ingrass {
+namespace {
+
+Graph make_sparsifier(NodeId side, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  const Graph g = make_triangulated_grid(side, side, rng);
+  GrassOptions opts;
+  opts.target_offtree_density = 0.10;
+  return grass_sparsify(g, opts).sparsifier;
+}
+
+TEST(IngrassSetup, BuildsHierarchyAndFilteringLevel) {
+  Ingrass::Options opts;
+  opts.target_condition = 64.0;
+  const Ingrass ing(make_sparsifier(12), opts);
+  EXPECT_GE(ing.num_levels(), 2);
+  EXPECT_GE(ing.filtering_level(), 0);
+  EXPECT_LT(ing.filtering_level(), ing.num_levels());
+  EXPECT_GE(ing.setup_seconds(), 0.0);
+  // Default rule: the *median* cluster size at the chosen level obeys C/2.
+  EXPECT_LE(
+      ing.embedding().cluster_size_quantile(ing.filtering_level(), 0.5),
+      static_cast<NodeId>(opts.target_condition / 2.0));
+}
+
+TEST(IngrassSetup, PaperMaxSizeRuleSelectable) {
+  Ingrass::Options opts;
+  opts.target_condition = 64.0;
+  opts.level_size_quantile = 1.0;  // the paper's max-cluster-size rule
+  const Ingrass ing(make_sparsifier(12), opts);
+  EXPECT_LE(ing.embedding().max_cluster_size(ing.filtering_level()),
+            static_cast<NodeId>(opts.target_condition / 2.0));
+}
+
+TEST(IngrassSetup, MedianRuleNeverShallowerThanMaxRule) {
+  // Quantile 0.5 bounds a smaller statistic than quantile 1.0, so the
+  // deepest level satisfying it can only be deeper or equal.
+  Ingrass::Options median_opts;
+  median_opts.target_condition = 40.0;
+  const Ingrass median_run(make_sparsifier(10), median_opts);
+  Ingrass::Options max_opts = median_opts;
+  max_opts.level_size_quantile = 1.0;
+  const Ingrass max_run(make_sparsifier(10), max_opts);
+  EXPECT_GE(median_run.filtering_level(), max_run.filtering_level());
+}
+
+TEST(IngrassSetup, TreeBoundSharpensEstimates) {
+  const Graph h = make_sparsifier(10);
+  Ingrass::Options with;
+  Ingrass::Options without = with;
+  without.use_tree_bound = false;
+  const Ingrass a{Graph(h), with};
+  const Ingrass b{Graph(h), without};
+  // min(tree, LRD) can never exceed the LRD-only estimate.
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_LE(a.estimate_resistance(u, 99 - u), b.estimate_resistance(u, 99 - u));
+  }
+}
+
+TEST(IngrassSetup, SparsifierCopiedVerbatim) {
+  const Graph h = make_sparsifier(8);
+  const Ingrass ing{Graph(h)};
+  EXPECT_EQ(ing.sparsifier().num_nodes(), h.num_nodes());
+  EXPECT_EQ(ing.sparsifier().num_edges(), h.num_edges());
+}
+
+TEST(IngrassSetup, ResistanceEstimatesPositiveAndSymmetric) {
+  const Ingrass ing(make_sparsifier(10));
+  EXPECT_DOUBLE_EQ(ing.estimate_resistance(3, 3), 0.0);
+  const double r = ing.estimate_resistance(0, 55);
+  EXPECT_GT(r, 0.0);
+  EXPECT_DOUBLE_EQ(r, ing.estimate_resistance(55, 0));
+}
+
+TEST(IngrassSetup, DistortionScalesWithWeight) {
+  const Ingrass ing(make_sparsifier(10));
+  Edge e1{0, 55, 1.0};
+  Edge e2{0, 55, 4.0};
+  EXPECT_NEAR(ing.estimate_distortion(e2), 4.0 * ing.estimate_distortion(e1), 1e-12);
+}
+
+TEST(IngrassSetup, EdgelessSparsifierRejected) {
+  EXPECT_THROW(Ingrass(Graph(5)), std::invalid_argument);
+}
+
+TEST(IngrassSetup, TighterTargetShallowerLevel) {
+  const Graph h = make_sparsifier(12);
+  Ingrass::Options tight;
+  tight.target_condition = 6.0;
+  Ingrass::Options loose;
+  loose.target_condition = 1e6;
+  const Ingrass a{Graph(h), tight};
+  const Ingrass b{Graph(h), loose};
+  EXPECT_LE(a.filtering_level(), b.filtering_level());
+}
+
+TEST(IngrassSetup, ResetupRefreshesHierarchy) {
+  Ingrass ing(make_sparsifier(8));
+  const int levels_before = ing.num_levels();
+  ing.resetup();
+  EXPECT_GE(ing.num_levels(), 1);
+  EXPECT_LE(std::abs(ing.num_levels() - levels_before), 3);
+}
+
+TEST(IngrassSetup, SetupTimeScalesSubquadratically) {
+  // Smoke test of the O(N log N) claim: 4x the nodes should cost far less
+  // than 16x the time. Generous factor to stay robust on loaded machines.
+  Ingrass small(make_sparsifier(16));
+  Ingrass large(make_sparsifier(32));
+  if (small.setup_seconds() > 1e-4) {
+    EXPECT_LT(large.setup_seconds(), 40.0 * small.setup_seconds());
+  }
+}
+
+}  // namespace
+}  // namespace ingrass

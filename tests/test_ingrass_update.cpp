@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+struct Fixture {
+  Graph g;      // original graph
+  Graph h0;     // initial sparsifier
+  double kappa0 = 0.0;
+  Fixture(NodeId side = 14, double density = 0.10) {
+    Rng rng(1);
+    g = make_triangulated_grid(side, side, rng);
+    GrassOptions opts;
+    opts.target_offtree_density = density;
+    h0 = grass_sparsify(g, opts).sparsifier;
+    kappa0 = condition_number(g, h0);
+  }
+};
+
+TEST(IngrassUpdate, ClassifiesEveryEdge) {
+  Fixture f;
+  Ingrass::Options opts;
+  opts.target_condition = f.kappa0;
+  Ingrass ing(Graph(f.h0), opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.2;
+  const auto batches = make_edge_stream(f.g, sopts);
+  const auto stats = ing.insert_edges(batches[0]);
+  EXPECT_EQ(stats.total(), static_cast<EdgeId>(batches[0].size()));
+  EXPECT_GT(stats.inserted + stats.merged + stats.redistributed, 0);
+}
+
+TEST(IngrassUpdate, ParallelEdgeReinforcesExactly) {
+  // An inserted edge parallel to one H already carries adds its weight to
+  // that edge — exact parallel-resistor combination, bypassing the filter
+  // (and the fold fraction, which defaults to dropping filtered weight).
+  Fixture f;
+  Ingrass::Options opts;
+  opts.target_condition = f.kappa0;
+  Ingrass ing(Graph(f.h0), opts);
+
+  const Edge& target = ing.sparsifier().edge(5);
+  const double w_before = target.w;
+  const std::vector<Edge> batch{Edge{target.u, target.v, 2.5}};
+  const auto stats = ing.insert_edges(batch);
+  EXPECT_EQ(stats.reinforced, 1);
+  EXPECT_EQ(stats.inserted + stats.merged + stats.redistributed, 0);
+  const EdgeId id = ing.sparsifier().find_edge(target.u, target.v);
+  EXPECT_DOUBLE_EQ(ing.sparsifier().edge(id).w, w_before + 2.5);
+  // No structural change: same edge count.
+  EXPECT_EQ(ing.sparsifier().num_edges(), f.h0.num_edges());
+}
+
+TEST(IngrassUpdate, ReinforceIsIdempotentAcrossBatches) {
+  Fixture f;
+  Ingrass ing{Graph(f.h0)};
+  const Edge& target = ing.sparsifier().edge(3);
+  const double w0 = target.w;
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<Edge> batch{Edge{target.u, target.v, 1.0}};
+    EXPECT_EQ(ing.insert_edges(batch).reinforced, 1);
+  }
+  const EdgeId id = ing.sparsifier().find_edge(target.u, target.v);
+  EXPECT_DOUBLE_EQ(ing.sparsifier().edge(id).w, w0 + 4.0);
+}
+
+TEST(IngrassUpdate, FiltersRedundantEdges) {
+  // With a locality-heavy stream most edges should be filtered (merged or
+  // redistributed), which is the whole point of similarity filtering.
+  Fixture f;
+  Ingrass::Options opts;
+  opts.target_condition = f.kappa0;
+  Ingrass ing(Graph(f.h0), opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.24;
+  sopts.locality_fraction = 0.9;
+  const auto batches = make_edge_stream(f.g, sopts);
+  const auto stats = ing.insert_edges(batches[0]);
+  EXPECT_LT(stats.inserted, static_cast<EdgeId>(batches[0].size()));
+  EXPECT_GT(stats.merged + stats.redistributed, 0);
+}
+
+TEST(IngrassUpdate, SparsifierStaysMuchSparserThanAddingAll) {
+  Fixture f;
+  Ingrass::Options opts;
+  // A looser quality target lets the similarity filter work at a deeper
+  // level — the regime where most of the stream should be folded away.
+  opts.target_condition = 3.0 * f.kappa0;
+  Ingrass ing(Graph(f.h0), opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 10;
+  sopts.total_per_node = 0.24;
+  const auto batches = make_edge_stream(f.g, sopts);
+  EdgeId streamed = 0;
+  for (const auto& batch : batches) {
+    streamed += static_cast<EdgeId>(batch.size());
+    ing.insert_edges(batch);
+  }
+  const EdgeId grown = ing.sparsifier().num_edges() - f.h0.num_edges();
+  EXPECT_LT(grown, streamed / 2);  // at least half the stream filtered
+}
+
+TEST(IngrassUpdate, WeightIsConservedInPaperFaithfulMode) {
+  // With fold_weight_fraction = 1.0 (the paper's rule) every filtered
+  // edge's weight lands somewhere in H (merged into a bridge or
+  // redistributed), so total weight grows by the batch total.
+  Fixture f;
+  Ingrass::Options opts;
+  opts.target_condition = f.kappa0;
+  opts.fold_weight_fraction = 1.0;
+  opts.merge_weight_ratio = 0.0;  // no dominance guard: pure paper rule
+  Ingrass ing(Graph(f.h0), opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.15;
+  const auto batches = make_edge_stream(f.g, sopts);
+  double batch_weight = 0.0;
+  for (const Edge& e : batches[0]) batch_weight += e.w;
+
+  const double before = ing.sparsifier().total_weight();
+  ing.insert_edges(batches[0]);
+  EXPECT_NEAR(ing.sparsifier().total_weight(), before + batch_weight,
+              1e-6 * (before + batch_weight));
+}
+
+TEST(IngrassUpdate, SubWeightedWhenFoldDisabled) {
+  // Default mode drops filtered weight, so H stays a sub-weighted
+  // approximation of G: every H edge's weight <= the matching G edge's.
+  Fixture f;
+  Ingrass::Options opts;
+  opts.target_condition = f.kappa0;
+  Ingrass ing(Graph(f.h0), opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 3;
+  sopts.total_per_node = 0.2;
+  const auto batches = make_edge_stream(f.g, sopts);
+  Graph g = f.g;
+  for (const auto& batch : batches) {
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    ing.insert_edges(batch);
+  }
+  for (const Edge& e : ing.sparsifier().edges()) {
+    const EdgeId in_g = g.find_edge(e.u, e.v);
+    ASSERT_NE(in_g, kInvalidEdge);
+    EXPECT_LE(e.w, g.edge(in_g).w * (1.0 + 1e-9));
+  }
+}
+
+TEST(IngrassUpdate, MaintainsConditionNumberNearTarget) {
+  // Core end-to-end claim: after the stream, inGRASS's sparsifier keeps
+  // kappa(L_G, L_H) in the neighborhood of the initial value while adding
+  // few edges; excluding all new edges would blow kappa up.
+  Fixture f;
+  Ingrass::Options opts;
+  opts.target_condition = f.kappa0;
+  Ingrass ing(Graph(f.h0), opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 10;
+  sopts.total_per_node = 0.24;
+  const auto batches = make_edge_stream(f.g, sopts);
+  Graph g = f.g;  // evolving original
+  for (const auto& batch : batches) {
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    ing.insert_edges(batch);
+  }
+  const double kappa_stale = condition_number(g, f.h0);
+  const double kappa_ingrass = condition_number(g, ing.sparsifier());
+  EXPECT_GT(kappa_stale, 1.5 * f.kappa0);           // stream really perturbs
+  EXPECT_LT(kappa_ingrass, 0.9 * kappa_stale);      // update phase fixes it
+  EXPECT_LT(kappa_ingrass, 4.0 * f.kappa0);         // and lands near target
+}
+
+TEST(IngrassUpdate, CriticalEdgeInsertedRedundantFiltered) {
+  // Hand-crafted contrast on a path sparsifier of a cycle-ish graph: a
+  // long-range chord is critical (inserted); a duplicate of an existing
+  // 1-hop pair is redundant (merged/redistributed).
+  Graph h(40);
+  for (NodeId v = 0; v + 1 < 40; ++v) h.add_edge(v, v + 1, 1.0);
+  Ingrass::Options opts;
+  opts.target_condition = 16.0;
+  Ingrass ing(Graph(h), opts);
+
+  std::vector<Edge> batch;
+  batch.push_back(Edge{0, 39, 1.0});  // long-range: critical
+  batch.push_back(Edge{5, 6, 1.0});   // parallel to an existing edge
+  batch.push_back(Edge{10, 12, 1.0});  // 2-hop chord: redundant
+  const auto stats = ing.insert_edges(batch);
+  EXPECT_EQ(stats.inserted, 1);
+  EXPECT_EQ(stats.reinforced, 1);
+  EXPECT_EQ(stats.merged + stats.redistributed, 1);
+  EXPECT_TRUE(ing.sparsifier().has_edge(0, 39));
+}
+
+TEST(IngrassUpdate, MergeAddsWeightToBridge) {
+  Graph h(40);
+  for (NodeId v = 0; v + 1 < 40; ++v) h.add_edge(v, v + 1, 1.0);
+  Ingrass::Options opts;
+  opts.target_condition = 8.0;
+  opts.fold_weight_fraction = 1.0;  // paper-faithful weight handling
+  opts.merge_weight_ratio = 0.0;
+  Ingrass ing(Graph(h), opts);
+
+  // Insert a unique chord, then a second chord between the same clusters;
+  // the second should merge into the first (or another bridge), raising
+  // total weight but not edge count.
+  std::vector<Edge> first{Edge{0, 39, 2.0}};
+  ing.insert_edges(first);
+  const EdgeId edges_after_first = ing.sparsifier().num_edges();
+  const double weight_after_first = ing.sparsifier().total_weight();
+
+  std::vector<Edge> second{Edge{1, 38, 3.0}};
+  const auto stats = ing.insert_edges(second);
+  if (stats.merged == 1) {
+    EXPECT_EQ(ing.sparsifier().num_edges(), edges_after_first);
+  }
+  EXPECT_NEAR(ing.sparsifier().total_weight(), weight_after_first + 3.0, 1e-9);
+}
+
+TEST(IngrassUpdate, EmptyBatchIsNoop) {
+  Fixture f(8);
+  Ingrass ing{Graph(f.h0)};
+  const auto stats = ing.insert_edges({});
+  EXPECT_EQ(stats.total(), 0);
+}
+
+TEST(IngrassUpdate, UpdateIsFastRelativeToSetup) {
+  // O(log N) per edge vs O(N log N) setup: a small batch must cost a tiny
+  // fraction of the setup. Smoke-check with wide margins.
+  Fixture f(24);
+  Ingrass ing{Graph(f.h0)};
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.05;
+  const auto batches = make_edge_stream(f.g, sopts);
+  const auto stats = ing.insert_edges(batches[0]);
+  if (ing.setup_seconds() > 1e-3) {
+    EXPECT_LT(stats.seconds, ing.setup_seconds());
+  }
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "sparsify/random_update.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+/// End-to-end pipeline mirroring the Table II protocol on one scaled-down
+/// test case: build H(0) at 10% density, stream 10 batches, compare GRASS
+/// (from scratch), inGRASS (incremental), and Random at the same target.
+TEST(Integration, TableTwoProtocolShapeHolds) {
+  Rng rng(1);
+  Graph g = make_triangulated_grid(30, 30, rng);
+
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  const double kappa0 = condition_number(g, h0);
+  ASSERT_GT(kappa0, 1.0);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 10;
+  sopts.total_per_node = 0.24;
+  const auto batches = make_edge_stream(g, sopts);
+
+  // inGRASS path.
+  Ingrass::Options iopts;
+  iopts.target_condition = kappa0;
+  Ingrass ing(Graph(h0), iopts);
+
+  // Random path.
+  Graph h_random = h0;
+
+  for (const auto& batch : batches) {
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    ing.insert_edges(batch);
+    RandomUpdateOptions ropts;
+    ropts.target_condition = kappa0;
+    random_update(g, h_random, batch, ropts);
+  }
+
+  // GRASS from scratch on the final graph at the same kappa target.
+  GrassOptions gopts_final;
+  gopts_final.target_offtree_density.reset();
+  gopts_final.target_condition = kappa0;
+  const GrassResult grass_final = grass_sparsify(g, gopts_final);
+
+  const double d_grass = offtree_density(grass_final.sparsifier);
+  const double d_ingrass = offtree_density(ing.sparsifier());
+  const double d_random = offtree_density(h_random);
+  const double d_all = offtree_density_with(h0, [&] {
+    EdgeId total = 0;
+    for (const auto& b : batches) total += static_cast<EdgeId>(b.size());
+    return total;
+  }());
+
+  // Shape assertions from Table II: inGRASS stays below Random and well
+  // below the add-everything density, comparable to GRASS.
+  EXPECT_LT(d_ingrass, 0.95 * d_random);
+  EXPECT_LT(d_ingrass, 0.85 * d_all);
+  EXPECT_LT(d_ingrass, 4.0 * std::max(0.05, d_grass));
+
+  // And the final condition numbers are comparable (within a small factor).
+  const double k_ingrass = condition_number(g, ing.sparsifier());
+  const double k_grass = condition_number(g, grass_final.sparsifier);
+  EXPECT_LT(k_ingrass, 6.0 * std::max(1.0, k_grass));
+}
+
+TEST(Integration, PowerGridScenario) {
+  // Circuit-flavored end-to-end run on the G2_circuit analog.
+  Rng rng(2);
+  Graph g = make_power_grid(14, 14, 2, rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  const double kappa0 = condition_number(g, h0);
+
+  Ingrass::Options iopts;
+  iopts.target_condition = kappa0;
+  Ingrass ing(Graph(h0), iopts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 5;
+  sopts.total_per_node = 0.12;
+  const auto batches = make_edge_stream(g, sopts);
+  for (const auto& batch : batches) {
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    const auto stats = ing.insert_edges(batch);
+    EXPECT_EQ(stats.total(), static_cast<EdgeId>(batch.size()));
+  }
+  EXPECT_TRUE(is_connected(ing.sparsifier()));
+  const double k = condition_number(g, ing.sparsifier());
+  // Small ECO batches barely move the stale kappa; the maintained
+  // sparsifier must stay in the same neighborhood as its target.
+  EXPECT_LE(k, std::max(kappa0, condition_number(g, h0)) * 1.6);
+}
+
+TEST(Integration, SocialNetworkStream) {
+  // Scale-free topology exercises very unbalanced degrees.
+  Rng rng(3);
+  Graph g = make_barabasi_albert(600, 4, rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.30;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  const double kappa0 = condition_number(g, h0);
+
+  Ingrass::Options iopts;
+  iopts.target_condition = std::max(16.0, kappa0);
+  Ingrass ing(Graph(h0), iopts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 4;
+  sopts.total_per_node = 0.2;
+  const auto batches = make_edge_stream(g, sopts);
+  EdgeId streamed = 0;
+  for (const auto& batch : batches) {
+    streamed += static_cast<EdgeId>(batch.size());
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    ing.insert_edges(batch);
+  }
+  EXPECT_GT(streamed, 0);
+  EXPECT_TRUE(is_connected(ing.sparsifier()));
+  EXPECT_LT(ing.sparsifier().num_edges() - h0.num_edges(), streamed);
+}
+
+TEST(Integration, SetupReusableAcrossManyBatches) {
+  // The setup structure is built once; 10 consecutive update phases reuse
+  // it without rebuilds (setup_seconds stays fixed).
+  Rng rng(4);
+  Graph g = make_triangulated_grid(12, 12, rng);
+  GrassOptions gopts;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  Ingrass ing{Graph(h0)};
+  const double setup_time = ing.setup_seconds();
+  const auto batches = make_edge_stream(g);
+  for (const auto& batch : batches) ing.insert_edges(batch);
+  EXPECT_DOUBLE_EQ(ing.setup_seconds(), setup_time);
+}
+
+}  // namespace
+}  // namespace ingrass

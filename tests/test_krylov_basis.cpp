@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "linalg/krylov_basis.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(KrylovBasis, VectorsAreOrthonormal) {
+  Rng rng(1);
+  const Graph g = make_grid2d(10, 10, rng);
+  const CsrAdjacency csr = build_csr(g);
+  KrylovOptions opts;
+  opts.order = 12;
+  const KrylovBasis basis = build_krylov_basis(adjacency_operator(csr),
+                                               static_cast<std::size_t>(g.num_nodes()), opts);
+  ASSERT_EQ(basis.vectors.size(), 12u);
+  for (std::size_t i = 0; i < basis.vectors.size(); ++i) {
+    EXPECT_NEAR(norm2(basis.vectors[i]), 1.0, 1e-10);
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(dot(basis.vectors[i], basis.vectors[j]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(KrylovBasis, DeflatesOnesDirection) {
+  Rng rng(2);
+  const Graph g = make_grid2d(8, 8, rng);
+  const CsrAdjacency csr = build_csr(g);
+  KrylovOptions opts;
+  opts.order = 8;
+  opts.deflate_ones = true;
+  const KrylovBasis basis = build_krylov_basis(adjacency_operator(csr),
+                                               static_cast<std::size_t>(g.num_nodes()), opts);
+  for (const Vec& v : basis.vectors) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    EXPECT_NEAR(s, 0.0, 1e-9);
+  }
+}
+
+TEST(KrylovBasis, OrderClampedToDimension) {
+  Rng rng(3);
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const CsrAdjacency csr = build_csr(g);
+  KrylovOptions opts;
+  opts.order = 100;
+  const KrylovBasis basis =
+      build_krylov_basis(adjacency_operator(csr), 4, opts);
+  EXPECT_LE(basis.vectors.size(), 4u);
+  EXPECT_GE(basis.vectors.size(), 2u);
+}
+
+TEST(KrylovBasis, DeterministicForSeed) {
+  Rng rng(4);
+  const Graph g = make_grid2d(6, 6, rng);
+  const CsrAdjacency csr = build_csr(g);
+  KrylovOptions opts;
+  opts.order = 6;
+  opts.seed = 77;
+  const auto a = build_krylov_basis(adjacency_operator(csr), 36, opts);
+  const auto b = build_krylov_basis(adjacency_operator(csr), 36, opts);
+  ASSERT_EQ(a.vectors.size(), b.vectors.size());
+  for (std::size_t i = 0; i < a.vectors.size(); ++i) {
+    EXPECT_EQ(a.vectors[i], b.vectors[i]);
+  }
+}
+
+TEST(KrylovBasis, EmptyInputsYieldEmptyBasis) {
+  KrylovOptions opts;
+  opts.order = 0;
+  const LinOp noop = [](std::span<const double>, std::span<double>) {};
+  EXPECT_TRUE(build_krylov_basis(noop, 10, opts).vectors.empty());
+  opts.order = 4;
+  EXPECT_TRUE(build_krylov_basis(noop, 0, opts).vectors.empty());
+}
+
+TEST(KrylovBasis, SpansPowersOfOperator) {
+  // On a path graph, K_3(A, x) must contain A x up to the projected parts:
+  // verify that A*v0 lies in span{v0, v1} after deflation.
+  Rng rng(5);
+  const Graph g = make_grid2d(5, 5, rng);
+  const CsrAdjacency csr = build_csr(g);
+  const LinOp adj = adjacency_operator(csr);
+  KrylovOptions opts;
+  opts.order = 3;
+  opts.deflate_ones = true;
+  const KrylovBasis basis = build_krylov_basis(adj, 25, opts);
+  ASSERT_GE(basis.vectors.size(), 2u);
+  Vec av(25);
+  adj(basis.vectors[0], av);
+  project_out_ones(av);
+  // Residual after removing components along v0, v1 should be tiny
+  // relative to av (A v0 in K_2 subspace modulo the ones direction).
+  Vec res = av;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double c = dot(res, basis.vectors[i]);
+    axpy(-c, basis.vectors[i], res);
+  }
+  EXPECT_LT(norm2(res) / std::max(norm2(av), 1e-30), 1e-9);
+}
+
+}  // namespace
+}  // namespace ingrass

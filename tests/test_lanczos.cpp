@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/lanczos.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(TridiagEigenvalues, DiagonalMatrix) {
+  const auto ev = tridiag_eigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_NEAR(ev[0], 1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 2.0, 1e-12);
+  EXPECT_NEAR(ev[2], 3.0, 1e-12);
+}
+
+TEST(TridiagEigenvalues, Known2x2) {
+  // [[2,1],[1,2]] -> {1, 3}
+  const auto ev = tridiag_eigenvalues({2.0, 2.0}, {1.0});
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_NEAR(ev[0], 1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 3.0, 1e-12);
+}
+
+TEST(TridiagEigenvalues, PathLaplacianClosedForm) {
+  // Laplacian of an unweighted path P_n is tridiagonal with eigenvalues
+  // 4 sin^2(k pi / (2n)), k = 0..n-1.
+  const int n = 8;
+  std::vector<double> d(n, 2.0);
+  d.front() = d.back() = 1.0;
+  std::vector<double> e(n - 1, -1.0);
+  const auto ev = tridiag_eigenvalues(d, e);
+  for (int k = 0; k < n; ++k) {
+    const double expected = 4.0 * std::pow(std::sin(k * M_PI / (2.0 * n)), 2);
+    EXPECT_NEAR(ev[static_cast<std::size_t>(k)], expected, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(TridiagEigenvalues, SizeValidation) {
+  EXPECT_TRUE(tridiag_eigenvalues({}, {}).empty());
+  EXPECT_THROW(tridiag_eigenvalues({1.0, 2.0}, {}), std::invalid_argument);
+}
+
+TEST(Lanczos, RecoversGridLaplacianExtremes) {
+  Rng rng(1);
+  const Graph g = make_grid2d(12, 12, rng, 1.0, 1.0);  // unweighted grid
+  const CsrAdjacency csr = build_csr(g);
+  LanczosOptions opts;
+  opts.max_iters = 60;
+  opts.deflate_ones = true;
+  const SpectrumEstimate s = lanczos_extreme_eigenvalues(
+      laplacian_operator(csr), static_cast<std::size_t>(g.num_nodes()), opts);
+  // Closed form for a 12x12 grid: lambda_max = 8 sin^2(11 pi / 24),
+  // fiedler = 4 sin^2(pi/24) * 2? No: lambda(i,j) = 4sin^2(i pi/2n)+4sin^2(j pi/2n).
+  const double lmax = 8.0 * std::pow(std::sin(11.0 * M_PI / 24.0), 2);
+  const double fiedler = 4.0 * std::pow(std::sin(M_PI / 24.0), 2);
+  EXPECT_NEAR(s.lambda_max, lmax, 0.02 * lmax);
+  EXPECT_NEAR(s.lambda_min, fiedler, 0.15 * fiedler);
+}
+
+TEST(Lanczos, DeflationRemovesZeroEigenvalue) {
+  Rng rng(2);
+  const Graph g = make_grid2d(8, 8, rng);
+  const CsrAdjacency csr = build_csr(g);
+  LanczosOptions opts;
+  opts.deflate_ones = false;
+  const SpectrumEstimate with_null = lanczos_extreme_eigenvalues(
+      laplacian_operator(csr), static_cast<std::size_t>(g.num_nodes()), opts);
+  opts.deflate_ones = true;
+  const SpectrumEstimate without = lanczos_extreme_eigenvalues(
+      laplacian_operator(csr), static_cast<std::size_t>(g.num_nodes()), opts);
+  EXPECT_LT(std::abs(with_null.lambda_min), 1e-6);
+  EXPECT_GT(without.lambda_min, 1e-4);  // Fiedler value is positive
+}
+
+TEST(Lanczos, HandlesTinyOperators) {
+  // 2-node graph: Laplacian eigenvalues {0, 2w}.
+  Graph g(2);
+  g.add_edge(0, 1, 3.0);
+  const CsrAdjacency csr = build_csr(g);
+  LanczosOptions opts;
+  opts.deflate_ones = true;
+  const SpectrumEstimate s =
+      lanczos_extreme_eigenvalues(laplacian_operator(csr), 2, opts);
+  EXPECT_NEAR(s.lambda_max, 6.0, 1e-9);
+}
+
+TEST(Lanczos, ZeroDimensionSafe) {
+  const LinOp noop = [](std::span<const double>, std::span<double>) {};
+  const SpectrumEstimate s = lanczos_extreme_eigenvalues(noop, 0);
+  EXPECT_EQ(s.iterations, 0);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(Laplacian, MatrixEntries) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const CsrMatrix l = laplacian_matrix(g);
+  EXPECT_DOUBLE_EQ(l.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(l.at(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(l.at(1, 2), -3.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 2), 0.0);
+}
+
+TEST(Laplacian, RowSumsVanish) {
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(6, 6, rng);
+  const CsrMatrix l = laplacian_matrix(g);
+  const Vec ones(static_cast<std::size_t>(g.num_nodes()), 1.0);
+  Vec y(ones.size());
+  l.multiply(ones, y);
+  for (const double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Laplacian, AdjacencyMatrixSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2, 4.0);
+  const CsrMatrix a = adjacency_matrix(g);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 0.0);
+}
+
+TEST(Laplacian, OperatorMatchesMatrix) {
+  Rng rng(2);
+  const Graph g = make_power_grid(6, 6, 2, rng);
+  const CsrMatrix lm = laplacian_matrix(g);
+  const CsrAdjacency csr = build_csr(g);
+  const LinOp op = laplacian_operator(csr);
+  Vec x(static_cast<std::size_t>(g.num_nodes()));
+  randomize(x, rng);
+  Vec y1(x.size()), y2(x.size());
+  lm.multiply(x, y1);
+  op(x, y2);
+  EXPECT_LT(rel_diff(y1, y2), 1e-12);
+}
+
+TEST(Laplacian, AdjacencyOperatorMatchesMatrix) {
+  Rng rng(3);
+  const Graph g = make_sphere_mesh(6, 8, rng);
+  const CsrMatrix am = adjacency_matrix(g);
+  const CsrAdjacency csr = build_csr(g);
+  const LinOp op = adjacency_operator(csr);
+  Vec x(static_cast<std::size_t>(g.num_nodes()));
+  randomize(x, rng);
+  Vec y1(x.size()), y2(x.size());
+  am.multiply(x, y1);
+  op(x, y2);
+  EXPECT_LT(rel_diff(y1, y2), 1e-12);
+}
+
+TEST(Laplacian, QuadraticFormMatchesMatvec) {
+  Rng rng(4);
+  const Graph g = make_grid2d(7, 7, rng);
+  Vec x(static_cast<std::size_t>(g.num_nodes()));
+  randomize(x, rng);
+  const CsrMatrix l = laplacian_matrix(g);
+  Vec lx(x.size());
+  l.multiply(x, lx);
+  EXPECT_NEAR(laplacian_quadratic(g, x), dot(x, lx), 1e-8 * std::abs(dot(x, lx)) + 1e-10);
+}
+
+TEST(Laplacian, QuadraticFormPositive) {
+  Rng rng(5);
+  const Graph g = make_grid2d(5, 5, rng);
+  Vec x(static_cast<std::size_t>(g.num_nodes()));
+  randomize(x, rng);
+  EXPECT_GT(laplacian_quadratic(g, x), 0.0);
+  const Vec c(x.size(), 3.0);
+  EXPECT_NEAR(laplacian_quadratic(g, c), 0.0, 1e-12);  // constants in nullspace
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "tree/lca.hpp"
+#include "tree/spanning_tree.hpp"
+
+namespace ingrass {
+namespace {
+
+/// Path 0-1-2-3-4 rooted at 0.
+struct PathFixture {
+  Graph g{5};
+  std::vector<EdgeId> edges;
+  PathFixture() {
+    for (NodeId v = 0; v + 1 < 5; ++v) edges.push_back(g.add_edge(v, v + 1, 1.0));
+  }
+};
+
+TEST(RootedTree, PathStructure) {
+  PathFixture f;
+  const RootedTree t(f.g, f.edges);
+  EXPECT_EQ(t.parent(0), 0);
+  EXPECT_EQ(t.parent(3), 2);
+  EXPECT_EQ(t.depth(4), 4);
+  EXPECT_EQ(t.parent_edge(0), kInvalidEdge);
+  EXPECT_EQ(t.parent_edge(1), f.edges[0]);
+  EXPECT_TRUE(t.same_tree(0, 4));
+  EXPECT_EQ(t.root_of(4), 0);
+}
+
+TEST(Lca, OnPath) {
+  PathFixture f;
+  const RootedTree t(f.g, f.edges);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.lca(2, 4), 2);  // ancestor-descendant
+  EXPECT_EQ(lca.lca(4, 2), 2);
+  EXPECT_EQ(lca.lca(3, 3), 3);
+  EXPECT_EQ(lca.lca(0, 4), 0);
+}
+
+TEST(Lca, OnStar) {
+  Graph g(5);
+  std::vector<EdgeId> edges;
+  for (NodeId v = 1; v < 5; ++v) edges.push_back(g.add_edge(0, v, 1.0));
+  const RootedTree t(g, edges);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.lca(1, 2), 0);
+  EXPECT_EQ(lca.lca(3, 4), 0);
+  EXPECT_EQ(lca.lca(0, 3), 0);
+}
+
+TEST(Lca, BinaryTreeKnownAnswers) {
+  //       0
+  //     1   2
+  //    3 4 5 6
+  Graph g(7);
+  std::vector<EdgeId> edges;
+  edges.push_back(g.add_edge(0, 1, 1.0));
+  edges.push_back(g.add_edge(0, 2, 1.0));
+  edges.push_back(g.add_edge(1, 3, 1.0));
+  edges.push_back(g.add_edge(1, 4, 1.0));
+  edges.push_back(g.add_edge(2, 5, 1.0));
+  edges.push_back(g.add_edge(2, 6, 1.0));
+  const RootedTree t(g, edges);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.lca(3, 4), 1);
+  EXPECT_EQ(lca.lca(3, 6), 0);
+  EXPECT_EQ(lca.lca(5, 6), 2);
+  EXPECT_EQ(lca.lca(4, 2), 0);
+}
+
+TEST(Lca, AncestorWalk) {
+  PathFixture f;
+  const RootedTree t(f.g, f.edges);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.ancestor(4, 0), 4);
+  EXPECT_EQ(lca.ancestor(4, 2), 2);
+  EXPECT_EQ(lca.ancestor(4, 4), 0);
+  EXPECT_EQ(lca.ancestor(4, 100), 0);  // clamps at root
+}
+
+TEST(Lca, DifferentComponentsReturnInvalid) {
+  Graph g(4);
+  std::vector<EdgeId> edges;
+  edges.push_back(g.add_edge(0, 1, 1.0));
+  edges.push_back(g.add_edge(2, 3, 1.0));
+  const RootedTree t(g, edges);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.lca(0, 3), kInvalidNode);
+  EXPECT_EQ(lca.lca(2, 3), 2);
+}
+
+TEST(Lca, AgreesWithNaiveOnRandomTree) {
+  Rng rng(9);
+  const Graph g = make_triangulated_grid(7, 7, rng);
+  const auto forest = max_weight_spanning_forest(g);
+  const RootedTree t(g, forest);
+  const LcaIndex lca(t);
+  auto naive = [&](NodeId u, NodeId v) {
+    while (u != v) {
+      if (t.depth(u) >= t.depth(v)) {
+        u = t.parent(u);
+      } else {
+        v = t.parent(v);
+      }
+    }
+    return u;
+  };
+  Rng prng(10);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(49));
+    const auto v = static_cast<NodeId>(prng.uniform_index(49));
+    EXPECT_EQ(lca.lca(u, v), naive(u, v)) << u << "," << v;
+  }
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "tree/low_stretch_tree.hpp"
+#include "tree/spanning_tree.hpp"
+#include "tree/union_find.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(LowStretchTree, ProducesSpanningTree) {
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(12, 12, rng);
+  Rng trng(2);
+  const auto tree = low_stretch_spanning_tree(g, trng);
+  EXPECT_EQ(tree.size(), static_cast<std::size_t>(g.num_nodes() - 1));
+  UnionFind uf(g.num_nodes());
+  for (const EdgeId e : tree) {
+    EXPECT_TRUE(uf.unite(g.edge(e).u, g.edge(e).v));
+  }
+  EXPECT_EQ(uf.num_sets(), 1);
+}
+
+TEST(LowStretchTree, WorksAcrossTopologies) {
+  Rng rng(3);
+  const Graph meshes[] = {
+      make_grid2d(10, 10, rng),
+      make_power_grid(8, 8, 2, rng),
+      make_barabasi_albert(150, 3, rng),
+  };
+  for (const Graph& g : meshes) {
+    Rng trng(4);
+    const auto tree = low_stretch_spanning_tree(g, trng);
+    const Graph t = subgraph(g, tree);
+    EXPECT_TRUE(is_connected(t));
+    EXPECT_EQ(t.num_edges(), g.num_nodes() - 1);
+  }
+}
+
+TEST(LowStretchTree, LowerStretchThanMaxWeightTreeOnUnitGrid) {
+  // On a unit-weight grid the max-weight tree degenerates to an arbitrary
+  // tie-broken tree with long monotone paths; ball growing should do
+  // meaningfully better on average stretch.
+  Rng rng(5);
+  const Graph g = make_grid2d(24, 24, rng, 1.0, 1.0);
+  Rng trng(6);
+  const auto ls = low_stretch_spanning_tree(g, trng);
+  const auto mw = max_weight_spanning_forest(g);
+  const double s_ls = average_stretch(g, ls);
+  const double s_mw = average_stretch(g, mw);
+  EXPECT_LT(s_ls, s_mw);
+}
+
+TEST(LowStretchTree, TrivialGraphs) {
+  const Graph empty(0);
+  Rng rng(7);
+  EXPECT_TRUE(low_stretch_spanning_tree(empty, rng).empty());
+  const Graph single(1);
+  EXPECT_TRUE(low_stretch_spanning_tree(single, rng).empty());
+  Graph pair(2);
+  pair.add_edge(0, 1, 1.0);
+  EXPECT_EQ(low_stretch_spanning_tree(pair, rng).size(), 1u);
+}
+
+TEST(LowStretchTree, DisconnectedGraphGetsForest) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  Rng rng(8);
+  const auto forest = low_stretch_spanning_tree(g, rng);
+  EXPECT_EQ(forest.size(), 4u);  // N - #components
+}
+
+TEST(AverageStretch, ExactOnTreeIsOne) {
+  // Every tree edge has stretch w * (1/w) = 1.
+  Graph g(5);
+  std::vector<EdgeId> edges;
+  for (NodeId v = 0; v + 1 < 5; ++v) edges.push_back(g.add_edge(v, v + 1, 2.0));
+  EXPECT_NEAR(average_stretch(g, edges), 1.0, 1e-12);
+}
+
+TEST(AverageStretch, EmptyGraphIsZero) {
+  const Graph g(3);
+  EXPECT_DOUBLE_EQ(average_stretch(g, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace ingrass

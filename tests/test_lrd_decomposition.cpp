@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/lrd_decomposition.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(LrdContract, MergesUnderThreshold) {
+  // Path of 3 clusters with resistances 1.0 and 1.0; threshold 1.5 merges
+  // one pair only (the second merge would create diameter 2.0).
+  const std::vector<ClusterEdge> edges{
+      {0, 1, 1.0, 1.0},
+      {1, 2, 1.0, 1.0},
+  };
+  const std::vector<double> diam{0.0, 0.0, 0.0};
+  const LrdLevel lvl = lrd_contract(3, edges, diam, 1.5);
+  EXPECT_EQ(lvl.merges, 1);
+  EXPECT_EQ(lvl.num_output, 2);
+  // Exactly two of the three nodes share an output cluster.
+  const int same01 = lvl.parent[0] == lvl.parent[1];
+  const int same12 = lvl.parent[1] == lvl.parent[2];
+  EXPECT_EQ(same01 + same12, 1);
+}
+
+TEST(LrdContract, LargeThresholdMergesEverything) {
+  const std::vector<ClusterEdge> edges{
+      {0, 1, 1.0, 1.0}, {1, 2, 2.0, 1.0}, {2, 3, 3.0, 1.0}};
+  const std::vector<double> diam{0.0, 0.0, 0.0, 0.0};
+  const LrdLevel lvl = lrd_contract(4, edges, diam, 100.0);
+  EXPECT_EQ(lvl.num_output, 1);
+  EXPECT_EQ(lvl.merges, 3);
+  EXPECT_DOUBLE_EQ(lvl.diameter[0], 6.0);  // path bound 1+2+3
+}
+
+TEST(LrdContract, ZeroThresholdMergesNothing) {
+  const std::vector<ClusterEdge> edges{{0, 1, 1.0, 1.0}};
+  const std::vector<double> diam{0.0, 0.0};
+  const LrdLevel lvl = lrd_contract(2, edges, diam, 0.5);
+  EXPECT_EQ(lvl.merges, 0);
+  EXPECT_EQ(lvl.num_output, 2);
+  EXPECT_EQ(lvl.parent[0], 0);
+  EXPECT_EQ(lvl.parent[1], 1);
+}
+
+TEST(LrdContract, LowResistanceEdgesContractFirst) {
+  // Star where one spoke is much lower resistance; tight threshold admits
+  // only that one.
+  const std::vector<ClusterEdge> edges{
+      {0, 1, 5.0, 1.0}, {0, 2, 0.1, 1.0}, {0, 3, 5.0, 1.0}};
+  const std::vector<double> diam{0.0, 0.0, 0.0, 0.0};
+  const LrdLevel lvl = lrd_contract(4, edges, diam, 1.0);
+  EXPECT_EQ(lvl.merges, 1);
+  EXPECT_EQ(lvl.parent[0], lvl.parent[2]);
+  EXPECT_NE(lvl.parent[0], lvl.parent[1]);
+}
+
+TEST(LrdContract, RespectsInputDiameters) {
+  // Two clusters that already carry diameter 0.8 each; edge resistance 0.5
+  // gives merged bound 2.1 > threshold 2.0 -> no merge.
+  const std::vector<ClusterEdge> edges{{0, 1, 0.5, 1.0}};
+  const std::vector<double> diam{0.8, 0.8};
+  const LrdLevel no = lrd_contract(2, edges, diam, 2.0);
+  EXPECT_EQ(no.merges, 0);
+  const LrdLevel yes = lrd_contract(2, edges, diam, 2.2);
+  EXPECT_EQ(yes.merges, 1);
+  EXPECT_DOUBLE_EQ(yes.diameter[0], 2.1);
+}
+
+TEST(LrdContract, DiameterSizeMismatchThrows) {
+  const std::vector<ClusterEdge> edges{{0, 1, 1.0, 1.0}};
+  const std::vector<double> diam{0.0};
+  EXPECT_THROW(lrd_contract(2, edges, diam, 1.0), std::invalid_argument);
+}
+
+TEST(CoarsenEdges, DropsIntraAndRelabels) {
+  const std::vector<ClusterEdge> edges{
+      {0, 1, 1.0, 2.0},  // becomes intra after merging 0,1
+      {1, 2, 3.0, 4.0},
+  };
+  LrdLevel lvl;
+  lvl.parent = {0, 0, 1};
+  lvl.num_output = 2;
+  lvl.diameter = {1.0, 0.0};
+  const auto coarse = coarsen_edges(edges, lvl);
+  ASSERT_EQ(coarse.size(), 1u);
+  EXPECT_EQ(coarse[0].a, 0);
+  EXPECT_EQ(coarse[0].b, 1);
+  EXPECT_DOUBLE_EQ(coarse[0].resistance, 3.0);
+  EXPECT_DOUBLE_EQ(coarse[0].weight, 4.0);
+}
+
+TEST(CoarsenEdges, ParallelEdgesCombineAsResistors) {
+  // Two parallel coarse edges with resistances 2 and 2 -> 1; weights add.
+  const std::vector<ClusterEdge> edges{
+      {0, 2, 2.0, 1.0},
+      {1, 3, 2.0, 5.0},
+  };
+  LrdLevel lvl;
+  lvl.parent = {0, 0, 1, 1};
+  lvl.num_output = 2;
+  lvl.diameter = {0.5, 0.5};
+  const auto coarse = coarsen_edges(edges, lvl);
+  ASSERT_EQ(coarse.size(), 1u);
+  EXPECT_DOUBLE_EQ(coarse[0].resistance, 1.0);
+  EXPECT_DOUBLE_EQ(coarse[0].weight, 6.0);
+}
+
+TEST(CoarsenEdges, DeterministicOrdering) {
+  const std::vector<ClusterEdge> edges{
+      {3, 1, 1.0, 1.0}, {0, 2, 1.0, 1.0}, {1, 0, 1.0, 1.0}};
+  LrdLevel lvl;
+  lvl.parent = {0, 1, 2, 3};
+  lvl.num_output = 4;
+  lvl.diameter = {0, 0, 0, 0};
+  const auto coarse = coarsen_edges(edges, lvl);
+  ASSERT_EQ(coarse.size(), 3u);
+  for (std::size_t i = 0; i + 1 < coarse.size(); ++i) {
+    EXPECT_TRUE(coarse[i].a < coarse[i + 1].a ||
+                (coarse[i].a == coarse[i + 1].a && coarse[i].b < coarse[i + 1].b));
+  }
+}
+
+TEST(LrdContract, PaperFigure2Shape) {
+  // A 14-node sparsifier shaped like Fig. 2: contract with growing
+  // thresholds and verify the cluster count shrinks monotonically to 1.
+  std::vector<ClusterEdge> edges;
+  Rng rng(7);
+  for (NodeId v = 0; v + 1 < 14; ++v) {
+    edges.push_back({v, v + 1, rng.uniform(0.5, 1.5), 1.0});
+  }
+  edges.push_back({0, 7, 2.0, 1.0});
+  edges.push_back({3, 10, 2.0, 1.0});
+
+  NodeId n = 14;
+  std::vector<double> diam(14, 0.0);
+  double threshold = 1.0;
+  NodeId prev = n;
+  for (int level = 0; level < 12 && n > 1; ++level) {
+    const LrdLevel lvl = lrd_contract(n, edges, diam, threshold);
+    if (lvl.merges > 0) {
+      const auto coarse = coarsen_edges(edges, lvl);
+      edges.assign(coarse.begin(), coarse.end());
+      diam = lvl.diameter;
+      n = lvl.num_output;
+      EXPECT_LT(n, prev);
+      prev = n;
+    }
+    threshold *= 2.0;
+  }
+  EXPECT_EQ(n, 1);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/mtx_io.hpp"
+#include "graph/ops.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(MtxIo, ReadsSymmetricReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment\n"
+      "3 3 3\n"
+      "2 1 1.5\n"
+      "3 2 2.5\n"
+      "3 3 7.0\n");
+  const Graph g = read_mtx(in);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);  // diagonal dropped
+  EXPECT_DOUBLE_EQ(g.edge(g.find_edge(0, 1)).w, 1.5);
+  EXPECT_DOUBLE_EQ(g.edge(g.find_edge(1, 2)).w, 2.5);
+}
+
+TEST(MtxIo, LaplacianNegativesBecomePositiveWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 3.0\n"
+      "2 1 -3.0\n");
+  const Graph g = read_mtx(in);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 3.0);
+}
+
+TEST(MtxIo, PatternGetsUnitWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 1\n");
+  const Graph g = read_mtx(in);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.0);
+}
+
+TEST(MtxIo, GeneralDuplicatesMerge) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 2.0\n"
+      "2 1 2.0\n");
+  const Graph g = read_mtx(in);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 4.0);  // both triangles summed
+}
+
+TEST(MtxIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("not a matrix market file\n");
+    EXPECT_THROW(read_mtx(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("%%MatrixMarket matrix array real general\n2 2 1\n");
+    EXPECT_THROW(read_mtx(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n2 1 1.0\n");
+    EXPECT_THROW(read_mtx(in), std::runtime_error);  // not square
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n");
+    EXPECT_THROW(read_mtx(in), std::runtime_error);  // truncated
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n5 1 1.0\n");
+    EXPECT_THROW(read_mtx(in), std::runtime_error);  // out of range
+  }
+}
+
+TEST(MtxIo, RoundTripPreservesGraph) {
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(6, 6, rng);
+  std::stringstream buf;
+  write_mtx(buf, g);
+  const Graph back = read_mtx(buf);
+  EXPECT_TRUE(graphs_equal(g, back, 1e-12));
+}
+
+TEST(MtxIo, FileRoundTrip) {
+  Rng rng(4);
+  const Graph g = make_grid2d(5, 5, rng);
+  const std::string path = ::testing::TempDir() + "/ingrass_test.mtx";
+  write_mtx_file(path, g);
+  const Graph back = read_mtx_file(path);
+  EXPECT_TRUE(graphs_equal(g, back, 1e-12));
+  EXPECT_THROW(read_mtx_file("/nonexistent/path.mtx"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/multilevel_embedding.hpp"
+#include "graph/generators.hpp"
+#include "spectral/effective_resistance.hpp"
+
+namespace ingrass {
+namespace {
+
+MultilevelEmbedding build_on_grid(NodeId side, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  const Graph g = make_triangulated_grid(side, side, rng);
+  return MultilevelEmbedding::build(g);
+}
+
+TEST(MultilevelEmbedding, LevelCountIsLogarithmic) {
+  const MultilevelEmbedding emb = build_on_grid(16);
+  EXPECT_GE(emb.num_levels(), 2);
+  EXPECT_LE(emb.num_levels(), 24);  // O(log N) with slack
+}
+
+TEST(MultilevelEmbedding, TopLevelIsSingleCluster) {
+  const MultilevelEmbedding emb = build_on_grid(10);
+  EXPECT_EQ(emb.num_clusters(emb.num_levels() - 1), 1);
+}
+
+TEST(MultilevelEmbedding, ClusterCountsDecreaseMonotonically) {
+  const MultilevelEmbedding emb = build_on_grid(12);
+  for (int l = 0; l + 1 < emb.num_levels(); ++l) {
+    EXPECT_GT(emb.num_clusters(l), emb.num_clusters(l + 1));
+  }
+}
+
+TEST(MultilevelEmbedding, ClustersNestAcrossLevels) {
+  // If two nodes share a cluster at level l, they share it at all deeper
+  // levels (the hierarchy only merges).
+  Rng rng(2);
+  const Graph g = make_triangulated_grid(9, 9, rng);
+  const MultilevelEmbedding emb = MultilevelEmbedding::build(g);
+  Rng prng(3);
+  for (int i = 0; i < 300; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(81));
+    const auto v = static_cast<NodeId>(prng.uniform_index(81));
+    bool shared = false;
+    for (int l = 0; l < emb.num_levels(); ++l) {
+      const bool same = emb.cluster_of(l, u) == emb.cluster_of(l, v);
+      if (shared) EXPECT_TRUE(same) << "level " << l;
+      shared = shared || same;
+    }
+  }
+}
+
+TEST(MultilevelEmbedding, SizesSumToN) {
+  const MultilevelEmbedding emb = build_on_grid(8);
+  for (int l = 0; l < emb.num_levels(); ++l) {
+    NodeId total = 0;
+    NodeId max_size = 0;
+    for (NodeId c = 0; c < emb.num_clusters(l); ++c) {
+      total += emb.cluster_size(l, c);
+      max_size = std::max(max_size, emb.cluster_size(l, c));
+    }
+    EXPECT_EQ(total, emb.num_nodes());
+    EXPECT_EQ(max_size, emb.max_cluster_size(l));
+  }
+}
+
+TEST(MultilevelEmbedding, EmbeddingVectorHasOneEntryPerLevel) {
+  const MultilevelEmbedding emb = build_on_grid(8);
+  const auto vec = emb.embedding_vector(5);
+  EXPECT_EQ(vec.size(), static_cast<std::size_t>(emb.num_levels()));
+  for (int l = 0; l < emb.num_levels(); ++l) {
+    EXPECT_EQ(vec[static_cast<std::size_t>(l)], emb.cluster_of(l, 5));
+  }
+}
+
+TEST(MultilevelEmbedding, DiametersGrowWithLevel) {
+  // The first shared cluster of a fixed far pair has weakly growing
+  // diameter bound along levels.
+  const MultilevelEmbedding emb = build_on_grid(12);
+  for (int l = 0; l + 1 < emb.num_levels(); ++l) {
+    double max_d_l = 0, max_d_next = 0;
+    for (NodeId c = 0; c < emb.num_clusters(l); ++c) {
+      max_d_l = std::max(max_d_l, emb.cluster_diameter(l, c));
+    }
+    for (NodeId c = 0; c < emb.num_clusters(l + 1); ++c) {
+      max_d_next = std::max(max_d_next, emb.cluster_diameter(l + 1, c));
+    }
+    EXPECT_GE(max_d_next, max_d_l * 0.99);
+  }
+}
+
+TEST(MultilevelEmbedding, ResistanceBoundDominatesTruth) {
+  // The whole point of LRD: the first-shared-cluster diameter upper-bounds
+  // the true effective resistance. Check on a mesh against the CG oracle.
+  Rng rng(4);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  MultilevelEmbedding::Options opts;
+  opts.resistance.order = 32;  // generous accuracy for the base estimates
+  const MultilevelEmbedding emb = MultilevelEmbedding::build(g, opts);
+  const EffectiveResistanceOracle oracle(g);
+  Rng prng(5);
+  int violations = 0, checked = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(64));
+    const auto v = static_cast<NodeId>(prng.uniform_index(64));
+    if (u == v) continue;
+    ++checked;
+    // Allow slack: the Krylov estimates feeding the diameters are
+    // approximate, so enforce the bound up to a modest factor.
+    if (emb.resistance_bound(u, v) < 0.7 * oracle.resistance(u, v)) ++violations;
+  }
+  ASSERT_GT(checked, 50);
+  EXPECT_LE(violations, checked / 10);
+}
+
+TEST(MultilevelEmbedding, FirstSharedLevelConsistent) {
+  const MultilevelEmbedding emb = build_on_grid(10);
+  Rng prng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(100));
+    const auto v = static_cast<NodeId>(prng.uniform_index(100));
+    const int l = emb.first_shared_level(u, v);
+    if (u == v) {
+      EXPECT_EQ(l, 0);
+      continue;
+    }
+    ASSERT_GE(l, 0);  // connected graph: always shared at the top
+    EXPECT_EQ(emb.cluster_of(l, u), emb.cluster_of(l, v));
+    if (l > 0) EXPECT_NE(emb.cluster_of(l - 1, u), emb.cluster_of(l - 1, v));
+  }
+}
+
+TEST(MultilevelEmbedding, DisconnectedComponentsNeverShare) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  const MultilevelEmbedding emb = MultilevelEmbedding::build(g);
+  EXPECT_EQ(emb.first_shared_level(0, 4), -1);
+  EXPECT_TRUE(std::isinf(emb.resistance_bound(0, 4)));
+  EXPECT_GE(emb.first_shared_level(0, 2), 0);
+}
+
+TEST(MultilevelEmbedding, NoRecomputeVariantStillValid) {
+  Rng rng(7);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  MultilevelEmbedding::Options opts;
+  opts.recompute_per_level = false;
+  const MultilevelEmbedding emb = MultilevelEmbedding::build(g, opts);
+  EXPECT_GE(emb.num_levels(), 2);
+  EXPECT_EQ(emb.num_clusters(emb.num_levels() - 1), 1);
+}
+
+TEST(MultilevelEmbedding, EmptyGraphSafe) {
+  const Graph g(0);
+  const MultilevelEmbedding emb = MultilevelEmbedding::build(g);
+  EXPECT_EQ(emb.num_levels(), 0);
+  EXPECT_EQ(emb.num_nodes(), 0);
+}
+
+TEST(MultilevelEmbedding, ResistanceBoundZeroForSameNode) {
+  const MultilevelEmbedding emb = build_on_grid(6);
+  EXPECT_DOUBLE_EQ(emb.resistance_bound(3, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(Ops, SubgraphKeepsSelectedEdges) {
+  Graph g(4);
+  const EdgeId a = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  const EdgeId c = g.add_edge(2, 3, 3.0);
+  const Graph sub = subgraph(g, {a, c});
+  EXPECT_EQ(sub.num_nodes(), 4);
+  EXPECT_EQ(sub.num_edges(), 2);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(2, 3));
+  EXPECT_FALSE(sub.has_edge(1, 2));
+}
+
+TEST(Ops, ScaledCopyMultipliesWeights) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  const Graph s = scaled_copy(g, 2.5);
+  EXPECT_DOUBLE_EQ(s.edge(0).w, 5.0);
+  EXPECT_THROW(scaled_copy(g, 0.0), std::invalid_argument);
+}
+
+TEST(Ops, MergeEdgesAddsAndCoalesces) {
+  Graph base(3);
+  base.add_edge(0, 1, 1.0);
+  Graph extra(3);
+  extra.add_edge(0, 1, 2.0);  // parallel — merges
+  extra.add_edge(1, 2, 3.0);  // new
+  const auto affected = merge_edges(base, extra);
+  EXPECT_EQ(base.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(base.edge(affected[0]).w, 3.0);
+  EXPECT_DOUBLE_EQ(base.edge(affected[1]).w, 3.0);
+}
+
+TEST(Ops, MergeEdgesRejectsMismatchedNodeCounts) {
+  Graph a(2), b(3);
+  EXPECT_THROW(merge_edges(a, b), std::invalid_argument);
+}
+
+TEST(Ops, DegreeStatsOnStar) {
+  Graph g(5);
+  for (NodeId v = 1; v < 5; ++v) g.add_edge(0, v, 1.0);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+}
+
+TEST(Ops, GraphsEqualDetectsDifferences) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1, 1.0);
+  b.add_edge(0, 1, 1.0);
+  EXPECT_TRUE(graphs_equal(a, b));
+  b.add_to_weight(0, 1e-7);
+  EXPECT_FALSE(graphs_equal(a, b));
+  EXPECT_TRUE(graphs_equal(a, b, 1e-6));
+  Graph c(3);
+  c.add_edge(0, 2, 1.0);
+  EXPECT_FALSE(graphs_equal(a, c));
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+
+namespace ingrass {
+namespace {
+
+/// End-to-end invariants across every paper test-case analog at a tiny
+/// scale: generation, GRASS construction, inGRASS setup, one update batch.
+/// This is the smoke layer that catches a generator or pipeline regression
+/// on any of the 14 workload families before the (slow) benches would.
+class PaperCasePipeline : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr double kScale = 0.12;  // few hundred to few thousand nodes
+};
+
+TEST_P(PaperCasePipeline, GeneratesConnectedPositiveWeightGraph) {
+  Rng rng(1);
+  const Graph g = make_paper_testcase(GetParam(), kScale, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.num_edges(), g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); e += 13) {
+    EXPECT_GT(g.edge(e).w, 0.0);
+    EXPECT_NE(g.edge(e).u, g.edge(e).v);
+  }
+}
+
+TEST_P(PaperCasePipeline, GrassHitsDensityTargetConnected) {
+  Rng rng(2);
+  const Graph g = make_paper_testcase(GetParam(), kScale, rng);
+  GrassOptions opts;
+  opts.target_offtree_density = 0.10;
+  const GrassResult r = grass_sparsify(g, opts);
+  EXPECT_TRUE(is_connected(r.sparsifier));
+  EXPECT_NEAR(offtree_density(r.sparsifier), 0.10, 0.02);
+  EXPECT_LT(r.sparsifier.num_edges(), g.num_edges());
+}
+
+TEST_P(PaperCasePipeline, SetupBuildsUsableHierarchy) {
+  Rng rng(3);
+  const Graph g = make_paper_testcase(GetParam(), kScale, rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  Ingrass ing{grass_sparsify(g, gopts).sparsifier};
+  EXPECT_GE(ing.num_levels(), 2);
+  // Top level: one cluster (connected sparsifier).
+  EXPECT_EQ(ing.embedding().num_clusters(ing.num_levels() - 1), 1);
+  // Resistance estimates behave like a (pseudo)metric sample.
+  const NodeId n = ing.sparsifier().num_nodes();
+  EXPECT_GT(ing.estimate_resistance(0, n / 2), 0.0);
+  EXPECT_DOUBLE_EQ(ing.estimate_resistance(n / 3, n / 3), 0.0);
+}
+
+TEST_P(PaperCasePipeline, UpdateBatchFullyClassified) {
+  Rng rng(4);
+  Graph g = make_paper_testcase(GetParam(), kScale, rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  Ingrass ing{grass_sparsify(g, gopts).sparsifier};
+  EdgeStreamOptions sopts;
+  sopts.iterations = 2;
+  sopts.total_per_node = 0.1;
+  const auto batches = make_edge_stream(g, sopts);
+  for (const auto& batch : batches) {
+    const auto stats = ing.insert_edges(batch);
+    EXPECT_EQ(stats.total(), static_cast<EdgeId>(batch.size()));
+  }
+  EXPECT_TRUE(is_connected(ing.sparsifier()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, PaperCasePipeline,
+                         ::testing::ValuesIn(paper_testcase_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-' || c == ' ') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "spectral/resistance_embedding.hpp"
+
+namespace ingrass {
+namespace {
+
+/// Parameterized property suites: every invariant is checked across a
+/// family of topologies (mesh, grid, power grid, sphere, scale-free) and
+/// seeds, per workload class the paper evaluates.
+
+struct TopoParam {
+  const char* name;
+  Graph (*make)(std::uint64_t seed);
+};
+
+Graph mesh(std::uint64_t s) {
+  Rng rng(s);
+  return make_triangulated_grid(9, 9, rng);
+}
+Graph grid(std::uint64_t s) {
+  Rng rng(s);
+  return make_grid2d(10, 8, rng);
+}
+Graph pgrid(std::uint64_t s) {
+  Rng rng(s);
+  return make_power_grid(6, 6, 2, rng);
+}
+Graph sphere(std::uint64_t s) {
+  Rng rng(s);
+  return make_sphere_mesh(6, 10, rng);
+}
+Graph social(std::uint64_t s) {
+  Rng rng(s);
+  return make_barabasi_albert(80, 3, rng);
+}
+
+const TopoParam kTopologies[] = {
+    {"mesh", mesh}, {"grid", grid}, {"power_grid", pgrid},
+    {"sphere", sphere}, {"social", social},
+};
+
+class ResistanceMetricProperty : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(ResistanceMetricProperty, TriangleInequalityHolds) {
+  const Graph g = GetParam().make(11);
+  const EffectiveResistanceOracle oracle(g);
+  Rng prng(1);
+  for (int i = 0; i < 25; ++i) {
+    const auto a = static_cast<NodeId>(prng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+    const auto b = static_cast<NodeId>(prng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+    const auto c = static_cast<NodeId>(prng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+    const double ab = oracle.resistance(a, b);
+    const double bc = oracle.resistance(b, c);
+    const double ac = oracle.resistance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-6) << GetParam().name;
+  }
+}
+
+TEST_P(ResistanceMetricProperty, RayleighMonotonicityUnderEdgeAddition) {
+  // Adding an edge can only decrease every effective resistance.
+  Graph g = GetParam().make(13);
+  const EffectiveResistanceOracle before(g);
+  // Pick a non-adjacent far pair to connect.
+  NodeId p = 0, q = g.num_nodes() - 1;
+  if (g.has_edge(p, q)) q = g.num_nodes() / 2;
+  if (g.has_edge(p, q) || p == q) GTEST_SKIP();
+  const double r_pq_before = before.resistance(p, q);
+  g.add_edge(p, q, 1.0);
+  const EffectiveResistanceOracle after(g);
+  Rng prng(2);
+  for (int i = 0; i < 15; ++i) {
+    const auto a = static_cast<NodeId>(prng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+    const auto b = static_cast<NodeId>(prng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+    EXPECT_LE(after.resistance(a, b), before.resistance(a, b) + 1e-6);
+  }
+  // And the connected pair drops to at most the parallel combination.
+  const double expected_max = 1.0 / (1.0 / r_pq_before + 1.0);
+  EXPECT_LE(after.resistance(p, q), expected_max + 1e-6);
+}
+
+TEST_P(ResistanceMetricProperty, FosterLeverageSum) {
+  // sum_e w_e R(e) = N - 1 on every connected topology.
+  const Graph g = GetParam().make(17);
+  ASSERT_TRUE(is_connected(g));
+  const EffectiveResistanceOracle oracle(g);
+  double leverage = 0.0;
+  for (const Edge& e : g.edges()) leverage += e.w * oracle.resistance(e.u, e.v);
+  EXPECT_NEAR(leverage, static_cast<double>(g.num_nodes() - 1),
+              5e-4 * g.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ResistanceMetricProperty,
+                         ::testing::ValuesIn(kTopologies),
+                         [](const auto& info) { return info.param.name; });
+
+class EmbeddingProperty : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(EmbeddingProperty, EstimatesArePseudometric) {
+  const Graph g = GetParam().make(19);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  Rng prng(3);
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  for (int i = 0; i < 30; ++i) {
+    const auto a = static_cast<NodeId>(prng.uniform_index(n));
+    const auto b = static_cast<NodeId>(prng.uniform_index(n));
+    EXPECT_GE(emb.estimate(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(emb.estimate(a, b), emb.estimate(b, a));
+    EXPECT_DOUBLE_EQ(emb.estimate(a, a), 0.0);
+  }
+}
+
+TEST_P(EmbeddingProperty, SquaredDistanceTriangleWithFactorTwo) {
+  // ||x-z||^2 <= 2(||x-y||^2 + ||y-z||^2) for any points — the embedding
+  // estimates satisfy the relaxed triangle inequality of squared metrics.
+  const Graph g = GetParam().make(23);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  Rng prng(4);
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  for (int i = 0; i < 30; ++i) {
+    const auto a = static_cast<NodeId>(prng.uniform_index(n));
+    const auto b = static_cast<NodeId>(prng.uniform_index(n));
+    const auto c = static_cast<NodeId>(prng.uniform_index(n));
+    EXPECT_LE(emb.estimate(a, c),
+              2.0 * (emb.estimate(a, b) + emb.estimate(b, c)) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, EmbeddingProperty,
+                         ::testing::ValuesIn(kTopologies),
+                         [](const auto& info) { return info.param.name; });
+
+class HierarchyProperty : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(HierarchyProperty, LrdInvariants) {
+  const Graph g = GetParam().make(29);
+  const MultilevelEmbedding emb = MultilevelEmbedding::build(g);
+  ASSERT_GE(emb.num_levels(), 1) << GetParam().name;
+  // Partition sizes sum to N at every level; diameters non-negative.
+  for (int l = 0; l < emb.num_levels(); ++l) {
+    NodeId total = 0;
+    for (NodeId c = 0; c < emb.num_clusters(l); ++c) {
+      total += emb.cluster_size(l, c);
+      EXPECT_GE(emb.cluster_diameter(l, c), 0.0);
+    }
+    EXPECT_EQ(total, emb.num_nodes());
+  }
+  // Connected graph ends in one cluster.
+  if (is_connected(g)) {
+    EXPECT_EQ(emb.num_clusters(emb.num_levels() - 1), 1);
+  }
+}
+
+TEST_P(HierarchyProperty, BoundIsMonotoneInHierarchyDepth) {
+  // Deeper shared levels mean weakly larger diameters, so the bound
+  // reported for far pairs should exceed the bound for adjacent pairs on
+  // average.
+  const Graph g = GetParam().make(31);
+  if (!is_connected(g)) GTEST_SKIP();
+  const MultilevelEmbedding emb = MultilevelEmbedding::build(g);
+  double adjacent = 0.0;
+  int na = 0;
+  for (EdgeId e = 0; e < g.num_edges(); e += 3) {
+    adjacent += emb.resistance_bound(g.edge(e).u, g.edge(e).v);
+    ++na;
+  }
+  Rng prng(5);
+  double random_pairs = 0.0;
+  int nr = 0;
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  for (int i = 0; i < 60; ++i) {
+    const auto a = static_cast<NodeId>(prng.uniform_index(n));
+    const auto b = static_cast<NodeId>(prng.uniform_index(n));
+    if (a == b) continue;
+    random_pairs += emb.resistance_bound(a, b);
+    ++nr;
+  }
+  ASSERT_GT(na, 0);
+  ASSERT_GT(nr, 0);
+  EXPECT_GE(random_pairs / nr, 0.8 * adjacent / na) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, HierarchyProperty,
+                         ::testing::ValuesIn(kTopologies),
+                         [](const auto& info) { return info.param.name; });
+
+class UpdateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpdateProperty, WeightConservationAcrossSeeds) {
+  // Paper-faithful folding mode: no streamed weight is lost.
+  Rng rng(GetParam());
+  Graph g = make_triangulated_grid(10, 10, rng);
+  GrassOptions gopts;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  Ingrass::Options iopts;
+  iopts.fold_weight_fraction = 1.0;
+  iopts.merge_weight_ratio = 0.0;
+  Ingrass ing{Graph(h0), iopts};
+
+  EdgeStreamOptions sopts;
+  sopts.seed = GetParam() * 31 + 7;
+  sopts.iterations = 3;
+  sopts.total_per_node = 0.15;
+  const auto batches = make_edge_stream(g, sopts);
+  double streamed_weight = 0.0;
+  EdgeId streamed_edges = 0;
+  for (const auto& batch : batches) {
+    for (const Edge& e : batch) streamed_weight += e.w;
+    streamed_edges += static_cast<EdgeId>(batch.size());
+    const auto stats = ing.insert_edges(batch);
+    EXPECT_EQ(stats.total(), static_cast<EdgeId>(batch.size()));
+  }
+  EXPECT_NEAR(ing.sparsifier().total_weight(),
+              h0.total_weight() + streamed_weight,
+              1e-6 * (h0.total_weight() + streamed_weight));
+  EXPECT_LE(ing.sparsifier().num_edges(), h0.num_edges() + streamed_edges);
+}
+
+TEST_P(UpdateProperty, ConditionStaysNearTargetAcrossSeeds) {
+  // The update-phase contract: with the target condition number set to the
+  // measured initial kappa, the maintained sparsifier's kappa stays in that
+  // neighborhood — never drifting toward the (much larger) stale value.
+  Rng rng(GetParam() + 100);
+  Graph g = make_triangulated_grid(16, 16, rng);
+  GrassOptions gopts;
+  const Graph h0 = grass_sparsify(g, gopts).sparsifier;
+  const double kappa0 = condition_number(g, h0);
+  Ingrass::Options iopts;
+  iopts.target_condition = kappa0;
+  Ingrass ing{Graph(h0), iopts};
+  EdgeStreamOptions sopts;
+  sopts.seed = GetParam();
+  sopts.iterations = 3;
+  sopts.total_per_node = 0.24;
+  const auto batches = make_edge_stream(g, sopts);
+  for (const auto& batch : batches) {
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    ing.insert_edges(batch);
+  }
+  const double k_updated = condition_number(g, ing.sparsifier());
+  // kappa stays within a small constant of the target (the stale
+  // sparsifier sits at 5-10x), with slack for the approximate estimators
+  // on a 256-node graph.
+  EXPECT_LE(k_updated, kappa0 * 2.1) << "seed " << GetParam();
+  const double k_stale = condition_number(g, h0);
+  EXPECT_LT(k_updated, k_stale) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+class ConditionProperty : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(ConditionProperty, KappaAtLeastOneAndSelfIsOne) {
+  const Graph g = GetParam().make(37);
+  if (!is_connected(g)) GTEST_SKIP();
+  const ConditionNumberResult self = relative_condition_number(g, g);
+  EXPECT_NEAR(self.kappa, 1.0, 0.05) << GetParam().name;
+  // Against its own max-weight spanning tree kappa is >= 1 and typically
+  // much larger.
+  GrassOptions opts;
+  opts.target_offtree_density = 0.0;
+  const Graph tree = grass_sparsify(g, opts).sparsifier;
+  EXPECT_GE(condition_number(g, tree), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ConditionProperty,
+                         ::testing::ValuesIn(kTopologies),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "sparsify/grass.hpp"
+#include "sparsify/random_update.hpp"
+
+namespace ingrass {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Graph h;
+  Fixture() {
+    Rng rng(1);
+    g = make_triangulated_grid(12, 12, rng);
+    GrassOptions opts;
+    opts.target_offtree_density = 0.10;
+    h = grass_sparsify(g, opts).sparsifier;
+  }
+};
+
+TEST(RandomUpdate, ReachesTargetEventually) {
+  Fixture f;
+  const double kappa0 = condition_number(f.g, f.h);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.2;
+  const auto batches = make_edge_stream(f.g, sopts);
+  ASSERT_EQ(batches.size(), 1u);
+
+  // Apply batch to G.
+  for (const Edge& e : batches[0]) f.g.add_or_merge_edge(e.u, e.v, e.w);
+
+  RandomUpdateOptions ropts;
+  ropts.target_condition = kappa0 * 2.0;  // loose target, reachable
+  const RandomUpdateResult r = random_update(f.g, f.h, batches[0], ropts);
+  EXPECT_LE(r.achieved_condition, ropts.target_condition * 1.1);
+  EXPECT_GT(r.condition_evals, 0);
+}
+
+TEST(RandomUpdate, AddsEverythingWhenTargetUnreachable) {
+  Fixture f;
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.1;
+  const auto batches = make_edge_stream(f.g, sopts);
+  for (const Edge& e : batches[0]) f.g.add_or_merge_edge(e.u, e.v, e.w);
+
+  RandomUpdateOptions ropts;
+  ropts.target_condition = 1.0001;  // essentially unreachable
+  const EdgeId before = f.h.num_edges();
+  const RandomUpdateResult r = random_update(f.g, f.h, batches[0], ropts);
+  EXPECT_EQ(r.edges_added, static_cast<EdgeId>(batches[0].size()));
+  EXPECT_EQ(f.h.num_edges() - before, r.edges_added);
+}
+
+TEST(RandomUpdate, EmptyBatchJustMeasures) {
+  Fixture f;
+  RandomUpdateOptions ropts;
+  ropts.target_condition = 1000.0;
+  const RandomUpdateResult r = random_update(f.g, f.h, {}, ropts);
+  EXPECT_EQ(r.edges_added, 0);
+  EXPECT_GT(r.achieved_condition, 0.0);
+}
+
+TEST(RandomUpdate, RequiresTarget) {
+  Fixture f;
+  RandomUpdateOptions ropts;  // target unset
+  EXPECT_THROW(random_update(f.g, f.h, {}, ropts), std::invalid_argument);
+}
+
+TEST(RandomUpdate, DeterministicForSeed) {
+  Fixture f1, f2;
+  EdgeStreamOptions sopts;
+  sopts.iterations = 1;
+  sopts.total_per_node = 0.1;
+  const auto batches = make_edge_stream(f1.g, sopts);
+  for (const Edge& e : batches[0]) {
+    f1.g.add_or_merge_edge(e.u, e.v, e.w);
+    f2.g.add_or_merge_edge(e.u, e.v, e.w);
+  }
+  RandomUpdateOptions ropts;
+  ropts.target_condition = 1.0001;  // forces adding everything, same order
+  ropts.seed = 7;
+  random_update(f1.g, f1.h, batches[0], ropts);
+  random_update(f2.g, f2.h, batches[0], ropts);
+  EXPECT_TRUE(graphs_equal(f1.h, f2.h));
+}
+
+}  // namespace
+}  // namespace ingrass

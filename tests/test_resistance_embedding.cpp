@@ -1,0 +1,174 @@
+#include <algorithm>
+#include <vector>
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "spectral/resistance_embedding.hpp"
+#include "util/stats.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(ResistanceEmbedding, DimensionAutoScalesWithLogN) {
+  Rng rng(1);
+  const Graph g = make_grid2d(16, 16, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  EXPECT_GE(emb.dimension(), 8);
+  EXPECT_LE(emb.dimension(), 16);  // log2(256)+4 = 12, minus dropped dims
+  EXPECT_EQ(emb.num_nodes(), 256);
+}
+
+TEST(ResistanceEmbedding, EstimateNonNegativeSymmetricZeroDiag) {
+  Rng rng(2);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  EXPECT_DOUBLE_EQ(emb.estimate(3, 3), 0.0);
+  EXPECT_GE(emb.estimate(0, 60), 0.0);
+  EXPECT_DOUBLE_EQ(emb.estimate(0, 60), emb.estimate(60, 0));
+}
+
+TEST(ResistanceEmbedding, CalibrationBringsEdgeEstimatesOnScale) {
+  // Raw eq.-3 estimates sit far below the exact resistance; calibration
+  // should put the *median* edge estimate within a small factor of exact.
+  Rng rng(7);
+  const Graph g = make_triangulated_grid(12, 12, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  EXPECT_GT(emb.calibration_factor(), 1.0);
+  const EffectiveResistanceOracle oracle(g);
+  std::vector<double> ratios;
+  for (EdgeId e = 0; e < g.num_edges(); e += 7) {
+    const Edge& ed = g.edge(e);
+    const double exact = oracle.resistance(ed.u, ed.v);
+    if (exact > 0) ratios.push_back(emb.estimate(ed.u, ed.v) / exact);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median = ratios[ratios.size() / 2];
+  EXPECT_GT(median, 0.2);
+  EXPECT_LT(median, 5.0);
+}
+
+TEST(ResistanceEmbedding, CalibrationDisabledKeepsRawScale) {
+  Rng rng(8);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  ResistanceEmbedding::Options raw;
+  raw.calibration_samples = 0;
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g, raw);
+  EXPECT_DOUBLE_EQ(emb.calibration_factor(), 1.0);
+}
+
+TEST(ResistanceEmbedding, CalibrationPreservesPairOrdering) {
+  // Scaling every coordinate by the same factor must not change which of
+  // two pairs is estimated larger.
+  Rng rng(9);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  ResistanceEmbedding::Options raw;
+  raw.calibration_samples = 0;
+  const ResistanceEmbedding a = ResistanceEmbedding::build(g, raw);
+  const ResistanceEmbedding b = ResistanceEmbedding::build(g);
+  for (NodeId u = 0; u < 20; ++u) {
+    const bool raw_order = a.estimate(u, 50) < a.estimate(u, 99);
+    const bool cal_order = b.estimate(u, 50) < b.estimate(u, 99);
+    EXPECT_EQ(raw_order, cal_order);
+  }
+}
+
+TEST(ResistanceEmbedding, CorrelatesWithExactResistance) {
+  // The embedding need not match exact values, but the *ranking* of node
+  // pairs is what inGRASS uses — check rank correlation on edge pairs of a
+  // mesh against the CG oracle.
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  ResistanceEmbedding::Options opts;
+  opts.order = 24;
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g, opts);
+  const EffectiveResistanceOracle oracle(g);
+
+  // Sample pairs at a mix of distances.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Rng prng(17);
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(100));
+    const auto v = static_cast<NodeId>(prng.uniform_index(100));
+    if (u != v) pairs.emplace_back(u, v);
+  }
+  // Count concordant orderings among random pair-of-pairs.
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+    const auto [a, b] = pairs[i];
+    const auto [c, d] = pairs[i + 1];
+    const double exact_diff = oracle.resistance(a, b) - oracle.resistance(c, d);
+    const double est_diff = emb.estimate(a, b) - emb.estimate(c, d);
+    if (std::abs(exact_diff) < 1e-6) continue;
+    ++total;
+    if ((exact_diff > 0) == (est_diff > 0)) ++concordant;
+  }
+  ASSERT_GT(total, 15);
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.75);
+}
+
+TEST(ResistanceEmbedding, HigherOrderImprovesAccuracy) {
+  Rng rng(4);
+  const Graph g = make_grid2d(12, 12, rng);
+  const EffectiveResistanceOracle oracle(g);
+
+  auto mean_rel_err = [&](int order) {
+    ResistanceEmbedding::Options opts;
+    opts.order = order;
+    opts.smoothing_steps = 0;
+    const ResistanceEmbedding emb = ResistanceEmbedding::build(g, opts);
+    RunningStats err;
+    for (EdgeId e = 0; e < g.num_edges(); e += 7) {
+      const Edge& edge = g.edge(e);
+      const double exact = oracle.resistance(edge.u, edge.v);
+      err.add(rel_err(emb.estimate(edge.u, edge.v), exact));
+    }
+    return err.mean();
+  };
+  // More Krylov vectors capture more of the spectrum (eq. 3 with larger m).
+  EXPECT_LT(mean_rel_err(48), mean_rel_err(4));
+}
+
+TEST(ResistanceEmbedding, DistortionIsWeightTimesResistance) {
+  Rng rng(5);
+  const Graph g = make_grid2d(6, 6, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  Edge e;
+  e.u = 0;
+  e.v = 20;
+  e.w = 3.0;
+  EXPECT_DOUBLE_EQ(emb.distortion(e), 3.0 * emb.estimate(0, 20));
+}
+
+TEST(ResistanceEmbedding, CoordsSpanDimension) {
+  Rng rng(6);
+  const Graph g = make_grid2d(6, 6, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  EXPECT_EQ(emb.coords(0).size(), static_cast<std::size_t>(emb.dimension()));
+  EXPECT_THROW(emb.coords(1000), std::out_of_range);
+  EXPECT_THROW(emb.estimate(-1, 0), std::out_of_range);
+}
+
+TEST(ResistanceEmbedding, DeterministicForSeed) {
+  Rng rng(7);
+  const Graph g = make_grid2d(8, 8, rng);
+  ResistanceEmbedding::Options opts;
+  opts.seed = 123;
+  const ResistanceEmbedding a = ResistanceEmbedding::build(g, opts);
+  const ResistanceEmbedding b = ResistanceEmbedding::build(g, opts);
+  EXPECT_EQ(a.dimension(), b.dimension());
+  EXPECT_DOUBLE_EQ(a.estimate(0, 63), b.estimate(0, 63));
+}
+
+TEST(ResistanceEmbedding, FarPairsReadHigherThanAdjacentOnes) {
+  Rng rng(8);
+  const Graph g = make_grid2d(16, 16, rng, 1.0, 1.0);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  // Opposite grid corners vs an adjacent pair in the middle.
+  const double far = emb.estimate(0, 16 * 16 - 1);
+  const double near = emb.estimate(8 * 16 + 7, 8 * 16 + 8);
+  EXPECT_GT(far, near);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "graph/mtx_io.hpp"
+#include "solver/sparsifier_solver.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+// Robustness suite: degenerate inputs, extreme weights, and the
+// convergence-rate relation that ties kappa to solver cost.
+
+TEST(Robustness, ExtremeWeightRatiosSurviveThePipeline) {
+  // 12 orders of magnitude between the lightest and heaviest edge.
+  Rng rng(1);
+  Graph g = make_grid2d(12, 12, rng, 1.0, 1.0);
+  for (EdgeId e = 0; e < g.num_edges(); e += 7) g.set_weight(e, 1e6);
+  for (EdgeId e = 3; e < g.num_edges(); e += 11) g.set_weight(e, 1e-6);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.15;
+  const GrassResult r = grass_sparsify(g, gopts);
+  Ingrass ing{Graph(r.sparsifier)};
+  EXPECT_GE(ing.num_levels(), 2);
+  const double est = ing.estimate_resistance(0, g.num_nodes() - 1);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_GT(est, 0.0);
+}
+
+TEST(Robustness, TinyGraphsThroughTheFullApi) {
+  // Smallest graphs that still mean something: triangle and a 2-path.
+  Graph tri(3);
+  tri.add_edge(0, 1, 1.0);
+  tri.add_edge(1, 2, 1.0);
+  tri.add_edge(0, 2, 1.0);
+  Ingrass ing{Graph(tri)};
+  const std::vector<Edge> batch{{0, 2, 0.5}};
+  const auto stats = ing.insert_edges(batch);
+  EXPECT_EQ(stats.total(), 1);
+
+  Graph path(3);
+  path.add_edge(0, 1, 2.0);
+  path.add_edge(1, 2, 2.0);
+  const double kappa = condition_number(path, path);
+  EXPECT_NEAR(kappa, 1.0, 0.05);
+}
+
+TEST(Robustness, SolverIterationsTrackSqrtKappa) {
+  // The theory the whole library serves: PCG outer iterations scale like
+  // sqrt(kappa(L_G, L_H)). Compare a good sparsifier against a poor one
+  // (spanning tree only) and check the iteration ratio is at least half
+  // the sqrt-kappa ratio (constant factors are implementation-dependent).
+  Rng rng(2);
+  const Graph g = make_triangulated_grid(16, 16, rng);
+  GrassOptions dense_opts;
+  dense_opts.target_offtree_density = 0.30;
+  GrassOptions tree_opts;
+  tree_opts.target_offtree_density = 0.0;
+  const Graph h_good = grass_sparsify(g, dense_opts).sparsifier;
+  const Graph h_tree = grass_sparsify(g, tree_opts).sparsifier;
+
+  const double k_good = condition_number(g, h_good);
+  const double k_tree = condition_number(g, h_tree);
+  ASSERT_GT(k_tree, 2.0 * k_good);
+
+  Vec b(static_cast<std::size_t>(g.num_nodes()));
+  Rng brng(3);
+  randomize(b, brng);
+  project_out_ones(b);
+
+  const SparsifierSolver good(g, h_good);
+  const SparsifierSolver tree(g, h_tree);
+  Vec x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const auto rg = good.solve(b, x1);
+  const auto rt = tree.solve(b, x2);
+  ASSERT_TRUE(rg.converged);
+  ASSERT_TRUE(rt.converged);
+  EXPECT_LT(rg.outer_iterations, rt.outer_iterations);
+}
+
+TEST(Robustness, MtxWhitespaceAndCommentTolerance) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "%another\n"
+      "3 3 2\n"
+      "2 1   1.5\n"
+      "\n"
+      "3 1 2.5\n");
+  const Graph g = read_mtx(in);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Robustness, StreamOnDenseGraphFindsNothingGracefully) {
+  // A complete graph has no non-edges: the stream generator must stop
+  // without spinning and return (possibly empty) batches.
+  Graph k6(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) k6.add_edge(u, v, 1.0);
+  }
+  EdgeStreamOptions opts;
+  opts.iterations = 2;
+  opts.total_per_node = 1.0;
+  const auto batches = make_edge_stream(k6, opts);
+  EXPECT_EQ(batches.size(), 2u);
+  for (const auto& b : batches) EXPECT_TRUE(b.empty());
+}
+
+TEST(Robustness, RepeatedInsertionOfSamePairMerges) {
+  // The same logical connection arriving repeatedly must not balloon H.
+  Rng rng(4);
+  const Graph g = make_grid2d(10, 10, rng);
+  GrassOptions gopts;
+  Ingrass ing{grass_sparsify(g, gopts).sparsifier};
+  const EdgeId before = ing.sparsifier().num_edges();
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<Edge> batch{{0, 99, 1.0}};
+    ing.insert_edges(batch);
+  }
+  // First insertion may add the edge; the rest must be filtered (the pair
+  // now has a bridge: itself).
+  EXPECT_LE(ing.sparsifier().num_edges(), before + 1);
+}
+
+}  // namespace
+}  // namespace ingrass

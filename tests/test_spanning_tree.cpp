@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "tree/spanning_tree.hpp"
+#include "tree/union_find.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(SpanningTree, MaxForestSizeAndAcyclicity) {
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  const auto forest = max_weight_spanning_forest(g);
+  EXPECT_EQ(forest.size(), static_cast<std::size_t>(g.num_nodes() - 1));
+  UnionFind uf(g.num_nodes());
+  for (const EdgeId e : forest) {
+    EXPECT_TRUE(uf.unite(g.edge(e).u, g.edge(e).v));  // never closes a cycle
+  }
+  EXPECT_EQ(uf.num_sets(), 1);
+}
+
+TEST(SpanningTree, MaxBeatsMinInTotalWeight) {
+  Rng rng(2);
+  const Graph g = make_triangulated_grid(10, 10, rng, 0.1, 10.0);
+  const auto max_forest = max_weight_spanning_forest(g);
+  const auto min_forest = min_weight_spanning_forest(g);
+  auto total = [&](const std::vector<EdgeId>& f) {
+    double t = 0.0;
+    for (const EdgeId e : f) t += g.edge(e).w;
+    return t;
+  };
+  EXPECT_GT(total(max_forest), total(min_forest));
+}
+
+TEST(SpanningTree, KnownMaxTreeOnTriangle) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const EdgeId heavy1 = g.add_edge(1, 2, 5.0);
+  const EdgeId heavy2 = g.add_edge(0, 2, 3.0);
+  const auto forest = max_weight_spanning_forest(g);
+  ASSERT_EQ(forest.size(), 2u);
+  EXPECT_TRUE((forest[0] == heavy1 && forest[1] == heavy2) ||
+              (forest[0] == heavy2 && forest[1] == heavy1));
+}
+
+TEST(SpanningTree, ForestOnDisconnectedGraph) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto forest = max_weight_spanning_forest(g);
+  EXPECT_EQ(forest.size(), 3u);  // N - #components = 5 - 2
+}
+
+TEST(SpanningTree, SplitPartitionsEdges) {
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(6, 6, rng);
+  const auto forest = max_weight_spanning_forest(g);
+  const TreeSplit split = split_by_forest(g, forest);
+  EXPECT_EQ(split.tree.size(), forest.size());
+  EXPECT_EQ(split.tree.size() + split.off_tree.size(),
+            static_cast<std::size_t>(g.num_edges()));
+  // No overlap.
+  std::vector<char> seen(static_cast<std::size_t>(g.num_edges()), 0);
+  for (const EdgeId e : split.tree) seen[static_cast<std::size_t>(e)] = 1;
+  for (const EdgeId e : split.off_tree) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(e)], 0);
+  }
+}
+
+TEST(SpanningTree, DeterministicUnderTies) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  const auto f1 = max_weight_spanning_forest(g);
+  const auto f2 = max_weight_spanning_forest(g);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1.size(), 3u);
+}
+
+TEST(SpanningTree, TreeSubgraphConnected) {
+  Rng rng(4);
+  const Graph g = make_power_grid(8, 8, 2, rng);
+  const Graph tree = subgraph(g, max_weight_spanning_forest(g));
+  EXPECT_TRUE(is_connected(tree));
+  EXPECT_EQ(tree.num_edges(), g.num_nodes() - 1);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/cycle_sparsify.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/fegrass.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+/// Cross-product sweep: every initial-sparsifier construction against
+/// every workload topology class the evaluation uses. Each instance
+/// checks the invariants a downstream user relies on regardless of which
+/// builder produced H(0): spanning, connected, within (or at a documented
+/// floor above) the density budget, finite spectral quality, and
+/// run-to-run determinism.
+
+enum class Builder { kGrass, kFegrass, kCycle };
+
+struct MatrixCase {
+  std::string topology;
+  std::string builder_name;
+  Builder builder;
+};
+
+Graph make_topology(const std::string& name, std::uint64_t seed) {
+  Rng rng(seed);
+  if (name == "mesh") return make_triangulated_grid(13, 13, rng);
+  if (name == "grid") return make_grid2d(14, 12, rng);
+  if (name == "power_grid") return make_power_grid(10, 10, 2, rng);
+  if (name == "social") return make_barabasi_albert(180, 3, rng);
+  throw std::logic_error("unknown topology " + name);
+}
+
+Graph build(Builder b, const Graph& g, double density) {
+  switch (b) {
+    case Builder::kGrass: {
+      GrassOptions opts;
+      opts.target_offtree_density = density;
+      return grass_sparsify(g, opts).sparsifier;
+    }
+    case Builder::kFegrass: {
+      FegrassOptions opts;
+      opts.target_offtree_density = density;
+      return fegrass_sparsify(g, opts).sparsifier;
+    }
+    case Builder::kCycle: {
+      CycleSparsifyOptions opts;
+      opts.target_offtree_density = density;
+      return cycle_sparsify(g, opts).sparsifier;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+class SparsifierMatrix : public testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SparsifierMatrix, SpanningConnectedSubgraph) {
+  const Graph g = make_topology(GetParam().topology, 2);
+  const Graph h = build(GetParam().builder, g, 0.10);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_TRUE(is_connected(h));
+  EXPECT_LT(h.num_edges(), g.num_edges());
+  EXPECT_GE(h.num_edges(), g.num_nodes() - 1);
+}
+
+TEST_P(SparsifierMatrix, EndpointsExistInInput) {
+  const Graph g = make_topology(GetParam().topology, 3);
+  const Graph h = build(GetParam().builder, g, 0.10);
+  for (const Edge& e : h.edges()) {
+    EXPECT_NE(g.find_edge(e.u, e.v), kInvalidEdge)
+        << "edge (" << e.u << "," << e.v << ") not in input";
+  }
+}
+
+TEST_P(SparsifierMatrix, DensityWithinContract) {
+  const Graph g = make_topology(GetParam().topology, 4);
+  const Graph h = build(GetParam().builder, g, 0.10);
+  const double d = offtree_density(h);
+  // GRASS and feGRASS honour the budget exactly (up to rounding); the
+  // cycle sampler may exceed it by its documented long-cycle floor but
+  // must never be sparser than the budget allows.
+  if (GetParam().builder == Builder::kCycle) {
+    EXPECT_LT(d, 0.70);
+  } else {
+    EXPECT_NEAR(d, 0.10, 0.02);
+  }
+}
+
+TEST_P(SparsifierMatrix, SpectralQualityFiniteAndSane) {
+  const Graph g = make_topology(GetParam().topology, 5);
+  const Graph h = build(GetParam().builder, g, 0.10);
+  const double kappa = condition_number(g, h);
+  EXPECT_GE(kappa, 1.0 - 1e-6);
+  EXPECT_LT(kappa, 1e5);
+}
+
+TEST_P(SparsifierMatrix, DeterministicAcrossRuns) {
+  const Graph g = make_topology(GetParam().topology, 6);
+  const Graph a = build(GetParam().builder, g, 0.10);
+  const Graph b = build(GetParam().builder, g, 0.10);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_DOUBLE_EQ(a.edge(e).w, b.edge(e).w);
+  }
+}
+
+TEST_P(SparsifierMatrix, TighterBudgetNeverDenser) {
+  const Graph g = make_topology(GetParam().topology, 7);
+  const Graph sparse = build(GetParam().builder, g, 0.05);
+  const Graph dense = build(GetParam().builder, g, 0.20);
+  EXPECT_LE(sparse.num_edges(), dense.num_edges());
+}
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  for (const char* topo : {"mesh", "grid", "power_grid", "social"}) {
+    cases.push_back({topo, "grass", Builder::kGrass});
+    cases.push_back({topo, "fegrass", Builder::kFegrass});
+    cases.push_back({topo, "cycle", Builder::kCycle});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Builders, SparsifierMatrix,
+                         testing::ValuesIn(matrix_cases()),
+                         [](const testing::TestParamInfo<MatrixCase>& info) {
+                           return info.param.topology + "_" +
+                                  info.param.builder_name;
+                         });
+
+}  // namespace
+}  // namespace ingrass

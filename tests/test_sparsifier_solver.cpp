@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "solver/sparsifier_solver.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ingrass {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Graph h;
+  Vec b;
+  Fixture() {
+    Rng rng(1);
+    g = make_triangulated_grid(18, 18, rng);
+    GrassOptions opts;
+    opts.target_offtree_density = 0.10;
+    h = grass_sparsify(g, opts).sparsifier;
+    b.resize(static_cast<std::size_t>(g.num_nodes()));
+    Rng brng(2);
+    randomize(b, brng);
+    project_out_ones(b);
+  }
+};
+
+TEST(SparsifierSolver, SolvesToTolerance) {
+  Fixture f;
+  const SparsifierSolver solver(f.g, f.h);
+  Vec x(f.b.size(), 0.0);
+  const auto r = solver.solve(f.b, x);
+  ASSERT_TRUE(r.converged);
+  // Verify the residual independently.
+  const CsrAdjacency csr = build_csr(f.g);
+  Vec ax(x.size());
+  laplacian_operator(csr)(x, ax);
+  EXPECT_LT(rel_diff(ax, f.b), 1e-6);
+}
+
+TEST(SparsifierSolver, FewerOuterIterationsThanJacobiCg) {
+  // The point of a sparsifier preconditioner: outer iterations track
+  // sqrt(kappa(G,H)) instead of the Laplacian's own condition number.
+  Fixture f;
+  const SparsifierSolver solver(f.g, f.h);
+  Vec x(f.b.size(), 0.0);
+  const auto with_sparsifier = solver.solve(f.b, x);
+
+  const CsrAdjacency csr = build_csr(f.g);
+  const JacobiPreconditioner jac{Vec(csr.degree)};
+  CgOptions plain;
+  plain.project_nullspace = true;
+  plain.rel_tol = 1e-8;
+  Vec y(f.b.size(), 0.0);
+  const CgResult jacobi_only = pcg(laplacian_operator(csr), f.b, y, &jac, plain);
+
+  ASSERT_TRUE(with_sparsifier.converged);
+  ASSERT_TRUE(jacobi_only.converged);
+  EXPECT_LT(with_sparsifier.outer_iterations, jacobi_only.iterations);
+}
+
+TEST(SparsifierSolver, IdenticalSparsifierConvergesAlmostImmediately) {
+  Fixture f;
+  const SparsifierSolver solver(f.g, f.g);  // H = G: perfect preconditioner
+  Vec x(f.b.size(), 0.0);
+  const auto r = solver.solve(f.b, x);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.outer_iterations, 6);
+}
+
+TEST(SparsifierSolver, UpdateSparsifierImprovesAfterStream) {
+  // The downstream payoff of inGRASS: after a stream, solving with the
+  // maintained sparsifier needs no more iterations than with the stale one.
+  Fixture f;
+  Ingrass::Options iopts;
+  iopts.target_condition = 60.0;
+  Ingrass ing{Graph(f.h), iopts};
+  EdgeStreamOptions sopts;
+  sopts.total_per_node = 0.24;
+  const auto batches = make_edge_stream(f.g, sopts);
+  Graph g = f.g;
+  for (const auto& batch : batches) {
+    for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+    ing.insert_edges(batch);
+  }
+  Vec b(static_cast<std::size_t>(g.num_nodes()));
+  Rng brng(5);
+  randomize(b, brng);
+  project_out_ones(b);
+
+  SparsifierSolver stale(g, f.h);
+  SparsifierSolver maintained(g, ing.sparsifier());
+  Vec x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const auto rs = stale.solve(b, x1);
+  const auto rm = maintained.solve(b, x2);
+  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(rm.converged);
+  EXPECT_LE(rm.outer_iterations, rs.outer_iterations + 2);
+}
+
+TEST(SparsifierSolver, UpdateSparsifierApiRefreshes) {
+  Fixture f;
+  SparsifierSolver solver(f.g, f.h);
+  solver.update_sparsifier(f.g);  // now exact
+  Vec x(f.b.size(), 0.0);
+  const auto r = solver.solve(f.b, x);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.outer_iterations, 6);
+}
+
+TEST(SparsifierSolver, ZeroRhsAndErrors) {
+  Fixture f;
+  const SparsifierSolver solver(f.g, f.h);
+  Vec zero(f.b.size(), 0.0);
+  Vec x(f.b.size(), 3.0);
+  const auto r = solver.solve(zero, x);
+  EXPECT_TRUE(r.converged);
+
+  Graph other(5);
+  EXPECT_THROW(SparsifierSolver(f.g, other), std::invalid_argument);
+  Vec wrong(7, 0.0);
+  EXPECT_THROW(solver.solve(wrong, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass

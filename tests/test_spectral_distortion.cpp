@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spectral/spectral_distortion.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(SpectralDistortion, RanksDescending) {
+  Rng rng(1);
+  const Graph g = make_grid2d(10, 10, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  std::vector<Edge> candidates;
+  for (NodeId i = 0; i < 20; ++i) {
+    Edge e;
+    e.u = i;
+    e.v = static_cast<NodeId>(99 - i);
+    e.w = 1.0 + i * 0.1;
+    candidates.push_back(e);
+  }
+  const auto ranked = rank_by_distortion(emb, candidates);
+  ASSERT_EQ(ranked.size(), candidates.size());
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i].distortion, ranked[i + 1].distortion);
+  }
+}
+
+TEST(SpectralDistortion, SourceIndexTracksInput) {
+  Rng rng(2);
+  const Graph g = make_grid2d(6, 6, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  const std::vector<Edge> candidates{{0, 35, 1.0}, {14, 15, 1.0}};
+  const auto ranked = rank_by_distortion(emb, candidates);
+  // Corner-to-corner should out-rank an adjacent pair; its source index 0
+  // must be preserved.
+  EXPECT_EQ(ranked.front().source_index, 0u);
+  EXPECT_EQ(ranked.back().source_index, 1u);
+}
+
+TEST(SpectralDistortion, WeightScalesScore) {
+  Rng rng(3);
+  const Graph g = make_grid2d(6, 6, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  const std::vector<Edge> candidates{{0, 35, 1.0}, {0, 35, 2.0}};
+  const auto ranked = rank_by_distortion(emb, candidates);
+  EXPECT_NEAR(ranked[0].distortion, 2.0 * ranked[1].distortion, 1e-12);
+}
+
+TEST(SpectralDistortion, TotalMatchesSum) {
+  Rng rng(4);
+  const Graph g = make_grid2d(5, 5, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  const std::vector<Edge> candidates{{0, 24, 1.0}, {3, 20, 2.0}, {1, 2, 0.5}};
+  const auto ranked = rank_by_distortion(emb, candidates);
+  double sum = 0.0;
+  for (const auto& r : ranked) sum += r.distortion;
+  EXPECT_NEAR(total_distortion(emb, candidates), sum, 1e-12);
+}
+
+TEST(SpectralDistortion, EmptyBatch) {
+  Rng rng(5);
+  const Graph g = make_grid2d(4, 4, rng);
+  const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
+  EXPECT_TRUE(rank_by_distortion(emb, {}).empty());
+  EXPECT_DOUBLE_EQ(total_distortion(emb, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace ingrass

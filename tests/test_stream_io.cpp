@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "graph/stream_io.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(StreamIo, RoundTripPreservesBatchesAndEdges) {
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  EdgeStreamOptions opts;
+  opts.iterations = 4;
+  opts.total_per_node = 0.2;
+  const auto batches = make_edge_stream(g, opts);
+
+  std::stringstream buf;
+  write_edge_stream(buf, batches);
+  const auto back = read_edge_stream(buf, g.num_nodes());
+
+  ASSERT_EQ(back.size(), batches.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    ASSERT_EQ(back[b].size(), batches[b].size()) << "batch " << b;
+    for (std::size_t i = 0; i < batches[b].size(); ++i) {
+      EXPECT_EQ(back[b][i].u, batches[b][i].u);
+      EXPECT_EQ(back[b][i].v, batches[b][i].v);
+      EXPECT_DOUBLE_EQ(back[b][i].w, batches[b][i].w);
+    }
+  }
+}
+
+TEST(StreamIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# header\n"
+      "\n"
+      "0 1 2 1.5   # trailing comment\n"
+      "  # indented comment\n"
+      "1 3 4 2.0\n");
+  const auto batches = read_edge_stream(in);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 1u);
+  EXPECT_EQ(batches[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(batches[0][0].w, 1.5);
+}
+
+TEST(StreamIo, SkippedBatchIndexIsEmptyBatch) {
+  std::stringstream in("0 0 1 1.0\n2 2 3 1.0\n");
+  const auto batches = read_edge_stream(in);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_TRUE(batches[1].empty());
+}
+
+TEST(StreamIo, EndpointsNormalizedToULessThanV) {
+  std::stringstream in("0 7 2 1.0\n");
+  const auto batches = read_edge_stream(in);
+  EXPECT_EQ(batches[0][0].u, 2);
+  EXPECT_EQ(batches[0][0].v, 7);
+}
+
+TEST(StreamIo, RejectsMalformedLines) {
+  auto expect_reject = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW(read_edge_stream(in), std::runtime_error) << text;
+  };
+  expect_reject("0 1 2\n");             // missing weight
+  expect_reject("0 1 2 1.0 extra\n");   // trailing token
+  expect_reject("-1 1 2 1.0\n");        // negative batch
+  expect_reject("0 -1 2 1.0\n");        // negative node
+  expect_reject("0 3 3 1.0\n");         // self-loop
+  expect_reject("0 1 2 0.0\n");         // non-positive weight
+  expect_reject("0 1 2 -3.0\n");        // negative weight
+  expect_reject("1 1 2 1.0\n0 3 4 1.0\n");  // decreasing batch index
+}
+
+TEST(StreamIo, RejectsNodeIdBeyondGraph) {
+  std::stringstream in("0 1 99 1.0\n");
+  EXPECT_THROW(read_edge_stream(in, 10), std::runtime_error);
+}
+
+TEST(StreamIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_stream("/nonexistent/stream.txt"), std::runtime_error);
+}
+
+TEST(StreamIo, SaveAndLoadFile) {
+  Rng rng(5);
+  const Graph g = make_grid2d(6, 6, rng);
+  EdgeStreamOptions opts;
+  opts.iterations = 2;
+  opts.total_per_node = 0.1;
+  const auto batches = make_edge_stream(g, opts);
+  const std::string path = testing::TempDir() + "/ingrass_stream_io_test.txt";
+  save_edge_stream(path, batches);
+  const auto back = load_edge_stream(path, g.num_nodes());
+  ASSERT_EQ(back.size(), batches.size());
+  EXPECT_EQ(back[0].size(), batches[0].size());
+}
+
+}  // namespace
+}  // namespace ingrass

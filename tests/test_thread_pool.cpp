@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), 7, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> order;
+  pool.parallel_for(5, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // inline = sequential
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.parallel_for(0, 1, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(-2);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, 3, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100, 8,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(256, 16, [&](std::size_t i) { sum += static_cast<long>(i); });
+    EXPECT_EQ(sum.load(), 256L * 255L / 2L);
+  }
+}
+
+TEST(ThreadPool, LargeGrainStillCoversTail) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, 1000, [&](std::size_t) { ++count; });  // one chunk
+  EXPECT_EQ(count.load(), 10);
+}
+
+Graph sparsifier_for_pool_tests() {
+  Rng rng(11);
+  const Graph g = make_triangulated_grid(14, 14, rng);
+  GrassOptions opts;
+  opts.target_offtree_density = 0.10;
+  return grass_sparsify(g, opts).sparsifier;
+}
+
+TEST(ParallelUpdate, ScoresMatchSerialExactly) {
+  const Graph h = sparsifier_for_pool_tests();
+  Ingrass::Options serial;
+  Ingrass::Options parallel = serial;
+  parallel.num_threads = 4;
+  parallel.parallel_batch_threshold = 1;  // force the pool path
+  const Ingrass a{Graph(h), serial};
+  const Ingrass b{Graph(h), parallel};
+
+  std::vector<Edge> batch;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(h.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.uniform_index(h.num_nodes()));
+    if (u != v) batch.push_back(Edge{std::min(u, v), std::max(u, v), 1.0});
+  }
+  const auto sa = a.score_batch(batch);
+  const auto sb = b.score_batch(batch);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(ParallelUpdate, InsertionResultsIdenticalToSerial) {
+  const Graph h = sparsifier_for_pool_tests();
+  Ingrass::Options serial;
+  serial.target_condition = 50.0;
+  Ingrass::Options parallel = serial;
+  parallel.num_threads = 4;
+  parallel.parallel_batch_threshold = 1;
+  Ingrass a{Graph(h), serial};
+  Ingrass b{Graph(h), parallel};
+
+  std::vector<Edge> batch;
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(h.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.uniform_index(h.num_nodes()));
+    if (u != v && !h.has_edge(u, v)) {
+      batch.push_back(Edge{std::min(u, v), std::max(u, v), 0.5});
+    }
+  }
+  const auto ra = a.insert_edges(batch);
+  const auto rb = b.insert_edges(batch);
+  EXPECT_EQ(ra.inserted, rb.inserted);
+  EXPECT_EQ(ra.merged, rb.merged);
+  EXPECT_EQ(ra.redistributed, rb.redistributed);
+  EXPECT_EQ(a.sparsifier().num_edges(), b.sparsifier().num_edges());
+}
+
+TEST(ParallelUpdate, SmallBatchSkipsPool) {
+  // Below the threshold the serial path runs — results must still be right.
+  const Graph h = sparsifier_for_pool_tests();
+  Ingrass::Options opts;
+  opts.num_threads = 4;  // pool exists
+  opts.parallel_batch_threshold = 1000000;
+  Ingrass ing{Graph(h), opts};
+  const std::vector<Edge> batch{Edge{0, 50, 1.0}, Edge{1, 60, 2.0}};
+  const auto scores = ing.score_batch(batch);
+  EXPECT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0], 0.0);
+  EXPECT_GT(scores[1], 0.0);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "tree/spanning_tree.hpp"
+#include "tree/tree_resistance.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(TreeResistance, PathIsSeriesSum) {
+  Graph g(4);
+  std::vector<EdgeId> edges;
+  edges.push_back(g.add_edge(0, 1, 2.0));
+  edges.push_back(g.add_edge(1, 2, 4.0));
+  edges.push_back(g.add_edge(2, 3, 1.0));
+  const TreePathResistance tr(g, edges);
+  EXPECT_NEAR(tr.resistance(0, 3), 0.5 + 0.25 + 1.0, 1e-12);
+  EXPECT_NEAR(tr.resistance(1, 2), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(tr.resistance(2, 2), 0.0);
+}
+
+TEST(TreeResistance, SymmetricQueries) {
+  Rng rng(1);
+  const Graph g = make_triangulated_grid(6, 6, rng);
+  const auto forest = max_weight_spanning_forest(g);
+  const TreePathResistance tr(g, forest);
+  EXPECT_DOUBLE_EQ(tr.resistance(3, 30), tr.resistance(30, 3));
+}
+
+TEST(TreeResistance, MatchesOracleOnTreeGraph) {
+  // When the graph *is* the tree, tree-path resistance equals effective
+  // resistance exactly.
+  Rng rng(2);
+  Graph tree(30);
+  std::vector<EdgeId> edges;
+  for (NodeId v = 1; v < 30; ++v) {
+    const auto p = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(v)));
+    edges.push_back(tree.add_edge(p, v, rng.uniform(0.5, 3.0)));
+  }
+  const TreePathResistance tr(tree, edges);
+  const EffectiveResistanceOracle oracle(tree);
+  Rng prng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(30));
+    const auto v = static_cast<NodeId>(prng.uniform_index(30));
+    EXPECT_NEAR(tr.resistance(u, v), oracle.resistance(u, v), 1e-6)
+        << u << "," << v;
+  }
+}
+
+TEST(TreeResistance, UpperBoundsTrueResistance) {
+  // Rayleigh monotonicity: the tree is a subgraph, so its path resistance
+  // dominates the full graph's effective resistance.
+  Rng rng(4);
+  const Graph g = make_triangulated_grid(7, 7, rng);
+  const auto forest = max_weight_spanning_forest(g);
+  const TreePathResistance tr(g, forest);
+  const EffectiveResistanceOracle oracle(g);
+  for (EdgeId e = 0; e < g.num_edges(); e += 11) {
+    const Edge& edge = g.edge(e);
+    EXPECT_GE(tr.resistance(edge.u, edge.v) + 1e-9, oracle.resistance(edge.u, edge.v));
+  }
+}
+
+TEST(TreeResistance, DistortionDefinition) {
+  Graph g(3);
+  std::vector<EdgeId> edges;
+  edges.push_back(g.add_edge(0, 1, 2.0));
+  edges.push_back(g.add_edge(1, 2, 2.0));
+  const TreePathResistance tr(g, edges);
+  Edge off;
+  off.u = 0;
+  off.v = 2;
+  off.w = 3.0;
+  EXPECT_NEAR(tr.distortion(off), 3.0 * (0.5 + 0.5), 1e-12);
+}
+
+TEST(TreeResistance, CrossComponentInfinite) {
+  Graph g(4);
+  std::vector<EdgeId> edges;
+  edges.push_back(g.add_edge(0, 1, 1.0));
+  edges.push_back(g.add_edge(2, 3, 1.0));
+  const TreePathResistance tr(g, edges);
+  EXPECT_TRUE(std::isinf(tr.resistance(0, 3)));
+}
+
+}  // namespace
+}  // namespace ingrass

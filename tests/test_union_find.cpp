@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "tree/union_find.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  EXPECT_EQ(uf.num_elements(), 5);
+  EXPECT_FALSE(uf.same(0, 1));
+  EXPECT_EQ(uf.set_size(3), 1);
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_EQ(uf.set_size(0), 2);
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFind, TransitiveClosure) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_EQ(uf.set_size(3), 4);
+  EXPECT_FALSE(uf.same(0, 5));
+}
+
+TEST(UnionFind, ChainCompressionStaysCorrect) {
+  const int n = 1000;
+  UnionFind uf(n);
+  for (int i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_TRUE(uf.same(0, n - 1));
+  EXPECT_EQ(uf.set_size(500), n);
+}
+
+TEST(UnionFind, BoundsChecked) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), std::out_of_range);
+  EXPECT_THROW(uf.find(-1), std::out_of_range);
+  EXPECT_THROW(UnionFind(-5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasUnitishMoments) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.add(rng.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  shuffle(w, rng);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+}
+
+TEST(Percentile, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 99), 3.0);
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  const Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100'000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(AccumTimer, SumsIntervals) {
+  AccumTimer t;
+  t.start();
+  t.stop();
+  t.start();
+  t.stop();
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_EQ(t.seconds(), 0.0);
+}
+
+TEST(FormatSeconds, PaperStyleRanges) {
+  EXPECT_EQ(format_seconds(196.0), "196 s");
+  EXPECT_EQ(format_seconds(1.7), "1.70 s");
+  EXPECT_EQ(format_seconds(0.053), "0.053 s");
+}
+
+TEST(TableFormat, CountsAndPercents) {
+  EXPECT_EQ(format_count(1.5e6), "1.5E+6");
+  EXPECT_EQ(format_count(0.0), "0");
+  EXPECT_EQ(format_pct(0.105), "10.5%");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  EXPECT_DOUBLE_EQ(env_double("INGRASS_DEFINITELY_UNSET_VAR", 2.5), 2.5);
+  EXPECT_EQ(env_long("INGRASS_DEFINITELY_UNSET_VAR", 9), 9);
+  EXPECT_EQ(env_string("INGRASS_DEFINITELY_UNSET_VAR", "x"), "x");
+}
+
+TEST(Env, ParsesSetValues) {
+  ::setenv("INGRASS_TEST_VAR", "3.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("INGRASS_TEST_VAR", 0.0), 3.5);
+  ::setenv("INGRASS_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_long("INGRASS_TEST_VAR", 0), 42);
+  ::unsetenv("INGRASS_TEST_VAR");
+}
+
+TEST(RelErr, ZeroDenominatorGuard) {
+  EXPECT_GT(rel_err(1.0, 0.0), 1e20);
+  EXPECT_DOUBLE_EQ(rel_err(2.0, 2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ingrass

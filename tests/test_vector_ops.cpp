@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+
+namespace ingrass {
+namespace {
+
+TEST(VectorOps, DotAndNorm) {
+  const Vec a{1.0, 2.0, 3.0};
+  const Vec b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vec{3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOps, AxpyAndXpby) {
+  const Vec x{1.0, 2.0};
+  Vec y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  xpby(x, 0.5, y);  // y = x + 0.5 y
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 14.0);
+}
+
+TEST(VectorOps, ScaleFillCopy) {
+  Vec x{1.0, -2.0};
+  scale(x, -2.0);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  Vec y(2);
+  copy(x, y);
+  EXPECT_EQ(x, y);
+  fill(y, 7.0);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+}
+
+TEST(VectorOps, ProjectOutOnesZeroesTheMean) {
+  Vec x{1.0, 2.0, 3.0, 6.0};
+  project_out_ones(x);
+  double sum = 0.0;
+  for (const double v : x) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-14);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+}
+
+TEST(VectorOps, ProjectOutOnesIdempotent) {
+  Vec x{5.0, -1.0, 2.0};
+  project_out_ones(x);
+  Vec y = x;
+  project_out_ones(y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(VectorOps, ProjectEmptySafe) {
+  Vec x;
+  project_out_ones(x);  // must not crash
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(VectorOps, RandomizeFills) {
+  Rng rng(3);
+  Vec x(100, 0.0);
+  randomize(x, rng);
+  int nonzero = 0;
+  for (const double v : x) {
+    if (v != 0.0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 100);
+}
+
+TEST(VectorOps, RelDiff) {
+  const Vec a{1.0, 0.0};
+  const Vec b{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(rel_diff(a, b), 0.0);
+  const Vec c{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(rel_diff(c, b), 1.0);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,63 @@
+// Scratch diagnostic (not part of the shipped library): explores the
+// kappa/density regime of the incremental protocol at laptop scales.
+#include <cstdio>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "sparsify/random_update.hpp"
+#include "spectral/condition_number.hpp"
+
+using namespace ingrass;
+
+int main() {
+  const NodeId side = 40;
+  for (const double locality : {0.5, 0.8, 0.9, 0.95}) {
+    Rng rng(1);
+    Graph g0 = make_triangulated_grid(side, side, rng);
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+    const double k0 = condition_number(g0, h0);
+
+    EdgeStreamOptions sopts;
+    sopts.total_per_node = 0.24;
+    sopts.locality_fraction = locality;
+    const auto batches = make_edge_stream(g0, sopts);
+    Graph g = g0;
+    for (const auto& b : batches) {
+      for (const Edge& e : b) g.add_or_merge_edge(e.u, e.v, e.w);
+    }
+    const double k_stale = condition_number(g, h0);
+
+    Ingrass::Options iopts;
+    iopts.target_condition = k0;
+    iopts.fold_weight_fraction = 0.0;
+    Ingrass ing{Graph(h0), iopts};
+    for (const auto& b : batches) ing.insert_edges(b);
+    const double k_ing = condition_number(g, ing.sparsifier());
+
+    // Random baseline.
+    Graph hr = h0;
+    {
+      Graph gr = g0;
+      std::uint64_t seed = 99;
+      for (const auto& b : batches) {
+        for (const Edge& e : b) gr.add_or_merge_edge(e.u, e.v, e.w);
+        RandomUpdateOptions ropts;
+        ropts.target_condition = k0;
+        ropts.seed = seed++;
+        random_update(gr, hr, b, ropts);
+      }
+    }
+    std::printf(
+        "loc=%.2f | k0=%6.1f stale=%6.1f | inGRASS k=%6.1f D=%.3f lvl=%d | "
+        "random D=%.3f | d_all=%.3f\n",
+        locality, k0, k_stale, k_ing, offtree_density(ing.sparsifier()),
+        ing.filtering_level(), offtree_density(hr),
+        offtree_density_with(h0, static_cast<EdgeId>(0.24 * side * side)));
+  }
+  return 0;
+}

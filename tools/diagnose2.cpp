@@ -1,0 +1,63 @@
+// Scratch diagnostic 2: Lanczos ghost eigenvalue + embedding accuracy.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "linalg/lanczos.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "spectral/laplacian.hpp"
+#include "spectral/resistance_embedding.hpp"
+#include "util/stats.hpp"
+
+using namespace ingrass;
+
+int main() {
+  {
+    Rng rng(2);
+    const Graph g = make_grid2d(8, 8, rng);
+    const CsrAdjacency csr = build_csr(g);
+    for (const int iters : {20, 40, 60, 63}) {
+      LanczosOptions opts;
+      opts.max_iters = iters;
+      opts.deflate_ones = true;
+      const auto s = lanczos_extreme_eigenvalues(laplacian_operator(csr), 64, opts);
+      std::printf("lanczos iters=%2d -> lmin=%.3e lmax=%.4f (used %d)\n", iters,
+                  s.lambda_min, s.lambda_max, s.iterations);
+    }
+  }
+  // Embedding rank correlation vs options.
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  const EffectiveResistanceOracle oracle(g);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Rng prng(17);
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(100));
+    const auto v = static_cast<NodeId>(prng.uniform_index(100));
+    if (u != v) pairs.emplace_back(u, v);
+  }
+  for (const int order : {12, 24, 48}) {
+    for (const int smooth : {0, 2, 6, 12}) {
+      ResistanceEmbedding::Options opts;
+      opts.order = order;
+      opts.smoothing_steps = smooth;
+      const ResistanceEmbedding emb = ResistanceEmbedding::build(g, opts);
+      int concordant = 0, total = 0;
+      RunningStats err;
+      for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+        const auto [a, b] = pairs[i];
+        const auto [c, d] = pairs[i + 1];
+        const double ed = oracle.resistance(a, b) - oracle.resistance(c, d);
+        const double dd = emb.estimate(a, b) - emb.estimate(c, d);
+        if (std::abs(ed) < 1e-6) continue;
+        ++total;
+        if ((ed > 0) == (dd > 0)) ++concordant;
+      }
+      for (const auto& [u, v] : pairs) {
+        err.add(rel_err(emb.estimate(u, v), oracle.resistance(u, v)));
+      }
+      std::printf("order=%2d smooth=%2d -> concord=%.2f meanrel=%.3f\n", order,
+                  smooth, static_cast<double>(concordant) / total, err.mean());
+    }
+  }
+  return 0;
+}

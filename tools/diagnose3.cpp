@@ -1,0 +1,67 @@
+// Scratch diagnostic 3: which update mechanism damages kappa on
+// locality-concentrated streams (FEM-refinement style)?
+#include <cstdio>
+#include <vector>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+std::vector<Edge> refine_near_corner(const Graph& g, NodeId nx, Rng& rng, int count) {
+  std::vector<Edge> batch;
+  int attempts = 0;
+  while (static_cast<int>(batch.size()) < count && attempts++ < count * 50) {
+    const auto x = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(nx / 3)));
+    const auto y = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(nx / 3)));
+    const NodeId u = y * nx + x;
+    NodeId v = u;
+    for (int h = 0; h < 2; ++h) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) break;
+      v = nbrs[rng.uniform_index(nbrs.size())].to;
+    }
+    if (u == v || g.has_edge(u, v)) continue;
+    bool dup = false;
+    for (const Edge& e : batch) {
+      if ((e.u == std::min(u, v)) && (e.v == std::max(u, v))) dup = true;
+    }
+    if (dup) continue;
+    batch.push_back(Edge{std::min(u, v), std::max(u, v), rng.uniform(0.8, 1.6)});
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  const NodeId nx = 36;
+  for (const double frac : {1.0, 0.5, 0.25, 0.0}) {
+    Rng rng(11);
+    Graph g = make_triangulated_grid(nx, nx, rng);
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    Graph h0 = grass_sparsify(g, gopts).sparsifier;
+    const double kappa0 = condition_number(g, h0);
+
+    Ingrass::Options iopts;
+    iopts.target_condition = kappa0;
+    iopts.fold_weight_fraction = frac;
+    Ingrass ing{Graph(h0), iopts};
+    for (int pass = 1; pass <= 6; ++pass) {
+      auto batch = refine_near_corner(g, nx, rng, 60);
+      for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+      ing.insert_edges(batch);
+    }
+    const ConditionNumberResult r =
+        relative_condition_number(g, ing.sparsifier());
+    std::printf("fold=%.2f kappa0=%.1f -> kappa=%.1f (lmax=%.1f lmin=%.3f) edges=%lld\n",
+                frac, kappa0, r.kappa, r.lambda_max, r.lambda_min,
+                static_cast<long long>(ing.sparsifier().num_edges()));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Scratch diagnostic 4: stream-parameter sweep — find the workload regime
+// that reproduces Table II's separation (inGRASS-D << Random-D, strong
+// kappa perturbation, inGRASS kappa on target).
+#include <cstdio>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "sparsify/random_update.hpp"
+#include "spectral/condition_number.hpp"
+
+using namespace ingrass;
+
+int main() {
+  Rng grng(1);
+  const Graph g0 = make_triangulated_grid(50, 50, grng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  const double k0 = condition_number(g0, h0);
+  std::printf("k0 = %.1f\n", k0);
+
+  struct P {
+    double loc;
+    int hops;
+    double factor;
+  };
+  const P params[] = {
+      {0.95, 2, 8.0}, {0.95, 3, 4.0}, {0.95, 4, 2.0}, {1.0, 3, 1.0},
+      {1.0, 4, 1.0},  {0.9, 4, 2.0},  {0.97, 4, 4.0},
+  };
+  for (const P& p : params) {
+    EdgeStreamOptions sopts;
+    sopts.locality_fraction = p.loc;
+    sopts.local_hops = p.hops;
+    sopts.global_weight_factor = p.factor;
+    const auto batches = make_edge_stream(g0, sopts);
+    Graph g = g0;
+    for (const auto& b : batches) {
+      for (const Edge& e : b) g.add_or_merge_edge(e.u, e.v, e.w);
+    }
+    const double stale = condition_number(g, h0);
+
+    Ingrass::Options iopts;
+    iopts.target_condition = k0;
+    Ingrass ing{Graph(h0), iopts};
+    for (const auto& b : batches) ing.insert_edges(b);
+    const double k_ing = condition_number(g, ing.sparsifier());
+
+    Graph hr = h0;
+    {
+      Graph gr = g0;
+      std::uint64_t seed = 99;
+      for (const auto& b : batches) {
+        for (const Edge& e : b) gr.add_or_merge_edge(e.u, e.v, e.w);
+        RandomUpdateOptions ropts;
+        ropts.target_condition = k0;
+        ropts.seed = seed++;
+        random_update(gr, hr, b, ropts);
+      }
+    }
+    std::printf(
+        "loc=%.2f hops=%d f=%.0f | stale/k0=%5.1f | inGRASS k=%6.1f D=%.3f | "
+        "random D=%.3f\n",
+        p.loc, p.hops, p.factor, stale / k0, k_ing,
+        offtree_density(ing.sparsifier()), offtree_density(hr));
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scratch diagnostic 5: why does inGRASS-D overshoot GRASS-D on the
+// circuit analogs? Dump per-level cluster-size distributions, the chosen
+// filtering level, and the per-batch insert/merge/redistribute breakdown.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/env.hpp"
+
+using namespace ingrass;
+
+int main() {
+  const std::string name = env_string("CASE", "G2_circuit");
+  const double scale = env_double("SCALE", 0.25);
+  Rng rng(0xC0FFEE);
+  const Graph g0 = make_paper_testcase(name, scale, rng);
+  std::printf("case=%s N=%d E=%lld\n", name.c_str(), g0.num_nodes(),
+              static_cast<long long>(g0.num_edges()));
+
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  const double k0 = condition_number(g0, h0);
+  std::printf("k0 = %.1f  cap = %.1f\n", k0, k0 / 2.0);
+
+  Ingrass::Options iopts;
+  iopts.target_condition = k0;
+  Ingrass ing(Graph(h0), iopts);
+  const auto& emb = ing.embedding();
+  for (int l = 0; l < emb.num_levels(); ++l) {
+    // Size distribution: max, median, #clusters.
+    std::vector<NodeId> sizes;
+    for (NodeId c = 0; c < emb.num_clusters(l); ++c) sizes.push_back(emb.cluster_size(l, c));
+    std::sort(sizes.begin(), sizes.end());
+    const NodeId med = sizes[sizes.size() / 2];
+    const NodeId p95 = sizes[static_cast<std::size_t>(0.95 * (sizes.size() - 1))];
+    std::printf("level %d: clusters=%u max=%u p95=%u med=%u%s\n", l, emb.num_clusters(l),
+                emb.max_cluster_size(l), p95, med,
+                l == ing.filtering_level() ? "   <= filtering level" : "");
+  }
+
+  const auto batches = make_edge_stream(g0, {});
+  Graph g = g0;
+  for (const auto& b : batches) {
+    for (const Edge& e : b) g.add_or_merge_edge(e.u, e.v, e.w);
+  }
+
+  // Sweep the filtering level: at each level run the whole stream and
+  // report density + achieved kappa against the target.
+  for (int level = 0; level < emb.num_levels(); ++level) {
+    Ingrass::Options lopts = iopts;
+    lopts.filtering_level_override = level;
+    Ingrass run(Graph(h0), lopts);
+    EdgeId ins = 0, mrg = 0, red = 0;
+    for (const auto& b : batches) {
+      const auto st = run.insert_edges(b);
+      ins += st.inserted;
+      mrg += st.merged;
+      red += st.redistributed;
+    }
+    std::printf(
+        "level %2d: density %.3f  kappa %7.1f  (ins=%lld mrg=%lld red=%lld)%s\n", level,
+        offtree_density(run.sparsifier()), condition_number(g, run.sparsifier()),
+        static_cast<long long>(ins), static_cast<long long>(mrg),
+        static_cast<long long>(red),
+        level == ing.filtering_level() ? "   <= auto choice" : "");
+  }
+  return 0;
+}

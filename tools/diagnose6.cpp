@@ -1,0 +1,66 @@
+// Scratch diagnostic 6: calibration of the multilevel resistance bound and
+// the flat Krylov estimate against the exact effective resistance of H(0),
+// over local (2-hop) and global (random-pair) queries.
+#include <cstdio>
+
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "util/env.hpp"
+
+using namespace ingrass;
+
+int main() {
+  const std::string name = env_string("CASE", "G2_circuit");
+  Rng rng(0xC0FFEE);
+  const Graph g0 = make_paper_testcase(name, env_double("SCALE", 0.25), rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  const double k0 = condition_number(g0, h0);
+
+  Ingrass::Options iopts;
+  iopts.target_condition = k0;
+  Ingrass ing(Graph(h0), iopts);
+  const EffectiveResistanceOracle oracle(h0);
+
+  Rng qrng(7);
+  auto random_node = [&] {
+    return static_cast<NodeId>(qrng.uniform_index(g0.num_nodes()));
+  };
+  std::puts("kind      exact      bound     bound/exact   flat     flat/exact");
+  for (int kind = 0; kind < 2; ++kind) {
+    double sum_ratio_b = 0.0, sum_ratio_f = 0.0;
+    int cnt = 0;
+    for (int i = 0; i < 30; ++i) {
+      NodeId u = random_node(), v = u;
+      if (kind == 0) {
+        for (int h = 0; h < 2 && !g0.neighbors(v).empty(); ++h) {
+          const auto nb = g0.neighbors(v);
+          v = nb[qrng.uniform_index(nb.size())].to;
+        }
+      } else {
+        v = random_node();
+      }
+      if (u == v) continue;
+      const double exact = oracle.resistance(u, v);
+      const double bound = ing.embedding().resistance_bound(u, v);
+      const double flat = ing.embedding().base_embedding().estimate(u, v);
+      if (exact <= 0) continue;
+      sum_ratio_b += bound / exact;
+      sum_ratio_f += flat / exact;
+      ++cnt;
+      if (i < 8) {
+        std::printf("%s  %9.4f  %9.4f  %8.2f  %9.4f  %8.2f\n",
+                    kind == 0 ? "local " : "global", exact, bound, bound / exact,
+                    flat, flat / exact);
+      }
+    }
+    std::printf("%s mean ratios over %d pairs: bound/exact=%.2f flat/exact=%.2f\n\n",
+                kind == 0 ? "local " : "global", cnt, sum_ratio_b / cnt,
+                sum_ratio_f / cnt);
+  }
+  return 0;
+}
