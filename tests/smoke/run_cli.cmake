@@ -1,0 +1,67 @@
+# Smoke test: drive apps/ingrass_cli end-to-end — info, sparsify, kappa and
+# update on a generated 5x5 grid — and check exit codes and stdout markers,
+# including the usage (1) and runtime-failure (2) exit paths.
+#
+# Invoked by CTest as:
+#   cmake -DBIN=<path-to-ingrass_cli> -DWORK_DIR=<scratch dir> -P run_cli.cmake
+
+if(NOT DEFINED BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DBIN=<ingrass_cli binary> -DWORK_DIR=<scratch dir>")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Emit a 5x5 grid graph (25 nodes, 40 unit edges) in Matrix Market
+# coordinate/symmetric format (lower triangle, 1-based).
+set(entries "")
+set(count 0)
+foreach(y RANGE 4)
+  foreach(x RANGE 4)
+    math(EXPR id "${y} * 5 + ${x} + 1")
+    if(x LESS 4)
+      math(EXPR nbr "${id} + 1")
+      string(APPEND entries "${nbr} ${id} 1.0\n")
+      math(EXPR count "${count} + 1")
+    endif()
+    if(y LESS 4)
+      math(EXPR nbr "${id} + 5")
+      string(APPEND entries "${nbr} ${id} 1.0\n")
+      math(EXPR count "${count} + 1")
+    endif()
+  endforeach()
+endforeach()
+file(WRITE ${WORK_DIR}/g.mtx
+  "%%MatrixMarket matrix coordinate real symmetric\n25 25 ${count}\n${entries}")
+
+# A batch of new edges for the update subcommand (0-based "u v w" lines).
+file(WRITE ${WORK_DIR}/edges.txt "0 24 1.0\n0 12 0.5\n6 18 1.0\n")
+
+# run_cli(<expected exit code> <required stdout marker or ""> <args...>)
+function(run_cli expected marker)
+  execute_process(COMMAND ${BIN} ${ARGN}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR "ingrass_cli ${ARGN}: exit ${rc}, expected ${expected}\n"
+                        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT marker STREQUAL "")
+    string(FIND "${out}" "${marker}" idx)
+    if(idx EQUAL -1)
+      message(FATAL_ERROR "ingrass_cli ${ARGN}: stdout is missing marker "
+                          "'${marker}'\nstdout:\n${out}")
+    endif()
+  endif()
+endfunction()
+
+run_cli(1 "")                                       # no args -> usage
+run_cli(2 "" info no_such_file.mtx)                 # runtime failure
+run_cli(0 "nodes:" info g.mtx)
+run_cli(0 "connected:" info g.mtx)
+run_cli(0 "sparsified 25 nodes" sparsify g.mtx h.mtx 0.25)
+run_cli(0 "kappa(L_G, L_H) =" kappa g.mtx h.mtx)
+run_cli(0 "kappa after update:" update g.mtx h.mtx edges.txt h2.mtx)
+run_cli(0 "nodes:" info h2.mtx)                     # updated sparsifier round-trips
+
+message(STATUS "ingrass_cli smoke test passed")

@@ -1,0 +1,30 @@
+# Smoke test: examples/quickstart must run the full setup + 10-batch
+# update workflow and report a final condition number.
+#
+# Invoked by CTest as:  cmake -DBIN=<path-to-quickstart> -P run_quickstart.cmake
+
+if(NOT DEFINED BIN)
+  message(FATAL_ERROR "pass -DBIN=<quickstart binary>")
+endif()
+
+execute_process(COMMAND ${BIN}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+foreach(marker
+    "G(0): 400 nodes"
+    "H(0):"
+    "setup:"
+    "multilevel embedding vectors"
+    "final: kappa(G,H)")
+  string(FIND "${out}" "${marker}" idx)
+  if(idx EQUAL -1)
+    message(FATAL_ERROR "quickstart stdout is missing marker '${marker}'\nstdout:\n${out}")
+  endif()
+endforeach()
+
+message(STATUS "quickstart smoke test passed")

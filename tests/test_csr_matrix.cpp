@@ -53,8 +53,8 @@ TEST(CsrMatrix, DuplicateTripletsSum) {
 TEST(CsrMatrix, AtReturnsZeroForEmptyPositions) {
   const CsrMatrix m = small_matrix();
   EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
-  EXPECT_THROW(m.at(0, 5), std::out_of_range);
-  EXPECT_THROW(m.at(-1, 0), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(m.at(0, 5)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(m.at(-1, 0)), std::out_of_range);
 }
 
 TEST(CsrMatrix, Diagonal) {

@@ -163,7 +163,8 @@ TEST(PaperTestcases, SizesMatchPaperOrdering) {
   EXPECT_EQ(g3.nodes, 1'500'000);
   const PaperSize d22 = paper_testcase_size("delaunay_n22");
   EXPECT_GT(d22.edges, d22.nodes);
-  EXPECT_THROW(paper_testcase_size("nonexistent"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(paper_testcase_size("nonexistent")),
+               std::invalid_argument);
 }
 
 TEST(PaperTestcases, GeneratedAnalogsConnected) {

@@ -100,8 +100,9 @@ TEST(Graph, AddNodesExtends) {
 TEST(Graph, EdgeAccessorBounds) {
   Graph g(2);
   g.add_edge(0, 1, 1.0);
-  EXPECT_THROW(g.edge(5), std::out_of_range);
-  EXPECT_THROW(g.edge(-1), std::out_of_range);
+  // void-cast: Graph::edge is [[nodiscard]], and EXPECT_THROW discards.
+  EXPECT_THROW(static_cast<void>(g.edge(5)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(g.edge(-1)), std::out_of_range);
 }
 
 TEST(CsrAdjacency, MirrorsGraph) {

@@ -46,7 +46,9 @@ TEST(MultilevelEmbedding, ClustersNestAcrossLevels) {
     bool shared = false;
     for (int l = 0; l < emb.num_levels(); ++l) {
       const bool same = emb.cluster_of(l, u) == emb.cluster_of(l, v);
-      if (shared) EXPECT_TRUE(same) << "level " << l;
+      if (shared) {
+        EXPECT_TRUE(same) << "level " << l;
+      }
       shared = shared || same;
     }
   }
@@ -128,7 +130,9 @@ TEST(MultilevelEmbedding, FirstSharedLevelConsistent) {
     }
     ASSERT_GE(l, 0);  // connected graph: always shared at the top
     EXPECT_EQ(emb.cluster_of(l, u), emb.cluster_of(l, v));
-    if (l > 0) EXPECT_NE(emb.cluster_of(l - 1, u), emb.cluster_of(l - 1, v));
+    if (l > 0) {
+      EXPECT_NE(emb.cluster_of(l - 1, u), emb.cluster_of(l - 1, v));
+    }
   }
 }
 

@@ -145,8 +145,8 @@ TEST(ResistanceEmbedding, CoordsSpanDimension) {
   const Graph g = make_grid2d(6, 6, rng);
   const ResistanceEmbedding emb = ResistanceEmbedding::build(g);
   EXPECT_EQ(emb.coords(0).size(), static_cast<std::size_t>(emb.dimension()));
-  EXPECT_THROW(emb.coords(1000), std::out_of_range);
-  EXPECT_THROW(emb.estimate(-1, 0), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(emb.coords(1000)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(emb.estimate(-1, 0)), std::out_of_range);
 }
 
 TEST(ResistanceEmbedding, DeterministicForSeed) {

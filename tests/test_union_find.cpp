@@ -44,8 +44,8 @@ TEST(UnionFind, ChainCompressionStaysCorrect) {
 
 TEST(UnionFind, BoundsChecked) {
   UnionFind uf(3);
-  EXPECT_THROW(uf.find(3), std::out_of_range);
-  EXPECT_THROW(uf.find(-1), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(uf.find(3)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(uf.find(-1)), std::out_of_range);
   EXPECT_THROW(UnionFind(-5), std::invalid_argument);
 }
 

@@ -1,0 +1,425 @@
+// ingrass_diagnose — developer diagnostics CLI.
+//
+// Consolidates the one-off scratch diagnostics that grew alongside the
+// reproduction (formerly tools/diagnose.cpp ... diagnose6.cpp) into one
+// binary with a subcommand per investigation:
+//
+//   locality      kappa/density regime vs stream locality
+//   lanczos       Lanczos ghost eigenvalues + embedding rank correlation
+//   fold          which update mechanism damages kappa on local streams
+//   stream-sweep  stream-parameter sweep for Table II's separation
+//   filtering     cluster-size distributions + filtering-level sweep
+//   resistance    multilevel resistance bound vs exact effective resistance
+//   all           run every diagnostic in sequence
+//
+// `filtering` and `resistance` honor CASE (paper testcase name, default
+// G2_circuit) and SCALE (size multiplier, default 0.25) from the
+// environment. Exit status 0 on success, 1 on usage errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "core/ingrass.hpp"
+#include "graph/generators.hpp"
+#include "linalg/lanczos.hpp"
+#include "sparsify/density.hpp"
+#include "sparsify/grass.hpp"
+#include "sparsify/random_update.hpp"
+#include "spectral/condition_number.hpp"
+#include "spectral/effective_resistance.hpp"
+#include "spectral/laplacian.hpp"
+#include "spectral/resistance_embedding.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+using EdgeBatches = std::vector<std::vector<Edge>>;
+
+// Fold every streamed batch into `g`.
+void apply_batches(Graph& g, const EdgeBatches& batches) {
+  for (const auto& b : batches) {
+    for (const Edge& e : b) g.add_or_merge_edge(e.u, e.v, e.w);
+  }
+}
+
+// Random-update baseline: replay the stream against h0 with the
+// density-matched random updater and return the resulting sparsifier.
+Graph random_baseline(const Graph& g0, const Graph& h0, const EdgeBatches& batches,
+                      double target_condition) {
+  Graph hr = h0;
+  Graph gr = g0;
+  std::uint64_t seed = 99;
+  for (const auto& b : batches) {
+    for (const Edge& e : b) gr.add_or_merge_edge(e.u, e.v, e.w);
+    RandomUpdateOptions ropts;
+    ropts.target_condition = target_condition;
+    ropts.seed = seed++;
+    random_update(gr, hr, b, ropts);
+  }
+  return hr;
+}
+
+// --- locality: kappa/density regime of the incremental protocol ----------
+
+int run_locality() {
+  std::puts("== locality: kappa/density regime vs stream locality ==");
+  const NodeId side = 40;
+  for (const double locality : {0.5, 0.8, 0.9, 0.95}) {
+    Rng rng(1);
+    Graph g0 = make_triangulated_grid(side, side, rng);
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+    const double k0 = condition_number(g0, h0);
+
+    EdgeStreamOptions sopts;
+    sopts.total_per_node = 0.24;
+    sopts.locality_fraction = locality;
+    const auto batches = make_edge_stream(g0, sopts);
+    Graph g = g0;
+    apply_batches(g, batches);
+    const double k_stale = condition_number(g, h0);
+
+    Ingrass::Options iopts;
+    iopts.target_condition = k0;
+    iopts.fold_weight_fraction = 0.0;
+    Ingrass ing{Graph(h0), iopts};
+    for (const auto& b : batches) ing.insert_edges(b);
+    const double k_ing = condition_number(g, ing.sparsifier());
+
+    const Graph hr = random_baseline(g0, h0, batches, k0);
+    std::printf(
+        "loc=%.2f | k0=%6.1f stale=%6.1f | inGRASS k=%6.1f D=%.3f lvl=%d | "
+        "random D=%.3f | d_all=%.3f\n",
+        locality, k0, k_stale, k_ing, offtree_density(ing.sparsifier()),
+        ing.filtering_level(), offtree_density(hr),
+        offtree_density_with(h0, static_cast<EdgeId>(0.24 * side * side)));
+  }
+  return 0;
+}
+
+// --- lanczos: ghost eigenvalues + embedding accuracy ---------------------
+
+int run_lanczos() {
+  std::puts("== lanczos: ghost eigenvalues + embedding rank correlation ==");
+  {
+    Rng rng(2);
+    const Graph g = make_grid2d(8, 8, rng);
+    const CsrAdjacency csr = build_csr(g);
+    for (const int iters : {20, 40, 60, 63}) {
+      LanczosOptions opts;
+      opts.max_iters = iters;
+      opts.deflate_ones = true;
+      const auto s = lanczos_extreme_eigenvalues(laplacian_operator(csr), 64, opts);
+      std::printf("lanczos iters=%2d -> lmin=%.3e lmax=%.4f (used %d)\n", iters,
+                  s.lambda_min, s.lambda_max, s.iterations);
+    }
+  }
+  // Embedding rank correlation vs options.
+  Rng rng(3);
+  const Graph g = make_triangulated_grid(10, 10, rng);
+  const EffectiveResistanceOracle oracle(g);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  Rng prng(17);
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<NodeId>(prng.uniform_index(100));
+    const auto v = static_cast<NodeId>(prng.uniform_index(100));
+    if (u != v) pairs.emplace_back(u, v);
+  }
+  for (const int order : {12, 24, 48}) {
+    for (const int smooth : {0, 2, 6, 12}) {
+      ResistanceEmbedding::Options opts;
+      opts.order = order;
+      opts.smoothing_steps = smooth;
+      const ResistanceEmbedding emb = ResistanceEmbedding::build(g, opts);
+      int concordant = 0, total = 0;
+      RunningStats err;
+      for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+        const auto [a, b] = pairs[i];
+        const auto [c, d] = pairs[i + 1];
+        const double ed = oracle.resistance(a, b) - oracle.resistance(c, d);
+        const double dd = emb.estimate(a, b) - emb.estimate(c, d);
+        if (std::abs(ed) < 1e-6) continue;
+        ++total;
+        if ((ed > 0) == (dd > 0)) ++concordant;
+      }
+      for (const auto& [u, v] : pairs) {
+        err.add(rel_err(emb.estimate(u, v), oracle.resistance(u, v)));
+      }
+      std::printf("order=%2d smooth=%2d -> concord=%.2f meanrel=%.3f\n", order,
+                  smooth, static_cast<double>(concordant) / total, err.mean());
+    }
+  }
+  return 0;
+}
+
+// --- fold: update-mechanism damage on locality-concentrated streams ------
+
+std::vector<Edge> refine_near_corner(const Graph& g, NodeId nx, Rng& rng, int count) {
+  std::vector<Edge> batch;
+  int attempts = 0;
+  while (static_cast<int>(batch.size()) < count && attempts++ < count * 50) {
+    const auto x = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(nx / 3)));
+    const auto y = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(nx / 3)));
+    const NodeId u = y * nx + x;
+    NodeId v = u;
+    for (int h = 0; h < 2; ++h) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) break;
+      v = nbrs[rng.uniform_index(nbrs.size())].to;
+    }
+    if (u == v || g.has_edge(u, v)) continue;
+    bool dup = false;
+    for (const Edge& e : batch) {
+      if ((e.u == std::min(u, v)) && (e.v == std::max(u, v))) dup = true;
+    }
+    if (dup) continue;
+    batch.push_back(Edge{std::min(u, v), std::max(u, v), rng.uniform(0.8, 1.6)});
+  }
+  return batch;
+}
+
+int run_fold() {
+  std::puts("== fold: kappa damage vs fold_weight_fraction on local streams ==");
+  const NodeId nx = 36;
+  for (const double frac : {1.0, 0.5, 0.25, 0.0}) {
+    Rng rng(11);
+    Graph g = make_triangulated_grid(nx, nx, rng);
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    Graph h0 = grass_sparsify(g, gopts).sparsifier;
+    const double kappa0 = condition_number(g, h0);
+
+    Ingrass::Options iopts;
+    iopts.target_condition = kappa0;
+    iopts.fold_weight_fraction = frac;
+    Ingrass ing{Graph(h0), iopts};
+    for (int pass = 1; pass <= 6; ++pass) {
+      auto batch = refine_near_corner(g, nx, rng, 60);
+      for (const Edge& e : batch) g.add_or_merge_edge(e.u, e.v, e.w);
+      ing.insert_edges(batch);
+    }
+    const ConditionNumberResult r =
+        relative_condition_number(g, ing.sparsifier());
+    std::printf("fold=%.2f kappa0=%.1f -> kappa=%.1f (lmax=%.1f lmin=%.3f) edges=%lld\n",
+                frac, kappa0, r.kappa, r.lambda_max, r.lambda_min,
+                static_cast<long long>(ing.sparsifier().num_edges()));
+  }
+  return 0;
+}
+
+// --- stream-sweep: workload regime for Table II's separation -------------
+
+int run_stream_sweep() {
+  std::puts("== stream-sweep: stream parameters vs Table II separation ==");
+  Rng grng(1);
+  const Graph g0 = make_triangulated_grid(50, 50, grng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  const double k0 = condition_number(g0, h0);
+  std::printf("k0 = %.1f\n", k0);
+
+  struct P {
+    double loc;
+    int hops;
+    double factor;
+  };
+  const P params[] = {
+      {0.95, 2, 8.0}, {0.95, 3, 4.0}, {0.95, 4, 2.0}, {1.0, 3, 1.0},
+      {1.0, 4, 1.0},  {0.9, 4, 2.0},  {0.97, 4, 4.0},
+  };
+  for (const P& p : params) {
+    EdgeStreamOptions sopts;
+    sopts.locality_fraction = p.loc;
+    sopts.local_hops = p.hops;
+    sopts.global_weight_factor = p.factor;
+    const auto batches = make_edge_stream(g0, sopts);
+    Graph g = g0;
+    apply_batches(g, batches);
+    const double stale = condition_number(g, h0);
+
+    Ingrass::Options iopts;
+    iopts.target_condition = k0;
+    Ingrass ing{Graph(h0), iopts};
+    for (const auto& b : batches) ing.insert_edges(b);
+    const double k_ing = condition_number(g, ing.sparsifier());
+
+    const Graph hr = random_baseline(g0, h0, batches, k0);
+    std::printf(
+        "loc=%.2f hops=%d f=%.0f | stale/k0=%5.1f | inGRASS k=%6.1f D=%.3f | "
+        "random D=%.3f\n",
+        p.loc, p.hops, p.factor, stale / k0, k_ing,
+        offtree_density(ing.sparsifier()), offtree_density(hr));
+  }
+  return 0;
+}
+
+// --- filtering: cluster distributions + filtering-level sweep ------------
+
+int run_filtering() {
+  std::puts("== filtering: cluster-size distributions + level sweep ==");
+  const std::string name = env_string("CASE", "G2_circuit");
+  const double scale = env_double("SCALE", 0.25);
+  Rng rng(0xC0FFEE);
+  const Graph g0 = make_paper_testcase(name, scale, rng);
+  std::printf("case=%s N=%d E=%lld\n", name.c_str(), g0.num_nodes(),
+              static_cast<long long>(g0.num_edges()));
+
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  const double k0 = condition_number(g0, h0);
+  std::printf("k0 = %.1f  cap = %.1f\n", k0, k0 / 2.0);
+
+  Ingrass::Options iopts;
+  iopts.target_condition = k0;
+  Ingrass ing(Graph(h0), iopts);
+  const auto& emb = ing.embedding();
+  for (int l = 0; l < emb.num_levels(); ++l) {
+    // Size distribution: max, median, #clusters.
+    std::vector<NodeId> sizes;
+    for (NodeId c = 0; c < emb.num_clusters(l); ++c) sizes.push_back(emb.cluster_size(l, c));
+    std::sort(sizes.begin(), sizes.end());
+    const NodeId med = sizes[sizes.size() / 2];
+    const NodeId p95 = sizes[static_cast<std::size_t>(0.95 * (sizes.size() - 1))];
+    std::printf("level %d: clusters=%u max=%u p95=%u med=%u%s\n", l, emb.num_clusters(l),
+                emb.max_cluster_size(l), p95, med,
+                l == ing.filtering_level() ? "   <= filtering level" : "");
+  }
+
+  const auto batches = make_edge_stream(g0, {});
+  Graph g = g0;
+  apply_batches(g, batches);
+
+  // Sweep the filtering level: at each level run the whole stream and
+  // report density + achieved kappa against the target.
+  for (int level = 0; level < emb.num_levels(); ++level) {
+    Ingrass::Options lopts = iopts;
+    lopts.filtering_level_override = level;
+    Ingrass run(Graph(h0), lopts);
+    EdgeId ins = 0, mrg = 0, red = 0;
+    for (const auto& b : batches) {
+      const auto st = run.insert_edges(b);
+      ins += st.inserted;
+      mrg += st.merged;
+      red += st.redistributed;
+    }
+    std::printf(
+        "level %2d: density %.3f  kappa %7.1f  (ins=%lld mrg=%lld red=%lld)%s\n", level,
+        offtree_density(run.sparsifier()), condition_number(g, run.sparsifier()),
+        static_cast<long long>(ins), static_cast<long long>(mrg),
+        static_cast<long long>(red),
+        level == ing.filtering_level() ? "   <= auto choice" : "");
+  }
+  return 0;
+}
+
+// --- resistance: multilevel bound calibration ----------------------------
+
+int run_resistance() {
+  std::puts("== resistance: multilevel bound vs exact effective resistance ==");
+  const std::string name = env_string("CASE", "G2_circuit");
+  Rng rng(0xC0FFEE);
+  const Graph g0 = make_paper_testcase(name, env_double("SCALE", 0.25), rng);
+  GrassOptions gopts;
+  gopts.target_offtree_density = 0.10;
+  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  const double k0 = condition_number(g0, h0);
+
+  Ingrass::Options iopts;
+  iopts.target_condition = k0;
+  Ingrass ing(Graph(h0), iopts);
+  const EffectiveResistanceOracle oracle(h0);
+
+  Rng qrng(7);
+  auto random_node = [&] {
+    return static_cast<NodeId>(qrng.uniform_index(g0.num_nodes()));
+  };
+  std::puts("kind      exact      bound     bound/exact   flat     flat/exact");
+  for (int kind = 0; kind < 2; ++kind) {
+    double sum_ratio_b = 0.0, sum_ratio_f = 0.0;
+    int cnt = 0;
+    for (int i = 0; i < 30; ++i) {
+      NodeId u = random_node(), v = u;
+      if (kind == 0) {
+        for (int h = 0; h < 2 && !g0.neighbors(v).empty(); ++h) {
+          const auto nb = g0.neighbors(v);
+          v = nb[qrng.uniform_index(nb.size())].to;
+        }
+      } else {
+        v = random_node();
+      }
+      if (u == v) continue;
+      const double exact = oracle.resistance(u, v);
+      const double bound = ing.embedding().resistance_bound(u, v);
+      const double flat = ing.embedding().base_embedding().estimate(u, v);
+      if (exact <= 0) continue;
+      sum_ratio_b += bound / exact;
+      sum_ratio_f += flat / exact;
+      ++cnt;
+      if (i < 8) {
+        std::printf("%s  %9.4f  %9.4f  %8.2f  %9.4f  %8.2f\n",
+                    kind == 0 ? "local " : "global", exact, bound, bound / exact,
+                    flat, flat / exact);
+      }
+    }
+    std::printf("%s mean ratios over %d pairs: bound/exact=%.2f flat/exact=%.2f\n\n",
+                kind == 0 ? "local " : "global", cnt, sum_ratio_b / cnt,
+                sum_ratio_f / cnt);
+  }
+  return 0;
+}
+
+// --- dispatch ------------------------------------------------------------
+
+struct Subcommand {
+  const char* name;
+  const char* help;
+  int (*run)();
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"locality", "kappa/density regime vs stream locality", run_locality},
+    {"lanczos", "Lanczos ghost eigenvalues + embedding rank correlation", run_lanczos},
+    {"fold", "which update mechanism damages kappa on local streams", run_fold},
+    {"stream-sweep", "stream-parameter sweep for Table II's separation", run_stream_sweep},
+    {"filtering", "cluster-size distributions + filtering-level sweep", run_filtering},
+    {"resistance", "multilevel resistance bound vs exact effective resistance", run_resistance},
+};
+
+int usage() {
+  std::fprintf(stderr, "usage: ingrass_diagnose <subcommand>\n\nsubcommands:\n");
+  for (const Subcommand& sub : kSubcommands) {
+    std::fprintf(stderr, "  %-13s %s\n", sub.name, sub.help);
+  }
+  std::fprintf(stderr, "  %-13s run every diagnostic in sequence\n", "all");
+  std::fprintf(stderr,
+               "\n`filtering` and `resistance` honor CASE (default G2_circuit) "
+               "and SCALE (default 0.25) from the environment.\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return usage();
+  if (std::strcmp(argv[1], "all") == 0) {
+    for (const Subcommand& sub : kSubcommands) {
+      if (const int rc = sub.run(); rc != 0) return rc;
+      std::puts("");
+    }
+    return 0;
+  }
+  for (const Subcommand& sub : kSubcommands) {
+    if (std::strcmp(argv[1], sub.name) == 0) return sub.run();
+  }
+  return usage();
+}
