@@ -1,0 +1,297 @@
+// ingrass_serve — a long-lived sparsifier session speaking a line protocol
+// on stdin/stdout. The operational front-end to serve/session.hpp: open a
+// graph (or restore a checkpoint), stream mixed insert/remove batches,
+// solve against the maintained sparsifier-preconditioned system, inspect
+// metrics, and checkpoint for restart — all without ever re-paying the
+// setup phase in the foreground.
+//
+// Protocol (one command per line; one response per command, `ok ...` or
+// `err <message>`; stdout is flushed after every response):
+//
+//   open <g.mtx> [--density f] [--target C] [--grass-target C]
+//                [--staleness f] [--sync] [--no-rebuild]
+//       Load a Matrix Market graph, build H(0) with GRASS at --density
+//       (default 0.10), run the inGRASS setup with kappa budget --target
+//       (default 100). --grass-target makes rebuilds (and H(0))
+//       condition-targeted instead of density-targeted. --staleness sets
+//       the rebuild trip point as a fraction of the budget (default 0.75).
+//       --sync rebuilds inside apply instead of in the background;
+//       --no-rebuild disables rebuilds entirely.
+//   restore <ckpt> [same options]
+//       Resume a session from a checkpoint file (no GRASS pass).
+//   insert <u> <v> <w>      stage an insertion into the pending batch
+//   remove <u> <v>          stage a removal into the pending batch
+//   apply                   apply the pending batch through the session
+//   solve <u> <v>           flush pending, then solve L_G x = e_u - e_v;
+//                           reports iterations, residual, and x[u]-x[v]
+//                           (the effective resistance between u and v)
+//   metrics                 flush pending, then report session metrics
+//   kappa                   flush pending, then measure kappa(L_G, L_H)
+//                           against the budget (expensive; diagnostics)
+//   checkpoint <path>       flush pending, then write a binary checkpoint
+//   quit                    flush pending and exit 0 (EOF does the same)
+//
+// Exit status: 0 on quit/EOF, 1 on usage errors (the program takes no
+// arguments), 2 on fatal runtime failures. Per-command failures print
+// `err ...` and the session keeps serving.
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/mtx_io.hpp"
+#include "serve/session.hpp"
+#include "util/parse.hpp"
+
+using namespace ingrass;
+
+namespace {
+
+struct ServeState {
+  std::unique_ptr<SparsifierSession> session;
+  UpdateBatch pending;
+};
+
+[[noreturn]] void protocol_error(const std::string& why) {
+  throw std::runtime_error(why);
+}
+
+long parse_long(const std::string& tok, const char* what) {
+  const auto v = parse_full_long(tok);
+  if (!v) protocol_error(std::string("bad ") + what + ": '" + tok + "'");
+  return *v;
+}
+
+double parse_double(const std::string& tok, const char* what) {
+  const auto v = parse_full_double(tok);
+  if (!v) protocol_error(std::string("bad ") + what + ": '" + tok + "'");
+  return *v;
+}
+
+NodeId parse_node(const std::string& tok) {
+  const long v = parse_long(tok, "node id");
+  if (v < 0) protocol_error("node id must be non-negative");
+  return static_cast<NodeId>(v);
+}
+
+/// Session options from the open/restore flag tail (args[from..]).
+SessionOptions parse_session_options(const std::vector<std::string>& args,
+                                     std::size_t from, double* density_out) {
+  SessionOptions opts;
+  opts.engine.target_condition = 100.0;
+  double density = 0.10;
+  std::optional<double> grass_target;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) protocol_error("missing value for " + flag);
+      return args[++i];
+    };
+    if (flag == "--density") {
+      density = parse_double(value(), "--density");
+    } else if (flag == "--target") {
+      opts.engine.target_condition = parse_double(value(), "--target");
+    } else if (flag == "--grass-target") {
+      grass_target = parse_double(value(), "--grass-target");
+    } else if (flag == "--staleness") {
+      opts.rebuild_staleness_fraction = parse_double(value(), "--staleness");
+    } else if (flag == "--sync") {
+      opts.background_rebuild = false;
+    } else if (flag == "--no-rebuild") {
+      opts.enable_rebuild = false;
+    } else {
+      protocol_error("unknown option: " + flag);
+    }
+  }
+  opts.grass.target_offtree_density = density;
+  if (grass_target) opts.grass.target_condition = *grass_target;
+  if (density_out) *density_out = density;
+  return opts;
+}
+
+SparsifierSession& live(ServeState& st) {
+  if (!st.session) protocol_error("no session (use open or restore)");
+  return *st.session;
+}
+
+/// Apply the staged batch, if any. Commands that read state call this so
+/// responses always reflect every staged record. The batch is taken out
+/// *before* applying: if the apply fails, the bad batch is discarded with
+/// the error instead of wedging every subsequent flushing command.
+void flush(ServeState& st) {
+  if (st.pending.empty()) return;
+  const UpdateBatch batch = std::move(st.pending);
+  st.pending = UpdateBatch{};
+  live(st).apply(batch);
+}
+
+void respond_open(const ServeState& st, const char* verb) {
+  const SessionMetrics m = st.session->metrics();
+  std::printf("ok %s nodes=%d g_edges=%lld h_edges=%lld target=%g batches=%llu\n", verb,
+              m.nodes, static_cast<long long>(m.g_edges),
+              static_cast<long long>(m.h_edges), m.target_condition,
+              static_cast<unsigned long long>(m.counters.batches));
+}
+
+/// Execute one command line. Returns false when the session should quit.
+bool execute(ServeState& st, const std::vector<std::string>& args) {
+  const std::string& cmd = args[0];
+  if (cmd == "quit") {
+    if (st.session) flush(st);  // a throw discards the bad batch; the next
+                                // quit (or EOF) still shuts down cleanly
+    std::printf("ok quit\n");
+    return false;
+  }
+  if (cmd == "open" || cmd == "restore") {
+    if (args.size() < 2) protocol_error(cmd + " requires a path");
+    const SessionOptions opts = parse_session_options(args, 2, nullptr);
+    if (cmd == "open") {
+      st.session = std::make_unique<SparsifierSession>(read_mtx_file(args[1]), opts);
+    } else {
+      st.session = SparsifierSession::restore(args[1], opts);
+    }
+    st.pending = UpdateBatch{};
+    respond_open(st, cmd.c_str());
+  } else if (cmd == "insert") {
+    if (args.size() != 4) protocol_error("usage: insert <u> <v> <w>");
+    const NodeId nodes = live(st).metrics().nodes;  // also fails w/o session
+    Edge e;
+    e.u = parse_node(args[1]);
+    e.v = parse_node(args[2]);
+    e.w = parse_double(args[3], "weight");
+    if (e.u >= nodes || e.v >= nodes) protocol_error("node id exceeds graph size");
+    if (!(e.w > 0.0)) protocol_error("weight must be positive");
+    if (e.u == e.v) protocol_error("self-loop");
+    if (e.u > e.v) std::swap(e.u, e.v);
+    st.pending.inserts.push_back(e);
+    std::printf("ok staged inserts=%zu removals=%zu\n", st.pending.inserts.size(),
+                st.pending.removals.size());
+  } else if (cmd == "remove") {
+    if (args.size() != 3) protocol_error("usage: remove <u> <v>");
+    const NodeId nodes = live(st).metrics().nodes;
+    NodeId u = parse_node(args[1]);
+    NodeId v = parse_node(args[2]);
+    if (u >= nodes || v >= nodes) protocol_error("node id exceeds graph size");
+    if (u == v) protocol_error("self-loop");
+    if (u > v) std::swap(u, v);
+    st.pending.removals.emplace_back(u, v);
+    std::printf("ok staged inserts=%zu removals=%zu\n", st.pending.inserts.size(),
+                st.pending.removals.size());
+  } else if (cmd == "apply") {
+    if (args.size() != 1) protocol_error("usage: apply");
+    const UpdateBatch batch = std::move(st.pending);
+    st.pending = UpdateBatch{};
+    const ApplyResult r = live(st).apply(batch);
+    std::printf(
+        "ok apply inserted=%lld merged=%lld redistributed=%lld reinforced=%lld "
+        "removed=%lld ghost=%lld staleness=%.6g rebuild=%d\n",
+        static_cast<long long>(r.stats.inserted), static_cast<long long>(r.stats.merged),
+        static_cast<long long>(r.stats.redistributed),
+        static_cast<long long>(r.stats.reinforced), static_cast<long long>(r.removed),
+        static_cast<long long>(r.ghost_removals), r.staleness,
+        r.rebuild_triggered ? 1 : 0);
+  } else if (cmd == "solve") {
+    if (args.size() != 3) protocol_error("usage: solve <u> <v>");
+    flush(st);
+    SparsifierSession& s = live(st);
+    const SessionMetrics m = s.metrics();
+    const NodeId u = parse_node(args[1]);
+    const NodeId v = parse_node(args[2]);
+    if (u >= m.nodes || v >= m.nodes) protocol_error("node id exceeds graph size");
+    if (u == v) protocol_error("solve endpoints must differ");
+    std::vector<double> b(static_cast<std::size_t>(m.nodes), 0.0);
+    std::vector<double> x(static_cast<std::size_t>(m.nodes), 0.0);
+    b[static_cast<std::size_t>(u)] = 1.0;
+    b[static_cast<std::size_t>(v)] = -1.0;
+    const auto r = s.solve(b, x);
+    if (!r.converged) protocol_error("solve did not converge");
+    std::printf("ok solve iters=%d resid=%.3g resistance=%.10g\n", r.outer_iterations,
+                r.relative_residual,
+                x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)]);
+  } else if (cmd == "metrics") {
+    if (args.size() != 1) protocol_error("usage: metrics");
+    flush(st);
+    const SessionMetrics m = live(st).metrics();
+    const SessionCounters& c = m.counters;
+    std::printf(
+        "ok metrics nodes=%d g_edges=%lld h_edges=%lld batches=%llu inserts=%llu "
+        "removals=%llu ghosts=%llu solves=%llu rebuilds=%llu rebuild_failures=%llu "
+        "staleness=%.6g rebuild_in_flight=%d\n",
+        m.nodes, static_cast<long long>(m.g_edges), static_cast<long long>(m.h_edges),
+        static_cast<unsigned long long>(c.batches),
+        static_cast<unsigned long long>(c.inserts_offered),
+        static_cast<unsigned long long>(c.removals_applied),
+        static_cast<unsigned long long>(c.removals_pending),
+        static_cast<unsigned long long>(c.solves),
+        static_cast<unsigned long long>(c.rebuilds),
+        static_cast<unsigned long long>(c.rebuild_failures), m.staleness,
+        m.rebuild_in_flight ? 1 : 0);
+  } else if (cmd == "kappa") {
+    if (args.size() != 1) protocol_error("usage: kappa");
+    flush(st);
+    SparsifierSession& s = live(st);
+    s.wait_for_rebuild();  // measure the settled pair
+    const double kappa = s.measure_kappa();
+    const double target = s.options().engine.target_condition;
+    std::printf("ok kappa value=%.4g target=%g within=%d\n", kappa, target,
+                kappa <= target ? 1 : 0);
+  } else if (cmd == "checkpoint") {
+    if (args.size() != 2) protocol_error("usage: checkpoint <path>");
+    flush(st);
+    live(st).checkpoint(args[1]);
+    std::printf("ok checkpoint path=%s\n", args[1].c_str());
+  } else {
+    protocol_error("unknown command: " + cmd);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 1) {
+    std::fprintf(stderr,
+                 "usage: %s  (no arguments; commands on stdin — see the header "
+                 "comment for the protocol)\n",
+                 argv[0]);
+    return 1;
+  }
+  try {
+    ServeState st;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ss(line);
+      std::vector<std::string> args;
+      for (std::string tok; ss >> tok;) args.push_back(std::move(tok));
+      if (args.empty()) continue;
+      bool keep_going = true;
+      try {
+        keep_going = execute(st, args);
+      } catch (const std::exception& e) {
+        std::printf("err %s\n", e.what());
+      }
+      std::fflush(stdout);
+      if (!keep_going) return 0;
+    }
+    if (st.session) {
+      // EOF without `quit`: flushing a bad staged batch must not turn a
+      // clean shutdown into a fatal exit.
+      try {
+        flush(st);
+      } catch (const std::exception& e) {
+        std::printf("err %s\n", e.what());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,28 +1,39 @@
-// stream_replay — replay a recorded edge-insertion stream through inGRASS
-// against a Matrix Market base graph, reporting per-batch update outcomes
-// and end-of-stream quality (what Table II measures, but on user data).
+// stream_replay — replay a recorded update stream (insertions and, beyond
+// the paper, removals) through a SparsifierSession against a Matrix Market
+// base graph, reporting per-batch outcomes, staleness, rebuilds, and
+// end-of-stream quality (what Table II measures, but on user data).
 //
 // Subcommands:
 //   replay <g.mtx> <stream.txt> [options]
 //       Build H(0) with GRASS at --density, run the inGRASS setup once,
-//       then apply every batch of the stream. Prints per-batch counters
-//       and final density / condition number against the evolved graph.
+//       then drive every batch of the stream through a SparsifierSession
+//       (synchronous rebuilds, so runs are deterministic). Prints
+//       per-batch counters and final density / condition number against
+//       the evolved graph.
 //   generate <g.mtx> <stream.txt> [options]
-//       Synthesize a Table-II-style insertion stream for the graph and
-//       write it in the stream file format (see graph/stream_io.hpp) —
-//       a convenient way to produce demo inputs for `replay`.
+//       Synthesize a Table-II-style insertion stream for the graph —
+//       optionally mixed with removal records of earlier-inserted edges
+//       (--remove-frac) — and write it in the stream file format (see
+//       graph/stream_io.hpp).
 //
 // Options:
-//   --density <frac>     H(0) off-tree density        (default 0.10)
-//   --target <C>         kappa target for filtering   (default: measured kappa0)
-//   --iterations <n>     generate: number of batches  (default 10)
-//   --per-node <frac>    generate: total edges / N    (default 0.24)
-//   --seed <s>           generate: workload seed      (default 2024)
-//   --quantile <q>       filtering-level size quantile (default 0.5)
+//   --density <frac>     H(0) off-tree density          (default 0.10)
+//   --target <C>         kappa budget for the session   (default: measured kappa0)
+//   --iterations <n>     generate: number of batches    (default 10)
+//   --per-node <frac>    generate: total edges / N      (default 0.24)
+//   --remove-frac <f>    generate: removals per batch as a fraction of its
+//                        inserts, drawn from earlier-inserted edges (default 0)
+//   --seed <s>           generate: workload seed        (default 2024)
+//   --quantile <q>       filtering-level size quantile  (default 0.5)
+//   --rebuild-at <f>     staleness fraction tripping a rebuild (default 0.75)
+//   --grass-target <C>   rebuilds re-sparsify to kappa <= C instead of to
+//                        the --density target (budget-guaranteed mode)
+//   --no-rebuild         replay: never re-sparsify (paper-faithful mode)
 //   --no-kappa           replay: skip condition-number measurements
 //
 // Exit status 0 on success, 1 on usage errors, 2 on runtime failures.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -30,12 +41,13 @@
 #include <vector>
 
 #include "core/edge_stream.hpp"
-#include "core/ingrass.hpp"
 #include "graph/mtx_io.hpp"
 #include "graph/stream_io.hpp"
+#include "serve/session.hpp"
 #include "sparsify/density.hpp"
 #include "sparsify/grass.hpp"
 #include "spectral/condition_number.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 using namespace ingrass;
@@ -46,9 +58,10 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  stream_replay replay   <g.mtx> <stream.txt> [--density f] "
-               "[--target C] [--quantile q] [--no-kappa]\n"
+               "[--target C] [--quantile q] [--rebuild-at f] [--grass-target C] "
+               "[--no-rebuild] [--no-kappa]\n"
                "  stream_replay generate <g.mtx> <stream.txt> [--iterations n] "
-               "[--per-node f] [--seed s]\n");
+               "[--per-node f] [--remove-frac f] [--seed s]\n");
   return 1;
 }
 
@@ -60,8 +73,12 @@ struct Args {
   std::optional<double> target;
   int iterations = 10;
   double per_node = 0.24;
+  double remove_frac = 0.0;
   std::uint64_t seed = 2024;
   double quantile = 0.5;
+  double rebuild_at = 0.75;
+  std::optional<double> grass_target;
+  bool no_rebuild = false;
   bool no_kappa = false;
 };
 
@@ -79,6 +96,8 @@ std::optional<Args> parse(int argc, char** argv) {
     };
     if (flag == "--no-kappa") {
       a.no_kappa = true;
+    } else if (flag == "--no-rebuild") {
+      a.no_rebuild = true;
     } else if (flag == "--density") {
       const auto v = value();
       if (!v) return std::nullopt;
@@ -95,6 +114,14 @@ std::optional<Args> parse(int argc, char** argv) {
       const auto v = value();
       if (!v) return std::nullopt;
       a.per_node = std::stod(*v);
+    } else if (flag == "--remove-frac") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.remove_frac = std::stod(*v);
+      if (a.remove_frac < 0.0) {
+        std::fprintf(stderr, "--remove-frac must be non-negative\n");
+        return std::nullopt;
+      }
     } else if (flag == "--seed") {
       const auto v = value();
       if (!v) return std::nullopt;
@@ -103,6 +130,14 @@ std::optional<Args> parse(int argc, char** argv) {
       const auto v = value();
       if (!v) return std::nullopt;
       a.quantile = std::stod(*v);
+    } else if (flag == "--rebuild-at") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.rebuild_at = std::stod(*v);
+    } else if (flag == "--grass-target") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.grass_target = std::stod(*v);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
       return std::nullopt;
@@ -117,12 +152,40 @@ int run_generate(const Args& a) {
   opts.iterations = a.iterations;
   opts.total_per_node = a.per_node;
   opts.seed = a.seed;
-  const auto batches = make_edge_stream(g, opts);
-  save_edge_stream(a.stream_path, batches);
+  const auto inserts = make_edge_stream(g, opts);
+
+  std::vector<UpdateBatch> batches(inserts.size());
+  for (std::size_t b = 0; b < inserts.size(); ++b) batches[b].inserts = inserts[b];
+
+  // Removal records: each batch (after the first) removes a fraction of
+  // the edges inserted in *earlier* batches — the base graph stays intact,
+  // so connectivity is never at risk, while the sparsifier accumulates
+  // ghost edges that exercise the staleness path.
+  EdgeId total_removals = 0;
+  if (a.remove_frac > 0.0) {
+    Rng rng(a.seed ^ 0x5eedfeedULL);
+    std::vector<std::pair<NodeId, NodeId>> pool;  // inserted, not yet removed
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      auto want = static_cast<std::size_t>(a.remove_frac *
+                                           static_cast<double>(batches[b].inserts.size()));
+      want = std::min(want, pool.size());
+      for (std::size_t k = 0; k < want; ++k) {
+        const auto pick = static_cast<std::size_t>(rng.uniform_index(pool.size()));
+        batches[b].removals.push_back(pool[pick]);
+        pool[pick] = pool.back();
+        pool.pop_back();
+      }
+      total_removals += static_cast<EdgeId>(want);
+      for (const Edge& e : batches[b].inserts) pool.emplace_back(e.u, e.v);
+    }
+  }
+
+  save_update_stream(a.stream_path, batches);
   EdgeId total = 0;
-  for (const auto& b : batches) total += static_cast<EdgeId>(b.size());
-  std::printf("wrote %lld edges in %zu batches to %s\n",
-              static_cast<long long>(total), batches.size(), a.stream_path.c_str());
+  for (const auto& b : batches) total += static_cast<EdgeId>(b.inserts.size());
+  std::printf("wrote %lld inserts and %lld removals in %zu batches to %s\n",
+              static_cast<long long>(total), static_cast<long long>(total_removals),
+              batches.size(), a.stream_path.c_str());
   return 0;
 }
 
@@ -130,11 +193,11 @@ int run_replay(const Args& a) {
   const Graph g0 = read_mtx_file(a.graph_path);
   std::printf("graph: %d nodes, %lld edges\n", g0.num_nodes(),
               static_cast<long long>(g0.num_edges()));
-  const auto batches = load_edge_stream(a.stream_path, g0.num_nodes());
+  const auto batches = load_update_stream(a.stream_path, g0.num_nodes());
 
   GrassOptions gopts;
   gopts.target_offtree_density = a.density;
-  const Graph h0 = grass_sparsify(g0, gopts).sparsifier;
+  Graph h0 = grass_sparsify(g0, gopts).sparsifier;
   double kappa0 = 0.0;
   if (!a.no_kappa) {
     kappa0 = condition_number(g0, h0);
@@ -142,38 +205,48 @@ int run_replay(const Args& a) {
                 100.0 * offtree_density(h0), kappa0);
   }
 
-  Ingrass::Options iopts;
-  iopts.target_condition = a.target.value_or(a.no_kappa ? 100.0 : kappa0);
-  iopts.level_size_quantile = a.quantile;
-  Ingrass ing(Graph(h0), iopts);
-  std::printf("setup: %.3f s, %d levels, filtering level %d\n\n",
-              ing.setup_seconds(), ing.num_levels(), ing.filtering_level());
+  SessionOptions sopts;
+  sopts.engine.target_condition = a.target.value_or(a.no_kappa ? 100.0 : kappa0);
+  sopts.engine.level_size_quantile = a.quantile;
+  sopts.grass = gopts;
+  if (a.grass_target) sopts.grass.target_condition = *a.grass_target;
+  sopts.rebuild_staleness_fraction = a.rebuild_at;
+  sopts.enable_rebuild = !a.no_rebuild;
+  sopts.background_rebuild = false;  // deterministic replays
+  SparsifierSession session(g0, Graph(h0), sopts);
+  std::printf("setup: %d nodes sparsifier, kappa budget %.1f, rebuild at %.0f%%\n\n",
+              g0.num_nodes(), sopts.engine.target_condition, 100.0 * a.rebuild_at);
 
-  Graph g = g0;
   AccumTimer updates;
-  std::printf("%-7s %-7s %-9s %-8s %-7s %-11s %-9s\n", "batch", "edges", "inserted",
-              "merged", "redist", "reinforced", "ms");
+  std::printf("%-7s %-7s %-9s %-8s %-7s %-11s %-8s %-7s %-9s %s\n", "batch", "edges",
+              "inserted", "merged", "redist", "reinforced", "removed", "stale%",
+              "ms", "");
   for (std::size_t b = 0; b < batches.size(); ++b) {
-    for (const Edge& e : batches[b]) g.add_or_merge_edge(e.u, e.v, e.w);
     updates.start();
-    const auto stats = ing.insert_edges(batches[b]);
+    const ApplyResult r = session.apply(batches[b]);
     updates.stop();
-    std::printf("%-7zu %-7zu %-9lld %-8lld %-7lld %-11lld %-9.3f\n", b,
-                batches[b].size(), static_cast<long long>(stats.inserted),
-                static_cast<long long>(stats.merged),
-                static_cast<long long>(stats.redistributed),
-                static_cast<long long>(stats.reinforced), stats.seconds * 1e3);
+    std::printf("%-7zu %-7zu %-9lld %-8lld %-7lld %-11lld %-8lld %-7.1f %-9.3f %s\n", b,
+                batches[b].size(), static_cast<long long>(r.stats.inserted),
+                static_cast<long long>(r.stats.merged),
+                static_cast<long long>(r.stats.redistributed),
+                static_cast<long long>(r.stats.reinforced),
+                static_cast<long long>(r.removed), 100.0 * r.staleness,
+                r.stats.seconds * 1e3, r.rebuild_triggered ? "REBUILD" : "");
   }
 
-  std::printf("\ntotal update time: %.4f s (setup %.3f s)\n", updates.seconds(),
-              ing.setup_seconds());
-  std::printf("final sparsifier density: %.1f%%\n",
-              100.0 * offtree_density(ing.sparsifier()));
+  const SessionMetrics m = session.metrics();
+  std::printf("\ntotal apply time: %.4f s (%llu rebuilds, %llu rebuild failures)\n",
+              updates.seconds(),
+              static_cast<unsigned long long>(m.counters.rebuilds),
+              static_cast<unsigned long long>(m.counters.rebuild_failures));
+  const Graph h_final = session.sparsifier();
+  std::printf("final sparsifier density: %.1f%%\n", 100.0 * offtree_density(h_final));
   if (!a.no_kappa) {
-    std::printf("kappa(G_final, H_final) = %.1f  (target %.1f)\n",
-                condition_number(g, ing.sparsifier()), iopts.target_condition);
+    const Graph g_final = session.graph();
+    std::printf("kappa(G_final, H_final) = %.1f  (budget %.1f)\n",
+                condition_number(g_final, h_final), sopts.engine.target_condition);
     std::printf("kappa(G_final, H(0))    = %.1f  (if you never updated)\n",
-                condition_number(g, h0));
+                condition_number(g_final, h0));
   }
   return 0;
 }
@@ -181,7 +254,14 @@ int run_replay(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = parse(argc, argv);
+  // parse() uses std::stod/stoi on flag values; a malformed value must be
+  // a usage error, not an uncaught abort.
+  std::optional<Args> args;
+  try {
+    args = parse(argc, argv);
+  } catch (const std::exception&) {
+    return usage();
+  }
   if (!args) return usage();
   try {
     if (args->command == "replay") return run_replay(*args);

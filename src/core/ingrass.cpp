@@ -147,6 +147,7 @@ Ingrass::UpdateStats Ingrass::insert_edges(std::span<const Edge> new_edges) {
           fold_into(near_v, total_v, fold * e.w);
         }
         ++stats.redistributed;
+        stats.filtered_distortion += s.distortion;
         continue;
       }
       const std::vector<EdgeId>& intra = structure_->intra_cluster_edges(c);
@@ -156,8 +157,12 @@ Ingrass::UpdateStats Ingrass::insert_edges(std::span<const Edge> new_edges) {
       if (cluster_total > 0.0 && !dominates) {
         fold_into(intra, cluster_total, fold * e.w);
         ++stats.redistributed;
+        stats.filtered_distortion += s.distortion;
       } else if (opts_.insert_when_no_redistribution_target || dominates) {
         insert(e);
+      } else {
+        // Dropped outright: its whole distortion is conceded.
+        stats.filtered_distortion += s.distortion;
       }
       continue;
     }
@@ -167,6 +172,7 @@ Ingrass::UpdateStats Ingrass::insert_edges(std::span<const Edge> new_edges) {
       // A spectrally-similar edge already connects these clusters: merge.
       if (fold > 0.0) h_.add_to_weight(bridge, fold * e.w);
       ++stats.merged;
+      stats.filtered_distortion += s.distortion;
       continue;
     }
     // Spectrally-unique or weight-dominant: include in the sparsifier.

@@ -137,6 +137,14 @@ class Ingrass {
                                // weight addition, no filtering involved
     double seconds = 0.0;
 
+    /// Summed estimated spectral distortion (w * R_H) of the batch edges
+    /// that were *approximated* rather than represented exactly — merged,
+    /// redistributed, or dropped (reinforced additions are exact and
+    /// inserted edges carry no approximation). Each such edge is a small
+    /// concession against the kappa budget; long-lived sessions accumulate
+    /// this as their staleness estimate (see serve/session.hpp).
+    double filtered_distortion = 0.0;
+
     [[nodiscard]] EdgeId total() const {
       return inserted + merged + redistributed + reinforced;
     }

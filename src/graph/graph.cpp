@@ -129,4 +129,27 @@ CsrAdjacency build_csr(const Graph& g) {
   return csr;
 }
 
+bool refresh_csr_weights(const Graph& g, CsrAdjacency& csr) {
+  const NodeId n = g.num_nodes();
+  if (csr.num_nodes() != n) return false;
+  if (csr.targets.size() != static_cast<std::size_t>(2 * g.num_edges())) return false;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto begin = static_cast<std::size_t>(csr.offsets[static_cast<std::size_t>(u)]);
+    const auto end = static_cast<std::size_t>(csr.offsets[static_cast<std::size_t>(u) + 1]);
+    const auto arcs = g.neighbors(u);
+    if (end - begin != arcs.size()) return false;
+    double deg = 0.0;
+    std::size_t pos = begin;
+    for (const Arc& a : arcs) {
+      if (csr.targets[pos] != a.to) return false;
+      const double w = g.edge(a.edge).w;
+      csr.weights[pos] = w;
+      deg += w;
+      ++pos;
+    }
+    csr.degree[static_cast<std::size_t>(u)] = deg;
+  }
+  return true;
+}
+
 }  // namespace ingrass

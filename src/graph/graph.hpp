@@ -137,4 +137,12 @@ struct CsrAdjacency {
 /// Build a CSR snapshot of g.
 [[nodiscard]] CsrAdjacency build_csr(const Graph& g);
 
+/// Refresh an existing CSR snapshot's weights and weighted degrees in
+/// place, without reallocating, provided g's sparsity pattern still matches
+/// the snapshot (same node count, per-node arc counts, and arc targets in
+/// order — true whenever only edge *weights* changed since build_csr).
+/// Returns false on any mismatch; the snapshot is then partially updated
+/// and must be rebuilt with build_csr.
+[[nodiscard]] bool refresh_csr_weights(const Graph& g, CsrAdjacency& csr);
+
 }  // namespace ingrass

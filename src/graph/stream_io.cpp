@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace ingrass {
 
 namespace {
@@ -13,10 +15,11 @@ namespace {
   throw std::runtime_error("edge stream line " + std::to_string(line_no) + ": " + why);
 }
 
-}  // namespace
-
-std::vector<std::vector<Edge>> read_edge_stream(std::istream& in, NodeId num_nodes) {
-  std::vector<std::vector<Edge>> batches;
+/// Shared parser behind both readers. `allow_removals` distinguishes the
+/// mixed update-stream format from the legacy insert-only one.
+std::vector<UpdateBatch> parse_stream(std::istream& in, NodeId num_nodes,
+                                      bool allow_removals) {
+  std::vector<UpdateBatch> batches;
   std::string line;
   std::size_t line_no = 0;
   long prev_batch = -1;
@@ -26,32 +29,100 @@ std::vector<std::vector<Edge>> read_edge_stream(std::istream& in, NodeId num_nod
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ss(line);
-    long batch = 0;
+    std::string batch_tok;
+    if (!(ss >> batch_tok)) continue;  // blank after comment strip
+    const auto batch_val = parse_full_long(batch_tok);
+    if (!batch_val) fail(line_no, "expected a batch index, got '" + batch_tok + "'");
+    const long batch = *batch_val;
+    if (batch < 0) fail(line_no, "negative batch index");
+    if (batch < prev_batch) fail(line_no, "batch indices must be non-decreasing");
+
+    std::string tok;
+    if (!(ss >> tok)) fail(line_no, "expected '<u> <v> <w>' or '- <u> <v>' after batch index");
+    const bool is_removal = tok == "-";
+
     long u = 0;
     long v = 0;
     double w = 0.0;
-    if (!(ss >> batch)) continue;  // blank after comment strip
-    if (!(ss >> u >> v >> w)) fail(line_no, "expected '<batch> <u> <v> <w>'");
+    if (is_removal) {
+      if (!allow_removals) {
+        fail(line_no, "removal record in an insert-only stream (use read_update_stream)");
+      }
+      if (!(ss >> u >> v)) fail(line_no, "expected '<batch> - <u> <v>'");
+    } else {
+      const auto u_val = parse_full_long(tok);
+      if (!u_val) fail(line_no, "expected a node id, got '" + tok + "'");
+      u = *u_val;
+      if (!(ss >> v >> w)) fail(line_no, "expected '<batch> <u> <v> <w>'");
+    }
     std::string trailing;
-    if (ss >> trailing) fail(line_no, "trailing tokens after weight");
-    if (batch < 0) fail(line_no, "negative batch index");
-    if (batch < prev_batch) fail(line_no, "batch indices must be non-decreasing");
+    if (ss >> trailing) {
+      fail(line_no, is_removal ? "trailing tokens after removal endpoints"
+                               : "trailing tokens after weight");
+    }
     if (u < 0 || v < 0) fail(line_no, "negative node id");
     if (u == v) fail(line_no, "self-loop");
     if (num_nodes >= 0 && (u >= num_nodes || v >= num_nodes)) {
       fail(line_no, "node id exceeds graph size");
     }
-    if (!(w > 0.0)) fail(line_no, "weight must be positive");
+    if (!is_removal && !(w > 0.0)) fail(line_no, "weight must be positive");
+
     prev_batch = batch;
     if (static_cast<std::size_t>(batch) >= batches.size()) {
       batches.resize(static_cast<std::size_t>(batch) + 1);
     }
-    Edge e;
-    e.u = static_cast<NodeId>(std::min(u, v));
-    e.v = static_cast<NodeId>(std::max(u, v));
-    e.w = w;
-    batches[static_cast<std::size_t>(batch)].push_back(e);
+    UpdateBatch& b = batches[static_cast<std::size_t>(batch)];
+    const auto lo = static_cast<NodeId>(std::min(u, v));
+    const auto hi = static_cast<NodeId>(std::max(u, v));
+    if (is_removal) {
+      b.removals.emplace_back(lo, hi);
+    } else {
+      b.inserts.push_back(Edge{lo, hi, w});
+    }
   }
+  return batches;
+}
+
+}  // namespace
+
+std::vector<UpdateBatch> read_update_stream(std::istream& in, NodeId num_nodes) {
+  return parse_stream(in, num_nodes, /*allow_removals=*/true);
+}
+
+std::vector<UpdateBatch> load_update_stream(const std::string& path, NodeId num_nodes) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge stream file: " + path);
+  return read_update_stream(in, num_nodes);
+}
+
+void write_update_stream(std::ostream& out, const std::vector<UpdateBatch>& batches) {
+  out << "# inGRASS update stream: '<batch> <u> <v> <w>' insert, '<batch> - <u> <v>' remove\n";
+  const auto saved = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);  // lossless round-trip
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (const auto& [u, v] : batches[b].removals) {
+      out << b << " - " << u << ' ' << v << '\n';
+    }
+    for (const Edge& e : batches[b].inserts) {
+      out << b << ' ' << e.u << ' ' << e.v << ' ' << e.w << '\n';
+    }
+  }
+  out.precision(saved);
+}
+
+void save_update_stream(const std::string& path,
+                        const std::vector<UpdateBatch>& batches) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge stream file: " + path);
+  write_update_stream(out, batches);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::vector<Edge>> read_edge_stream(std::istream& in, NodeId num_nodes) {
+  auto mixed = parse_stream(in, num_nodes, /*allow_removals=*/false);
+  std::vector<std::vector<Edge>> batches;
+  batches.reserve(mixed.size());
+  for (UpdateBatch& b : mixed) batches.push_back(std::move(b.inserts));
   return batches;
 }
 

@@ -2,40 +2,72 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 
 namespace ingrass {
 
-/// Plain-text edge-stream files: the recorded insertion workloads the
-/// incremental experiments replay (and that `stream_replay` accepts next
-/// to a Matrix Market base graph).
+/// Plain-text edge-stream files: the recorded update workloads the
+/// incremental experiments replay (and that `stream_replay` and
+/// `ingrass_serve` accept next to a Matrix Market base graph).
 ///
-/// Format — one edge per line, batches in file order:
+/// Format — one record per line, batches in file order:
 ///
 ///     # comment lines and blank lines are ignored
-///     <batch-index> <u> <v> <w>
+///     <batch-index> <u> <v> <w>     edge insertion
+///     <batch-index> - <u> <v>       edge removal (no weight; resolved
+///                                   against the graph at apply time)
 ///
 /// Batch indices are non-negative, non-decreasing, and may skip values
-/// (a skipped index is an empty batch — an iteration where nothing was
-/// inserted). Node ids are 0-based. Weights must be positive. Writers
-/// emit exactly this shape; readers reject anything else with a
-/// std::runtime_error naming the offending line.
+/// (a skipped index is an empty batch — an iteration where nothing
+/// changed). Node ids are 0-based. Insert weights must be positive.
+/// Writers emit exactly this shape; readers reject anything else with a
+/// std::runtime_error naming the offending line. Within a batch, removals
+/// are applied before insertions (so a same-batch remove+insert of one
+/// pair nets to the insert).
 
-/// Parse a stream from an input stream. `num_nodes` (when >= 0) bounds the
+/// One batch of a recorded update stream.
+struct UpdateBatch {
+  std::vector<Edge> inserts;
+  std::vector<std::pair<NodeId, NodeId>> removals;
+
+  [[nodiscard]] bool empty() const { return inserts.empty() && removals.empty(); }
+  [[nodiscard]] std::size_t size() const { return inserts.size() + removals.size(); }
+};
+
+/// Parse a mixed insert/removal stream. `num_nodes` (when >= 0) bounds the
 /// node ids for early validation.
+[[nodiscard]] std::vector<UpdateBatch> read_update_stream(std::istream& in,
+                                                          NodeId num_nodes = -1);
+
+/// Load a mixed stream file from disk.
+[[nodiscard]] std::vector<UpdateBatch> load_update_stream(const std::string& path,
+                                                          NodeId num_nodes = -1);
+
+/// Serialize batches (inverse of read_update_stream): per batch, removals
+/// first, then inserts — mirroring apply order.
+void write_update_stream(std::ostream& out, const std::vector<UpdateBatch>& batches);
+
+/// Write a mixed stream file to disk.
+void save_update_stream(const std::string& path,
+                        const std::vector<UpdateBatch>& batches);
+
+/// Parse an insert-only stream from an input stream. Removal records are
+/// rejected (the error names the offending line); use read_update_stream
+/// for mixed streams.
 [[nodiscard]] std::vector<std::vector<Edge>> read_edge_stream(std::istream& in,
                                                               NodeId num_nodes = -1);
 
-/// Load a stream file from disk.
+/// Load an insert-only stream file from disk.
 [[nodiscard]] std::vector<std::vector<Edge>> load_edge_stream(const std::string& path,
                                                               NodeId num_nodes = -1);
 
-/// Serialize batches (inverse of read_edge_stream).
+/// Serialize insert-only batches (inverse of read_edge_stream).
 void write_edge_stream(std::ostream& out, const std::vector<std::vector<Edge>>& batches);
 
-/// Write a stream file to disk.
+/// Write an insert-only stream file to disk.
 void save_edge_stream(const std::string& path,
                       const std::vector<std::vector<Edge>>& batches);
 

@@ -1,0 +1,195 @@
+#include "serve/checkpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+namespace ingrass {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'I', 'N', 'G', 'R', 'S', 'C', 'K', 'P'};
+
+[[noreturn]] void corrupt(const std::string& why) {
+  throw std::runtime_error("checkpoint: " + why);
+}
+
+// Explicit little-endian byte serialization, independent of host order.
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  std::array<char, 8> b;
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+  out.write(b.data(), 8);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  std::array<char, 4> b;
+  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+  out.write(b.data(), 4);
+}
+
+void put_i32(std::ostream& out, std::int32_t v) { put_u32(out, static_cast<std::uint32_t>(v)); }
+void put_i64(std::ostream& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
+void put_f64(std::ostream& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+std::uint64_t get_u64(std::istream& in) {
+  std::array<char, 8> b;
+  in.read(b.data(), 8);
+  if (in.gcount() != 8) corrupt("truncated payload");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::array<char, 4> b;
+  in.read(b.data(), 4);
+  if (in.gcount() != 4) corrupt("truncated payload");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::int32_t get_i32(std::istream& in) { return static_cast<std::int32_t>(get_u32(in)); }
+std::int64_t get_i64(std::istream& in) { return static_cast<std::int64_t>(get_u64(in)); }
+double get_f64(std::istream& in) { return std::bit_cast<double>(get_u64(in)); }
+
+void put_graph(std::ostream& out, const Graph& g) {
+  put_i32(out, g.num_nodes());
+  put_i64(out, g.num_edges());
+  for (const Edge& e : g.edges()) {
+    put_i32(out, e.u);
+    put_i32(out, e.v);
+    put_f64(out, e.w);
+  }
+}
+
+Graph get_graph(std::istream& in, const char* which) {
+  const std::int32_t n = get_i32(in);
+  const std::int64_t m = get_i64(in);
+  if (n < 0) corrupt(std::string(which) + ": negative node count");
+  if (m < 0) corrupt(std::string(which) + ": negative edge count");
+  Graph g(n);
+  // Reserve is only an optimization — cap it so a corrupted edge count
+  // fails on the documented "truncated payload" path instead of
+  // attempting an absurd allocation up front.
+  g.reserve_edges(std::min<std::int64_t>(m, 1 << 20));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int32_t u = get_i32(in);
+    const std::int32_t v = get_i32(in);
+    const double w = get_f64(in);
+    try {
+      g.add_edge(u, v, w);  // validates ids, self-loops, positivity
+    } catch (const std::exception& e) {
+      corrupt(std::string(which) + " edge " + std::to_string(i) + ": " + e.what());
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& out, const SessionCheckpoint& ck) {
+  out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  put_u32(out, kCheckpointVersion);
+  put_graph(out, ck.g);
+  put_graph(out, ck.h);
+  const SessionCounters& c = ck.counters;
+  put_u64(out, c.batches);
+  put_u64(out, c.inserts_offered);
+  put_u64(out, c.removals_applied);
+  put_u64(out, c.removals_pending);
+  put_u64(out, c.solves);
+  put_u64(out, c.rebuilds);
+  put_u64(out, c.rebuild_failures);
+  put_u64(out, c.inserted);
+  put_u64(out, c.merged);
+  put_u64(out, c.redistributed);
+  put_u64(out, c.reinforced);
+  put_f64(out, c.staleness_score);
+  put_f64(out, c.lifetime_filtered_distortion);
+  if (!out) corrupt("write failed");
+}
+
+SessionCheckpoint read_checkpoint(std::istream& in) {
+  std::array<char, 8> magic;
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (in.gcount() != static_cast<std::streamsize>(magic.size()) || magic != kMagic) {
+    corrupt("bad magic (not a session checkpoint)");
+  }
+  const std::uint32_t version = get_u32(in);
+  if (version != kCheckpointVersion) {
+    corrupt("unsupported format version " + std::to_string(version));
+  }
+  SessionCheckpoint ck;
+  ck.g = get_graph(in, "graph G");
+  ck.h = get_graph(in, "sparsifier H");
+  if (ck.h.num_nodes() != ck.g.num_nodes()) {
+    corrupt("G and H node counts differ");
+  }
+  SessionCounters& c = ck.counters;
+  c.batches = get_u64(in);
+  c.inserts_offered = get_u64(in);
+  c.removals_applied = get_u64(in);
+  c.removals_pending = get_u64(in);
+  c.solves = get_u64(in);
+  c.rebuilds = get_u64(in);
+  c.rebuild_failures = get_u64(in);
+  c.inserted = get_u64(in);
+  c.merged = get_u64(in);
+  c.redistributed = get_u64(in);
+  c.reinforced = get_u64(in);
+  c.staleness_score = get_f64(in);
+  c.lifetime_filtered_distortion = get_f64(in);
+  if (in.peek() != std::istream::traits_type::eof()) corrupt("trailing bytes");
+  return ck;
+}
+
+void save_checkpoint(const std::string& path, const SessionCheckpoint& ck) {
+  // Write-then-rename so a failed or killed *process* never destroys the
+  // previous good checkpoint at `path` (power-loss durability would
+  // additionally need an fsync, which plain iostreams cannot express).
+  // The temp name is unique per call *across processes* (pid + counter) —
+  // concurrent checkpoints to one path must not truncate each other's
+  // in-flight writes (last rename wins, each file is complete).
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write checkpoint file: " + tmp);
+    write_checkpoint(out, ck);
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint write failed: " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());  // never leave orphan temp files behind
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename checkpoint into place: " + path);
+  }
+}
+
+SessionCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open checkpoint file: " + path);
+  return read_checkpoint(in);
+}
+
+}  // namespace ingrass

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// Versioned little-endian binary checkpoints for long-lived sparsifier
+/// sessions: the original graph G, the sparsifier H, and the session's
+/// lifetime counters, so a restarted process resumes mid-stream without
+/// re-paying the GRASS + inGRASS setup from the original state.
+///
+/// Format v1 — all integers little-endian, doubles as IEEE-754 bit
+/// patterns in little-endian byte order:
+///
+///   char[8]   magic "INGRSCKP"
+///   u32       format version (currently 1)
+///   graph G   i32 num_nodes, i64 num_edges, then per edge in id order:
+///             i32 u, i32 v, f64 w
+///   graph H   same layout
+///   counters  the SessionCounters fields in declaration order
+///             (11 x u64, then 2 x f64)
+///
+/// Edge order is preserved exactly, so a restored session's CSR snapshots
+/// — and therefore its solve results — are bit-identical to the
+/// checkpointed ones. Readers reject bad magic, unknown versions,
+/// truncated payloads, trailing bytes, and invalid edge records with a
+/// std::runtime_error.
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Lifetime counters a session carries across checkpoint/restore.
+struct SessionCounters {
+  std::uint64_t batches = 0;           // apply() calls
+  std::uint64_t inserts_offered = 0;   // insert records offered to the engine
+  std::uint64_t removals_applied = 0;  // removals that found an edge in G
+  std::uint64_t removals_pending = 0;  // removed from G but still in live H
+                                       // ("ghost" edges awaiting a rebuild)
+  std::uint64_t solves = 0;
+  std::uint64_t rebuilds = 0;          // completed re-sparsifications
+  std::uint64_t rebuild_failures = 0;
+  std::uint64_t inserted = 0;          // engine outcome totals, lifetime
+  std::uint64_t merged = 0;
+  std::uint64_t redistributed = 0;
+  std::uint64_t reinforced = 0;
+  /// Staleness estimate accumulated since the last rebuild: filtered
+  /// insert distortion plus removal distortion, in kappa units.
+  double staleness_score = 0.0;
+  /// Same accumulation, never reset — a lifetime drift odometer.
+  double lifetime_filtered_distortion = 0.0;
+};
+
+struct SessionCheckpoint {
+  Graph g;
+  Graph h;
+  SessionCounters counters;
+};
+
+void write_checkpoint(std::ostream& out, const SessionCheckpoint& ck);
+[[nodiscard]] SessionCheckpoint read_checkpoint(std::istream& in);
+
+void save_checkpoint(const std::string& path, const SessionCheckpoint& ck);
+[[nodiscard]] SessionCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace ingrass

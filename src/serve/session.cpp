@@ -1,0 +1,411 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace ingrass {
+
+namespace {
+
+/// Staleness charge for one removal. `graph_w` is the weight dropped from
+/// G (0 if the pair was absent), `ghost_w` the weight the sparsifier still
+/// carries (0 if absent), and `r` the engine's resistance estimate for the
+/// pair. For a ghost the estimate still includes the ghost edge itself, so
+/// its *removal* impact is recovered via the parallel-conductance
+/// identity: 1/R_without = 1/R_with - w. A ghost that carries essentially
+/// all of the pair's conductance (inv <= 0) is charged the full budget —
+/// it alone justifies a rebuild. Charges are capped at the budget; beyond
+/// that, finer accuracy changes nothing.
+double removal_charge(double ghost_w, double graph_w, double r, double budget) {
+  if (!(r > 0.0)) return 0.0;
+  double charge = graph_w > 0.0 ? graph_w * r : 0.0;
+  if (ghost_w > 0.0) {
+    const double inv = 1.0 / r - ghost_w;  // est. conductance without the ghost
+    charge = std::max(charge, inv > 0.0 ? ghost_w / inv : budget);
+  }
+  return std::min(charge, budget);
+}
+
+}  // namespace
+
+std::unique_lock<std::shared_mutex> SparsifierSession::exclusive_lock() const {
+  writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (writers_waiting_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last waiting writer got in: release the reader gate. The notify is
+    // taken under gate_mu_ so a reader cannot check the predicate and
+    // block between our decrement and the wakeup (no lost wakeups).
+    const std::lock_guard<std::mutex> gate(gate_mu_);
+    gate_cv_.notify_all();
+  }
+  return lock;
+}
+
+std::shared_lock<std::shared_mutex> SparsifierSession::reader_lock() const {
+  {
+    std::unique_lock<std::mutex> gate(gate_mu_);
+    gate_cv_.wait(gate, [&] {
+      return writers_waiting_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // A writer may announce itself between the gate and the acquisition —
+  // harmless: it only needs *new* readers to pause, and the ones already
+  // past the gate are finitely many.
+  return std::shared_lock<std::shared_mutex>(mu_);
+}
+
+SparsifierSession::SparsifierSession(Graph g, const SessionOptions& opts)
+    : opts_(opts), g_(std::move(g)) {
+  validate_options();  // before paying the GRASS pass
+  init_engine(grass_sparsify(g_, opts_.grass).sparsifier);
+}
+
+SparsifierSession::SparsifierSession(Graph g, Graph h0, const SessionOptions& opts)
+    : opts_(opts), g_(std::move(g)) {
+  validate_options();
+  init_engine(std::move(h0));
+}
+
+SparsifierSession::SparsifierSession(Graph g, Graph h0, SessionCounters counters,
+                                     const SessionOptions& opts)
+    : opts_(opts), g_(std::move(g)), counters_(counters) {
+  validate_options();
+  solves_.store(counters_.solves);
+  init_engine(std::move(h0));
+  // Reconstruct the ghost set: outside of ghosts, H's support is a subset
+  // of G's (H(0) is a GRASS subgraph and every engine insertion also
+  // landed in G), so the H-minus-G edges are exactly the pending
+  // removals. Re-deriving them keeps repeat-removal idempotence across
+  // restore and self-corrects the checkpointed count.
+  for (const Edge& e : engine_->sparsifier().edges()) {
+    if (!g_.has_edge(e.u, e.v)) ghost_pairs_.emplace(e.u, e.v);
+  }
+  counters_.removals_pending = ghost_pairs_.size();
+}
+
+std::unique_ptr<SparsifierSession> SparsifierSession::restore(
+    const std::string& path, const SessionOptions& opts) {
+  SessionCheckpoint ck = load_checkpoint(path);
+  return std::unique_ptr<SparsifierSession>(new SparsifierSession(
+      std::move(ck.g), std::move(ck.h), ck.counters, opts));
+}
+
+// worker_ is declared last, so its destructor — which finishes any queued
+// rebuild before joining — runs while the members the job captures are
+// still alive.
+SparsifierSession::~SparsifierSession() = default;
+
+void SparsifierSession::validate_options() const {
+  if (!(opts_.engine.target_condition > 0.0)) {
+    throw std::invalid_argument(
+        "SessionOptions: engine.target_condition (the kappa budget) must be positive");
+  }
+  if (!(opts_.rebuild_staleness_fraction > 0.0)) {
+    throw std::invalid_argument(
+        "SessionOptions: rebuild_staleness_fraction must be positive");
+  }
+}
+
+void SparsifierSession::init_engine(Graph h0) {
+  engine_ = std::make_unique<Ingrass>(std::move(h0), opts_.engine);
+  solver_ = std::make_unique<SparsifierSolver>(g_, engine_->sparsifier(), opts_.solver);
+}
+
+void SparsifierSession::validate_batch(const UpdateBatch& batch) const {
+  const NodeId n = g_.num_nodes();
+  auto check_pair = [&](NodeId u, NodeId v, const char* what) {
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      throw std::invalid_argument(std::string("SparsifierSession::apply: ") + what +
+                                  " references a node outside the graph");
+    }
+    if (u == v) {
+      throw std::invalid_argument(std::string("SparsifierSession::apply: ") + what +
+                                  " is a self-loop");
+    }
+  };
+  for (const auto& [u, v] : batch.removals) check_pair(u, v, "removal");
+  for (const Edge& e : batch.inserts) {
+    check_pair(e.u, e.v, "insertion");
+    if (!(e.w > 0.0)) {
+      throw std::invalid_argument(
+          "SparsifierSession::apply: insertion weight must be positive");
+    }
+  }
+}
+
+double SparsifierSession::staleness_locked() const {
+  return counters_.staleness_score / opts_.engine.target_condition;
+}
+
+ApplyResult SparsifierSession::apply(const UpdateBatch& batch) {
+  auto lock = exclusive_lock();
+  validate_batch(batch);  // reject the whole batch before mutating anything
+
+  ApplyResult result;
+
+  // Removals first: drop from G; a pair the live sparsifier still carries
+  // becomes a ghost edge whose spectral mass is charged to staleness (the
+  // engine's frozen structures cannot absorb deletions — the rebuild
+  // clears them by re-sparsifying the current G).
+  BacklogEntry log;  // filled only while a background rebuild is in flight
+  const bool logging = rebuilding_;
+  for (const auto& [u, v] : batch.removals) {
+    double graph_w = 0.0;
+    double ghost_w = 0.0;
+    const EdgeId ge = g_.find_edge(u, v);
+    if (ge != kInvalidEdge) {
+      graph_w = g_.edge(ge).w;
+      g_.remove_edge(ge);
+      ++result.removed;
+    }
+    if (logging) log.removed_graph_w.push_back(graph_w);
+    const EdgeId he = engine_->sparsifier().find_edge(u, v);
+    if (he != kInvalidEdge &&
+        ghost_pairs_.emplace(std::min(u, v), std::max(u, v)).second) {
+      // A *new* ghost; repeat removals of an already-ghosted pair are
+      // idempotent — no recount, no recharge.
+      ghost_w = engine_->sparsifier().edge(he).w;
+      ++result.ghost_removals;
+      ++counters_.removals_pending;
+    }
+    if (graph_w > 0.0 || ghost_w > 0.0) {
+      counters_.staleness_score +=
+          removal_charge(ghost_w, graph_w, engine_->estimate_resistance(u, v),
+                         opts_.engine.target_condition);
+    }
+  }
+  counters_.removals_applied += static_cast<std::uint64_t>(result.removed);
+
+  // Insertions: into G, then through the engine's update phase. An
+  // insertion of a ghosted pair resolves the ghost: G again backs the
+  // sparsifier edge (the engine reinforces it exactly).
+  for (const Edge& e : batch.inserts) {
+    g_.add_or_merge_edge(e.u, e.v, e.w);
+    if (ghost_pairs_.erase({std::min(e.u, e.v), std::max(e.u, e.v)}) > 0) {
+      --counters_.removals_pending;
+    }
+  }
+  if (!batch.inserts.empty()) {
+    result.stats = engine_->insert_edges(batch.inserts);
+    counters_.staleness_score += result.stats.filtered_distortion;
+    counters_.lifetime_filtered_distortion += result.stats.filtered_distortion;
+    counters_.inserted += static_cast<std::uint64_t>(result.stats.inserted);
+    counters_.merged += static_cast<std::uint64_t>(result.stats.merged);
+    counters_.redistributed += static_cast<std::uint64_t>(result.stats.redistributed);
+    counters_.reinforced += static_cast<std::uint64_t>(result.stats.reinforced);
+  }
+  counters_.inserts_offered += batch.inserts.size();
+  ++counters_.batches;
+  solver_dirty_ = true;
+
+  if (logging) {
+    log.batch = batch;
+    rebuild_backlog_.push_back(std::move(log));
+  }
+
+  result.staleness = staleness_locked();
+  maybe_trigger_rebuild_locked(result);
+  return result;
+}
+
+void SparsifierSession::maybe_trigger_rebuild_locked(ApplyResult& result) {
+  if (!opts_.enable_rebuild || rebuilding_) return;
+  if (staleness_locked() < opts_.rebuild_staleness_fraction) return;
+  result.rebuild_triggered = true;
+  if (!opts_.background_rebuild) {
+    rebuild_synchronously_locked();
+    result.staleness = staleness_locked();
+    return;
+  }
+  rebuilding_ = true;
+  rebuild_backlog_.clear();
+  if (!worker_) worker_ = std::make_unique<SerialWorker>();
+  worker_->post([this, snapshot = g_]() mutable {
+    rebuild_into_shadow(std::move(snapshot));
+  });
+}
+
+void SparsifierSession::rebuild_synchronously_locked() {
+  try {
+    GrassResult gr = grass_sparsify(g_, opts_.grass);
+    engine_ = std::make_unique<Ingrass>(std::move(gr.sparsifier), opts_.engine);
+    ++counters_.rebuilds;
+    counters_.staleness_score = 0.0;
+    counters_.removals_pending = 0;
+    ghost_pairs_.clear();
+    refresh_solver_locked();
+  } catch (...) {
+    // Rebuild failed (e.g. removals disconnected G, which GRASS rejects):
+    // keep serving from the live pair. Resetting the score is a cooldown —
+    // otherwise every subsequent batch would re-trigger a doomed rebuild.
+    ++counters_.rebuild_failures;
+    counters_.staleness_score = 0.0;
+  }
+}
+
+void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
+  try {
+    // Heavy phase, no session lock held: the live engine keeps absorbing
+    // updates and serving solves (the double-buffered idiom).
+    GrassResult gr = grass_sparsify(snapshot, opts_.grass);
+    auto shadow = std::make_unique<Ingrass>(std::move(gr.sparsifier), opts_.engine);
+    double shadow_score = 0.0;
+    std::set<std::pair<NodeId, NodeId>> shadow_ghosts;
+
+    // Catch-up loop: replay everything that landed mid-rebuild, then swap
+    // atomically once the backlog is empty.
+    for (;;) {
+      std::vector<BacklogEntry> todo;
+      {
+        auto lock = exclusive_lock();
+        if (rebuild_backlog_.empty()) {
+          engine_ = std::move(shadow);
+          counters_.staleness_score = shadow_score;
+          counters_.removals_pending = shadow_ghosts.size();
+          ghost_pairs_ = std::move(shadow_ghosts);
+          ++counters_.rebuilds;
+          rebuilding_ = false;
+          refresh_solver_locked();
+          if (staleness_locked() >= opts_.rebuild_staleness_fraction) {
+            // The replay itself left the fresh pair over threshold (e.g.
+            // heavy ghost removals landed mid-rebuild). Chain another
+            // rebuild from the now-current G — it starts with those
+            // removals already applied, so the chain terminates once
+            // traffic pauses.
+            rebuilding_ = true;
+            rebuild_backlog_.clear();
+            worker_->post([this, snap = g_]() mutable {
+              rebuild_into_shadow(std::move(snap));
+            });
+          }
+          return;
+        }
+        todo = std::move(rebuild_backlog_);
+        rebuild_backlog_.clear();
+      }
+      for (const BacklogEntry& entry : todo) {
+        // Removals already left G, but the shadow was sparsified from a
+        // snapshot that may still carry them. Mirror the live path's
+        // ghost semantics — charge their distortion to the shadow's
+        // staleness (using the recorded weight each removal took out of
+        // G) and let the *next* rebuild clear them. (Removing them from
+        // the sparse shadow directly could disconnect it.)
+        const auto& removals = entry.batch.removals;
+        for (std::size_t i = 0; i < removals.size(); ++i) {
+          const auto [u, v] = removals[i];
+          const double graph_w = entry.removed_graph_w[i];
+          double ghost_w = 0.0;
+          const EdgeId he = shadow->sparsifier().find_edge(u, v);
+          if (he != kInvalidEdge &&
+              shadow_ghosts.emplace(std::min(u, v), std::max(u, v)).second) {
+            ghost_w = shadow->sparsifier().edge(he).w;
+          }
+          if (graph_w > 0.0 || ghost_w > 0.0) {
+            shadow_score += removal_charge(ghost_w, graph_w,
+                                           shadow->estimate_resistance(u, v),
+                                           opts_.engine.target_condition);
+          }
+        }
+        if (!entry.batch.inserts.empty()) {
+          for (const Edge& e : entry.batch.inserts) {
+            shadow_ghosts.erase({std::min(e.u, e.v), std::max(e.u, e.v)});
+          }
+          shadow_score += shadow->insert_edges(entry.batch.inserts).filtered_distortion;
+        }
+      }
+    }
+  } catch (...) {
+    auto lock = exclusive_lock();
+    ++counters_.rebuild_failures;
+    counters_.staleness_score = 0.0;  // cooldown; see rebuild_synchronously_locked
+    rebuilding_ = false;
+    rebuild_backlog_.clear();  // nobody will replay these now
+  }
+}
+
+void SparsifierSession::refresh_solver_locked() {
+  solver_->update(g_, engine_->sparsifier());
+  solver_dirty_ = false;
+}
+
+SparsifierSolver::Result SparsifierSession::solve(std::span<const double> b,
+                                                  std::span<double> x) {
+  for (;;) {
+    {
+      auto lock = reader_lock();
+      if (!solver_dirty_) {
+        const auto result = solver_->solve(b, x);
+        solves_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+    }
+    auto lock = exclusive_lock();
+    if (solver_dirty_) refresh_solver_locked();
+  }
+}
+
+SessionCounters SparsifierSession::counters_with_solves_locked() const {
+  SessionCounters c = counters_;
+  c.solves = solves_.load(std::memory_order_relaxed);
+  return c;
+}
+
+SessionMetrics SparsifierSession::metrics() const {
+  auto lock = reader_lock();
+  SessionMetrics m;
+  m.nodes = g_.num_nodes();
+  m.g_edges = g_.num_edges();
+  m.h_edges = engine_->sparsifier().num_edges();
+  m.target_condition = opts_.engine.target_condition;
+  m.staleness = staleness_locked();
+  m.rebuild_in_flight = rebuilding_;
+  m.counters = counters_with_solves_locked();
+  return m;
+}
+
+void SparsifierSession::checkpoint(const std::string& path) const {
+  SessionCheckpoint ck;
+  {
+    // Snapshot under the lock, but keep the file write outside it — disk
+    // latency must not stall apply() (and, through writer priority, new
+    // solves).
+    auto lock = reader_lock();
+    ck.g = g_;
+    ck.h = engine_->sparsifier();
+    ck.counters = counters_with_solves_locked();
+  }
+  save_checkpoint(path, ck);
+}
+
+void SparsifierSession::wait_for_rebuild() {
+  SerialWorker* worker = nullptr;
+  {
+    auto lock = reader_lock();
+    worker = worker_.get();  // stable once created; never reset before ~SparsifierSession
+  }
+  if (worker) worker->drain();  // must not hold mu_: the rebuild job locks it to swap
+}
+
+double SparsifierSession::measure_kappa(const ConditionNumberOptions& opts) const {
+  auto lock = reader_lock();
+  return condition_number(g_, engine_->sparsifier(), opts);
+}
+
+double SparsifierSession::staleness() const {
+  auto lock = reader_lock();
+  return staleness_locked();
+}
+
+Graph SparsifierSession::graph() const {
+  auto lock = reader_lock();
+  return g_;
+}
+
+Graph SparsifierSession::sparsifier() const {
+  auto lock = reader_lock();
+  return engine_->sparsifier();
+}
+
+}  // namespace ingrass

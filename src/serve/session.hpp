@@ -1,0 +1,231 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ingrass.hpp"
+#include "graph/graph.hpp"
+#include "graph/stream_io.hpp"
+#include "serve/checkpoint.hpp"
+#include "solver/sparsifier_solver.hpp"
+#include "sparsify/grass.hpp"
+#include "spectral/condition_number.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ingrass {
+
+/// Policy knobs for a long-lived sparsifier session.
+struct SessionOptions {
+  /// inGRASS engine settings. `engine.target_condition` is the session's
+  /// kappa budget: the staleness estimate and the rebuild trigger are
+  /// measured against it.
+  Ingrass::Options engine;
+
+  /// GRASS settings used to build H(0) (fresh sessions) and every
+  /// rebuild's replacement sparsifier. For budget-guaranteed serving set
+  /// `grass.target_condition` below the engine budget (e.g. budget/2) so
+  /// each rebuild restores headroom; the density-targeted default is
+  /// cheaper but makes no kappa promise at the rebuild point.
+  GrassOptions grass;
+
+  SparsifierSolver::Options solver;
+
+  /// Trip a re-sparsification when staleness() — the accumulated filtered
+  /// distortion plus removal distortion, as a fraction of the kappa
+  /// budget — reaches this value.
+  double rebuild_staleness_fraction = 0.75;
+
+  /// Rebuild on a background worker thread: GRASS + the inGRASS setup run
+  /// against a snapshot while the live engine keeps absorbing updates and
+  /// serving solves; the shadow then replays the updates that landed
+  /// mid-rebuild and swaps in atomically. false = rebuild synchronously
+  /// inside apply() — deterministic, the right mode for batch drivers
+  /// like stream_replay.
+  bool background_rebuild = true;
+
+  /// Master switch: false disables rebuilds entirely (staleness is still
+  /// tracked and reported).
+  bool enable_rebuild = true;
+};
+
+/// Outcome of one SparsifierSession::apply call.
+struct ApplyResult {
+  /// Engine outcomes for the batch's insertions.
+  Ingrass::UpdateStats stats;
+  /// Removals that found (and removed) an edge in G.
+  EdgeId removed = 0;
+  /// Removed pairs still present in the live sparsifier — "ghost" edges
+  /// whose spectral mass is charged to staleness until a rebuild clears
+  /// them (or a re-insertion of the pair resolves them). Counts newly
+  /// created ghosts only; removing an already-ghosted pair again neither
+  /// recounts nor recharges it.
+  EdgeId ghost_removals = 0;
+  /// Staleness estimate after this batch (fraction of the kappa budget).
+  double staleness = 0.0;
+  /// This batch tripped a re-sparsification.
+  bool rebuild_triggered = false;
+};
+
+/// Snapshot of a session's observable state.
+struct SessionMetrics {
+  NodeId nodes = 0;
+  EdgeId g_edges = 0;
+  EdgeId h_edges = 0;
+  double target_condition = 0.0;
+  double staleness = 0.0;  // fraction of the kappa budget
+  bool rebuild_in_flight = false;
+  SessionCounters counters;
+};
+
+/// A long-lived serving session owning the evolving (G, H) pair: the
+/// original graph, the inGRASS engine maintaining the sparsifier, and a
+/// sparsifier-preconditioned solver. This is the operational layer the
+/// one-shot batch drivers lack — it amortizes the paper's one-time setup
+/// across a sustained stream of mixed insert/remove batches, notices when
+/// accumulated updates have degraded the sparsifier past its kappa budget
+/// (the setup-phase embeddings are frozen and drift as H evolves,
+/// especially under removals), re-sparsifies in the background without
+/// blocking queries, and checkpoints to disk so a restarted process
+/// resumes mid-stream.
+///
+/// Staleness model: every filtered (merged/redistributed/dropped) insert
+/// concedes its estimated distortion w * R_H(u,v), and every removal
+/// concedes the removed weight times the pair's resistance bound (the
+/// sparsifier keeps serving a "ghost" of the removed edge until rebuilt).
+/// The running sum, as a fraction of `engine.target_condition`, is a cheap
+/// monotone proxy for kappa drift; crossing `rebuild_staleness_fraction`
+/// trips a re-sparsification: GRASS on the current G, a fresh inGRASS
+/// setup, replay of mid-rebuild updates, and an atomic swap.
+///
+/// Thread safety: apply(), solve(), metrics(), checkpoint(), and
+/// measure_kappa() may be called concurrently from any threads. Solves
+/// run under a shared lock and proceed in parallel with each other and
+/// with the heavy phase of a background rebuild.
+class SparsifierSession {
+ public:
+  /// Fresh session: build H(0) from g with GRASS, then run the inGRASS
+  /// setup phase. Requires a connected graph (GRASS's precondition).
+  SparsifierSession(Graph g, const SessionOptions& opts);
+
+  /// Adopt a prebuilt initial sparsifier (shares g's node set).
+  SparsifierSession(Graph g, Graph h0, const SessionOptions& opts);
+
+  /// Resume from a checkpoint written by checkpoint(): no GRASS pass —
+  /// the inGRASS setup runs once on the checkpointed H (resetup
+  /// semantics: embeddings are derived from the evolved sparsifier, not
+  /// the original H(0)), and counters continue where they left off.
+  [[nodiscard]] static std::unique_ptr<SparsifierSession> restore(
+      const std::string& path, const SessionOptions& opts);
+
+  ~SparsifierSession();
+
+  SparsifierSession(const SparsifierSession&) = delete;
+  SparsifierSession& operator=(const SparsifierSession&) = delete;
+
+  /// Apply one batch: removals first (dropped from G; ghosts in H are
+  /// charged to staleness), then insertions (into G and through the
+  /// engine's update phase). Validates the whole batch against the node
+  /// set before mutating anything. May trigger a rebuild on the way out.
+  ApplyResult apply(const UpdateBatch& batch);
+
+  /// Solve L_G x = b with the sparsifier-preconditioned solver, against
+  /// the latest applied state. Safe to call concurrently.
+  SparsifierSolver::Result solve(std::span<const double> b, std::span<double> x);
+
+  [[nodiscard]] SessionMetrics metrics() const;
+
+  /// Write a consistent snapshot (G, H, counters) to `path` in the
+  /// serve/checkpoint.hpp binary format.
+  void checkpoint(const std::string& path) const;
+
+  /// Block until any in-flight background rebuild (including its replay
+  /// and swap) has landed.
+  void wait_for_rebuild();
+
+  /// Measure kappa(L_G, L_H) of the live pair. Expensive — diagnostics
+  /// and acceptance checks only; the session never needs it to operate.
+  [[nodiscard]] double measure_kappa(const ConditionNumberOptions& opts = {}) const;
+
+  /// Staleness estimate as a fraction of the kappa budget.
+  [[nodiscard]] double staleness() const;
+
+  /// Snapshot copies of the live graphs (consistent with each other).
+  [[nodiscard]] Graph graph() const;
+  [[nodiscard]] Graph sparsifier() const;
+
+  [[nodiscard]] const SessionOptions& options() const { return opts_; }
+
+ private:
+  SparsifierSession(Graph g, Graph h0, SessionCounters counters,
+                    const SessionOptions& opts);
+
+  /// Writer-priority lock acquisition. glibc's std::shared_mutex prefers
+  /// readers, so a steady stream of concurrent solves (each under a
+  /// shared lock) can starve apply() and the rebuild swap indefinitely.
+  /// Writers announce themselves; new readers block on a condition
+  /// variable while any writer is waiting, so exclusive acquisition is
+  /// bounded by the in-flight readers only (and blocked readers cost no
+  /// CPU, even across a long in-flight solve).
+  [[nodiscard]] std::unique_lock<std::shared_mutex> exclusive_lock() const;
+  [[nodiscard]] std::shared_lock<std::shared_mutex> reader_lock() const;
+
+  void validate_options() const;
+  void init_engine(Graph h0);
+  void validate_batch(const UpdateBatch& batch) const;
+  [[nodiscard]] double staleness_locked() const;
+  void refresh_solver_locked();
+  void maybe_trigger_rebuild_locked(ApplyResult& result);
+  void rebuild_synchronously_locked();
+  void rebuild_into_shadow(Graph snapshot);
+  [[nodiscard]] SessionCounters counters_with_solves_locked() const;
+
+  SessionOptions opts_;
+
+  mutable std::shared_mutex mu_;  // guards everything below
+  // Writer-priority gate; see exclusive_lock()/reader_lock().
+  mutable std::atomic<int> writers_waiting_{0};
+  mutable std::mutex gate_mu_;
+  mutable std::condition_variable gate_cv_;
+  Graph g_;
+  std::unique_ptr<Ingrass> engine_;
+  std::unique_ptr<SparsifierSolver> solver_;
+  bool solver_dirty_ = false;  // solver snapshots lag g_/H; refresh lazily
+  SessionCounters counters_;
+  /// Normalized (u < v) pairs removed from G that the live sparsifier
+  /// still carries. Keeping the set (not just the count) makes repeat
+  /// removals idempotent for staleness, lets a re-insertion resolve its
+  /// ghost, and is reconstructible after restore() because H's support is
+  /// a subset of G's apart from exactly these pairs.
+  std::set<std::pair<NodeId, NodeId>> ghost_pairs_;
+  bool rebuilding_ = false;
+  /// One backlog record per batch applied to the live engine while a
+  /// background rebuild is in flight; the shadow replays them before
+  /// swapping in. The weight each removal took out of G is recorded at
+  /// apply time (it is gone from G by replay time) so the replay can
+  /// charge the shadow's staleness the way the live path would.
+  struct BacklogEntry {
+    UpdateBatch batch;
+    std::vector<double> removed_graph_w;  // parallel to batch.removals
+  };
+  std::vector<BacklogEntry> rebuild_backlog_;
+
+  /// Solve counter kept outside the lock discipline so concurrent solves
+  /// (shared lock) can bump it; folded into counters_ on read.
+  mutable std::atomic<std::uint64_t> solves_{0};
+
+  /// Background rebuild executor, created on first use. Declared last so
+  /// its destructor (which finishes queued jobs) runs while every member
+  /// the jobs capture is still alive.
+  std::unique_ptr<SerialWorker> worker_;
+};
+
+}  // namespace ingrass

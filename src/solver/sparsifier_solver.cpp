@@ -7,12 +7,25 @@
 
 namespace ingrass {
 
+namespace {
+
+/// Weights-only refresh when the pattern held, full rebuild otherwise.
+void refresh_snapshot(const Graph& g, CsrAdjacency& csr) {
+  if (!refresh_csr_weights(g, csr)) csr = build_csr(g);
+}
+
+}  // namespace
+
 SparsifierSolver::SparsifierSolver(const Graph& g, const Graph& h,
                                    const Options& opts)
     : csr_g_(build_csr(g)), csr_h_(build_csr(h)), opts_(opts) {
   if (g.num_nodes() != h.num_nodes()) {
     throw std::invalid_argument("SparsifierSolver: node sets differ");
   }
+  rebuild_jacobi();
+}
+
+void SparsifierSolver::rebuild_jacobi() {
   Vec diag = csr_h_.degree;
   for (double& d : diag) {
     if (!(d > 0.0)) d = 1.0;  // isolated sparsifier node: harmless fallback
@@ -24,12 +37,17 @@ void SparsifierSolver::update_sparsifier(const Graph& h) {
   if (h.num_nodes() != csr_g_.num_nodes()) {
     throw std::invalid_argument("SparsifierSolver: node sets differ");
   }
-  csr_h_ = build_csr(h);
-  Vec diag = csr_h_.degree;
-  for (double& d : diag) {
-    if (!(d > 0.0)) d = 1.0;
+  refresh_snapshot(h, csr_h_);
+  rebuild_jacobi();
+}
+
+void SparsifierSolver::update(const Graph& g, const Graph& h) {
+  if (g.num_nodes() != csr_g_.num_nodes() || h.num_nodes() != csr_g_.num_nodes()) {
+    throw std::invalid_argument("SparsifierSolver: node sets differ");
   }
-  jacobi_h_ = JacobiPreconditioner(std::move(diag));
+  refresh_snapshot(g, csr_g_);
+  refresh_snapshot(h, csr_h_);
+  rebuild_jacobi();
 }
 
 SparsifierSolver::Result SparsifierSolver::solve(std::span<const double> b,

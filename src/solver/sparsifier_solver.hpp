@@ -45,10 +45,20 @@ class SparsifierSolver {
   Result solve(std::span<const double> b, std::span<double> x) const;
 
   /// Refresh the sparsifier snapshot after incremental updates, keeping
-  /// the (unchanged) original-graph side.
+  /// the (unchanged) original-graph side. Reuses the existing CSR storage
+  /// with a weights-only refresh when h's sparsity pattern is unchanged
+  /// (the common case for merge/redistribute-heavy inGRASS batches),
+  /// falling back to a full rebuild otherwise.
   void update_sparsifier(const Graph& h);
 
+  /// Refresh both snapshots — the session path, where the original graph
+  /// evolves alongside the sparsifier. Same weights-only fast path per
+  /// side.
+  void update(const Graph& g, const Graph& h);
+
  private:
+  void rebuild_jacobi();
+
   CsrAdjacency csr_g_;
   CsrAdjacency csr_h_;
   JacobiPreconditioner jacobi_h_;

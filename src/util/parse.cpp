@@ -1,0 +1,31 @@
+#include "util/parse.hpp"
+
+#include <stdexcept>
+
+namespace ingrass {
+
+std::optional<long> parse_full_long(const std::string& tok) {
+  std::size_t pos = 0;
+  long v = 0;
+  try {
+    v = std::stol(tok, &pos);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pos != tok.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_full_double(const std::string& tok) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &pos);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pos != tok.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace ingrass

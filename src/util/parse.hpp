@@ -1,0 +1,15 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ingrass {
+
+/// Strict whole-token numeric parsing: the entire token must convert (no
+/// trailing junk, no bare words), otherwise nullopt. Shared by the edge
+/// stream reader and the serve protocol so the validation rules cannot
+/// drift between surfaces.
+[[nodiscard]] std::optional<long> parse_full_long(const std::string& tok);
+[[nodiscard]] std::optional<double> parse_full_double(const std::string& tok);
+
+}  // namespace ingrass

@@ -85,4 +85,64 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   if (job.error) std::rethrow_exception(job.error);
 }
 
+SerialWorker::SerialWorker() : thread_([this] { loop(); }) {}
+
+SerialWorker::~SerialWorker() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  thread_.join();
+}
+
+void SerialWorker::post(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::logic_error("SerialWorker::post after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  cv_work_.notify_all();
+}
+
+void SerialWorker::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && !running_; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+bool SerialWorker::idle() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && !running_;
+}
+
+void SerialWorker::loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_ = true;
+    }
+    try {
+      job();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      running_ = false;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
 }  // namespace ingrass

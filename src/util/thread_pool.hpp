@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -62,6 +63,48 @@ class ThreadPool {
   Job* job_ = nullptr;       // non-null while a parallel_for is active
   std::uint64_t epoch_ = 0;  // bumped per job so workers detect new work
   bool stop_ = false;
+};
+
+/// Single background thread executing posted jobs FIFO — the executor
+/// behind SparsifierSession's shadow rebuilds. Complements ThreadPool
+/// (a blocking fork/join pool for data-parallel loops): post() returns
+/// immediately and the job runs asynchronously; drain() blocks until the
+/// queue is empty and the worker is idle.
+///
+/// The destructor finishes every queued job before joining, so a job's
+/// captured state must outlive the worker (declare the SerialWorker last,
+/// or drain() explicitly before tearing state down). A job that throws has
+/// its exception stashed and rethrown from the next drain() (first one
+/// wins; the queue keeps running).
+class SerialWorker {
+ public:
+  SerialWorker();
+  ~SerialWorker();
+
+  SerialWorker(const SerialWorker&) = delete;
+  SerialWorker& operator=(const SerialWorker&) = delete;
+
+  /// Enqueue a job. Throws std::logic_error after shutdown began.
+  void post(std::function<void()> job);
+
+  /// Block until every queued job has finished; rethrow the first stashed
+  /// job exception, if any.
+  void drain();
+
+  /// No queued jobs and nothing currently executing.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  void loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr error_;
+  bool running_ = false;  // a job is executing right now
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 }  // namespace ingrass

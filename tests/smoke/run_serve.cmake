@@ -1,0 +1,109 @@
+# Smoke test: drive apps/ingrass_serve end-to-end through its stdin line
+# protocol — open a generated grid, stream insert/remove batches, write a
+# binary checkpoint, *terminate the process*, restore in a fresh process,
+# stream more batches, solve, and verify the final condition number lands
+# within the session's kappa budget. Also checks the usage exit path and
+# per-command `err` recovery.
+#
+# Invoked by CTest as:
+#   cmake -DBIN=<path-to-ingrass_serve> -DWORK_DIR=<scratch dir> -P run_serve.cmake
+
+if(NOT DEFINED BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DBIN=<ingrass_serve binary> -DWORK_DIR=<scratch dir>")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Emit a 6x6 grid graph (36 nodes, 60 unit edges) in Matrix Market
+# coordinate/symmetric format (lower triangle, 1-based).
+set(entries "")
+set(count 0)
+foreach(y RANGE 5)
+  foreach(x RANGE 5)
+    math(EXPR id "${y} * 6 + ${x} + 1")
+    if(x LESS 5)
+      math(EXPR nbr "${id} + 1")
+      string(APPEND entries "${nbr} ${id} 1.0\n")
+      math(EXPR count "${count} + 1")
+    endif()
+    if(y LESS 5)
+      math(EXPR nbr "${id} + 6")
+      string(APPEND entries "${nbr} ${id} 1.0\n")
+      math(EXPR count "${count} + 1")
+    endif()
+  endforeach()
+endforeach()
+file(WRITE ${WORK_DIR}/g.mtx
+  "%%MatrixMarket matrix coordinate real symmetric\n36 36 ${count}\n${entries}")
+
+# run_serve(<script file> <expected exit> <marker...>): pipe the script
+# into the binary, require the exit code and every stdout marker.
+function(run_serve script expected)
+  execute_process(COMMAND ${BIN}
+    INPUT_FILE ${script}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR "ingrass_serve < ${script}: exit ${rc}, expected ${expected}\n"
+                        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  foreach(marker ${ARGN})
+    string(FIND "${out}" "${marker}" idx)
+    if(idx EQUAL -1)
+      message(FATAL_ERROR "ingrass_serve < ${script}: stdout is missing marker "
+                          "'${marker}'\nstdout:\n${out}")
+    endif()
+  endforeach()
+endfunction()
+
+# Session 1: open, stream two batches (with a removal), checkpoint, quit.
+# The process exiting is the "kill" in the checkpoint/restore round-trip.
+file(WRITE ${WORK_DIR}/session1.txt
+"open g.mtx --density 0.3 --target 100 --grass-target 40 --sync
+insert 0 35 1.0
+insert 5 30 0.8
+apply
+insert 1 34 1.0
+remove 0 35
+apply
+bogus-command
+insert 0 99 1.0
+metrics
+checkpoint ck.bin
+quit
+")
+run_serve(${WORK_DIR}/session1.txt 0
+  "ok open nodes=36"
+  "ok apply"
+  "err unknown command: bogus-command"
+  "err node id exceeds graph size"
+  "ok metrics"
+  "ok checkpoint path=ck.bin"
+  "ok quit")
+
+# Session 2: a fresh process restores the checkpoint, streams more
+# batches, solves, and must land within the kappa budget.
+file(WRITE ${WORK_DIR}/session2.txt
+"restore ck.bin --target 100 --grass-target 40 --sync
+insert 2 33 1.0
+insert 6 29 0.7
+apply
+solve 0 35
+kappa
+quit
+")
+run_serve(${WORK_DIR}/session2.txt 0
+  "ok restore nodes=36"
+  "ok apply"
+  "ok solve iters="
+  "within=1"
+  "ok quit")
+
+# Usage: the binary takes no arguments.
+execute_process(COMMAND ${BIN} --help RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "ingrass_serve --help: exit ${rc}, expected 1")
+endif()
+
+message(STATUS "ingrass_serve smoke test passed")

@@ -130,6 +130,52 @@ TEST(CsrAdjacency, WeightSnapshotIsStale) {
   EXPECT_DOUBLE_EQ(csr.weights[0], 1.0);  // snapshot semantics by design
 }
 
+TEST(CsrAdjacency, RefreshWeightsInPlaceWhenPatternUnchanged) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  const EdgeId e2 = g.add_edge(2, 3, 3.0);
+  CsrAdjacency csr = build_csr(g);
+
+  g.set_weight(e0, 5.0);
+  g.scale_weight(e2, 2.0);
+  ASSERT_TRUE(refresh_csr_weights(g, csr));
+  const CsrAdjacency fresh = build_csr(g);
+  EXPECT_EQ(csr.targets, fresh.targets);
+  EXPECT_EQ(csr.weights, fresh.weights);
+  EXPECT_EQ(csr.degree, fresh.degree);
+}
+
+TEST(CsrAdjacency, RefreshDetectsPatternChanges) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  CsrAdjacency csr = build_csr(g);
+
+  Graph grown = g;
+  grown.add_edge(2, 3, 1.0);
+  CsrAdjacency snapshot = csr;
+  EXPECT_FALSE(refresh_csr_weights(grown, snapshot));
+
+  Graph shrunk = g;
+  shrunk.remove_edge(0);
+  snapshot = csr;
+  EXPECT_FALSE(refresh_csr_weights(shrunk, snapshot));
+
+  // Same edge count, different endpoints.
+  Graph rewired(4);
+  rewired.add_edge(0, 1, 1.0);
+  rewired.add_edge(1, 3, 2.0);
+  snapshot = csr;
+  EXPECT_FALSE(refresh_csr_weights(rewired, snapshot));
+
+  Graph more_nodes(5);
+  more_nodes.add_edge(0, 1, 1.0);
+  more_nodes.add_edge(1, 2, 2.0);
+  snapshot = csr;
+  EXPECT_FALSE(refresh_csr_weights(more_nodes, snapshot));
+}
+
 TEST(Graph, NegativeConstructionRejected) {
   EXPECT_THROW(Graph(-1), std::invalid_argument);
 }

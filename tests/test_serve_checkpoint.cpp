@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/session.hpp"
+
+namespace ingrass {
+namespace {
+
+SessionOptions small_options() {
+  SessionOptions opts;
+  opts.engine.target_condition = 100.0;
+  opts.grass.target_offtree_density = 0.20;
+  opts.background_rebuild = false;
+  return opts;
+}
+
+/// A session that has seen real traffic: inserts, removals, and solves.
+std::unique_ptr<SparsifierSession> worked_session(const SessionOptions& opts) {
+  Rng rng(11);
+  Graph g = make_triangulated_grid(9, 9, rng);
+  auto session = std::make_unique<SparsifierSession>(std::move(g), opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 3;
+  sopts.total_per_node = 0.2;
+  sopts.seed = 77;
+  const auto inserts = make_edge_stream(session->graph(), sopts);
+  for (std::size_t b = 0; b < inserts.size(); ++b) {
+    UpdateBatch batch;
+    batch.inserts = inserts[b];
+    if (b == 2 && !inserts[0].empty()) {
+      // Remove an edge inserted in batch 0 — exercises the removal path.
+      batch.removals.emplace_back(inserts[0][0].u, inserts[0][0].v);
+    }
+    session->apply(batch);
+  }
+  return session;
+}
+
+std::vector<double> unit_pair_rhs(NodeId n, NodeId u, NodeId v) {
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  b[static_cast<std::size_t>(u)] = 1.0;
+  b[static_cast<std::size_t>(v)] = -1.0;
+  return b;
+}
+
+TEST(ServeCheckpoint, RoundTripPreservesGraphsExactly) {
+  const auto opts = small_options();
+  const auto session = worked_session(opts);
+  const std::string path = testing::TempDir() + "/ingrass_ck_graphs.bin";
+  session->checkpoint(path);
+
+  const SessionCheckpoint ck = load_checkpoint(path);
+  const Graph g = session->graph();
+  const Graph h = session->sparsifier();
+  ASSERT_EQ(ck.g.num_nodes(), g.num_nodes());
+  ASSERT_EQ(ck.g.num_edges(), g.num_edges());
+  ASSERT_EQ(ck.h.num_edges(), h.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(ck.g.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(ck.g.edge(e).v, g.edge(e).v);
+    // Bit-exact: weights travel as IEEE-754 bit patterns.
+    EXPECT_EQ(ck.g.edge(e).w, g.edge(e).w);
+  }
+  for (EdgeId e = 0; e < h.num_edges(); ++e) {
+    EXPECT_EQ(ck.h.edge(e).w, h.edge(e).w);
+  }
+}
+
+TEST(ServeCheckpoint, RestoredSessionMatchesMetricsAndSolves) {
+  const auto opts = small_options();
+  const auto session = worked_session(opts);
+
+  // A solve before checkpointing, so the solves counter travels too.
+  const Graph g = session->graph();
+  const auto b = unit_pair_rhs(g.num_nodes(), 0, g.num_nodes() - 1);
+  std::vector<double> x(b.size(), 0.0);
+  const auto before = session->solve(b, x);
+  ASSERT_TRUE(before.converged);
+
+  const std::string path = testing::TempDir() + "/ingrass_ck_roundtrip.bin";
+  session->checkpoint(path);
+  const auto restored = SparsifierSession::restore(path, opts);
+
+  const SessionMetrics a = session->metrics();
+  const SessionMetrics r = restored->metrics();
+  EXPECT_EQ(r.nodes, a.nodes);
+  EXPECT_EQ(r.g_edges, a.g_edges);
+  EXPECT_EQ(r.h_edges, a.h_edges);
+  EXPECT_DOUBLE_EQ(r.staleness, a.staleness);
+  EXPECT_EQ(r.counters.batches, a.counters.batches);
+  EXPECT_EQ(r.counters.inserts_offered, a.counters.inserts_offered);
+  EXPECT_EQ(r.counters.removals_applied, a.counters.removals_applied);
+  EXPECT_EQ(r.counters.removals_pending, a.counters.removals_pending);
+  EXPECT_EQ(r.counters.solves, a.counters.solves);
+  EXPECT_EQ(r.counters.inserted, a.counters.inserted);
+  EXPECT_EQ(r.counters.merged, a.counters.merged);
+  EXPECT_EQ(r.counters.redistributed, a.counters.redistributed);
+  EXPECT_EQ(r.counters.reinforced, a.counters.reinforced);
+  EXPECT_DOUBLE_EQ(r.counters.staleness_score, a.counters.staleness_score);
+
+  // Solve results agree to solver tolerance. (Not bitwise: remove_edge
+  // can permute the live graph's adjacency arc order, while the restored
+  // graph rebuilds arcs in edge-id order — same matrix, different
+  // floating-point summation order.)
+  std::vector<double> x_live(b.size(), 0.0);
+  std::vector<double> x_rest(b.size(), 0.0);
+  const auto live_res = session->solve(b, x_live);
+  const auto rest_res = restored->solve(b, x_rest);
+  EXPECT_TRUE(live_res.converged);
+  EXPECT_TRUE(rest_res.converged);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(x_rest[i], x_live[i], 1e-6) << "component " << i;
+  }
+}
+
+TEST(ServeCheckpoint, StreamRoundTripPreservesCounters) {
+  SessionCheckpoint ck;
+  Rng rng(5);
+  ck.g = make_grid2d(4, 4, rng);
+  ck.h = ck.g;
+  ck.counters.batches = 7;
+  ck.counters.solves = 3;
+  ck.counters.rebuilds = 2;
+  ck.counters.staleness_score = 1.25;
+  ck.counters.lifetime_filtered_distortion = 9.5;
+
+  std::stringstream buf;
+  write_checkpoint(buf, ck);
+  const SessionCheckpoint back = read_checkpoint(buf);
+  EXPECT_EQ(back.counters.batches, 7u);
+  EXPECT_EQ(back.counters.solves, 3u);
+  EXPECT_EQ(back.counters.rebuilds, 2u);
+  EXPECT_DOUBLE_EQ(back.counters.staleness_score, 1.25);
+  EXPECT_DOUBLE_EQ(back.counters.lifetime_filtered_distortion, 9.5);
+  EXPECT_EQ(back.g.num_edges(), ck.g.num_edges());
+}
+
+TEST(ServeCheckpoint, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOTACKPT" << std::string(64, '\0');
+  EXPECT_THROW(read_checkpoint(buf), std::runtime_error);
+}
+
+TEST(ServeCheckpoint, RejectsUnknownVersion) {
+  SessionCheckpoint ck;
+  Rng rng(5);
+  ck.g = make_grid2d(3, 3, rng);
+  ck.h = ck.g;
+  std::stringstream buf;
+  write_checkpoint(buf, ck);
+  std::string bytes = buf.str();
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_checkpoint(bad), std::runtime_error);
+}
+
+TEST(ServeCheckpoint, RejectsTruncationAndTrailingBytes) {
+  SessionCheckpoint ck;
+  Rng rng(5);
+  ck.g = make_grid2d(3, 3, rng);
+  ck.h = ck.g;
+  std::stringstream buf;
+  write_checkpoint(buf, ck);
+  const std::string bytes = buf.str();
+
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(read_checkpoint(truncated), std::runtime_error);
+
+  std::stringstream trailing(bytes + "x");
+  EXPECT_THROW(read_checkpoint(trailing), std::runtime_error);
+}
+
+TEST(ServeCheckpoint, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/ck.bin"), std::runtime_error);
+  SessionOptions opts = small_options();
+  EXPECT_THROW(SparsifierSession::restore("/nonexistent/dir/ck.bin", opts),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ingrass

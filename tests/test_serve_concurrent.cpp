@@ -1,0 +1,121 @@
+// Threaded session tests: solves, metrics, and checkpoints issued
+// concurrently with apply() and with an in-flight background rebuild.
+// These run under the ASan/UBSan preset in CI; the session's lock
+// discipline (shared for solves/reads, unique for mutation and the swap)
+// is what they exercise.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "serve/session.hpp"
+
+namespace ingrass {
+namespace {
+
+SessionOptions background_options() {
+  SessionOptions opts;
+  opts.engine.target_condition = 50.0;
+  opts.grass.target_offtree_density = 0.15;
+  opts.background_rebuild = true;
+  opts.rebuild_staleness_fraction = 0.05;  // trip quickly
+  return opts;
+}
+
+std::vector<UpdateBatch> traffic(const Graph& g, int iterations, std::uint64_t seed) {
+  EdgeStreamOptions sopts;
+  sopts.iterations = iterations;
+  sopts.total_per_node = 0.4;
+  sopts.global_weight_factor = 10.0;
+  sopts.seed = seed;
+  const auto inserts = make_edge_stream(g, sopts);
+  std::vector<UpdateBatch> batches(inserts.size());
+  for (std::size_t b = 0; b < inserts.size(); ++b) {
+    batches[b].inserts = inserts[b];
+    if (b >= 2) {
+      // Remove half of what landed two batches ago.
+      const auto& old = inserts[b - 2];
+      for (std::size_t i = 0; i < old.size(); i += 2) {
+        batches[b].removals.emplace_back(old[i].u, old[i].v);
+      }
+    }
+  }
+  return batches;
+}
+
+TEST(ServeConcurrent, SolvesProceedDuringBackgroundRebuild) {
+  Rng rng(17);
+  SparsifierSession session(make_triangulated_grid(16, 16, rng), background_options());
+  const NodeId n = session.metrics().nodes;
+  const auto batches = traffic(session.graph(), 8, 123);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> solves_done{0};
+  std::atomic<int> solve_failures{0};
+  std::vector<std::thread> solvers;
+  for (int t = 0; t < 4; ++t) {
+    solvers.emplace_back([&, t] {
+      std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+      std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+      b[static_cast<std::size_t>(t)] = 1.0;
+      b[static_cast<std::size_t>(n - 1 - t)] = -1.0;
+      while (!stop.load()) {
+        std::fill(x.begin(), x.end(), 0.0);
+        if (!session.solve(b, x).converged) solve_failures.fetch_add(1);
+        solves_done.fetch_add(1);
+      }
+    });
+  }
+
+  bool tripped = false;
+  for (const auto& batch : batches) {
+    tripped |= session.apply(batch).rebuild_triggered;
+  }
+  session.wait_for_rebuild();
+  stop.store(true);
+  for (auto& t : solvers) t.join();
+
+  EXPECT_TRUE(tripped);
+  EXPECT_EQ(solve_failures.load(), 0);
+  EXPECT_GT(solves_done.load(), 0);
+  const SessionMetrics m = session.metrics();
+  EXPECT_FALSE(m.rebuild_in_flight);
+  EXPECT_GE(m.counters.rebuilds, 1u);
+  EXPECT_EQ(m.counters.rebuild_failures, 0u);
+  EXPECT_EQ(m.counters.solves, static_cast<std::uint64_t>(solves_done.load()));
+}
+
+TEST(ServeConcurrent, MetricsAndCheckpointRaceApplies) {
+  Rng rng(23);
+  SparsifierSession session(make_triangulated_grid(12, 12, rng), background_options());
+  const auto batches = traffic(session.graph(), 6, 321);
+  const std::string path = testing::TempDir() + "/ingrass_concurrent_ck.bin";
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const SessionMetrics m = session.metrics();
+      // Invariants that must hold under any interleaving.
+      EXPECT_GE(m.counters.inserts_offered,
+                m.counters.inserted + m.counters.merged + m.counters.redistributed +
+                    m.counters.reinforced);
+      session.checkpoint(path);
+    }
+  });
+
+  for (const auto& batch : batches) session.apply(batch);
+  session.wait_for_rebuild();
+  stop.store(true);
+  reader.join();
+
+  // The last checkpoint written under the race is loadable and coherent.
+  const auto restored = SparsifierSession::restore(path, background_options());
+  EXPECT_EQ(restored->metrics().nodes, session.metrics().nodes);
+}
+
+}  // namespace
+}  // namespace ingrass

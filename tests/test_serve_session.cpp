@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "serve/session.hpp"
+#include "solver/sparsifier_solver.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass {
+namespace {
+
+Graph test_graph(int side = 10, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return make_triangulated_grid(static_cast<NodeId>(side), static_cast<NodeId>(side), rng);
+}
+
+SessionOptions sync_options(double budget = 60.0) {
+  SessionOptions opts;
+  opts.engine.target_condition = budget;
+  opts.grass.target_offtree_density = 0.20;
+  // Budget-guaranteed rebuilds: re-sparsify to half the budget so every
+  // rebuild restores headroom.
+  opts.grass.target_condition = budget / 2.0;
+  opts.background_rebuild = false;
+  return opts;
+}
+
+/// A stream of insert batches; batch `remove_from` onward also removes the
+/// edges inserted two batches earlier (hostile to the frozen embeddings).
+std::vector<UpdateBatch> hostile_stream(const Graph& g, int iterations,
+                                        std::size_t remove_from) {
+  EdgeStreamOptions sopts;
+  sopts.iterations = iterations;
+  sopts.total_per_node = 0.5;
+  sopts.global_weight_factor = 12.0;  // heavy long-range edges
+  sopts.seed = 99;
+  const auto inserts = make_edge_stream(g, sopts);
+  std::vector<UpdateBatch> batches(inserts.size());
+  for (std::size_t b = 0; b < inserts.size(); ++b) {
+    batches[b].inserts = inserts[b];
+    if (b >= remove_from && b >= 2) {
+      for (const Edge& e : inserts[b - 2]) batches[b].removals.emplace_back(e.u, e.v);
+    }
+  }
+  return batches;
+}
+
+TEST(ServeSession, FreshSessionBuildsSparsifierFromScratch) {
+  const SessionOptions opts = sync_options();
+  SparsifierSession session(test_graph(), opts);
+  const SessionMetrics m = session.metrics();
+  EXPECT_EQ(m.nodes, 100);
+  EXPECT_GT(m.h_edges, 0);
+  EXPECT_LT(m.h_edges, m.g_edges);
+  EXPECT_DOUBLE_EQ(m.staleness, 0.0);
+  EXPECT_EQ(m.counters.batches, 0u);
+}
+
+TEST(ServeSession, StalenessAccumulatesAcrossBatches) {
+  SessionOptions opts = sync_options();
+  opts.enable_rebuild = false;
+  SparsifierSession session(test_graph(), opts);
+  const auto batches = hostile_stream(session.graph(), 6, 2);
+  double prev = 0.0;
+  for (const auto& b : batches) {
+    const ApplyResult r = session.apply(b);
+    EXPECT_GE(r.staleness, prev);  // monotone without rebuilds
+    prev = r.staleness;
+  }
+  EXPECT_GT(prev, 0.0);
+  const SessionMetrics m = session.metrics();
+  EXPECT_EQ(m.counters.rebuilds, 0u);
+  EXPECT_DOUBLE_EQ(m.staleness, prev);
+  EXPECT_GT(m.counters.lifetime_filtered_distortion, 0.0);
+}
+
+TEST(ServeSession, HostileStreamTripsRebuildAndStaysWithinBudget) {
+  SessionOptions opts = sync_options(/*budget=*/40.0);
+  opts.rebuild_staleness_fraction = 0.25;  // trip early on the small case
+  SparsifierSession session(test_graph(), opts);
+  const auto batches = hostile_stream(session.graph(), 8, 2);
+  bool tripped = false;
+  for (const auto& b : batches) tripped |= session.apply(b).rebuild_triggered;
+
+  const SessionMetrics m = session.metrics();
+  EXPECT_TRUE(tripped);
+  EXPECT_GE(m.counters.rebuilds, 1u);
+  EXPECT_EQ(m.counters.rebuild_failures, 0u);
+  // The whole point: after staleness-triggered re-sparsification the
+  // session ends inside its kappa budget despite inserts AND removals.
+  EXPECT_LE(session.measure_kappa(), opts.engine.target_condition);
+}
+
+TEST(ServeSession, RemovalOfSparsifierEdgeBecomesGhost) {
+  SessionOptions opts = sync_options();
+  opts.enable_rebuild = false;
+  SparsifierSession session(test_graph(), opts);
+
+  // Every spanning-tree edge of H is also in G; find one H edge to remove.
+  const Graph h = session.sparsifier();
+  ASSERT_GT(h.num_edges(), 0);
+  const Edge victim = h.edge(0);
+
+  UpdateBatch batch;
+  batch.removals.emplace_back(victim.u, victim.v);
+  const ApplyResult r = session.apply(batch);
+  EXPECT_EQ(r.removed, 1);
+  EXPECT_EQ(r.ghost_removals, 1);
+  EXPECT_GT(r.staleness, 0.0);
+  const SessionMetrics m = session.metrics();
+  EXPECT_EQ(m.counters.removals_pending, 1u);
+  // The ghost stays in H until a rebuild clears it.
+  EXPECT_TRUE(session.sparsifier().has_edge(victim.u, victim.v));
+  EXPECT_FALSE(session.graph().has_edge(victim.u, victim.v));
+}
+
+TEST(ServeSession, RepeatRemovalsAndReinsertionsKeepGhostAccountingExact) {
+  SessionOptions opts = sync_options();
+  opts.enable_rebuild = false;
+  SparsifierSession session(test_graph(), opts);
+  const Edge victim = session.sparsifier().edge(0);
+
+  UpdateBatch removal;
+  removal.removals.emplace_back(victim.u, victim.v);
+  const ApplyResult first = session.apply(removal);
+  EXPECT_EQ(first.ghost_removals, 1);
+  const double after_first = session.staleness();
+
+  // Removing the same (already-ghosted) pair again: idempotent — no new
+  // ghost, no extra staleness charge.
+  const ApplyResult second = session.apply(removal);
+  EXPECT_EQ(second.removed, 0);
+  EXPECT_EQ(second.ghost_removals, 0);
+  EXPECT_DOUBLE_EQ(session.staleness(), after_first);
+  EXPECT_EQ(session.metrics().counters.removals_pending, 1u);
+
+  // Re-inserting the pair resolves the ghost: G backs the edge again.
+  UpdateBatch reinsert;
+  reinsert.inserts.push_back(Edge{victim.u, victim.v, victim.w});
+  session.apply(reinsert);
+  EXPECT_EQ(session.metrics().counters.removals_pending, 0u);
+}
+
+TEST(ServeSession, RestoreReconstructsGhostSet) {
+  SessionOptions opts = sync_options();
+  opts.enable_rebuild = false;
+  SparsifierSession session(test_graph(), opts);
+  const Edge victim = session.sparsifier().edge(0);
+  UpdateBatch batch;
+  batch.removals.emplace_back(victim.u, victim.v);
+  session.apply(batch);
+  ASSERT_EQ(session.metrics().counters.removals_pending, 1u);
+
+  const std::string path = testing::TempDir() + "/ingrass_ghost_restore.bin";
+  session.checkpoint(path);
+  const auto restored = SparsifierSession::restore(path, opts);
+  EXPECT_EQ(restored->metrics().counters.removals_pending, 1u);
+
+  // The reconstructed set keeps repeat removals idempotent post-restore.
+  const double before = restored->staleness();
+  const ApplyResult again = restored->apply(batch);
+  EXPECT_EQ(again.ghost_removals, 0);
+  EXPECT_DOUBLE_EQ(restored->staleness(), before);
+  EXPECT_EQ(restored->metrics().counters.removals_pending, 1u);
+}
+
+TEST(ServeSession, SynchronousRebuildClearsGhosts) {
+  SessionOptions opts = sync_options();
+  opts.rebuild_staleness_fraction = 1e-9;  // any staleness trips
+  SparsifierSession session(test_graph(), opts);
+  const Graph h = session.sparsifier();
+  const Edge victim = h.edge(0);
+
+  UpdateBatch batch;
+  batch.removals.emplace_back(victim.u, victim.v);
+  const ApplyResult r = session.apply(batch);
+  EXPECT_TRUE(r.rebuild_triggered);
+  const SessionMetrics m = session.metrics();
+  EXPECT_EQ(m.counters.rebuilds, 1u);
+  EXPECT_EQ(m.counters.removals_pending, 0u);
+  // Rebuilt from the current G, which no longer has the edge.
+  EXPECT_FALSE(session.sparsifier().has_edge(victim.u, victim.v));
+}
+
+TEST(ServeSession, ApplyValidatesWholeBatchBeforeMutating) {
+  const SessionOptions opts = sync_options();
+  SparsifierSession session(test_graph(), opts);
+  const SessionMetrics before = session.metrics();
+
+  UpdateBatch bad_node;
+  bad_node.inserts.push_back(Edge{0, 1, 1.0});
+  bad_node.inserts.push_back(Edge{0, 5000, 1.0});
+  EXPECT_THROW(session.apply(bad_node), std::invalid_argument);
+
+  UpdateBatch self_loop;
+  self_loop.removals.emplace_back(4, 4);
+  EXPECT_THROW(session.apply(self_loop), std::invalid_argument);
+
+  UpdateBatch bad_weight;
+  bad_weight.inserts.push_back(Edge{0, 1, 0.0});
+  EXPECT_THROW(session.apply(bad_weight), std::invalid_argument);
+
+  const SessionMetrics after = session.metrics();
+  EXPECT_EQ(after.g_edges, before.g_edges);  // nothing landed
+  EXPECT_EQ(after.counters.batches, 0u);
+}
+
+TEST(ServeSession, SolveMatchesStandaloneSolver) {
+  const SessionOptions opts = sync_options();
+  SparsifierSession session(test_graph(), opts);
+  UpdateBatch batch;
+  batch.inserts.push_back(Edge{0, 99, 2.0});
+  session.apply(batch);
+
+  const Graph g = session.graph();
+  const Graph h = session.sparsifier();
+  SparsifierSolver direct(g, h, opts.solver);
+
+  std::vector<double> b(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  b[0] = 1.0;
+  b[static_cast<std::size_t>(g.num_nodes()) - 1] = -1.0;
+  std::vector<double> x_session(b.size(), 0.0);
+  std::vector<double> x_direct(b.size(), 0.0);
+  const auto rs = session.solve(b, x_session);
+  const auto rd = direct.solve(b, x_direct);
+  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(rd.converged);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(x_session[i], x_direct[i], 1e-6);
+  }
+  EXPECT_EQ(session.metrics().counters.solves, 1u);
+}
+
+TEST(ServeSession, BackgroundRebuildLandsAndResetsStaleness) {
+  SessionOptions opts = sync_options(/*budget=*/40.0);
+  opts.background_rebuild = true;
+  opts.rebuild_staleness_fraction = 0.2;
+  SparsifierSession session(test_graph(), opts);
+  const auto batches = hostile_stream(session.graph(), 6, 2);
+  bool tripped = false;
+  for (const auto& b : batches) tripped |= session.apply(b).rebuild_triggered;
+  EXPECT_TRUE(tripped);
+
+  session.wait_for_rebuild();
+  const SessionMetrics m = session.metrics();
+  EXPECT_FALSE(m.rebuild_in_flight);
+  EXPECT_GE(m.counters.rebuilds, 1u);
+  EXPECT_EQ(m.counters.rebuild_failures, 0u);
+  EXPECT_LE(session.measure_kappa(), opts.engine.target_condition);
+}
+
+TEST(ServeSession, RebuildFailureKeepsServing) {
+  // Removals can disconnect G; GRASS rejects that and the session must
+  // keep serving from the live pair instead of dying.
+  Rng rng(4);
+  Graph g = make_grid2d(4, 4, rng);
+  // A pendant node connected by a single extra edge: removing it
+  // disconnects G.
+  const NodeId pendant = g.add_nodes(1);
+  g.add_edge(0, pendant, 1.0);
+
+  SessionOptions opts = sync_options();
+  opts.rebuild_staleness_fraction = 1e-9;
+  SparsifierSession session(std::move(g), opts);
+
+  UpdateBatch batch;
+  batch.removals.emplace_back(0, pendant);
+  const ApplyResult r = session.apply(batch);
+  EXPECT_TRUE(r.rebuild_triggered);
+  const SessionMetrics m = session.metrics();
+  EXPECT_EQ(m.counters.rebuilds, 0u);
+  EXPECT_EQ(m.counters.rebuild_failures, 1u);
+  EXPECT_DOUBLE_EQ(m.staleness, 0.0);  // cooldown reset
+
+  // Solves still work against the live pair.
+  std::vector<double> b(static_cast<std::size_t>(m.nodes), 0.0);
+  b[0] = 1.0;
+  b[1] = -1.0;
+  std::vector<double> x(b.size(), 0.0);
+  EXPECT_TRUE(session.solve(b, x).converged);
+}
+
+TEST(ServeSession, RejectsNonPositiveBudget) {
+  SessionOptions opts = sync_options();
+  opts.engine.target_condition = 0.0;
+  EXPECT_THROW(SparsifierSession(test_graph(), opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass

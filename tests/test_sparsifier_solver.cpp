@@ -110,6 +110,51 @@ TEST(SparsifierSolver, UpdateSparsifierApiRefreshes) {
   EXPECT_LE(r.outer_iterations, 6);
 }
 
+TEST(SparsifierSolver, WeightsOnlyRefreshMatchesFullRebuild) {
+  Fixture f;
+  SparsifierSolver incremental(f.g, f.h);
+
+  // Weights-only mutation of H: the refresh path must reuse the CSR
+  // pattern and behave exactly like a freshly constructed solver.
+  Graph h2 = f.h;
+  for (EdgeId e = 0; e < h2.num_edges(); e += 3) h2.scale_weight(e, 1.5);
+  incremental.update_sparsifier(h2);
+  const SparsifierSolver fresh(f.g, h2);
+
+  Vec xi(f.b.size(), 0.0), xf(f.b.size(), 0.0);
+  const auto ri = incremental.solve(f.b, xi);
+  const auto rf = fresh.solve(f.b, xf);
+  ASSERT_TRUE(ri.converged);
+  ASSERT_TRUE(rf.converged);
+  EXPECT_EQ(ri.outer_iterations, rf.outer_iterations);
+  for (std::size_t i = 0; i < xi.size(); ++i) EXPECT_DOUBLE_EQ(xi[i], xf[i]);
+}
+
+TEST(SparsifierSolver, DualUpdateTracksEvolvingOriginalGraph) {
+  Fixture f;
+  SparsifierSolver solver(f.g, f.h);
+
+  // The session path: G gains edges (pattern change) and H is reweighted
+  // (weights-only) — update() must refresh both sides.
+  Graph g2 = f.g;
+  g2.add_edge(0, g2.num_nodes() - 1, 4.0);
+  g2.add_edge(3, g2.num_nodes() - 7, 2.0);
+  Graph h2 = f.h;
+  h2.scale_weight(0, 2.0);
+  solver.update(g2, h2);
+  const SparsifierSolver fresh(g2, h2);
+
+  Vec xu(f.b.size(), 0.0), xf(f.b.size(), 0.0);
+  const auto ru = solver.solve(f.b, xu);
+  const auto rf = fresh.solve(f.b, xf);
+  ASSERT_TRUE(ru.converged);
+  ASSERT_TRUE(rf.converged);
+  for (std::size_t i = 0; i < xu.size(); ++i) EXPECT_DOUBLE_EQ(xu[i], xf[i]);
+
+  Graph other(5);
+  EXPECT_THROW(solver.update(other, h2), std::invalid_argument);
+}
+
 TEST(SparsifierSolver, ZeroRhsAndErrors) {
   Fixture f;
   const SparsifierSolver solver(f.g, f.h);

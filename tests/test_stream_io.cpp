@@ -73,6 +73,9 @@ TEST(StreamIo, RejectsMalformedLines) {
   expect_reject("0 1 2 0.0\n");         // non-positive weight
   expect_reject("0 1 2 -3.0\n");        // negative weight
   expect_reject("1 1 2 1.0\n0 3 4 1.0\n");  // decreasing batch index
+  expect_reject("O 1 2 1.0\n");         // non-numeric batch token (letter O)
+  expect_reject("batch 3 4 1.0\n");     // word where the index belongs
+  expect_reject("1x 3 4 1.0\n");        // trailing junk inside the index
 }
 
 TEST(StreamIo, RejectsNodeIdBeyondGraph) {
@@ -82,6 +85,83 @@ TEST(StreamIo, RejectsNodeIdBeyondGraph) {
 
 TEST(StreamIo, MissingFileThrows) {
   EXPECT_THROW(load_edge_stream("/nonexistent/stream.txt"), std::runtime_error);
+}
+
+TEST(StreamIo, RemovalRecordsParseAndNormalize) {
+  std::stringstream in(
+      "0 1 2 1.5\n"
+      "0 - 7 3\n"
+      "1 - 0 4\n"
+      "1 5 6 2.0\n");
+  const auto batches = read_update_stream(in);
+  ASSERT_EQ(batches.size(), 2u);
+  ASSERT_EQ(batches[0].inserts.size(), 1u);
+  ASSERT_EQ(batches[0].removals.size(), 1u);
+  EXPECT_EQ(batches[0].removals[0], (std::pair<NodeId, NodeId>{3, 7}));  // normalized
+  ASSERT_EQ(batches[1].removals.size(), 1u);
+  EXPECT_EQ(batches[1].removals[0], (std::pair<NodeId, NodeId>{0, 4}));
+  EXPECT_EQ(batches[1].inserts[0].v, 6);
+}
+
+TEST(StreamIo, UpdateStreamRoundTrip) {
+  std::vector<UpdateBatch> batches(3);
+  batches[0].inserts.push_back(Edge{1, 2, 1.25});
+  batches[1].removals.emplace_back(0, 3);
+  batches[2].inserts.push_back(Edge{4, 5, 0.75});
+  batches[2].removals.emplace_back(1, 2);
+
+  std::stringstream buf;
+  write_update_stream(buf, batches);
+  const auto back = read_update_stream(buf);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].inserts.size(), 1u);
+  EXPECT_EQ(back[1].removals.size(), 1u);
+  EXPECT_EQ(back[2].inserts.size(), 1u);
+  EXPECT_EQ(back[2].removals.size(), 1u);
+  EXPECT_DOUBLE_EQ(back[0].inserts[0].w, 1.25);
+  EXPECT_EQ(back[2].removals[0], (std::pair<NodeId, NodeId>{1, 2}));
+}
+
+TEST(StreamIo, RejectsMalformedRemovalRecords) {
+  auto expect_reject = [](const std::string& text, const std::string& line_tag) {
+    std::stringstream in(text);
+    try {
+      static_cast<void>(read_update_stream(in, 10));
+      FAIL() << "expected rejection of: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(line_tag), std::string::npos)
+          << "error should name the offending line: " << e.what();
+    }
+  };
+  expect_reject("0 - 1\n", "line 1");             // missing endpoint
+  expect_reject("0 - 1 2 1.0\n", "line 1");       // removal with a weight
+  expect_reject("0 - 3 3\n", "line 1");           // self-loop
+  expect_reject("0 - -1 2\n", "line 1");          // negative node
+  expect_reject("0 1 2 1.0\n0 - 1 99\n", "line 2");  // id beyond graph
+}
+
+TEST(StreamIo, InsertOnlyReaderRejectsRemovalRecords) {
+  std::stringstream in("0 1 2 1.0\n1 - 1 2\n");
+  try {
+    static_cast<void>(read_edge_stream(in));
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("removal"), std::string::npos) << what;
+  }
+}
+
+TEST(StreamIo, SaveAndLoadUpdateStreamFile) {
+  std::vector<UpdateBatch> batches(2);
+  batches[0].inserts.push_back(Edge{0, 1, 2.0});
+  batches[1].removals.emplace_back(0, 1);
+  const std::string path = testing::TempDir() + "/ingrass_update_stream_test.txt";
+  save_update_stream(path, batches);
+  const auto back = load_update_stream(path, 8);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].inserts.size(), 1u);
+  EXPECT_EQ(back[1].removals.size(), 1u);
 }
 
 TEST(StreamIo, SaveAndLoadFile) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -123,6 +124,41 @@ TEST(ParallelUpdate, InsertionResultsIdenticalToSerial) {
   EXPECT_EQ(ra.merged, rb.merged);
   EXPECT_EQ(ra.redistributed, rb.redistributed);
   EXPECT_EQ(a.sparsifier().num_edges(), b.sparsifier().num_edges());
+}
+
+TEST(SerialWorker, RunsJobsInFifoOrder) {
+  SerialWorker worker;
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 16; ++i) {
+    worker.post([&, i] {
+      const std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  worker.drain();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(worker.idle());
+}
+
+TEST(SerialWorker, DrainRethrowsFirstJobException) {
+  SerialWorker worker;
+  std::atomic<int> ran{0};
+  worker.post([] { throw std::runtime_error("boom"); });
+  worker.post([&] { ran.fetch_add(1); });  // queue keeps running
+  EXPECT_THROW(worker.drain(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 1);
+  worker.drain();  // error was consumed; no rethrow
+}
+
+TEST(SerialWorker, DestructorFinishesQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    SerialWorker worker;
+    for (int i = 0; i < 8; ++i) worker.post([&] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 8);
 }
 
 TEST(ParallelUpdate, SmallBatchSkipsPool) {

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/env.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -10,6 +11,23 @@
 
 namespace ingrass {
 namespace {
+
+TEST(Parse, FullTokenLong) {
+  EXPECT_EQ(parse_full_long("42"), 42);
+  EXPECT_EQ(parse_full_long("-7"), -7);
+  EXPECT_FALSE(parse_full_long("").has_value());
+  EXPECT_FALSE(parse_full_long("4x").has_value());
+  EXPECT_FALSE(parse_full_long("x4").has_value());
+  EXPECT_FALSE(parse_full_long("4.5").has_value());
+}
+
+TEST(Parse, FullTokenDouble) {
+  EXPECT_EQ(parse_full_double("1.5"), 1.5);
+  EXPECT_EQ(parse_full_double("-2e3"), -2000.0);
+  EXPECT_FALSE(parse_full_double("").has_value());
+  EXPECT_FALSE(parse_full_double("1.5zz").has_value());
+  EXPECT_FALSE(parse_full_double("abc").has_value());
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(123), b(123);
