@@ -1,9 +1,11 @@
-// ingrass_serve — a long-lived sparsifier session speaking a line protocol
-// on stdin/stdout. The operational front-end to serve/session.hpp: open a
-// graph (or restore a checkpoint), stream mixed insert/remove batches,
-// solve against the maintained sparsifier-preconditioned system, inspect
-// metrics, and checkpoint for restart — all without ever re-paying the
-// setup phase in the foreground.
+// ingrass_serve — long-lived sparsifier sessions speaking a line protocol
+// on stdin/stdout. The operational front-end to serve/session.hpp and
+// serve/shard_dispatcher.hpp: open a graph (or restore a checkpoint),
+// stream mixed insert/remove batches, solve against the maintained
+// sparsifier-preconditioned system, inspect metrics, and checkpoint for
+// restart — all without ever re-paying the setup phase in the foreground.
+// The full request/response grammar, error lines, and a worked transcript
+// live in docs/serve_protocol.md.
 //
 // Protocol (one command per line; one response per command, `ok ...` or
 // `err <message>`; stdout is flushed after every response):
@@ -17,18 +19,30 @@
 //       the rebuild trip point as a fraction of the budget (default 0.75).
 //       --sync rebuilds inside apply instead of in the background;
 //       --no-rebuild disables rebuilds entirely.
+//   open-sharded <g.mtx> <K> [--partition hash|greedy] [same options]
+//       Partition the graph across K sparsifier sessions behind the
+//       shard dispatcher (default partition: greedy). Session options
+//       apply to every shard.
 //   restore <ckpt> [same options]
-//       Resume a session from a checkpoint file (no GRASS pass).
+//       Resume a session from a v1 checkpoint file (no GRASS pass).
+//   restore-sharded <manifest> [same options]
+//       Resume a sharded session from a v2 manifest + its shard blobs.
 //   insert <u> <v> <w>      stage an insertion into the pending batch
 //   remove <u> <v>          stage a removal into the pending batch
 //   apply                   apply the pending batch through the session
+//                           (sharded: records route to their owning
+//                           shards; cross-shard edges hit the boundary)
 //   solve <u> <v>           flush pending, then solve L_G x = e_u - e_v;
 //                           reports iterations, residual, and x[u]-x[v]
 //                           (the effective resistance between u and v)
 //   metrics                 flush pending, then report session metrics
+//                           (sharded: aggregated, plus boundary stats)
+//   shard-metrics <k>       sharded only: one shard's metrics
 //   kappa                   flush pending, then measure kappa(L_G, L_H)
-//                           against the budget (expensive; diagnostics)
+//                           against the budget (expensive; diagnostics —
+//                           sharded: against the stitched sparsifier)
 //   checkpoint <path>       flush pending, then write a binary checkpoint
+//                           (sharded: v2 manifest + per-shard blobs)
 //   quit                    flush pending and exit 0 (EOF does the same)
 //
 // Exit status: 0 on quit/EOF, 1 on usage errors (the program takes no
@@ -46,6 +60,7 @@
 
 #include "graph/mtx_io.hpp"
 #include "serve/session.hpp"
+#include "serve/shard_dispatcher.hpp"
 #include "util/parse.hpp"
 
 using namespace ingrass;
@@ -53,8 +68,12 @@ using namespace ingrass;
 namespace {
 
 struct ServeState {
+  // Exactly one of these is live after open/restore.
   std::unique_ptr<SparsifierSession> session;
+  std::unique_ptr<ShardedSession> sharded;
   UpdateBatch pending;
+
+  [[nodiscard]] bool open() const { return session || sharded; }
 };
 
 [[noreturn]] void protocol_error(const std::string& why) {
@@ -79,11 +98,13 @@ NodeId parse_node(const std::string& tok) {
   return static_cast<NodeId>(v);
 }
 
-/// Session options from the open/restore flag tail (args[from..]).
-SessionOptions parse_session_options(const std::vector<std::string>& args,
-                                     std::size_t from, double* density_out) {
-  SessionOptions opts;
-  opts.engine.target_condition = 100.0;
+/// Sharded-session options from the open/restore flag tail (args[from..]).
+/// The plain-session options are the `session` member; `--partition` is
+/// recognized only when `sharded` is true.
+ShardedOptions parse_session_options(const std::vector<std::string>& args,
+                                     std::size_t from, bool sharded) {
+  ShardedOptions opts;
+  opts.session.engine.target_condition = 100.0;
   double density = 0.10;
   std::optional<double> grass_target;
   for (std::size_t i = from; i < args.size(); ++i) {
@@ -95,28 +116,47 @@ SessionOptions parse_session_options(const std::vector<std::string>& args,
     if (flag == "--density") {
       density = parse_double(value(), "--density");
     } else if (flag == "--target") {
-      opts.engine.target_condition = parse_double(value(), "--target");
+      opts.session.engine.target_condition = parse_double(value(), "--target");
     } else if (flag == "--grass-target") {
       grass_target = parse_double(value(), "--grass-target");
     } else if (flag == "--staleness") {
-      opts.rebuild_staleness_fraction = parse_double(value(), "--staleness");
+      opts.session.rebuild_staleness_fraction = parse_double(value(), "--staleness");
     } else if (flag == "--sync") {
-      opts.background_rebuild = false;
+      opts.session.background_rebuild = false;
     } else if (flag == "--no-rebuild") {
-      opts.enable_rebuild = false;
+      opts.session.enable_rebuild = false;
+    } else if (sharded && flag == "--partition") {
+      const std::string& v = value();
+      if (v == "hash") {
+        opts.partition = PartitionStrategy::kHash;
+      } else if (v == "greedy") {
+        opts.partition = PartitionStrategy::kGreedy;
+      } else {
+        protocol_error("bad --partition (want hash or greedy): '" + v + "'");
+      }
     } else {
       protocol_error("unknown option: " + flag);
     }
   }
-  opts.grass.target_offtree_density = density;
-  if (grass_target) opts.grass.target_condition = *grass_target;
-  if (density_out) *density_out = density;
+  opts.session.grass.target_offtree_density = density;
+  if (grass_target) opts.session.grass.target_condition = *grass_target;
   return opts;
 }
 
-SparsifierSession& live(ServeState& st) {
-  if (!st.session) protocol_error("no session (use open or restore)");
-  return *st.session;
+void require_open(const ServeState& st) {
+  if (!st.open()) protocol_error("no session (use open or restore)");
+}
+
+NodeId node_count(const ServeState& st) {
+  require_open(st);
+  // Lock-free constant — insert/remove staging must not take the session
+  // locks (num_nodes never changes after open).
+  return st.session ? st.session->num_nodes() : st.sharded->num_nodes();
+}
+
+ApplyResult apply_batch(ServeState& st, const UpdateBatch& batch) {
+  require_open(st);
+  return st.session ? st.session->apply(batch) : st.sharded->apply(batch);
 }
 
 /// Apply the staged batch, if any. Commands that read state call this so
@@ -127,39 +167,87 @@ void flush(ServeState& st) {
   if (st.pending.empty()) return;
   const UpdateBatch batch = std::move(st.pending);
   st.pending = UpdateBatch{};
-  live(st).apply(batch);
+  apply_batch(st, batch);
+}
+
+void print_counters_tail(const SessionCounters& c, double staleness,
+                         bool rebuild_in_flight) {
+  std::printf(
+      "batches=%llu inserts=%llu removals=%llu ghosts=%llu solves=%llu "
+      "rebuilds=%llu rebuild_failures=%llu staleness=%.6g rebuild_in_flight=%d",
+      static_cast<unsigned long long>(c.batches),
+      static_cast<unsigned long long>(c.inserts_offered),
+      static_cast<unsigned long long>(c.removals_applied),
+      static_cast<unsigned long long>(c.removals_pending),
+      static_cast<unsigned long long>(c.solves),
+      static_cast<unsigned long long>(c.rebuilds),
+      static_cast<unsigned long long>(c.rebuild_failures), staleness,
+      rebuild_in_flight ? 1 : 0);
 }
 
 void respond_open(const ServeState& st, const char* verb) {
-  const SessionMetrics m = st.session->metrics();
-  std::printf("ok %s nodes=%d g_edges=%lld h_edges=%lld target=%g batches=%llu\n", verb,
-              m.nodes, static_cast<long long>(m.g_edges),
-              static_cast<long long>(m.h_edges), m.target_condition,
-              static_cast<unsigned long long>(m.counters.batches));
+  if (st.session) {
+    const SessionMetrics m = st.session->metrics();
+    std::printf("ok %s nodes=%d g_edges=%lld h_edges=%lld target=%g batches=%llu\n",
+                verb, m.nodes, static_cast<long long>(m.g_edges),
+                static_cast<long long>(m.h_edges), m.target_condition,
+                static_cast<unsigned long long>(m.counters.batches));
+    return;
+  }
+  const ShardedMetrics m = st.sharded->metrics();
+  std::printf(
+      "ok %s nodes=%d g_edges=%lld h_edges=%lld shards=%d boundary_edges=%lld "
+      "target=%g batches=%llu\n",
+      verb, m.nodes, static_cast<long long>(m.g_edges),
+      static_cast<long long>(m.h_edges), m.shards,
+      static_cast<long long>(m.boundary_edges),
+      st.sharded->options().session.engine.target_condition,
+      static_cast<unsigned long long>(m.counters.batches));
 }
 
 /// Execute one command line. Returns false when the session should quit.
 bool execute(ServeState& st, const std::vector<std::string>& args) {
   const std::string& cmd = args[0];
   if (cmd == "quit") {
-    if (st.session) flush(st);  // a throw discards the bad batch; the next
-                                // quit (or EOF) still shuts down cleanly
+    if (st.open()) flush(st);  // a throw discards the bad batch; the next
+                               // quit (or EOF) still shuts down cleanly
     std::printf("ok quit\n");
     return false;
   }
   if (cmd == "open" || cmd == "restore") {
     if (args.size() < 2) protocol_error(cmd + " requires a path");
-    const SessionOptions opts = parse_session_options(args, 2, nullptr);
+    const ShardedOptions opts = parse_session_options(args, 2, /*sharded=*/false);
     if (cmd == "open") {
-      st.session = std::make_unique<SparsifierSession>(read_mtx_file(args[1]), opts);
+      st.session =
+          std::make_unique<SparsifierSession>(read_mtx_file(args[1]), opts.session);
     } else {
-      st.session = SparsifierSession::restore(args[1], opts);
+      st.session = SparsifierSession::restore(args[1], opts.session);
     }
+    st.sharded.reset();
+    st.pending = UpdateBatch{};
+    respond_open(st, cmd.c_str());
+  } else if (cmd == "open-sharded" || cmd == "restore-sharded") {
+    const bool opening = cmd == "open-sharded";
+    const std::size_t flags_from = opening ? 3 : 2;
+    if (args.size() < flags_from) {
+      protocol_error(opening ? "usage: open-sharded <g.mtx> <K> [options]"
+                             : "usage: restore-sharded <manifest> [options]");
+    }
+    const ShardedOptions opts = parse_session_options(args, flags_from, true);
+    if (opening) {
+      const long shards = parse_long(args[2], "shard count");
+      if (shards < 1) protocol_error("shard count must be >= 1");
+      st.sharded = std::make_unique<ShardedSession>(
+          read_mtx_file(args[1]), static_cast<int>(shards), opts);
+    } else {
+      st.sharded = ShardedSession::restore(args[1], opts);
+    }
+    st.session.reset();
     st.pending = UpdateBatch{};
     respond_open(st, cmd.c_str());
   } else if (cmd == "insert") {
     if (args.size() != 4) protocol_error("usage: insert <u> <v> <w>");
-    const NodeId nodes = live(st).metrics().nodes;  // also fails w/o session
+    const NodeId nodes = node_count(st);  // also fails w/o session
     Edge e;
     e.u = parse_node(args[1]);
     e.v = parse_node(args[2]);
@@ -173,7 +261,7 @@ bool execute(ServeState& st, const std::vector<std::string>& args) {
                 st.pending.removals.size());
   } else if (cmd == "remove") {
     if (args.size() != 3) protocol_error("usage: remove <u> <v>");
-    const NodeId nodes = live(st).metrics().nodes;
+    const NodeId nodes = node_count(st);
     NodeId u = parse_node(args[1]);
     NodeId v = parse_node(args[2]);
     if (u >= nodes || v >= nodes) protocol_error("node id exceeds graph size");
@@ -186,7 +274,7 @@ bool execute(ServeState& st, const std::vector<std::string>& args) {
     if (args.size() != 1) protocol_error("usage: apply");
     const UpdateBatch batch = std::move(st.pending);
     st.pending = UpdateBatch{};
-    const ApplyResult r = live(st).apply(batch);
+    const ApplyResult r = apply_batch(st, batch);
     std::printf(
         "ok apply inserted=%lld merged=%lld redistributed=%lld reinforced=%lld "
         "removed=%lld ghost=%lld staleness=%.6g rebuild=%d\n",
@@ -198,17 +286,16 @@ bool execute(ServeState& st, const std::vector<std::string>& args) {
   } else if (cmd == "solve") {
     if (args.size() != 3) protocol_error("usage: solve <u> <v>");
     flush(st);
-    SparsifierSession& s = live(st);
-    const SessionMetrics m = s.metrics();
+    const NodeId nodes = node_count(st);
     const NodeId u = parse_node(args[1]);
     const NodeId v = parse_node(args[2]);
-    if (u >= m.nodes || v >= m.nodes) protocol_error("node id exceeds graph size");
+    if (u >= nodes || v >= nodes) protocol_error("node id exceeds graph size");
     if (u == v) protocol_error("solve endpoints must differ");
-    std::vector<double> b(static_cast<std::size_t>(m.nodes), 0.0);
-    std::vector<double> x(static_cast<std::size_t>(m.nodes), 0.0);
+    std::vector<double> b(static_cast<std::size_t>(nodes), 0.0);
+    std::vector<double> x(static_cast<std::size_t>(nodes), 0.0);
     b[static_cast<std::size_t>(u)] = 1.0;
     b[static_cast<std::size_t>(v)] = -1.0;
-    const auto r = s.solve(b, x);
+    const auto r = st.session ? st.session->solve(b, x) : st.sharded->solve(b, x);
     if (!r.converged) protocol_error("solve did not converge");
     std::printf("ok solve iters=%d resid=%.3g resistance=%.10g\n", r.outer_iterations,
                 r.relative_residual,
@@ -216,34 +303,65 @@ bool execute(ServeState& st, const std::vector<std::string>& args) {
   } else if (cmd == "metrics") {
     if (args.size() != 1) protocol_error("usage: metrics");
     flush(st);
-    const SessionMetrics m = live(st).metrics();
-    const SessionCounters& c = m.counters;
-    std::printf(
-        "ok metrics nodes=%d g_edges=%lld h_edges=%lld batches=%llu inserts=%llu "
-        "removals=%llu ghosts=%llu solves=%llu rebuilds=%llu rebuild_failures=%llu "
-        "staleness=%.6g rebuild_in_flight=%d\n",
-        m.nodes, static_cast<long long>(m.g_edges), static_cast<long long>(m.h_edges),
-        static_cast<unsigned long long>(c.batches),
-        static_cast<unsigned long long>(c.inserts_offered),
-        static_cast<unsigned long long>(c.removals_applied),
-        static_cast<unsigned long long>(c.removals_pending),
-        static_cast<unsigned long long>(c.solves),
-        static_cast<unsigned long long>(c.rebuilds),
-        static_cast<unsigned long long>(c.rebuild_failures), m.staleness,
-        m.rebuild_in_flight ? 1 : 0);
+    if (st.session) {
+      const SessionMetrics m = st.session->metrics();
+      std::printf("ok metrics nodes=%d g_edges=%lld h_edges=%lld ", m.nodes,
+                  static_cast<long long>(m.g_edges), static_cast<long long>(m.h_edges));
+      print_counters_tail(m.counters, m.staleness, m.rebuild_in_flight);
+      std::printf("\n");
+    } else {
+      require_open(st);
+      const ShardedMetrics m = st.sharded->metrics();
+      std::printf(
+          "ok metrics nodes=%d g_edges=%lld h_edges=%lld shards=%d "
+          "boundary_edges=%lld boundary_weight=%.6g global_solves=%llu "
+          "coupling_updates=%llu ",
+          m.nodes, static_cast<long long>(m.g_edges), static_cast<long long>(m.h_edges),
+          m.shards, static_cast<long long>(m.boundary_edges), m.boundary_weight,
+          static_cast<unsigned long long>(m.global_solves),
+          static_cast<unsigned long long>(m.coupling_updates));
+      print_counters_tail(m.counters, m.staleness, m.rebuild_in_flight);
+      std::printf("\n");
+    }
+  } else if (cmd == "shard-metrics") {
+    if (args.size() != 2) protocol_error("usage: shard-metrics <k>");
+    flush(st);
+    require_open(st);
+    if (!st.sharded) protocol_error("shard-metrics requires a sharded session");
+    const long k = parse_long(args[1], "shard index");
+    if (k < 0 || k >= st.sharded->num_shards()) protocol_error("shard index out of range");
+    const SessionMetrics m = st.sharded->shard_metrics(static_cast<int>(k));
+    std::printf("ok shard-metrics shard=%ld nodes=%d g_edges=%lld h_edges=%lld ", k,
+                m.nodes, static_cast<long long>(m.g_edges),
+                static_cast<long long>(m.h_edges));
+    print_counters_tail(m.counters, m.staleness, m.rebuild_in_flight);
+    std::printf("\n");
   } else if (cmd == "kappa") {
     if (args.size() != 1) protocol_error("usage: kappa");
     flush(st);
-    SparsifierSession& s = live(st);
-    s.wait_for_rebuild();  // measure the settled pair
-    const double kappa = s.measure_kappa();
-    const double target = s.options().engine.target_condition;
+    require_open(st);
+    double kappa = 0.0;
+    double target = 0.0;
+    if (st.session) {
+      st.session->wait_for_rebuild();  // measure the settled pair
+      kappa = st.session->measure_kappa();
+      target = st.session->options().engine.target_condition;
+    } else {
+      st.sharded->wait_for_rebuilds();
+      kappa = st.sharded->measure_kappa();
+      target = st.sharded->options().session.engine.target_condition;
+    }
     std::printf("ok kappa value=%.4g target=%g within=%d\n", kappa, target,
                 kappa <= target ? 1 : 0);
   } else if (cmd == "checkpoint") {
     if (args.size() != 2) protocol_error("usage: checkpoint <path>");
     flush(st);
-    live(st).checkpoint(args[1]);
+    require_open(st);
+    if (st.session) {
+      st.session->checkpoint(args[1]);
+    } else {
+      st.sharded->checkpoint(args[1]);
+    }
     std::printf("ok checkpoint path=%s\n", args[1].c_str());
   } else {
     protocol_error("unknown command: " + cmd);
@@ -256,8 +374,8 @@ bool execute(ServeState& st, const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc != 1) {
     std::fprintf(stderr,
-                 "usage: %s  (no arguments; commands on stdin — see the header "
-                 "comment for the protocol)\n",
+                 "usage: %s  (no arguments; commands on stdin — see "
+                 "docs/serve_protocol.md)\n",
                  argv[0]);
     return 1;
   }
@@ -280,7 +398,7 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       if (!keep_going) return 0;
     }
-    if (st.session) {
+    if (st.open()) {
       // EOF without `quit`: flushing a bad staged batch must not turn a
       // clean shutdown into a fatal exit.
       try {

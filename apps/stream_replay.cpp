@@ -28,6 +28,9 @@
 //   --rebuild-at <f>     staleness fraction tripping a rebuild (default 0.75)
 //   --grass-target <C>   rebuilds re-sparsify to kappa <= C instead of to
 //                        the --density target (budget-guaranteed mode)
+//   --shards <K>         replay: drive the batches through a K-shard
+//                        ShardedSession (greedy partition) instead of one
+//                        session; per-batch rows aggregate the shards
 //   --no-rebuild         replay: never re-sparsify (paper-faithful mode)
 //   --no-kappa           replay: skip condition-number measurements
 //
@@ -44,6 +47,7 @@
 #include "graph/mtx_io.hpp"
 #include "graph/stream_io.hpp"
 #include "serve/session.hpp"
+#include "serve/shard_dispatcher.hpp"
 #include "sparsify/density.hpp"
 #include "sparsify/grass.hpp"
 #include "spectral/condition_number.hpp"
@@ -59,7 +63,7 @@ int usage() {
                "usage:\n"
                "  stream_replay replay   <g.mtx> <stream.txt> [--density f] "
                "[--target C] [--quantile q] [--rebuild-at f] [--grass-target C] "
-               "[--no-rebuild] [--no-kappa]\n"
+               "[--shards K] [--no-rebuild] [--no-kappa]\n"
                "  stream_replay generate <g.mtx> <stream.txt> [--iterations n] "
                "[--per-node f] [--remove-frac f] [--seed s]\n");
   return 1;
@@ -78,6 +82,7 @@ struct Args {
   double quantile = 0.5;
   double rebuild_at = 0.75;
   std::optional<double> grass_target;
+  int shards = 1;
   bool no_rebuild = false;
   bool no_kappa = false;
 };
@@ -138,6 +143,14 @@ std::optional<Args> parse(int argc, char** argv) {
       const auto v = value();
       if (!v) return std::nullopt;
       a.grass_target = std::stod(*v);
+    } else if (flag == "--shards") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.shards = std::stoi(*v);
+      if (a.shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return std::nullopt;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
       return std::nullopt;
@@ -189,7 +202,71 @@ int run_generate(const Args& a) {
   return 0;
 }
 
+/// Replay through the K-shard dispatcher: same per-batch reporting, but
+/// records route to their owning shards and cross-shard edges go through
+/// the boundary-coupling layer. Rebuilds stay synchronous per shard, so
+/// runs are deterministic like the unsharded replay.
+int run_replay_sharded(const Args& a) {
+  const Graph g0 = read_mtx_file(a.graph_path);
+  std::printf("graph: %d nodes, %lld edges\n", g0.num_nodes(),
+              static_cast<long long>(g0.num_edges()));
+  const auto batches = load_update_stream(a.stream_path, g0.num_nodes());
+
+  ShardedOptions sopts;
+  sopts.session.engine.target_condition = a.target.value_or(100.0);
+  sopts.session.engine.level_size_quantile = a.quantile;
+  sopts.session.grass.target_offtree_density = a.density;
+  if (a.grass_target) sopts.session.grass.target_condition = *a.grass_target;
+  sopts.session.rebuild_staleness_fraction = a.rebuild_at;
+  sopts.session.enable_rebuild = !a.no_rebuild;
+  sopts.session.background_rebuild = false;  // deterministic replays
+  ShardedSession session(Graph(g0), a.shards, sopts);
+  {
+    const ShardedMetrics m = session.metrics();
+    std::printf(
+        "setup: %d shards, %lld cut edges (boundary weight %.3g), kappa budget "
+        "%.1f per shard, rebuild at %.0f%%\n\n",
+        m.shards, static_cast<long long>(m.boundary_edges), m.boundary_weight,
+        sopts.session.engine.target_condition, 100.0 * a.rebuild_at);
+  }
+
+  AccumTimer updates;
+  std::printf("%-7s %-7s %-9s %-8s %-7s %-11s %-8s %-7s %s\n", "batch", "edges",
+              "inserted", "merged", "redist", "reinforced", "removed", "stale%",
+              "");
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    updates.start();
+    const ApplyResult r = session.apply(batches[b]);
+    updates.stop();
+    std::printf("%-7zu %-7zu %-9lld %-8lld %-7lld %-11lld %-8lld %-7.1f %s\n", b,
+                batches[b].size(), static_cast<long long>(r.stats.inserted),
+                static_cast<long long>(r.stats.merged),
+                static_cast<long long>(r.stats.redistributed),
+                static_cast<long long>(r.stats.reinforced),
+                static_cast<long long>(r.removed), 100.0 * r.staleness,
+                r.rebuild_triggered ? "REBUILD" : "");
+  }
+
+  const ShardedMetrics m = session.metrics();
+  std::printf("\ntotal apply time: %.4f s (%llu rebuilds, %llu rebuild failures, "
+              "%llu coupling updates)\n",
+              updates.seconds(),
+              static_cast<unsigned long long>(m.counters.rebuilds),
+              static_cast<unsigned long long>(m.counters.rebuild_failures),
+              static_cast<unsigned long long>(m.coupling_updates));
+  const Graph h_final = session.sparsifier();
+  std::printf("final stitched sparsifier density: %.1f%%\n",
+              100.0 * offtree_density(h_final));
+  if (!a.no_kappa) {
+    std::printf("kappa(G_final, H_final) = %.1f  (per-shard budget %.1f)\n",
+                condition_number(session.graph(), h_final),
+                sopts.session.engine.target_condition);
+  }
+  return 0;
+}
+
 int run_replay(const Args& a) {
+  if (a.shards > 1) return run_replay_sharded(a);
   const Graph g0 = read_mtx_file(a.graph_path);
   std::printf("graph: %d nodes, %lld edges\n", g0.num_nodes(),
               static_cast<long long>(g0.num_edges()));

@@ -195,6 +195,13 @@ EdgeId Ingrass::remove_edges(std::span<const std::pair<NodeId, NodeId>> pairs) {
   return removed;
 }
 
+bool Ingrass::reweight_edge(NodeId u, NodeId v, double w) {
+  const EdgeId e = h_.find_edge(u, v);
+  if (e == kInvalidEdge) return false;
+  h_.set_weight(e, w);  // validates w > 0
+  return true;
+}
+
 void Ingrass::resetup() {
   const Timer timer;
   emb_ = MultilevelEmbedding::build(h_, opts_.embedding);

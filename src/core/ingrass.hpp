@@ -10,6 +10,11 @@
 #include "tree/tree_resistance.hpp"
 #include "util/thread_pool.hpp"
 
+/// @file
+/// The inGRASS engine: setup phase + O(log N) incremental update phase.
+
+/// The inGRASS library: incremental spectral graph sparsification and the
+/// serving/solver layers built on top of it.
 namespace ingrass {
 
 /// inGRASS: incremental spectral graph sparsification (the paper's
@@ -61,6 +66,7 @@ class Ingrass {
     /// parallel_batch_threshold edges — below that the fork/join overhead
     /// exceeds the scoring work.
     int num_threads = 1;
+    /// Minimum batch size before the scoring pass uses the pool.
     std::size_t parallel_batch_threshold = 4096;
 
     /// Also bound R_H(u,v) by the path resistance through a max-weight
@@ -113,6 +119,7 @@ class Ingrass {
 
   /// Setup phase. Copies the initial sparsifier.
   Ingrass(Graph initial_sparsifier, const Options& opts);
+  /// Setup phase with default options.
   explicit Ingrass(Graph initial_sparsifier)
       : Ingrass(std::move(initial_sparsifier), Options{}) {}
 
@@ -122,20 +129,25 @@ class Ingrass {
   /// The current sparsifier H.
   [[nodiscard]] const Graph& sparsifier() const { return h_; }
 
+  /// The frozen setup-phase multilevel embedding.
   [[nodiscard]] const MultilevelEmbedding& embedding() const { return emb_; }
+  /// Filtering level L chosen at setup (see Options::level_size_quantile).
   [[nodiscard]] int filtering_level() const { return structure_->filtering_level(); }
+  /// Depth of the LRD hierarchy.
   [[nodiscard]] int num_levels() const { return emb_.num_levels(); }
+  /// Wall-clock seconds the last setup (or resetup) pass took.
   [[nodiscard]] double setup_seconds() const { return setup_seconds_; }
+  /// The options this engine was constructed with.
   [[nodiscard]] const Options& options() const { return opts_; }
 
   /// Outcome counters for one update batch.
   struct UpdateStats {
-    EdgeId inserted = 0;       // spectrally-unique edges added to H
-    EdgeId merged = 0;         // absorbed into an existing bridge edge
-    EdgeId redistributed = 0;  // intra-cluster, weight spread over the cluster
-    EdgeId reinforced = 0;     // parallel to an existing H edge: exact
-                               // weight addition, no filtering involved
-    double seconds = 0.0;
+    EdgeId inserted = 0;       ///< spectrally-unique edges added to H
+    EdgeId merged = 0;         ///< absorbed into an existing bridge edge
+    EdgeId redistributed = 0;  ///< intra-cluster, weight spread over the cluster
+    EdgeId reinforced = 0;     ///< parallel to an existing H edge: exact
+                               ///< weight addition, no filtering involved
+    double seconds = 0.0;      ///< wall-clock time of the batch
 
     /// Summed estimated spectral distortion (w * R_H) of the batch edges
     /// that were *approximated* rather than represented exactly — merged,
@@ -145,6 +157,7 @@ class Ingrass {
     /// this as their staleness estimate (see serve/session.hpp).
     double filtered_distortion = 0.0;
 
+    /// Total records the batch accounted for.
     [[nodiscard]] EdgeId total() const {
       return inserted + merged + redistributed + reinforced;
     }
@@ -182,6 +195,16 @@ class Ingrass {
   /// this targets. Returns the number of edges actually removed. Pairs
   /// whose removal is not found are ignored.
   EdgeId remove_edges(std::span<const std::pair<NodeId, NodeId>> pairs);
+
+  /// Set the weight of an existing sparsifier edge to w > 0 in place,
+  /// without touching the frozen setup-phase structures. Returns false if
+  /// H carries no (u,v) edge. This is the boundary-coupling hook for
+  /// sharded serving (serve/shard_dispatcher.hpp): a shard's aggregated
+  /// cut conductance changes as cross-shard edges come and go, and the
+  /// caller is expected to charge the resulting estimator drift to its
+  /// staleness accounting (a weight *decrease* can push the true
+  /// resistance above the frozen tree bound).
+  bool reweight_edge(NodeId u, NodeId v, double w);
 
  private:
   [[nodiscard]] int pick_level() const;

@@ -1,0 +1,90 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+
+namespace ingrass {
+
+namespace {
+
+void check_k(int k) {
+  if (k < 1) throw std::invalid_argument("partition: shard count must be >= 1");
+}
+
+}  // namespace
+
+Partition hash_partition(NodeId n, int k) {
+  check_k(k);
+  if (n < 0) throw std::invalid_argument("partition: negative node count");
+  Partition p;
+  p.shards = k;
+  p.shard_of.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    // Fibonacci hashing spreads consecutive ids uniformly; plain modulo
+    // would stripe mesh rows across every shard and maximize the cut.
+    const auto h = static_cast<std::uint64_t>(u) * 0x9e3779b97f4a7c15ULL;
+    p.shard_of[static_cast<std::size_t>(u)] =
+        static_cast<NodeId>((h >> 32) * static_cast<std::uint64_t>(k) >> 32);
+  }
+  return p;
+}
+
+Partition greedy_partition(const Graph& g, int k) {
+  check_k(k);
+  const NodeId n = g.num_nodes();
+  Partition p;
+  p.shards = k;
+  p.shard_of.assign(static_cast<std::size_t>(n), kInvalidNode);
+  if (n == 0) return p;
+
+  // Pack nodes into K balanced blocks in BFS order: consecutive BFS nodes
+  // are topologically close, so each block approximates a connected ball
+  // and the cut stays near a geometric bisection's on mesh-like graphs.
+  // Block boundaries come from the multiplicative rule i*k/n (sizes
+  // differ by at most one) — fixed ceil(n/k) blocks would exhaust the
+  // nodes early and leave trailing shards empty whenever k does not
+  // divide n evenly.
+  const BfsTree bfs = bfs_tree(g, 0);
+  NodeId assigned = 0;
+  auto place = [&](NodeId u) {
+    p.shard_of[static_cast<std::size_t>(u)] = static_cast<NodeId>(
+        static_cast<std::int64_t>(assigned) * k / n);
+    ++assigned;
+  };
+  for (const NodeId u : bfs.order) place(u);
+  for (NodeId u = 0; u < n; ++u) {  // unreachable remainder of disconnected inputs
+    if (p.shard_of[static_cast<std::size_t>(u)] == kInvalidNode) place(u);
+  }
+  return p;
+}
+
+CutStats cut_stats(const Graph& g, const Partition& p) {
+  if (p.num_nodes() != g.num_nodes()) {
+    throw std::invalid_argument("cut_stats: partition size does not match graph");
+  }
+  for (const NodeId sh : p.shard_of) {
+    // Partition is a plain struct callers may fill by hand — a stray
+    // shard id must be a clean error, not an out-of-bounds write below.
+    if (sh < 0 || sh >= static_cast<NodeId>(std::max(p.shards, 1))) {
+      throw std::invalid_argument("cut_stats: shard id outside [0, shards)");
+    }
+  }
+  CutStats s;
+  for (const Edge& e : g.edges()) {
+    if (p.shard_of[static_cast<std::size_t>(e.u)] !=
+        p.shard_of[static_cast<std::size_t>(e.v)]) {
+      ++s.cut_edges;
+      s.cut_weight += e.w;
+    }
+  }
+  std::vector<NodeId> sizes(static_cast<std::size_t>(std::max(p.shards, 1)), 0);
+  for (const NodeId sh : p.shard_of) ++sizes[static_cast<std::size_t>(sh)];
+  s.largest_shard = sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  s.smallest_shard = sizes.empty() ? 0 : *std::min_element(sizes.begin(), sizes.end());
+  return s;
+}
+
+}  // namespace ingrass

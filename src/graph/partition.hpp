@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// @file
+/// Vertex partitioning for sharded serving.
+
+namespace ingrass {
+
+/// Vertex partitioning for sharded serving (serve/shard_dispatcher.hpp):
+/// split a graph's node set into K shards so independent sparsifier
+/// sessions can own disjoint vertex ranges, with cut edges handled by the
+/// dispatcher's boundary-coupling layer. Two strategies:
+///
+///   - hash: stateless multiplicative-hash assignment. Ignores topology
+///     (expect a large edge cut) but needs no graph scan and is stable
+///     under any future node additions.
+///   - greedy: METIS-flavored contiguous growth. Nodes are taken in BFS
+///     order from node 0 and packed into K equal-size blocks, so each
+///     shard is a connected-ish ball and, on mesh-like graphs, the cut is
+///     close to a geometric bisection's. O(N + E).
+
+/// Which partitioner to run (see hash_partition / greedy_partition).
+enum class PartitionStrategy {
+  kHash,   ///< stateless multiplicative-hash assignment
+  kGreedy  ///< BFS-order contiguous blocks (low cut on meshes)
+};
+
+/// A K-way vertex partition: shard_of[u] in [0, shards) for every node.
+struct Partition {
+  std::vector<NodeId> shard_of;  ///< owning shard per node
+  int shards = 0;                ///< shard count K
+
+  /// Number of partitioned nodes.
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(shard_of.size());
+  }
+};
+
+/// Multiplicative-hash partition of n nodes into k shards (k >= 1).
+[[nodiscard]] Partition hash_partition(NodeId n, int k);
+
+/// BFS-order contiguous partition of g into k balanced blocks (k >= 1;
+/// block sizes differ by at most one, and every shard is non-empty when
+/// k <= num_nodes). Unreachable nodes (disconnected inputs) are appended
+/// in id order, so the result is always a complete partition.
+[[nodiscard]] Partition greedy_partition(const Graph& g, int k);
+
+/// Cut statistics of a partition over g.
+struct CutStats {
+  EdgeId cut_edges = 0;       ///< edges whose endpoints land in different shards
+  double cut_weight = 0.0;    ///< total weight of those edges
+  NodeId largest_shard = 0;   ///< node count of the most loaded shard
+  NodeId smallest_shard = 0;  ///< node count of the least loaded shard
+};
+[[nodiscard]] CutStats cut_stats(const Graph& g, const Partition& p);
+
+}  // namespace ingrass

@@ -102,7 +102,55 @@ Graph get_graph(std::istream& in, const char* which) {
   return g;
 }
 
+/// A shard blob filename must stay inside the manifest's directory: it is
+/// concatenated onto that directory for restore() reads and for the
+/// garbage collection of superseded generations, so path separators or
+/// ".." segments in a corrupt (or crafted) manifest would direct those
+/// reads and deletions anywhere on the filesystem.
+void check_shard_filename(const std::string& name) {
+  if (name.empty()) corrupt("manifest: empty shard filename");
+  if (name == "." || name == ".." ||
+      name.find('/') != std::string::npos || name.find('\\') != std::string::npos) {
+    corrupt("manifest: shard filename '" + name +
+            "' must be a plain name (no path separators or dot segments)");
+  }
+}
+
+/// Write-then-rename so a failed or killed *process* never destroys the
+/// previous good file at `path` (power-loss durability would additionally
+/// need an fsync, which plain iostreams cannot express). The temp name is
+/// unique per call *across processes* (checkpoint_name_tag) — concurrent
+/// saves to one path must not truncate each other's in-flight writes
+/// (last rename wins, each file is complete).
+template <typename WriteFn>
+void atomic_save(const std::string& path, const char* what, WriteFn&& write_fn) {
+  const std::string tmp = path + ".tmp" + checkpoint_name_tag();
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error(std::string("cannot write ") + what + " file: " + tmp);
+    write_fn(out);
+    out.flush();
+    if (!out) throw std::runtime_error(std::string(what) + " write failed: " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());  // never leave orphan temp files behind
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error(std::string("cannot rename ") + what + " into place: " + path);
+  }
+}
+
 }  // namespace
+
+std::string checkpoint_name_tag() {
+  static std::atomic<std::uint64_t> seq{0};
+  std::string tag = ".";
+  tag += std::to_string(::getpid());
+  tag += '.';
+  tag += std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  return tag;
+}
 
 void write_checkpoint(std::ostream& out, const SessionCheckpoint& ck) {
   out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
@@ -161,35 +209,97 @@ SessionCheckpoint read_checkpoint(std::istream& in) {
 }
 
 void save_checkpoint(const std::string& path, const SessionCheckpoint& ck) {
-  // Write-then-rename so a failed or killed *process* never destroys the
-  // previous good checkpoint at `path` (power-loss durability would
-  // additionally need an fsync, which plain iostreams cannot express).
-  // The temp name is unique per call *across processes* (pid + counter) —
-  // concurrent checkpoints to one path must not truncate each other's
-  // in-flight writes (last rename wins, each file is complete).
-  static std::atomic<std::uint64_t> seq{0};
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
-                          std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
-  try {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("cannot write checkpoint file: " + tmp);
-    write_checkpoint(out, ck);
-    out.flush();
-    if (!out) throw std::runtime_error("checkpoint write failed: " + tmp);
-  } catch (...) {
-    std::remove(tmp.c_str());  // never leave orphan temp files behind
-    throw;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("cannot rename checkpoint into place: " + path);
-  }
+  atomic_save(path, "checkpoint", [&](std::ostream& out) { write_checkpoint(out, ck); });
 }
 
 SessionCheckpoint load_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open checkpoint file: " + path);
   return read_checkpoint(in);
+}
+
+void write_shard_manifest(std::ostream& out, const ShardManifest& m) {
+  if (m.shards < 1) corrupt("manifest: shard count must be >= 1");
+  if (m.num_nodes < 0) corrupt("manifest: negative node count");
+  if (m.shard_of.size() != static_cast<std::size_t>(m.num_nodes)) {
+    corrupt("manifest: shard_of size does not match node count");
+  }
+  if (m.boundary.num_nodes() != m.num_nodes) {
+    corrupt("manifest: boundary graph node count does not match");
+  }
+  if (m.shard_files.size() != static_cast<std::size_t>(m.shards)) {
+    corrupt("manifest: shard file list size does not match shard count");
+  }
+  out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  put_u32(out, kShardedCheckpointVersion);
+  put_u32(out, static_cast<std::uint32_t>(m.shards));
+  put_i32(out, m.num_nodes);
+  for (const NodeId s : m.shard_of) put_i32(out, s);
+  put_graph(out, m.boundary);
+  for (const std::string& name : m.shard_files) {
+    check_shard_filename(name);
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  if (!out) corrupt("write failed");
+}
+
+ShardManifest read_shard_manifest(std::istream& in) {
+  std::array<char, 8> magic;
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (in.gcount() != static_cast<std::streamsize>(magic.size()) || magic != kMagic) {
+    corrupt("bad magic (not a session checkpoint)");
+  }
+  const std::uint32_t version = get_u32(in);
+  if (version != kShardedCheckpointVersion) {
+    corrupt("unsupported format version " + std::to_string(version) +
+            " (expected a v2 shard manifest)");
+  }
+  ShardManifest m;
+  const std::uint32_t shards = get_u32(in);
+  if (shards < 1 || shards > (1u << 20)) {
+    corrupt("manifest: implausible shard count " + std::to_string(shards));
+  }
+  m.shards = static_cast<int>(shards);
+  m.num_nodes = get_i32(in);
+  if (m.num_nodes < 0) corrupt("manifest: negative node count");
+  m.shard_of.resize(static_cast<std::size_t>(m.num_nodes));
+  for (NodeId u = 0; u < m.num_nodes; ++u) {
+    const NodeId s = get_i32(in);
+    if (s < 0 || s >= static_cast<NodeId>(m.shards)) {
+      corrupt("manifest: node " + std::to_string(u) + " assigned to shard " +
+              std::to_string(s) + " outside [0, " + std::to_string(m.shards) + ")");
+    }
+    m.shard_of[static_cast<std::size_t>(u)] = s;
+  }
+  m.boundary = get_graph(in, "boundary graph");
+  if (m.boundary.num_nodes() != m.num_nodes) {
+    corrupt("manifest: boundary graph node count does not match");
+  }
+  for (std::uint32_t k = 0; k < shards; ++k) {
+    const std::uint32_t len = get_u32(in);
+    if (len == 0 || len > 4096) {
+      corrupt("manifest: implausible shard filename length " + std::to_string(len));
+    }
+    std::string name(len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) corrupt("truncated payload");
+    check_shard_filename(name);
+    m.shard_files.push_back(std::move(name));
+  }
+  if (in.peek() != std::istream::traits_type::eof()) corrupt("trailing bytes");
+  return m;
+}
+
+void save_shard_manifest(const std::string& path, const ShardManifest& m) {
+  atomic_save(path, "shard manifest",
+              [&](std::ostream& out) { write_shard_manifest(out, m); });
+}
+
+ShardManifest load_shard_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open shard manifest: " + path);
+  return read_shard_manifest(in);
 }
 
 }  // namespace ingrass

@@ -3,49 +3,68 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
+/// @file
+/// Binary checkpoint formats for serving sessions (v1 blobs, v2 shard
+/// manifests).
+
 namespace ingrass {
 
-/// Versioned little-endian binary checkpoints for long-lived sparsifier
-/// sessions: the original graph G, the sparsifier H, and the session's
-/// lifetime counters, so a restarted process resumes mid-stream without
-/// re-paying the GRASS + inGRASS setup from the original state.
-///
-/// Format v1 — all integers little-endian, doubles as IEEE-754 bit
-/// patterns in little-endian byte order:
-///
-///   char[8]   magic "INGRSCKP"
-///   u32       format version (currently 1)
-///   graph G   i32 num_nodes, i64 num_edges, then per edge in id order:
-///             i32 u, i32 v, f64 w
-///   graph H   same layout
-///   counters  the SessionCounters fields in declaration order
-///             (11 x u64, then 2 x f64)
-///
-/// Edge order is preserved exactly, so a restored session's CSR snapshots
-/// — and therefore its solve results — are bit-identical to the
-/// checkpointed ones. Readers reject bad magic, unknown versions,
-/// truncated payloads, trailing bytes, and invalid edge records with a
-/// std::runtime_error.
+// Versioned little-endian binary checkpoints for long-lived sparsifier
+// sessions: the original graph G, the sparsifier H, and the session's
+// lifetime counters, so a restarted process resumes mid-stream without
+// re-paying the GRASS + inGRASS setup from the original state.
+//
+// Two formats share the 8-byte magic "INGRSCKP" and a u32 version field
+// (see docs/checkpoint_format.md for the byte-level spec):
+//
+//   v1  one session blob — G, H, counters (write_checkpoint below).
+//   v2  a sharded-session *manifest* — the partition, the boundary graph
+//       of cut edges, and the relative filenames of K per-shard v1 blobs
+//       (write_shard_manifest below). The blobs live next to the
+//       manifest; each is a complete, independently restorable v1
+//       checkpoint of one shard's augmented subgraph.
+//
+// Format v1 — all integers little-endian, doubles as IEEE-754 bit
+// patterns in little-endian byte order:
+//
+//   char[8]   magic "INGRSCKP"
+//   u32       format version (1)
+//   graph G   i32 num_nodes, i64 num_edges, then per edge in id order:
+//             i32 u, i32 v, f64 w
+//   graph H   same layout
+//   counters  the SessionCounters fields in declaration order
+//             (11 x u64, then 2 x f64)
+//
+// Edge order is preserved exactly, so a restored session's CSR snapshots
+// — and therefore its solve results — are bit-identical to the
+// checkpointed ones. Readers reject bad magic, unknown versions,
+// truncated payloads, trailing bytes, and invalid edge records with a
+// std::runtime_error.
 
+/// Format version of single-session checkpoint blobs.
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Format version of sharded-session manifests (see ShardManifest).
+inline constexpr std::uint32_t kShardedCheckpointVersion = 2;
 
 /// Lifetime counters a session carries across checkpoint/restore.
 struct SessionCounters {
-  std::uint64_t batches = 0;           // apply() calls
-  std::uint64_t inserts_offered = 0;   // insert records offered to the engine
-  std::uint64_t removals_applied = 0;  // removals that found an edge in G
-  std::uint64_t removals_pending = 0;  // removed from G but still in live H
-                                       // ("ghost" edges awaiting a rebuild)
-  std::uint64_t solves = 0;
-  std::uint64_t rebuilds = 0;          // completed re-sparsifications
-  std::uint64_t rebuild_failures = 0;
-  std::uint64_t inserted = 0;          // engine outcome totals, lifetime
-  std::uint64_t merged = 0;
-  std::uint64_t redistributed = 0;
-  std::uint64_t reinforced = 0;
+  std::uint64_t batches = 0;           ///< apply() calls
+  std::uint64_t inserts_offered = 0;   ///< insert records offered to the engine
+  std::uint64_t removals_applied = 0;  ///< removals that found an edge in G
+  std::uint64_t removals_pending = 0;  ///< removed from G but still in live H
+                                       ///< ("ghost" edges awaiting a rebuild)
+  std::uint64_t solves = 0;            ///< solve() calls
+  std::uint64_t rebuilds = 0;          ///< completed re-sparsifications
+  std::uint64_t rebuild_failures = 0;  ///< rebuilds that threw (and cooled down)
+  std::uint64_t inserted = 0;          ///< engine outcome totals, lifetime
+  std::uint64_t merged = 0;            ///< lifetime merged records
+  std::uint64_t redistributed = 0;     ///< lifetime redistributed records
+  std::uint64_t reinforced = 0;        ///< lifetime reinforced records
   /// Staleness estimate accumulated since the last rebuild: filtered
   /// insert distortion plus removal distortion, in kappa units.
   double staleness_score = 0.0;
@@ -53,16 +72,62 @@ struct SessionCounters {
   double lifetime_filtered_distortion = 0.0;
 };
 
+/// One restorable session state: both graphs plus the counters.
 struct SessionCheckpoint {
-  Graph g;
-  Graph h;
-  SessionCounters counters;
+  Graph g;                   ///< the original graph
+  Graph h;                   ///< the sparsifier
+  SessionCounters counters;  ///< lifetime counters at snapshot time
 };
 
+/// Serialize a v1 session checkpoint to a stream.
 void write_checkpoint(std::ostream& out, const SessionCheckpoint& ck);
+/// Parse a v1 session checkpoint; throws std::runtime_error on corruption.
 [[nodiscard]] SessionCheckpoint read_checkpoint(std::istream& in);
 
+/// Write a v1 checkpoint to `path` atomically (write temp + rename).
 void save_checkpoint(const std::string& path, const SessionCheckpoint& ck);
+/// Load a v1 checkpoint file; throws std::runtime_error on corruption.
 [[nodiscard]] SessionCheckpoint load_checkpoint(const std::string& path);
+
+/// Manifest of a sharded-session checkpoint (format v2):
+///
+///   char[8]   magic "INGRSCKP"
+///   u32       format version (2)
+///   u32       shard count K (>= 1)
+///   i32       global node count N (>= 0)
+///   i32[N]    shard_of — owning shard per node, each in [0, K)
+///   graph     boundary graph of cut edges (v1 graph layout, global ids,
+///             node count must equal N)
+///   K x       u32 byte length, then that many bytes: the shard blob's
+///             filename, relative to the manifest's directory
+///
+/// The per-shard blobs are ordinary v1 checkpoints of each shard's
+/// *augmented* subgraph (local ids; one trailing ground node carrying the
+/// shard's boundary coupling when K > 1). A v1 reader handed a manifest
+/// fails cleanly with "unsupported format version 2", and vice versa.
+struct ShardManifest {
+  int shards = 0;                        ///< shard count K
+  NodeId num_nodes = 0;                  ///< global node count N
+  std::vector<NodeId> shard_of;          ///< owning shard per node, size N
+  Graph boundary;                        ///< cut edges between shards
+  std::vector<std::string> shard_files;  ///< K blob names, manifest-relative
+};
+
+/// Process-unique filename suffix (".<pid>.<counter>") shared by the
+/// atomic temp-file writes and the sharded checkpoint's blob-generation
+/// names, so concurrent writers (even across processes) never collide.
+[[nodiscard]] std::string checkpoint_name_tag();
+
+/// Serialize a v2 shard manifest to a stream. Shard filenames must be
+/// plain names (no path separators, no "." / ".." segments) — they are
+/// resolved relative to the manifest's directory on restore.
+void write_shard_manifest(std::ostream& out, const ShardManifest& m);
+/// Parse a v2 shard manifest; throws std::runtime_error on corruption.
+[[nodiscard]] ShardManifest read_shard_manifest(std::istream& in);
+
+/// Write a v2 manifest to `path` atomically (write temp + rename).
+void save_shard_manifest(const std::string& path, const ShardManifest& m);
+/// Load a v2 manifest file; throws std::runtime_error on corruption.
+[[nodiscard]] ShardManifest load_shard_manifest(const std::string& path);
 
 }  // namespace ingrass

@@ -28,6 +28,38 @@ double removal_charge(double ghost_w, double graph_w, double r, double budget) {
   return std::min(charge, budget);
 }
 
+/// Mirror a coupling change (set_coupling) into an engine's sparsifier and
+/// return the staleness charge, in kappa units. `ghosts` is the caller's
+/// ghost set — the live session's or a shadow rebuild's. `old_g` is the
+/// weight G held for the pair before the change, `w` the new weight (0 =
+/// coupling dropped). The caller has already updated its G.
+double mirror_coupling(Ingrass& engine, std::set<std::pair<NodeId, NodeId>>& ghosts,
+                       NodeId u, NodeId v, double w, double old_g, double budget) {
+  const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+  const double r = engine.estimate_resistance(u, v);
+  const EdgeId he = engine.sparsifier().find_edge(u, v);
+  if (he == kInvalidEdge) {
+    // H never carried (or a rebuild dropped) the pair: the change is
+    // G-side drift approximated by the rest of H.
+    ghosts.erase(key);  // nothing left to resolve
+    const double delta = std::abs(w - old_g);
+    return (delta > 0.0 && r > 0.0) ? std::min(delta * r, budget) : 0.0;
+  }
+  const double old_h = engine.sparsifier().edge(he).w;
+  if (w > 0.0) {
+    engine.reweight_edge(u, v, w);
+    ghosts.erase(key);  // G backs the pair again
+    // An exact increase is free (both sides move together and the frozen
+    // resistance bounds stay valid upper bounds); a decrease can push the
+    // true resistance above the frozen tree bound, so charge the drift.
+    return (w < old_h && r > 0.0) ? std::min((old_h - w) * r, budget) : 0.0;
+  }
+  // Coupling dropped while H still carries it: a ghost, charged like a
+  // removal (idempotent for already-ghosted pairs).
+  if (!ghosts.insert(key).second) return 0.0;
+  return removal_charge(old_h, old_g, r, budget);
+}
+
 }  // namespace
 
 std::unique_lock<std::shared_mutex> SparsifierSession::exclusive_lock() const {
@@ -58,12 +90,14 @@ std::shared_lock<std::shared_mutex> SparsifierSession::reader_lock() const {
 
 SparsifierSession::SparsifierSession(Graph g, const SessionOptions& opts)
     : opts_(opts), g_(std::move(g)) {
+  num_nodes_ = g_.num_nodes();
   validate_options();  // before paying the GRASS pass
   init_engine(grass_sparsify(g_, opts_.grass).sparsifier);
 }
 
 SparsifierSession::SparsifierSession(Graph g, Graph h0, const SessionOptions& opts)
     : opts_(opts), g_(std::move(g)) {
+  num_nodes_ = g_.num_nodes();
   validate_options();
   init_engine(std::move(h0));
 }
@@ -71,6 +105,7 @@ SparsifierSession::SparsifierSession(Graph g, Graph h0, const SessionOptions& op
 SparsifierSession::SparsifierSession(Graph g, Graph h0, SessionCounters counters,
                                      const SessionOptions& opts)
     : opts_(opts), g_(std::move(g)), counters_(counters) {
+  num_nodes_ = g_.num_nodes();
   validate_options();
   solves_.store(counters_.solves);
   init_engine(std::move(h0));
@@ -210,6 +245,49 @@ ApplyResult SparsifierSession::apply(const UpdateBatch& batch) {
   return result;
 }
 
+void SparsifierSession::set_coupling(NodeId u, NodeId v, double w) {
+  if (u == v) {
+    throw std::invalid_argument("SparsifierSession::set_coupling: self-loop");
+  }
+  if (w < 0.0) {
+    throw std::invalid_argument(
+        "SparsifierSession::set_coupling: weight must be non-negative");
+  }
+  auto lock = exclusive_lock();
+  const NodeId n = g_.num_nodes();
+  if (u < 0 || v < 0 || u >= n || v >= n) {
+    throw std::invalid_argument(
+        "SparsifierSession::set_coupling: node outside the graph");
+  }
+  const EdgeId ge = g_.find_edge(u, v);
+  const double old_g = ge != kInvalidEdge ? g_.edge(ge).w : 0.0;
+  if (w == old_g) return;
+
+  if (rebuilding_) {
+    BacklogEntry log;
+    log.couplings.push_back({u, v, w, old_g});
+    rebuild_backlog_.push_back(std::move(log));
+  }
+
+  if (ge == kInvalidEdge) {
+    g_.add_edge(u, v, w);  // w > 0 here (w == old_g == 0 returned above)
+  } else if (w > 0.0) {
+    g_.set_weight(ge, w);
+  } else {
+    g_.remove_edge(ge);
+  }
+
+  const std::size_t ghosts_before = ghost_pairs_.size();
+  const double charge = mirror_coupling(*engine_, ghost_pairs_, u, v, w, old_g,
+                                        opts_.engine.target_condition);
+  counters_.staleness_score += charge;
+  counters_.lifetime_filtered_distortion += charge;
+  counters_.removals_pending +=
+      static_cast<std::uint64_t>(ghost_pairs_.size()) -
+      static_cast<std::uint64_t>(ghosts_before);  // wraps consistently on erase
+  solver_dirty_ = true;
+}
+
 void SparsifierSession::maybe_trigger_rebuild_locked(ApplyResult& result) {
   if (!opts_.enable_rebuild || rebuilding_) return;
   if (staleness_locked() < opts_.rebuild_staleness_fraction) return;
@@ -314,6 +392,14 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
           }
           shadow_score += shadow->insert_edges(entry.batch.inserts).filtered_distortion;
         }
+        // Coupling reweights mirror into the shadow the way the live path
+        // mirrored them into the old engine; the shadow was sparsified
+        // from a pre-change snapshot of G, so its H may still carry the
+        // old coupling weight.
+        for (const BacklogEntry::Coupling& c : entry.couplings) {
+          shadow_score += mirror_coupling(*shadow, shadow_ghosts, c.u, c.v, c.w,
+                                          c.old_g, opts_.engine.target_condition);
+        }
       }
     }
   } catch (...) {
@@ -365,18 +451,20 @@ SessionMetrics SparsifierSession::metrics() const {
   return m;
 }
 
-void SparsifierSession::checkpoint(const std::string& path) const {
+SessionCheckpoint SparsifierSession::snapshot() const {
+  auto lock = reader_lock();
   SessionCheckpoint ck;
-  {
-    // Snapshot under the lock, but keep the file write outside it — disk
-    // latency must not stall apply() (and, through writer priority, new
-    // solves).
-    auto lock = reader_lock();
-    ck.g = g_;
-    ck.h = engine_->sparsifier();
-    ck.counters = counters_with_solves_locked();
-  }
-  save_checkpoint(path, ck);
+  ck.g = g_;
+  ck.h = engine_->sparsifier();
+  ck.counters = counters_with_solves_locked();
+  return ck;
+}
+
+void SparsifierSession::checkpoint(const std::string& path) const {
+  // Snapshot under the lock (inside snapshot()), but keep the file write
+  // outside it — disk latency must not stall apply() (and, through
+  // writer priority, new solves).
+  save_checkpoint(path, snapshot());
 }
 
 void SparsifierSession::wait_for_rebuild() {

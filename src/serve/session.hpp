@@ -21,6 +21,9 @@
 #include "spectral/condition_number.hpp"
 #include "util/thread_pool.hpp"
 
+/// @file
+/// The long-lived single-graph serving session.
+
 namespace ingrass {
 
 /// Policy knobs for a long-lived sparsifier session.
@@ -77,13 +80,13 @@ struct ApplyResult {
 
 /// Snapshot of a session's observable state.
 struct SessionMetrics {
-  NodeId nodes = 0;
-  EdgeId g_edges = 0;
-  EdgeId h_edges = 0;
-  double target_condition = 0.0;
-  double staleness = 0.0;  // fraction of the kappa budget
-  bool rebuild_in_flight = false;
-  SessionCounters counters;
+  NodeId nodes = 0;                ///< nodes of G (== nodes of H)
+  EdgeId g_edges = 0;              ///< current edge count of G
+  EdgeId h_edges = 0;              ///< current edge count of the sparsifier
+  double target_condition = 0.0;   ///< the session's kappa budget
+  double staleness = 0.0;          ///< staleness, as a fraction of the budget
+  bool rebuild_in_flight = false;  ///< a background rebuild is running
+  SessionCounters counters;        ///< lifetime counters (checkpointed)
 };
 
 /// A long-lived serving session owning the evolving (G, H) pair: the
@@ -126,6 +129,7 @@ class SparsifierSession {
   [[nodiscard]] static std::unique_ptr<SparsifierSession> restore(
       const std::string& path, const SessionOptions& opts);
 
+  /// Finishes any queued background rebuild before tearing down.
   ~SparsifierSession();
 
   SparsifierSession(const SparsifierSession&) = delete;
@@ -137,15 +141,39 @@ class SparsifierSession {
   /// set before mutating anything. May trigger a rebuild on the way out.
   ApplyResult apply(const UpdateBatch& batch);
 
+  /// Boundary-coupling hook for sharded serving (shard_dispatcher.hpp):
+  /// set the (u,v) edge of G to weight `w` (>= 0), inserting or removing
+  /// it as needed, and mirror the new weight into the live sparsifier when
+  /// it carries the pair. Unlike apply(), this *reweights* in place — the
+  /// dispatcher uses it to track a shard's aggregated cut conductance as
+  /// cross-shard edges come and go. The estimator drift is folded into
+  /// staleness: an exact weight increase mirrored into H is free, every
+  /// other transition is charged |delta w| * R_H(u,v) (capped at the
+  /// budget), and dropping a pair H still carries makes it a ghost, like a
+  /// removal. Does not trigger a rebuild by itself (the dispatcher's
+  /// subsequent apply() does); replayed into the shadow like any other
+  /// update when a background rebuild is in flight.
+  void set_coupling(NodeId u, NodeId v, double w);
+
   /// Solve L_G x = b with the sparsifier-preconditioned solver, against
   /// the latest applied state. Safe to call concurrently.
   SparsifierSolver::Result solve(std::span<const double> b, std::span<double> x);
 
+  /// Consistent snapshot of the session's observable state.
   [[nodiscard]] SessionMetrics metrics() const;
+
+  /// Node count of G (== H's). Immutable after construction — lock-free,
+  /// the cheap bounds check for request validation.
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
 
   /// Write a consistent snapshot (G, H, counters) to `path` in the
   /// serve/checkpoint.hpp binary format.
   void checkpoint(const std::string& path) const;
+
+  /// The same consistent snapshot as an in-memory value — the sharded
+  /// dispatcher collects these under its own lock and does the disk
+  /// writes outside it.
+  [[nodiscard]] SessionCheckpoint snapshot() const;
 
   /// Block until any in-flight background rebuild (including its replay
   /// and swap) has landed.
@@ -162,6 +190,7 @@ class SparsifierSession {
   [[nodiscard]] Graph graph() const;
   [[nodiscard]] Graph sparsifier() const;
 
+  /// The options this session was constructed with.
   [[nodiscard]] const SessionOptions& options() const { return opts_; }
 
  private:
@@ -189,6 +218,9 @@ class SparsifierSession {
   [[nodiscard]] SessionCounters counters_with_solves_locked() const;
 
   SessionOptions opts_;
+  /// Cached at construction (sessions never add nodes) so num_nodes()
+  /// needs no lock.
+  NodeId num_nodes_ = 0;
 
   mutable std::shared_mutex mu_;  // guards everything below
   // Writer-priority gate; see exclusive_lock()/reader_lock().
@@ -215,6 +247,15 @@ class SparsifierSession {
   struct BacklogEntry {
     UpdateBatch batch;
     std::vector<double> removed_graph_w;  // parallel to batch.removals
+    /// Coupling reweights (set_coupling) that landed mid-rebuild; an entry
+    /// holds either a batch or couplings, never both.
+    struct Coupling {
+      NodeId u = kInvalidNode;
+      NodeId v = kInvalidNode;
+      double w = 0.0;      // new coupling weight (0 = dropped)
+      double old_g = 0.0;  // weight the live G held before the change
+    };
+    std::vector<Coupling> couplings;
   };
   std::vector<BacklogEntry> rebuild_backlog_;
 

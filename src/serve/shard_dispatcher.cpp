@@ -1,0 +1,655 @@
+#include "serve/shard_dispatcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "graph/components.hpp"
+#include "linalg/vector_ops.hpp"
+#include "spectral/condition_number.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ingrass {
+
+namespace {
+
+std::size_t to_index(NodeId u) { return static_cast<std::size_t>(u); }
+
+/// Field-wise sum of shard counters into `into`.
+void accumulate_counters(SessionCounters& into, const SessionCounters& c) {
+  into.batches += c.batches;
+  into.inserts_offered += c.inserts_offered;
+  into.removals_applied += c.removals_applied;
+  into.removals_pending += c.removals_pending;
+  into.solves += c.solves;
+  into.rebuilds += c.rebuilds;
+  into.rebuild_failures += c.rebuild_failures;
+  into.inserted += c.inserted;
+  into.merged += c.merged;
+  into.redistributed += c.redistributed;
+  into.reinforced += c.reinforced;
+  into.staleness_score += c.staleness_score;
+  into.lifetime_filtered_distortion += c.lifetime_filtered_distortion;
+}
+
+}  // namespace
+
+std::unique_lock<std::shared_mutex> ShardedSession::exclusive_lock() const {
+  writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (writers_waiting_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::lock_guard<std::mutex> gate(gate_mu_);
+    gate_cv_.notify_all();
+  }
+  return lock;
+}
+
+std::shared_lock<std::shared_mutex> ShardedSession::reader_lock() const {
+  {
+    std::unique_lock<std::mutex> gate(gate_mu_);
+    gate_cv_.wait(gate, [&] {
+      return writers_waiting_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  return std::shared_lock<std::shared_mutex>(mu_);
+}
+
+void ShardedSession::init_maps() {
+  const std::size_t n = shard_of_.size();
+  local_id_.assign(n, kInvalidNode);
+  members_.assign(static_cast<std::size_t>(shards_), {});
+  for (std::size_t u = 0; u < n; ++u) {
+    const NodeId s = shard_of_[u];
+    if (s < 0 || s >= static_cast<NodeId>(shards_)) {
+      throw std::invalid_argument("ShardedSession: partition assigns a node "
+                                  "outside [0, shards)");
+    }
+    auto& mem = members_[to_index(s)];
+    local_id_[u] = static_cast<NodeId>(mem.size());
+    mem.push_back(static_cast<NodeId>(u));
+  }
+  for (int k = 0; k < shards_; ++k) {
+    if (members_[static_cast<std::size_t>(k)].empty()) {
+      throw std::invalid_argument(
+          "ShardedSession: shard " + std::to_string(k) +
+          " is empty — use the greedy partition or fewer shards");
+    }
+  }
+}
+
+void ShardedSession::make_pool() {
+  int threads = opts_.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min(shards_, hw > 0 ? static_cast<int>(hw) : 1);
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ShardedSession::ShardedSession(Graph g, int shards, const ShardedOptions& opts)
+    : opts_(opts), shards_(shards) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardedSession: shard count must be >= 1");
+  }
+  const NodeId n = g.num_nodes();
+  if (n > 0 && shards > n) {
+    throw std::invalid_argument("ShardedSession: more shards than nodes");
+  }
+  if (!is_connected(g)) {
+    // GRASS would reject the shard builds anyway; fail with a clear error.
+    throw std::invalid_argument("ShardedSession: the graph must be connected");
+  }
+  Partition part = opts_.partition == PartitionStrategy::kHash
+                       ? hash_partition(n, shards)
+                       : greedy_partition(g, shards);
+  shard_of_ = std::move(part.shard_of);
+  init_maps();
+  make_pool();
+  boundary_ = Graph(n);
+
+  SessionOptions sopts = opts_.session;
+  sessions_.resize(static_cast<std::size_t>(shards_));
+  if (shards_ == 1) {
+    // Trivial dispatcher: one ungrounded session, solves delegate.
+    sessions_[0] = std::make_unique<SparsifierSession>(std::move(g), sopts);
+    return;
+  }
+  // The shard solver is a block-Jacobi preconditioner, not the user-facing
+  // solve: loose tolerance, bounded iterations.
+  sopts.solver.outer_tol = opts_.inner_tol;
+  sopts.solver.max_outer_iters = opts_.inner_max_iters;
+  sopts.solver.inner_iters = opts_.inner_jacobi_iters;
+
+  // Split g into induced shard subgraphs (local ids, one trailing ground
+  // node each) plus the boundary graph of cut edges.
+  std::vector<Graph> shard_graphs(static_cast<std::size_t>(shards_));
+  for (int k = 0; k < shards_; ++k) {
+    shard_graphs[static_cast<std::size_t>(k)] =
+        Graph(static_cast<NodeId>(shard_size(k)) + 1);
+  }
+  for (const Edge& e : g.edges()) {
+    const NodeId su = shard_of_[to_index(e.u)];
+    const NodeId sv = shard_of_[to_index(e.v)];
+    if (su == sv) {
+      shard_graphs[to_index(su)].add_or_merge_edge(local_id_[to_index(e.u)],
+                                                   local_id_[to_index(e.v)], e.w);
+    } else {
+      boundary_.add_or_merge_edge(e.u, e.v, e.w);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const double cw = boundary_.weighted_degree(u);
+    if (cw > 0.0) {
+      const int k = static_cast<int>(shard_of_[to_index(u)]);
+      shard_graphs[static_cast<std::size_t>(k)].add_edge(local_id_[to_index(u)],
+                                                         ground_of(k), cw);
+    }
+  }
+  g_ = std::move(g);
+
+  // GRASS + inGRASS setup per shard, fanned out (the expensive phase).
+  pool_->parallel_for(static_cast<std::size_t>(shards_), 1, [&](std::size_t k) {
+    sessions_[k] = std::make_unique<SparsifierSession>(
+        std::move(shard_graphs[k]), sopts);
+  });
+}
+
+ShardedSession::ShardedSession(ShardManifest manifest,
+                               std::vector<std::unique_ptr<SparsifierSession>> sessions,
+                               const ShardedOptions& opts)
+    : opts_(opts), shards_(manifest.shards) {
+  shard_of_ = std::move(manifest.shard_of);
+  boundary_ = std::move(manifest.boundary);
+  sessions_ = std::move(sessions);
+  init_maps();
+  make_pool();
+  const bool grounded = shards_ > 1;
+  for (int k = 0; k < shards_; ++k) {
+    const auto expected =
+        static_cast<NodeId>(shard_size(k)) + static_cast<NodeId>(grounded ? 1 : 0);
+    const NodeId got = sessions_[static_cast<std::size_t>(k)]->metrics().nodes;
+    if (got != expected) {
+      throw std::runtime_error(
+          "ShardedSession::restore: shard " + std::to_string(k) + " blob has " +
+          std::to_string(got) + " nodes, manifest implies " + std::to_string(expected));
+    }
+  }
+  if (!grounded) return;
+  // Reassemble the global mirror: shard intra edges (ground dropped,
+  // mapped back to global ids) plus the boundary's cut edges.
+  g_ = Graph(manifest.num_nodes);
+  for (int k = 0; k < shards_; ++k) {
+    const auto& mem = members_[static_cast<std::size_t>(k)];
+    const NodeId ground = ground_of(k);
+    const Graph sg = sessions_[static_cast<std::size_t>(k)]->graph();
+    for (const Edge& e : sg.edges()) {
+      if (e.u == ground || e.v == ground) continue;
+      g_.add_edge(mem[to_index(e.u)], mem[to_index(e.v)], e.w);
+    }
+  }
+  for (const Edge& e : boundary_.edges()) g_.add_edge(e.u, e.v, e.w);
+}
+
+std::unique_ptr<ShardedSession> ShardedSession::restore(
+    const std::string& manifest_path, const ShardedOptions& opts) {
+  ShardManifest m = load_shard_manifest(manifest_path);
+  const auto slash = manifest_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string() : manifest_path.substr(0, slash + 1);
+  SessionOptions sopts = opts.session;
+  if (m.shards > 1) {
+    sopts.solver.outer_tol = opts.inner_tol;
+    sopts.solver.max_outer_iters = opts.inner_max_iters;
+    sopts.solver.inner_iters = opts.inner_jacobi_iters;
+  }
+  std::vector<std::unique_ptr<SparsifierSession>> sessions;
+  sessions.reserve(static_cast<std::size_t>(m.shards));
+  for (const std::string& name : m.shard_files) {
+    sessions.push_back(SparsifierSession::restore(dir + name, sopts));
+  }
+  return std::unique_ptr<ShardedSession>(
+      new ShardedSession(std::move(m), std::move(sessions), opts));
+}
+
+ShardedSession::~ShardedSession() = default;
+
+void ShardedSession::validate_batch(const UpdateBatch& batch) const {
+  const auto n = static_cast<NodeId>(shard_of_.size());
+  auto check_pair = [&](NodeId u, NodeId v, const char* what) {
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      throw std::invalid_argument(std::string("ShardedSession::apply: ") + what +
+                                  " references a node outside the graph");
+    }
+    if (u == v) {
+      throw std::invalid_argument(std::string("ShardedSession::apply: ") + what +
+                                  " is a self-loop");
+    }
+  };
+  for (const auto& [u, v] : batch.removals) check_pair(u, v, "removal");
+  for (const Edge& e : batch.inserts) {
+    check_pair(e.u, e.v, "insertion");
+    if (!(e.w > 0.0)) {
+      throw std::invalid_argument(
+          "ShardedSession::apply: insertion weight must be positive");
+    }
+  }
+}
+
+ApplyResult ShardedSession::apply(const UpdateBatch& batch) {
+  if (shards_ == 1) return sessions_[0]->apply(batch);
+  auto lock = exclusive_lock();
+  validate_batch(batch);  // shard sessions must never see an invalid record
+
+  std::vector<UpdateBatch> routed(static_cast<std::size_t>(shards_));
+  std::set<NodeId> reground;  // global nodes whose cut conductance changed
+  EdgeId cross_removed = 0;
+
+  // Removals first (matching the per-session semantics): intra-shard ones
+  // route through; a cross-shard one leaves the boundary graph and both
+  // endpoints get their ground coupling restated below.
+  for (const auto& [u, v] : batch.removals) {
+    const NodeId su = shard_of_[to_index(u)];
+    const NodeId sv = shard_of_[to_index(v)];
+    if (su == sv) {
+      routed[to_index(su)].removals.emplace_back(local_id_[to_index(u)],
+                                                 local_id_[to_index(v)]);
+      const EdgeId ge = g_.find_edge(u, v);
+      if (ge != kInvalidEdge) g_.remove_edge(ge);
+    } else {
+      const EdgeId be = boundary_.find_edge(u, v);
+      if (be == kInvalidEdge) continue;  // nothing to remove, like the session
+      boundary_.remove_edge(be);
+      const EdgeId ge = g_.find_edge(u, v);
+      if (ge != kInvalidEdge) g_.remove_edge(ge);
+      ++cross_removed;
+      reground.insert(u);
+      reground.insert(v);
+    }
+  }
+  for (const Edge& e : batch.inserts) {
+    g_.add_or_merge_edge(e.u, e.v, e.w);
+    const NodeId su = shard_of_[to_index(e.u)];
+    const NodeId sv = shard_of_[to_index(e.v)];
+    if (su == sv) {
+      routed[to_index(su)].inserts.push_back(
+          Edge{local_id_[to_index(e.u)], local_id_[to_index(e.v)], e.w});
+    } else {
+      boundary_.add_or_merge_edge(e.u, e.v, e.w);
+      reground.insert(e.u);
+      reground.insert(e.v);
+    }
+  }
+
+  // Restate each affected node's ground coupling once, at its final
+  // post-batch value (several cut edges of one node may have changed).
+  std::vector<char> touched(static_cast<std::size_t>(shards_), 0);
+  for (const NodeId u : reground) {
+    const int k = static_cast<int>(shard_of_[to_index(u)]);
+    sessions_[static_cast<std::size_t>(k)]->set_coupling(
+        local_id_[to_index(u)], ground_of(k), boundary_.weighted_degree(u));
+    ++coupling_updates_;
+    touched[static_cast<std::size_t>(k)] = 1;
+  }
+  std::vector<int> targets;  // shards that saw records (batch or coupling)
+  for (int k = 0; k < shards_; ++k) {
+    if (touched[static_cast<std::size_t>(k)] ||
+        !routed[static_cast<std::size_t>(k)].empty()) {
+      targets.push_back(k);
+    }
+  }
+
+  // Fan the routed batches out — each shard has its own lock domain, so
+  // the applies genuinely run in parallel. Shards touched only by
+  // coupling changes get an empty apply to run their rebuild trigger.
+  std::vector<ApplyResult> results(targets.size());
+  {
+    const std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    pool_->parallel_for(targets.size(), 1, [&](std::size_t i) {
+      const auto k = static_cast<std::size_t>(targets[i]);
+      results[i] = sessions_[k]->apply(routed[k]);
+    });
+  }
+  csr_dirty_ = true;
+
+  ApplyResult agg;
+  agg.removed = cross_removed;
+  for (const ApplyResult& r : results) {
+    agg.stats.inserted += r.stats.inserted;
+    agg.stats.merged += r.stats.merged;
+    agg.stats.redistributed += r.stats.redistributed;
+    agg.stats.reinforced += r.stats.reinforced;
+    agg.stats.filtered_distortion += r.stats.filtered_distortion;
+    agg.stats.seconds = std::max(agg.stats.seconds, r.stats.seconds);
+    agg.removed += r.removed;
+    agg.ghost_removals += r.ghost_removals;
+    agg.rebuild_triggered = agg.rebuild_triggered || r.rebuild_triggered;
+  }
+  for (const auto& session : sessions_) {
+    agg.staleness = std::max(agg.staleness, session->staleness());
+  }
+  return agg;
+}
+
+void ShardedSession::rebuild_csr_locked() {
+  if (!refresh_csr_weights(g_, csr_g_)) csr_g_ = build_csr(g_);
+  rebuild_coarse_locked();
+  csr_dirty_ = false;
+}
+
+void ShardedSession::rebuild_coarse_locked() {
+  // The coarse level of the block-Jacobi preconditioner: the quotient of
+  // L_G by the partition indicators, i.e. the Laplacian of the K-node
+  // "shard graph" whose edge weights are the aggregated cut conductances
+  // (intra-shard edges quotient to zero). One mean-value correction per
+  // shard removes the low-frequency error that pure block solves cannot
+  // see, which is what keeps the outer iteration count flat in K.
+  const auto k = static_cast<std::size_t>(shards_);
+  std::vector<double> a(k * k, 0.0);
+  double max_diag = 0.0;
+  for (const Edge& e : boundary_.edges()) {
+    const auto su = to_index(shard_of_[to_index(e.u)]);
+    const auto sv = to_index(shard_of_[to_index(e.v)]);
+    a[su * k + su] += e.w;
+    a[sv * k + sv] += e.w;
+    a[su * k + sv] -= e.w;
+    a[sv * k + su] -= e.w;
+  }
+  for (std::size_t i = 0; i < k; ++i) max_diag = std::max(max_diag, a[i * k + i]);
+  if (max_diag <= 0.0) max_diag = 1.0;
+  // Deflate the nullspace (the all-ones vector; more if the shard graph
+  // is disconnected) with a rank-one shift plus a tiny ridge, then factor
+  // — coarse_solve projects the constant back out.
+  const double shift = max_diag / static_cast<double>(k);
+  const double ridge = 1e-12 * max_diag;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) a[i * k + j] += shift;
+    a[i * k + i] += ridge;
+  }
+  // In-place Cholesky (lower triangle), K x K with K = shard count.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * k + j];
+      for (std::size_t m = 0; m < j; ++m) sum -= a[i * k + m] * a[j * k + m];
+      if (i == j) {
+        a[i * k + i] = std::sqrt(std::max(sum, ridge));
+      } else {
+        a[i * k + j] = sum / a[j * k + j];
+      }
+    }
+  }
+  coarse_chol_ = std::move(a);
+}
+
+void ShardedSession::coarse_solve(std::vector<double>& rc) const {
+  const auto k = static_cast<std::size_t>(shards_);
+  // Forward substitution L y = rc, then backward L^T x = y.
+  for (std::size_t i = 0; i < k; ++i) {
+    double sum = rc[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= coarse_chol_[i * k + j] * rc[j];
+    rc[i] = sum / coarse_chol_[i * k + i];
+  }
+  for (std::size_t i = k; i-- > 0;) {
+    double sum = rc[i];
+    for (std::size_t j = i + 1; j < k; ++j) sum -= coarse_chol_[j * k + i] * rc[j];
+    rc[i] = sum / coarse_chol_[i * k + i];
+  }
+  // Project off the constant the rank-one shift pinned.
+  double mean = 0.0;
+  for (const double v : rc) mean += v;
+  mean /= static_cast<double>(k);
+  for (double& v : rc) v -= mean;
+}
+
+SparsifierSolver::Result ShardedSession::solve(std::span<const double> b,
+                                               std::span<double> x) {
+  if (shards_ == 1) {
+    const auto result = sessions_[0]->solve(b, x);
+    solves_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  for (;;) {
+    {
+      auto lock = reader_lock();
+      if (!csr_dirty_) {
+        const auto result = solve_locked(b, x);
+        solves_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+    }
+    auto lock = exclusive_lock();
+    if (csr_dirty_) rebuild_csr_locked();
+  }
+}
+
+SparsifierSolver::Result ShardedSession::solve_locked(std::span<const double> b,
+                                                      std::span<double> x) {
+  const std::size_t n = b.size();
+  if (x.size() != n || static_cast<NodeId>(n) != g_.num_nodes()) {
+    throw std::invalid_argument("ShardedSession::solve: size mismatch");
+  }
+  const LinOp apply_g = laplacian_operator(csr_g_);
+  const double tol = opts_.session.solver.outer_tol;
+
+  // Two-level preconditioner, multiplicative: first a coarse correction
+  // over the shard-quotient Laplacian moves the shard *means* through the
+  // cut, then block solves on the corrected residual fix each shard
+  // locally — per shard, the grounded block (L_k + C_k) z_k = r_k through
+  // the shard's augmented session (rhs balanced onto the ground node,
+  // solution re-based so ground sits at 0).
+  Vec z(n);
+  Vec r_corr(n);
+  auto precondition = [&](const Vec& r, Vec& out) {
+    // Coarse half: out = R A_c^+ R^T r, then r_corr = r - L out.
+    std::vector<double> rc(static_cast<std::size_t>(shards_), 0.0);
+    for (std::size_t u = 0; u < n; ++u) rc[to_index(shard_of_[u])] += r[u];
+    coarse_solve(rc);
+    for (std::size_t u = 0; u < n; ++u) out[u] = rc[to_index(shard_of_[u])];
+    apply_g(out, r_corr);
+    for (std::size_t u = 0; u < n; ++u) r_corr[u] = r[u] - r_corr[u];
+
+    // Block half on the corrected residual.
+    const std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    pool_->parallel_for(static_cast<std::size_t>(shards_), 1, [&](std::size_t k) {
+      const auto& mem = members_[k];
+      const std::size_t nk = mem.size();
+      Vec rk(nk + 1, 0.0);
+      Vec zk(nk + 1, 0.0);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < nk; ++i) {
+        rk[i] = r_corr[to_index(mem[i])];
+        sum += rk[i];
+      }
+      rk[nk] = -sum;  // balanced rhs: in range of the augmented Laplacian
+      sessions_[k]->solve(rk, zk);  // loose inner tolerance; see ShardedOptions
+      const double ground = zk[nk];
+      for (std::size_t i = 0; i < nk; ++i) out[to_index(mem[i])] += zk[i] - ground;
+    });
+    project_out_ones(out);
+  };
+
+  // Flexible CG on the exact global Laplacian (Polak-Ribiere beta), the
+  // same outer iteration SparsifierSolver uses — the preconditioner is
+  // inexact and varies between applications.
+  Vec rhs(b.begin(), b.end());
+  project_out_ones(rhs);
+  project_out_ones(x);
+  const double bnorm = norm2(rhs);
+
+  SparsifierSolver::Result res;
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    res.converged = true;
+    return res;
+  }
+
+  Vec r(n), p(n), ap(n), z_prev(n);
+  apply_g(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - r[i];
+  project_out_ones(r);
+  precondition(r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+
+  for (int it = 0; it < opts_.max_outer_iters; ++it) {
+    const double rnorm = norm2(r);
+    res.relative_residual = rnorm / bnorm;
+    if (res.relative_residual <= tol) {
+      res.converged = true;
+      res.outer_iterations = it;
+      return res;
+    }
+    apply_g(p, ap);
+    project_out_ones(ap);
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) {
+      res.outer_iterations = it;
+      return res;
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    copy(z, z_prev);
+    axpy(-alpha, ap, r);
+    precondition(r, z);
+    double rz_diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_diff += r[i] * (z[i] - z_prev[i]);
+    const double beta = std::max(0.0, rz_diff / rz);
+    rz = dot(r, z);
+    xpby(z, beta, p);
+  }
+  res.outer_iterations = opts_.max_outer_iters;
+  res.relative_residual = norm2(r) / bnorm;
+  res.converged = res.relative_residual <= tol;
+  return res;
+}
+
+ShardedMetrics ShardedSession::metrics() const {
+  auto lock = reader_lock();
+  ShardedMetrics m;
+  m.shards = shards_;
+  m.per_shard.reserve(static_cast<std::size_t>(shards_));
+  for (const auto& session : sessions_) m.per_shard.push_back(session->metrics());
+  for (const SessionMetrics& sm : m.per_shard) {
+    m.h_edges += sm.h_edges;
+    m.staleness = std::max(m.staleness, sm.staleness);
+    m.rebuild_in_flight = m.rebuild_in_flight || sm.rebuild_in_flight;
+    accumulate_counters(m.counters, sm.counters);
+  }
+  if (shards_ == 1) {
+    m.nodes = m.per_shard[0].nodes;
+    m.g_edges = m.per_shard[0].g_edges;
+  } else {
+    m.nodes = g_.num_nodes();
+    m.g_edges = g_.num_edges();
+    m.boundary_edges = boundary_.num_edges();
+    m.boundary_weight = boundary_.total_weight();
+  }
+  m.global_solves = solves_.load(std::memory_order_relaxed);
+  m.coupling_updates = coupling_updates_;
+  return m;
+}
+
+SessionMetrics ShardedSession::shard_metrics(int k) const {
+  if (k < 0 || k >= shards_) {
+    throw std::invalid_argument("ShardedSession::shard_metrics: bad shard index");
+  }
+  return sessions_[static_cast<std::size_t>(k)]->metrics();
+}
+
+int ShardedSession::shard_of(NodeId u) const {
+  if (u < 0 || to_index(u) >= shard_of_.size()) {
+    throw std::invalid_argument("ShardedSession::shard_of: bad node id");
+  }
+  return static_cast<int>(shard_of_[to_index(u)]);
+}
+
+void ShardedSession::checkpoint(const std::string& path) const {
+  ShardManifest m;
+  std::vector<SessionCheckpoint> blobs;
+  {
+    // Exclusive: applies mutate several shards plus the boundary, and the
+    // blobs must capture one cross-shard-consistent cut. Only in-memory
+    // snapshots happen under the lock — the disk writes below run
+    // unlocked, so solves are never stalled on I/O.
+    auto lock = exclusive_lock();
+    m.shards = shards_;
+    m.num_nodes = static_cast<NodeId>(shard_of_.size());
+    m.shard_of = shard_of_;
+    m.boundary = boundary_;
+    blobs.reserve(static_cast<std::size_t>(shards_));
+    for (const auto& session : sessions_) blobs.push_back(session->snapshot());
+  }
+
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+  const std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+
+  // The previous manifest's blobs (if any), garbage-collected only after
+  // the new manifest has atomically replaced it.
+  std::vector<std::string> stale;
+  try {
+    stale = load_shard_manifest(path).shard_files;
+  } catch (...) {
+    // No previous manifest (or a v1 blob) at this path — nothing to GC.
+  }
+
+  // Blob names are unique per call (checkpoint_name_tag): re-checkpointing
+  // the same path must never overwrite blobs the still-live manifest
+  // names, or a crash between blob writes would leave that manifest
+  // pointing at a mix of generations. Readers therefore always see one
+  // complete generation: the manifest swap is the only commit point.
+  const std::string tag = checkpoint_name_tag();
+  for (int k = 0; k < shards_; ++k) {
+    const std::string name = base + tag + ".shard" + std::to_string(k);
+    save_checkpoint(dir + name, blobs[static_cast<std::size_t>(k)]);
+    m.shard_files.push_back(name);
+  }
+  save_shard_manifest(path, m);  // commit: old or new generation, never a mix
+
+  // Best-effort cleanup of the superseded generation. A concurrent
+  // checkpoint to the same path GCs whichever generation it observed;
+  // a loser's orphaned blobs linger until the next successful call.
+  for (const std::string& name : stale) std::remove((dir + name).c_str());
+}
+
+void ShardedSession::wait_for_rebuilds() {
+  for (const auto& session : sessions_) session->wait_for_rebuild();
+}
+
+Graph ShardedSession::graph() const {
+  if (shards_ == 1) return sessions_[0]->graph();
+  auto lock = reader_lock();
+  return g_;
+}
+
+Graph ShardedSession::sparsifier() const {
+  if (shards_ == 1) return sessions_[0]->sparsifier();
+  auto lock = reader_lock();
+  Graph h(static_cast<NodeId>(shard_of_.size()));
+  for (int k = 0; k < shards_; ++k) {
+    const auto& mem = members_[static_cast<std::size_t>(k)];
+    const NodeId ground = ground_of(k);
+    const Graph hk = sessions_[static_cast<std::size_t>(k)]->sparsifier();
+    for (const Edge& e : hk.edges()) {
+      if (e.u == ground || e.v == ground) continue;  // coupling, not a real edge
+      h.add_or_merge_edge(mem[to_index(e.u)], mem[to_index(e.v)], e.w);
+    }
+  }
+  // Cut edges are carried exactly — the boundary graph *is* their
+  // sparsifier.
+  for (const Edge& e : boundary_.edges()) h.add_or_merge_edge(e.u, e.v, e.w);
+  return h;
+}
+
+double ShardedSession::measure_kappa(const ConditionNumberOptions& opts) const {
+  if (shards_ == 1) return sessions_[0]->measure_kappa(opts);
+  // Copies, not locks, so a long power iteration never blocks serving.
+  const Graph gg = graph();
+  const Graph hh = sparsifier();
+  return condition_number(gg, hh, opts);
+}
+
+}  // namespace ingrass

@@ -100,6 +100,52 @@ run_serve(${WORK_DIR}/session2.txt 0
   "within=1"
   "ok quit")
 
+# Session 3: a sharded session end-to-end — open-sharded across 4 shards,
+# stream a batch whose records cross shard boundaries, solve on the
+# global system, inspect one shard, write a v2 manifest checkpoint.
+file(WRITE ${WORK_DIR}/session3.txt
+"open-sharded g.mtx 4 --density 0.3 --target 100 --grass-target 40 --sync
+insert 0 35 1.0
+insert 1 2 0.5
+remove 6 12
+apply
+solve 0 35
+metrics
+shard-metrics 3
+shard-metrics 9
+checkpoint sck.bin
+quit
+")
+run_serve(${WORK_DIR}/session3.txt 0
+  "ok open-sharded nodes=36"
+  "shards=4"
+  "ok apply"
+  "ok solve iters="
+  "ok metrics"
+  "boundary_edges="
+  "ok shard-metrics shard=3"
+  "err shard index out of range"
+  "ok checkpoint path=sck.bin"
+  "ok quit")
+
+# Session 4: a fresh process restores the manifest + shard blobs, keeps
+# serving, and the stitched pair still lands within the kappa budget.
+file(WRITE ${WORK_DIR}/session4.txt
+"restore-sharded sck.bin --target 100 --grass-target 40 --sync
+insert 2 33 1.0
+apply
+solve 0 35
+kappa
+quit
+")
+run_serve(${WORK_DIR}/session4.txt 0
+  "ok restore-sharded nodes=36"
+  "shards=4"
+  "ok apply"
+  "ok solve iters="
+  "within=1"
+  "ok quit")
+
 # Usage: the binary takes no arguments.
 execute_process(COMMAND ${BIN} --help RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 if(NOT rc EQUAL 1)

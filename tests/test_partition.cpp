@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace ingrass {
+namespace {
+
+Graph mesh(int side = 16, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return make_triangulated_grid(static_cast<NodeId>(side), static_cast<NodeId>(side), rng);
+}
+
+TEST(Partition, HashCoversAllShards) {
+  const Partition p = hash_partition(1000, 8);
+  ASSERT_EQ(p.num_nodes(), 1000);
+  ASSERT_EQ(p.shards, 8);
+  std::vector<int> sizes(8, 0);
+  for (const NodeId s : p.shard_of) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 8);
+    ++sizes[static_cast<std::size_t>(s)];
+  }
+  for (const int size : sizes) EXPECT_GT(size, 0);
+}
+
+TEST(Partition, HashIsDeterministic) {
+  const Partition a = hash_partition(256, 4);
+  const Partition b = hash_partition(256, 4);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+}
+
+TEST(Partition, GreedyIsBalancedAndComplete) {
+  const Graph g = mesh();
+  const Partition p = greedy_partition(g, 4);
+  ASSERT_EQ(p.num_nodes(), g.num_nodes());
+  const CutStats s = cut_stats(g, p);
+  EXPECT_GT(s.smallest_shard, 0);
+  // The multiplicative block rule balances to within one node.
+  EXPECT_LE(s.largest_shard - s.smallest_shard, 1);
+}
+
+TEST(Partition, GreedyNeverLeavesShardsEmptyOnAwkwardSizes) {
+  // ceil-sized blocks would exhaust 9 nodes in 3 shards and leave the
+  // 4th empty; every (n, k) with k <= n must yield k non-empty shards.
+  for (const auto& [n, k] : std::vector<std::pair<NodeId, int>>{
+           {9, 4}, {10, 4}, {13, 4}, {5, 5}, {7, 3}, {100, 7}}) {
+    Graph path(n);
+    for (NodeId u = 0; u + 1 < n; ++u) path.add_edge(u, u + 1, 1.0);
+    const Partition p = greedy_partition(path, k);
+    const CutStats s = cut_stats(path, p);
+    EXPECT_GT(s.smallest_shard, 0) << "n=" << n << " k=" << k;
+    EXPECT_LE(s.largest_shard - s.smallest_shard, 1) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(Partition, GreedyCutBeatsHashOnMeshes) {
+  const Graph g = mesh(24);
+  const CutStats greedy = cut_stats(g, greedy_partition(g, 4));
+  const CutStats hash = cut_stats(g, hash_partition(g.num_nodes(), 4));
+  // BFS blocks are topological balls; hashing stripes the mesh and cuts
+  // the bulk of the edges.
+  EXPECT_LT(greedy.cut_edges, hash.cut_edges / 2);
+}
+
+TEST(Partition, GreedyCoversDisconnectedGraphs) {
+  Graph g(6);  // two triangles, no connection
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(3, 5, 1.0);
+  const Partition p = greedy_partition(g, 2);
+  std::set<NodeId> seen(p.shard_of.begin(), p.shard_of.end());
+  EXPECT_EQ(seen.size(), 2u);  // both shards used, every node assigned
+  const CutStats s = cut_stats(g, p);
+  EXPECT_EQ(s.largest_shard, 3);
+  EXPECT_EQ(s.smallest_shard, 3);
+}
+
+TEST(Partition, CutStatsCountsCrossShardEdges) {
+  Graph g(4);  // a path 0-1-2-3
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.5);
+  g.add_edge(2, 3, 1.0);
+  Partition p;
+  p.shards = 2;
+  p.shard_of = {0, 0, 1, 1};
+  const CutStats s = cut_stats(g, p);
+  EXPECT_EQ(s.cut_edges, 1);
+  EXPECT_DOUBLE_EQ(s.cut_weight, 2.5);
+}
+
+TEST(Partition, SingleShardHasNoCut) {
+  const Graph g = mesh(8);
+  const CutStats s = cut_stats(g, greedy_partition(g, 1));
+  EXPECT_EQ(s.cut_edges, 0);
+  EXPECT_EQ(s.largest_shard, g.num_nodes());
+}
+
+TEST(Partition, RejectsBadArguments) {
+  const Graph g = mesh(4);
+  EXPECT_THROW(hash_partition(10, 0), std::invalid_argument);
+  EXPECT_THROW(greedy_partition(g, -1), std::invalid_argument);
+  Partition wrong;
+  wrong.shards = 2;
+  wrong.shard_of = {0, 1};  // size mismatch
+  EXPECT_THROW((void)cut_stats(g, wrong), std::invalid_argument);
+  Partition out_of_range;
+  out_of_range.shards = 2;
+  out_of_range.shard_of.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  out_of_range.shard_of[3] = 5;  // shard id beyond [0, shards)
+  EXPECT_THROW((void)cut_stats(g, out_of_range), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass

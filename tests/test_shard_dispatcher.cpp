@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "serve/shard_dispatcher.hpp"
+#include "serve/session.hpp"
+
+namespace ingrass {
+namespace {
+
+Graph test_graph(int side = 12, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return make_triangulated_grid(static_cast<NodeId>(side), static_cast<NodeId>(side), rng);
+}
+
+ShardedOptions sharded_options(double budget = 80.0) {
+  ShardedOptions opts;
+  opts.session.engine.target_condition = budget;
+  opts.session.grass.target_offtree_density = 0.20;
+  opts.session.background_rebuild = false;  // deterministic tests
+  return opts;
+}
+
+/// b = e_u - e_v; returns x[u] - x[v] (the effective resistance).
+double solve_pair(ShardedSession& s, NodeId u, NodeId v,
+                  SparsifierSolver::Result* out = nullptr) {
+  const auto n = static_cast<std::size_t>(s.metrics().nodes);
+  std::vector<double> b(n, 0.0), x(n, 0.0);
+  b[static_cast<std::size_t>(u)] = 1.0;
+  b[static_cast<std::size_t>(v)] = -1.0;
+  const auto r = s.solve(b, x);
+  if (out) *out = r;
+  return x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+}
+
+/// First (u, v) with u's shard != v's shard.
+std::pair<NodeId, NodeId> cross_shard_pair(const ShardedSession& s) {
+  const NodeId n = s.metrics().nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    if (s.shard_of(u) != s.shard_of(0)) return {NodeId{0}, u};
+  }
+  throw std::logic_error("no cross-shard pair");
+}
+
+/// First (u, v) edge-free pair sharing a shard with u.
+std::pair<NodeId, NodeId> intra_shard_pair(const ShardedSession& s, const Graph& g) {
+  const NodeId n = s.metrics().nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+      if (s.shard_of(u) == s.shard_of(v) && !g.has_edge(u, v)) return {u, v};
+    }
+  }
+  throw std::logic_error("no intra-shard pair");
+}
+
+TEST(ShardDispatcher, PartitionsAndReportsShards) {
+  ShardedSession s(test_graph(), 4, sharded_options());
+  const ShardedMetrics m = s.metrics();
+  EXPECT_EQ(m.shards, 4);
+  EXPECT_EQ(m.nodes, 144);
+  ASSERT_EQ(m.per_shard.size(), 4u);
+  NodeId real_nodes = 0;
+  for (const SessionMetrics& sm : m.per_shard) {
+    real_nodes += sm.nodes - 1;  // minus each shard's ground node
+    EXPECT_GT(sm.h_edges, 0);
+  }
+  EXPECT_EQ(real_nodes, 144);
+  EXPECT_GT(m.boundary_edges, 0);
+  EXPECT_GT(m.boundary_weight, 0.0);
+  // Intra-shard + cut edges partition the global edge set.
+  const Graph g = s.graph();
+  EXPECT_EQ(m.g_edges, g.num_edges());
+}
+
+TEST(ShardDispatcher, ShardedSolveMatchesUnshardedToSameTolerance) {
+  const Graph g0 = test_graph();
+  ShardedOptions opts = sharded_options();
+  ShardedSession sharded(Graph(g0), 4, opts);
+  SparsifierSession plain(Graph(g0), opts.session);
+
+  const auto n = static_cast<std::size_t>(g0.num_nodes());
+  std::vector<double> b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+  std::vector<double> xs(n, 0.0), xp(n, 0.0);
+
+  SparsifierSolver::Result rs = sharded.solve(b, xs);
+  const SparsifierSolver::Result rp = plain.solve(b, xp);
+  ASSERT_TRUE(rp.converged);
+  ASSERT_TRUE(rs.converged);
+  // The acceptance bar: the sharded path meets the *same* tolerance.
+  EXPECT_LE(rs.relative_residual, opts.session.solver.outer_tol);
+  // Both solved the same SPD system — the solutions agree (up to the
+  // shared nullspace, which both project out).
+  const double want = xp[0] - xp[n - 1];
+  const double got = xs[0] - xs[n - 1];
+  EXPECT_NEAR(got, want, 1e-5 * std::abs(want));
+}
+
+TEST(ShardDispatcher, CrossShardInsertRoutesThroughBoundary) {
+  ShardedSession s(test_graph(), 4, sharded_options());
+  const ShardedMetrics before = s.metrics();
+  const auto [u, v] = cross_shard_pair(s);
+
+  UpdateBatch batch;
+  batch.inserts.push_back(Edge{u, v, 2.0});
+  const ApplyResult r = s.apply(batch);
+  EXPECT_EQ(r.stats.total() + r.removed, 0);  // no shard saw the record itself
+
+  const ShardedMetrics after = s.metrics();
+  EXPECT_EQ(after.boundary_edges, before.boundary_edges + 1);
+  EXPECT_DOUBLE_EQ(after.boundary_weight, before.boundary_weight + 2.0);
+  EXPECT_EQ(after.coupling_updates, before.coupling_updates + 2);  // both endpoints
+  EXPECT_TRUE(s.graph().has_edge(u, v));
+  // The stitched global sparsifier carries every cut edge exactly.
+  EXPECT_TRUE(s.sparsifier().has_edge(u, v));
+
+  // ... and removing it restores the boundary.
+  UpdateBatch removal;
+  removal.removals.emplace_back(u, v);
+  const ApplyResult rr = s.apply(removal);
+  EXPECT_EQ(rr.removed, 1);
+  const ShardedMetrics final_m = s.metrics();
+  EXPECT_EQ(final_m.boundary_edges, before.boundary_edges);
+  EXPECT_FALSE(s.graph().has_edge(u, v));
+}
+
+TEST(ShardDispatcher, IntraShardRecordsRouteToOwningShard) {
+  const Graph g0 = test_graph();
+  ShardedSession s(Graph(g0), 4, sharded_options());
+  const auto [u, v] = intra_shard_pair(s, g0);
+  const int owner = s.shard_of(u);
+
+  std::vector<std::uint64_t> offered_before(4);
+  for (int k = 0; k < 4; ++k) {
+    offered_before[static_cast<std::size_t>(k)] =
+        s.shard_metrics(k).counters.inserts_offered;
+  }
+  UpdateBatch batch;
+  batch.inserts.push_back(Edge{u, v, 1.5});
+  s.apply(batch);
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t now = s.shard_metrics(k).counters.inserts_offered;
+    EXPECT_EQ(now, offered_before[static_cast<std::size_t>(k)] + (k == owner ? 1 : 0));
+  }
+  EXPECT_TRUE(s.graph().has_edge(u, v));
+  // Removing it again routes the removal the same way.
+  UpdateBatch removal;
+  removal.removals.emplace_back(u, v);
+  const ApplyResult r = s.apply(removal);
+  EXPECT_EQ(r.removed, 1);
+  EXPECT_FALSE(s.graph().has_edge(u, v));
+}
+
+TEST(ShardDispatcher, MixedTrafficKeepsSolvesConverged) {
+  const Graph g0 = test_graph();
+  ShardedOptions opts = sharded_options(/*budget=*/60.0);
+  opts.session.grass.target_condition = 30.0;  // budget-guaranteed rebuilds
+  ShardedSession s(Graph(g0), 3, opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 5;
+  sopts.total_per_node = 0.4;
+  sopts.seed = 17;
+  const auto inserts = make_edge_stream(g0, sopts);
+  for (std::size_t bi = 0; bi < inserts.size(); ++bi) {
+    UpdateBatch batch;
+    batch.inserts = inserts[bi];
+    if (bi >= 2) {  // remove some of what landed two batches earlier
+      const auto& old = inserts[bi - 2];
+      for (std::size_t i = 0; i < old.size(); i += 3) {
+        batch.removals.emplace_back(old[i].u, old[i].v);
+      }
+    }
+    s.apply(batch);
+  }
+  const ShardedMetrics m = s.metrics();
+  EXPECT_GT(m.counters.inserts_offered, 0u);  // intra-shard traffic landed
+  EXPECT_GT(m.coupling_updates, 0u);          // so did cross-shard traffic
+
+  SparsifierSolver::Result r;
+  solve_pair(s, 0, s.metrics().nodes - 1, &r);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.relative_residual, opts.session.solver.outer_tol);
+}
+
+TEST(ShardDispatcher, ShardedCheckpointRoundTripRestoresIdenticalMetrics) {
+  const Graph g0 = test_graph();
+  ShardedOptions opts = sharded_options();
+  ShardedSession s(Graph(g0), 3, opts);
+
+  // Some traffic, including cross-shard records.
+  const auto [cu, cv] = cross_shard_pair(s);
+  UpdateBatch batch;
+  batch.inserts.push_back(Edge{cu, cv, 1.25});
+  const auto [iu, iv] = intra_shard_pair(s, g0);
+  batch.inserts.push_back(Edge{iu, iv, 0.75});
+  s.apply(batch);
+
+  const std::string path = testing::TempDir() + "sharded_ckpt.bin";
+  s.checkpoint(path);
+  // Re-checkpointing the same path must GC the superseded blob
+  // generation and stay restorable.
+  const std::vector<std::string> first_gen = load_shard_manifest(path).shard_files;
+  s.checkpoint(path);
+  for (const std::string& name : first_gen) {
+    EXPECT_FALSE(std::ifstream(testing::TempDir() + name).good())
+        << "stale blob survived: " << name;
+  }
+  const auto restored = ShardedSession::restore(path, opts);
+
+  const ShardedMetrics a = s.metrics();
+  const ShardedMetrics b = restored->metrics();
+  EXPECT_EQ(a.shards, b.shards);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.g_edges, b.g_edges);
+  EXPECT_EQ(a.boundary_edges, b.boundary_edges);
+  EXPECT_DOUBLE_EQ(a.boundary_weight, b.boundary_weight);
+  EXPECT_EQ(a.h_edges, b.h_edges);
+  EXPECT_EQ(a.counters.batches, b.counters.batches);
+  EXPECT_EQ(a.counters.inserts_offered, b.counters.inserts_offered);
+  EXPECT_EQ(a.counters.removals_pending, b.counters.removals_pending);
+  ASSERT_EQ(b.per_shard.size(), a.per_shard.size());
+  for (std::size_t k = 0; k < a.per_shard.size(); ++k) {
+    EXPECT_EQ(a.per_shard[k].nodes, b.per_shard[k].nodes);
+    EXPECT_EQ(a.per_shard[k].g_edges, b.per_shard[k].g_edges);
+    EXPECT_EQ(a.per_shard[k].h_edges, b.per_shard[k].h_edges);
+  }
+
+  // The restored dispatcher serves the same answers.
+  const double want = solve_pair(s, cu, cv);
+  const double got = solve_pair(*restored, cu, cv);
+  EXPECT_NEAR(got, want, 1e-5 * std::abs(want));
+
+  for (const std::string& name : load_shard_manifest(path).shard_files) {
+    std::remove((testing::TempDir() + name).c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardDispatcher, SingleShardDegeneratesToPlainSession) {
+  const Graph g0 = test_graph(8);
+  ShardedOptions opts = sharded_options();
+  ShardedSession s(Graph(g0), 1, opts);
+  const ShardedMetrics m = s.metrics();
+  EXPECT_EQ(m.shards, 1);
+  EXPECT_EQ(m.nodes, g0.num_nodes());  // no ground node
+  EXPECT_EQ(m.boundary_edges, 0);
+
+  SparsifierSession plain(Graph(g0), opts.session);
+  const auto n = static_cast<std::size_t>(g0.num_nodes());
+  std::vector<double> b(n, 0.0), xs(n, 0.0), xp(n, 0.0);
+  b[0] = 1.0;
+  b[5] = -1.0;
+  ASSERT_TRUE(s.solve(b, xs).converged);
+  ASSERT_TRUE(plain.solve(b, xp).converged);
+  EXPECT_NEAR(xs[0] - xs[5], xp[0] - xp[5], 1e-7);
+}
+
+TEST(ShardDispatcher, HashPartitionWorksToo) {
+  ShardedOptions opts = sharded_options();
+  opts.partition = PartitionStrategy::kHash;
+  ShardedSession s(test_graph(10), 4, opts);
+  SparsifierSolver::Result r;
+  solve_pair(s, 3, 90, &r);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ShardDispatcher, BackgroundRebuildsAcrossShards) {
+  const Graph g0 = test_graph();
+  ShardedOptions opts = sharded_options(/*budget=*/40.0);
+  opts.session.background_rebuild = true;
+  opts.session.rebuild_staleness_fraction = 0.2;
+  ShardedSession s(Graph(g0), 3, opts);
+
+  EdgeStreamOptions sopts;
+  sopts.iterations = 4;
+  sopts.total_per_node = 0.5;
+  sopts.global_weight_factor = 12.0;  // heavy long-range edges: high distortion
+  sopts.seed = 23;
+  const auto inserts = make_edge_stream(g0, sopts);
+  for (const auto& ins : inserts) {
+    UpdateBatch batch;
+    batch.inserts = ins;
+    s.apply(batch);
+  }
+  s.wait_for_rebuilds();
+  const ShardedMetrics m = s.metrics();
+  EXPECT_FALSE(m.rebuild_in_flight);
+  SparsifierSolver::Result r;
+  solve_pair(s, 0, 143, &r);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ShardDispatcher, RejectsBadConstruction) {
+  const Graph g0 = test_graph(6);
+  EXPECT_THROW(ShardedSession(Graph(g0), 0, sharded_options()), std::invalid_argument);
+  EXPECT_THROW(ShardedSession(Graph(g0), 100, sharded_options()),
+               std::invalid_argument);
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1, 1.0);
+  disconnected.add_edge(2, 3, 1.0);
+  EXPECT_THROW(ShardedSession(std::move(disconnected), 2, sharded_options()),
+               std::invalid_argument);
+}
+
+TEST(ShardDispatcher, RejectsBadBatches) {
+  ShardedSession s(test_graph(8), 2, sharded_options());
+  UpdateBatch self_loop;
+  self_loop.inserts.push_back(Edge{3, 3, 1.0});
+  EXPECT_THROW(s.apply(self_loop), std::invalid_argument);
+  UpdateBatch out_of_range;
+  out_of_range.removals.emplace_back(0, 1000);
+  EXPECT_THROW(s.apply(out_of_range), std::invalid_argument);
+  UpdateBatch bad_weight;
+  bad_weight.inserts.push_back(Edge{0, 1, -1.0});
+  EXPECT_THROW(s.apply(bad_weight), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Markdown link checker: docs rot fails the build.
+
+Walks every *.md file in the repository (skipping build trees and .git),
+extracts inline links and images, and verifies that
+
+  - relative file targets exist (fragments and queries stripped),
+  - intra-document fragment links (#heading) match a real heading,
+  - reference-style link definitions resolve the same way.
+
+External (http/https/mailto) targets are intentionally not fetched — CI
+must stay hermetic — but obviously malformed ones (empty target) still
+fail. Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", "build", "build-asan", "third_party", "_deps"}
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def md_files(root: Path) -> list[Path]:
+    out = []
+    for path in root.rglob("*.md"):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            out.append(path)
+    return sorted(out)
+
+
+def headings(markdown: str) -> set[str]:
+    """Anchor slugs of a document's real headings — code fences stripped
+    first, or '#'-prefixed shell comments inside ``` blocks would register
+    as headings and mask broken fragment links."""
+    return {github_slug(h) for h in HEADING.findall(CODE_FENCE.sub("", markdown))}
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8")
+    text = CODE_FENCE.sub("", raw)  # links inside code fences are examples
+    anchors = headings(raw)
+    errors = []
+
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    for target in targets:
+        target = target.strip("<>")
+        if not target:
+            errors.append(f"{path.relative_to(root)}: empty link target")
+            continue
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # http:, https:, mailto:, ... — not checked offline
+        base, _, fragment = target.partition("#")
+        if not base:
+            if fragment and github_slug(fragment) not in anchors:
+                errors.append(
+                    f"{path.relative_to(root)}: broken anchor '#{fragment}'")
+            continue
+        base = base.split("?")[0]
+        dest = (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(
+                f"{path.relative_to(root)}: broken link '{target}' "
+                f"(no such file: {base})")
+            continue
+        if fragment and dest.suffix == ".md":
+            dest_anchors = headings(dest.read_text(encoding="utf-8"))
+            if github_slug(fragment) not in dest_anchors:
+                errors.append(
+                    f"{path.relative_to(root)}: broken anchor "
+                    f"'{target}' (no heading '#{fragment}' in {base})")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = md_files(root)
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"check_links: {len(errors)} broken link(s) in {len(files)} files:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_links: OK ({len(files)} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
