@@ -1,412 +1,201 @@
-// ingrass_serve — long-lived sparsifier sessions speaking a line protocol
-// on stdin/stdout. The operational front-end to serve/session.hpp and
-// serve/shard_dispatcher.hpp: open a graph (or restore a checkpoint),
-// stream mixed insert/remove batches, solve against the maintained
-// sparsifier-preconditioned system, inspect metrics, and checkpoint for
-// restart — all without ever re-paying the setup phase in the foreground.
-// The full request/response grammar, error lines, and a worked transcript
-// live in docs/serve_protocol.md.
+// ingrass_serve — the serving front-end over serve::Engine: long-lived
+// multi-tenant sparsifier sessions behind the typed request/response
+// protocol (serve/protocol.hpp) and a pluggable transport
+// (serve/transport.hpp). This file is flag parsing and wiring only; the
+// command grammar, the binary frame layout, the tenant addressing, and a
+// worked transcript live in docs/serve_protocol.md.
 //
-// Protocol (one command per line; one response per command, `ok ...` or
-// `err <message>`; stdout is flushed after every response):
+// Modes:
 //
-//   open <g.mtx> [--density f] [--target C] [--grass-target C]
-//                [--staleness f] [--sync] [--no-rebuild]
-//       Load a Matrix Market graph, build H(0) with GRASS at --density
-//       (default 0.10), run the inGRASS setup with kappa budget --target
-//       (default 100). --grass-target makes rebuilds (and H(0))
-//       condition-targeted instead of density-targeted. --staleness sets
-//       the rebuild trip point as a fraction of the budget (default 0.75).
-//       --sync rebuilds inside apply instead of in the background;
-//       --no-rebuild disables rebuilds entirely.
-//   open-sharded <g.mtx> <K> [--partition hash|greedy] [same options]
-//       Partition the graph across K sparsifier sessions behind the
-//       shard dispatcher (default partition: greedy). Session options
-//       apply to every shard.
-//   restore <ckpt> [same options]
-//       Resume a session from a v1 checkpoint file (no GRASS pass).
-//   restore-sharded <manifest> [same options]
-//       Resume a sharded session from a v2 manifest + its shard blobs.
-//   insert <u> <v> <w>      stage an insertion into the pending batch
-//   remove <u> <v>          stage a removal into the pending batch
-//   apply                   apply the pending batch through the session
-//                           (sharded: records route to their owning
-//                           shards; cross-shard edges hit the boundary)
-//   solve <u> <v>           flush pending, then solve L_G x = e_u - e_v;
-//                           reports iterations, residual, and x[u]-x[v]
-//                           (the effective resistance between u and v)
-//   metrics                 flush pending, then report session metrics
-//                           (sharded: aggregated, plus boundary stats)
-//   shard-metrics <k>       sharded only: one shard's metrics
-//   kappa                   flush pending, then measure kappa(L_G, L_H)
-//                           against the budget (expensive; diagnostics —
-//                           sharded: against the stitched sparsifier)
-//   checkpoint <path>       flush pending, then write a binary checkpoint
-//                           (sharded: v2 manifest + per-shard blobs)
-//   quit                    flush pending and exit 0 (EOF does the same)
+//   ingrass_serve
+//       Serve the text line protocol on stdin/stdout (byte-compatible
+//       with the original single-session server; unnamed commands hit
+//       the "default" tenant, `@name` prefixes or `open --name` address
+//       others).
+//   ingrass_serve --binary
+//       Same loop, but stdin/stdout carry length-prefixed binary frames.
+//   ingrass_serve --listen <port> [--port-file <path>]
+//       TCP server: sequential accept loop, one shared Engine, so named
+//       tenants persist across client connections. Port 0 binds an
+//       ephemeral port; --port-file publishes the bound port (written
+//       atomically) for drivers that asked for one. Each connection
+//       auto-selects text or binary by its first bytes. A `quit` from
+//       any client stops the server.
+//   ingrass_serve --connect <port> [--script <file>]... [--text]
+//   ingrass_serve --connect-port-file <path> [--script <file>]... [--text]
+//       Client: read text commands (from each --script in order, or
+//       stdin), send them over the socket — binary frames by default,
+//       the text grammar with --text — and print the text-rendered
+//       responses. Each script runs on its own connection, which is how
+//       the smoke test demonstrates tenants outliving clients.
 //
-// Exit status: 0 on quit/EOF, 1 on usage errors (the program takes no
-// arguments), 2 on fatal runtime failures. Per-command failures print
-// `err ...` and the session keeps serving.
+// Exit status: 0 on quit/EOF, 1 on usage errors, 2 on fatal runtime
+// failures. Per-command failures print `err ...` and the session keeps
+// serving.
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
-#include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
-#include "graph/mtx_io.hpp"
-#include "serve/session.hpp"
-#include "serve/shard_dispatcher.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 #include "util/parse.hpp"
 
 using namespace ingrass;
 
 namespace {
 
-struct ServeState {
-  // Exactly one of these is live after open/restore.
-  std::unique_ptr<SparsifierSession> session;
-  std::unique_ptr<ShardedSession> sharded;
-  UpdateBatch pending;
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ingrass_serve                                  text protocol on stdin/stdout\n"
+      "  ingrass_serve --binary                         binary frames on stdin/stdout\n"
+      "  ingrass_serve --listen <port> [--port-file <path>]\n"
+      "  ingrass_serve --connect <port> [--script <file>]... [--text]\n"
+      "  ingrass_serve --connect-port-file <path> [--script <file>]... [--text]\n"
+      "commands are read per connection; see docs/serve_protocol.md\n");
+  return 1;
+}
 
-  [[nodiscard]] bool open() const { return session || sharded; }
+struct Args {
+  bool stdio_binary = false;
+  std::optional<long> listen_port;
+  std::string port_file;
+  std::optional<long> connect_port;
+  std::string connect_port_file;
+  std::vector<std::string> scripts;
+  bool client_text = false;
 };
 
-[[noreturn]] void protocol_error(const std::string& why) {
-  throw std::runtime_error(why);
-}
-
-long parse_long(const std::string& tok, const char* what) {
-  const auto v = parse_full_long(tok);
-  if (!v) protocol_error(std::string("bad ") + what + ": '" + tok + "'");
-  return *v;
-}
-
-double parse_double(const std::string& tok, const char* what) {
-  const auto v = parse_full_double(tok);
-  if (!v) protocol_error(std::string("bad ") + what + ": '" + tok + "'");
-  return *v;
-}
-
-NodeId parse_node(const std::string& tok) {
-  const long v = parse_long(tok, "node id");
-  if (v < 0) protocol_error("node id must be non-negative");
-  return static_cast<NodeId>(v);
-}
-
-/// Sharded-session options from the open/restore flag tail (args[from..]).
-/// The plain-session options are the `session` member; `--partition` is
-/// recognized only when `sharded` is true.
-ShardedOptions parse_session_options(const std::vector<std::string>& args,
-                                     std::size_t from, bool sharded) {
-  ShardedOptions opts;
-  opts.session.engine.target_condition = 100.0;
-  double density = 0.10;
-  std::optional<double> grass_target;
-  for (std::size_t i = from; i < args.size(); ++i) {
-    const std::string& flag = args[i];
-    auto value = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) protocol_error("missing value for " + flag);
-      return args[++i];
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
     };
-    if (flag == "--density") {
-      density = parse_double(value(), "--density");
-    } else if (flag == "--target") {
-      opts.session.engine.target_condition = parse_double(value(), "--target");
-    } else if (flag == "--grass-target") {
-      grass_target = parse_double(value(), "--grass-target");
-    } else if (flag == "--staleness") {
-      opts.session.rebuild_staleness_fraction = parse_double(value(), "--staleness");
-    } else if (flag == "--sync") {
-      opts.session.background_rebuild = false;
-    } else if (flag == "--no-rebuild") {
-      opts.session.enable_rebuild = false;
-    } else if (sharded && flag == "--partition") {
-      const std::string& v = value();
-      if (v == "hash") {
-        opts.partition = PartitionStrategy::kHash;
-      } else if (v == "greedy") {
-        opts.partition = PartitionStrategy::kGreedy;
-      } else {
-        protocol_error("bad --partition (want hash or greedy): '" + v + "'");
-      }
+    auto port_value = [&]() -> std::optional<long> {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      const auto port = parse_full_long(*v);
+      if (!port || *port < 0 || *port > 65535) return std::nullopt;
+      return *port;
+    };
+    if (flag == "--binary") {
+      a.stdio_binary = true;
+    } else if (flag == "--listen") {
+      a.listen_port = port_value();
+      if (!a.listen_port) return std::nullopt;
+    } else if (flag == "--port-file") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.port_file = *v;
+    } else if (flag == "--connect") {
+      a.connect_port = port_value();
+      if (!a.connect_port) return std::nullopt;
+    } else if (flag == "--connect-port-file") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.connect_port_file = *v;
+    } else if (flag == "--script") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.scripts.push_back(*v);
+    } else if (flag == "--text") {
+      a.client_text = true;
     } else {
-      protocol_error("unknown option: " + flag);
+      return std::nullopt;
     }
   }
-  opts.session.grass.target_offtree_density = density;
-  if (grass_target) opts.session.grass.target_condition = *grass_target;
-  return opts;
+  const bool client = a.connect_port || !a.connect_port_file.empty();
+  const bool server_tcp = a.listen_port.has_value();
+  // Mutually exclusive modes; client-only and server-only flags must not
+  // leak across modes.
+  if (client && server_tcp) return std::nullopt;
+  if (client && a.stdio_binary) return std::nullopt;
+  if (a.connect_port && !a.connect_port_file.empty()) return std::nullopt;
+  if (server_tcp && a.stdio_binary) return std::nullopt;
+  if (!server_tcp && !a.port_file.empty()) return std::nullopt;
+  if (!client && (a.client_text || !a.scripts.empty())) return std::nullopt;
+  return a;
 }
 
-void require_open(const ServeState& st) {
-  if (!st.open()) protocol_error("no session (use open or restore)");
-}
-
-NodeId node_count(const ServeState& st) {
-  require_open(st);
-  // Lock-free constant — insert/remove staging must not take the session
-  // locks (num_nodes never changes after open).
-  return st.session ? st.session->num_nodes() : st.sharded->num_nodes();
-}
-
-ApplyResult apply_batch(ServeState& st, const UpdateBatch& batch) {
-  require_open(st);
-  return st.session ? st.session->apply(batch) : st.sharded->apply(batch);
-}
-
-/// Apply the staged batch, if any. Commands that read state call this so
-/// responses always reflect every staged record. The batch is taken out
-/// *before* applying: if the apply fails, the bad batch is discarded with
-/// the error instead of wedging every subsequent flushing command.
-void flush(ServeState& st) {
-  if (st.pending.empty()) return;
-  const UpdateBatch batch = std::move(st.pending);
-  st.pending = UpdateBatch{};
-  apply_batch(st, batch);
-}
-
-void print_counters_tail(const SessionCounters& c, double staleness,
-                         bool rebuild_in_flight) {
-  std::printf(
-      "batches=%llu inserts=%llu removals=%llu ghosts=%llu solves=%llu "
-      "rebuilds=%llu rebuild_failures=%llu staleness=%.6g rebuild_in_flight=%d",
-      static_cast<unsigned long long>(c.batches),
-      static_cast<unsigned long long>(c.inserts_offered),
-      static_cast<unsigned long long>(c.removals_applied),
-      static_cast<unsigned long long>(c.removals_pending),
-      static_cast<unsigned long long>(c.solves),
-      static_cast<unsigned long long>(c.rebuilds),
-      static_cast<unsigned long long>(c.rebuild_failures), staleness,
-      rebuild_in_flight ? 1 : 0);
-}
-
-void respond_open(const ServeState& st, const char* verb) {
-  if (st.session) {
-    const SessionMetrics m = st.session->metrics();
-    std::printf("ok %s nodes=%d g_edges=%lld h_edges=%lld target=%g batches=%llu\n",
-                verb, m.nodes, static_cast<long long>(m.g_edges),
-                static_cast<long long>(m.h_edges), m.target_condition,
-                static_cast<unsigned long long>(m.counters.batches));
-    return;
+/// Drive one connection: text commands from `src`, requests over `wire`,
+/// text-rendered responses on stdout. Returns true when the server said
+/// Bye (the script quit).
+bool drive_connection(serve::TcpClient& client, serve::Codec& wire,
+                      serve::TextCodec& text, std::istream& src) {
+  for (;;) {
+    std::optional<serve::Request> request;
+    try {
+      request = text.read_request(src);
+    } catch (const serve::ProtocolError& e) {
+      // Local parse errors mirror the server's err lines, so scripted
+      // sessions read the same whether the mistake dies here or there.
+      std::cout << "err " << e.what() << "\n" << std::flush;
+      continue;
+    }
+    if (!request) return false;
+    wire.write_request(client.out(), *request);
+    client.out().flush();
+    const auto response = wire.read_response(client.in());
+    if (!response) throw std::runtime_error("server closed the connection");
+    text.write_response(std::cout, *response);
+    std::cout.flush();
+    if (std::holds_alternative<serve::resp::Bye>(*response)) return true;
   }
-  const ShardedMetrics m = st.sharded->metrics();
-  std::printf(
-      "ok %s nodes=%d g_edges=%lld h_edges=%lld shards=%d boundary_edges=%lld "
-      "target=%g batches=%llu\n",
-      verb, m.nodes, static_cast<long long>(m.g_edges),
-      static_cast<long long>(m.h_edges), m.shards,
-      static_cast<long long>(m.boundary_edges),
-      st.sharded->options().session.engine.target_condition,
-      static_cast<unsigned long long>(m.counters.batches));
 }
 
-/// Execute one command line. Returns false when the session should quit.
-bool execute(ServeState& st, const std::vector<std::string>& args) {
-  const std::string& cmd = args[0];
-  if (cmd == "quit") {
-    if (st.open()) flush(st);  // a throw discards the bad batch; the next
-                               // quit (or EOF) still shuts down cleanly
-    std::printf("ok quit\n");
-    return false;
+int run_client(const Args& a) {
+  const auto port = static_cast<std::uint16_t>(
+      a.connect_port ? *a.connect_port
+                     : serve::wait_for_port_file(a.connect_port_file));
+  serve::TextCodec text;
+  serve::BinaryCodec binary;
+  serve::Codec& wire = a.client_text ? static_cast<serve::Codec&>(text) : binary;
+  if (a.scripts.empty()) {
+    serve::TcpClient client(port);
+    drive_connection(client, wire, text, std::cin);
+    return 0;
   }
-  if (cmd == "open" || cmd == "restore") {
-    if (args.size() < 2) protocol_error(cmd + " requires a path");
-    const ShardedOptions opts = parse_session_options(args, 2, /*sharded=*/false);
-    if (cmd == "open") {
-      st.session =
-          std::make_unique<SparsifierSession>(read_mtx_file(args[1]), opts.session);
-    } else {
-      st.session = SparsifierSession::restore(args[1], opts.session);
-    }
-    st.sharded.reset();
-    st.pending = UpdateBatch{};
-    respond_open(st, cmd.c_str());
-  } else if (cmd == "open-sharded" || cmd == "restore-sharded") {
-    const bool opening = cmd == "open-sharded";
-    const std::size_t flags_from = opening ? 3 : 2;
-    if (args.size() < flags_from) {
-      protocol_error(opening ? "usage: open-sharded <g.mtx> <K> [options]"
-                             : "usage: restore-sharded <manifest> [options]");
-    }
-    const ShardedOptions opts = parse_session_options(args, flags_from, true);
-    if (opening) {
-      const long shards = parse_long(args[2], "shard count");
-      if (shards < 1) protocol_error("shard count must be >= 1");
-      st.sharded = std::make_unique<ShardedSession>(
-          read_mtx_file(args[1]), static_cast<int>(shards), opts);
-    } else {
-      st.sharded = ShardedSession::restore(args[1], opts);
-    }
-    st.session.reset();
-    st.pending = UpdateBatch{};
-    respond_open(st, cmd.c_str());
-  } else if (cmd == "insert") {
-    if (args.size() != 4) protocol_error("usage: insert <u> <v> <w>");
-    const NodeId nodes = node_count(st);  // also fails w/o session
-    Edge e;
-    e.u = parse_node(args[1]);
-    e.v = parse_node(args[2]);
-    e.w = parse_double(args[3], "weight");
-    if (e.u >= nodes || e.v >= nodes) protocol_error("node id exceeds graph size");
-    if (!(e.w > 0.0)) protocol_error("weight must be positive");
-    if (e.u == e.v) protocol_error("self-loop");
-    if (e.u > e.v) std::swap(e.u, e.v);
-    st.pending.inserts.push_back(e);
-    std::printf("ok staged inserts=%zu removals=%zu\n", st.pending.inserts.size(),
-                st.pending.removals.size());
-  } else if (cmd == "remove") {
-    if (args.size() != 3) protocol_error("usage: remove <u> <v>");
-    const NodeId nodes = node_count(st);
-    NodeId u = parse_node(args[1]);
-    NodeId v = parse_node(args[2]);
-    if (u >= nodes || v >= nodes) protocol_error("node id exceeds graph size");
-    if (u == v) protocol_error("self-loop");
-    if (u > v) std::swap(u, v);
-    st.pending.removals.emplace_back(u, v);
-    std::printf("ok staged inserts=%zu removals=%zu\n", st.pending.inserts.size(),
-                st.pending.removals.size());
-  } else if (cmd == "apply") {
-    if (args.size() != 1) protocol_error("usage: apply");
-    const UpdateBatch batch = std::move(st.pending);
-    st.pending = UpdateBatch{};
-    const ApplyResult r = apply_batch(st, batch);
-    std::printf(
-        "ok apply inserted=%lld merged=%lld redistributed=%lld reinforced=%lld "
-        "removed=%lld ghost=%lld staleness=%.6g rebuild=%d\n",
-        static_cast<long long>(r.stats.inserted), static_cast<long long>(r.stats.merged),
-        static_cast<long long>(r.stats.redistributed),
-        static_cast<long long>(r.stats.reinforced), static_cast<long long>(r.removed),
-        static_cast<long long>(r.ghost_removals), r.staleness,
-        r.rebuild_triggered ? 1 : 0);
-  } else if (cmd == "solve") {
-    if (args.size() != 3) protocol_error("usage: solve <u> <v>");
-    flush(st);
-    const NodeId nodes = node_count(st);
-    const NodeId u = parse_node(args[1]);
-    const NodeId v = parse_node(args[2]);
-    if (u >= nodes || v >= nodes) protocol_error("node id exceeds graph size");
-    if (u == v) protocol_error("solve endpoints must differ");
-    std::vector<double> b(static_cast<std::size_t>(nodes), 0.0);
-    std::vector<double> x(static_cast<std::size_t>(nodes), 0.0);
-    b[static_cast<std::size_t>(u)] = 1.0;
-    b[static_cast<std::size_t>(v)] = -1.0;
-    const auto r = st.session ? st.session->solve(b, x) : st.sharded->solve(b, x);
-    if (!r.converged) protocol_error("solve did not converge");
-    std::printf("ok solve iters=%d resid=%.3g resistance=%.10g\n", r.outer_iterations,
-                r.relative_residual,
-                x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)]);
-  } else if (cmd == "metrics") {
-    if (args.size() != 1) protocol_error("usage: metrics");
-    flush(st);
-    if (st.session) {
-      const SessionMetrics m = st.session->metrics();
-      std::printf("ok metrics nodes=%d g_edges=%lld h_edges=%lld ", m.nodes,
-                  static_cast<long long>(m.g_edges), static_cast<long long>(m.h_edges));
-      print_counters_tail(m.counters, m.staleness, m.rebuild_in_flight);
-      std::printf("\n");
-    } else {
-      require_open(st);
-      const ShardedMetrics m = st.sharded->metrics();
-      std::printf(
-          "ok metrics nodes=%d g_edges=%lld h_edges=%lld shards=%d "
-          "boundary_edges=%lld boundary_weight=%.6g global_solves=%llu "
-          "coupling_updates=%llu ",
-          m.nodes, static_cast<long long>(m.g_edges), static_cast<long long>(m.h_edges),
-          m.shards, static_cast<long long>(m.boundary_edges), m.boundary_weight,
-          static_cast<unsigned long long>(m.global_solves),
-          static_cast<unsigned long long>(m.coupling_updates));
-      print_counters_tail(m.counters, m.staleness, m.rebuild_in_flight);
-      std::printf("\n");
-    }
-  } else if (cmd == "shard-metrics") {
-    if (args.size() != 2) protocol_error("usage: shard-metrics <k>");
-    flush(st);
-    require_open(st);
-    if (!st.sharded) protocol_error("shard-metrics requires a sharded session");
-    const long k = parse_long(args[1], "shard index");
-    if (k < 0 || k >= st.sharded->num_shards()) protocol_error("shard index out of range");
-    const SessionMetrics m = st.sharded->shard_metrics(static_cast<int>(k));
-    std::printf("ok shard-metrics shard=%ld nodes=%d g_edges=%lld h_edges=%lld ", k,
-                m.nodes, static_cast<long long>(m.g_edges),
-                static_cast<long long>(m.h_edges));
-    print_counters_tail(m.counters, m.staleness, m.rebuild_in_flight);
-    std::printf("\n");
-  } else if (cmd == "kappa") {
-    if (args.size() != 1) protocol_error("usage: kappa");
-    flush(st);
-    require_open(st);
-    double kappa = 0.0;
-    double target = 0.0;
-    if (st.session) {
-      st.session->wait_for_rebuild();  // measure the settled pair
-      kappa = st.session->measure_kappa();
-      target = st.session->options().engine.target_condition;
-    } else {
-      st.sharded->wait_for_rebuilds();
-      kappa = st.sharded->measure_kappa();
-      target = st.sharded->options().session.engine.target_condition;
-    }
-    std::printf("ok kappa value=%.4g target=%g within=%d\n", kappa, target,
-                kappa <= target ? 1 : 0);
-  } else if (cmd == "checkpoint") {
-    if (args.size() != 2) protocol_error("usage: checkpoint <path>");
-    flush(st);
-    require_open(st);
-    if (st.session) {
-      st.session->checkpoint(args[1]);
-    } else {
-      st.sharded->checkpoint(args[1]);
-    }
-    std::printf("ok checkpoint path=%s\n", args[1].c_str());
-  } else {
-    protocol_error("unknown command: " + cmd);
+  for (const std::string& path : a.scripts) {
+    std::ifstream src(path);
+    if (!src) throw std::runtime_error("cannot open script: " + path);
+    serve::TcpClient client(port);  // one connection per script
+    if (drive_connection(client, wire, text, src)) break;
   }
-  return true;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 1) {
-    std::fprintf(stderr,
-                 "usage: %s  (no arguments; commands on stdin — see "
-                 "docs/serve_protocol.md)\n",
-                 argv[0]);
-    return 1;
-  }
+  const auto args = parse_args(argc, argv);
+  if (!args) return usage();
   try {
-    ServeState st;
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      const auto hash = line.find('#');
-      if (hash != std::string::npos) line.erase(hash);
-      std::istringstream ss(line);
-      std::vector<std::string> args;
-      for (std::string tok; ss >> tok;) args.push_back(std::move(tok));
-      if (args.empty()) continue;
-      bool keep_going = true;
-      try {
-        keep_going = execute(st, args);
-      } catch (const std::exception& e) {
-        std::printf("err %s\n", e.what());
-      }
-      std::fflush(stdout);
-      if (!keep_going) return 0;
+    if (args->connect_port || !args->connect_port_file.empty()) {
+      return run_client(*args);
     }
-    if (st.open()) {
-      // EOF without `quit`: flushing a bad staged batch must not turn a
-      // clean shutdown into a fatal exit.
-      try {
-        flush(st);
-      } catch (const std::exception& e) {
-        std::printf("err %s\n", e.what());
-      }
+    serve::Engine engine;
+    if (args->listen_port) {
+      serve::TcpOptions opts;
+      opts.port = static_cast<std::uint16_t>(*args->listen_port);
+      opts.port_file = args->port_file;
+      serve_tcp(engine, opts);
+      return 0;
     }
+    serve::TextCodec text;
+    serve::BinaryCodec binary;
+    serve::Codec& codec =
+        args->stdio_binary ? static_cast<serve::Codec&>(binary) : text;
+    serve_stream(engine, codec, std::cin, std::cout);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fatal: %s\n", e.what());

@@ -16,22 +16,25 @@
 //       (--remove-frac) — and write it in the stream file format (see
 //       graph/stream_io.hpp).
 //
-// Options:
+// Options (the session bundle --density/--target/--grass-target/
+// --staleness is the shared serve parser — serve::consume_session_flag —
+// so defaults and error behavior match `ingrass_serve` exactly):
 //   --density <frac>     H(0) off-tree density          (default 0.10)
 //   --target <C>         kappa budget for the session   (default: measured kappa0)
+//   --staleness <f>      staleness fraction tripping a rebuild (default 0.75)
+//   --rebuild-at <f>     legacy alias for --staleness
+//   --grass-target <C>   rebuilds re-sparsify to kappa <= C instead of to
+//                        the --density target (budget-guaranteed mode)
+//   --no-rebuild         replay: never re-sparsify (paper-faithful mode)
 //   --iterations <n>     generate: number of batches    (default 10)
 //   --per-node <frac>    generate: total edges / N      (default 0.24)
 //   --remove-frac <f>    generate: removals per batch as a fraction of its
 //                        inserts, drawn from earlier-inserted edges (default 0)
 //   --seed <s>           generate: workload seed        (default 2024)
 //   --quantile <q>       filtering-level size quantile  (default 0.5)
-//   --rebuild-at <f>     staleness fraction tripping a rebuild (default 0.75)
-//   --grass-target <C>   rebuilds re-sparsify to kappa <= C instead of to
-//                        the --density target (budget-guaranteed mode)
 //   --shards <K>         replay: drive the batches through a K-shard
 //                        ShardedSession (greedy partition) instead of one
 //                        session; per-batch rows aggregate the shards
-//   --no-rebuild         replay: never re-sparsify (paper-faithful mode)
 //   --no-kappa           replay: skip condition-number measurements
 //
 // Exit status 0 on success, 1 on usage errors, 2 on runtime failures.
@@ -46,6 +49,7 @@
 #include "core/edge_stream.hpp"
 #include "graph/mtx_io.hpp"
 #include "graph/stream_io.hpp"
+#include "serve/protocol.hpp"
 #include "serve/session.hpp"
 #include "serve/shard_dispatcher.hpp"
 #include "sparsify/density.hpp"
@@ -62,7 +66,7 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  stream_replay replay   <g.mtx> <stream.txt> [--density f] "
-               "[--target C] [--quantile q] [--rebuild-at f] [--grass-target C] "
+               "[--target C] [--quantile q] [--staleness f] [--grass-target C] "
                "[--shards K] [--no-rebuild] [--no-kappa]\n"
                "  stream_replay generate <g.mtx> <stream.txt> [--iterations n] "
                "[--per-node f] [--remove-frac f] [--seed s]\n");
@@ -73,17 +77,16 @@ struct Args {
   std::string command;
   std::string graph_path;
   std::string stream_path;
-  double density = 0.10;
-  std::optional<double> target;
+  /// The shared session bundle (--density/--target/--grass-target/
+  /// --staleness/--no-rebuild), parsed by serve::consume_session_flag so
+  /// the defaults cannot drift from the serve protocol.
+  serve::SessionSpec spec;
   int iterations = 10;
   double per_node = 0.24;
   double remove_frac = 0.0;
   std::uint64_t seed = 2024;
   double quantile = 0.5;
-  double rebuild_at = 0.75;
-  std::optional<double> grass_target;
   int shards = 1;
-  bool no_rebuild = false;
   bool no_kappa = false;
 };
 
@@ -93,24 +96,22 @@ std::optional<Args> parse(int argc, char** argv) {
   a.command = argv[1];
   a.graph_path = argv[2];
   a.stream_path = argv[3];
-  for (int i = 4; i < argc; ++i) {
-    const std::string flag = argv[i];
+  const std::vector<std::string> args(argv + 4, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    // The shared session flags first; tool-specific flags below.
+    if (serve::consume_session_flag(args, i, a.spec)) continue;
+    const std::string& flag = args[i];
     auto value = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
     };
     if (flag == "--no-kappa") {
       a.no_kappa = true;
-    } else if (flag == "--no-rebuild") {
-      a.no_rebuild = true;
-    } else if (flag == "--density") {
+    } else if (flag == "--rebuild-at") {
+      // Legacy alias for --staleness.
       const auto v = value();
       if (!v) return std::nullopt;
-      a.density = std::stod(*v);
-    } else if (flag == "--target") {
-      const auto v = value();
-      if (!v) return std::nullopt;
-      a.target = std::stod(*v);
+      a.spec.staleness = std::stod(*v);
     } else if (flag == "--iterations") {
       const auto v = value();
       if (!v) return std::nullopt;
@@ -135,14 +136,6 @@ std::optional<Args> parse(int argc, char** argv) {
       const auto v = value();
       if (!v) return std::nullopt;
       a.quantile = std::stod(*v);
-    } else if (flag == "--rebuild-at") {
-      const auto v = value();
-      if (!v) return std::nullopt;
-      a.rebuild_at = std::stod(*v);
-    } else if (flag == "--grass-target") {
-      const auto v = value();
-      if (!v) return std::nullopt;
-      a.grass_target = std::stod(*v);
     } else if (flag == "--shards") {
       const auto v = value();
       if (!v) return std::nullopt;
@@ -212,13 +205,8 @@ int run_replay_sharded(const Args& a) {
               static_cast<long long>(g0.num_edges()));
   const auto batches = load_update_stream(a.stream_path, g0.num_nodes());
 
-  ShardedOptions sopts;
-  sopts.session.engine.target_condition = a.target.value_or(100.0);
+  ShardedOptions sopts = a.spec.sharded_options(PartitionStrategy::kGreedy);
   sopts.session.engine.level_size_quantile = a.quantile;
-  sopts.session.grass.target_offtree_density = a.density;
-  if (a.grass_target) sopts.session.grass.target_condition = *a.grass_target;
-  sopts.session.rebuild_staleness_fraction = a.rebuild_at;
-  sopts.session.enable_rebuild = !a.no_rebuild;
   sopts.session.background_rebuild = false;  // deterministic replays
   ShardedSession session(Graph(g0), a.shards, sopts);
   {
@@ -227,7 +215,7 @@ int run_replay_sharded(const Args& a) {
         "setup: %d shards, %lld cut edges (boundary weight %.3g), kappa budget "
         "%.1f per shard, rebuild at %.0f%%\n\n",
         m.shards, static_cast<long long>(m.boundary_edges), m.boundary_weight,
-        sopts.session.engine.target_condition, 100.0 * a.rebuild_at);
+        sopts.session.engine.target_condition, 100.0 * a.spec.staleness);
   }
 
   AccumTimer updates;
@@ -273,7 +261,7 @@ int run_replay(const Args& a) {
   const auto batches = load_update_stream(a.stream_path, g0.num_nodes());
 
   GrassOptions gopts;
-  gopts.target_offtree_density = a.density;
+  gopts.target_offtree_density = a.spec.density;
   Graph h0 = grass_sparsify(g0, gopts).sparsifier;
   double kappa0 = 0.0;
   if (!a.no_kappa) {
@@ -282,17 +270,15 @@ int run_replay(const Args& a) {
                 100.0 * offtree_density(h0), kappa0);
   }
 
-  SessionOptions sopts;
-  sopts.engine.target_condition = a.target.value_or(a.no_kappa ? 100.0 : kappa0);
+  SessionOptions sopts = a.spec.session_options();
+  // An unset --target falls back to the measured kappa0 here (the serve
+  // default of 100 only applies when kappa is not being measured).
+  sopts.engine.target_condition = a.spec.target.value_or(a.no_kappa ? 100.0 : kappa0);
   sopts.engine.level_size_quantile = a.quantile;
-  sopts.grass = gopts;
-  if (a.grass_target) sopts.grass.target_condition = *a.grass_target;
-  sopts.rebuild_staleness_fraction = a.rebuild_at;
-  sopts.enable_rebuild = !a.no_rebuild;
   sopts.background_rebuild = false;  // deterministic replays
   SparsifierSession session(g0, Graph(h0), sopts);
   std::printf("setup: %d nodes sparsifier, kappa budget %.1f, rebuild at %.0f%%\n\n",
-              g0.num_nodes(), sopts.engine.target_condition, 100.0 * a.rebuild_at);
+              g0.num_nodes(), sopts.engine.target_condition, 100.0 * a.spec.staleness);
 
   AccumTimer updates;
   std::printf("%-7s %-7s %-9s %-8s %-7s %-11s %-8s %-7s %-9s %s\n", "batch", "edges",

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "serve/protocol.hpp"
 #include "serve/session.hpp"
 #include "serve/shard_dispatcher.hpp"
 #include "util/rng.hpp"
@@ -65,14 +66,20 @@ std::vector<UpdateBatch> make_traffic(const Graph& g, std::uint64_t seed) {
   return batches;
 }
 
+/// The bench session policy: the shared serving defaults (density 0.10,
+/// kappa budget 100 — serve::SessionSpec, so they cannot drift from the
+/// protocol's) with an aggressive staleness trip to exercise rebuilds.
+serve::SessionSpec bench_spec(bool enable_rebuild, bool background) {
+  serve::SessionSpec spec;
+  spec.staleness = 0.25;
+  spec.sync = !background;
+  spec.no_rebuild = !enable_rebuild;
+  return spec;
+}
+
 RunResult run_policy(const Graph& g0, const std::vector<UpdateBatch>& batches,
                      bool enable_rebuild, bool background) {
-  SessionOptions opts;
-  opts.engine.target_condition = 100.0;
-  opts.grass.target_offtree_density = 0.10;
-  opts.rebuild_staleness_fraction = 0.25;
-  opts.enable_rebuild = enable_rebuild;
-  opts.background_rebuild = background;
+  SessionOptions opts = bench_spec(enable_rebuild, background).session_options();
   opts.solver.outer_tol = 1e-6;
   SparsifierSession session(Graph(g0), opts);
 
@@ -112,12 +119,8 @@ RunResult run_policy(const Graph& g0, const std::vector<UpdateBatch>& batches,
 
 RunResult run_sharded(const Graph& g0, const std::vector<UpdateBatch>& batches,
                       int shards) {
-  ShardedOptions opts;
-  opts.session.engine.target_condition = 100.0;
-  opts.session.grass.target_offtree_density = 0.10;
-  opts.session.rebuild_staleness_fraction = 0.25;
-  opts.session.enable_rebuild = true;
-  opts.session.background_rebuild = true;
+  ShardedOptions opts = bench_spec(/*enable_rebuild=*/true, /*background=*/true)
+                            .sharded_options(PartitionStrategy::kGreedy);
   opts.session.solver.outer_tol = 1e-6;
   ShardedSession session(Graph(g0), shards, opts);
 

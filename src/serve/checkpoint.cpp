@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,61 +12,30 @@
 
 #include <unistd.h>
 
+#include "serve/wire.hpp"
+
 namespace ingrass {
 
 namespace {
+
+// The little-endian value serialization lives in serve/wire.hpp so the
+// wire codec (serve/protocol.cpp) shares these exact byte conventions.
+using wire::get_f64;
+using wire::get_i32;
+using wire::get_i64;
+using wire::get_u32;
+using wire::get_u64;
+using wire::put_f64;
+using wire::put_i32;
+using wire::put_i64;
+using wire::put_u32;
+using wire::put_u64;
 
 constexpr std::array<char, 8> kMagic = {'I', 'N', 'G', 'R', 'S', 'C', 'K', 'P'};
 
 [[noreturn]] void corrupt(const std::string& why) {
   throw std::runtime_error("checkpoint: " + why);
 }
-
-// Explicit little-endian byte serialization, independent of host order.
-
-void put_u64(std::ostream& out, std::uint64_t v) {
-  std::array<char, 8> b;
-  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
-  out.write(b.data(), 8);
-}
-
-void put_u32(std::ostream& out, std::uint32_t v) {
-  std::array<char, 4> b;
-  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
-  out.write(b.data(), 4);
-}
-
-void put_i32(std::ostream& out, std::int32_t v) { put_u32(out, static_cast<std::uint32_t>(v)); }
-void put_i64(std::ostream& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
-void put_f64(std::ostream& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
-
-std::uint64_t get_u64(std::istream& in) {
-  std::array<char, 8> b;
-  in.read(b.data(), 8);
-  if (in.gcount() != 8) corrupt("truncated payload");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
-         << (8 * i);
-  }
-  return v;
-}
-
-std::uint32_t get_u32(std::istream& in) {
-  std::array<char, 4> b;
-  in.read(b.data(), 4);
-  if (in.gcount() != 4) corrupt("truncated payload");
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
-         << (8 * i);
-  }
-  return v;
-}
-
-std::int32_t get_i32(std::istream& in) { return static_cast<std::int32_t>(get_u32(in)); }
-std::int64_t get_i64(std::istream& in) { return static_cast<std::int64_t>(get_u64(in)); }
-double get_f64(std::istream& in) { return std::bit_cast<double>(get_u64(in)); }
 
 void put_graph(std::ostream& out, const Graph& g) {
   put_i32(out, g.num_nodes());

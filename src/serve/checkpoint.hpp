@@ -70,6 +70,9 @@ struct SessionCounters {
   double staleness_score = 0.0;
   /// Same accumulation, never reset — a lifetime drift odometer.
   double lifetime_filtered_distortion = 0.0;
+
+  /// Field-wise equality (checkpoint and wire-codec round-trip tests).
+  friend bool operator==(const SessionCounters&, const SessionCounters&) = default;
 };
 
 /// One restorable session state: both graphs plus the counters.

@@ -1,0 +1,1441 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "graph/mtx_io.hpp"
+#include "serve/wire.hpp"
+#include "util/parse.hpp"
+
+namespace ingrass::serve {
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& why) { throw ProtocolError(why); }
+
+[[noreturn]] void bad_frame(const std::string& why) {
+  throw ProtocolError("binary frame: " + why, /*fatal=*/true);
+}
+
+long parse_long_tok(const std::string& tok, const char* what) {
+  const auto v = parse_full_long(tok);
+  if (!v) bad_line(std::string("bad ") + what + ": '" + tok + "'");
+  return *v;
+}
+
+double parse_double_tok(const std::string& tok, const char* what) {
+  const auto v = parse_full_double(tok);
+  if (!v) bad_line(std::string("bad ") + what + ": '" + tok + "'");
+  return *v;
+}
+
+NodeId parse_node_tok(const std::string& tok) {
+  const long v = parse_long_tok(tok, "node id");
+  if (v < 0) bad_line("node id must be non-negative");
+  if (v > std::numeric_limits<NodeId>::max()) bad_line("node id exceeds graph size");
+  return static_cast<NodeId>(v);
+}
+
+/// Format a double so it parses back to the identical value (text-codec
+/// round trips of client-encoded requests).
+std::string exact_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SessionSpec
+
+SessionOptions SessionSpec::session_options() const {
+  SessionOptions opts;
+  opts.engine.target_condition = resolved_target();
+  opts.grass.target_offtree_density = density;
+  if (grass_target) opts.grass.target_condition = *grass_target;
+  opts.rebuild_staleness_fraction = staleness;
+  opts.background_rebuild = !sync;
+  opts.enable_rebuild = !no_rebuild;
+  return opts;
+}
+
+ShardedOptions SessionSpec::sharded_options(PartitionStrategy partition) const {
+  ShardedOptions opts;
+  opts.session = session_options();
+  opts.partition = partition;
+  return opts;
+}
+
+bool consume_session_flag(const std::vector<std::string>& args, std::size_t& i,
+                          SessionSpec& spec) {
+  const std::string& flag = args[i];
+  auto value = [&]() -> const std::string& {
+    if (i + 1 >= args.size()) bad_line("missing value for " + flag);
+    return args[++i];
+  };
+  if (flag == "--density") {
+    spec.density = parse_double_tok(value(), "--density");
+  } else if (flag == "--target") {
+    spec.target = parse_double_tok(value(), "--target");
+  } else if (flag == "--grass-target") {
+    spec.grass_target = parse_double_tok(value(), "--grass-target");
+  } else if (flag == "--staleness") {
+    spec.staleness = parse_double_tok(value(), "--staleness");
+  } else if (flag == "--sync") {
+    spec.sync = true;
+  } else if (flag == "--no-rebuild") {
+    spec.no_rebuild = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Codec::~Codec() = default;
+
+// ---------------------------------------------------------------------------
+// TextCodec: requests
+
+namespace {
+
+/// Option tail of the open family: shared session flags, `--name`, and
+/// (sharded commands only) `--partition`.
+struct OpenTail {
+  SessionSpec spec;
+  std::string name;
+  PartitionStrategy partition = PartitionStrategy::kGreedy;
+};
+
+OpenTail parse_open_tail(const std::vector<std::string>& args, std::size_t from,
+                         bool sharded, std::string name) {
+  OpenTail tail;
+  tail.name = std::move(name);
+  for (std::size_t i = from; i < args.size(); ++i) {
+    if (consume_session_flag(args, i, tail.spec)) continue;
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) bad_line("missing value for " + flag);
+      return args[++i];
+    };
+    if (flag == "--name") {
+      const std::string& v = value();
+      if (v.empty()) bad_line("--name requires a non-empty tenant name");
+      if (!tail.name.empty() && tail.name != v) {
+        bad_line("conflicting tenant names '@" + tail.name + "' and --name " + v);
+      }
+      tail.name = v;
+    } else if (sharded && flag == "--partition") {
+      const std::string& v = value();
+      if (v == "hash") {
+        tail.partition = PartitionStrategy::kHash;
+      } else if (v == "greedy") {
+        tail.partition = PartitionStrategy::kGreedy;
+      } else {
+        bad_line("bad --partition (want hash or greedy): '" + v + "'");
+      }
+    } else {
+      bad_line("unknown option: " + flag);
+    }
+  }
+  return tail;
+}
+
+Request parse_command(const std::vector<std::string>& args, std::string name) {
+  const std::string& cmd = args[0];
+  if (cmd == "quit") {
+    // quit ends the whole serving stream, never one tenant — reject an
+    // address so `@a quit` cannot take a shared server down by mistake.
+    if (!name.empty()) {
+      bad_line("quit takes no tenant (use close " + name + " to drop one session)");
+    }
+    return req::Quit{};
+  }
+  if (cmd == "open" || cmd == "restore") {
+    if (args.size() < 2) bad_line(cmd + " requires a path");
+    OpenTail tail = parse_open_tail(args, 2, /*sharded=*/false, std::move(name));
+    if (cmd == "open") return req::Open{std::move(tail.name), args[1], tail.spec};
+    return req::Restore{std::move(tail.name), args[1], tail.spec};
+  }
+  if (cmd == "open-sharded" || cmd == "restore-sharded") {
+    const bool opening = cmd == "open-sharded";
+    const std::size_t flags_from = opening ? 3 : 2;
+    if (args.size() < flags_from) {
+      bad_line(opening ? "usage: open-sharded <g.mtx> <K> [options]"
+                       : "usage: restore-sharded <manifest> [options]");
+    }
+    OpenTail tail = parse_open_tail(args, flags_from, /*sharded=*/true, std::move(name));
+    if (opening) {
+      const long shards = parse_long_tok(args[2], "shard count");
+      if (shards < 1) bad_line("shard count must be >= 1");
+      if (shards > std::numeric_limits<int>::max()) bad_line("shard count must be >= 1");
+      return req::OpenSharded{std::move(tail.name), args[1], static_cast<int>(shards),
+                              tail.partition, tail.spec};
+    }
+    return req::RestoreSharded{std::move(tail.name), args[1], tail.spec};
+  }
+  if (cmd == "insert") {
+    if (args.size() != 4) bad_line("usage: insert <u> <v> <w>");
+    req::Insert r;
+    r.name = std::move(name);
+    r.u = parse_node_tok(args[1]);
+    r.v = parse_node_tok(args[2]);
+    r.w = parse_double_tok(args[3], "weight");
+    return r;
+  }
+  if (cmd == "remove") {
+    if (args.size() != 3) bad_line("usage: remove <u> <v>");
+    req::Remove r;
+    r.name = std::move(name);
+    r.u = parse_node_tok(args[1]);
+    r.v = parse_node_tok(args[2]);
+    return r;
+  }
+  if (cmd == "apply") {
+    if (args.size() != 1) bad_line("usage: apply");
+    return req::Apply{std::move(name)};
+  }
+  if (cmd == "solve") {
+    if (args.size() != 3) bad_line("usage: solve <u> <v>");
+    req::Solve r;
+    r.name = std::move(name);
+    r.u = parse_node_tok(args[1]);
+    r.v = parse_node_tok(args[2]);
+    return r;
+  }
+  if (cmd == "metrics") {
+    if (args.size() != 1) bad_line("usage: metrics");
+    return req::Metrics{std::move(name)};
+  }
+  if (cmd == "shard-metrics") {
+    if (args.size() != 2) bad_line("usage: shard-metrics <k>");
+    const long k = parse_long_tok(args[1], "shard index");
+    req::ShardMetrics r;
+    r.name = std::move(name);
+    // Out-of-int-range indices fold to -1: the Engine's range check turns
+    // them into the documented "shard index out of range".
+    r.shard = (k < std::numeric_limits<int>::min() || k > std::numeric_limits<int>::max())
+                  ? -1
+                  : static_cast<int>(k);
+    return r;
+  }
+  if (cmd == "kappa") {
+    if (args.size() != 1) bad_line("usage: kappa");
+    return req::Kappa{std::move(name)};
+  }
+  if (cmd == "checkpoint") {
+    if (args.size() != 2) bad_line("usage: checkpoint <path>");
+    return req::Checkpoint{std::move(name), args[1]};
+  }
+  if (cmd == "autosave") {
+    if (args.size() == 2 && args[1] == "off") {
+      return req::Autosave{std::move(name), std::string{}, 0};
+    }
+    if (args.size() != 3) bad_line("usage: autosave <path> <every-N-applies> | autosave off");
+    const long every = parse_long_tok(args[2], "apply count");
+    if (every < 1) bad_line("autosave interval must be >= 1");
+    return req::Autosave{std::move(name), args[1], static_cast<std::uint64_t>(every)};
+  }
+  if (cmd == "close") {
+    if (args.size() == 1) return req::Close{std::move(name)};
+    if (args.size() != 2) bad_line("usage: close [name]");
+    if (!name.empty() && name != args[1]) {
+      bad_line("conflicting tenant names '@" + name + "' and close " + args[1]);
+    }
+    return req::Close{args[1]};
+  }
+  bad_line("unknown command: " + cmd);
+}
+
+}  // namespace
+
+std::optional<Request> TextCodec::read_request(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::vector<std::string> args;
+    for (std::string tok; ss >> tok;) args.push_back(std::move(tok));
+    if (args.empty()) continue;
+    std::string name;
+    if (args[0].size() >= 1 && args[0][0] == '@') {
+      name = args[0].substr(1);
+      if (name.empty()) bad_line("empty tenant name");
+      args.erase(args.begin());
+      if (args.empty()) bad_line("missing command after '@" + name + "'");
+    }
+    return parse_command(args, std::move(name));
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Canonical text for a SessionSpec: only non-default flags are emitted,
+/// doubles in a round-trip-exact format.
+void append_spec(std::string& out, const SessionSpec& spec) {
+  const SessionSpec defaults;
+  if (spec.density != defaults.density) out += " --density " + exact_double(spec.density);
+  if (spec.target) out += " --target " + exact_double(*spec.target);
+  if (spec.grass_target) out += " --grass-target " + exact_double(*spec.grass_target);
+  if (spec.staleness != defaults.staleness) {
+    out += " --staleness " + exact_double(spec.staleness);
+  }
+  if (spec.sync) out += " --sync";
+  if (spec.no_rebuild) out += " --no-rebuild";
+}
+
+std::string request_line(const Request& request) {
+  std::string line;
+  const auto prefix = [&line](const std::string& name) {
+    if (!name.empty()) line += "@" + name + " ";
+  };
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, req::Open>) {
+          prefix(r.name);
+          line += "open " + r.path;
+          append_spec(line, r.spec);
+        } else if constexpr (std::is_same_v<T, req::OpenSharded>) {
+          prefix(r.name);
+          line += "open-sharded " + r.path + " " + std::to_string(r.shards);
+          if (r.partition == PartitionStrategy::kHash) line += " --partition hash";
+          append_spec(line, r.spec);
+        } else if constexpr (std::is_same_v<T, req::Restore>) {
+          prefix(r.name);
+          line += "restore " + r.path;
+          append_spec(line, r.spec);
+        } else if constexpr (std::is_same_v<T, req::RestoreSharded>) {
+          prefix(r.name);
+          line += "restore-sharded " + r.path;
+          append_spec(line, r.spec);
+        } else if constexpr (std::is_same_v<T, req::Insert>) {
+          prefix(r.name);
+          line += "insert " + std::to_string(r.u) + " " + std::to_string(r.v) + " " +
+                  exact_double(r.w);
+        } else if constexpr (std::is_same_v<T, req::Remove>) {
+          prefix(r.name);
+          line += "remove " + std::to_string(r.u) + " " + std::to_string(r.v);
+        } else if constexpr (std::is_same_v<T, req::Apply>) {
+          prefix(r.name);
+          line += "apply";
+        } else if constexpr (std::is_same_v<T, req::Solve>) {
+          prefix(r.name);
+          line += "solve " + std::to_string(r.u) + " " + std::to_string(r.v);
+        } else if constexpr (std::is_same_v<T, req::Metrics>) {
+          prefix(r.name);
+          line += "metrics";
+        } else if constexpr (std::is_same_v<T, req::ShardMetrics>) {
+          prefix(r.name);
+          line += "shard-metrics " + std::to_string(r.shard);
+        } else if constexpr (std::is_same_v<T, req::Kappa>) {
+          prefix(r.name);
+          line += "kappa";
+        } else if constexpr (std::is_same_v<T, req::Checkpoint>) {
+          prefix(r.name);
+          line += "checkpoint " + r.path;
+        } else if constexpr (std::is_same_v<T, req::Autosave>) {
+          prefix(r.name);
+          if (r.every == 0) {
+            line += "autosave off";
+          } else {
+            line += "autosave " + r.path + " " + std::to_string(r.every);
+          }
+        } else if constexpr (std::is_same_v<T, req::Close>) {
+          prefix(r.name);
+          line += "close";
+        } else if constexpr (std::is_same_v<T, req::Quit>) {
+          line += "quit";
+        }
+      },
+      request);
+  return line;
+}
+
+}  // namespace
+
+void TextCodec::write_request(std::ostream& out, const Request& request) {
+  out << request_line(request) << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// TextCodec: responses
+
+namespace {
+
+/// The shared counters tail of metrics / shard-metrics lines — identical
+/// bytes to the original print_counters_tail.
+void append_counters_tail(std::string& out, const SessionCounters& c, double staleness,
+                          bool rebuild_in_flight) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "batches=%llu inserts=%llu removals=%llu ghosts=%llu solves=%llu "
+      "rebuilds=%llu rebuild_failures=%llu staleness=%.6g rebuild_in_flight=%d",
+      static_cast<unsigned long long>(c.batches),
+      static_cast<unsigned long long>(c.inserts_offered),
+      static_cast<unsigned long long>(c.removals_applied),
+      static_cast<unsigned long long>(c.removals_pending),
+      static_cast<unsigned long long>(c.solves),
+      static_cast<unsigned long long>(c.rebuilds),
+      static_cast<unsigned long long>(c.rebuild_failures), staleness,
+      rebuild_in_flight ? 1 : 0);
+  out += buf;
+}
+
+const char* open_verb_name(resp::OpenVerb verb) {
+  switch (verb) {
+    case resp::OpenVerb::kOpen: return "open";
+    case resp::OpenVerb::kOpenSharded: return "open-sharded";
+    case resp::OpenVerb::kRestore: return "restore";
+    case resp::OpenVerb::kRestoreSharded: return "restore-sharded";
+  }
+  return "open";
+}
+
+std::string response_line(const Response& response) {
+  std::string line;
+  char buf[512];
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, resp::Error>) {
+          line = "err " + r.message;
+        } else if constexpr (std::is_same_v<T, resp::Opened>) {
+          const ServingMetrics& m = r.metrics;
+          if (m.sharded) {
+            std::snprintf(buf, sizeof buf,
+                          "ok %s nodes=%d g_edges=%lld h_edges=%lld shards=%d "
+                          "boundary_edges=%lld target=%g batches=%llu",
+                          open_verb_name(r.verb), m.nodes,
+                          static_cast<long long>(m.g_edges),
+                          static_cast<long long>(m.h_edges), m.shards,
+                          static_cast<long long>(m.boundary_edges), m.target_condition,
+                          static_cast<unsigned long long>(m.counters.batches));
+          } else {
+            std::snprintf(buf, sizeof buf,
+                          "ok %s nodes=%d g_edges=%lld h_edges=%lld target=%g batches=%llu",
+                          open_verb_name(r.verb), m.nodes,
+                          static_cast<long long>(m.g_edges),
+                          static_cast<long long>(m.h_edges), m.target_condition,
+                          static_cast<unsigned long long>(m.counters.batches));
+          }
+          line = buf;
+        } else if constexpr (std::is_same_v<T, resp::Staged>) {
+          std::snprintf(buf, sizeof buf, "ok staged inserts=%llu removals=%llu",
+                        static_cast<unsigned long long>(r.inserts),
+                        static_cast<unsigned long long>(r.removals));
+          line = buf;
+        } else if constexpr (std::is_same_v<T, resp::Applied>) {
+          std::snprintf(buf, sizeof buf,
+                        "ok apply inserted=%lld merged=%lld redistributed=%lld "
+                        "reinforced=%lld removed=%lld ghost=%lld staleness=%.6g rebuild=%d",
+                        static_cast<long long>(r.inserted), static_cast<long long>(r.merged),
+                        static_cast<long long>(r.redistributed),
+                        static_cast<long long>(r.reinforced),
+                        static_cast<long long>(r.removed), static_cast<long long>(r.ghosts),
+                        r.staleness, r.rebuild ? 1 : 0);
+          line = buf;
+        } else if constexpr (std::is_same_v<T, resp::Solved>) {
+          std::snprintf(buf, sizeof buf, "ok solve iters=%d resid=%.3g resistance=%.10g",
+                        r.iterations, r.residual, r.resistance);
+          line = buf;
+        } else if constexpr (std::is_same_v<T, resp::MetricsOut>) {
+          const ServingMetrics& m = r.metrics;
+          if (m.sharded) {
+            std::snprintf(buf, sizeof buf,
+                          "ok metrics nodes=%d g_edges=%lld h_edges=%lld shards=%d "
+                          "boundary_edges=%lld boundary_weight=%.6g global_solves=%llu "
+                          "coupling_updates=%llu ",
+                          m.nodes, static_cast<long long>(m.g_edges),
+                          static_cast<long long>(m.h_edges), m.shards,
+                          static_cast<long long>(m.boundary_edges), m.boundary_weight,
+                          static_cast<unsigned long long>(m.global_solves),
+                          static_cast<unsigned long long>(m.coupling_updates));
+          } else {
+            std::snprintf(buf, sizeof buf, "ok metrics nodes=%d g_edges=%lld h_edges=%lld ",
+                          m.nodes, static_cast<long long>(m.g_edges),
+                          static_cast<long long>(m.h_edges));
+          }
+          line = buf;
+          append_counters_tail(line, m.counters, m.staleness, m.rebuild_in_flight);
+        } else if constexpr (std::is_same_v<T, resp::ShardMetricsOut>) {
+          std::snprintf(buf, sizeof buf,
+                        "ok shard-metrics shard=%d nodes=%d g_edges=%lld h_edges=%lld ",
+                        r.shard, r.nodes, static_cast<long long>(r.g_edges),
+                        static_cast<long long>(r.h_edges));
+          line = buf;
+          append_counters_tail(line, r.counters, r.staleness, r.rebuild_in_flight);
+        } else if constexpr (std::is_same_v<T, resp::KappaOut>) {
+          std::snprintf(buf, sizeof buf, "ok kappa value=%.4g target=%g within=%d", r.value,
+                        r.target, r.value <= r.target ? 1 : 0);
+          line = buf;
+        } else if constexpr (std::is_same_v<T, resp::Checkpointed>) {
+          line = "ok checkpoint path=" + r.path;
+        } else if constexpr (std::is_same_v<T, resp::AutosaveOut>) {
+          if (r.every == 0) {
+            line = "ok autosave off";
+          } else {
+            line = "ok autosave path=" + r.path + " every=" + std::to_string(r.every);
+          }
+        } else if constexpr (std::is_same_v<T, resp::Closed>) {
+          line = "ok close name=" + r.name;
+        } else if constexpr (std::is_same_v<T, resp::Bye>) {
+          line = "ok quit";
+        }
+      },
+      response);
+  return line;
+}
+
+/// k=v fields of a response line (tokens after the verb).
+class KvFields {
+ public:
+  KvFields(const std::vector<std::string>& tokens, std::size_t from,
+           const std::string& line) {
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+      const auto eq = tokens[i].find('=');
+      if (eq == std::string::npos) bad_line("bad response line: " + line);
+      kv_.emplace(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t u64(const char* key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return 0;
+    return static_cast<std::uint64_t>(parse_long_tok(it->second, key));
+  }
+  [[nodiscard]] std::int64_t i64(const char* key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return 0;
+    return parse_long_tok(it->second, key);
+  }
+  [[nodiscard]] double f64(const char* key) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return 0.0;
+    return parse_double_tok(it->second, key);
+  }
+  [[nodiscard]] bool has(const char* key) const { return kv_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+void fill_counters_tail(const KvFields& kv, SessionCounters& c, double& staleness,
+                        bool& rebuild_in_flight) {
+  c.batches = kv.u64("batches");
+  c.inserts_offered = kv.u64("inserts");
+  c.removals_applied = kv.u64("removals");
+  c.removals_pending = kv.u64("ghosts");
+  c.solves = kv.u64("solves");
+  c.rebuilds = kv.u64("rebuilds");
+  c.rebuild_failures = kv.u64("rebuild_failures");
+  staleness = kv.f64("staleness");
+  rebuild_in_flight = kv.u64("rebuild_in_flight") != 0;
+}
+
+/// Rest of the line after `key=` — the tolerant parse for values that may
+/// contain arbitrary non-newline bytes (paths, tenant names).
+std::string rest_after(const std::string& line, const std::string& key) {
+  const auto pos = line.find(key);
+  if (pos == std::string::npos) bad_line("bad response line: " + line);
+  return line.substr(pos + key.size());
+}
+
+Response parse_response_line(const std::string& line,
+                             const std::vector<std::string>& tokens) {
+  if (tokens[0] == "err") {
+    return resp::Error{line.size() > 4 ? line.substr(4) : std::string{}};
+  }
+  if (tokens[0] != "ok" || tokens.size() < 2) bad_line("bad response line: " + line);
+  const std::string& verb = tokens[1];
+  if (verb == "quit") return resp::Bye{};
+  if (verb == "open" || verb == "open-sharded" || verb == "restore" ||
+      verb == "restore-sharded") {
+    const KvFields kv(tokens, 2, line);
+    resp::Opened r;
+    r.verb = verb == "open"           ? resp::OpenVerb::kOpen
+             : verb == "open-sharded" ? resp::OpenVerb::kOpenSharded
+             : verb == "restore"      ? resp::OpenVerb::kRestore
+                                      : resp::OpenVerb::kRestoreSharded;
+    r.metrics.sharded = kv.has("shards");
+    r.metrics.nodes = static_cast<NodeId>(kv.i64("nodes"));
+    r.metrics.g_edges = kv.i64("g_edges");
+    r.metrics.h_edges = kv.i64("h_edges");
+    r.metrics.shards = static_cast<int>(kv.i64("shards"));
+    r.metrics.boundary_edges = kv.i64("boundary_edges");
+    r.metrics.target_condition = kv.f64("target");
+    r.metrics.counters.batches = kv.u64("batches");
+    return r;
+  }
+  if (verb == "staged") {
+    const KvFields kv(tokens, 2, line);
+    return resp::Staged{kv.u64("inserts"), kv.u64("removals")};
+  }
+  if (verb == "apply") {
+    const KvFields kv(tokens, 2, line);
+    resp::Applied r;
+    r.inserted = kv.u64("inserted");
+    r.merged = kv.u64("merged");
+    r.redistributed = kv.u64("redistributed");
+    r.reinforced = kv.u64("reinforced");
+    r.removed = kv.i64("removed");
+    r.ghosts = kv.i64("ghost");
+    r.staleness = kv.f64("staleness");
+    r.rebuild = kv.u64("rebuild") != 0;
+    return r;
+  }
+  if (verb == "solve") {
+    const KvFields kv(tokens, 2, line);
+    resp::Solved r;
+    r.iterations = static_cast<int>(kv.i64("iters"));
+    r.residual = kv.f64("resid");
+    r.resistance = kv.f64("resistance");
+    return r;
+  }
+  if (verb == "metrics") {
+    const KvFields kv(tokens, 2, line);
+    resp::MetricsOut r;
+    ServingMetrics& m = r.metrics;
+    m.sharded = kv.has("shards");
+    m.nodes = static_cast<NodeId>(kv.i64("nodes"));
+    m.g_edges = kv.i64("g_edges");
+    m.h_edges = kv.i64("h_edges");
+    m.shards = static_cast<int>(kv.i64("shards"));
+    m.boundary_edges = kv.i64("boundary_edges");
+    m.boundary_weight = kv.f64("boundary_weight");
+    m.global_solves = kv.u64("global_solves");
+    m.coupling_updates = kv.u64("coupling_updates");
+    fill_counters_tail(kv, m.counters, m.staleness, m.rebuild_in_flight);
+    return r;
+  }
+  if (verb == "shard-metrics") {
+    const KvFields kv(tokens, 2, line);
+    resp::ShardMetricsOut r;
+    r.shard = static_cast<int>(kv.i64("shard"));
+    r.nodes = static_cast<NodeId>(kv.i64("nodes"));
+    r.g_edges = kv.i64("g_edges");
+    r.h_edges = kv.i64("h_edges");
+    fill_counters_tail(kv, r.counters, r.staleness, r.rebuild_in_flight);
+    return r;
+  }
+  if (verb == "kappa") {
+    const KvFields kv(tokens, 2, line);
+    return resp::KappaOut{kv.f64("value"), kv.f64("target")};
+  }
+  if (verb == "checkpoint") {
+    return resp::Checkpointed{rest_after(line, "path=")};
+  }
+  if (verb == "autosave") {
+    if (tokens.size() == 3 && tokens[2] == "off") return resp::AutosaveOut{};
+    const KvFields kv(tokens, 2, line);
+    resp::AutosaveOut r;
+    r.every = kv.u64("every");
+    const std::string tail = rest_after(line, "path=");
+    const auto cut = tail.rfind(" every=");
+    r.path = cut == std::string::npos ? tail : tail.substr(0, cut);
+    return r;
+  }
+  if (verb == "close") {
+    return resp::Closed{rest_after(line, "name=")};
+  }
+  bad_line("bad response line: " + line);
+}
+
+}  // namespace
+
+std::optional<Response> TextCodec::read_response(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    for (std::string tok; ss >> tok;) tokens.push_back(std::move(tok));
+    if (tokens.empty()) continue;
+    return parse_response_line(line, tokens);
+  }
+  return std::nullopt;
+}
+
+void TextCodec::write_response(std::ostream& out, const Response& response) {
+  out << response_line(response) << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// BinaryCodec
+
+namespace {
+
+// One-byte message tags. Requests and responses use disjoint ranges so a
+// stream read with the wrong read_* direction fails loudly.
+enum Tag : std::uint8_t {
+  kTagOpen = 1,
+  kTagOpenSharded = 2,
+  kTagRestore = 3,
+  kTagRestoreSharded = 4,
+  kTagInsert = 5,
+  kTagRemove = 6,
+  kTagApply = 7,
+  kTagSolve = 8,
+  kTagMetrics = 9,
+  kTagShardMetrics = 10,
+  kTagKappa = 11,
+  kTagCheckpoint = 12,
+  kTagAutosave = 13,
+  kTagClose = 14,
+  kTagQuit = 15,
+  kTagError = 129,
+  kTagOpened = 130,
+  kTagStaged = 131,
+  kTagApplied = 132,
+  kTagSolved = 133,
+  kTagMetricsOut = 134,
+  kTagShardMetricsOut = 135,
+  kTagKappaOut = 136,
+  kTagCheckpointed = 137,
+  kTagAutosaveOut = 138,
+  kTagClosed = 139,
+  kTagBye = 140,
+};
+
+void put_optional_f64(std::ostream& out, const std::optional<double>& v) {
+  wire::put_u8(out, v.has_value() ? 1 : 0);
+  wire::put_f64(out, v.value_or(0.0));
+}
+
+std::optional<double> get_optional_f64(std::istream& in) {
+  const std::uint8_t has = wire::get_u8(in);
+  const double v = wire::get_f64(in);
+  if (has > 1) throw std::runtime_error("bad optional flag");
+  return has ? std::optional<double>(v) : std::nullopt;
+}
+
+void put_spec(std::ostream& out, const SessionSpec& spec) {
+  wire::put_f64(out, spec.density);
+  put_optional_f64(out, spec.target);
+  put_optional_f64(out, spec.grass_target);
+  wire::put_f64(out, spec.staleness);
+  wire::put_u8(out, spec.sync ? 1 : 0);
+  wire::put_u8(out, spec.no_rebuild ? 1 : 0);
+}
+
+SessionSpec get_spec(std::istream& in) {
+  SessionSpec spec;
+  spec.density = wire::get_f64(in);
+  spec.target = get_optional_f64(in);
+  spec.grass_target = get_optional_f64(in);
+  spec.staleness = wire::get_f64(in);
+  spec.sync = wire::get_u8(in) != 0;
+  spec.no_rebuild = wire::get_u8(in) != 0;
+  return spec;
+}
+
+void put_counters(std::ostream& out, const SessionCounters& c) {
+  wire::put_u64(out, c.batches);
+  wire::put_u64(out, c.inserts_offered);
+  wire::put_u64(out, c.removals_applied);
+  wire::put_u64(out, c.removals_pending);
+  wire::put_u64(out, c.solves);
+  wire::put_u64(out, c.rebuilds);
+  wire::put_u64(out, c.rebuild_failures);
+  wire::put_u64(out, c.inserted);
+  wire::put_u64(out, c.merged);
+  wire::put_u64(out, c.redistributed);
+  wire::put_u64(out, c.reinforced);
+  wire::put_f64(out, c.staleness_score);
+  wire::put_f64(out, c.lifetime_filtered_distortion);
+}
+
+SessionCounters get_counters(std::istream& in) {
+  SessionCounters c;
+  c.batches = wire::get_u64(in);
+  c.inserts_offered = wire::get_u64(in);
+  c.removals_applied = wire::get_u64(in);
+  c.removals_pending = wire::get_u64(in);
+  c.solves = wire::get_u64(in);
+  c.rebuilds = wire::get_u64(in);
+  c.rebuild_failures = wire::get_u64(in);
+  c.inserted = wire::get_u64(in);
+  c.merged = wire::get_u64(in);
+  c.redistributed = wire::get_u64(in);
+  c.reinforced = wire::get_u64(in);
+  c.staleness_score = wire::get_f64(in);
+  c.lifetime_filtered_distortion = wire::get_f64(in);
+  return c;
+}
+
+void put_serving_metrics(std::ostream& out, const ServingMetrics& m) {
+  wire::put_u8(out, m.sharded ? 1 : 0);
+  wire::put_i32(out, m.nodes);
+  wire::put_i64(out, m.g_edges);
+  wire::put_i64(out, m.h_edges);
+  wire::put_f64(out, m.target_condition);
+  wire::put_f64(out, m.staleness);
+  wire::put_u8(out, m.rebuild_in_flight ? 1 : 0);
+  put_counters(out, m.counters);
+  wire::put_i32(out, m.shards);
+  wire::put_i64(out, m.boundary_edges);
+  wire::put_f64(out, m.boundary_weight);
+  wire::put_u64(out, m.global_solves);
+  wire::put_u64(out, m.coupling_updates);
+}
+
+ServingMetrics get_serving_metrics(std::istream& in) {
+  ServingMetrics m;
+  m.sharded = wire::get_u8(in) != 0;
+  m.nodes = wire::get_i32(in);
+  m.g_edges = wire::get_i64(in);
+  m.h_edges = wire::get_i64(in);
+  m.target_condition = wire::get_f64(in);
+  m.staleness = wire::get_f64(in);
+  m.rebuild_in_flight = wire::get_u8(in) != 0;
+  m.counters = get_counters(in);
+  m.shards = wire::get_i32(in);
+  m.boundary_edges = wire::get_i64(in);
+  m.boundary_weight = wire::get_f64(in);
+  m.global_solves = wire::get_u64(in);
+  m.coupling_updates = wire::get_u64(in);
+  return m;
+}
+
+void put_string(std::ostream& out, const std::string& s) { wire::put_string(out, s); }
+
+std::string get_string(std::istream& in) { return wire::get_string(in, kMaxFrameBytes); }
+
+std::string encode_request_payload(const Request& request) {
+  std::ostringstream payload;
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        auto& out = payload;
+        if constexpr (std::is_same_v<T, req::Open>) {
+          wire::put_u8(out, kTagOpen);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          put_spec(out, r.spec);
+        } else if constexpr (std::is_same_v<T, req::OpenSharded>) {
+          wire::put_u8(out, kTagOpenSharded);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          wire::put_i32(out, r.shards);
+          wire::put_u8(out, r.partition == PartitionStrategy::kHash ? 0 : 1);
+          put_spec(out, r.spec);
+        } else if constexpr (std::is_same_v<T, req::Restore>) {
+          wire::put_u8(out, kTagRestore);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          put_spec(out, r.spec);
+        } else if constexpr (std::is_same_v<T, req::RestoreSharded>) {
+          wire::put_u8(out, kTagRestoreSharded);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          put_spec(out, r.spec);
+        } else if constexpr (std::is_same_v<T, req::Insert>) {
+          wire::put_u8(out, kTagInsert);
+          put_string(out, r.name);
+          wire::put_i32(out, r.u);
+          wire::put_i32(out, r.v);
+          wire::put_f64(out, r.w);
+        } else if constexpr (std::is_same_v<T, req::Remove>) {
+          wire::put_u8(out, kTagRemove);
+          put_string(out, r.name);
+          wire::put_i32(out, r.u);
+          wire::put_i32(out, r.v);
+        } else if constexpr (std::is_same_v<T, req::Apply>) {
+          wire::put_u8(out, kTagApply);
+          put_string(out, r.name);
+        } else if constexpr (std::is_same_v<T, req::Solve>) {
+          wire::put_u8(out, kTagSolve);
+          put_string(out, r.name);
+          wire::put_i32(out, r.u);
+          wire::put_i32(out, r.v);
+        } else if constexpr (std::is_same_v<T, req::Metrics>) {
+          wire::put_u8(out, kTagMetrics);
+          put_string(out, r.name);
+        } else if constexpr (std::is_same_v<T, req::ShardMetrics>) {
+          wire::put_u8(out, kTagShardMetrics);
+          put_string(out, r.name);
+          wire::put_i32(out, r.shard);
+        } else if constexpr (std::is_same_v<T, req::Kappa>) {
+          wire::put_u8(out, kTagKappa);
+          put_string(out, r.name);
+        } else if constexpr (std::is_same_v<T, req::Checkpoint>) {
+          wire::put_u8(out, kTagCheckpoint);
+          put_string(out, r.name);
+          put_string(out, r.path);
+        } else if constexpr (std::is_same_v<T, req::Autosave>) {
+          wire::put_u8(out, kTagAutosave);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          wire::put_u64(out, r.every);
+        } else if constexpr (std::is_same_v<T, req::Close>) {
+          wire::put_u8(out, kTagClose);
+          put_string(out, r.name);
+        } else if constexpr (std::is_same_v<T, req::Quit>) {
+          wire::put_u8(out, kTagQuit);
+        }
+      },
+      request);
+  return payload.str();
+}
+
+Request decode_request_payload(std::istream& in) {
+  const std::uint8_t tag = wire::get_u8(in);
+  switch (tag) {
+    case kTagOpen: {
+      req::Open r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      r.spec = get_spec(in);
+      return r;
+    }
+    case kTagOpenSharded: {
+      req::OpenSharded r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      r.shards = wire::get_i32(in);
+      const std::uint8_t p = wire::get_u8(in);
+      if (p > 1) throw std::runtime_error("bad partition strategy");
+      r.partition = p == 0 ? PartitionStrategy::kHash : PartitionStrategy::kGreedy;
+      r.spec = get_spec(in);
+      return r;
+    }
+    case kTagRestore: {
+      req::Restore r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      r.spec = get_spec(in);
+      return r;
+    }
+    case kTagRestoreSharded: {
+      req::RestoreSharded r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      r.spec = get_spec(in);
+      return r;
+    }
+    case kTagInsert: {
+      req::Insert r;
+      r.name = get_string(in);
+      r.u = wire::get_i32(in);
+      r.v = wire::get_i32(in);
+      r.w = wire::get_f64(in);
+      return r;
+    }
+    case kTagRemove: {
+      req::Remove r;
+      r.name = get_string(in);
+      r.u = wire::get_i32(in);
+      r.v = wire::get_i32(in);
+      return r;
+    }
+    case kTagApply: return req::Apply{get_string(in)};
+    case kTagSolve: {
+      req::Solve r;
+      r.name = get_string(in);
+      r.u = wire::get_i32(in);
+      r.v = wire::get_i32(in);
+      return r;
+    }
+    case kTagMetrics: return req::Metrics{get_string(in)};
+    case kTagShardMetrics: {
+      req::ShardMetrics r;
+      r.name = get_string(in);
+      r.shard = wire::get_i32(in);
+      return r;
+    }
+    case kTagKappa: return req::Kappa{get_string(in)};
+    case kTagCheckpoint: {
+      req::Checkpoint r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      return r;
+    }
+    case kTagAutosave: {
+      req::Autosave r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      r.every = wire::get_u64(in);
+      return r;
+    }
+    case kTagClose: return req::Close{get_string(in)};
+    case kTagQuit: return req::Quit{};
+    default: throw std::runtime_error("unknown request tag " + std::to_string(tag));
+  }
+}
+
+std::string encode_response_payload(const Response& response) {
+  std::ostringstream payload;
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        auto& out = payload;
+        if constexpr (std::is_same_v<T, resp::Error>) {
+          wire::put_u8(out, kTagError);
+          put_string(out, r.message);
+        } else if constexpr (std::is_same_v<T, resp::Opened>) {
+          wire::put_u8(out, kTagOpened);
+          wire::put_u8(out, static_cast<std::uint8_t>(r.verb));
+          put_serving_metrics(out, r.metrics);
+        } else if constexpr (std::is_same_v<T, resp::Staged>) {
+          wire::put_u8(out, kTagStaged);
+          wire::put_u64(out, r.inserts);
+          wire::put_u64(out, r.removals);
+        } else if constexpr (std::is_same_v<T, resp::Applied>) {
+          wire::put_u8(out, kTagApplied);
+          wire::put_u64(out, r.inserted);
+          wire::put_u64(out, r.merged);
+          wire::put_u64(out, r.redistributed);
+          wire::put_u64(out, r.reinforced);
+          wire::put_i64(out, r.removed);
+          wire::put_i64(out, r.ghosts);
+          wire::put_f64(out, r.staleness);
+          wire::put_u8(out, r.rebuild ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, resp::Solved>) {
+          wire::put_u8(out, kTagSolved);
+          wire::put_i32(out, r.iterations);
+          wire::put_f64(out, r.residual);
+          wire::put_f64(out, r.resistance);
+        } else if constexpr (std::is_same_v<T, resp::MetricsOut>) {
+          wire::put_u8(out, kTagMetricsOut);
+          put_serving_metrics(out, r.metrics);
+        } else if constexpr (std::is_same_v<T, resp::ShardMetricsOut>) {
+          wire::put_u8(out, kTagShardMetricsOut);
+          wire::put_i32(out, r.shard);
+          wire::put_i32(out, r.nodes);
+          wire::put_i64(out, r.g_edges);
+          wire::put_i64(out, r.h_edges);
+          wire::put_f64(out, r.staleness);
+          wire::put_u8(out, r.rebuild_in_flight ? 1 : 0);
+          put_counters(out, r.counters);
+        } else if constexpr (std::is_same_v<T, resp::KappaOut>) {
+          wire::put_u8(out, kTagKappaOut);
+          wire::put_f64(out, r.value);
+          wire::put_f64(out, r.target);
+        } else if constexpr (std::is_same_v<T, resp::Checkpointed>) {
+          wire::put_u8(out, kTagCheckpointed);
+          put_string(out, r.path);
+        } else if constexpr (std::is_same_v<T, resp::AutosaveOut>) {
+          wire::put_u8(out, kTagAutosaveOut);
+          put_string(out, r.path);
+          wire::put_u64(out, r.every);
+        } else if constexpr (std::is_same_v<T, resp::Closed>) {
+          wire::put_u8(out, kTagClosed);
+          put_string(out, r.name);
+        } else if constexpr (std::is_same_v<T, resp::Bye>) {
+          wire::put_u8(out, kTagBye);
+        }
+      },
+      response);
+  return payload.str();
+}
+
+Response decode_response_payload(std::istream& in) {
+  const std::uint8_t tag = wire::get_u8(in);
+  switch (tag) {
+    case kTagError: return resp::Error{get_string(in)};
+    case kTagOpened: {
+      resp::Opened r;
+      const std::uint8_t verb = wire::get_u8(in);
+      if (verb > 3) throw std::runtime_error("bad open verb");
+      r.verb = static_cast<resp::OpenVerb>(verb);
+      r.metrics = get_serving_metrics(in);
+      return r;
+    }
+    case kTagStaged: {
+      resp::Staged r;
+      r.inserts = wire::get_u64(in);
+      r.removals = wire::get_u64(in);
+      return r;
+    }
+    case kTagApplied: {
+      resp::Applied r;
+      r.inserted = wire::get_u64(in);
+      r.merged = wire::get_u64(in);
+      r.redistributed = wire::get_u64(in);
+      r.reinforced = wire::get_u64(in);
+      r.removed = wire::get_i64(in);
+      r.ghosts = wire::get_i64(in);
+      r.staleness = wire::get_f64(in);
+      r.rebuild = wire::get_u8(in) != 0;
+      return r;
+    }
+    case kTagSolved: {
+      resp::Solved r;
+      r.iterations = wire::get_i32(in);
+      r.residual = wire::get_f64(in);
+      r.resistance = wire::get_f64(in);
+      return r;
+    }
+    case kTagMetricsOut: return resp::MetricsOut{get_serving_metrics(in)};
+    case kTagShardMetricsOut: {
+      resp::ShardMetricsOut r;
+      r.shard = wire::get_i32(in);
+      r.nodes = wire::get_i32(in);
+      r.g_edges = wire::get_i64(in);
+      r.h_edges = wire::get_i64(in);
+      r.staleness = wire::get_f64(in);
+      r.rebuild_in_flight = wire::get_u8(in) != 0;
+      r.counters = get_counters(in);
+      return r;
+    }
+    case kTagKappaOut: {
+      resp::KappaOut r;
+      r.value = wire::get_f64(in);
+      r.target = wire::get_f64(in);
+      return r;
+    }
+    case kTagCheckpointed: return resp::Checkpointed{get_string(in)};
+    case kTagAutosaveOut: {
+      resp::AutosaveOut r;
+      r.path = get_string(in);
+      r.every = wire::get_u64(in);
+      return r;
+    }
+    case kTagClosed: return resp::Closed{get_string(in)};
+    case kTagBye: return resp::Bye{};
+    default: throw std::runtime_error("unknown response tag " + std::to_string(tag));
+  }
+}
+
+void write_frame(std::ostream& out, const std::string& payload) {
+  out.write(kBinaryFrameMagic, 4);
+  wire::put_u32(out, kBinaryFrameVersion);
+  wire::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+/// Read one frame's payload; nullopt at a clean end-of-stream (no bytes).
+std::optional<std::string> read_frame(std::istream& in) {
+  std::array<char, 4> magic;
+  in.read(magic.data(), 4);
+  if (in.gcount() == 0) return std::nullopt;
+  if (in.gcount() != 4 ||
+      !std::equal(magic.begin(), magic.end(), std::begin(kBinaryFrameMagic))) {
+    bad_frame("bad magic");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t length = 0;
+  try {
+    version = wire::get_u32(in);
+    length = wire::get_u32(in);
+  } catch (const std::exception&) {
+    bad_frame("truncated header");
+  }
+  if (version != kBinaryFrameVersion) {
+    bad_frame("unsupported version " + std::to_string(version));
+  }
+  if (length > kMaxFrameBytes) {
+    bad_frame("implausible length " + std::to_string(length));
+  }
+  std::string payload(length, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(length));
+  if (in.gcount() != static_cast<std::streamsize>(length)) bad_frame("truncated frame");
+  return payload;
+}
+
+/// Decode one frame with `decode`, mapping every payload-level failure to
+/// a fatal ProtocolError and rejecting trailing payload bytes.
+template <typename DecodeFn>
+auto decode_frame(const std::string& payload, DecodeFn&& decode) {
+  std::istringstream in(payload);
+  try {
+    auto value = decode(in);
+    if (in.peek() != std::istream::traits_type::eof()) {
+      throw std::runtime_error("trailing bytes in frame");
+    }
+    return value;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad_frame(e.what());
+  }
+}
+
+}  // namespace
+
+std::optional<Request> BinaryCodec::read_request(std::istream& in) {
+  const auto payload = read_frame(in);
+  if (!payload) return std::nullopt;
+  return decode_frame(*payload, [](std::istream& p) { return decode_request_payload(p); });
+}
+
+void BinaryCodec::write_request(std::ostream& out, const Request& request) {
+  write_frame(out, encode_request_payload(request));
+}
+
+std::optional<Response> BinaryCodec::read_response(std::istream& in) {
+  const auto payload = read_frame(in);
+  if (!payload) return std::nullopt;
+  return decode_frame(*payload, [](std::istream& p) { return decode_response_payload(p); });
+}
+
+void BinaryCodec::write_response(std::ostream& out, const Response& response) {
+  write_frame(out, encode_response_payload(response));
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+const std::string& Engine::resolve(const std::string& name) {
+  static const std::string kDefault = kDefaultTenant;
+  return name.empty() ? kDefault : name;
+}
+
+Engine::Tenant& Engine::require_tenant(const std::string& name) {
+  const std::string& key = resolve(name);
+  const auto it = tenants_.find(key);
+  if (it == tenants_.end()) {
+    if (key == kDefaultTenant) {
+      throw std::runtime_error("no session (use open or restore)");
+    }
+    throw std::runtime_error("no session named '" + key + "' (use open --name " + key + ")");
+  }
+  return it->second;
+}
+
+Engine::Tenant& Engine::adopt(const std::string& name, std::unique_ptr<Session> session) {
+  const std::string& key = resolve(name);
+  Tenant tenant;
+  tenant.session = std::move(session);
+  return tenants_.insert_or_assign(key, std::move(tenant)).first->second;
+}
+
+ApplyResult Engine::apply_now(Tenant& tenant, const UpdateBatch& batch) {
+  const ApplyResult result = tenant.session->apply(batch);
+  if (tenant.autosave_every > 0 && ++tenant.applies_since_save >= tenant.autosave_every) {
+    tenant.applies_since_save = 0;
+    try {
+      tenant.session->checkpoint(tenant.autosave_path);
+    } catch (const std::exception& e) {
+      // The apply itself landed; surface the snapshot failure without
+      // retracting it. The cadence counter was reset, so the next trigger
+      // retries a full interval later instead of on every apply.
+      throw std::runtime_error(std::string("autosave failed: ") + e.what());
+    }
+  }
+  return result;
+}
+
+void Engine::flush(Tenant& tenant) {
+  if (tenant.pending.empty()) return;
+  const UpdateBatch batch = std::move(tenant.pending);
+  tenant.pending = UpdateBatch{};
+  apply_now(tenant, batch);
+}
+
+void Engine::validate_endpoints(const Tenant& tenant, NodeId u, NodeId v) const {
+  if (u < 0 || v < 0) throw std::runtime_error("node id must be non-negative");
+  const NodeId nodes = tenant.session->num_nodes();
+  if (u >= nodes || v >= nodes) throw std::runtime_error("node id exceeds graph size");
+}
+
+Response Engine::handle(const Request& request) {
+  try {
+    return std::visit([&](const auto& r) { return do_handle(r); }, request);
+  } catch (const std::exception& e) {
+    return resp::Error{e.what()};
+  }
+}
+
+std::vector<std::string> Engine::flush_all() {
+  std::vector<std::string> errors;
+  for (auto& [name, tenant] : tenants_) {
+    try {
+      flush(tenant);
+    } catch (const std::exception& e) {
+      errors.emplace_back(e.what());
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> Engine::tenants() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+[[noreturn]] void already_open(const std::string& key) {
+  throw std::runtime_error("tenant '" + key + "' is already open (close it first)");
+}
+
+}  // namespace
+
+Response Engine::do_handle(const req::Open& r) {
+  const std::string& key = resolve(r.name);
+  if (tenants_.count(key) > 0) already_open(key);
+  auto session = std::make_unique<SparsifierSession>(read_mtx_file(r.path),
+                                                     r.spec.session_options());
+  Tenant& tenant = adopt(key, std::move(session));
+  return resp::Opened{resp::OpenVerb::kOpen, tenant.session->serving_metrics()};
+}
+
+Response Engine::do_handle(const req::OpenSharded& r) {
+  const std::string& key = resolve(r.name);
+  if (tenants_.count(key) > 0) already_open(key);
+  if (r.shards < 1) throw std::runtime_error("shard count must be >= 1");
+  auto session = std::make_unique<ShardedSession>(read_mtx_file(r.path), r.shards,
+                                                  r.spec.sharded_options(r.partition));
+  Tenant& tenant = adopt(key, std::move(session));
+  return resp::Opened{resp::OpenVerb::kOpenSharded, tenant.session->serving_metrics()};
+}
+
+Response Engine::do_handle(const req::Restore& r) {
+  const std::string& key = resolve(r.name);
+  if (tenants_.count(key) > 0) already_open(key);
+  Tenant& tenant = adopt(key, SparsifierSession::restore(r.path, r.spec.session_options()));
+  return resp::Opened{resp::OpenVerb::kRestore, tenant.session->serving_metrics()};
+}
+
+Response Engine::do_handle(const req::RestoreSharded& r) {
+  const std::string& key = resolve(r.name);
+  if (tenants_.count(key) > 0) already_open(key);
+  Tenant& tenant = adopt(
+      key, ShardedSession::restore(r.path, r.spec.sharded_options(PartitionStrategy::kGreedy)));
+  return resp::Opened{resp::OpenVerb::kRestoreSharded, tenant.session->serving_metrics()};
+}
+
+Response Engine::do_handle(const req::Insert& r) {
+  Tenant& tenant = require_tenant(r.name);
+  validate_endpoints(tenant, r.u, r.v);
+  if (!(r.w > 0.0)) throw std::runtime_error("weight must be positive");
+  if (r.u == r.v) throw std::runtime_error("self-loop");
+  Edge e;
+  e.u = std::min(r.u, r.v);
+  e.v = std::max(r.u, r.v);
+  e.w = r.w;
+  tenant.pending.inserts.push_back(e);
+  return resp::Staged{tenant.pending.inserts.size(), tenant.pending.removals.size()};
+}
+
+Response Engine::do_handle(const req::Remove& r) {
+  Tenant& tenant = require_tenant(r.name);
+  validate_endpoints(tenant, r.u, r.v);
+  if (r.u == r.v) throw std::runtime_error("self-loop");
+  tenant.pending.removals.emplace_back(std::min(r.u, r.v), std::max(r.u, r.v));
+  return resp::Staged{tenant.pending.inserts.size(), tenant.pending.removals.size()};
+}
+
+Response Engine::do_handle(const req::Apply& r) {
+  Tenant& tenant = require_tenant(r.name);
+  const UpdateBatch batch = std::move(tenant.pending);
+  tenant.pending = UpdateBatch{};
+  const ApplyResult result = apply_now(tenant, batch);
+  resp::Applied out;
+  out.inserted = static_cast<std::uint64_t>(result.stats.inserted);
+  out.merged = static_cast<std::uint64_t>(result.stats.merged);
+  out.redistributed = static_cast<std::uint64_t>(result.stats.redistributed);
+  out.reinforced = static_cast<std::uint64_t>(result.stats.reinforced);
+  out.removed = result.removed;
+  out.ghosts = result.ghost_removals;
+  out.staleness = result.staleness;
+  out.rebuild = result.rebuild_triggered;
+  return out;
+}
+
+Response Engine::do_handle(const req::Solve& r) {
+  Tenant& tenant = require_tenant(r.name);
+  flush(tenant);
+  validate_endpoints(tenant, r.u, r.v);
+  if (r.u == r.v) throw std::runtime_error("solve endpoints must differ");
+  const auto n = static_cast<std::size_t>(tenant.session->num_nodes());
+  std::vector<double> b(n, 0.0);
+  std::vector<double> x(n, 0.0);
+  b[static_cast<std::size_t>(r.u)] = 1.0;
+  b[static_cast<std::size_t>(r.v)] = -1.0;
+  const auto result = tenant.session->solve(b, x);
+  if (!result.converged) throw std::runtime_error("solve did not converge");
+  resp::Solved out;
+  out.iterations = result.outer_iterations;
+  out.residual = result.relative_residual;
+  out.resistance =
+      x[static_cast<std::size_t>(r.u)] - x[static_cast<std::size_t>(r.v)];
+  return out;
+}
+
+Response Engine::do_handle(const req::Metrics& r) {
+  Tenant& tenant = require_tenant(r.name);
+  flush(tenant);
+  return resp::MetricsOut{tenant.session->serving_metrics()};
+}
+
+Response Engine::do_handle(const req::ShardMetrics& r) {
+  Tenant& tenant = require_tenant(r.name);
+  flush(tenant);
+  const int shards = tenant.session->num_shards();
+  if (shards == 0) throw std::runtime_error("shard-metrics requires a sharded session");
+  if (r.shard < 0 || r.shard >= shards) throw std::runtime_error("shard index out of range");
+  const SessionMetrics m = tenant.session->shard_metrics(r.shard);
+  resp::ShardMetricsOut out;
+  out.shard = r.shard;
+  out.nodes = m.nodes;
+  out.g_edges = m.g_edges;
+  out.h_edges = m.h_edges;
+  out.staleness = m.staleness;
+  out.rebuild_in_flight = m.rebuild_in_flight;
+  out.counters = m.counters;
+  return out;
+}
+
+Response Engine::do_handle(const req::Kappa& r) {
+  Tenant& tenant = require_tenant(r.name);
+  flush(tenant);
+  resp::KappaOut out;
+  out.value = tenant.session->settled_kappa();
+  out.target = tenant.session->session_options().engine.target_condition;
+  return out;
+}
+
+Response Engine::do_handle(const req::Checkpoint& r) {
+  Tenant& tenant = require_tenant(r.name);
+  flush(tenant);
+  tenant.session->checkpoint(r.path);
+  return resp::Checkpointed{r.path};
+}
+
+Response Engine::do_handle(const req::Autosave& r) {
+  Tenant& tenant = require_tenant(r.name);
+  if (r.every == 0) {
+    tenant.autosave_path.clear();
+    tenant.autosave_every = 0;
+    tenant.applies_since_save = 0;
+    return resp::AutosaveOut{};
+  }
+  if (r.path.empty()) throw std::runtime_error("autosave requires a path");
+  tenant.autosave_path = r.path;
+  tenant.autosave_every = r.every;
+  tenant.applies_since_save = 0;
+  return resp::AutosaveOut{r.path, r.every};
+}
+
+Response Engine::do_handle(const req::Close& r) {
+  const std::string key = resolve(r.name);
+  Tenant& tenant = require_tenant(r.name);
+  // A failed flush discards the bad batch and reports the error; the
+  // tenant stays open, and a second close then succeeds — mirroring the
+  // quit semantics.
+  flush(tenant);
+  tenants_.erase(key);
+  return resp::Closed{key};
+}
+
+Response Engine::do_handle(const req::Quit&) {
+  for (auto& [name, tenant] : tenants_) flush(tenant);
+  return resp::Bye{};
+}
+
+}  // namespace ingrass::serve

@@ -1,0 +1,485 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/stream_io.hpp"
+#include "serve/serving.hpp"
+#include "serve/session.hpp"
+#include "serve/shard_dispatcher.hpp"
+
+/// @file
+/// The typed serving protocol: tagged Request/Response variants, two
+/// pluggable codecs (the human-readable line grammar and a length-prefixed
+/// binary frame format), and the transport-independent Engine that owns a
+/// name → Session map and turns requests into responses. Transports
+/// (serve/transport.hpp) move bytes; nothing here performs stream I/O
+/// beyond encode/decode on caller-supplied streams.
+
+namespace ingrass::serve {
+
+/// Name a command addresses when it carries no explicit tenant (empty
+/// `name` fields resolve to this).
+inline constexpr const char* kDefaultTenant = "default";
+
+/// The shared `open`/`restore` option bundle — one parser and one set of
+/// serving defaults (GRASS density 0.10, kappa budget 100, staleness trip
+/// 0.75) for every front-end: the serve protocol, `stream_replay`, and
+/// `bench_session` all materialize their SessionOptions from here, so the
+/// defaults cannot drift between surfaces.
+struct SessionSpec {
+  /// GRASS off-tree density for H(0) and rebuilds (`--density`).
+  double density = 0.10;
+  /// kappa budget (`--target`); unset means the serving default 100
+  /// (drivers with a better prior, e.g. a measured kappa0, substitute it).
+  std::optional<double> target;
+  /// Condition-targeted H(0)/rebuilds (`--grass-target`); unset keeps
+  /// them density-targeted.
+  std::optional<double> grass_target;
+  /// Staleness fraction that trips a rebuild (`--staleness`).
+  double staleness = 0.75;
+  /// Rebuild inside apply() instead of in the background (`--sync`).
+  bool sync = false;
+  /// Disable rebuilds entirely (`--no-rebuild`).
+  bool no_rebuild = false;
+
+  /// The kappa budget with the serving default applied.
+  [[nodiscard]] double resolved_target() const { return target.value_or(100.0); }
+
+  /// Materialize single-session options from this spec.
+  [[nodiscard]] SessionOptions session_options() const;
+
+  /// Materialize sharded-session options (per-shard policy = this spec).
+  [[nodiscard]] ShardedOptions sharded_options(PartitionStrategy partition) const;
+
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const SessionSpec&, const SessionSpec&) = default;
+};
+
+/// Try to consume `args[i]` (and its value, advancing `i` past it) as one
+/// of the shared session flags `--density --target --grass-target
+/// --staleness --sync --no-rebuild`. Returns false without touching `i`
+/// when the flag is not a session option; throws ProtocolError on a
+/// missing or malformed value (messages match the serve error lines:
+/// "missing value for --density", "bad --density: 'x'").
+[[nodiscard]] bool consume_session_flag(const std::vector<std::string>& args,
+                                        std::size_t& i, SessionSpec& spec);
+
+/// Request messages. Every addressable request carries `name`, the target
+/// tenant ("" = the default tenant): the text grammar spells it either as
+/// a leading `@name` token or, on the open family, `--name <n>`.
+namespace req {
+
+/// `open <g.mtx> [options]` — load a graph, build H(0), run the setup.
+struct Open {
+  std::string name;  ///< tenant to create ("" = default)
+  std::string path;  ///< Matrix Market graph file
+  SessionSpec spec;  ///< session options
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Open&, const Open&) = default;
+};
+
+/// `open-sharded <g.mtx> <K> [--partition hash|greedy] [options]`.
+struct OpenSharded {
+  std::string name;  ///< tenant to create ("" = default)
+  std::string path;  ///< Matrix Market graph file
+  int shards = 1;    ///< shard count K (>= 1)
+  /// Vertex partitioner for the K shards.
+  PartitionStrategy partition = PartitionStrategy::kGreedy;
+  SessionSpec spec;  ///< per-shard session options
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const OpenSharded&, const OpenSharded&) = default;
+};
+
+/// `restore <ckpt> [options]` — resume from a v1 checkpoint blob.
+struct Restore {
+  std::string name;  ///< tenant to create ("" = default)
+  std::string path;  ///< v1 checkpoint file
+  SessionSpec spec;  ///< session options
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Restore&, const Restore&) = default;
+};
+
+/// `restore-sharded <manifest> [options]` — resume from a v2 manifest.
+struct RestoreSharded {
+  std::string name;  ///< tenant to create ("" = default)
+  std::string path;  ///< v2 shard manifest file
+  SessionSpec spec;  ///< per-shard session options
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const RestoreSharded&, const RestoreSharded&) = default;
+};
+
+/// `insert <u> <v> <w>` — stage an insertion into the tenant's batch.
+struct Insert {
+  std::string name;      ///< target tenant ("" = default)
+  NodeId u = 0;          ///< endpoint (validated against the node set)
+  NodeId v = 0;          ///< endpoint
+  double w = 0.0;        ///< weight (> 0)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Insert&, const Insert&) = default;
+};
+
+/// `remove <u> <v>` — stage a removal into the tenant's batch.
+struct Remove {
+  std::string name;  ///< target tenant ("" = default)
+  NodeId u = 0;      ///< endpoint
+  NodeId v = 0;      ///< endpoint
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Remove&, const Remove&) = default;
+};
+
+/// `apply` — submit the tenant's staged batch.
+struct Apply {
+  std::string name;  ///< target tenant ("" = default)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Apply&, const Apply&) = default;
+};
+
+/// `solve <u> <v>` — flush staged updates, solve L_G x = e_u - e_v.
+struct Solve {
+  std::string name;  ///< target tenant ("" = default)
+  NodeId u = 0;      ///< source endpoint
+  NodeId v = 0;      ///< sink endpoint
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Solve&, const Solve&) = default;
+};
+
+/// `metrics` — flush staged updates, report session metrics.
+struct Metrics {
+  std::string name;  ///< target tenant ("" = default)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Metrics&, const Metrics&) = default;
+};
+
+/// `shard-metrics <k>` — one shard's metrics (sharded tenants only).
+struct ShardMetrics {
+  std::string name;  ///< target tenant ("" = default)
+  int shard = 0;     ///< shard index in [0, K)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const ShardMetrics&, const ShardMetrics&) = default;
+};
+
+/// `kappa` — flush, wait out rebuilds, measure kappa against the budget.
+struct Kappa {
+  std::string name;  ///< target tenant ("" = default)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Kappa&, const Kappa&) = default;
+};
+
+/// `checkpoint <path>` — flush, then write a binary checkpoint.
+struct Checkpoint {
+  std::string name;  ///< target tenant ("" = default)
+  std::string path;  ///< destination file
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+/// `autosave <path> <every-N-applies>` or `autosave off` — periodic
+/// auto-checkpoint: after every N applied batches the tenant snapshots to
+/// `path` through the crash-safe write-then-rename path. `every` = 0
+/// disables (the `off` spelling).
+struct Autosave {
+  std::string name;           ///< target tenant ("" = default)
+  std::string path;           ///< snapshot destination ("" when disabling)
+  std::uint64_t every = 0;    ///< applies between snapshots; 0 = off
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Autosave&, const Autosave&) = default;
+};
+
+/// `close [name]` — flush and drop a tenant so its name can be re-opened
+/// without a process restart.
+struct Close {
+  std::string name;  ///< tenant to close ("" = default)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Close&, const Close&) = default;
+};
+
+/// `quit` — flush every tenant and end the serving stream.
+struct Quit {
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Quit&, const Quit&) = default;
+};
+
+}  // namespace req
+
+/// One protocol request (see the req:: message structs).
+using Request =
+    std::variant<req::Open, req::OpenSharded, req::Restore, req::RestoreSharded,
+                 req::Insert, req::Remove, req::Apply, req::Solve, req::Metrics,
+                 req::ShardMetrics, req::Kappa, req::Checkpoint, req::Autosave,
+                 req::Close, req::Quit>;
+
+/// Response messages, mirroring the `ok ...` / `err ...` line grammar.
+namespace resp {
+
+/// `err <message>` — the command failed; the session keeps serving.
+struct Error {
+  std::string message;  ///< one-line failure description
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Which open-family command produced an Opened response.
+enum class OpenVerb : std::uint8_t {
+  kOpen = 0,            ///< `open`
+  kOpenSharded = 1,     ///< `open-sharded`
+  kRestore = 2,         ///< `restore`
+  kRestoreSharded = 3,  ///< `restore-sharded`
+};
+
+/// `ok open ...` family — the tenant is live; carries its metrics.
+struct Opened {
+  OpenVerb verb = OpenVerb::kOpen;  ///< which command succeeded
+  ServingMetrics metrics;           ///< snapshot right after open/restore
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Opened&, const Opened&) = default;
+};
+
+/// `ok staged inserts=I removals=R` — staged-batch sizes after a stage.
+struct Staged {
+  std::uint64_t inserts = 0;   ///< staged insertions
+  std::uint64_t removals = 0;  ///< staged removals
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Staged&, const Staged&) = default;
+};
+
+/// `ok apply ...` — outcome of one applied batch.
+struct Applied {
+  std::uint64_t inserted = 0;       ///< spectrally-unique edges added to H
+  std::uint64_t merged = 0;         ///< absorbed into an existing bridge
+  std::uint64_t redistributed = 0;  ///< spread over a cluster
+  std::uint64_t reinforced = 0;     ///< exact weight additions
+  std::int64_t removed = 0;         ///< removals that found an edge in G
+  std::int64_t ghosts = 0;          ///< new ghost edges awaiting a rebuild
+  double staleness = 0.0;           ///< staleness after the batch
+  bool rebuild = false;             ///< the batch tripped a rebuild
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Applied&, const Applied&) = default;
+};
+
+/// `ok solve iters=I resid=R resistance=X`.
+struct Solved {
+  int iterations = 0;        ///< outer solver iterations
+  double residual = 0.0;     ///< final relative residual
+  double resistance = 0.0;   ///< x[u] - x[v], the effective resistance
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Solved&, const Solved&) = default;
+};
+
+/// `ok metrics ...` — the tenant's ServingMetrics.
+struct MetricsOut {
+  ServingMetrics metrics;  ///< uniform metrics snapshot
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const MetricsOut&, const MetricsOut&) = default;
+};
+
+/// `ok shard-metrics shard=k ...` — one shard's metrics.
+struct ShardMetricsOut {
+  int shard = 0;                   ///< shard index
+  NodeId nodes = 0;                ///< shard nodes (ground node included)
+  EdgeId g_edges = 0;              ///< shard subgraph edges
+  EdgeId h_edges = 0;              ///< shard sparsifier edges
+  double staleness = 0.0;          ///< shard staleness
+  bool rebuild_in_flight = false;  ///< shard background rebuild running
+  SessionCounters counters;        ///< shard lifetime counters
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const ShardMetricsOut&, const ShardMetricsOut&) = default;
+};
+
+/// `ok kappa value=V target=C within=0|1`.
+struct KappaOut {
+  double value = 0.0;   ///< measured kappa(L_G, L_H)
+  double target = 0.0;  ///< the session's kappa budget
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const KappaOut&, const KappaOut&) = default;
+};
+
+/// `ok checkpoint path=<path>`.
+struct Checkpointed {
+  std::string path;  ///< where the snapshot landed
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Checkpointed&, const Checkpointed&) = default;
+};
+
+/// `ok autosave path=<path> every=<N>` (or `ok autosave off`).
+struct AutosaveOut {
+  std::string path;         ///< snapshot destination ("" when disabled)
+  std::uint64_t every = 0;  ///< applies between snapshots; 0 = off
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const AutosaveOut&, const AutosaveOut&) = default;
+};
+
+/// `ok close name=<tenant>`.
+struct Closed {
+  std::string name;  ///< the tenant that was closed (resolved name)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Closed&, const Closed&) = default;
+};
+
+/// `ok quit` — the serving stream is done.
+struct Bye {
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Bye&, const Bye&) = default;
+};
+
+}  // namespace resp
+
+/// One protocol response (see the resp:: message structs).
+using Response =
+    std::variant<resp::Error, resp::Opened, resp::Staged, resp::Applied,
+                 resp::Solved, resp::MetricsOut, resp::ShardMetricsOut,
+                 resp::KappaOut, resp::Checkpointed, resp::AutosaveOut,
+                 resp::Closed, resp::Bye>;
+
+/// Codec-level failure. Non-fatal errors (a malformed text line) cost one
+/// `err` response and the stream keeps serving; fatal errors (a corrupt
+/// binary frame — framing is lost) end the stream after the `err`.
+class ProtocolError : public std::runtime_error {
+ public:
+  /// Build with the message that becomes the `err` line.
+  explicit ProtocolError(const std::string& what, bool fatal = false)
+      : std::runtime_error(what), fatal_(fatal) {}
+
+  /// True when the stream cannot continue past this error.
+  [[nodiscard]] bool fatal() const { return fatal_; }
+
+ private:
+  bool fatal_ = false;
+};
+
+/// A request/response serialization: the pluggable layer between typed
+/// messages and the byte stream. Both directions of both message kinds
+/// are implemented so one codec serves server loops, client drivers, and
+/// round-trip tests alike. read_* return nullopt at a clean end-of-stream
+/// and throw ProtocolError on malformed input.
+class Codec {
+ public:
+  virtual ~Codec();
+
+  /// Decode the next request (server side).
+  [[nodiscard]] virtual std::optional<Request> read_request(std::istream& in) = 0;
+  /// Encode one request (client side).
+  virtual void write_request(std::ostream& out, const Request& request) = 0;
+  /// Decode the next response (client side).
+  [[nodiscard]] virtual std::optional<Response> read_response(std::istream& in) = 0;
+  /// Encode one response (server side).
+  virtual void write_response(std::ostream& out, const Response& response) = 0;
+};
+
+/// The human-readable line grammar (docs/serve_protocol.md), byte-
+/// compatible with the original `ingrass_serve` stdin/stdout protocol:
+/// one whitespace-tokenized command per line ('#' starts a comment, blank
+/// lines are skipped), one `ok ...` / `err ...` line per response.
+/// Malformed lines throw non-fatal ProtocolErrors whose messages are the
+/// documented error lines.
+class TextCodec final : public Codec {
+ public:
+  [[nodiscard]] std::optional<Request> read_request(std::istream& in) override;
+  void write_request(std::ostream& out, const Request& request) override;
+  [[nodiscard]] std::optional<Response> read_response(std::istream& in) override;
+  void write_response(std::ostream& out, const Response& response) override;
+};
+
+/// Magic bytes opening every binary frame ("IGRB"): transports peek these
+/// to auto-select the codec per connection.
+inline constexpr char kBinaryFrameMagic[4] = {'I', 'G', 'R', 'B'};
+
+/// Version of the binary frame format emitted by BinaryCodec.
+inline constexpr std::uint32_t kBinaryFrameVersion = 1;
+
+/// Hard cap on a binary frame's payload length; larger declared lengths
+/// are rejected as corrupt before any allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// The length-prefixed binary framing (docs/serve_protocol.md has the
+/// byte layout): `magic "IGRB", u32 version, u32 payload length, payload`
+/// with a one-byte message tag opening each payload, and values in the
+/// same little-endian conventions as the INGRSCKP checkpoint format
+/// (serve/wire.hpp). No reparsing cost, no whitespace ambiguity, and
+/// arbitrary bytes in paths and tenant names. Any malformed frame throws
+/// a *fatal* ProtocolError — once framing is lost the stream is done.
+class BinaryCodec final : public Codec {
+ public:
+  [[nodiscard]] std::optional<Request> read_request(std::istream& in) override;
+  void write_request(std::ostream& out, const Request& request) override;
+  [[nodiscard]] std::optional<Response> read_response(std::istream& in) override;
+  void write_response(std::ostream& out, const Response& response) override;
+};
+
+/// The transport-independent serving core: a name → Session map (several
+/// independent graphs behind one server) plus per-tenant staged batches
+/// and autosave policy. handle() turns one Request into one Response and
+/// never throws — failures come back as resp::Error, exactly one response
+/// per request. Engine performs no stream I/O; transports own the bytes.
+///
+/// Not internally synchronized: transports call handle() from one thread
+/// at a time (the sessions themselves remain internally thread-safe, so
+/// their background rebuilds proceed regardless).
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Execute one request against the tenant map. Returns resp::Bye for
+  /// Quit (the transport's signal to stop), resp::Error on any failure.
+  [[nodiscard]] Response handle(const Request& request);
+
+  /// Flush every tenant's staged batch (the EOF path — responses for the
+  /// implied applies were never requested). Returns one error message per
+  /// tenant whose flush failed; the failed batches are discarded.
+  [[nodiscard]] std::vector<std::string> flush_all();
+
+  /// Names of the live tenants, sorted.
+  [[nodiscard]] std::vector<std::string> tenants() const;
+
+ private:
+  struct Tenant {
+    std::unique_ptr<Session> session;
+    UpdateBatch pending;
+    std::string autosave_path;
+    std::uint64_t autosave_every = 0;
+    std::uint64_t applies_since_save = 0;
+  };
+
+  [[nodiscard]] static const std::string& resolve(const std::string& name);
+  [[nodiscard]] Tenant& require_tenant(const std::string& name);
+  [[nodiscard]] Tenant& adopt(const std::string& name, std::unique_ptr<Session> session);
+  /// Apply a batch through the tenant's session and run the autosave
+  /// bookkeeping (snapshot after every N applies).
+  ApplyResult apply_now(Tenant& tenant, const UpdateBatch& batch);
+  /// Apply the staged batch, if any; the batch is taken out first so a
+  /// failed apply discards it instead of wedging later commands.
+  void flush(Tenant& tenant);
+  void validate_endpoints(const Tenant& tenant, NodeId u, NodeId v) const;
+
+  Response do_handle(const req::Open& r);
+  Response do_handle(const req::OpenSharded& r);
+  Response do_handle(const req::Restore& r);
+  Response do_handle(const req::RestoreSharded& r);
+  Response do_handle(const req::Insert& r);
+  Response do_handle(const req::Remove& r);
+  Response do_handle(const req::Apply& r);
+  Response do_handle(const req::Solve& r);
+  Response do_handle(const req::Metrics& r);
+  Response do_handle(const req::ShardMetrics& r);
+  Response do_handle(const req::Kappa& r);
+  Response do_handle(const req::Checkpoint& r);
+  Response do_handle(const req::Autosave& r);
+  Response do_handle(const req::Close& r);
+  Response do_handle(const req::Quit& r);
+
+  std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace ingrass::serve

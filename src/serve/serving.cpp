@@ -1,0 +1,8 @@
+#include "serve/serving.hpp"
+
+namespace ingrass::serve {
+
+// Out-of-line so the vtable has a home translation unit.
+Session::~Session() = default;
+
+}  // namespace ingrass::serve

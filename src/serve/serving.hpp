@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/stream_io.hpp"
+#include "serve/checkpoint.hpp"
+#include "solver/sparsifier_solver.hpp"
+
+/// @file
+/// The transport-agnostic serving interface: one abstract `Session` both
+/// SparsifierSession (plain) and ShardedSession (partitioned) implement,
+/// so protocol and transport code dispatches every command once instead
+/// of branching per backend.
+
+namespace ingrass {
+
+struct ApplyResult;
+struct SessionMetrics;
+struct SessionOptions;
+
+namespace serve {
+
+/// Uniform metrics snapshot across serving backends. Plain sessions fill
+/// the shared fields and leave `sharded` false; sharded sessions
+/// additionally report the dispatcher-level fields. This is the shape the
+/// protocol layer serializes — per-backend metrics structs stay richer
+/// (e.g. ShardedMetrics carries the per-shard breakdown) but never cross
+/// the wire whole.
+struct ServingMetrics {
+  bool sharded = false;            ///< true for ShardedSession backends
+  NodeId nodes = 0;                ///< global node count
+  EdgeId g_edges = 0;              ///< current edge count of G
+  EdgeId h_edges = 0;              ///< current sparsifier edge count
+  double target_condition = 0.0;   ///< the session's kappa budget
+  double staleness = 0.0;          ///< staleness, fraction of the budget
+  bool rebuild_in_flight = false;  ///< a background rebuild is running
+  SessionCounters counters;        ///< lifetime counters (sharded: summed)
+  int shards = 0;                  ///< shard count K (sharded only)
+  EdgeId boundary_edges = 0;       ///< cut edges (sharded only)
+  double boundary_weight = 0.0;    ///< summed cut weight (sharded only)
+  std::uint64_t global_solves = 0;     ///< dispatcher solve() calls (sharded only)
+  std::uint64_t coupling_updates = 0;  ///< ground-edge reweights (sharded only)
+
+  /// Field-wise equality (wire-codec round-trip tests).
+  friend bool operator==(const ServingMetrics&, const ServingMetrics&) = default;
+};
+
+/// Abstract serving session: the uniform face of one evolving graph held
+/// behind the serving API, whatever the backend (one SparsifierSession or
+/// a K-shard ShardedSession). `serve::Engine` owns a name → Session map
+/// and turns protocol requests into these calls; nothing above the
+/// concrete classes branches on the backend anymore.
+///
+/// The concrete classes implement this interface directly (their rich
+/// native APIs — shard routing, coupling hooks, snapshot access — remain
+/// available to code that holds the concrete type). Methods whose names
+/// differ from the concrete spellings (`serving_metrics`, `settled_kappa`,
+/// `session_options`) do so because the concrete classes already use the
+/// plain names with backend-specific types.
+///
+/// Thread safety follows the concrete classes: apply/solve/metrics/
+/// checkpoint may be called concurrently on one session.
+class Session {
+ public:
+  virtual ~Session();
+
+  /// Apply one batch of updates (removals first, then insertions).
+  virtual ApplyResult apply(const UpdateBatch& batch) = 0;
+
+  /// Solve L_G x = b against the latest applied state.
+  virtual SparsifierSolver::Result solve(std::span<const double> b,
+                                         std::span<double> x) = 0;
+
+  /// Uniform metrics snapshot (see ServingMetrics).
+  [[nodiscard]] virtual ServingMetrics serving_metrics() const = 0;
+
+  /// kappa(L_G, L_H) of the settled pair: waits out any in-flight
+  /// background rebuild, then measures. Expensive — diagnostics only.
+  [[nodiscard]] virtual double settled_kappa() = 0;
+
+  /// Write a consistent snapshot to `path` (crash-safe write-then-rename;
+  /// plain sessions write a v1 blob, sharded sessions a v2 manifest plus
+  /// per-shard blobs).
+  virtual void checkpoint(const std::string& path) const = 0;
+
+  /// Node count of G. Immutable after construction — lock-free, the cheap
+  /// bounds check for request validation.
+  [[nodiscard]] virtual NodeId num_nodes() const = 0;
+
+  /// The per-session policy this backend runs under (a sharded backend
+  /// reports its shared per-shard policy).
+  [[nodiscard]] virtual const SessionOptions& session_options() const = 0;
+
+  /// Shard count K of a sharded backend; 0 for a plain session.
+  [[nodiscard]] virtual int num_shards() const = 0;
+
+  /// Metrics of one shard (0 <= k < num_shards()); plain sessions throw
+  /// ("shard-metrics requires a sharded session").
+  [[nodiscard]] virtual SessionMetrics shard_metrics(int k) const = 0;
+};
+
+}  // namespace serve
+}  // namespace ingrass

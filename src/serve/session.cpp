@@ -451,6 +451,29 @@ SessionMetrics SparsifierSession::metrics() const {
   return m;
 }
 
+serve::ServingMetrics SparsifierSession::serving_metrics() const {
+  const SessionMetrics m = metrics();
+  serve::ServingMetrics out;
+  out.sharded = false;
+  out.nodes = m.nodes;
+  out.g_edges = m.g_edges;
+  out.h_edges = m.h_edges;
+  out.target_condition = m.target_condition;
+  out.staleness = m.staleness;
+  out.rebuild_in_flight = m.rebuild_in_flight;
+  out.counters = m.counters;
+  return out;
+}
+
+double SparsifierSession::settled_kappa() {
+  wait_for_rebuild();
+  return measure_kappa();
+}
+
+SessionMetrics SparsifierSession::shard_metrics(int) const {
+  throw std::runtime_error("shard-metrics requires a sharded session");
+}
+
 SessionCheckpoint SparsifierSession::snapshot() const {
   auto lock = reader_lock();
   SessionCheckpoint ck;

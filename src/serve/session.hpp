@@ -16,6 +16,7 @@
 #include "graph/graph.hpp"
 #include "graph/stream_io.hpp"
 #include "serve/checkpoint.hpp"
+#include "serve/serving.hpp"
 #include "solver/sparsifier_solver.hpp"
 #include "sparsify/grass.hpp"
 #include "spectral/condition_number.hpp"
@@ -113,7 +114,10 @@ struct SessionMetrics {
 /// measure_kappa() may be called concurrently from any threads. Solves
 /// run under a shared lock and proceed in parallel with each other and
 /// with the heavy phase of a background rebuild.
-class SparsifierSession {
+///
+/// Implements serve::Session, the uniform serving interface the protocol
+/// Engine dispatches through (serve/serving.hpp).
+class SparsifierSession : public serve::Session {
  public:
   /// Fresh session: build H(0) from g with GRASS, then run the inGRASS
   /// setup phase. Requires a connected graph (GRASS's precondition).
@@ -130,7 +134,7 @@ class SparsifierSession {
       const std::string& path, const SessionOptions& opts);
 
   /// Finishes any queued background rebuild before tearing down.
-  ~SparsifierSession();
+  ~SparsifierSession() override;
 
   SparsifierSession(const SparsifierSession&) = delete;
   SparsifierSession& operator=(const SparsifierSession&) = delete;
@@ -139,7 +143,7 @@ class SparsifierSession {
   /// charged to staleness), then insertions (into G and through the
   /// engine's update phase). Validates the whole batch against the node
   /// set before mutating anything. May trigger a rebuild on the way out.
-  ApplyResult apply(const UpdateBatch& batch);
+  ApplyResult apply(const UpdateBatch& batch) override;
 
   /// Boundary-coupling hook for sharded serving (shard_dispatcher.hpp):
   /// set the (u,v) edge of G to weight `w` (>= 0), inserting or removing
@@ -157,18 +161,31 @@ class SparsifierSession {
 
   /// Solve L_G x = b with the sparsifier-preconditioned solver, against
   /// the latest applied state. Safe to call concurrently.
-  SparsifierSolver::Result solve(std::span<const double> b, std::span<double> x);
+  SparsifierSolver::Result solve(std::span<const double> b, std::span<double> x) override;
 
   /// Consistent snapshot of the session's observable state.
   [[nodiscard]] SessionMetrics metrics() const;
 
+  /// serve::Session view of metrics() (`sharded` stays false).
+  [[nodiscard]] serve::ServingMetrics serving_metrics() const override;
+
+  /// serve::Session: wait_for_rebuild() then measure_kappa().
+  [[nodiscard]] double settled_kappa() override;
+
+  /// serve::Session: always 0 — this is the unsharded backend.
+  [[nodiscard]] int num_shards() const override { return 0; }
+
+  /// serve::Session: plain sessions have no shards; always throws
+  /// ("shard-metrics requires a sharded session").
+  [[nodiscard]] SessionMetrics shard_metrics(int k) const override;
+
   /// Node count of G (== H's). Immutable after construction — lock-free,
   /// the cheap bounds check for request validation.
-  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+  [[nodiscard]] NodeId num_nodes() const override { return num_nodes_; }
 
   /// Write a consistent snapshot (G, H, counters) to `path` in the
   /// serve/checkpoint.hpp binary format.
-  void checkpoint(const std::string& path) const;
+  void checkpoint(const std::string& path) const override;
 
   /// The same consistent snapshot as an in-memory value — the sharded
   /// dispatcher collects these under its own lock and does the disk
@@ -192,6 +209,9 @@ class SparsifierSession {
 
   /// The options this session was constructed with.
   [[nodiscard]] const SessionOptions& options() const { return opts_; }
+
+  /// serve::Session spelling of options().
+  [[nodiscard]] const SessionOptions& session_options() const override { return opts_; }
 
  private:
   SparsifierSession(Graph g, Graph h0, SessionCounters counters,

@@ -552,6 +552,30 @@ ShardedMetrics ShardedSession::metrics() const {
   return m;
 }
 
+serve::ServingMetrics ShardedSession::serving_metrics() const {
+  const ShardedMetrics m = metrics();
+  serve::ServingMetrics out;
+  out.sharded = true;
+  out.nodes = m.nodes;
+  out.g_edges = m.g_edges;
+  out.h_edges = m.h_edges;
+  out.target_condition = opts_.session.engine.target_condition;
+  out.staleness = m.staleness;
+  out.rebuild_in_flight = m.rebuild_in_flight;
+  out.counters = m.counters;
+  out.shards = m.shards;
+  out.boundary_edges = m.boundary_edges;
+  out.boundary_weight = m.boundary_weight;
+  out.global_solves = m.global_solves;
+  out.coupling_updates = m.coupling_updates;
+  return out;
+}
+
+double ShardedSession::settled_kappa() {
+  wait_for_rebuilds();
+  return measure_kappa();
+}
+
 SessionMetrics ShardedSession::shard_metrics(int k) const {
   if (k < 0 || k >= shards_) {
     throw std::invalid_argument("ShardedSession::shard_metrics: bad shard index");

@@ -120,7 +120,10 @@ struct ShardedMetrics {
 /// checkpoints serialize against each other at the dispatcher; solves
 /// proceed concurrently with each other and with the shards' background
 /// rebuilds.
-class ShardedSession {
+///
+/// Implements serve::Session, the uniform serving interface the protocol
+/// Engine dispatches through (serve/serving.hpp).
+class ShardedSession : public serve::Session {
  public:
   /// Fresh sharded session: partition g, build each shard's augmented
   /// subgraph, and run GRASS + the inGRASS setup per shard (fanned out on
@@ -136,7 +139,7 @@ class ShardedSession {
       const std::string& manifest_path, const ShardedOptions& opts);
 
   /// Waits out every shard's queued background rebuild before teardown.
-  ~ShardedSession();
+  ~ShardedSession() override;
 
   ShardedSession(const ShardedSession&) = delete;
   ShardedSession& operator=(const ShardedSession&) = delete;
@@ -146,14 +149,23 @@ class ShardedSession {
   /// records update the boundary graph and re-ground both endpoint
   /// shards. Aggregates the shard results; `staleness` reports the worst
   /// shard.
-  ApplyResult apply(const UpdateBatch& batch);
+  ApplyResult apply(const UpdateBatch& batch) override;
 
   /// Solve L_G x = b on the global graph to the configured tolerance
   /// (block-Jacobi preconditioned flexible CG; see class comment). Safe
   /// to call concurrently.
-  SparsifierSolver::Result solve(std::span<const double> b, std::span<double> x);
+  SparsifierSolver::Result solve(std::span<const double> b, std::span<double> x) override;
 
+  /// Aggregated view across shards plus the dispatcher-level fields.
   [[nodiscard]] ShardedMetrics metrics() const;
+
+  /// serve::Session view of metrics(): the aggregate fields plus the
+  /// dispatcher extras, `sharded` set (the per-shard breakdown stays on
+  /// ShardedMetrics).
+  [[nodiscard]] serve::ServingMetrics serving_metrics() const override;
+
+  /// serve::Session: wait_for_rebuilds() then measure_kappa().
+  [[nodiscard]] double settled_kappa() override;
 
   /// Write a v2 checkpoint: per-shard v1 blobs next to `path` under
   /// unique per-call names, then the manifest at `path`. The manifest's
@@ -162,7 +174,7 @@ class ShardedSession {
   /// superseded generation's blobs are garbage-collected afterwards.
   /// State is snapshotted under the dispatcher lock but all disk writes
   /// happen outside it.
-  void checkpoint(const std::string& path) const;
+  void checkpoint(const std::string& path) const override;
 
   /// Block until every shard's in-flight background rebuild has landed.
   void wait_for_rebuilds();
@@ -180,18 +192,23 @@ class ShardedSession {
   [[nodiscard]] Graph sparsifier() const;
 
   /// The shard count K.
-  [[nodiscard]] int num_shards() const { return shards_; }
+  [[nodiscard]] int num_shards() const override { return shards_; }
   /// Global node count. Immutable after construction — lock-free, the
   /// cheap bounds check for request validation.
-  [[nodiscard]] NodeId num_nodes() const {
+  [[nodiscard]] NodeId num_nodes() const override {
     return static_cast<NodeId>(shard_of_.size());
   }
   /// Owning shard of a global vertex.
   [[nodiscard]] int shard_of(NodeId u) const;
   /// Metrics of one shard (0 <= k < num_shards()).
-  [[nodiscard]] SessionMetrics shard_metrics(int k) const;
+  [[nodiscard]] SessionMetrics shard_metrics(int k) const override;
   /// The options this dispatcher was constructed with.
   [[nodiscard]] const ShardedOptions& options() const { return opts_; }
+
+  /// serve::Session: the shared per-shard policy (options().session).
+  [[nodiscard]] const SessionOptions& session_options() const override {
+    return opts_.session;
+  }
 
  private:
   ShardedSession(ShardManifest manifest,

@@ -1,0 +1,275 @@
+#include "serve/transport.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <variant>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace ingrass::serve {
+
+namespace {
+
+[[noreturn]] void sys_error(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void sleep_ms(long ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000L;
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Owning fd wrapper so every error path closes the descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bidirectional streambuf over a connected socket. Reads via recv,
+/// writes via send with MSG_NOSIGNAL (a peer that disconnected mid-write
+/// must surface as a stream error, not SIGPIPE). Short reads and writes
+/// are handled; EOF maps to the stream's eof.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof wbuf_);
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n = 0;
+    do {
+      n = ::recv(fd_, rbuf_, sizeof rbuf_, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (!flush_buffer()) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_buffer() ? 0 : -1; }
+
+ private:
+  bool flush_buffer() {
+    const char* base = pbase();
+    const std::ptrdiff_t count = pptr() - base;
+    std::ptrdiff_t off = 0;
+    while (off < count) {
+      const ssize_t w = ::send(fd_, base + off, static_cast<std::size_t>(count - off),
+                               MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return false;
+      off += w;
+    }
+    pbump(static_cast<int>(-count));
+    return true;
+  }
+
+  int fd_;
+  char rbuf_[8192];
+  char wbuf_[8192];
+};
+
+/// Write `port` to `path` via write-then-rename, so a polling reader
+/// (wait_for_port_file) never observes a half-written file.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write port file: " + tmp);
+    out << port << "\n";
+    out.flush();
+    if (!out) throw std::runtime_error("port file write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int rename_errno = errno;  // std::remove may clobber errno
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename port file into place: " + path + ": " +
+                             std::strerror(rename_errno));
+  }
+}
+
+}  // namespace
+
+ServeOutcome serve_stream(Engine& engine, Codec& codec, std::istream& in,
+                          std::ostream& out) {
+  for (;;) {
+    std::optional<Request> request;
+    try {
+      request = codec.read_request(in);
+    } catch (const ProtocolError& e) {
+      codec.write_response(out, resp::Error{e.what()});
+      out.flush();
+      if (e.fatal()) break;  // framing lost — end the stream, but still flush
+      continue;
+    }
+    if (!request) break;
+    const Response response = engine.handle(*request);
+    codec.write_response(out, response);
+    out.flush();
+    if (std::holds_alternative<resp::Bye>(response)) return ServeOutcome::kQuit;
+  }
+  // End-of-stream (EOF or a fatal framing error): staged batches are
+  // flushed so nothing a client staged is silently dropped; a bad batch
+  // costs a trailing err, not the server.
+  for (const std::string& message : engine.flush_all()) {
+    codec.write_response(out, resp::Error{message});
+  }
+  out.flush();
+  return ServeOutcome::kEof;
+}
+
+void serve_tcp(Engine& engine, const TcpOptions& opts) {
+  UniqueFd listener(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener.valid()) sys_error("socket");
+  const int one = 1;
+  ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(opts.any_address ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(opts.port);
+  if (::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    sys_error("bind port " + std::to_string(opts.port));
+  }
+  if (::listen(listener.get(), opts.backlog) != 0) sys_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    sys_error("getsockname");
+  }
+  const std::uint16_t port = ntohs(bound.sin_port);
+  if (!opts.port_file.empty()) write_port_file(opts.port_file, port);
+
+  TextCodec text;
+  BinaryCodec binary;
+  for (;;) {
+    UniqueFd conn(::accept(listener.get(), nullptr, nullptr));
+    if (!conn.valid()) {
+      if (errno == EINTR) continue;
+      sys_error("accept");
+    }
+    // Codec auto-detect: the first bytes of a binary session are the
+    // frame magic; peek them without consuming so either codec starts
+    // from byte zero.
+    char head[4] = {0, 0, 0, 0};
+    const ssize_t got = ::recv(conn.get(), head, sizeof head, MSG_PEEK | MSG_WAITALL);
+    const bool is_binary =
+        got == static_cast<ssize_t>(sizeof head) &&
+        std::memcmp(head, kBinaryFrameMagic, sizeof head) == 0;
+
+    FdStreamBuf buf(conn.get());
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    const ServeOutcome outcome =
+        serve_stream(engine, is_binary ? static_cast<Codec&>(binary) : text, in, out);
+    out.flush();
+    if (outcome == ServeOutcome::kQuit) break;
+  }
+}
+
+struct TcpClient::Impl {
+  explicit Impl(int raw_fd) : fd(raw_fd), buf(fd.get()), in_stream(&buf), out_stream(&buf) {}
+  UniqueFd fd;
+  FdStreamBuf buf;
+  std::istream in_stream;
+  std::ostream out_stream;
+};
+
+TcpClient::TcpClient(std::uint16_t port, double timeout_seconds) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const long deadline_ms = static_cast<long>(timeout_seconds * 1000.0);
+  long waited_ms = 0;
+  for (;;) {
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) sys_error("socket");
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      impl_ = std::make_unique<Impl>(fd.release());
+      return;
+    }
+    if (waited_ms >= deadline_ms) {
+      sys_error("connect to 127.0.0.1:" + std::to_string(port));
+    }
+    sleep_ms(50);
+    waited_ms += 50;
+  }
+}
+
+TcpClient::~TcpClient() = default;
+
+std::istream& TcpClient::in() { return impl_->in_stream; }
+std::ostream& TcpClient::out() { return impl_->out_stream; }
+
+std::uint16_t wait_for_port_file(const std::string& path, double timeout_seconds) {
+  const long deadline_ms = static_cast<long>(timeout_seconds * 1000.0);
+  long waited_ms = 0;
+  for (;;) {
+    {
+      std::ifstream in(path);
+      long port = 0;
+      if (in && (in >> port) && port > 0 && port <= 65535) {
+        return static_cast<std::uint16_t>(port);
+      }
+    }
+    if (waited_ms >= deadline_ms) {
+      throw std::runtime_error("timed out waiting for port file: " + path);
+    }
+    sleep_ms(50);
+    waited_ms += 50;
+  }
+}
+
+}  // namespace ingrass::serve

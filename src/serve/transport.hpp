@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+/// @file
+/// Transports for the serving protocol: the pluggable byte-moving layer
+/// under serve::Engine. A transport owns streams and connection lifetime;
+/// the codec (serve/protocol.hpp) owns the bytes' meaning. Two transports
+/// ship: stdio (serve_stream over std::cin/cout — the original
+/// `ingrass_serve` behavior) and a sequential-accept TCP server sharing
+/// one Engine across connections, so named tenants persist between
+/// clients.
+
+namespace ingrass::serve {
+
+/// Why a serve loop returned.
+enum class ServeOutcome : std::uint8_t {
+  kEof = 0,   ///< the request stream ended (client disconnect / stdin EOF)
+  kQuit = 1,  ///< a Quit request was served — the server should stop
+};
+
+/// Drive `engine` from a request stream until end-of-stream or Quit:
+/// read one request, handle, write exactly one response, flush. Codec
+/// errors cost one `err` response (fatal ones — lost binary framing —
+/// also end the stream). At end-of-stream every tenant's staged batch is
+/// flushed, any failures written as trailing `err` responses.
+ServeOutcome serve_stream(Engine& engine, Codec& codec, std::istream& in,
+                          std::ostream& out);
+
+/// Options for the TCP transport.
+struct TcpOptions {
+  /// Port to listen on; 0 binds an ephemeral port (see `port_file`).
+  std::uint16_t port = 0;
+  /// When non-empty, the bound port is written here (atomically, via
+  /// write-then-rename) once the server is listening — the rendezvous
+  /// for drivers that asked for an ephemeral port.
+  std::string port_file;
+  /// listen(2) backlog for the accept queue.
+  int backlog = 8;
+  /// Bind 0.0.0.0 instead of the loopback-only default.
+  bool any_address = false;
+};
+
+/// Run a sequential-accept TCP server over `engine`: accept a connection,
+/// serve it to disconnect or Quit, accept the next. One Engine lives
+/// across connections, so tenants opened by one client persist for the
+/// next — and a Quit from any client shuts the server down (its tenants
+/// flush on their destructors' schedule). Each connection auto-selects
+/// its codec by peeking the first bytes: the binary frame magic selects
+/// BinaryCodec, anything else the text line grammar.
+void serve_tcp(Engine& engine, const TcpOptions& opts);
+
+/// A connected TCP client stream pair — the driving end of serve_tcp
+/// (used by the `ingrass_serve --connect` client and the transport
+/// tests). Connects to 127.0.0.1:`port` with retries until
+/// `timeout_seconds` elapses (the server may still be starting), then
+/// exposes the socket as one istream/ostream pair.
+class TcpClient {
+ public:
+  /// Connect, retrying until the deadline; throws std::runtime_error on
+  /// timeout or refusal past the deadline.
+  explicit TcpClient(std::uint16_t port, double timeout_seconds = 10.0);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Response bytes from the server.
+  [[nodiscard]] std::istream& in();
+  /// Request bytes to the server.
+  [[nodiscard]] std::ostream& out();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Poll for a port file written by serve_tcp (see TcpOptions::port_file)
+/// and return the port it names. Throws std::runtime_error when
+/// `timeout_seconds` elapses first.
+[[nodiscard]] std::uint16_t wait_for_port_file(const std::string& path,
+                                               double timeout_seconds = 30.0);
+
+}  // namespace ingrass::serve

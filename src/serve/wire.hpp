@@ -1,0 +1,125 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+/// @file
+/// Little-endian byte-level stream serialization shared by every binary
+/// surface of the serving layer: the on-disk checkpoint formats
+/// (serve/checkpoint.cpp) and the framed wire codec (serve/protocol.cpp).
+/// Byte order is explicit and host-independent; doubles travel as their
+/// IEEE-754 bit patterns. Readers throw std::runtime_error("truncated
+/// payload") when the stream ends mid-value, so every consumer rejects
+/// short inputs on the same path.
+
+namespace ingrass::wire {
+
+/// Append one raw byte.
+inline void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+/// Append a u32 in little-endian byte order.
+inline void put_u32(std::ostream& out, std::uint32_t v) {
+  std::array<char, 4> b;
+  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+  out.write(b.data(), 4);
+}
+
+/// Append a u64 in little-endian byte order.
+inline void put_u64(std::ostream& out, std::uint64_t v) {
+  std::array<char, 8> b;
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+  out.write(b.data(), 8);
+}
+
+/// Append an i32 (two's-complement bit pattern, little-endian).
+inline void put_i32(std::ostream& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Append an i64 (two's-complement bit pattern, little-endian).
+inline void put_i64(std::ostream& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Append a double as its IEEE-754 bit pattern, little-endian.
+inline void put_f64(std::ostream& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Append a length-prefixed string: u32 byte count, then the bytes.
+inline void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Read one raw byte; throws on end-of-stream.
+inline std::uint8_t get_u8(std::istream& in) {
+  const int c = in.get();
+  if (c == std::istream::traits_type::eof()) {
+    throw std::runtime_error("truncated payload");
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+/// Read a little-endian u32; throws on short reads.
+inline std::uint32_t get_u32(std::istream& in) {
+  std::array<char, 4> b;
+  in.read(b.data(), 4);
+  if (in.gcount() != 4) throw std::runtime_error("truncated payload");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Read a little-endian u64; throws on short reads.
+inline std::uint64_t get_u64(std::istream& in) {
+  std::array<char, 8> b;
+  in.read(b.data(), 8);
+  if (in.gcount() != 8) throw std::runtime_error("truncated payload");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Read a little-endian i32.
+inline std::int32_t get_i32(std::istream& in) {
+  return static_cast<std::int32_t>(get_u32(in));
+}
+
+/// Read a little-endian i64.
+inline std::int64_t get_i64(std::istream& in) {
+  return static_cast<std::int64_t>(get_u64(in));
+}
+
+/// Read a little-endian IEEE-754 double.
+inline double get_f64(std::istream& in) { return std::bit_cast<double>(get_u64(in)); }
+
+/// Read a length-prefixed string. `max_len` bounds the declared length so
+/// a corrupt prefix fails cleanly instead of attempting a huge allocation.
+inline std::string get_string(std::istream& in, std::uint32_t max_len) {
+  const std::uint32_t len = get_u32(in);
+  if (len > max_len) {
+    throw std::runtime_error("implausible string length " + std::to_string(len));
+  }
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (in.gcount() != static_cast<std::streamsize>(len)) {
+    throw std::runtime_error("truncated payload");
+  }
+  return s;
+}
+
+}  // namespace ingrass::wire

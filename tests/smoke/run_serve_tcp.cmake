@@ -1,0 +1,162 @@
+# Smoke test: drive apps/ingrass_serve end-to-end over its TCP transport
+# with the binary codec — start a server on an ephemeral port, host two
+# named tenants (one plain, one sharded) through the unified Session
+# interface, prove the tenants outlive a client connection, autosave,
+# checkpoint both tenants, *terminate the server*, restart it, restore
+# both tenants over the socket, and verify kappa lands within the budget.
+#
+# The client is `ingrass_serve --connect-port-file`: it reads the same
+# text command grammar from --script files, ships binary frames over the
+# socket (one connection per script), and prints the text-rendered
+# responses — so the markers below are the same lines the stdio smoke
+# test asserts.
+#
+# Invoked by CTest as:
+#   cmake -DBIN=<path-to-ingrass_serve> -DWORK_DIR=<scratch dir> -P run_serve_tcp.cmake
+
+if(NOT DEFINED BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DBIN=<ingrass_serve binary> -DWORK_DIR=<scratch dir>")
+endif()
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Emit a 6x6 grid graph (36 nodes, 60 unit edges) in Matrix Market
+# coordinate/symmetric format (lower triangle, 1-based).
+set(entries "")
+set(count 0)
+foreach(y RANGE 5)
+  foreach(x RANGE 5)
+    math(EXPR id "${y} * 6 + ${x} + 1")
+    if(x LESS 5)
+      math(EXPR nbr "${id} + 1")
+      string(APPEND entries "${nbr} ${id} 1.0\n")
+      math(EXPR count "${count} + 1")
+    endif()
+    if(y LESS 5)
+      math(EXPR nbr "${id} + 6")
+      string(APPEND entries "${nbr} ${id} 1.0\n")
+      math(EXPR count "${count} + 1")
+    endif()
+  endforeach()
+endforeach()
+file(WRITE ${WORK_DIR}/g.mtx
+  "%%MatrixMarket matrix coordinate real symmetric\n36 36 ${count}\n${entries}")
+
+# run_tcp(<marker...>): start the server on an ephemeral port with a port
+# file, run the client against it with every script in CLIENT_SCRIPTS
+# (one connection per script), and require both exit codes 0 plus every
+# stdout marker. execute_process runs the two COMMANDs concurrently; the
+# client rendezvouses via the port file and its final `quit` stops the
+# server, so the call returns when both are done.
+function(run_tcp)
+  file(REMOVE ${WORK_DIR}/port.txt)
+  execute_process(
+    COMMAND ${BIN} --listen 0 --port-file ${WORK_DIR}/port.txt
+    COMMAND ${BIN} --connect-port-file ${WORK_DIR}/port.txt ${CLIENT_SCRIPTS}
+    WORKING_DIRECTORY ${WORK_DIR}
+    TIMEOUT 300
+    RESULTS_VARIABLE rcs
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  foreach(rc ${rcs})
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "serve_tcp pipeline exit codes '${rcs}', expected 0;0\n"
+                          "stdout:\n${out}\nstderr:\n${err}")
+    endif()
+  endforeach()
+  foreach(marker ${ARGN})
+    string(FIND "${out}" "${marker}" idx)
+    if(idx EQUAL -1)
+      message(FATAL_ERROR "serve_tcp client stdout is missing marker "
+                          "'${marker}'\nstdout:\n${out}\nstderr:\n${err}")
+    endif()
+  endforeach()
+  foreach(marker ${FORBIDDEN})
+    string(FIND "${out}" "${marker}" idx)
+    if(NOT idx EQUAL -1)
+      message(FATAL_ERROR "serve_tcp client stdout contains forbidden marker "
+                          "'${marker}'\nstdout:\n${out}\nstderr:\n${err}")
+    endif()
+  endforeach()
+endfunction()
+
+# Incarnation 1, connection 1: open two named tenants — "solo" plain,
+# "mesh" sharded across 4 shards — stream updates to both, solve both.
+# No quit: the connection drops, the tenants must survive.
+file(WRITE ${WORK_DIR}/conn1.txt
+"open g.mtx --name solo --density 0.3 --target 100 --grass-target 40 --sync
+@mesh open-sharded g.mtx 4 --density 0.3 --target 100 --grass-target 40 --sync
+@solo insert 0 35 1.0
+@solo remove 0 1
+@solo apply
+@mesh insert 0 35 1.0
+@mesh insert 1 2 0.5
+@mesh apply
+@solo solve 0 35
+@mesh solve 0 35
+")
+
+# Incarnation 1, connection 2: both tenants kept their state (batches=1
+# from connection 1), autosave arms and fires on the next apply,
+# checkpoint both, close one and see its name free, then quit — which
+# shuts the whole server down.
+file(WRITE ${WORK_DIR}/conn2.txt
+"@solo metrics
+@mesh metrics
+@mesh shard-metrics 3
+@solo autosave auto.bin 1
+@solo insert 2 33 1.0
+@solo apply
+@solo checkpoint ck.bin
+@mesh checkpoint sck.bin
+close solo
+@solo metrics
+quit
+")
+
+set(CLIENT_SCRIPTS --script ${WORK_DIR}/conn1.txt --script ${WORK_DIR}/conn2.txt)
+run_tcp(
+  "ok open nodes=36"
+  "ok open-sharded nodes=36"
+  "shards=4"
+  "ok apply"
+  "ok solve iters="
+  "ok metrics"
+  "boundary_edges="
+  "ok shard-metrics shard=3"
+  "ok autosave path=auto.bin every=1"
+  "ok checkpoint path=ck.bin"
+  "ok checkpoint path=sck.bin"
+  "ok close name=solo"
+  "err no session named 'solo'"
+  "ok quit")
+
+# The armed autosave snapshotted on the apply that followed it.
+if(NOT EXISTS ${WORK_DIR}/auto.bin)
+  message(FATAL_ERROR "autosave did not write ${WORK_DIR}/auto.bin")
+endif()
+
+# Incarnation 2: a fresh server process restores both tenants from their
+# checkpoints over the socket and the restored pairs land within the
+# kappa budget.
+file(WRITE ${WORK_DIR}/conn3.txt
+"restore ck.bin --name solo --target 100 --grass-target 40 --sync
+restore-sharded sck.bin --name mesh --target 100 --grass-target 40 --sync
+@solo solve 0 35
+@solo kappa
+@mesh solve 0 35
+@mesh kappa
+quit
+")
+
+set(CLIENT_SCRIPTS --script ${WORK_DIR}/conn3.txt)
+set(FORBIDDEN "within=0")  # both tenants' kappa must land inside the budget
+run_tcp(
+  "ok restore nodes=36"
+  "ok restore-sharded nodes=36"
+  "shards=4"
+  "ok solve iters="
+  "within=1"
+  "ok quit")
+
+message(STATUS "ingrass_serve TCP smoke test passed")

@@ -1,0 +1,688 @@
+// The typed serving protocol: text/binary codec round trips for every
+// Request/Response variant, malformed- and truncated-frame rejection,
+// Engine error paths (command before open, unknown tenant, double open
+// without close), multi-tenant isolation, periodic autosave, the
+// byte-compatible text transcript through serve_stream, and the TCP
+// transport (binary and text codecs auto-detected per connection).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/mtx_io.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixtures
+
+std::string scratch_path(const std::string& name) {
+  return testing::TempDir() + "/ingrass_proto_" + name;
+}
+
+/// A small connected test graph on disk, shared by the Engine tests.
+const std::string& test_mtx() {
+  static const std::string path = [] {
+    Rng rng(7);
+    const Graph g = make_triangulated_grid(5, 5, rng);
+    const std::string p = scratch_path("grid.mtx");
+    write_mtx_file(p, g);
+    return p;
+  }();
+  return path;
+}
+
+SessionSpec fast_spec() {
+  SessionSpec spec;
+  spec.density = 0.3;
+  spec.sync = true;  // deterministic tests
+  return spec;
+}
+
+req::Open open_req(const std::string& name) {
+  return req::Open{name, test_mtx(), fast_spec()};
+}
+
+req::OpenSharded open_sharded_req(const std::string& name, int shards) {
+  return req::OpenSharded{name, test_mtx(), shards, PartitionStrategy::kGreedy,
+                          fast_spec()};
+}
+
+/// The error message of a Response, or a marker when it is not an error
+/// (keeps assertions on temporaries free of dangling pointers).
+std::string error_message(const Response& r) {
+  const auto* e = std::get_if<resp::Error>(&r);
+  return e ? e->message : std::string("<not an error: index ") +
+                              std::to_string(r.index()) + ">";
+}
+
+/// One of each request variant, with distinctive field values.
+std::vector<Request> all_requests() {
+  SessionSpec spec;
+  spec.density = 0.25;
+  spec.target = 80.0;
+  spec.grass_target = 35.5;
+  spec.staleness = 0.5;
+  spec.sync = true;
+  spec.no_rebuild = true;
+  return {
+      req::Open{"a", "graph.mtx", spec},
+      req::OpenSharded{"b", "graph.mtx", 4, PartitionStrategy::kHash, spec},
+      req::Restore{"", "ck.bin", SessionSpec{}},
+      req::RestoreSharded{"c", "manifest.bin", SessionSpec{}},
+      req::Insert{"a", 3, 7, 1.25},
+      req::Remove{"", 2, 9},
+      req::Apply{"tenant-x"},
+      req::Solve{"a", 0, 24},
+      req::Metrics{""},
+      req::ShardMetrics{"b", 3},
+      req::Kappa{"a"},
+      req::Checkpoint{"a", "out.bin"},
+      req::Autosave{"a", "auto.bin", 16},
+      req::Close{"b"},
+      req::Quit{},
+  };
+}
+
+/// One of each response variant, with distinctive field values.
+std::vector<Response> all_responses() {
+  ServingMetrics plain;
+  plain.nodes = 25;
+  plain.g_edges = 72;
+  plain.h_edges = 40;
+  plain.target_condition = 100.0;
+  plain.staleness = 0.125;
+  plain.rebuild_in_flight = true;
+  plain.counters.batches = 3;
+  plain.counters.inserts_offered = 11;
+  plain.counters.solves = 2;
+
+  ServingMetrics sharded = plain;
+  sharded.sharded = true;
+  sharded.shards = 4;
+  sharded.boundary_edges = 9;
+  sharded.boundary_weight = 8.5;
+  sharded.global_solves = 5;
+  sharded.coupling_updates = 7;
+
+  SessionCounters counters;
+  counters.batches = 2;
+  counters.removals_applied = 1;
+  counters.rebuilds = 1;
+  counters.staleness_score = 0.75;
+
+  return {
+      resp::Error{"no session (use open or restore)"},
+      resp::Opened{resp::OpenVerb::kOpenSharded, sharded},
+      resp::Staged{3, 1},
+      resp::Applied{4, 1, 2, 0, 1, 1, 0.25, true},
+      resp::Solved{17, 3.5e-9, 0.75},
+      resp::MetricsOut{plain},
+      resp::ShardMetricsOut{2, 8, 14, 9, 0.0625, false, counters},
+      resp::KappaOut{42.5, 100.0},
+      resp::Checkpointed{"out.bin"},
+      resp::AutosaveOut{"auto.bin", 8},
+      resp::Closed{"tenant-x"},
+      resp::Bye{},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Codec round trips
+
+TEST(BinaryCodec, RequestRoundTripEveryVariant) {
+  BinaryCodec codec;
+  for (const Request& request : all_requests()) {
+    std::stringstream wire;
+    codec.write_request(wire, request);
+    const auto back = codec.read_request(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, request) << "variant index " << request.index();
+    EXPECT_FALSE(codec.read_request(wire).has_value()) << "stream should be drained";
+  }
+}
+
+TEST(BinaryCodec, ResponseRoundTripEveryVariant) {
+  BinaryCodec codec;
+  for (const Response& response : all_responses()) {
+    std::stringstream wire;
+    codec.write_response(wire, response);
+    const auto back = codec.read_response(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, response) << "variant index " << response.index();
+  }
+}
+
+TEST(BinaryCodec, BackToBackFramesDecodeInOrder) {
+  BinaryCodec codec;
+  std::stringstream wire;
+  const auto requests = all_requests();
+  for (const Request& request : requests) codec.write_request(wire, request);
+  for (const Request& request : requests) {
+    const auto back = codec.read_request(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, request);
+  }
+  EXPECT_FALSE(codec.read_request(wire).has_value());
+}
+
+TEST(TextCodec, RequestRoundTripEveryVariant) {
+  TextCodec codec;
+  for (const Request& request : all_requests()) {
+    std::stringstream wire;
+    codec.write_request(wire, request);
+    const auto back = codec.read_request(wire);
+    ASSERT_TRUE(back.has_value()) << wire.str();
+    EXPECT_EQ(*back, request) << "line: " << wire.str();
+  }
+}
+
+TEST(TextCodec, ResponseReEncodeIsStable) {
+  // Text responses print doubles at display precision, so the value-level
+  // round trip is encode -> decode -> encode with identical bytes.
+  TextCodec codec;
+  for (const Response& response : all_responses()) {
+    std::stringstream first;
+    codec.write_response(first, response);
+    std::stringstream parse(first.str());
+    const auto decoded = codec.read_response(parse);
+    ASSERT_TRUE(decoded.has_value()) << first.str();
+    std::stringstream second;
+    codec.write_response(second, *decoded);
+    EXPECT_EQ(first.str(), second.str());
+  }
+}
+
+TEST(TextCodec, ParsesCommentsBlanksAndTenantPrefixes) {
+  TextCodec codec;
+  std::istringstream in(
+      "# a comment line\n"
+      "\n"
+      "   \n"
+      "@alpha insert 1 2 0.5   # trailing comment\n"
+      "quit\n");
+  const auto first = codec.read_request(in);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, Request(req::Insert{"alpha", 1, 2, 0.5}));
+  const auto second = codec.read_request(in);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(std::holds_alternative<req::Quit>(*second));
+  EXPECT_FALSE(codec.read_request(in).has_value());
+}
+
+TEST(TextCodec, OpenFlagsAndNameAddressing) {
+  TextCodec codec;
+  std::istringstream in(
+      "open g.mtx --name a --density 0.3 --target 90 --grass-target 40 "
+      "--staleness 0.5 --sync --no-rebuild\n"
+      "@b open-sharded g.mtx 4 --partition hash --sync\n"
+      "close b\n"
+      "autosave snap.bin 5\n"
+      "autosave off\n");
+  const auto open = codec.read_request(in);
+  ASSERT_TRUE(open.has_value());
+  const auto* o = std::get_if<req::Open>(&*open);
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->name, "a");
+  EXPECT_EQ(o->spec.density, 0.3);
+  EXPECT_EQ(o->spec.target, 90.0);
+  EXPECT_EQ(o->spec.grass_target, 40.0);
+  EXPECT_EQ(o->spec.staleness, 0.5);
+  EXPECT_TRUE(o->spec.sync);
+  EXPECT_TRUE(o->spec.no_rebuild);
+
+  const auto sharded = codec.read_request(in);
+  ASSERT_TRUE(sharded.has_value());
+  const auto* s = std::get_if<req::OpenSharded>(&*sharded);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "b");
+  EXPECT_EQ(s->shards, 4);
+  EXPECT_EQ(s->partition, PartitionStrategy::kHash);
+
+  const auto close = codec.read_request(in);
+  ASSERT_TRUE(close.has_value());
+  EXPECT_EQ(*close, Request(req::Close{"b"}));
+
+  const auto autosave = codec.read_request(in);
+  ASSERT_TRUE(autosave.has_value());
+  EXPECT_EQ(*autosave, Request(req::Autosave{"", "snap.bin", 5}));
+
+  const auto off = codec.read_request(in);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(*off, Request(req::Autosave{"", "", 0}));
+}
+
+void expect_text_error(const std::string& line, const std::string& message) {
+  TextCodec codec;
+  std::istringstream in(line + "\n");
+  try {
+    (void)codec.read_request(in);
+    FAIL() << "no error for: " << line;
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(std::string(e.what()), message) << "line: " << line;
+    EXPECT_FALSE(e.fatal()) << "text errors are recoverable";
+  }
+}
+
+TEST(TextCodec, MalformedLinesKeepTheDocumentedMessages) {
+  expect_text_error("bogus-command", "unknown command: bogus-command");
+  expect_text_error("insert 1 2", "usage: insert <u> <v> <w>");
+  expect_text_error("insert abc 2 1.0", "bad node id: 'abc'");
+  expect_text_error("insert -1 2 1.0", "node id must be non-negative");
+  expect_text_error("insert 1 2 heavy", "bad weight: 'heavy'");
+  expect_text_error("open", "open requires a path");
+  expect_text_error("open g.mtx --density", "missing value for --density");
+  expect_text_error("open g.mtx --density abc", "bad --density: 'abc'");
+  expect_text_error("open g.mtx --frobnicate", "unknown option: --frobnicate");
+  expect_text_error("open-sharded g.mtx", "usage: open-sharded <g.mtx> <K> [options]");
+  expect_text_error("open-sharded g.mtx 0", "shard count must be >= 1");
+  expect_text_error("open-sharded g.mtx 2 --partition rings",
+                    "bad --partition (want hash or greedy): 'rings'");
+  expect_text_error("solve 1", "usage: solve <u> <v>");
+  expect_text_error("autosave snap.bin 0", "autosave interval must be >= 1");
+  expect_text_error("@ metrics", "empty tenant name");
+  expect_text_error("@a quit", "quit takes no tenant (use close a to drop one session)");
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing rejection
+
+std::string encoded_request(const Request& request) {
+  BinaryCodec codec;
+  std::stringstream wire;
+  codec.write_request(wire, request);
+  return wire.str();
+}
+
+void expect_fatal_frame_error(const std::string& bytes, const std::string& needle) {
+  BinaryCodec codec;
+  std::istringstream in(bytes);
+  try {
+    (void)codec.read_request(in);
+    FAIL() << "frame accepted; wanted error containing '" << needle << "'";
+  } catch (const ProtocolError& e) {
+    EXPECT_TRUE(e.fatal()) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(BinaryCodec, RejectsMalformedFrames) {
+  const std::string good = encoded_request(req::Metrics{"a"});
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  expect_fatal_frame_error(bad_magic, "bad magic");
+
+  std::string bad_version = good;
+  bad_version[4] = 9;  // version field, little-endian low byte
+  expect_fatal_frame_error(bad_version, "unsupported version");
+
+  std::string bad_length = good;
+  bad_length[10] = '\x7f';  // declared payload length far beyond the cap
+  expect_fatal_frame_error(bad_length, "implausible length");
+
+  std::string bad_tag = good;
+  bad_tag[12] = '\x7e';  // unknown request tag inside the payload
+  expect_fatal_frame_error(bad_tag, "unknown request tag");
+
+  // A response frame offered to the request reader fails loudly.
+  BinaryCodec codec;
+  std::stringstream wire;
+  codec.write_response(wire, resp::Bye{});
+  expect_fatal_frame_error(wire.str(), "unknown request tag");
+}
+
+TEST(BinaryCodec, RejectsTruncatedFrames) {
+  const std::string good = encoded_request(req::Checkpoint{"tenant", "some/path.bin"});
+  // Every strict prefix must be EOF (empty) or a fatal framing error —
+  // never a parsed request and never a hang.
+  for (std::size_t len = 1; len < good.size(); ++len) {
+    BinaryCodec codec;
+    std::istringstream in(good.substr(0, len));
+    try {
+      (void)codec.read_request(in);
+      FAIL() << "truncated frame of " << len << " bytes parsed";
+    } catch (const ProtocolError& e) {
+      EXPECT_TRUE(e.fatal()) << e.what();
+    }
+  }
+}
+
+TEST(BinaryCodec, RejectsTrailingBytesInsideFrame) {
+  // Append a byte to the payload and fix up the declared length: the
+  // decoder must notice the frame is longer than its message.
+  BinaryCodec codec;
+  std::stringstream wire;
+  codec.write_request(wire, req::Quit{});
+  std::string bytes = wire.str();
+  bytes.push_back('\0');
+  bytes[8] = static_cast<char>(static_cast<unsigned char>(bytes[8]) + 1);
+  expect_fatal_frame_error(bytes, "trailing bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+TEST(Engine, CommandBeforeOpenIsTheDocumentedError) {
+  Engine engine;
+  EXPECT_EQ(error_message(engine.handle(req::Metrics{""})),
+            "no session (use open or restore)");
+}
+
+TEST(Engine, UnknownNamedTenant) {
+  Engine engine;
+  EXPECT_EQ(error_message(engine.handle(req::Apply{"ghost"})),
+            "no session named 'ghost' (use open --name ghost)");
+}
+
+TEST(Engine, DoubleOpenWithoutCloseFailsThenCloseReopens) {
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_req("a"))));
+
+  EXPECT_EQ(error_message(engine.handle(open_req("a"))),
+            "tenant 'a' is already open (close it first)");
+
+  const Response closed = engine.handle(req::Close{"a"});
+  ASSERT_TRUE(std::holds_alternative<resp::Closed>(closed));
+  EXPECT_EQ(std::get<resp::Closed>(closed).name, "a");
+  EXPECT_TRUE(engine.tenants().empty());
+
+  // The name is free again — and this time as a sharded tenant.
+  const Response reopened = engine.handle(open_sharded_req("a", 2));
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(reopened));
+  EXPECT_TRUE(std::get<resp::Opened>(reopened).metrics.sharded);
+}
+
+TEST(Engine, DefaultTenantIsNamedDefault) {
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_req(""))));
+  EXPECT_EQ(engine.tenants(), std::vector<std::string>{"default"});
+  // The "" and "default" spellings address the same tenant.
+  EXPECT_EQ(error_message(engine.handle(open_req("default"))),
+            "tenant 'default' is already open (close it first)");
+  EXPECT_TRUE(std::holds_alternative<resp::MetricsOut>(engine.handle(req::Metrics{"default"})));
+}
+
+TEST(Engine, ValidationErrorsMatchTheServeProtocol) {
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_req(""))));
+  const auto expect_err = [&](const Request& request, const std::string& message) {
+    EXPECT_EQ(error_message(engine.handle(request)), message);
+  };
+  expect_err(req::Insert{"", 0, 99, 1.0}, "node id exceeds graph size");
+  expect_err(req::Insert{"", 0, 1, 0.0}, "weight must be positive");
+  expect_err(req::Insert{"", 3, 3, 1.0}, "self-loop");
+  expect_err(req::Insert{"", -1, 3, 1.0}, "node id must be non-negative");
+  expect_err(req::Solve{"", 2, 2}, "solve endpoints must differ");
+  expect_err(req::ShardMetrics{"", 0}, "shard-metrics requires a sharded session");
+}
+
+TEST(Engine, ShardMetricsIndexRange) {
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_sharded_req("", 2))));
+  EXPECT_EQ(error_message(engine.handle(req::ShardMetrics{"", 2})),
+            "shard index out of range");
+  const Response ok = engine.handle(req::ShardMetrics{"", 1});
+  ASSERT_TRUE(std::holds_alternative<resp::ShardMetricsOut>(ok));
+  EXPECT_EQ(std::get<resp::ShardMetricsOut>(ok).shard, 1);
+}
+
+TEST(Engine, StagedBatchesFlushBeforeReads) {
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_req(""))));
+  const Response staged = engine.handle(req::Insert{"", 0, 24, 1.0});
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(staged));
+  EXPECT_EQ(std::get<resp::Staged>(staged).inserts, 1u);
+
+  // metrics flushes the staged record before reporting.
+  const Response metrics = engine.handle(req::Metrics{""});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.counters.batches, 1u);
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.counters.inserts_offered, 1u);
+
+  // An explicit apply of the (now empty) pending batch still succeeds.
+  const Response applied = engine.handle(req::Apply{""});
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(applied));
+}
+
+TEST(Engine, MultiTenantIsolation) {
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_req("plain"))));
+  ASSERT_TRUE(
+      std::holds_alternative<resp::Opened>(engine.handle(open_sharded_req("sharded", 3))));
+  EXPECT_EQ(engine.tenants(), (std::vector<std::string>{"plain", "sharded"}));
+
+  // Interleave staged updates and applies across the two tenants.
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(
+      engine.handle(req::Insert{"plain", 0, 24, 1.0})));
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(
+      engine.handle(req::Insert{"sharded", 1, 23, 2.0})));
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(engine.handle(req::Remove{"sharded", 0, 1})));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(engine.handle(req::Apply{"plain"})));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(engine.handle(req::Apply{"sharded"})));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(engine.handle(req::Apply{"sharded"})));
+
+  // Metrics stay independent: each tenant saw only its own traffic.
+  const Response pm = engine.handle(req::Metrics{"plain"});
+  const Response sm = engine.handle(req::Metrics{"sharded"});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(pm));
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(sm));
+  const ServingMetrics& plain = std::get<resp::MetricsOut>(pm).metrics;
+  const ServingMetrics& sharded = std::get<resp::MetricsOut>(sm).metrics;
+  EXPECT_FALSE(plain.sharded);
+  EXPECT_TRUE(sharded.sharded);
+  EXPECT_EQ(sharded.shards, 3);
+  EXPECT_EQ(plain.counters.batches, 1u);
+  // Only the shards a batch's records route to count an apply.
+  EXPECT_GE(sharded.counters.batches, 1u);
+  EXPECT_EQ(plain.counters.inserts_offered, 1u);
+  EXPECT_EQ(plain.counters.removals_applied, 0u);
+  EXPECT_EQ(sharded.counters.removals_applied, 1u);
+
+  // Both solve against their own graphs.
+  for (const char* name : {"plain", "sharded"}) {
+    const Response solved = engine.handle(req::Solve{name, 0, 24});
+    ASSERT_TRUE(std::holds_alternative<resp::Solved>(solved)) << name;
+    EXPECT_GT(std::get<resp::Solved>(solved).resistance, 0.0);
+  }
+
+  // Closing one leaves the other serving.
+  ASSERT_TRUE(std::holds_alternative<resp::Closed>(engine.handle(req::Close{"plain"})));
+  EXPECT_TRUE(std::holds_alternative<resp::Error>(engine.handle(req::Metrics{"plain"})));
+  EXPECT_TRUE(std::holds_alternative<resp::MetricsOut>(engine.handle(req::Metrics{"sharded"})));
+}
+
+TEST(Engine, AutosaveSnapshotsEveryNApplies) {
+  const std::string snap = scratch_path("autosave.bin");
+  std::remove(snap.c_str());
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_req(""))));
+  const Response armed = engine.handle(req::Autosave{"", snap, 2});
+  ASSERT_TRUE(std::holds_alternative<resp::AutosaveOut>(armed));
+  EXPECT_EQ(std::get<resp::AutosaveOut>(armed).every, 2u);
+
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(engine.handle(req::Apply{""})));
+  EXPECT_FALSE(std::ifstream(snap).good()) << "one apply must not snapshot yet";
+
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(engine.handle(req::Insert{"", 0, 24, 1.0})));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(engine.handle(req::Apply{""})));
+  ASSERT_TRUE(std::ifstream(snap).good()) << "second apply must snapshot";
+
+  // The snapshot is a restorable v1 checkpoint carrying the applied state.
+  const SessionCheckpoint ck = load_checkpoint(snap);
+  EXPECT_EQ(ck.counters.batches, 2u);
+  EXPECT_EQ(ck.counters.inserts_offered, 1u);
+
+  // Disarm, apply twice more: no new snapshot (mtime-free check: delete
+  // and confirm it stays gone).
+  std::remove(snap.c_str());
+  ASSERT_TRUE(std::holds_alternative<resp::AutosaveOut>(engine.handle(req::Autosave{"", "", 0})));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(engine.handle(req::Apply{""})));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(engine.handle(req::Apply{""})));
+  EXPECT_FALSE(std::ifstream(snap).good());
+}
+
+TEST(Engine, QuitFlushesAndReportsBye) {
+  Engine engine;
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(engine.handle(open_req("a"))));
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(engine.handle(req::Insert{"a", 0, 24, 1.0})));
+  const Response bye = engine.handle(req::Quit{});
+  ASSERT_TRUE(std::holds_alternative<resp::Bye>(bye));
+  const Response metrics = engine.handle(req::Metrics{"a"});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.counters.batches, 1u)
+      << "quit must flush the staged batch";
+}
+
+// ---------------------------------------------------------------------------
+// serve_stream: the byte-compatible transcript
+
+TEST(ServeStream, TextSessionIsByteCompatible) {
+  const std::string ck = scratch_path("stream_ck.bin");
+  Engine engine;
+  TextCodec codec;
+  std::istringstream in(
+      "open " + test_mtx() + " --density 0.3 --target 100 --sync\n"
+      "insert 0 24 1.0\n"
+      "remove 0 1\n"
+      "bogus-command\n"
+      "insert 0 99 1.0\n"
+      "apply\n"
+      "checkpoint " + ck + "\n"
+      "quit\n");
+  std::ostringstream out;
+  const ServeOutcome outcome = serve_stream(engine, codec, in, out);
+  EXPECT_EQ(outcome, ServeOutcome::kQuit);
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream split(out.str());
+    for (std::string line; std::getline(split, line);) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 8u) << out.str();
+  EXPECT_EQ(lines[0].substr(0, 17), "ok open nodes=25 ");
+  EXPECT_EQ(lines[1], "ok staged inserts=1 removals=0");
+  EXPECT_EQ(lines[2], "ok staged inserts=1 removals=1");
+  EXPECT_EQ(lines[3], "err unknown command: bogus-command");
+  EXPECT_EQ(lines[4], "err node id exceeds graph size");
+  EXPECT_EQ(lines[5].substr(0, 9), "ok apply ");
+  EXPECT_EQ(lines[6], "ok checkpoint path=" + ck);
+  EXPECT_EQ(lines[7], "ok quit");
+}
+
+TEST(ServeStream, EofFlushesStagedBatches) {
+  Engine engine;
+  TextCodec codec;
+  std::istringstream in(
+      "open " + test_mtx() + " --density 0.3 --sync\n"
+      "insert 0 24 1.0\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(engine, codec, in, out), ServeOutcome::kEof);
+  const Response metrics = engine.handle(req::Metrics{""});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.counters.batches, 1u);
+}
+
+TEST(ServeStream, BinarySessionEndToEnd) {
+  Engine engine;
+  BinaryCodec codec;
+  std::stringstream in;
+  codec.write_request(in, open_req("t"));
+  codec.write_request(in, req::Insert{"t", 0, 24, 1.0});
+  codec.write_request(in, req::Apply{"t"});
+  codec.write_request(in, req::Solve{"t", 0, 24});
+  codec.write_request(in, req::Quit{});
+  std::stringstream out;
+  EXPECT_EQ(serve_stream(engine, codec, in, out), ServeOutcome::kQuit);
+
+  const auto opened = codec.read_response(out);
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(*opened));
+  EXPECT_EQ(std::get<resp::Opened>(*opened).metrics.nodes, 25);
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(*codec.read_response(out)));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(*codec.read_response(out)));
+  const auto solved = codec.read_response(out);
+  ASSERT_TRUE(solved.has_value());
+  ASSERT_TRUE(std::holds_alternative<resp::Solved>(*solved));
+  EXPECT_GT(std::get<resp::Solved>(*solved).resistance, 0.0);
+  ASSERT_TRUE(std::holds_alternative<resp::Bye>(*codec.read_response(out)));
+  EXPECT_FALSE(codec.read_response(out).has_value());
+}
+
+TEST(ServeStream, FatalFrameErrorStopsTheStreamButStillFlushes) {
+  Engine engine;
+  BinaryCodec codec;
+  std::stringstream in;
+  codec.write_request(in, open_req("t"));
+  codec.write_request(in, req::Insert{"t", 0, 24, 1.0});
+  in << "garbage that is not a frame";
+  std::stringstream out;
+  EXPECT_EQ(serve_stream(engine, codec, in, out), ServeOutcome::kEof);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(*codec.read_response(out)));
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(*codec.read_response(out)));
+  const auto err = codec.read_response(out);
+  ASSERT_TRUE(err.has_value());
+  const auto* e = std::get_if<resp::Error>(&*err);
+  ASSERT_NE(e, nullptr);
+  EXPECT_NE(e->message.find("bad magic"), std::string::npos);
+  // The stream died to lost framing, but like every other end-of-stream
+  // path it flushed the staged batch instead of silently dropping it.
+  const Response metrics = engine.handle(req::Metrics{"t"});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.counters.batches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+
+TEST(TcpTransport, TenantsPersistAcrossConnectionsAndCodecs) {
+  const std::string port_file = scratch_path("port.txt");
+  std::remove(port_file.c_str());
+  Engine engine;
+  TcpOptions opts;
+  opts.port_file = port_file;
+  std::thread server([&] { serve_tcp(engine, opts); });
+  const std::uint16_t port = wait_for_port_file(port_file);
+
+  BinaryCodec binary;
+  {
+    // Connection 1 (binary): open a named tenant, stage + apply, drop the
+    // connection without quitting.
+    TcpClient client(port);
+    binary.write_request(client.out(), open_req("kept"));
+    binary.write_request(client.out(), req::Insert{"kept", 0, 24, 1.0});
+    binary.write_request(client.out(), req::Apply{"kept"});
+    client.out().flush();
+    ASSERT_TRUE(std::holds_alternative<resp::Opened>(*binary.read_response(client.in())));
+    ASSERT_TRUE(std::holds_alternative<resp::Staged>(*binary.read_response(client.in())));
+    ASSERT_TRUE(std::holds_alternative<resp::Applied>(*binary.read_response(client.in())));
+  }
+  {
+    // Connection 2 (text — auto-detected): the tenant from connection 1
+    // is still live, with its applied batch.
+    TcpClient client(port);
+    client.out() << "@kept metrics\nquit\n" << std::flush;
+    std::string line;
+    ASSERT_TRUE(std::getline(client.in(), line));
+    EXPECT_EQ(line.substr(0, 11), "ok metrics ") << line;
+    EXPECT_NE(line.find("batches=1"), std::string::npos) << line;
+    ASSERT_TRUE(std::getline(client.in(), line));
+    EXPECT_EQ(line, "ok quit");
+  }
+  server.join();  // quit on connection 2 stopped the server
+}
+
+}  // namespace
+}  // namespace ingrass::serve
