@@ -14,13 +14,16 @@
 //       others).
 //   ingrass_serve --binary
 //       Same loop, but stdin/stdout carry length-prefixed binary frames.
-//   ingrass_serve --listen <port> [--port-file <path>]
-//       TCP server: sequential accept loop, one shared Engine, so named
-//       tenants persist across client connections. Port 0 binds an
-//       ephemeral port; --port-file publishes the bound port (written
-//       atomically) for drivers that asked for one. Each connection
-//       auto-selects text or binary by its first bytes. A `quit` from
-//       any client stops the server.
+//   ingrass_serve --listen <port> [--port-file <path>] [--max-connections <N>]
+//       TCP server: concurrent connections (one thread each, up to
+//       --max-connections; excess accepts get a `busy` response and
+//       close), one shared thread-safe Engine, so named tenants persist
+//       across client connections and clients on different tenants make
+//       progress in parallel. Port 0 binds an ephemeral port; --port-file
+//       publishes the bound port (written atomically) for drivers that
+//       asked for one. Each connection auto-selects text or binary by its
+//       first bytes. A `quit` from any client stops the server (all
+//       connection threads are joined first).
 //   ingrass_serve --connect <port> [--script <file>]... [--text]
 //   ingrass_serve --connect-port-file <path> [--script <file>]... [--text]
 //       Client: read text commands (from each --script in order, or
@@ -37,6 +40,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <variant>
@@ -56,7 +60,7 @@ int usage() {
       "usage:\n"
       "  ingrass_serve                                  text protocol on stdin/stdout\n"
       "  ingrass_serve --binary                         binary frames on stdin/stdout\n"
-      "  ingrass_serve --listen <port> [--port-file <path>]\n"
+      "  ingrass_serve --listen <port> [--port-file <path>] [--max-connections <N>]\n"
       "  ingrass_serve --connect <port> [--script <file>]... [--text]\n"
       "  ingrass_serve --connect-port-file <path> [--script <file>]... [--text]\n"
       "commands are read per connection; see docs/serve_protocol.md\n");
@@ -67,6 +71,7 @@ struct Args {
   bool stdio_binary = false;
   std::optional<long> listen_port;
   std::string port_file;
+  std::optional<long> max_connections;
   std::optional<long> connect_port;
   std::string connect_port_file;
   std::vector<std::string> scripts;
@@ -97,6 +102,12 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const auto v = value();
       if (!v) return std::nullopt;
       a.port_file = *v;
+    } else if (flag == "--max-connections") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      const auto n = parse_full_long(*v);
+      if (!n || *n < 1 || *n > std::numeric_limits<int>::max()) return std::nullopt;
+      a.max_connections = *n;
     } else if (flag == "--connect") {
       a.connect_port = port_value();
       if (!a.connect_port) return std::nullopt;
@@ -123,6 +134,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
   if (a.connect_port && !a.connect_port_file.empty()) return std::nullopt;
   if (server_tcp && a.stdio_binary) return std::nullopt;
   if (!server_tcp && !a.port_file.empty()) return std::nullopt;
+  if (!server_tcp && a.max_connections) return std::nullopt;
   if (!client && (a.client_text || !a.scripts.empty())) return std::nullopt;
   return a;
 }
@@ -188,6 +200,9 @@ int main(int argc, char** argv) {
       serve::TcpOptions opts;
       opts.port = static_cast<std::uint16_t>(*args->listen_port);
       opts.port_file = args->port_file;
+      if (args->max_connections) {
+        opts.max_connections = static_cast<int>(*args->max_connections);
+      }
       serve_tcp(engine, opts);
       return 0;
     }

@@ -38,6 +38,14 @@ constexpr std::array<char, 8> kMagic = {'I', 'N', 'G', 'R', 'S', 'C', 'K', 'P'};
 }
 
 void put_graph(std::ostream& out, const Graph& g) {
+  // Enforce the node cap symmetrically: a graph the reader would reject
+  // must fail at write time, not produce an unrestorable checkpoint the
+  // operator only discovers after a restart.
+  if (g.num_nodes() > kMaxCheckpointNodes) {
+    corrupt("graph exceeds the checkpoint node cap (" +
+            std::to_string(g.num_nodes()) + " > " +
+            std::to_string(kMaxCheckpointNodes) + ")");
+  }
   put_i32(out, g.num_nodes());
   put_i64(out, g.num_edges());
   for (const Edge& e : g.edges()) {
@@ -51,6 +59,9 @@ Graph get_graph(std::istream& in, const char* which) {
   const std::int32_t n = get_i32(in);
   const std::int64_t m = get_i64(in);
   if (n < 0) corrupt(std::string(which) + ": negative node count");
+  if (n > kMaxCheckpointNodes) {
+    corrupt(std::string(which) + ": implausible node count " + std::to_string(n));
+  }
   if (m < 0) corrupt(std::string(which) + ": negative edge count");
   Graph g(n);
   // Reserve is only an optimization — cap it so a corrupted edge count
@@ -189,6 +200,11 @@ SessionCheckpoint load_checkpoint(const std::string& path) {
 void write_shard_manifest(std::ostream& out, const ShardManifest& m) {
   if (m.shards < 1) corrupt("manifest: shard count must be >= 1");
   if (m.num_nodes < 0) corrupt("manifest: negative node count");
+  if (m.num_nodes > kMaxCheckpointNodes) {
+    corrupt("manifest: graph exceeds the checkpoint node cap (" +
+            std::to_string(m.num_nodes) + " > " +
+            std::to_string(kMaxCheckpointNodes) + ")");
+  }
   if (m.shard_of.size() != static_cast<std::size_t>(m.num_nodes)) {
     corrupt("manifest: shard_of size does not match node count");
   }
@@ -231,6 +247,9 @@ ShardManifest read_shard_manifest(std::istream& in) {
   m.shards = static_cast<int>(shards);
   m.num_nodes = get_i32(in);
   if (m.num_nodes < 0) corrupt("manifest: negative node count");
+  if (m.num_nodes > kMaxCheckpointNodes) {
+    corrupt("manifest: implausible node count " + std::to_string(m.num_nodes));
+  }
   m.shard_of.resize(static_cast<std::size_t>(m.num_nodes));
   for (NodeId u = 0; u < m.num_nodes; ++u) {
     const NodeId s = get_i32(in);

@@ -48,6 +48,19 @@ namespace ingrass {
 /// Format version of single-session checkpoint blobs.
 inline constexpr std::uint32_t kCheckpointVersion = 1;
 
+/// Plausibility cap on a checkpointed graph's node count. Checkpoints are
+/// read from untrusted files and a node count implies an up-front
+/// allocation (per-node adjacency) with no stream bytes backing it, so a
+/// corrupt count must be rejected *before* the allocation is attempted —
+/// a flipped high bit would otherwise demand gigabytes. Enforced
+/// symmetrically: writers refuse a graph over the cap too, so a session
+/// can never produce a checkpoint its own reader would reject. The cap
+/// applies to the session's *global* node count — v2 manifests carry the
+/// whole partition, so sharding does not raise it. 16M nodes is far
+/// beyond anything this repo serves per session; raise the constant
+/// (both sides read it) when a workload actually approaches it.
+inline constexpr std::int32_t kMaxCheckpointNodes = 1 << 24;
+
 /// Format version of sharded-session manifests (see ShardManifest).
 inline constexpr std::uint32_t kShardedCheckpointVersion = 2;
 

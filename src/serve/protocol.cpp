@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <istream>
 #include <limits>
@@ -467,6 +468,9 @@ std::string response_line(const Response& response) {
           }
           line = buf;
           append_counters_tail(line, m.counters, m.staleness, m.rebuild_in_flight);
+          std::snprintf(buf, sizeof buf, " busy_rejected=%llu",
+                        static_cast<unsigned long long>(m.busy_rejections));
+          line += buf;
         } else if constexpr (std::is_same_v<T, resp::ShardMetricsOut>) {
           std::snprintf(buf, sizeof buf,
                         "ok shard-metrics shard=%d nodes=%d g_edges=%lld h_edges=%lld ",
@@ -490,6 +494,8 @@ std::string response_line(const Response& response) {
           line = "ok close name=" + r.name;
         } else if constexpr (std::is_same_v<T, resp::Bye>) {
           line = "ok quit";
+        } else if constexpr (std::is_same_v<T, resp::Busy>) {
+          line = "busy " + r.what + " limit=" + std::to_string(r.limit);
         }
       },
       response);
@@ -555,6 +561,11 @@ Response parse_response_line(const std::string& line,
   if (tokens[0] == "err") {
     return resp::Error{line.size() > 4 ? line.substr(4) : std::string{}};
   }
+  if (tokens[0] == "busy") {
+    if (tokens.size() < 2) bad_line("bad response line: " + line);
+    const KvFields kv(tokens, 2, line);
+    return resp::Busy{tokens[1], kv.u64("limit")};
+  }
   if (tokens[0] != "ok" || tokens.size() < 2) bad_line("bad response line: " + line);
   const std::string& verb = tokens[1];
   if (verb == "quit") return resp::Bye{};
@@ -615,6 +626,7 @@ Response parse_response_line(const std::string& line,
     m.global_solves = kv.u64("global_solves");
     m.coupling_updates = kv.u64("coupling_updates");
     fill_counters_tail(kv, m.counters, m.staleness, m.rebuild_in_flight);
+    m.busy_rejections = kv.u64("busy_rejected");
     return r;
   }
   if (verb == "shard-metrics") {
@@ -703,6 +715,7 @@ enum Tag : std::uint8_t {
   kTagAutosaveOut = 138,
   kTagClosed = 139,
   kTagBye = 140,
+  kTagBusy = 141,
 };
 
 void put_optional_f64(std::ostream& out, const std::optional<double>& v) {
@@ -785,6 +798,7 @@ void put_serving_metrics(std::ostream& out, const ServingMetrics& m) {
   wire::put_f64(out, m.boundary_weight);
   wire::put_u64(out, m.global_solves);
   wire::put_u64(out, m.coupling_updates);
+  wire::put_u64(out, m.busy_rejections);
 }
 
 ServingMetrics get_serving_metrics(std::istream& in) {
@@ -802,6 +816,7 @@ ServingMetrics get_serving_metrics(std::istream& in) {
   m.boundary_weight = wire::get_f64(in);
   m.global_solves = wire::get_u64(in);
   m.coupling_updates = wire::get_u64(in);
+  m.busy_rejections = wire::get_u64(in);
   return m;
 }
 
@@ -1031,6 +1046,10 @@ std::string encode_response_payload(const Response& response) {
           put_string(out, r.name);
         } else if constexpr (std::is_same_v<T, resp::Bye>) {
           wire::put_u8(out, kTagBye);
+        } else if constexpr (std::is_same_v<T, resp::Busy>) {
+          wire::put_u8(out, kTagBusy);
+          put_string(out, r.what);
+          wire::put_u64(out, r.limit);
         }
       },
       response);
@@ -1101,6 +1120,12 @@ Response decode_response_payload(std::istream& in) {
     }
     case kTagClosed: return resp::Closed{get_string(in)};
     case kTagBye: return resp::Bye{};
+    case kTagBusy: {
+      resp::Busy r;
+      r.what = get_string(in);
+      r.limit = wire::get_u64(in);
+      return r;
+    }
     default: throw std::runtime_error("unknown response tag " + std::to_string(tag));
   }
 }
@@ -1184,7 +1209,46 @@ void BinaryCodec::write_response(std::ostream& out, const Response& response) {
 // ---------------------------------------------------------------------------
 // Engine
 
-Engine::Engine() = default;
+/// One live tenant. The non-atomic fields are guarded by `gate`: every
+/// command to the tenant runs under it, in strict arrival order. `session`
+/// is null only while the opening command is still constructing it (the
+/// opener holds the gate for the whole construction) or after a failed
+/// open; commands that reach the gate then report the "no session" error.
+struct Engine::Tenant {
+  FifoMutex gate;                      ///< serializes commands, arrival order
+  std::atomic<int> inflight{0};        ///< commands executing or waiting on gate
+  std::atomic<bool> closed{false};     ///< set by close; queued commands bail out
+  std::atomic<std::uint64_t> busy_rejections{0};  ///< backpressure refusals
+  std::unique_ptr<Session> session;    ///< guarded by gate (see above)
+  UpdateBatch pending;                 ///< guarded by gate
+  std::string autosave_path;           ///< guarded by gate
+  std::uint64_t autosave_every = 0;    ///< guarded by gate
+  std::uint64_t applies_since_save = 0;  ///< guarded by gate
+};
+
+namespace {
+
+/// Control-flow carrier for a backpressure refusal: handle() turns it into
+/// the resp::Busy it wraps. Deliberately not a std::exception so the
+/// generic error catch cannot swallow it into an `err` line.
+struct BusyRejection {
+  resp::Busy busy;
+};
+
+[[noreturn]] void throw_no_session(const std::string& key) {
+  if (key == kDefaultTenant) {
+    throw std::runtime_error("no session (use open or restore)");
+  }
+  throw std::runtime_error("no session named '" + key + "' (use open --name " + key + ")");
+}
+
+[[noreturn]] void already_open(const std::string& key) {
+  throw std::runtime_error("tenant '" + key + "' is already open (close it first)");
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions opts) : opts_(opts) {}
 Engine::~Engine() = default;
 
 const std::string& Engine::resolve(const std::string& name) {
@@ -1192,23 +1256,81 @@ const std::string& Engine::resolve(const std::string& name) {
   return name.empty() ? kDefault : name;
 }
 
-Engine::Tenant& Engine::require_tenant(const std::string& name) {
-  const std::string& key = resolve(name);
+Engine::TenantPtr Engine::find_tenant(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mu_);
   const auto it = tenants_.find(key);
-  if (it == tenants_.end()) {
-    if (key == kDefaultTenant) {
-      throw std::runtime_error("no session (use open or restore)");
-    }
-    throw std::runtime_error("no session named '" + key + "' (use open --name " + key + ")");
-  }
+  if (it == tenants_.end()) throw_no_session(key);
   return it->second;
 }
 
-Engine::Tenant& Engine::adopt(const std::string& name, std::unique_ptr<Session> session) {
+std::pair<Engine::TenantPtr, std::unique_lock<FifoMutex>> Engine::reserve_tenant(
+    const std::string& key) {
+  const std::lock_guard<std::shared_mutex> lock(registry_mu_);
+  if (tenants_.count(key) > 0) already_open(key);
+  auto tenant = std::make_shared<Tenant>();
+  // Take the command lock before the registry lock is released: nobody
+  // else has seen this tenant yet, so the opener is first in line and
+  // commands racing the open queue up behind the construction.
+  std::unique_lock<FifoMutex> gate(tenant->gate);
+  tenants_.emplace(key, tenant);
+  return {std::move(tenant), std::move(gate)};
+}
+
+void Engine::erase_tenant(const std::string& key, const Tenant* tenant) {
+  const std::lock_guard<std::shared_mutex> lock(registry_mu_);
+  const auto it = tenants_.find(key);
+  if (it != tenants_.end() && it->second.get() == tenant) tenants_.erase(it);
+}
+
+std::vector<std::pair<std::string, Engine::TenantPtr>> Engine::snapshot_tenants() const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  std::vector<std::pair<std::string, TenantPtr>> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) out.emplace_back(name, tenant);
+  return out;
+}
+
+template <typename Fn>
+Response Engine::with_tenant(const std::string& name, Fn&& body) {
   const std::string& key = resolve(name);
-  Tenant tenant;
-  tenant.session = std::move(session);
-  return tenants_.insert_or_assign(key, std::move(tenant)).first->second;
+  const TenantPtr tenant = find_tenant(key);
+  // Queue bound: the in-flight count covers the executing command plus
+  // every waiter. Refusing *before* queueing keeps the refusal O(1) — a
+  // flood behind a slow apply gets Busy immediately, not a growing queue.
+  if (tenant->inflight.fetch_add(1, std::memory_order_acq_rel) >= opts_.max_queued) {
+    tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    tenant->busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    throw BusyRejection{resp::Busy{"queue", static_cast<std::uint64_t>(opts_.max_queued)}};
+  }
+  struct InflightGuard {
+    Tenant* tenant;
+    ~InflightGuard() { tenant->inflight.fetch_sub(1, std::memory_order_acq_rel); }
+  } inflight_guard{tenant.get()};
+  std::unique_lock<FifoMutex> gate(tenant->gate);
+  if (tenant->closed.load(std::memory_order_acquire) || !tenant->session) {
+    throw_no_session(key);
+  }
+  return body(*tenant, gate);
+}
+
+template <typename Fn>
+Response Engine::open_tenant(const std::string& name, resp::OpenVerb verb,
+                             Fn&& make_session) {
+  const std::string key = resolve(name);
+  auto [tenant, gate] = reserve_tenant(key);
+  try {
+    // Construction runs outside the registry lock (an open must not stall
+    // other tenants' commands) but under this tenant's command lock.
+    tenant->session = make_session();
+  } catch (...) {
+    // Unwind the reservation; queued commands wake to the documented
+    // "no session" error instead of a half-open tenant.
+    tenant->closed.store(true, std::memory_order_release);
+    gate.unlock();
+    erase_tenant(key, tenant.get());
+    throw;
+  }
+  return resp::Opened{verb, metrics_of(*tenant)};
 }
 
 ApplyResult Engine::apply_now(Tenant& tenant, const UpdateBatch& batch) {
@@ -1227,6 +1349,14 @@ ApplyResult Engine::apply_now(Tenant& tenant, const UpdateBatch& batch) {
   return result;
 }
 
+void Engine::check_staged_capacity(Tenant& tenant) const {
+  if (tenant.pending.inserts.size() + tenant.pending.removals.size() >=
+      opts_.max_staged) {
+    tenant.busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    throw BusyRejection{resp::Busy{"staged", opts_.max_staged}};
+  }
+}
+
 void Engine::flush(Tenant& tenant) {
   if (tenant.pending.empty()) return;
   const UpdateBatch batch = std::move(tenant.pending);
@@ -1234,15 +1364,23 @@ void Engine::flush(Tenant& tenant) {
   apply_now(tenant, batch);
 }
 
-void Engine::validate_endpoints(const Tenant& tenant, NodeId u, NodeId v) const {
+void Engine::validate_endpoints(const Tenant& tenant, NodeId u, NodeId v) {
   if (u < 0 || v < 0) throw std::runtime_error("node id must be non-negative");
   const NodeId nodes = tenant.session->num_nodes();
   if (u >= nodes || v >= nodes) throw std::runtime_error("node id exceeds graph size");
 }
 
+ServingMetrics Engine::metrics_of(const Tenant& tenant) {
+  ServingMetrics m = tenant.session->serving_metrics();
+  m.busy_rejections = tenant.busy_rejections.load(std::memory_order_relaxed);
+  return m;
+}
+
 Response Engine::handle(const Request& request) {
   try {
     return std::visit([&](const auto& r) { return do_handle(r); }, request);
+  } catch (const BusyRejection& rejected) {
+    return rejected.busy;
   } catch (const std::exception& e) {
     return resp::Error{e.what()};
   }
@@ -1250,9 +1388,11 @@ Response Engine::handle(const Request& request) {
 
 std::vector<std::string> Engine::flush_all() {
   std::vector<std::string> errors;
-  for (auto& [name, tenant] : tenants_) {
+  for (const auto& [name, tenant] : snapshot_tenants()) {
+    const std::lock_guard<FifoMutex> gate(tenant->gate);
+    if (tenant->closed.load(std::memory_order_acquire) || !tenant->session) continue;
     try {
-      flush(tenant);
+      flush(*tenant);
     } catch (const std::exception& e) {
       errors.emplace_back(e.what());
     }
@@ -1261,180 +1401,197 @@ std::vector<std::string> Engine::flush_all() {
 }
 
 std::vector<std::string> Engine::tenants() const {
+  const std::shared_lock<std::shared_mutex> lock(registry_mu_);
   std::vector<std::string> names;
   names.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) names.push_back(name);
   return names;
 }
 
-namespace {
-
-[[noreturn]] void already_open(const std::string& key) {
-  throw std::runtime_error("tenant '" + key + "' is already open (close it first)");
-}
-
-}  // namespace
-
 Response Engine::do_handle(const req::Open& r) {
-  const std::string& key = resolve(r.name);
-  if (tenants_.count(key) > 0) already_open(key);
-  auto session = std::make_unique<SparsifierSession>(read_mtx_file(r.path),
-                                                     r.spec.session_options());
-  Tenant& tenant = adopt(key, std::move(session));
-  return resp::Opened{resp::OpenVerb::kOpen, tenant.session->serving_metrics()};
+  return open_tenant(r.name, resp::OpenVerb::kOpen, [&] {
+    return std::make_unique<SparsifierSession>(read_mtx_file(r.path),
+                                               r.spec.session_options());
+  });
 }
 
 Response Engine::do_handle(const req::OpenSharded& r) {
-  const std::string& key = resolve(r.name);
-  if (tenants_.count(key) > 0) already_open(key);
   if (r.shards < 1) throw std::runtime_error("shard count must be >= 1");
-  auto session = std::make_unique<ShardedSession>(read_mtx_file(r.path), r.shards,
-                                                  r.spec.sharded_options(r.partition));
-  Tenant& tenant = adopt(key, std::move(session));
-  return resp::Opened{resp::OpenVerb::kOpenSharded, tenant.session->serving_metrics()};
+  return open_tenant(r.name, resp::OpenVerb::kOpenSharded, [&] {
+    return std::make_unique<ShardedSession>(read_mtx_file(r.path), r.shards,
+                                            r.spec.sharded_options(r.partition));
+  });
 }
 
 Response Engine::do_handle(const req::Restore& r) {
-  const std::string& key = resolve(r.name);
-  if (tenants_.count(key) > 0) already_open(key);
-  Tenant& tenant = adopt(key, SparsifierSession::restore(r.path, r.spec.session_options()));
-  return resp::Opened{resp::OpenVerb::kRestore, tenant.session->serving_metrics()};
+  return open_tenant(r.name, resp::OpenVerb::kRestore, [&] {
+    return SparsifierSession::restore(r.path, r.spec.session_options());
+  });
 }
 
 Response Engine::do_handle(const req::RestoreSharded& r) {
-  const std::string& key = resolve(r.name);
-  if (tenants_.count(key) > 0) already_open(key);
-  Tenant& tenant = adopt(
-      key, ShardedSession::restore(r.path, r.spec.sharded_options(PartitionStrategy::kGreedy)));
-  return resp::Opened{resp::OpenVerb::kRestoreSharded, tenant.session->serving_metrics()};
+  return open_tenant(r.name, resp::OpenVerb::kRestoreSharded, [&] {
+    return ShardedSession::restore(r.path,
+                                   r.spec.sharded_options(PartitionStrategy::kGreedy));
+  });
 }
 
 Response Engine::do_handle(const req::Insert& r) {
-  Tenant& tenant = require_tenant(r.name);
-  validate_endpoints(tenant, r.u, r.v);
-  if (!(r.w > 0.0)) throw std::runtime_error("weight must be positive");
-  if (r.u == r.v) throw std::runtime_error("self-loop");
-  Edge e;
-  e.u = std::min(r.u, r.v);
-  e.v = std::max(r.u, r.v);
-  e.w = r.w;
-  tenant.pending.inserts.push_back(e);
-  return resp::Staged{tenant.pending.inserts.size(), tenant.pending.removals.size()};
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    validate_endpoints(tenant, r.u, r.v);
+    if (!(r.w > 0.0)) throw std::runtime_error("weight must be positive");
+    if (r.u == r.v) throw std::runtime_error("self-loop");
+    check_staged_capacity(tenant);
+    Edge e;
+    e.u = std::min(r.u, r.v);
+    e.v = std::max(r.u, r.v);
+    e.w = r.w;
+    tenant.pending.inserts.push_back(e);
+    return resp::Staged{tenant.pending.inserts.size(), tenant.pending.removals.size()};
+  });
 }
 
 Response Engine::do_handle(const req::Remove& r) {
-  Tenant& tenant = require_tenant(r.name);
-  validate_endpoints(tenant, r.u, r.v);
-  if (r.u == r.v) throw std::runtime_error("self-loop");
-  tenant.pending.removals.emplace_back(std::min(r.u, r.v), std::max(r.u, r.v));
-  return resp::Staged{tenant.pending.inserts.size(), tenant.pending.removals.size()};
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    validate_endpoints(tenant, r.u, r.v);
+    if (r.u == r.v) throw std::runtime_error("self-loop");
+    check_staged_capacity(tenant);
+    tenant.pending.removals.emplace_back(std::min(r.u, r.v), std::max(r.u, r.v));
+    return resp::Staged{tenant.pending.inserts.size(), tenant.pending.removals.size()};
+  });
 }
 
 Response Engine::do_handle(const req::Apply& r) {
-  Tenant& tenant = require_tenant(r.name);
-  const UpdateBatch batch = std::move(tenant.pending);
-  tenant.pending = UpdateBatch{};
-  const ApplyResult result = apply_now(tenant, batch);
-  resp::Applied out;
-  out.inserted = static_cast<std::uint64_t>(result.stats.inserted);
-  out.merged = static_cast<std::uint64_t>(result.stats.merged);
-  out.redistributed = static_cast<std::uint64_t>(result.stats.redistributed);
-  out.reinforced = static_cast<std::uint64_t>(result.stats.reinforced);
-  out.removed = result.removed;
-  out.ghosts = result.ghost_removals;
-  out.staleness = result.staleness;
-  out.rebuild = result.rebuild_triggered;
-  return out;
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    const UpdateBatch batch = std::move(tenant.pending);
+    tenant.pending = UpdateBatch{};
+    const ApplyResult result = apply_now(tenant, batch);
+    resp::Applied out;
+    out.inserted = static_cast<std::uint64_t>(result.stats.inserted);
+    out.merged = static_cast<std::uint64_t>(result.stats.merged);
+    out.redistributed = static_cast<std::uint64_t>(result.stats.redistributed);
+    out.reinforced = static_cast<std::uint64_t>(result.stats.reinforced);
+    out.removed = result.removed;
+    out.ghosts = result.ghost_removals;
+    out.staleness = result.staleness;
+    out.rebuild = result.rebuild_triggered;
+    return out;
+  });
 }
 
 Response Engine::do_handle(const req::Solve& r) {
-  Tenant& tenant = require_tenant(r.name);
-  flush(tenant);
-  validate_endpoints(tenant, r.u, r.v);
-  if (r.u == r.v) throw std::runtime_error("solve endpoints must differ");
-  const auto n = static_cast<std::size_t>(tenant.session->num_nodes());
-  std::vector<double> b(n, 0.0);
-  std::vector<double> x(n, 0.0);
-  b[static_cast<std::size_t>(r.u)] = 1.0;
-  b[static_cast<std::size_t>(r.v)] = -1.0;
-  const auto result = tenant.session->solve(b, x);
-  if (!result.converged) throw std::runtime_error("solve did not converge");
-  resp::Solved out;
-  out.iterations = result.outer_iterations;
-  out.residual = result.relative_residual;
-  out.resistance =
-      x[static_cast<std::size_t>(r.u)] - x[static_cast<std::size_t>(r.v)];
-  return out;
+  return with_tenant(r.name, [&](Tenant& tenant,
+                                 std::unique_lock<FifoMutex>& gate) -> Response {
+    flush(tenant);
+    validate_endpoints(tenant, r.u, r.v);
+    if (r.u == r.v) throw std::runtime_error("solve endpoints must differ");
+    Session* const session = tenant.session.get();
+    // Release the command lock: the solve runs on the session's
+    // internally-synchronized reader path, so solves on one tenant
+    // proceed concurrently with each other. The TenantPtr in with_tenant
+    // keeps the session alive even if a racing close drops the tenant
+    // from the registry mid-solve.
+    gate.unlock();
+    const auto n = static_cast<std::size_t>(session->num_nodes());
+    std::vector<double> b(n, 0.0);
+    std::vector<double> x(n, 0.0);
+    b[static_cast<std::size_t>(r.u)] = 1.0;
+    b[static_cast<std::size_t>(r.v)] = -1.0;
+    const auto result = session->solve(b, x);
+    if (!result.converged) throw std::runtime_error("solve did not converge");
+    resp::Solved out;
+    out.iterations = result.outer_iterations;
+    out.residual = result.relative_residual;
+    out.resistance =
+        x[static_cast<std::size_t>(r.u)] - x[static_cast<std::size_t>(r.v)];
+    return out;
+  });
 }
 
 Response Engine::do_handle(const req::Metrics& r) {
-  Tenant& tenant = require_tenant(r.name);
-  flush(tenant);
-  return resp::MetricsOut{tenant.session->serving_metrics()};
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    flush(tenant);
+    return resp::MetricsOut{metrics_of(tenant)};
+  });
 }
 
 Response Engine::do_handle(const req::ShardMetrics& r) {
-  Tenant& tenant = require_tenant(r.name);
-  flush(tenant);
-  const int shards = tenant.session->num_shards();
-  if (shards == 0) throw std::runtime_error("shard-metrics requires a sharded session");
-  if (r.shard < 0 || r.shard >= shards) throw std::runtime_error("shard index out of range");
-  const SessionMetrics m = tenant.session->shard_metrics(r.shard);
-  resp::ShardMetricsOut out;
-  out.shard = r.shard;
-  out.nodes = m.nodes;
-  out.g_edges = m.g_edges;
-  out.h_edges = m.h_edges;
-  out.staleness = m.staleness;
-  out.rebuild_in_flight = m.rebuild_in_flight;
-  out.counters = m.counters;
-  return out;
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    flush(tenant);
+    const int shards = tenant.session->num_shards();
+    if (shards == 0) throw std::runtime_error("shard-metrics requires a sharded session");
+    if (r.shard < 0 || r.shard >= shards) {
+      throw std::runtime_error("shard index out of range");
+    }
+    const SessionMetrics m = tenant.session->shard_metrics(r.shard);
+    resp::ShardMetricsOut out;
+    out.shard = r.shard;
+    out.nodes = m.nodes;
+    out.g_edges = m.g_edges;
+    out.h_edges = m.h_edges;
+    out.staleness = m.staleness;
+    out.rebuild_in_flight = m.rebuild_in_flight;
+    out.counters = m.counters;
+    return out;
+  });
 }
 
 Response Engine::do_handle(const req::Kappa& r) {
-  Tenant& tenant = require_tenant(r.name);
-  flush(tenant);
-  resp::KappaOut out;
-  out.value = tenant.session->settled_kappa();
-  out.target = tenant.session->session_options().engine.target_condition;
-  return out;
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    flush(tenant);
+    resp::KappaOut out;
+    out.value = tenant.session->settled_kappa();
+    out.target = tenant.session->session_options().engine.target_condition;
+    return out;
+  });
 }
 
 Response Engine::do_handle(const req::Checkpoint& r) {
-  Tenant& tenant = require_tenant(r.name);
-  flush(tenant);
-  tenant.session->checkpoint(r.path);
-  return resp::Checkpointed{r.path};
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    flush(tenant);
+    tenant.session->checkpoint(r.path);
+    return resp::Checkpointed{r.path};
+  });
 }
 
 Response Engine::do_handle(const req::Autosave& r) {
-  Tenant& tenant = require_tenant(r.name);
-  if (r.every == 0) {
-    tenant.autosave_path.clear();
-    tenant.autosave_every = 0;
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    if (r.every == 0) {
+      tenant.autosave_path.clear();
+      tenant.autosave_every = 0;
+      tenant.applies_since_save = 0;
+      return resp::AutosaveOut{};
+    }
+    if (r.path.empty()) throw std::runtime_error("autosave requires a path");
+    tenant.autosave_path = r.path;
+    tenant.autosave_every = r.every;
     tenant.applies_since_save = 0;
-    return resp::AutosaveOut{};
-  }
-  if (r.path.empty()) throw std::runtime_error("autosave requires a path");
-  tenant.autosave_path = r.path;
-  tenant.autosave_every = r.every;
-  tenant.applies_since_save = 0;
-  return resp::AutosaveOut{r.path, r.every};
+    return resp::AutosaveOut{r.path, r.every};
+  });
 }
 
 Response Engine::do_handle(const req::Close& r) {
   const std::string key = resolve(r.name);
-  Tenant& tenant = require_tenant(r.name);
-  // A failed flush discards the bad batch and reports the error; the
-  // tenant stays open, and a second close then succeeds — mirroring the
-  // quit semantics.
-  flush(tenant);
-  tenants_.erase(key);
-  return resp::Closed{key};
+  return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+    // A failed flush discards the bad batch and reports the error; the
+    // tenant stays open, and a second close then succeeds — mirroring the
+    // quit semantics.
+    flush(tenant);
+    tenant.closed.store(true, std::memory_order_release);
+    erase_tenant(key, &tenant);
+    return resp::Closed{key};
+  });
 }
 
 Response Engine::do_handle(const req::Quit&) {
-  for (auto& [name, tenant] : tenants_) flush(tenant);
+  // Flush every tenant, locking each gate in turn. Errors propagate to
+  // handle()'s catch (the first failure becomes the response), matching
+  // the single-threaded quit semantics.
+  for (const auto& [name, tenant] : snapshot_tenants()) {
+    const std::lock_guard<FifoMutex> gate(tenant->gate);
+    if (tenant->closed.load(std::memory_order_acquire) || !tenant->session) continue;
+    flush(*tenant);
+  }
   return resp::Bye{};
 }
 

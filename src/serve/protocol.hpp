@@ -4,9 +4,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "serve/serving.hpp"
 #include "serve/session.hpp"
 #include "serve/shard_dispatcher.hpp"
+#include "util/thread_pool.hpp"
 
 /// @file
 /// The typed serving protocol: tagged Request/Response variants, two
@@ -330,6 +334,20 @@ struct Bye {
   friend bool operator==(const Bye&, const Bye&) = default;
 };
 
+/// `busy <what> limit=<N>` — the command was refused by a backpressure
+/// bound, not failed: the per-tenant command queue was full (`what` =
+/// "queue"), the tenant's staged batch hit its cap ("staged"), or the
+/// server's connection cap was reached ("connections"). The request had
+/// no effect; the client should drain (apply, read responses, reconnect
+/// later) and retry. Distinct from Error so clients can branch on retry
+/// vs. give-up without parsing message text.
+struct Busy {
+  std::string what;         ///< which bound tripped: queue | staged | connections
+  std::uint64_t limit = 0;  ///< the configured bound that was hit
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Busy&, const Busy&) = default;
+};
+
 }  // namespace resp
 
 /// One protocol response (see the resp:: message structs).
@@ -337,7 +355,7 @@ using Response =
     std::variant<resp::Error, resp::Opened, resp::Staged, resp::Applied,
                  resp::Solved, resp::MetricsOut, resp::ShardMetricsOut,
                  resp::KappaOut, resp::Checkpointed, resp::AutosaveOut,
-                 resp::Closed, resp::Bye>;
+                 resp::Closed, resp::Bye, resp::Busy>;
 
 /// Codec-level failure. Non-fatal errors (a malformed text line) cost one
 /// `err` response and the stream keeps serving; fatal errors (a corrupt
@@ -392,8 +410,9 @@ class TextCodec final : public Codec {
 /// to auto-select the codec per connection.
 inline constexpr char kBinaryFrameMagic[4] = {'I', 'G', 'R', 'B'};
 
-/// Version of the binary frame format emitted by BinaryCodec.
-inline constexpr std::uint32_t kBinaryFrameVersion = 1;
+/// Version of the binary frame format emitted by BinaryCodec. v2 added
+/// the Busy response tag and the busy_rejections metrics field.
+inline constexpr std::uint32_t kBinaryFrameVersion = 2;
 
 /// Hard cap on a binary frame's payload length; larger declared lengths
 /// are rejected as corrupt before any allocation.
@@ -414,25 +433,53 @@ class BinaryCodec final : public Codec {
   void write_response(std::ostream& out, const Response& response) override;
 };
 
+/// Backpressure bounds applied by serve::Engine, per tenant. Both caps
+/// answer the same way: the command is refused with resp::Busy (a typed
+/// retry signal) instead of queueing or growing state without bound, and
+/// the tenant's busy_rejections metric counts the refusal.
+struct EngineOptions {
+  /// Cap on a tenant's staged-but-unapplied update records (staged inserts
+  /// plus staged removals). An insert/remove arriving at the cap is
+  /// refused until an apply (or a flushing read) drains the batch.
+  std::uint64_t max_staged = 1u << 16;
+  /// Cap on a tenant's in-flight commands: the one executing plus those
+  /// waiting in arrival order. A command arriving past the cap is refused
+  /// immediately — the server never builds an unbounded queue behind a
+  /// slow apply.
+  int max_queued = 32;
+};
+
 /// The transport-independent serving core: a name → Session map (several
 /// independent graphs behind one server) plus per-tenant staged batches
 /// and autosave policy. handle() turns one Request into one Response and
-/// never throws — failures come back as resp::Error, exactly one response
-/// per request. Engine performs no stream I/O; transports own the bytes.
+/// never throws — failures come back as resp::Error (refusals as
+/// resp::Busy), exactly one response per request. Engine performs no
+/// stream I/O; transports own the bytes.
 ///
-/// Not internally synchronized: transports call handle() from one thread
-/// at a time (the sessions themselves remain internally thread-safe, so
-/// their background rebuilds proceed regardless).
+/// Thread safety: handle(), flush_all(), and tenants() may be called from
+/// any number of transport threads concurrently. The tenant registry is
+/// guarded by a shared mutex; each tenant serializes its commands on a
+/// FifoMutex, so commands addressed to one tenant execute exactly in
+/// arrival order while commands to different tenants run in parallel.
+/// Solves release the tenant's command lock once their staged batch is
+/// flushed and run on the session's internally-synchronized reader path,
+/// so solves on one tenant proceed concurrently with each other (but the
+/// session never interleaves them with an apply/checkpoint at the data
+/// level). Open/restore hold the new tenant's command lock for the whole
+/// construction, so commands racing an open queue up and run against the
+/// live session — or fail with the documented "no session" error if the
+/// open failed.
 class Engine {
  public:
-  Engine();
+  explicit Engine(EngineOptions opts = {});
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Execute one request against the tenant map. Returns resp::Bye for
-  /// Quit (the transport's signal to stop), resp::Error on any failure.
+  /// Quit (the transport's signal to stop), resp::Busy for a refused
+  /// command, resp::Error on any failure.
   [[nodiscard]] Response handle(const Request& request);
 
   /// Flush every tenant's staged batch (the EOF path — responses for the
@@ -443,25 +490,50 @@ class Engine {
   /// Names of the live tenants, sorted.
   [[nodiscard]] std::vector<std::string> tenants() const;
 
+  /// The backpressure bounds this engine enforces.
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+
  private:
-  struct Tenant {
-    std::unique_ptr<Session> session;
-    UpdateBatch pending;
-    std::string autosave_path;
-    std::uint64_t autosave_every = 0;
-    std::uint64_t applies_since_save = 0;
-  };
+  struct Tenant;  // defined in protocol.cpp
+  using TenantPtr = std::shared_ptr<Tenant>;
 
   [[nodiscard]] static const std::string& resolve(const std::string& name);
-  [[nodiscard]] Tenant& require_tenant(const std::string& name);
-  [[nodiscard]] Tenant& adopt(const std::string& name, std::unique_ptr<Session> session);
+  /// Look a live tenant up (shared registry lock); throws the documented
+  /// "no session" error when the name is absent.
+  [[nodiscard]] TenantPtr find_tenant(const std::string& key) const;
+  /// Insert a placeholder for a new tenant with its command lock already
+  /// held (taken before the registry lock is released, so the opener is
+  /// first in the tenant's arrival order). Throws "already open" when the
+  /// name is taken.
+  [[nodiscard]] std::pair<TenantPtr, std::unique_lock<FifoMutex>> reserve_tenant(
+      const std::string& key);
+  /// Drop `tenant` from the registry if the map still holds it (close and
+  /// the failed-open unwind path).
+  void erase_tenant(const std::string& key, const Tenant* tenant);
+  /// Snapshot of the registry for iteration outside the registry lock.
+  [[nodiscard]] std::vector<std::pair<std::string, TenantPtr>> snapshot_tenants() const;
+  /// Admit one command to `tenant` (arrival-order lock + queue bound) and
+  /// run `body(tenant, gate)` under the command lock.
+  template <typename Fn>
+  Response with_tenant(const std::string& name, Fn&& body);
+  /// Shared open/restore path: reserve the name, build the session with
+  /// `make_session()` outside the registry lock, unwind on failure.
+  template <typename Fn>
+  Response open_tenant(const std::string& name, resp::OpenVerb verb, Fn&& make_session);
   /// Apply a batch through the tenant's session and run the autosave
-  /// bookkeeping (snapshot after every N applies).
+  /// bookkeeping (snapshot after every N applies). Caller holds the
+  /// tenant's command lock, which is what makes the autosave cadence
+  /// race-free under concurrent connections.
   ApplyResult apply_now(Tenant& tenant, const UpdateBatch& batch);
+  /// Refuse (BusyRejection) a stage that would push the tenant's pending
+  /// batch past max_staged; counts the refusal.
+  void check_staged_capacity(Tenant& tenant) const;
   /// Apply the staged batch, if any; the batch is taken out first so a
   /// failed apply discards it instead of wedging later commands.
   void flush(Tenant& tenant);
-  void validate_endpoints(const Tenant& tenant, NodeId u, NodeId v) const;
+  static void validate_endpoints(const Tenant& tenant, NodeId u, NodeId v);
+  /// serving_metrics() with the engine-level busy_rejections overlaid.
+  [[nodiscard]] static ServingMetrics metrics_of(const Tenant& tenant);
 
   Response do_handle(const req::Open& r);
   Response do_handle(const req::OpenSharded& r);
@@ -479,7 +551,9 @@ class Engine {
   Response do_handle(const req::Close& r);
   Response do_handle(const req::Quit& r);
 
-  std::map<std::string, Tenant> tenants_;
+  EngineOptions opts_;
+  mutable std::shared_mutex registry_mu_;  // guards tenants_ (the map only)
+  std::map<std::string, TenantPtr> tenants_;
 };
 
 }  // namespace ingrass::serve

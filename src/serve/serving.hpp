@@ -43,6 +43,11 @@ struct ServingMetrics {
   double boundary_weight = 0.0;    ///< summed cut weight (sharded only)
   std::uint64_t global_solves = 0;     ///< dispatcher solve() calls (sharded only)
   std::uint64_t coupling_updates = 0;  ///< ground-edge reweights (sharded only)
+  /// Commands rejected by a backpressure bound (per-tenant command queue
+  /// or staged-batch cap) instead of executing. Sessions themselves never
+  /// reject — they report 0 and serve::Engine overlays its per-tenant
+  /// count, so the field reads the same through every metrics surface.
+  std::uint64_t busy_rejections = 0;
 
   /// Field-wise equality (wire-codec round-trip tests).
   friend bool operator==(const ServingMetrics&, const ServingMetrics&) = default;

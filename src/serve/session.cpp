@@ -462,6 +462,9 @@ serve::ServingMetrics SparsifierSession::serving_metrics() const {
   out.staleness = m.staleness;
   out.rebuild_in_flight = m.rebuild_in_flight;
   out.counters = m.counters;
+  // Backpressure lives above the session: serve::Engine overlays the
+  // tenant's rejection count on this snapshot.
+  out.busy_rejections = 0;
   return out;
 }
 

@@ -568,6 +568,9 @@ serve::ServingMetrics ShardedSession::serving_metrics() const {
   out.boundary_weight = m.boundary_weight;
   out.global_solves = m.global_solves;
   out.coupling_updates = m.coupling_updates;
+  // Backpressure lives above the session: serve::Engine overlays the
+  // tenant's rejection count on this snapshot.
+  out.busy_rejections = 0;
   return out;
 }
 

@@ -1,17 +1,25 @@
 #include "serve/transport.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <streambuf>
+#include <thread>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <time.h>
 #include <unistd.h>
@@ -141,7 +149,7 @@ void write_port_file(const std::string& path, std::uint16_t port) {
 }  // namespace
 
 ServeOutcome serve_stream(Engine& engine, Codec& codec, std::istream& in,
-                          std::ostream& out) {
+                          std::ostream& out, bool flush_at_eof) {
   for (;;) {
     std::optional<Request> request;
     try {
@@ -158,17 +166,124 @@ ServeOutcome serve_stream(Engine& engine, Codec& codec, std::istream& in,
     out.flush();
     if (std::holds_alternative<resp::Bye>(response)) return ServeOutcome::kQuit;
   }
-  // End-of-stream (EOF or a fatal framing error): staged batches are
-  // flushed so nothing a client staged is silently dropped; a bad batch
-  // costs a trailing err, not the server.
-  for (const std::string& message : engine.flush_all()) {
-    codec.write_response(out, resp::Error{message});
+  // End-of-stream (EOF or a fatal framing error): when this stream is the
+  // whole service (stdio), staged batches are flushed so nothing a client
+  // staged is silently dropped; a bad batch costs a trailing err, not the
+  // server. Shared-engine transports skip this (see the header).
+  if (flush_at_eof) {
+    for (const std::string& message : engine.flush_all()) {
+      codec.write_response(out, resp::Error{message});
+    }
   }
   out.flush();
   return ServeOutcome::kEof;
 }
 
+namespace {
+
+/// Codec auto-detect: peek the connection's first bytes without consuming
+/// them, so either codec starts from byte zero. A slow client may dribble
+/// the 4-byte binary magic across several packets — fewer than 4 peeked
+/// bytes are retried (up to `dribble_timeout_ms`) while the prefix still
+/// matches the magic; a mismatching prefix classifies as text immediately
+/// (a text command can legitimately be shorter than 4 bytes, e.g. "a\n",
+/// and must not wait out the timeout). The first peek blocks — an idle
+/// client is simply not talking yet — unless the caller armed SO_RCVTIMEO.
+bool peek_binary_magic(int fd, long dribble_timeout_ms) {
+  char head[4] = {0, 0, 0, 0};
+  long waited_ms = 0;
+  for (;;) {
+    ssize_t got = 0;
+    do {
+      got = ::recv(fd, head, sizeof head, MSG_PEEK);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return false;  // EOF, error, or an armed receive timeout
+    const auto prefix = static_cast<std::size_t>(got < 4 ? got : 4);
+    if (std::memcmp(head, kBinaryFrameMagic, prefix) != 0) return false;
+    if (got >= 4) return true;
+    if (waited_ms >= dribble_timeout_ms) return false;  // stuck mid-magic
+    sleep_ms(2);
+    waited_ms += 2;
+  }
+}
+
+/// Answer an over-cap connection with one `busy connections` response in
+/// the client's codec and drop it. The peek is bounded by a receive
+/// timeout so a silent client cannot pin the accept loop.
+void reject_connection(const UniqueFd& conn, int limit) {
+  timeval timeout{};
+  timeout.tv_usec = 250 * 1000;
+  ::setsockopt(conn.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  const bool is_binary = peek_binary_magic(conn.get(), /*dribble_timeout_ms=*/250);
+  FdStreamBuf buf(conn.get());
+  std::ostream out(&buf);
+  const Response busy = resp::Busy{"connections", static_cast<std::uint64_t>(limit)};
+  if (is_binary) {
+    BinaryCodec codec;
+    codec.write_response(out, busy);
+  } else {
+    TextCodec codec;
+    codec.write_response(out, busy);
+  }
+  out.flush();
+  // Drain whatever the client already sent (the peek left it queued) and
+  // half-close before the caller's close: closing with unread received
+  // data sends an RST, which can discard the busy response before the
+  // client reads it. Bounded drain — this connection is being dropped,
+  // not served.
+  ::shutdown(conn.get(), SHUT_WR);
+  char sink[1024];
+  long waited_ms = 0;
+  for (int i = 0; i < 256; ++i) {
+    const ssize_t n = ::recv(conn.get(), sink, sizeof sink, MSG_DONTWAIT);
+    if (n == 0) break;  // orderly EOF: the client got the response
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && waited_ms < 250) {
+        // Nothing queued yet but no FIN either — the client may still be
+        // mid-transmit; breaking now would close with data in flight and
+        // RST away the response we just wrote. Wait it out, bounded.
+        sleep_ms(10);
+        waited_ms += 10;
+        continue;
+      }
+      break;
+    }
+  }
+}
+
+/// One live connection's shared state: the socket (owned here so the
+/// shutdown path can half-close it from another thread) and a done flag
+/// the accept loop uses to reap finished threads.
+struct Connection {
+  explicit Connection(UniqueFd conn) : fd(std::move(conn)) {}
+  UniqueFd fd;
+  std::atomic<bool> done{false};
+};
+
+/// Serve one accepted connection to disconnect or Quit.
+ServeOutcome serve_connection(Engine& engine, int fd) {
+  const bool is_binary = peek_binary_magic(fd, /*dribble_timeout_ms=*/5000);
+  FdStreamBuf buf(fd);
+  std::istream in(&buf);
+  std::ostream out(&buf);
+  TextCodec text;
+  BinaryCodec binary;
+  const ServeOutcome outcome =
+      serve_stream(engine, is_binary ? static_cast<Codec&>(binary) : text, in, out,
+                   /*flush_at_eof=*/false);
+  out.flush();
+  return outcome;
+}
+
+}  // namespace
+
 void serve_tcp(Engine& engine, const TcpOptions& opts) {
+  if (opts.max_connections < 1) {
+    // Fail fast: a negative cap would convert to a huge size_t below and
+    // silently disable the bound; 0 would reject every client.
+    throw std::invalid_argument("serve_tcp: max_connections must be >= 1");
+  }
   UniqueFd listener(::socket(AF_INET, SOCK_STREAM, 0));
   if (!listener.valid()) sys_error("socket");
   const int one = 1;
@@ -189,32 +304,180 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
     sys_error("getsockname");
   }
   const std::uint16_t port = ntohs(bound.sin_port);
+
+  // The shutdown wake-up: a self-pipe created *now*, while fds are
+  // plentiful — begin_shutdown must never depend on allocating an fd
+  // under the very fd exhaustion a connection flood causes. The accept
+  // loop polls {listener, pipe}; a byte on the pipe (or just its
+  // closing) wakes the poll and the loop observes `stop`. (shutdown(2)
+  // on a *listening* socket was observed not to interrupt a blocked
+  // accept on some kernels, hence poll + pipe rather than a blocking
+  // accept.)
+  int wake_fds[2] = {-1, -1};
+  if (::pipe(wake_fds) != 0) sys_error("pipe");
+  UniqueFd wake_read(wake_fds[0]);
+  UniqueFd wake_write(wake_fds[1]);
+  // The listener is non-blocking: poll can report a connection that is
+  // aborted before accept runs, and accept must then return EAGAIN, not
+  // block the loop.
+  ::fcntl(listener.get(), F_SETFL, O_NONBLOCK);
+
   if (!opts.port_file.empty()) write_port_file(opts.port_file, port);
 
-  TextCodec text;
-  BinaryCodec binary;
+  // Per-connection threads, reaped opportunistically on each accept and
+  // joined in full before returning. All of this outlives every thread
+  // (they are joined below), so capturing by reference is sound.
+  std::atomic<bool> stop{false};
+  std::mutex conns_mu;
+  std::vector<std::pair<std::thread, std::shared_ptr<Connection>>> conns;
+  // Live rejector-thread count; shared_ptr because rejectors are
+  // detached and may outlive this frame.
+  const auto rejectors = std::make_shared<std::atomic<int>>(0);
+  const int listener_fd = listener.get();
+  const int wake_write_fd = wake_write.get();
+
+  // Called by the connection thread that served a Quit: wake the accept
+  // loop via the pipe and end every other connection's streams so their
+  // threads can be joined.
+  const auto begin_shutdown = [&] {
+    stop.store(true, std::memory_order_release);
+    ssize_t w = 0;
+    do {
+      w = ::write(wake_write_fd, "q", 1);
+    } while (w < 0 && errno == EINTR);
+    const std::lock_guard<std::mutex> lock(conns_mu);
+    for (auto& [thread, conn] : conns) {
+      if (!conn->done.load(std::memory_order_acquire)) {
+        // Full shutdown: SHUT_RD alone ends the reads, but a thread
+        // blocked in send() against a client that stopped reading would
+        // survive it and wedge the final join. Ending the write side too
+        // makes that send fail and the thread unwind.
+        ::shutdown(conn->fd.get(), SHUT_RDWR);
+      }
+    }
+  };
+
   for (;;) {
-    UniqueFd conn(::accept(listener.get(), nullptr, nullptr));
-    if (!conn.valid()) {
+    pollfd waits[2] = {{listener_fd, POLLIN, 0}, {wake_read.get(), POLLIN, 0}};
+    const int ready = ::poll(waits, 2, -1);
+    if (stop.load(std::memory_order_acquire)) break;
+    if (ready < 0) {
       if (errno == EINTR) continue;
+      begin_shutdown();  // unrecoverable: unwind the live connections
+      for (auto& [thread, conn] : conns) thread.join();
+      sys_error("poll");
+    }
+    if (!(waits[0].revents & (POLLIN | POLLERR | POLLHUP))) continue;
+    UniqueFd accepted(::accept(listener_fd, nullptr, nullptr));
+    if (stop.load(std::memory_order_acquire)) break;
+    if (!accepted.valid()) {
+      // Transient accept failures must not take a multi-tenant server
+      // down: the connection may have been aborted before we got to it
+      // (ECONNABORTED), the poll may have raced (EAGAIN), or the process
+      // may be briefly out of fds under a flood (EMFILE/ENFILE — backed
+      // off so the loop does not spin while rejectors drain).
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        sleep_ms(10);
+        continue;
+      }
+      begin_shutdown();  // genuinely fatal (EBADF, ENOTSOCK, ...)
+      for (auto& [thread, conn] : conns) thread.join();
       sys_error("accept");
     }
-    // Codec auto-detect: the first bytes of a binary session are the
-    // frame magic; peek them without consuming so either codec starts
-    // from byte zero.
-    char head[4] = {0, 0, 0, 0};
-    const ssize_t got = ::recv(conn.get(), head, sizeof head, MSG_PEEK | MSG_WAITALL);
-    const bool is_binary =
-        got == static_cast<ssize_t>(sizeof head) &&
-        std::memcmp(head, kBinaryFrameMagic, sizeof head) == 0;
 
-    FdStreamBuf buf(conn.get());
-    std::istream in(&buf);
-    std::ostream out(&buf);
-    const ServeOutcome outcome =
-        serve_stream(engine, is_binary ? static_cast<Codec&>(binary) : text, in, out);
-    out.flush();
-    if (outcome == ServeOutcome::kQuit) break;
+    std::size_t active = 0;
+    {
+      // Reap finished connection threads so long-lived servers do not
+      // accumulate joinable handles, and count the live ones for the cap.
+      const std::lock_guard<std::mutex> lock(conns_mu);
+      for (auto it = conns.begin(); it != conns.end();) {
+        if (it->second->done.load(std::memory_order_acquire)) {
+          it->first.join();
+          it = conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      active = conns.size();
+    }
+    if (active >= static_cast<std::size_t>(opts.max_connections)) {
+      // Off-thread: the rejection's bounded codec peek (up to ~250 ms
+      // against a silent client) must not stall accepts — a freed slot
+      // should go to the next real client immediately. Rejector threads
+      // are themselves bounded (a connect flood must not reopen the
+      // unbounded-thread hole the cap closed): past the bound, or if
+      // thread creation fails, the connection is dropped without the
+      // courtesy response. The shared counter outlives serve_tcp because
+      // a detached rejector may finish after it returns.
+      constexpr int kMaxRejectors = 8;
+      if (rejectors->fetch_add(1, std::memory_order_acq_rel) < kMaxRejectors) {
+        try {
+          std::thread([fd = std::move(accepted), limit = opts.max_connections,
+                       rejectors] {
+            reject_connection(fd, limit);
+            rejectors->fetch_sub(1, std::memory_order_acq_rel);
+          }).detach();
+          continue;
+        } catch (const std::system_error&) {
+          // Fall through: count it back out and just drop the socket.
+        }
+      }
+      rejectors->fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    auto conn = std::make_shared<Connection>(std::move(accepted));
+    try {
+      // Publish an empty slot first, then construct the thread into it:
+      // whichever step throws under resource exhaustion, no *joinable*
+      // std::thread is ever left outside `conns` — an exception escaping
+      // with one live would terminate the whole server when the vector
+      // unwinds.
+      const std::lock_guard<std::mutex> lock(conns_mu);
+      conns.emplace_back(std::thread{}, conn);
+      conns.back().first = std::thread([&engine, &begin_shutdown, conn] {
+        ServeOutcome outcome = ServeOutcome::kEof;
+        try {
+          outcome = serve_connection(engine, conn->fd.get());
+        } catch (...) {
+          // A connection dying (codec throw past serve_stream, stream
+          // failure) must not take the server with it.
+        }
+        if (outcome == ServeOutcome::kQuit) begin_shutdown();
+        conn->done.store(true, std::memory_order_release);
+      });
+      // A Quit may have landed between the stop check above and this
+      // publish, in which case begin_shutdown already iterated without
+      // seeing this connection — end it ourselves (full shutdown, for
+      // the same blocked-send reason as begin_shutdown).
+      if (stop.load(std::memory_order_acquire)) ::shutdown(conn->fd.get(), SHUT_RDWR);
+    } catch (const std::exception&) {
+      // Resource exhaustion: drop this one connection, keep the server.
+      {
+        const std::lock_guard<std::mutex> lock(conns_mu);
+        if (!conns.empty() && conns.back().second == conn &&
+            !conns.back().first.joinable()) {
+          conns.pop_back();  // the empty placeholder slot
+        }
+      }
+      ::shutdown(conn->fd.get(), SHUT_RDWR);
+    }
+  }
+
+  for (auto& [thread, conn] : conns) thread.join();
+  // Let in-flight rejector threads drain too (bounded: at most
+  // kMaxRejectors, each with bounded peeks/drains) so a detached thread
+  // is not still touching sockets while the process tears down after a
+  // quit. Give up after a generous deadline — a wedged rejector then
+  // stays detached, which is no worse than not waiting at all.
+  for (long waited_ms = 0;
+       rejectors->load(std::memory_order_acquire) > 0 && waited_ms < 5000;
+       waited_ms += 5) {
+    sleep_ms(5);
   }
 }
 

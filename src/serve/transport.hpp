@@ -12,9 +12,10 @@
 /// under serve::Engine. A transport owns streams and connection lifetime;
 /// the codec (serve/protocol.hpp) owns the bytes' meaning. Two transports
 /// ship: stdio (serve_stream over std::cin/cout — the original
-/// `ingrass_serve` behavior) and a sequential-accept TCP server sharing
-/// one Engine across connections, so named tenants persist between
-/// clients.
+/// `ingrass_serve` behavior) and a concurrent TCP server (one thread per
+/// connection, bounded by max_connections) sharing one thread-safe Engine
+/// across connections, so named tenants persist between clients and
+/// clients on different tenants make progress in parallel.
 
 namespace ingrass::serve {
 
@@ -27,10 +28,15 @@ enum class ServeOutcome : std::uint8_t {
 /// Drive `engine` from a request stream until end-of-stream or Quit:
 /// read one request, handle, write exactly one response, flush. Codec
 /// errors cost one `err` response (fatal ones — lost binary framing —
-/// also end the stream). At end-of-stream every tenant's staged batch is
-/// flushed, any failures written as trailing `err` responses.
+/// also end the stream). With `flush_at_eof` (the stdio default, where
+/// end-of-stream is the end of the whole service) every tenant's staged
+/// batch is flushed at end-of-stream, any failures written as trailing
+/// `err` responses. The TCP transport passes false: tenants are shared
+/// across connections there, so one client's disconnect must not apply
+/// another tenant's half-staged batch behind its client's back — staged
+/// state simply waits for the next apply/read/quit to flush it.
 ServeOutcome serve_stream(Engine& engine, Codec& codec, std::istream& in,
-                          std::ostream& out);
+                          std::ostream& out, bool flush_at_eof = true);
 
 /// Options for the TCP transport.
 struct TcpOptions {
@@ -44,15 +50,28 @@ struct TcpOptions {
   int backlog = 8;
   /// Bind 0.0.0.0 instead of the loopback-only default.
   bool any_address = false;
+  /// Cap on simultaneously served connections. An accept past the cap is
+  /// answered with one `busy connections limit=N` response (in the
+  /// client's codec) and closed — a clean retry signal instead of an
+  /// unbounded thread count or a silently queued client.
+  int max_connections = 64;
 };
 
-/// Run a sequential-accept TCP server over `engine`: accept a connection,
-/// serve it to disconnect or Quit, accept the next. One Engine lives
-/// across connections, so tenants opened by one client persist for the
-/// next — and a Quit from any client shuts the server down (its tenants
-/// flush on their destructors' schedule). Each connection auto-selects
-/// its codec by peeking the first bytes: the binary frame magic selects
-/// BinaryCodec, anything else the text line grammar.
+/// Run a concurrent TCP server over `engine`: every accepted connection
+/// is served on its own thread (up to max_connections; excess accepts get
+/// a `busy` response and close), so clients on different tenants make
+/// progress in parallel while commands to one tenant serialize in arrival
+/// order (the Engine's locking). One Engine lives across connections, so
+/// tenants opened by one client persist for the next. A Quit from any
+/// client shuts the server down: the quit itself flushes every tenant's
+/// staged batch, then the listener stops, every other live connection's
+/// streams are ended (a record staged on another connection *after* the
+/// quit's flush is dropped with the process — TCP connections do not
+/// flush at EOF, see serve_stream), and all connection threads are
+/// joined before this returns. Each connection auto-selects its codec by peeking the first
+/// bytes: the binary frame magic selects BinaryCodec, anything else the
+/// text line grammar (a client dribbling the 4-byte magic across several
+/// packets is retried, not misclassified as text).
 void serve_tcp(Engine& engine, const TcpOptions& opts);
 
 /// A connected TCP client stream pair — the driving end of serve_tcp

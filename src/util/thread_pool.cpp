@@ -85,6 +85,25 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   if (job.error) std::rethrow_exception(job.error);
 }
 
+void FifoMutex::lock() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t ticket = next_ticket_++;
+  cv_.wait(lk, [&] { return now_serving_ == ticket; });
+}
+
+void FifoMutex::unlock() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    ++now_serving_;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t FifoMutex::pending() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return next_ticket_ - now_serving_;
+}
+
 SerialWorker::SerialWorker() : thread_([this] { loop(); }) {}
 
 SerialWorker::~SerialWorker() {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -63,6 +64,32 @@ class ThreadPool {
   Job* job_ = nullptr;       // non-null while a parallel_for is active
   std::uint64_t epoch_ = 0;  // bumped per job so workers detect new work
   bool stop_ = false;
+};
+
+/// A mutex granting the lock in strict arrival (ticket) order. std::mutex
+/// makes no fairness promise — under contention glibc hands the lock to
+/// whichever thread the futex wakes, so a stream of commands from racing
+/// connection threads could overtake each other. Serving code that promises
+/// per-tenant arrival-order execution (serve::Engine) serializes on this
+/// instead: lock() draws a ticket, unlock() serves the next ticket, so
+/// waiters proceed exactly in the order their lock() calls arrived.
+/// BasicLockable — use with std::lock_guard / std::unique_lock.
+class FifoMutex {
+ public:
+  /// Draw a ticket and block until it is served.
+  void lock();
+  /// Serve the next ticket.
+  void unlock();
+  /// Tickets drawn but not yet released: the current holder plus every
+  /// queued waiter (0 when the mutex is free). A point-in-time snapshot —
+  /// for tests and load introspection, not for synchronization.
+  [[nodiscard]] std::uint64_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t now_serving_ = 0;
 };
 
 /// Single background thread executing posted jobs FIFO — the executor

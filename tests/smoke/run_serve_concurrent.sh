@@ -1,0 +1,120 @@
+#!/bin/sh
+# Smoke test: two *simultaneous* ingrass_serve clients on different
+# tenants against one concurrent TCP server — the shell's `&` gives us
+# true process-level concurrency, which the cmake-script smokes cannot.
+# Each client opens its own tenant (plain "solo", sharded "mesh"),
+# streams updates, solves, and checkpoints, all while the other client's
+# connection is live. Then a third client quits the server, a fresh
+# server incarnation restores both tenants from their checkpoints, and
+# kappa must land within budget for both.
+#
+# Invoked by CTest as: sh run_serve_concurrent.sh <ingrass_serve> <workdir>
+set -eu
+
+BIN=$1
+WORK=$2
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() {
+  echo "run_serve_concurrent: $1" >&2
+  echo "--- out_a ---"; cat out_a.txt 2>/dev/null || true
+  echo "--- out_b ---"; cat out_b.txt 2>/dev/null || true
+  echo "--- out_r ---"; cat out_r.txt 2>/dev/null || true
+  exit 1
+}
+
+# A 6x6 grid graph (36 nodes, 60 unit edges) in Matrix Market
+# coordinate/symmetric format (lower triangle, 1-based).
+awk 'BEGIN{
+  n = 6; count = 0;
+  for (y = 0; y < n; y++) for (x = 0; x < n; x++) {
+    id = y * n + x + 1;
+    if (x < n - 1) entries[count++] = (id + 1) " " id " 1.0";
+    if (y < n - 1) entries[count++] = (id + n) " " id " 1.0";
+  }
+  printf "%%%%MatrixMarket matrix coordinate real symmetric\n";
+  printf "%d %d %d\n", n * n, n * n, count;
+  for (i = 0; i < count; i++) print entries[i];
+}' > g.mtx
+
+# Incarnation 1: the concurrent server.
+rm -f port.txt
+"$BIN" --listen 0 --port-file port.txt --max-connections 8 &
+SERVER_PID=$!
+
+cat > a.txt <<'EOF'
+open g.mtx --name solo --density 0.3 --target 100 --grass-target 40 --sync
+@solo insert 0 35 1.0
+@solo remove 0 1
+@solo apply
+@solo solve 0 35
+@solo checkpoint ck_solo.bin
+EOF
+cat > b.txt <<'EOF'
+@mesh open-sharded g.mtx 4 --density 0.3 --target 100 --grass-target 40 --sync
+@mesh insert 0 35 1.0
+@mesh insert 1 2 0.5
+@mesh apply
+@mesh solve 0 35
+@mesh checkpoint ck_mesh.bin
+EOF
+
+# Both clients run at the same time against the one server. Neither
+# quits, so their overlap is bounded only by their own work.
+"$BIN" --connect-port-file port.txt --script a.txt > out_a.txt &
+CLIENT_A=$!
+"$BIN" --connect-port-file port.txt --script b.txt > out_b.txt &
+CLIENT_B=$!
+wait "$CLIENT_A" || fail "client A exited nonzero"
+wait "$CLIENT_B" || fail "client B exited nonzero"
+
+grep -q "ok open nodes=36" out_a.txt || fail "solo open marker missing"
+grep -q "ok apply" out_a.txt || fail "solo apply marker missing"
+grep -q "ok solve iters=" out_a.txt || fail "solo solve marker missing"
+grep -q "ok checkpoint path=ck_solo.bin" out_a.txt || fail "solo checkpoint missing"
+grep -q "ok open-sharded nodes=36" out_b.txt || fail "mesh open marker missing"
+grep -q "shards=4" out_b.txt || fail "mesh shards marker missing"
+grep -q "ok checkpoint path=ck_mesh.bin" out_b.txt || fail "mesh checkpoint missing"
+
+# A third client shuts the server down; the server joins every
+# connection thread before exiting.
+printf 'quit\n' > q.txt
+"$BIN" --connect-port-file port.txt --script q.txt > out_q.txt
+grep -q "ok quit" out_q.txt || fail "quit marker missing"
+wait "$SERVER_PID" || fail "server exited nonzero"
+SERVER_PID=
+
+[ -f ck_solo.bin ] || fail "ck_solo.bin was not written"
+[ -f ck_mesh.bin ] || fail "ck_mesh.bin was not written"
+
+# Incarnation 2: restore both tenants and verify kappa within budget.
+rm -f port.txt
+"$BIN" --listen 0 --port-file port.txt &
+SERVER_PID=$!
+cat > r.txt <<'EOF'
+restore ck_solo.bin --name solo --target 100 --grass-target 40 --sync
+restore-sharded ck_mesh.bin --name mesh --target 100 --grass-target 40 --sync
+@solo solve 0 35
+@solo kappa
+@mesh solve 0 35
+@mesh kappa
+quit
+EOF
+"$BIN" --connect-port-file port.txt --script r.txt > out_r.txt
+wait "$SERVER_PID" || fail "restored server exited nonzero"
+SERVER_PID=
+
+grep -q "ok restore nodes=36" out_r.txt || fail "solo restore marker missing"
+grep -q "ok restore-sharded nodes=36" out_r.txt || fail "mesh restore marker missing"
+if grep -q "within=0" out_r.txt; then fail "a restored tenant missed its kappa budget"; fi
+[ "$(grep -c "within=1" out_r.txt)" = "2" ] || fail "expected two within-budget kappas"
+
+echo "ingrass_serve concurrent smoke test passed"

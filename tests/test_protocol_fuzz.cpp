@@ -1,0 +1,317 @@
+// Deterministic-seed mutation fuzzing over every binary surface of the
+// serving layer: BinaryCodec request/response frames (truncation, bit
+// flips in magic/version/length/tag, oversized length fields, trailing
+// garbage) and the INGRSCKP checkpoint formats (v1 blobs, v2 shard
+// manifests), which share the wire.hpp helpers. Every mutation must
+// yield a typed error (ProtocolError for frames, std::runtime_error for
+// checkpoints) or, for payload-body flips, a cleanly parsed message —
+// never a crash, a hang, an OOM-sized allocation, or silently accepted
+// garbage. Well over 10k mutated inputs run per invocation, all from
+// fixed seeds so a failure replays bit-identically.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Corpus
+
+std::vector<Request> request_corpus() {
+  SessionSpec spec;
+  spec.density = 0.25;
+  spec.target = 80.0;
+  spec.grass_target = 35.5;
+  spec.staleness = 0.5;
+  spec.sync = true;
+  return {
+      req::Open{"alpha", "graphs/power_grid.mtx", spec},
+      req::OpenSharded{"beta", "g.mtx", 4, PartitionStrategy::kHash, spec},
+      req::Restore{"", "checkpoints/ck.bin", SessionSpec{}},
+      req::RestoreSharded{"gamma", "manifest.bin", SessionSpec{}},
+      req::Insert{"alpha", 3, 7, 1.25},
+      req::Remove{"", 2, 9},
+      req::Apply{"tenant-with-a-longer-name"},
+      req::Solve{"alpha", 0, 24},
+      req::Metrics{""},
+      req::ShardMetrics{"beta", 3},
+      req::Kappa{"alpha"},
+      req::Checkpoint{"alpha", "out dir/with spaces.bin"},
+      req::Autosave{"alpha", "auto.bin", 16},
+      req::Close{"beta"},
+      req::Quit{},
+  };
+}
+
+std::vector<Response> response_corpus() {
+  ServingMetrics sharded;
+  sharded.sharded = true;
+  sharded.nodes = 25;
+  sharded.g_edges = 72;
+  sharded.h_edges = 40;
+  sharded.target_condition = 100.0;
+  sharded.staleness = 0.125;
+  sharded.counters.batches = 3;
+  sharded.counters.inserts_offered = 11;
+  sharded.shards = 4;
+  sharded.boundary_edges = 9;
+  sharded.boundary_weight = 8.5;
+  sharded.busy_rejections = 2;
+  SessionCounters counters;
+  counters.batches = 2;
+  counters.rebuilds = 1;
+  return {
+      resp::Error{"no session (use open or restore)"},
+      resp::Opened{resp::OpenVerb::kOpenSharded, sharded},
+      resp::Staged{3, 1},
+      resp::Applied{4, 1, 2, 0, 1, 1, 0.25, true},
+      resp::Solved{17, 3.5e-9, 0.75},
+      resp::MetricsOut{sharded},
+      resp::ShardMetricsOut{2, 8, 14, 9, 0.0625, false, counters},
+      resp::KappaOut{42.5, 100.0},
+      resp::Checkpointed{"out.bin"},
+      resp::AutosaveOut{"auto.bin", 8},
+      resp::Closed{"tenant-x"},
+      resp::Bye{},
+      resp::Busy{"staged", 1024},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Mutation harness
+
+enum class Outcome { kParsed, kCleanEof, kProtocolError };
+
+/// How one iteration perturbs the input bytes.
+enum class Mutation : int {
+  kTruncate = 0,     ///< strict prefix — must never parse
+  kFlipAnywhere,     ///< one random bit — body flips may still parse
+  kFlipHeader,       ///< one bit in magic/version/length — must error
+  kHugeLength,       ///< declared length past kMaxFrameBytes — must error
+  kTrailingGarbage,  ///< valid frame + junk — frame parses, junk errors
+  kCount,
+};
+
+/// Run `bytes` through `parse` and classify. Anything other than a parse,
+/// a clean EOF, or a ProtocolError (e.g. a bare std::runtime_error
+/// escaping the frame decoder, std::bad_alloc from an unchecked
+/// allocation) fails the test on the spot.
+template <typename ParseFn>
+Outcome drive(const std::string& bytes, ParseFn&& parse, const char* what,
+              std::uint64_t iteration) {
+  std::istringstream in(bytes);
+  try {
+    const bool parsed = parse(in);
+    return parsed ? Outcome::kParsed : Outcome::kCleanEof;
+  } catch (const ProtocolError& e) {
+    EXPECT_TRUE(e.fatal()) << what << " iteration " << iteration
+                           << ": frame errors must be fatal: " << e.what();
+    return Outcome::kProtocolError;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << " iteration " << iteration
+                  << ": escaped non-protocol exception: " << e.what();
+    return Outcome::kProtocolError;
+  }
+}
+
+template <typename ParseFn>
+std::uint64_t fuzz_frames(const std::vector<std::string>& corpus, ParseFn&& parse,
+                          const char* what, std::uint64_t iterations,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::uint64_t executed = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i, ++executed) {
+    std::string bytes = corpus[rng.uniform_index(corpus.size())];
+    const auto kind = static_cast<Mutation>(
+        rng.uniform_index(static_cast<std::uint64_t>(Mutation::kCount)));
+    switch (kind) {
+      case Mutation::kTruncate: {
+        const std::size_t len =
+            static_cast<std::size_t>(rng.uniform_index(bytes.size()));
+        bytes.resize(len);
+        const Outcome out = drive(bytes, parse, what, i);
+        if (len == 0) {
+          EXPECT_EQ(out, Outcome::kCleanEof) << what << " iteration " << i;
+        } else {
+          EXPECT_EQ(out, Outcome::kProtocolError)
+              << what << " iteration " << i << ": a " << len
+              << "-byte strict prefix parsed";
+        }
+        break;
+      }
+      case Mutation::kFlipAnywhere: {
+        const std::size_t bit = static_cast<std::size_t>(
+            rng.uniform_index(bytes.size() * 8));
+        bytes[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+        // A flip in the payload body may produce a different-but-valid
+        // message; the requirement is no crash and no non-protocol escape.
+        (void)drive(bytes, parse, what, i);
+        break;
+      }
+      case Mutation::kFlipHeader: {
+        const std::size_t bit = static_cast<std::size_t>(rng.uniform_index(12 * 8));
+        bytes[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+        // Magic, version, and length are all load-bearing: any single-bit
+        // flip must be rejected (a shorter/longer declared length can
+        // never re-frame a single valid message).
+        EXPECT_EQ(drive(bytes, parse, what, i), Outcome::kProtocolError)
+            << what << " iteration " << i << ": header flip at bit " << bit
+            << " accepted";
+        break;
+      }
+      case Mutation::kHugeLength: {
+        const std::uint32_t huge =
+            kMaxFrameBytes + 1 +
+            static_cast<std::uint32_t>(rng.uniform_index(1u << 30));
+        for (int b = 0; b < 4; ++b) {
+          bytes[static_cast<std::size_t>(8 + b)] =
+              static_cast<char>(huge >> (8 * b));
+        }
+        // Must be rejected by the cap *before* any allocation happens.
+        EXPECT_EQ(drive(bytes, parse, what, i), Outcome::kProtocolError)
+            << what << " iteration " << i << ": length " << huge << " accepted";
+        break;
+      }
+      case Mutation::kTrailingGarbage: {
+        const std::size_t junk = 1 + rng.uniform_index(16);
+        for (std::size_t b = 0; b < junk; ++b) {
+          bytes.push_back(static_cast<char>(rng.next_u64() & 0xff));
+        }
+        // The leading frame still parses; the junk behind it must be a
+        // framing error, never a second accepted message.
+        std::istringstream in(bytes);
+        try {
+          EXPECT_TRUE(parse(in)) << what << " iteration " << i;
+          EXPECT_EQ(drive(std::string(bytes, bytes.size() - junk), parse, what, i),
+                    Outcome::kProtocolError)
+              << what << " iteration " << i << ": trailing junk accepted";
+        } catch (const ProtocolError&) {
+          ADD_FAILURE() << what << " iteration " << i
+                        << ": appending junk broke the leading frame";
+        }
+        break;
+      }
+      case Mutation::kCount: break;
+    }
+  }
+  return executed;
+}
+
+TEST(ProtocolFuzz, MutatedRequestFramesNeverCrashOrParseGarbage) {
+  BinaryCodec codec;
+  std::vector<std::string> corpus;
+  for (const Request& request : request_corpus()) {
+    std::ostringstream out;
+    codec.write_request(out, request);
+    corpus.push_back(out.str());
+  }
+  const std::uint64_t executed = fuzz_frames(
+      corpus,
+      [&codec](std::istream& in) { return codec.read_request(in).has_value(); },
+      "request", 6000, 0xfeedu);
+  EXPECT_EQ(executed, 6000u);
+}
+
+TEST(ProtocolFuzz, MutatedResponseFramesNeverCrashOrParseGarbage) {
+  BinaryCodec codec;
+  std::vector<std::string> corpus;
+  for (const Response& response : response_corpus()) {
+    std::ostringstream out;
+    codec.write_response(out, response);
+    corpus.push_back(out.str());
+  }
+  const std::uint64_t executed = fuzz_frames(
+      corpus,
+      [&codec](std::istream& in) { return codec.read_response(in).has_value(); },
+      "response", 6000, 0xbeefu);
+  EXPECT_EQ(executed, 6000u);
+}
+
+// ---------------------------------------------------------------------------
+// The INGRSCKP readers share the wire helpers — fuzz them too.
+
+/// Mutate checkpoint bytes: truncations must throw, arbitrary flips must
+/// either throw std::runtime_error or parse — never crash or allocate
+/// absurdly (the reader caps node counts and edge reserves).
+template <typename ParseFn>
+void fuzz_checkpoint_bytes(const std::string& valid, ParseFn&& parse,
+                           const char* what, std::uint64_t iterations,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    std::string bytes = valid;
+    const bool truncate = rng.bernoulli(0.4);
+    if (truncate) {
+      bytes.resize(static_cast<std::size_t>(rng.uniform_index(bytes.size())));
+    } else {
+      // One to four random bit flips anywhere in the stream.
+      const std::uint64_t flips = 1 + rng.uniform_index(4);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const std::size_t bit =
+            static_cast<std::size_t>(rng.uniform_index(bytes.size() * 8));
+        bytes[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+      }
+    }
+    std::istringstream in(bytes);
+    try {
+      parse(in);
+      EXPECT_FALSE(truncate)
+          << what << " iteration " << i << ": a strict prefix of "
+          << bytes.size() << " bytes parsed as a complete checkpoint";
+    } catch (const std::runtime_error&) {
+      // The documented rejection path (corrupt/truncated payload).
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << what << " iteration " << i
+                    << ": escaped non-runtime_error exception: " << e.what();
+    }
+  }
+}
+
+TEST(ProtocolFuzz, MutatedV1CheckpointsRejectCleanly) {
+  Rng rng(11);
+  SessionCheckpoint ck;
+  ck.g = make_triangulated_grid(4, 4, rng);
+  ck.h = ck.g;
+  ck.counters.batches = 5;
+  ck.counters.inserts_offered = 12;
+  ck.counters.staleness_score = 0.25;
+  std::ostringstream out;
+  write_checkpoint(out, ck);
+  fuzz_checkpoint_bytes(
+      out.str(), [](std::istream& in) { (void)read_checkpoint(in); }, "v1 blob",
+      2000, 0xc0ffeeu);
+}
+
+TEST(ProtocolFuzz, MutatedV2ManifestsRejectCleanly) {
+  Rng rng(13);
+  ShardManifest m;
+  m.shards = 3;
+  m.num_nodes = 9;
+  m.shard_of = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  m.boundary = Graph(9);
+  m.boundary.add_edge(2, 3, 1.0);
+  m.boundary.add_edge(5, 6, 0.5);
+  m.shard_files = {"shard0.bin", "shard1.bin", "shard2.bin"};
+  std::ostringstream out;
+  write_shard_manifest(out, m);
+  fuzz_checkpoint_bytes(
+      out.str(), [](std::istream& in) { (void)read_shard_manifest(in); },
+      "v2 manifest", 2000, 0xdecafu);
+}
+
+}  // namespace
+}  // namespace ingrass::serve

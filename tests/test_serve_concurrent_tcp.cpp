@@ -1,0 +1,451 @@
+// Concurrent multi-client TCP serving: N client threads × M commands
+// against one server, mixed tenants with interleaved apply/solve/
+// checkpoint/close, per-tenant command ordering, no torn binary frames,
+// kappa within budget for every tenant, backpressure (staged cap, queue
+// cap, connection cap) answering with typed Busy responses instead of
+// hangs, and the MSG_PEEK codec auto-detect surviving a client that
+// dribbles the binary magic one byte at a time. These run under the
+// ASan/UBSan and TSan presets in CI.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/mtx_io.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass::serve {
+namespace {
+
+/// Per-process scratch file. ctest runs this binary's cases as separate
+/// concurrent processes, so every artifact (port files, graphs, the
+/// fifo) must be process-unique or cases cross-talk — a client would
+/// rendezvous with another case's server.
+std::string scratch_path(const std::string& name) {
+  static const std::string pid = std::to_string(::getpid());
+  return testing::TempDir() + "/ingrass_ctcp_" + pid + "_" + name;
+}
+
+/// A small connected test graph on disk, shared by every server test.
+const std::string& test_mtx() {
+  static const std::string path = [] {
+    Rng rng(7);
+    const Graph g = make_triangulated_grid(5, 5, rng);
+    const std::string p = scratch_path("grid.mtx");
+    write_mtx_file(p, g);
+    return p;
+  }();
+  return path;
+}
+
+SessionSpec fast_spec() {
+  SessionSpec spec;
+  spec.density = 0.3;
+  spec.target = 100.0;
+  spec.grass_target = 40.0;
+  spec.sync = true;  // deterministic rebuilds
+  return spec;
+}
+
+/// One serve_tcp server on an ephemeral port, shut down by a quit client.
+struct TestServer {
+  explicit TestServer(EngineOptions eopts = {}, TcpOptions topts = {})
+      : engine(eopts) {
+    static std::atomic<int> counter{0};
+    const std::string port_file =
+        scratch_path("port_" + std::to_string(counter.fetch_add(1)) + ".txt");
+    std::remove(port_file.c_str());
+    topts.port_file = port_file;
+    thread = std::thread([this, topts] { serve_tcp(engine, topts); });
+    port = wait_for_port_file(port_file);
+  }
+
+  /// Send a quit on a fresh connection and join the server.
+  void stop() {
+    BinaryCodec codec;
+    TcpClient client(port);
+    codec.write_request(client.out(), req::Quit{});
+    client.out().flush();
+    (void)codec.read_response(client.in());
+    thread.join();
+  }
+
+  /// A test that died before stopping the server must not terminate()
+  /// on the joinable thread member — try the clean quit, detach if the
+  /// server is beyond reach.
+  ~TestServer() {
+    if (!thread.joinable()) return;
+    try {
+      stop();
+    } catch (...) {
+      thread.detach();
+    }
+  }
+
+  Engine engine;
+  std::thread thread;
+  std::uint16_t port = 0;
+};
+
+/// Send one request and read its response over an established client.
+Response roundtrip(BinaryCodec& codec, TcpClient& client, const Request& request) {
+  codec.write_request(client.out(), request);
+  client.out().flush();
+  const auto response = codec.read_response(client.in());
+  if (!response) throw std::runtime_error("server closed the connection");
+  return *response;
+}
+
+// ---------------------------------------------------------------------------
+// Simultaneous progress (the acceptance criterion)
+
+TEST(ServeConcurrentTcp, SecondClientCompletesWhileFirstHoldsItsConnection) {
+  TestServer server;
+  BinaryCodec codec;
+
+  // Client A opens a tenant and then sits on its connection mid-session
+  // without disconnecting. Under the old sequential accept loop this
+  // parked every later client behind A forever.
+  TcpClient a(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, a, req::Open{"a", test_mtx(), fast_spec()})));
+
+  // Client B connects while A is still connected and completes a whole
+  // open → stage → apply → solve session.
+  {
+    TcpClient b(server.port);
+    ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+        roundtrip(codec, b, req::Open{"b", test_mtx(), fast_spec()})));
+    ASSERT_TRUE(std::holds_alternative<resp::Staged>(
+        roundtrip(codec, b, req::Insert{"b", 0, 24, 1.0})));
+    ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+        roundtrip(codec, b, req::Apply{"b"})));
+    const Response solved = roundtrip(codec, b, req::Solve{"b", 0, 24});
+    ASSERT_TRUE(std::holds_alternative<resp::Solved>(solved));
+    EXPECT_GT(std::get<resp::Solved>(solved).resistance, 0.0);
+  }
+
+  // A's connection is still healthy after B's full session.
+  const Response solved = roundtrip(codec, a, req::Solve{"a", 0, 24});
+  ASSERT_TRUE(std::holds_alternative<resp::Solved>(solved));
+  EXPECT_GT(std::get<resp::Solved>(solved).resistance, 0.0);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// N threads × M commands, mixed tenants
+
+TEST(ServeConcurrentTcp, ManyClientsInterleaveApplySolveCheckpointClose) {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 4;
+  TestServer server;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      // (named suffix: GCC 12's -Wrestrict misfires on  "t" + std::to_string(c))
+      const std::string suffix = std::to_string(c);
+      const std::string tenant = "t" + suffix;
+      const std::string ck = scratch_path("ck_" + tenant + ".bin");
+      try {
+        BinaryCodec codec;
+        TcpClient client(server.port);
+        Response r = roundtrip(codec, client, req::Open{tenant, test_mtx(), fast_spec()});
+        ASSERT_TRUE(std::holds_alternative<resp::Opened>(r));
+        std::uint64_t staged_total = 0;
+        for (int round = 0; round < kRounds; ++round) {
+          // Two stages, then apply: the Staged counts prove per-tenant
+          // arrival-order execution (1 then 2, reset by the apply) —
+          // another tenant's traffic must never perturb them.
+          const NodeId u = static_cast<NodeId>((round * 3 + c) % 24);
+          r = roundtrip(codec, client, req::Insert{tenant, u, 24, 1.0});
+          ASSERT_TRUE(std::holds_alternative<resp::Staged>(r));
+          EXPECT_EQ(std::get<resp::Staged>(r).inserts, 1u);
+          r = roundtrip(codec, client, req::Insert{tenant, u, 23, 0.5});
+          ASSERT_TRUE(std::holds_alternative<resp::Staged>(r));
+          EXPECT_EQ(std::get<resp::Staged>(r).inserts, 2u);
+          staged_total += 2;
+          r = roundtrip(codec, client, req::Apply{tenant});
+          ASSERT_TRUE(std::holds_alternative<resp::Applied>(r));
+          if (round % 2 == 0) {
+            r = roundtrip(codec, client, req::Solve{tenant, 0, 24});
+            ASSERT_TRUE(std::holds_alternative<resp::Solved>(r));
+          } else {
+            r = roundtrip(codec, client, req::Checkpoint{tenant, ck});
+            ASSERT_TRUE(std::holds_alternative<resp::Checkpointed>(r));
+          }
+        }
+        // One worker closes and re-opens its tenant mid-battery: close
+        // must serialize with the other commands, and the name frees up.
+        if (c == 0) {
+          r = roundtrip(codec, client, req::Close{tenant});
+          ASSERT_TRUE(std::holds_alternative<resp::Closed>(r));
+          r = roundtrip(codec, client, req::Open{tenant, test_mtx(), fast_spec()});
+          ASSERT_TRUE(std::holds_alternative<resp::Opened>(r));
+          staged_total = 0;
+        }
+        // Per-tenant ordering invariant: exactly the inserts this thread
+        // staged were offered, in order, with nothing lost or duplicated.
+        r = roundtrip(codec, client, req::Metrics{tenant});
+        ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(r));
+        const ServingMetrics m = std::get<resp::MetricsOut>(r).metrics;
+        EXPECT_EQ(m.counters.inserts_offered, staged_total);
+        EXPECT_EQ(m.busy_rejections, 0u);
+        // And the tenant's sparsifier still meets its kappa budget.
+        r = roundtrip(codec, client, req::Kappa{tenant});
+        ASSERT_TRUE(std::holds_alternative<resp::KappaOut>(r));
+        EXPECT_LE(std::get<resp::KappaOut>(r).value,
+                  std::get<resp::KappaOut>(r).target);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "client " << c << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST(ServeConcurrentTcp, SharedTenantTrafficLosesNothing) {
+  constexpr int kClients = 3;
+  constexpr int kRounds = 6;
+  TestServer server;
+
+  // Open the shared tenant first so workers race only on traffic.
+  {
+    BinaryCodec codec;
+    TcpClient opener(server.port);
+    ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+        roundtrip(codec, opener, req::Open{"shared", test_mtx(), fast_spec()})));
+  }
+
+  std::atomic<std::uint64_t> staged_acks{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      try {
+        BinaryCodec codec;
+        TcpClient client(server.port);
+        for (int round = 0; round < kRounds; ++round) {
+          const NodeId u = static_cast<NodeId>((round * kClients + c) % 24);
+          const Response staged =
+              roundtrip(codec, client, req::Insert{"shared", u, 24, 0.5});
+          ASSERT_TRUE(std::holds_alternative<resp::Staged>(staged));
+          staged_acks.fetch_add(1);
+          ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+              roundtrip(codec, client, req::Apply{"shared"})));
+          ASSERT_TRUE(std::holds_alternative<resp::Solved>(
+              roundtrip(codec, client, req::Solve{"shared", 0, 24})));
+        }
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "client " << c << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every acknowledged stage was applied exactly once, whoever's apply
+  // (or flushing read) carried it.
+  BinaryCodec codec;
+  TcpClient reader(server.port);
+  const Response metrics = roundtrip(codec, reader, req::Metrics{"shared"});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.counters.inserts_offered,
+            staged_acks.load());
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+
+TEST(ServeConcurrentTcp, FloodPastStagedCapYieldsBusyNotAHang) {
+  EngineOptions eopts;
+  eopts.max_staged = 8;
+  TestServer server(eopts);
+
+  BinaryCodec codec;
+  TcpClient client(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, client, req::Open{"", test_mtx(), fast_spec()})));
+
+  int staged = 0;
+  int busy = 0;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId u = static_cast<NodeId>(i % 24);
+    const Response r = roundtrip(codec, client, req::Insert{"", u, 24, 1.0});
+    if (std::holds_alternative<resp::Staged>(r)) {
+      ++staged;
+    } else {
+      ASSERT_TRUE(std::holds_alternative<resp::Busy>(r)) << "response " << i;
+      EXPECT_EQ(std::get<resp::Busy>(r).what, "staged");
+      EXPECT_EQ(std::get<resp::Busy>(r).limit, 8u);
+      ++busy;
+    }
+  }
+  EXPECT_EQ(staged, 8);
+  EXPECT_EQ(busy, 12);
+
+  // The flood neither wedged the tenant nor corrupted it: apply drains
+  // the capped batch, the rejection count is visible, and staging works
+  // again afterwards.
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+      roundtrip(codec, client, req::Apply{""})));
+  const Response metrics = roundtrip(codec, client, req::Metrics{""});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  const ServingMetrics m = std::get<resp::MetricsOut>(metrics).metrics;
+  EXPECT_EQ(m.counters.inserts_offered, 8u);
+  EXPECT_EQ(m.busy_rejections, 12u);
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(
+      roundtrip(codec, client, req::Insert{"", 3, 7, 1.0})));
+  server.stop();
+}
+
+TEST(ServeConcurrentTcp, QueueCapRejectsDeterministically) {
+  // Deterministic saturation: the opener blocks inside `open` reading its
+  // graph from a FIFO (holding the tenant's command lock), one helper
+  // queues behind it, and the second helper must be refused — max_queued
+  // is 1, so the executing open plus one waiter is the whole budget.
+  const std::string fifo = scratch_path("open.fifo");
+  std::remove(fifo.c_str());
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+
+  EngineOptions eopts;
+  eopts.max_queued = 1;
+  Engine engine(eopts);
+
+  std::thread opener([&] {
+    const Response r = engine.handle(req::Open{"t", fifo, fast_spec()});
+    EXPECT_TRUE(std::holds_alternative<resp::Opened>(r)) << "open failed";
+  });
+  // The tenant name is registered (and its command lock held) before the
+  // blocking graph read begins.
+  while (engine.tenants().empty()) std::this_thread::yield();
+
+  std::atomic<int> busy_seen{0};
+  std::atomic<int> ok_seen{0};
+  std::vector<std::thread> helpers;
+  for (int h = 0; h < 2; ++h) {
+    helpers.emplace_back([&] {
+      const Response r = engine.handle(req::Metrics{"t"});
+      if (std::holds_alternative<resp::Busy>(r)) {
+        EXPECT_EQ(std::get<resp::Busy>(r).what, "queue");
+        EXPECT_EQ(std::get<resp::Busy>(r).limit, 1u);
+        busy_seen.fetch_add(1);
+      } else if (std::holds_alternative<resp::MetricsOut>(r)) {
+        ok_seen.fetch_add(1);
+      } else {
+        ADD_FAILURE() << "unexpected response index " << r.index();
+      }
+    });
+  }
+  // Exactly one helper overflows the queue; wait for its refusal, then
+  // feed the FIFO so the opener (and the queued helper) complete.
+  while (busy_seen.load() == 0) std::this_thread::yield();
+  {
+    Rng rng(7);
+    write_mtx_file(fifo, make_triangulated_grid(5, 5, rng));
+  }
+  opener.join();
+  for (auto& h : helpers) h.join();
+  EXPECT_EQ(busy_seen.load(), 1);
+  EXPECT_EQ(ok_seen.load(), 1);
+
+  const Response metrics = engine.handle(req::Metrics{"t"});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.busy_rejections, 1u);
+  std::remove(fifo.c_str());
+}
+
+TEST(ServeConcurrentTcp, OverCapConnectionGetsBusyAndCloses) {
+  TcpOptions topts;
+  topts.max_connections = 1;
+  TestServer server(EngineOptions{}, topts);
+
+  BinaryCodec codec;
+  // The first client occupies the only slot.
+  TcpClient first(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, first, req::Open{"", test_mtx(), fast_spec()})));
+
+  {
+    // The second client gets exactly one typed Busy response — in its own
+    // codec — and then end-of-stream, not a hang.
+    TcpClient second(server.port);
+    codec.write_request(second.out(), req::Metrics{""});
+    second.out().flush();
+    const auto r = codec.read_response(second.in());
+    ASSERT_TRUE(r.has_value());
+    ASSERT_TRUE(std::holds_alternative<resp::Busy>(*r));
+    EXPECT_EQ(std::get<resp::Busy>(*r).what, "connections");
+    EXPECT_EQ(std::get<resp::Busy>(*r).limit, 1u);
+    EXPECT_FALSE(codec.read_response(second.in()).has_value());
+  }
+
+  // The occupant is unaffected and can quit the server itself.
+  codec.write_request(first.out(), req::Quit{});
+  first.out().flush();
+  const auto bye = codec.read_response(first.in());
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_TRUE(std::holds_alternative<resp::Bye>(*bye));
+  server.thread.join();
+}
+
+// ---------------------------------------------------------------------------
+// Codec auto-detect for slow clients
+
+TEST(ServeConcurrentTcp, DribbledBinaryMagicIsNotMisclassifiedAsText) {
+  TestServer server;
+  TcpClient client(server.port);
+
+  // Encode one binary request and send its first bytes one at a time with
+  // real gaps — the frame magic arrives across four packets. The peek
+  // must wait for the full prefix instead of reading a 1-byte peek as "not
+  // binary" and routing the connection to the text codec.
+  BinaryCodec codec;
+  std::ostringstream encoded;
+  codec.write_request(encoded, req::Metrics{""});
+  const std::string bytes = encoded.str();
+  ASSERT_GE(bytes.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    client.out().put(bytes[i]);
+    client.out().flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  client.out().write(bytes.data() + 4, static_cast<std::streamsize>(bytes.size() - 4));
+  client.out().flush();
+
+  // A binary-framed response proves the codec detection: had the server
+  // fallen back to text, this read would fail on the text error line.
+  const auto response = codec.read_response(client.in());
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(std::holds_alternative<resp::Error>(*response));
+  EXPECT_EQ(std::get<resp::Error>(*response).message,
+            "no session (use open or restore)");
+
+  codec.write_request(client.out(), req::Quit{});
+  client.out().flush();
+  ASSERT_TRUE(std::holds_alternative<resp::Bye>(*codec.read_response(client.in())));
+  server.thread.join();
+}
+
+}  // namespace
+}  // namespace ingrass::serve

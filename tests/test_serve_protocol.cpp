@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,8 +30,11 @@ namespace {
 // ---------------------------------------------------------------------------
 // Fixtures
 
+/// Per-process scratch file: ctest runs this binary's cases as separate
+/// concurrent processes, which must not share ports or graph files.
 std::string scratch_path(const std::string& name) {
-  return testing::TempDir() + "/ingrass_proto_" + name;
+  static const std::string pid = std::to_string(::getpid());
+  return testing::TempDir() + "/ingrass_proto_" + pid + "_" + name;
 }
 
 /// A small connected test graph on disk, shared by the Engine tests.
@@ -108,6 +113,7 @@ std::vector<Response> all_responses() {
   plain.counters.batches = 3;
   plain.counters.inserts_offered = 11;
   plain.counters.solves = 2;
+  plain.busy_rejections = 4;
 
   ServingMetrics sharded = plain;
   sharded.sharded = true;
@@ -136,6 +142,7 @@ std::vector<Response> all_responses() {
       resp::AutosaveOut{"auto.bin", 8},
       resp::Closed{"tenant-x"},
       resp::Bye{},
+      resp::Busy{"staged", 1024},
   };
 }
 
@@ -203,6 +210,31 @@ TEST(TextCodec, ResponseReEncodeIsStable) {
     codec.write_response(second, *decoded);
     EXPECT_EQ(first.str(), second.str());
   }
+}
+
+TEST(TextCodec, BusyResponseLineRoundTrips) {
+  // The backpressure refusal is typed, not an err line: `busy <what>
+  // limit=<N>` in the text grammar.
+  TextCodec codec;
+  std::stringstream wire;
+  codec.write_response(wire, resp::Busy{"queue", 32});
+  EXPECT_EQ(wire.str(), "busy queue limit=32\n");
+  const auto back = codec.read_response(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, Response(resp::Busy{"queue", 32}));
+}
+
+TEST(TextCodec, MetricsLineCarriesBusyRejections) {
+  TextCodec codec;
+  ServingMetrics m;
+  m.nodes = 5;
+  m.busy_rejections = 7;
+  std::stringstream wire;
+  codec.write_response(wire, resp::MetricsOut{m});
+  EXPECT_NE(wire.str().find(" busy_rejected=7"), std::string::npos) << wire.str();
+  const auto back = codec.read_response(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<resp::MetricsOut>(*back).metrics.busy_rejections, 7u);
 }
 
 TEST(TextCodec, ParsesCommentsBlanksAndTenantPrefixes) {
