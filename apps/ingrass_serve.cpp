@@ -15,6 +15,7 @@
 //   ingrass_serve --binary
 //       Same loop, but stdin/stdout carry length-prefixed binary frames.
 //   ingrass_serve --listen <port> [--port-file <path>] [--max-connections <N>]
+//                 [--event-loop]
 //       TCP server: concurrent connections (one thread each, up to
 //       --max-connections; excess accepts get a `busy` response and
 //       close), one shared thread-safe Engine, so named tenants persist
@@ -23,7 +24,10 @@
 //       publishes the bound port (written atomically) for drivers that
 //       asked for one. Each connection auto-selects text or binary by its
 //       first bytes. A `quit` from any client stops the server (all
-//       connection threads are joined first).
+//       connection threads are joined first). With --event-loop the same
+//       contract is served by the epoll readiness loop (non-blocking
+//       sockets, a small worker pool) instead of a thread per connection —
+//       the mode for mostly-idle fleets past the practical thread count.
 //   ingrass_serve --connect <port> [--script <file>]... [--text]
 //   ingrass_serve --connect-port-file <path> [--script <file>]... [--text]
 //       Client: read text commands (from each --script in order, or
@@ -61,6 +65,7 @@ int usage() {
       "  ingrass_serve                                  text protocol on stdin/stdout\n"
       "  ingrass_serve --binary                         binary frames on stdin/stdout\n"
       "  ingrass_serve --listen <port> [--port-file <path>] [--max-connections <N>]\n"
+      "                [--event-loop]\n"
       "  ingrass_serve --connect <port> [--script <file>]... [--text]\n"
       "  ingrass_serve --connect-port-file <path> [--script <file>]... [--text]\n"
       "commands are read per connection; see docs/serve_protocol.md\n");
@@ -72,6 +77,7 @@ struct Args {
   std::optional<long> listen_port;
   std::string port_file;
   std::optional<long> max_connections;
+  bool event_loop = false;
   std::optional<long> connect_port;
   std::string connect_port_file;
   std::vector<std::string> scripts;
@@ -108,6 +114,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const auto n = parse_full_long(*v);
       if (!n || *n < 1 || *n > std::numeric_limits<int>::max()) return std::nullopt;
       a.max_connections = *n;
+    } else if (flag == "--event-loop") {
+      a.event_loop = true;
     } else if (flag == "--connect") {
       a.connect_port = port_value();
       if (!a.connect_port) return std::nullopt;
@@ -135,6 +143,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
   if (server_tcp && a.stdio_binary) return std::nullopt;
   if (!server_tcp && !a.port_file.empty()) return std::nullopt;
   if (!server_tcp && a.max_connections) return std::nullopt;
+  if (!server_tcp && a.event_loop) return std::nullopt;
   if (!client && (a.client_text || !a.scripts.empty())) return std::nullopt;
   return a;
 }
@@ -203,6 +212,7 @@ int main(int argc, char** argv) {
       if (args->max_connections) {
         opts.max_connections = static_cast<int>(*args->max_connections);
       }
+      opts.event_loop = args->event_loop;
       serve_tcp(engine, opts);
       return 0;
     }

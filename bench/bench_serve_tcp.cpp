@@ -1,25 +1,43 @@
 // Multi-client TCP serving bench: aggregate command throughput through
-// one `serve_tcp` server as the client count grows — the concurrency
-// story of the serving layer, beyond bench_session's in-process numbers.
+// one `serve_tcp` server — the concurrency story of the serving layer,
+// beyond bench_session's in-process numbers — in both transports
+// (thread-per-connection and the --event-loop epoll reactor).
 //
-// For each client count C in {1, 4, 16}: start a server on an ephemeral
-// port with one shared thread-safe Engine, connect C clients on C
-// threads, each driving its own tenant (so per-tenant command locks never
-// contend) through rounds of stage → apply → solve over the binary
-// codec, and report aggregate commands per wall-clock second.
+// Two shapes:
 //
-// Shape to demonstrate (on a multi-core host): aggregate throughput
-// scales with C until cores saturate — ≥2x at 4 clients vs 1 — because
-// connections are served on independent threads and tenants only
-// serialize against themselves. On a single core the aggregate holds
-// roughly flat instead of degrading, which is still the point: one slow
-// client no longer convoys the rest.
+//   bench_serve_tcp [--rounds R] [--clients C] [--json <path>]
+//       Scaling mode. For each client count (default {1, 4, 16}; --clients
+//       pins one): C clients on C threads, each driving its own tenant
+//       through rounds of stage → stage → apply → solve over the binary
+//       codec; report aggregate commands per wall-clock second. Runs the
+//       event loop first, then thread-per-connection, unless pinned with
+//       --event-loop / --threads.
+//
+//   bench_serve_tcp --clients N --idle-frac F [--rounds R] [--json <path>]
+//       Mostly-idle fleet mode — the event loop's reason to exist. N
+//       connections are opened and held; only max(1, N*(1-F)) of them
+//       actively issue commands. Reports connect time, active aggregate
+//       throughput, and the peak resident set sampled over the mode, so
+//       the per-connection cost of a parked thread (stack + arena) vs a
+//       parked epoll registration (one small struct) shows up as numbers.
+//       The event-loop mode runs first so thread-mode allocations cannot
+//       pollute its RSS sample.
+//
+// --json writes the machine-readable snapshot (schema ingrass-bench/1)
+// consumed by tools/bench_diff.py.
 //
 // Honors INGRASS_BENCH_SEED (workload seed, default 2024).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -35,10 +53,9 @@
 #include "util/timer.hpp"
 
 using namespace ingrass;
+using namespace ingrass::bench;
 
 namespace {
-
-constexpr int kRounds = 30;  // stage+stage+apply+solve cycles per client
 
 struct RunResult {
   double seconds = 0.0;
@@ -55,13 +72,52 @@ serve::SessionSpec client_spec() {
   return spec;
 }
 
-/// One client's whole session: open a private tenant, then kRounds of
-/// stage → stage → apply → solve. Returns the number of commands issued.
-std::uint64_t drive_client(std::uint16_t port, const std::string& tenant,
+/// Samples /proc/self/statm on a background thread and keeps the peak
+/// resident set seen between construction and stop(). Peak-per-phase
+/// (unlike VmHWM, which is monotone over the whole process) is what lets
+/// one process compare two transport modes back to back.
+class RssSampler {
+ public:
+  RssSampler() : thread_([this] { loop(); }) {}
+  ~RssSampler() {
+    if (thread_.joinable()) (void)stop_peak_mb();
+  }
+  /// Stop sampling and return the peak resident set in MiB.
+  double stop_peak_mb() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return static_cast<double>(peak_pages_) * static_cast<double>(page) /
+           (1024.0 * 1024.0);
+  }
+
+ private:
+  static long resident_pages() {
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (!f) return 0;
+    long size = 0, resident = 0;
+    const int got = std::fscanf(f, "%ld %ld", &size, &resident);
+    std::fclose(f);
+    return got == 2 ? resident : 0;
+  }
+  void loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      peak_pages_ = std::max(peak_pages_, resident_pages());
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    peak_pages_ = std::max(peak_pages_, resident_pages());
+  }
+  std::atomic<bool> stop_{false};
+  long peak_pages_ = 0;
+  std::thread thread_;
+};
+
+/// Rounds of stage → stage → apply → solve on an already-open connection.
+/// Returns the number of commands issued (each awaited before the next).
+std::uint64_t drive_rounds(serve::TcpClient& client, const std::string& tenant,
                            const std::string& mtx, NodeId nodes,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, int rounds) {
   serve::BinaryCodec codec;
-  serve::TcpClient client(port);
   Rng rng(seed);
   std::uint64_t commands = 0;
   const auto call = [&](const serve::Request& request) {
@@ -72,7 +128,7 @@ std::uint64_t drive_client(std::uint16_t port, const std::string& tenant,
     ++commands;
   };
   call(serve::req::Open{tenant, mtx, client_spec()});
-  for (int round = 0; round < kRounds; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     const auto u = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(nodes)));
     const auto v = static_cast<NodeId>((u + 1 + rng.uniform_index(
                                                     static_cast<std::uint64_t>(nodes - 1))) %
@@ -85,14 +141,37 @@ std::uint64_t drive_client(std::uint16_t port, const std::string& tenant,
   return commands;
 }
 
-RunResult run_clients(int count, const std::string& mtx, NodeId nodes,
-                      std::uint64_t seed) {
-  serve::Engine engine;
+serve::TcpOptions server_options(bool event_loop, int max_connections,
+                                 const std::string& port_file) {
   serve::TcpOptions opts;
-  opts.max_connections = count + 1;  // the quit client needs a slot too
+  opts.event_loop = event_loop;
+  opts.max_connections = max_connections;
+  opts.port_file = port_file;
+  // A fleet connecting in a tight loop can outrun accept; with the default
+  // 8-deep queue the kernel drops SYNs and each drop costs the client a
+  // ~1s retransmit. Size the queue for the burst (the kernel caps it at
+  // net.core.somaxconn).
+  opts.backlog = std::max(opts.backlog, max_connections);
+  return opts;
+}
+
+void stop_server(std::uint16_t port, std::thread& server) {
+  serve::BinaryCodec codec;
+  serve::TcpClient quitter(port);
+  codec.write_request(quitter.out(), serve::req::Quit{});
+  quitter.out().flush();
+  (void)codec.read_response(quitter.in());
+  server.join();
+}
+
+/// Scaling mode: `count` clients, each on its own thread and tenant, all
+/// driving rounds concurrently over fresh connections.
+RunResult run_clients(bool event_loop, int count, int rounds,
+                      const std::string& mtx, NodeId nodes, std::uint64_t seed) {
+  serve::Engine engine;
   const std::string port_file = "bench_serve_tcp.port";
   std::remove(port_file.c_str());
-  opts.port_file = port_file;
+  const auto opts = server_options(event_loop, count + 1, port_file);
   std::thread server([&] { serve_tcp(engine, opts); });
   const std::uint16_t port = serve::wait_for_port_file(port_file);
 
@@ -104,8 +183,9 @@ RunResult run_clients(int count, const std::string& mtx, NodeId nodes,
     clients.emplace_back([&, c] {
       // (named suffix: GCC 12's -Wrestrict misfires on "t" + std::to_string(c))
       const std::string suffix = std::to_string(c);
-      commands.fetch_add(
-          drive_client(port, "t" + suffix, mtx, nodes, seed + 7u * static_cast<unsigned>(c)));
+      serve::TcpClient client(port);
+      commands.fetch_add(drive_rounds(client, "t" + suffix, mtx, nodes,
+                                      seed + 7u * static_cast<unsigned>(c), rounds));
     });
   }
   for (auto& c : clients) c.join();
@@ -113,39 +193,197 @@ RunResult run_clients(int count, const std::string& mtx, NodeId nodes,
   result.seconds = timer.seconds();
   result.commands = commands.load();
 
-  serve::BinaryCodec codec;
-  serve::TcpClient quitter(port);
-  codec.write_request(quitter.out(), serve::req::Quit{});
-  quitter.out().flush();
-  (void)codec.read_response(quitter.in());
-  server.join();
+  stop_server(port, server);
   std::remove(port_file.c_str());
   return result;
 }
 
+struct IdleResult {
+  double connect_seconds = 0.0;
+  RunResult active;          // the driven subset only
+  double peak_rss_mb = 0.0;  // sampled over connect + drive
+};
+
+/// Mostly-idle fleet mode: open `count` connections, keep them all alive,
+/// drive commands through only the non-idle subset.
+IdleResult run_idle_fleet(bool event_loop, int count, double idle_frac,
+                          int rounds, const std::string& mtx, NodeId nodes,
+                          std::uint64_t seed) {
+  serve::Engine engine;
+  const std::string port_file = "bench_serve_tcp.port";
+  std::remove(port_file.c_str());
+  const auto opts = server_options(event_loop, count + 1, port_file);
+
+  IdleResult result;
+  RssSampler rss;
+  std::thread server([&] { serve_tcp(engine, opts); });
+  const std::uint16_t port = serve::wait_for_port_file(port_file);
+
+  // Connect the whole fleet. Idle connections send no bytes at all — the
+  // worst case for per-connection cost, since the server cannot even tell
+  // the codec yet and must simply hold the connection open.
+  std::vector<std::unique_ptr<serve::TcpClient>> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  {
+    Timer connect_timer;
+    for (int c = 0; c < count; ++c) {
+      fleet.push_back(std::make_unique<serve::TcpClient>(port));
+    }
+    result.connect_seconds = connect_timer.seconds();
+  }
+
+  const int active =
+      std::max(1, static_cast<int>(std::llround(count * (1.0 - idle_frac))));
+  std::atomic<std::uint64_t> commands{0};
+  Timer timer;
+  std::vector<std::thread> drivers;
+  drivers.reserve(static_cast<std::size_t>(active));
+  for (int c = 0; c < active; ++c) {
+    drivers.emplace_back([&, c] {
+      const std::string suffix = std::to_string(c);
+      commands.fetch_add(drive_rounds(*fleet[static_cast<std::size_t>(c)],
+                                      "t" + suffix, mtx, nodes,
+                                      seed + 7u * static_cast<unsigned>(c), rounds));
+    });
+  }
+  for (auto& d : drivers) d.join();
+  result.active.seconds = timer.seconds();
+  result.active.commands = commands.load();
+  result.peak_rss_mb = rss.stop_peak_mb();
+
+  fleet.clear();  // close everything before quit so connection threads drain
+  stop_server(port, server);
+  std::remove(port_file.c_str());
+  return result;
+}
+
+const char* mode_name(bool event_loop) { return event_loop ? "event" : "thread"; }
+
+struct Cli {
+  std::optional<std::string> json_path;
+  std::vector<int> counts{1, 4, 16};
+  double idle_frac = 0.0;  // > 0 switches to idle-fleet mode
+  int rounds = 30;
+  std::vector<bool> modes{true, false};  // event loop first, by design
+};
+
+std::optional<Cli> parse_cli(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Cli cli;
+  bool clients_given = false;
+  try {
+    cli.json_path = consume_flag_value(args, "--json");
+    if (const auto v = consume_flag_value(args, "--clients")) {
+      const int n = std::atoi(v->c_str());
+      if (n < 1) throw std::runtime_error("--clients must be >= 1");
+      cli.counts = {n};
+      clients_given = true;
+    }
+    if (const auto v = consume_flag_value(args, "--idle-frac")) {
+      cli.idle_frac = std::atof(v->c_str());
+      if (cli.idle_frac < 0.0 || cli.idle_frac >= 1.0) {
+        throw std::runtime_error("--idle-frac must be in [0, 1)");
+      }
+      if (!clients_given) {
+        throw std::runtime_error("--idle-frac requires --clients");
+      }
+    }
+    if (const auto v = consume_flag_value(args, "--rounds")) {
+      cli.rounds = std::atoi(v->c_str());
+      if (cli.rounds < 1) throw std::runtime_error("--rounds must be >= 1");
+    }
+    const bool only_event = consume_flag(args, "--event-loop");
+    const bool only_threads = consume_flag(args, "--threads");
+    if (only_event && only_threads) {
+      throw std::runtime_error("--event-loop and --threads are exclusive");
+    }
+    if (only_event) cli.modes = {true};
+    if (only_threads) cli.modes = {false};
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve_tcp: %s\n", e.what());
+    return std::nullopt;
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_serve_tcp [--clients N] [--idle-frac F] [--rounds R]\n"
+                 "                       [--event-loop | --threads] [--json <path>]\n");
+    return std::nullopt;
+  }
+  return cli;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = parse_cli(argc, argv);
+  if (!cli) return 1;
+
   const std::uint64_t seed = static_cast<std::uint64_t>(env_long("INGRASS_BENCH_SEED", 2024));
   Rng rng(seed);
   const Graph g = make_triangulated_grid(24, 24, rng);
   const std::string mtx = "bench_serve_tcp_grid.mtx";
   write_mtx_file(mtx, g);
   const NodeId nodes = g.num_nodes();
+  JsonReporter json;
 
-  std::printf("bench_serve_tcp: %d-node grid, %d rounds/client, seed %llu\n",
-              nodes, kRounds, static_cast<unsigned long long>(seed));
-  std::printf("%8s %12s %12s %12s %10s\n", "clients", "commands", "seconds",
-              "cmd/s", "vs 1");
-  double base = 0.0;
-  for (const int count : {1, 4, 16}) {
-    const RunResult r = run_clients(count, mtx, nodes, seed);
-    if (count == 1) base = r.commands_per_sec();
-    std::printf("%8d %12llu %12.3f %12.0f %9.2fx\n", count,
-                static_cast<unsigned long long>(r.commands), r.seconds,
-                r.commands_per_sec(),
-                base > 0 ? r.commands_per_sec() / base : 0.0);
+  if (cli->idle_frac > 0.0) {
+    const int count = cli->counts.front();
+    std::printf("bench_serve_tcp: mostly-idle fleet, %d connections, idle-frac %.2f,\n"
+                "                 %d rounds/active-client, %d-node grid, seed %llu\n",
+                count, cli->idle_frac, cli->rounds, nodes,
+                static_cast<unsigned long long>(seed));
+    std::printf("%8s %10s %12s %12s %12s %12s\n", "mode", "connect s", "commands",
+                "drive s", "cmd/s", "peak RSS MB");
+    for (const bool event_loop : cli->modes) {
+      const IdleResult r = run_idle_fleet(event_loop, count, cli->idle_frac,
+                                          cli->rounds, mtx, nodes, seed);
+      std::printf("%8s %10.3f %12llu %12.3f %12.0f %12.1f\n", mode_name(event_loop),
+                  r.connect_seconds,
+                  static_cast<unsigned long long>(r.active.commands),
+                  r.active.seconds, r.active.commands_per_sec(), r.peak_rss_mb);
+      BenchRecord rec;
+      rec.name = "serve_tcp.idle_fleet";
+      rec.params = {{"mode", mode_name(event_loop)},
+                    {"clients", std::to_string(count)},
+                    {"idle_frac", std::to_string(cli->idle_frac)},
+                    {"rounds", std::to_string(cli->rounds)}};
+      rec.median_seconds = r.active.seconds;
+      rec.throughput = r.active.commands_per_sec();
+      rec.throughput_unit = "commands/s";
+      rec.metrics = {{"peak_rss_mb", r.peak_rss_mb},
+                     {"connect_seconds", r.connect_seconds},
+                     {"commands", static_cast<double>(r.active.commands)}};
+      json.add(std::move(rec));
+    }
+  } else {
+    std::printf("bench_serve_tcp: %d-node grid, %d rounds/client, seed %llu\n",
+                nodes, cli->rounds, static_cast<unsigned long long>(seed));
+    std::printf("%8s %8s %12s %12s %12s %10s\n", "mode", "clients", "commands",
+                "seconds", "cmd/s", "vs 1");
+    for (const bool event_loop : cli->modes) {
+      double base = 0.0;
+      for (const int count : cli->counts) {
+        const RunResult r = run_clients(event_loop, count, cli->rounds, mtx, nodes, seed);
+        if (base == 0.0) base = r.commands_per_sec();
+        std::printf("%8s %8d %12llu %12.3f %12.0f %9.2fx\n", mode_name(event_loop),
+                    count, static_cast<unsigned long long>(r.commands), r.seconds,
+                    r.commands_per_sec(),
+                    base > 0 ? r.commands_per_sec() / base : 0.0);
+        BenchRecord rec;
+        rec.name = "serve_tcp.aggregate";
+        rec.params = {{"mode", mode_name(event_loop)},
+                      {"clients", std::to_string(count)},
+                      {"rounds", std::to_string(cli->rounds)}};
+        rec.median_seconds = r.seconds;
+        rec.throughput = r.commands_per_sec();
+        rec.throughput_unit = "commands/s";
+        rec.metrics = {{"commands", static_cast<double>(r.commands)}};
+        json.add(std::move(rec));
+      }
+    }
   }
+
   std::remove(mtx.c_str());
+  if (cli->json_path) json.write(*cli->json_path);
   return 0;
 }

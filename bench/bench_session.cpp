@@ -25,8 +25,10 @@
 // Honors INGRASS_BENCH_SCALE / INGRASS_BENCH_CASES / INGRASS_BENCH_SEED.
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,7 @@ using namespace ingrass::bench;
 namespace {
 
 struct RunResult {
+  double seconds = 0.0;       // wall time for the whole traffic replay
   double ops_per_sec = 0.0;   // updates + solves per wall-clock second
   double solve_seconds = 0.0; // total time inside solve()
   std::uint64_t rebuilds = 0;
@@ -111,6 +114,7 @@ RunResult run_policy(const Graph& g0, const std::vector<UpdateBatch>& batches,
   const double seconds = wall.seconds();
 
   RunResult r;
+  r.seconds = seconds;
   r.ops_per_sec = seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
   r.solve_seconds = solve_seconds;
   r.rebuilds = session.metrics().counters.rebuilds;
@@ -152,13 +156,30 @@ RunResult run_sharded(const Graph& g0, const std::vector<UpdateBatch>& batches,
   const double seconds = wall.seconds();
 
   RunResult r;
+  r.seconds = seconds;
   r.ops_per_sec = seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
   r.solve_seconds = solve_seconds;
   r.rebuilds = session.metrics().counters.rebuilds;
   return r;
 }
 
-int run_sharded_bench(int shards) {
+/// The JSON record shared by every policy/shard run of one case.
+BenchRecord session_record(const std::string& case_name, const std::string& mode,
+                           NodeId nodes, const RunResult& r) {
+  BenchRecord rec;
+  rec.name = "session.throughput";
+  rec.params = {{"case", case_name}, {"mode", mode}};
+  rec.reps = 1;
+  rec.median_seconds = r.seconds;
+  rec.throughput = r.ops_per_sec;
+  rec.throughput_unit = "ops/s";
+  rec.metrics = {{"solve_seconds", r.solve_seconds},
+                 {"rebuilds", static_cast<double>(r.rebuilds)},
+                 {"nodes", static_cast<double>(nodes)}};
+  return rec;
+}
+
+int run_sharded_bench(int shards, JsonReporter* json) {
   std::cout << "=== Sharded session serving: " << shards
             << " shard(s) behind the dispatcher ===\n"
             << "    (async rebuilds; compare ops/s across --shards values)\n\n";
@@ -171,6 +192,10 @@ int run_sharded_bench(int shards) {
     const RunResult r = run_sharded(g0, batches, shards);
     table.add_row({name, format_count(g0.num_nodes()), format_fixed(r.ops_per_sec, 0),
                    format_fixed(r.solve_seconds, 2), std::to_string(r.rebuilds)});
+    if (json) {
+      json->add(session_record(name, "sharded" + std::to_string(shards),
+                               g0.num_nodes(), r));
+    }
     std::cerr << "done: " << name << "\n";
   }
   table.print(std::cout);
@@ -183,20 +208,30 @@ int run_sharded_bench(int shards) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
   int shards = 0;  // 0 = the classic three-policy single-session bench
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-      shards = std::atoi(argv[++i]);
-      if (shards < 1) {
-        std::fprintf(stderr, "--shards must be >= 1\n");
-        return 1;
-      }
-    } else {
-      std::fprintf(stderr, "usage: bench_session [--shards K]\n");
-      return 1;
+  std::optional<std::string> json_path;
+  try {
+    json_path = consume_flag_value(args, "--json");
+    if (const auto v = consume_flag_value(args, "--shards")) {
+      shards = std::atoi(v->c_str());
+      if (shards < 1) throw std::runtime_error("--shards must be >= 1");
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_session: %s\n", e.what());
+    return 1;
   }
-  if (shards > 0) return run_sharded_bench(shards);
+  if (!args.empty()) {
+    std::fprintf(stderr, "usage: bench_session [--shards K] [--json <path>]\n");
+    return 1;
+  }
+  JsonReporter json;
+  JsonReporter* reporter = json_path ? &json : nullptr;
+  if (shards > 0) {
+    const int rc = run_sharded_bench(shards, reporter);
+    if (rc == 0 && json_path) json.write(*json_path);
+    return rc;
+  }
 
   std::cout << "=== Session serving: sustained updates+solves throughput ===\n"
             << "    (rebuild policy comparison; higher ops/s is better)\n\n";
@@ -221,11 +256,17 @@ int main(int argc, char** argv) {
                                 2) +
                        " x",
                    std::to_string(sync.rebuilds), std::to_string(async.rebuilds)});
+    if (reporter) {
+      reporter->add(session_record(name, "never", g0.num_nodes(), never));
+      reporter->add(session_record(name, "sync", g0.num_nodes(), sync));
+      reporter->add(session_record(name, "async", g0.num_nodes(), async));
+    }
     std::cerr << "done: " << name << "\n";
   }
   table.print(std::cout);
   std::cout << "\nBackground rebuilds keep the apply/solve loop running while the\n"
                "shadow re-sparsifies; synchronous rebuilds stall the stream for\n"
                "every GRASS + setup pass.\n";
+  if (json_path) json.write(*json_path);
   return 0;
 }

@@ -1,6 +1,11 @@
 #include "common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/ingrass.hpp"
 #include "sparsify/density.hpp"
@@ -125,6 +130,133 @@ ProtocolResult run_incremental_protocol(const std::string& name, const Graph& g0
   }
 
   return out;
+}
+
+// --- machine-readable snapshots ---------------------------------------------
+
+SampleStats summarize_samples(std::vector<double> samples) {
+  SampleStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  out.median = (n % 2 == 1) ? samples[n / 2]
+                            : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  if (n >= 2) {
+    double mean = 0.0;
+    for (double s : samples) mean += s;
+    mean /= static_cast<double>(n);
+    double ss = 0.0;
+    for (double s : samples) ss += (s - mean) * (s - mean);
+    out.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; clamp rather than corrupt
+    out += "0";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonReporter::add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+void JsonReporter::write(const std::string& path) const {
+  std::string doc = "{\n  \"schema\": \"ingrass-bench/1\",\n  \"benchmarks\": [";
+  bool first = true;
+  for (const BenchRecord& r : records_) {
+    doc += first ? "\n" : ",\n";
+    first = false;
+    doc += "    {\n      \"name\": ";
+    append_json_string(doc, r.name);
+    doc += ",\n      \"params\": {";
+    for (std::size_t i = 0; i < r.params.size(); ++i) {
+      doc += i ? ", " : "";
+      append_json_string(doc, r.params[i].first);
+      doc += ": ";
+      append_json_string(doc, r.params[i].second);
+    }
+    doc += "},\n      \"reps\": " + std::to_string(r.reps);
+    doc += ",\n      \"median_seconds\": ";
+    append_json_number(doc, r.median_seconds);
+    doc += ",\n      \"stddev_seconds\": ";
+    append_json_number(doc, r.stddev_seconds);
+    if (r.throughput > 0.0) {
+      doc += ",\n      \"throughput\": ";
+      append_json_number(doc, r.throughput);
+      doc += ",\n      \"throughput_unit\": ";
+      append_json_string(doc, r.throughput_unit);
+    }
+    if (!r.metrics.empty()) {
+      doc += ",\n      \"metrics\": {";
+      for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+        doc += i ? ", " : "";
+        append_json_string(doc, r.metrics[i].first);
+        doc += ": ";
+        append_json_number(doc, r.metrics[i].second);
+      }
+      doc += "}";
+    }
+    doc += "\n    }";
+  }
+  doc += "\n  ]\n}\n";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out || !(out << doc) || !out.flush()) {
+    throw std::runtime_error("cannot write bench snapshot: " + path);
+  }
+}
+
+std::optional<std::string> consume_flag_value(std::vector<std::string>& args,
+                                              const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      throw std::runtime_error(flag + " requires a value");
+    }
+    std::string value = args[i + 1];
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return value;
+  }
+  return std::nullopt;
+}
+
+bool consume_flag(std::vector<std::string>& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
 }
 
 }  // namespace ingrass::bench

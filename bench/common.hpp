@@ -8,7 +8,9 @@
 //                         (default: binary-specific, usually all 14)
 //   INGRASS_BENCH_SEED    workload seed (default 2024)
 
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/edge_stream.hpp"
@@ -68,5 +70,60 @@ struct ProtocolResult {
 [[nodiscard]] ProtocolResult run_incremental_protocol(const std::string& name,
                                                       const Graph& g0,
                                                       const ProtocolOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark snapshots (--json)
+//
+// Every bench binary can emit its measurements as a BENCH_*.json document
+// so speed claims become diffable artifacts: tools/bench_diff.py compares
+// two snapshots and fails CI past a noise band. Human-readable tables on
+// stdout are unchanged; --json is additive.
+
+/// One benchmark measurement. `name` plus the sorted `params` identify a
+/// record across snapshots (bench_diff matches on both), so params must
+/// hold everything that affects the number: case name, client count,
+/// transport mode, ...
+struct BenchRecord {
+  std::string name;  ///< e.g. "serve_tcp.aggregate"
+  /// Identifying parameters, emitted in the given order.
+  std::vector<std::pair<std::string, std::string>> params;
+  int reps = 1;                  ///< timing repetitions behind the stats
+  double median_seconds = 0.0;   ///< median wall time across reps
+  double stddev_seconds = 0.0;   ///< sample stddev across reps (0 if reps==1)
+  double throughput = 0.0;       ///< ops per second (0 = not applicable)
+  std::string throughput_unit;   ///< e.g. "commands/s" (when throughput set)
+  /// Additional numeric facts worth tracking (peak_rss_mb, speedup, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Median and sample standard deviation of wall-time samples.
+struct SampleStats {
+  double median = 0.0;
+  double stddev = 0.0;
+};
+[[nodiscard]] SampleStats summarize_samples(std::vector<double> samples);
+
+/// Collects BenchRecords and writes the snapshot document (schema
+/// "ingrass-bench/1") consumed by tools/bench_diff.py.
+class JsonReporter {
+ public:
+  void add(BenchRecord record);
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  /// Write the document; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Consume `--flag <value>` from an argv-style vector: returns the value
+/// and erases both tokens, nullopt when the flag is absent; throws
+/// std::runtime_error when the flag is present without a value. The shared
+/// parser behind every bench binary's --json (and friends).
+[[nodiscard]] std::optional<std::string> consume_flag_value(
+    std::vector<std::string>& args, const std::string& flag);
+
+/// Consume a bare `--flag`: true (and erased) when present.
+[[nodiscard]] bool consume_flag(std::vector<std::string>& args, const std::string& flag);
 
 }  // namespace ingrass::bench

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -254,25 +255,35 @@ Request parse_command(const std::vector<std::string>& args, std::string name) {
   bad_line("unknown command: " + cmd);
 }
 
+/// Parse one text-protocol line into a Request: comment strip, tokenize,
+/// `@tenant` prefix, then the command grammar. nullopt for a line that is
+/// blank after comment stripping. The single entry point for both the
+/// blocking TextCodec and the incremental FrameAssembler, so the grammar
+/// cannot drift between transports.
+std::optional<Request> parse_text_request_line(std::string line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  std::istringstream ss(line);
+  std::vector<std::string> args;
+  for (std::string tok; ss >> tok;) args.push_back(std::move(tok));
+  if (args.empty()) return std::nullopt;
+  std::string name;
+  if (args[0].size() >= 1 && args[0][0] == '@') {
+    name = args[0].substr(1);
+    if (name.empty()) bad_line("empty tenant name");
+    args.erase(args.begin());
+    if (args.empty()) bad_line("missing command after '@" + name + "'");
+  }
+  return parse_command(args, std::move(name));
+}
+
 }  // namespace
 
 std::optional<Request> TextCodec::read_request(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ss(line);
-    std::vector<std::string> args;
-    for (std::string tok; ss >> tok;) args.push_back(std::move(tok));
-    if (args.empty()) continue;
-    std::string name;
-    if (args[0].size() >= 1 && args[0][0] == '@') {
-      name = args[0].substr(1);
-      if (name.empty()) bad_line("empty tenant name");
-      args.erase(args.begin());
-      if (args.empty()) bad_line("missing command after '@" + name + "'");
-    }
-    return parse_command(args, std::move(name));
+    auto request = parse_text_request_line(std::move(line));
+    if (request) return request;
   }
   return std::nullopt;
 }
@@ -1207,6 +1218,97 @@ void BinaryCodec::write_response(std::ostream& out, const Response& response) {
 }
 
 // ---------------------------------------------------------------------------
+// FrameAssembler
+
+void FrameAssembler::feed(const char* data, std::size_t n) {
+  if (dead_ || n == 0) return;
+  buf_.append(data, n);
+}
+
+void FrameAssembler::compact() {
+  // Amortized O(1): only pay the memmove when the consumed prefix is both
+  // large and the majority of the buffer, so a slow-dribbling client does
+  // not trigger a copy per byte and a fast one does not grow unboundedly.
+  if (pos_ >= 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+std::optional<Request> FrameAssembler::next() {
+  if (dead_) return std::nullopt;
+  if (wire_ == WireFormat::kUndecided) {
+    const std::size_t n = buffered();
+    const std::size_t prefix = n < 4 ? n : 4;
+    if (std::memcmp(buf_.data() + pos_, kBinaryFrameMagic, prefix) != 0) {
+      wire_ = WireFormat::kText;
+    } else if (n >= 4) {
+      wire_ = WireFormat::kBinary;
+    } else {
+      return std::nullopt;  // a magic prefix — hold the decision open
+    }
+  }
+  try {
+    return wire_ == WireFormat::kText ? next_text() : next_binary();
+  } catch (const ProtocolError& e) {
+    if (e.fatal()) dead_ = true;
+    throw;
+  }
+}
+
+std::optional<Request> FrameAssembler::next_text() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      if (buffered() > kMaxFrameBytes) {
+        // No delimiter within any plausible command length: the peer is
+        // not speaking the protocol, and buffering more is unbounded.
+        throw ProtocolError("text line exceeds " + std::to_string(kMaxFrameBytes) +
+                                " bytes without a newline",
+                            /*fatal=*/true);
+      }
+      return std::nullopt;
+    }
+    std::string line = buf_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    compact();
+    auto request = parse_text_request_line(std::move(line));
+    if (request) return request;  // blank/comment lines decode to nothing
+  }
+}
+
+std::optional<Request> FrameAssembler::next_binary() {
+  // Header first: magic, version, and declared length are validated as
+  // soon as their 12 bytes are in, *before* any payload-sized allocation
+  // or wait — an adversarial length field must cost nothing.
+  constexpr std::size_t kHeaderBytes = 12;
+  if (buffered() < kHeaderBytes) return std::nullopt;
+  const char* head = buf_.data() + pos_;
+  if (std::memcmp(head, kBinaryFrameMagic, 4) != 0) bad_frame("bad magic");
+  const auto field_u32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const std::uint32_t version = field_u32(4);
+  const std::uint32_t length = field_u32(8);
+  if (version != kBinaryFrameVersion) {
+    bad_frame("unsupported version " + std::to_string(version));
+  }
+  if (length > kMaxFrameBytes) {
+    bad_frame("implausible length " + std::to_string(length));
+  }
+  if (buffered() < kHeaderBytes + length) return std::nullopt;
+  const std::string payload = buf_.substr(pos_ + kHeaderBytes, length);
+  pos_ += kHeaderBytes + length;
+  compact();
+  return decode_frame(payload, [](std::istream& p) { return decode_request_payload(p); });
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 
 /// One live tenant. The non-atomic fields are guarded by `gate`: every
@@ -1280,6 +1382,15 @@ void Engine::erase_tenant(const std::string& key, const Tenant* tenant) {
   const std::lock_guard<std::shared_mutex> lock(registry_mu_);
   const auto it = tenants_.find(key);
   if (it != tenants_.end() && it->second.get() == tenant) tenants_.erase(it);
+}
+
+void Engine::note_busy_rejection(const std::string& name) {
+  const std::string& key = resolve(name);
+  const std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  const auto it = tenants_.find(key);
+  if (it != tenants_.end()) {
+    it->second->busy_rejections.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::pair<std::string, Engine::TenantPtr>> Engine::snapshot_tenants() const {

@@ -433,6 +433,67 @@ class BinaryCodec final : public Codec {
   void write_response(std::ostream& out, const Response& response) override;
 };
 
+/// Which wire format a connection's first bytes selected. Transports
+/// auto-detect per connection: a prefix of the binary frame magic keeps
+/// the decision open (kUndecided) until a byte disagrees (kText — a text
+/// command can legitimately be shorter than 4 bytes) or all 4 magic
+/// bytes arrive (kBinary).
+enum class WireFormat : std::uint8_t {
+  kUndecided = 0,  ///< fewer than 4 bytes seen, all matching the magic so far
+  kText = 1,       ///< the line grammar (TextCodec)
+  kBinary = 2,     ///< length-prefixed frames (BinaryCodec)
+};
+
+/// Incremental request decoder for non-blocking transports: feed() takes
+/// whatever bytes recv() returned, next() yields complete Requests as the
+/// buffered bytes permit — zero, one, or several per feed. The first
+/// buffered bytes drive the codec auto-detect as a plain state machine
+/// (see WireFormat), replacing the blocking MSG_PEEK dance: no timeout is
+/// needed because an undecided assembler just holds its < 4 bytes until
+/// more arrive.
+///
+/// Framing mirrors the blocking codecs exactly. Binary: the
+/// magic+version+length header is validated as soon as its 12 bytes are
+/// buffered — an implausible declared length (> kMaxFrameBytes) is
+/// rejected *before any payload allocation*, and every framing failure
+/// throws a fatal ProtocolError. Text: lines split on '\n'; a malformed
+/// line throws the documented non-fatal ProtocolError and decoding
+/// continues with the next line; an unterminated line past kMaxFrameBytes
+/// is fatal (the peer is dribbling garbage without a delimiter). After a
+/// fatal throw the assembler is dead: next() returns nullopt forever.
+class FrameAssembler {
+ public:
+  /// Append `n` raw bytes from the transport. No decoding happens here;
+  /// cheap to call from a readiness loop.
+  void feed(const char* data, std::size_t n);
+
+  /// Decode and return the next complete request, or nullopt when the
+  /// buffer holds none (more bytes needed, or the assembler is dead).
+  /// Throws ProtocolError exactly like the blocking codecs; fatal ones
+  /// kill the assembler.
+  [[nodiscard]] std::optional<Request> next();
+
+  /// The codec decision made from the first buffered bytes.
+  [[nodiscard]] WireFormat wire() const { return wire_; }
+
+  /// A fatal ProtocolError was thrown; the stream cannot continue.
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  /// Bytes buffered but not yet decoded (tests and introspection).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  [[nodiscard]] std::optional<Request> next_text();
+  [[nodiscard]] std::optional<Request> next_binary();
+  /// Drop the consumed prefix once it dominates the buffer.
+  void compact();
+
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  WireFormat wire_ = WireFormat::kUndecided;
+  bool dead_ = false;
+};
+
 /// Backpressure bounds applied by serve::Engine, per tenant. Both caps
 /// answer the same way: the command is refused with resp::Busy (a typed
 /// retry signal) instead of queueing or growing state without bound, and
@@ -489,6 +550,14 @@ class Engine {
 
   /// Names of the live tenants, sorted.
   [[nodiscard]] std::vector<std::string> tenants() const;
+
+  /// Count one transport-level backpressure refusal against `name`'s
+  /// busy_rejections metric. The event-loop transport enforces the
+  /// max_queued bound *before* posting to its worker pool (the refusal
+  /// never reaches handle()), but the refusal must still be visible in
+  /// the tenant's metrics exactly as a thread-per-connection refusal is.
+  /// No-op for a name with no live tenant.
+  void note_busy_rejection(const std::string& name);
 
   /// The backpressure bounds this engine enforces.
   [[nodiscard]] const EngineOptions& options() const { return opts_; }

@@ -20,57 +20,19 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
-#include <time.h>
 #include <unistd.h>
+
+#include "serve/transport_detail.hpp"
 
 namespace ingrass::serve {
 
+using detail::sleep_ms;
+using detail::sys_error;
+using detail::UniqueFd;
+
 namespace {
-
-[[noreturn]] void sys_error(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
-}
-
-void sleep_ms(long ms) {
-  timespec ts{};
-  ts.tv_sec = ms / 1000;
-  ts.tv_nsec = (ms % 1000) * 1000000L;
-  ::nanosleep(&ts, nullptr);
-}
-
-/// Owning fd wrapper so every error path closes the descriptor.
-class UniqueFd {
- public:
-  UniqueFd() = default;
-  explicit UniqueFd(int fd) : fd_(fd) {}
-  ~UniqueFd() { reset(); }
-  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
-  UniqueFd& operator=(UniqueFd&& other) noexcept {
-    if (this != &other) {
-      reset();
-      fd_ = other.release();
-    }
-    return *this;
-  }
-  UniqueFd(const UniqueFd&) = delete;
-  UniqueFd& operator=(const UniqueFd&) = delete;
-
-  [[nodiscard]] int get() const { return fd_; }
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
-  int release() {
-    const int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
-  void reset() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-  }
-
- private:
-  int fd_ = -1;
-};
 
 /// A bidirectional streambuf over a connected socket. Reads via recv,
 /// writes via send with MSG_NOSIGNAL (a peer that disconnected mid-write
@@ -127,8 +89,10 @@ class FdStreamBuf final : public std::streambuf {
   char wbuf_[8192];
 };
 
-/// Write `port` to `path` via write-then-rename, so a polling reader
-/// (wait_for_port_file) never observes a half-written file.
+}  // namespace
+
+namespace detail {
+
 void write_port_file(const std::string& path, std::uint16_t port) {
   const std::string tmp = path + ".tmp";
   {
@@ -146,7 +110,57 @@ void write_port_file(const std::string& path, std::uint16_t port) {
   }
 }
 
-}  // namespace
+UniqueFd open_listener(const TcpOptions& opts, std::uint16_t* port) {
+  UniqueFd listener(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener.valid()) sys_error("socket");
+  const int one = 1;
+  ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(opts.any_address ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(opts.port);
+  if (::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    sys_error("bind port " + std::to_string(opts.port));
+  }
+  if (::listen(listener.get(), opts.backlog) != 0) sys_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    sys_error("getsockname");
+  }
+  *port = ntohs(bound.sin_port);
+  // Non-blocking: readiness can outrun reality (a connection aborted
+  // between poll/epoll and accept), and accept must then return EAGAIN
+  // instead of blocking the loop.
+  ::fcntl(listener.get(), F_SETFL, O_NONBLOCK);
+  return listener;
+}
+
+void warn_nofile_capacity(int max_connections) {
+  if (const auto warning = nofile_capacity_warning(max_connections)) {
+    std::fprintf(stderr, "%s\n", warning->c_str());
+  }
+}
+
+}  // namespace detail
+
+std::optional<std::string> nofile_capacity_warning(int max_connections) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return std::nullopt;
+  // One fd per served connection, plus the transport's own descriptors
+  // (listener, wake pipe, the EMFILE reserve, std streams) and headroom
+  // for whatever the engine opens mid-command (graphs, checkpoints).
+  constexpr rlim_t kOverhead = 32;
+  const auto needed = static_cast<rlim_t>(max_connections) + kOverhead;
+  if (rl.rlim_cur >= needed) return std::nullopt;
+  return "serve_tcp: RLIMIT_NOFILE (" + std::to_string(rl.rlim_cur) +
+         ") cannot cover max_connections=" + std::to_string(max_connections) +
+         " plus transport overhead (" + std::to_string(needed) +
+         " descriptors needed); connections past the limit will be shed with "
+         "`busy connections` — raise the fd limit (ulimit -n) to serve them";
+}
 
 ServeOutcome serve_stream(Engine& engine, Codec& codec, std::istream& in,
                           std::ostream& out, bool flush_at_eof) {
@@ -284,26 +298,20 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
     // silently disable the bound; 0 would reject every client.
     throw std::invalid_argument("serve_tcp: max_connections must be >= 1");
   }
-  UniqueFd listener(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!listener.valid()) sys_error("socket");
-  const int one = 1;
-  ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(opts.any_address ? INADDR_ANY : INADDR_LOOPBACK);
-  addr.sin_port = htons(opts.port);
-  if (::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    sys_error("bind port " + std::to_string(opts.port));
+  if (opts.event_loop) {
+    detail::serve_tcp_event_loop(engine, opts);
+    return;
   }
-  if (::listen(listener.get(), opts.backlog) != 0) sys_error("listen");
+  std::uint16_t port = 0;
+  UniqueFd listener = detail::open_listener(opts, &port);
+  detail::warn_nofile_capacity(opts.max_connections);
 
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
-    sys_error("getsockname");
-  }
-  const std::uint16_t port = ntohs(bound.sin_port);
+  // The EMFILE reserve: one descriptor held back so a connection that
+  // arrives with the fd table full can still be accepted (release the
+  // reserve → accept → shed with a typed busy → re-arm). Without it the
+  // accept queue can never drain under persistent fd exhaustion —
+  // accept(2) keeps failing while clients hang unanswered.
+  UniqueFd spare(::open("/dev/null", O_RDONLY));
 
   // The shutdown wake-up: a self-pipe created *now*, while fds are
   // plentiful — begin_shutdown must never depend on allocating an fd
@@ -317,12 +325,8 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
   if (::pipe(wake_fds) != 0) sys_error("pipe");
   UniqueFd wake_read(wake_fds[0]);
   UniqueFd wake_write(wake_fds[1]);
-  // The listener is non-blocking: poll can report a connection that is
-  // aborted before accept runs, and accept must then return EAGAIN, not
-  // block the loop.
-  ::fcntl(listener.get(), F_SETFL, O_NONBLOCK);
 
-  if (!opts.port_file.empty()) write_port_file(opts.port_file, port);
+  if (!opts.port_file.empty()) detail::write_port_file(opts.port_file, port);
 
   // Per-connection threads, reaped opportunistically on each accept and
   // joined in full before returning. All of this outlives every thread
@@ -381,7 +385,16 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
         continue;
       }
       if (errno == EMFILE || errno == ENFILE) {
-        sleep_ms(10);
+        // Out of descriptors: shed the waiting connection through the
+        // reserve fd instead of spinning on accept retries. The client
+        // gets the same typed `busy connections` refusal an over-cap
+        // accept gets — a retry signal, not a hang.
+        spare.reset();
+        UniqueFd doomed(::accept(listener_fd, nullptr, nullptr));
+        if (doomed.valid()) reject_connection(doomed, opts.max_connections);
+        doomed.reset();
+        spare = UniqueFd(::open("/dev/null", O_RDONLY));
+        if (!spare.valid()) sleep_ms(10);  // reserve unavailable — back off
         continue;
       }
       begin_shutdown();  // genuinely fatal (EBADF, ENOTSOCK, ...)

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "serve/protocol.hpp"
@@ -10,12 +11,15 @@
 /// @file
 /// Transports for the serving protocol: the pluggable byte-moving layer
 /// under serve::Engine. A transport owns streams and connection lifetime;
-/// the codec (serve/protocol.hpp) owns the bytes' meaning. Two transports
-/// ship: stdio (serve_stream over std::cin/cout — the original
-/// `ingrass_serve` behavior) and a concurrent TCP server (one thread per
-/// connection, bounded by max_connections) sharing one thread-safe Engine
-/// across connections, so named tenants persist between clients and
-/// clients on different tenants make progress in parallel.
+/// the codec (serve/protocol.hpp) owns the bytes' meaning. Three
+/// transports ship: stdio (serve_stream over std::cin/cout — the original
+/// `ingrass_serve` behavior) and a concurrent TCP server in two modes
+/// sharing one thread-safe Engine across connections — thread-per-
+/// connection (the default: one blocking thread per client, bounded by
+/// max_connections) and an epoll event loop (TcpOptions::event_loop:
+/// non-blocking sockets, incremental FrameAssembler decode, a small
+/// worker pool executing commands) for mostly-idle fleets far past the
+/// practical thread count. Wire semantics are identical in both modes.
 
 namespace ingrass::serve {
 
@@ -55,6 +59,28 @@ struct TcpOptions {
   /// client's codec) and closed — a clean retry signal instead of an
   /// unbounded thread count or a silently queued client.
   int max_connections = 64;
+  /// Serve with the epoll readiness loop instead of a thread per
+  /// connection: one loop thread owns every socket (non-blocking reads
+  /// into per-connection FrameAssemblers, writev-batched responses),
+  /// decoded commands execute on `event_workers` pool threads through the
+  /// Engine's per-tenant FifoMutex gates. Same wire semantics, same typed
+  /// backpressure; a mostly-idle connection costs buffers, not a thread.
+  bool event_loop = false;
+  /// Worker threads executing commands in event-loop mode; <= 0 picks
+  /// from std::thread::hardware_concurrency(), clamped to [2, 8].
+  int event_workers = 0;
+  /// Event-loop fairness: at most this many *solves* of one tenant may
+  /// execute concurrently (solves are the only commands the Engine lets
+  /// overlap; everything else is serialized per tenant in arrival order).
+  /// Bounding the window keeps one hot tenant from occupying the whole
+  /// worker pool while other tenants' commands wait.
+  int tenant_solve_window = 4;
+  /// Event-loop per-connection pipelining cap: decoded-but-unanswered
+  /// requests a connection may have in flight before the loop stops
+  /// reading its socket (read interest resumes as responses drain). TCP
+  /// receive windows then bound a flooding client's memory, instead of
+  /// the server buffering its backlog without limit.
+  int max_pipelined = 64;
 };
 
 /// Run a concurrent TCP server over `engine`: every accepted connection
@@ -72,7 +98,23 @@ struct TcpOptions {
 /// bytes: the binary frame magic selects BinaryCodec, anything else the
 /// text line grammar (a client dribbling the 4-byte magic across several
 /// packets is retried, not misclassified as text).
+///
+/// With TcpOptions::event_loop set, the same contract is served by the
+/// epoll readiness loop instead (see TcpOptions) — every behavior above
+/// (typed busy backpressure, per-tenant arrival order, quit-from-any-
+/// client shutdown, codec auto-detect under dribbled magic) is
+/// mode-invariant; only the threading model changes.
 void serve_tcp(Engine& engine, const TcpOptions& opts);
+
+/// The RLIMIT_NOFILE sanity check both serve_tcp modes run at startup:
+/// returns a one-line warning when the process's file-descriptor limit
+/// cannot cover `max_connections` served sockets plus the transport's own
+/// overhead (listener, wake pipe, checkpoint files, ...), nullopt when the
+/// limit suffices (or cannot be read). The server still runs past the
+/// warning — an accept that does hit EMFILE is shed with a typed
+/// `busy connections` response via a reserve descriptor, not spun on —
+/// but at 10k-client scale the operator should raise the limit instead.
+[[nodiscard]] std::optional<std::string> nofile_capacity_warning(int max_connections);
 
 /// A connected TCP client stream pair — the driving end of serve_tcp
 /// (used by the `ingrass_serve --connect` client and the transport

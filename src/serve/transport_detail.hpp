@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <time.h>
+#include <unistd.h>
+
+#include "serve/transport.hpp"
+
+/// @file
+/// Internals shared by the two TCP transport translation units
+/// (transport.cpp, the thread-per-connection server, and
+/// transport_event.cpp, the epoll readiness loop). Not part of the public
+/// serve API — include serve/transport.hpp instead.
+
+namespace ingrass::serve::detail {
+
+[[noreturn]] inline void sys_error(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+inline void sleep_ms(long ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000L;
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Owning fd wrapper so every error path closes the descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Write `port` to `path` via write-then-rename, so a polling reader
+/// (wait_for_port_file) never observes a half-written file.
+void write_port_file(const std::string& path, std::uint16_t port);
+
+/// Create, bind, and listen the server socket per `opts` (non-blocking —
+/// both accept paths must tolerate a connection aborted between readiness
+/// and accept). Returns the listener and writes the bound port to *port.
+[[nodiscard]] UniqueFd open_listener(const TcpOptions& opts, std::uint16_t* port);
+
+/// Emit the RLIMIT_NOFILE warning from nofile_capacity_warning (if any)
+/// to stderr — both transports call this right after listen().
+void warn_nofile_capacity(int max_connections);
+
+/// The epoll readiness-loop server (transport_event.cpp); dispatched to
+/// by serve_tcp when TcpOptions::event_loop is set.
+void serve_tcp_event_loop(Engine& engine, const TcpOptions& opts);
+
+}  // namespace ingrass::serve::detail

@@ -1,0 +1,719 @@
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "serve/transport_detail.hpp"
+#include "util/thread_pool.hpp"
+
+/// @file
+/// The epoll readiness-loop TCP transport (TcpOptions::event_loop). One
+/// loop thread owns every socket: non-blocking reads feed per-connection
+/// FrameAssemblers, decoded commands are parked in per-tenant lanes and
+/// executed on a small TaskPool through the Engine's FifoMutex gates, and
+/// completions post back through the wake pipe to be written out in
+/// request order (sequence-numbered response slots, sendmsg-batched).
+/// Thread-per-connection (transport.cpp) stays the default; this loop
+/// serves the same wire contract for connection counts far past any
+/// practical thread count — a mostly-idle client costs two buffers here
+/// instead of a stack and a blocked recv.
+
+namespace ingrass::serve::detail {
+
+namespace {
+
+/// epoll user-data ids for the two non-connection descriptors;
+/// connection ids start above them and are never reused.
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+/// Over-cap connections awaiting their codec-detected `busy` answer are
+/// bounded like the threaded mode's rejector threads: past this many, an
+/// over-cap connection is dropped without the courtesy response.
+constexpr int kMaxShedConns = 64;
+
+/// How long a silent over-cap connection may wait before its `busy` is
+/// sent in the text codec by default (mirrors the threaded rejector's
+/// bounded peek).
+constexpr long kShedDefaultTextMs = 250;
+
+long now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000L + ts.tv_nsec / 1000000L;
+}
+
+void set_nonblocking(int fd) { ::fcntl(fd, F_SETFL, O_NONBLOCK); }
+
+/// Encode one response in the connection's detected codec. An undecided
+/// wire (never the case for a decoded request's response) falls back to
+/// text, matching the threaded rejector's default.
+std::string encode_response_bytes(WireFormat wire, const Response& response) {
+  std::ostringstream out;
+  if (wire == WireFormat::kBinary) {
+    BinaryCodec codec;
+    codec.write_response(out, response);
+  } else {
+    TextCodec codec;
+    codec.write_response(out, response);
+  }
+  return std::move(out).str();
+}
+
+/// One pipelined response slot. Slots are created in request-decode order
+/// and written strictly front-to-back, so responses leave in request
+/// order even though the worker pool completes them in any order.
+struct Slot {
+  bool done = false;   ///< response encoded and ready to send
+  std::string bytes;   ///< encoded response
+};
+
+/// One live connection's loop-side state. Everything here is touched by
+/// the loop thread only.
+struct Conn {
+  explicit Conn(UniqueFd f, std::uint64_t conn_id) : fd(std::move(f)), id(conn_id) {}
+
+  UniqueFd fd;
+  std::uint64_t id = 0;
+  FrameAssembler assembler;
+  std::deque<Slot> slots;      ///< slots[0] carries sequence base_seq
+  std::uint64_t base_seq = 0;  ///< sequence number of slots[0]
+  std::uint64_t next_seq = 0;  ///< sequence for the next decoded request
+  std::size_t write_off = 0;   ///< bytes of slots[0] already sent
+  std::uint32_t interest = 0;  ///< epoll mask currently registered
+  bool want_write = false;     ///< a send returned EAGAIN; EPOLLOUT armed
+  bool read_done = false;      ///< EOF, fatal codec error, quit, or stop
+  bool reading_paused = false; ///< pipelining cap tripped
+  bool quit_pending = false;   ///< a Quit decoded, waiting on earlier slots
+  std::uint64_t quit_seq = 0;  ///< the pending Quit's slot sequence
+  bool shed = false;           ///< over-cap: answer busy, then close
+  std::string shed_probe;      ///< first bytes of a shed conn (codec detect)
+  long shed_deadline_ms = 0;   ///< silent shed conns default to text here
+
+  [[nodiscard]] WireFormat wire() const { return assembler.wire(); }
+};
+
+/// One decoded-but-unexecuted command in a tenant's lane.
+struct PendingCmd {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  std::string lane;  ///< resolved tenant key
+  bool is_solve = false;
+  Request request;
+};
+
+/// Per-tenant dispatch lane: commands enter in decode (arrival) order and
+/// leave for the worker pool under the same concurrency the Engine's
+/// locking permits in thread-per-connection mode — consecutive solves may
+/// overlap (bounded by tenant_solve_window, the fairness bound), any
+/// other command waits for the tenant to go idle. The lane plus the
+/// Engine's FifoMutex gate make per-tenant execution order identical
+/// across transports.
+struct Lane {
+  std::deque<PendingCmd> parked;
+  int in_flight = 0;           ///< commands posted to the pool, not completed
+  bool writer_running = false; ///< the in-flight command is a non-solve
+};
+
+/// A completed command travelling back from a pool worker to the loop.
+struct DoneCmd {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  std::string lane;  ///< "" for Quit (no lane bookkeeping)
+  bool is_solve = false;
+  Response response;
+};
+
+class EventServer {
+ public:
+  EventServer(Engine& engine, const TcpOptions& opts) : engine_(engine), opts_(opts) {}
+
+  void run() {
+    std::uint16_t port = 0;
+    listener_ = open_listener(opts_, &port);
+    warn_nofile_capacity(opts_.max_connections);
+    spare_ = UniqueFd(::open("/dev/null", O_RDONLY));
+
+    int wake_fds[2] = {-1, -1};
+    if (::pipe(wake_fds) != 0) sys_error("pipe");
+    wake_read_ = UniqueFd(wake_fds[0]);
+    wake_write_ = UniqueFd(wake_fds[1]);
+    set_nonblocking(wake_read_.get());
+    set_nonblocking(wake_write_.get());
+
+    epoll_ = UniqueFd(::epoll_create1(0));
+    if (!epoll_.valid()) sys_error("epoll_create1");
+    epoll_add(listener_.get(), kListenerId, EPOLLIN);
+    epoll_add(wake_read_.get(), kWakeId, EPOLLIN);
+
+    int workers = opts_.event_workers;
+    if (workers <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = static_cast<int>(hw < 2 ? 2 : (hw > 8 ? 8 : hw));
+    }
+    pool_ = std::make_unique<TaskPool>(workers);
+
+    if (!opts_.port_file.empty()) write_port_file(opts_.port_file, port);
+
+    epoll_event events[64];
+    while (!(stopping_ && jobs_in_flight_ == 0)) {
+      const int timeout = shed_count_ > 0 ? 50 : -1;
+      const int n = ::epoll_wait(epoll_.get(), events, 64, timeout);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        sys_error("epoll_wait");
+      }
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t id = events[i].data.u64;
+        const std::uint32_t ev = events[i].events;
+        if (id == kListenerId) {
+          on_accept();
+        } else if (id == kWakeId) {
+          on_wake();
+        } else {
+          on_conn_event(id, ev);
+        }
+      }
+      if (shed_count_ > 0) sweep_silent_shed();
+    }
+    final_flush();
+  }
+
+ private:
+  // --- epoll plumbing ------------------------------------------------------
+
+  void epoll_add(int fd, std::uint64_t id, std::uint32_t mask) {
+    epoll_event ev{};
+    ev.events = mask;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) sys_error("epoll_ctl add");
+  }
+
+  /// Re-register `c` with the interest its state implies. Level-triggered,
+  /// so pausing reads really must drop EPOLLIN — the kernel would report
+  /// the unread bytes every iteration otherwise.
+  void update_interest(Conn& c) {
+    std::uint32_t mask = 0;
+    if (!c.read_done && !c.reading_paused) mask |= EPOLLIN;
+    if (c.want_write) mask |= EPOLLOUT;
+    if (mask == c.interest) return;
+    epoll_event ev{};
+    ev.events = mask;
+    ev.data.u64 = c.id;
+    // A mask of 0 keeps the registration: EPOLLERR/EPOLLHUP are always
+    // reported, which is how a fully-quiesced connection's death is seen.
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) == 0) c.interest = mask;
+  }
+
+  void wake() {
+    // A full pipe already guarantees a pending wake-up; EAGAIN is success.
+    ssize_t w = 0;
+    do {
+      w = ::write(wake_write_.get(), "w", 1);
+    } while (w < 0 && errno == EINTR);
+  }
+
+  // --- accept / shed -------------------------------------------------------
+
+  void on_accept() {
+    for (;;) {
+      UniqueFd conn(::accept(listener_.get(), nullptr, nullptr));
+      if (!conn.valid()) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EMFILE || errno == ENFILE) {
+          shed_emfile();
+          continue;
+        }
+        sys_error("accept");
+      }
+      if (stopping_) continue;  // closed: the server is going down
+      set_nonblocking(conn.get());
+      const bool over_cap =
+          live_count_ >= static_cast<std::size_t>(opts_.max_connections);
+      if (over_cap && shed_count_ >= kMaxShedConns) continue;  // hard drop
+      const std::uint64_t id = next_conn_id_++;
+      auto c = std::make_unique<Conn>(std::move(conn), id);
+      if (over_cap) {
+        c->shed = true;
+        c->shed_deadline_ms = now_ms() + kShedDefaultTextMs;
+        ++shed_count_;
+      } else {
+        ++live_count_;
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = id;
+      c->interest = EPOLLIN;
+      if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, c->fd.get(), &ev) != 0) {
+        if (c->shed) --shed_count_; else --live_count_;
+        continue;  // resource exhaustion: drop this one, keep the server
+      }
+      conns_.emplace(id, std::move(c));
+    }
+  }
+
+  /// Out of descriptors: release the reserve fd, accept the connection we
+  /// cannot serve, answer `busy connections` best-effort (single
+  /// non-blocking peek for the codec, single non-blocking send), close,
+  /// re-arm the reserve. The accept queue drains instead of the loop
+  /// spinning on EMFILE while clients hang.
+  void shed_emfile() {
+    spare_.reset();
+    UniqueFd doomed(::accept(listener_.get(), nullptr, nullptr));
+    if (doomed.valid()) {
+      char head[4] = {0, 0, 0, 0};
+      const ssize_t got = ::recv(doomed.get(), head, sizeof head, MSG_PEEK | MSG_DONTWAIT);
+      const WireFormat wire =
+          (got >= 4 && std::memcmp(head, kBinaryFrameMagic, 4) == 0)
+              ? WireFormat::kBinary
+              : WireFormat::kText;
+      const std::string bytes = encode_response_bytes(
+          wire, resp::Busy{"connections",
+                           static_cast<std::uint64_t>(opts_.max_connections)});
+      (void)::send(doomed.get(), bytes.data(), bytes.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+    }
+    doomed.reset();
+    spare_ = UniqueFd(::open("/dev/null", O_RDONLY));
+    if (!spare_.valid()) sleep_ms(1);  // reserve unavailable — back off
+  }
+
+  /// Answer a shed connection in `wire` and half-close it; the close
+  /// happens once the busy response is fully written.
+  void shed_respond(Conn& c, WireFormat wire) {
+    c.slots.push_back(
+        {true, encode_response_bytes(
+                   wire, resp::Busy{"connections",
+                                    static_cast<std::uint64_t>(opts_.max_connections)})});
+    ++c.next_seq;
+    c.read_done = true;
+    --shed_count_;
+    ::shutdown(c.fd.get(), SHUT_RD);
+    flush_writes(c);
+  }
+
+  /// Shed connections whose first bytes never came: send the busy in the
+  /// text codec after the bounded wait, exactly like the threaded
+  /// rejector's timed-out peek.
+  void sweep_silent_shed() {
+    const long now = now_ms();
+    std::vector<std::uint64_t> due;
+    for (const auto& [id, c] : conns_) {
+      if (c->shed && !c->read_done && now >= c->shed_deadline_ms) due.push_back(id);
+    }
+    for (const std::uint64_t id : due) {
+      const auto it = conns_.find(id);
+      if (it != conns_.end()) shed_respond(*it->second, WireFormat::kText);
+    }
+  }
+
+  // --- read path -----------------------------------------------------------
+
+  void on_conn_event(std::uint64_t id, std::uint32_t ev) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // closed earlier in this batch
+    Conn* c = it->second.get();
+    if (ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+      if (!c->read_done) {
+        on_readable(*c);
+      } else if (ev & (EPOLLERR | EPOLLHUP)) {
+        // Write-only remainder of a half-closed connection, and the peer
+        // is gone: nothing left to deliver responses to.
+        close_conn(id);
+        return;
+      }
+    }
+    it = conns_.find(id);
+    if (it == conns_.end()) return;
+    if (ev & EPOLLOUT) flush_writes(*it->second);
+  }
+
+  void on_readable(Conn& c) {
+    char buf[16384];
+    ssize_t n = 0;
+    do {
+      n = ::recv(c.fd.get(), buf, sizeof buf, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(c.id);  // connection error; in-flight completions no-op
+      return;
+    }
+    if (n == 0) {
+      // Client EOF. In-flight commands still complete and their responses
+      // still go out (the write side is open until they drain) — a
+      // pipelining client may close its send side early.
+      c.read_done = true;
+      if (c.shed) --shed_count_;
+      update_interest(c);
+      if (c.slots.empty() && !c.quit_pending) close_conn(c.id);
+      return;
+    }
+    if (c.shed) {
+      on_shed_bytes(c, buf, static_cast<std::size_t>(n));
+      return;
+    }
+    c.assembler.feed(buf, static_cast<std::size_t>(n));
+    drain_assembler(c);
+  }
+
+  /// Codec-detect an over-cap connection from its first bytes (the same
+  /// state machine FrameAssembler runs, without decoding a request).
+  void on_shed_bytes(Conn& c, const char* data, std::size_t n) {
+    const std::size_t want = 4 - (c.shed_probe.size() < 4 ? c.shed_probe.size() : 4);
+    c.shed_probe.append(data, n < want ? n : want);
+    const std::size_t prefix = c.shed_probe.size() < 4 ? c.shed_probe.size() : 4;
+    if (std::memcmp(c.shed_probe.data(), kBinaryFrameMagic, prefix) != 0) {
+      shed_respond(c, WireFormat::kText);
+    } else if (c.shed_probe.size() >= 4) {
+      shed_respond(c, WireFormat::kBinary);
+    }
+    // else: a magic prefix — keep waiting (bounded by the sweep deadline).
+  }
+
+  void drain_assembler(Conn& c) {
+    while (!c.read_done &&
+           c.slots.size() < static_cast<std::size_t>(opts_.max_pipelined)) {
+      std::optional<Request> request;
+      try {
+        request = c.assembler.next();
+      } catch (const ProtocolError& e) {
+        // One err response per codec error, exactly like serve_stream:
+        // non-fatal (malformed text line) keeps decoding, fatal (lost
+        // binary framing) ends the read side after the err goes out.
+        c.slots.push_back({true, encode_response_bytes(c.wire(), resp::Error{e.what()})});
+        ++c.next_seq;
+        if (e.fatal()) {
+          c.read_done = true;
+          ::shutdown(c.fd.get(), SHUT_RD);
+        }
+        continue;
+      }
+      if (!request) break;
+      route(c, std::move(*request));
+    }
+    if (c.slots.size() >= static_cast<std::size_t>(opts_.max_pipelined) &&
+        !c.reading_paused && !c.read_done) {
+      c.reading_paused = true;  // resumed by flush_writes as slots drain
+    }
+    update_interest(c);
+    flush_writes(c);
+  }
+
+  // --- dispatch ------------------------------------------------------------
+
+  void route(Conn& c, Request request) {
+    const std::uint64_t seq = c.next_seq++;
+    c.slots.push_back({});
+
+    if (std::holds_alternative<req::Quit>(request)) {
+      // A quit answers after this connection's earlier commands, then
+      // stops the server. Reading stops now — commands after a quit on
+      // the same connection would race the shutdown in thread mode too.
+      c.read_done = true;
+      c.quit_pending = true;
+      c.quit_seq = seq;
+      update_interest(c);
+      maybe_post_quit(c);
+      return;
+    }
+
+    const std::string* name = std::visit(
+        [](const auto& r) -> const std::string* {
+          if constexpr (requires { r.name; }) return &r.name;
+          else return nullptr;
+        },
+        request);
+    const std::string key =
+        (name == nullptr || name->empty()) ? std::string(kDefaultTenant) : *name;
+
+    Lane& lane = lanes_[key];
+    const int outstanding = lane.in_flight + static_cast<int>(lane.parked.size());
+    if (outstanding >= engine_.options().max_queued) {
+      // The same bound with_tenant enforces, applied before the pool so a
+      // flooding pipeline is refused O(1); the refusal must still count
+      // in the tenant's metrics, hence note_busy_rejection.
+      engine_.note_busy_rejection(key);
+      complete_local(c, seq,
+                     resp::Busy{"queue",
+                                static_cast<std::uint64_t>(engine_.options().max_queued)});
+      return;
+    }
+    lane.parked.push_back({c.id, seq, key, std::holds_alternative<req::Solve>(request),
+                           std::move(request)});
+    dispatch_lane(lane);
+  }
+
+  /// Fill a slot on the loop thread without a pool round-trip (transport-
+  /// level refusals).
+  void complete_local(Conn& c, std::uint64_t seq, const Response& response) {
+    const std::size_t idx = static_cast<std::size_t>(seq - c.base_seq);
+    c.slots[idx].done = true;
+    c.slots[idx].bytes = encode_response_bytes(c.wire(), response);
+  }
+
+  void dispatch_lane(Lane& lane) {
+    while (!lane.parked.empty()) {
+      PendingCmd& front = lane.parked.front();
+      const bool can =
+          lane.in_flight == 0 ||
+          (front.is_solve && !lane.writer_running &&
+           lane.in_flight < (opts_.tenant_solve_window < 1 ? 1 : opts_.tenant_solve_window));
+      if (!can) break;
+      post_job(std::move(front));
+      lane.parked.pop_front();
+    }
+  }
+
+  void post_job(PendingCmd cmd) {
+    Lane& lane = lanes_[cmd.lane];
+    ++lane.in_flight;
+    if (!cmd.is_solve) lane.writer_running = true;
+    ++jobs_in_flight_;
+    pool_->post([this, cmd = std::move(cmd)]() mutable {
+      Response response = engine_.handle(cmd.request);
+      {
+        const std::lock_guard<std::mutex> lock(done_mu_);
+        done_.push_back({cmd.conn_id, cmd.seq, std::move(cmd.lane), cmd.is_solve,
+                         std::move(response)});
+      }
+      wake();
+    });
+  }
+
+  void maybe_post_quit(Conn& c) {
+    const std::size_t quit_idx = static_cast<std::size_t>(c.quit_seq - c.base_seq);
+    for (std::size_t i = 0; i < quit_idx; ++i) {
+      if (!c.slots[i].done) return;  // earlier commands still in flight
+    }
+    c.quit_pending = false;
+    ++jobs_in_flight_;
+    pool_->post([this, conn_id = c.id, seq = c.quit_seq] {
+      Response response = engine_.handle(req::Quit{});
+      {
+        const std::lock_guard<std::mutex> lock(done_mu_);
+        done_.push_back({conn_id, seq, std::string(), false, std::move(response)});
+      }
+      wake();
+    });
+  }
+
+  // --- completion ----------------------------------------------------------
+
+  void on_wake() {
+    char sink[256];
+    while (::read(wake_read_.get(), sink, sizeof sink) > 0) {
+    }
+    std::vector<DoneCmd> batch;
+    {
+      const std::lock_guard<std::mutex> lock(done_mu_);
+      batch.swap(done_);
+    }
+    for (DoneCmd& d : batch) complete(std::move(d));
+  }
+
+  void complete(DoneCmd d) {
+    --jobs_in_flight_;
+    if (!d.lane.empty()) {
+      const auto it = lanes_.find(d.lane);
+      if (it != lanes_.end()) {
+        Lane& lane = it->second;
+        --lane.in_flight;
+        if (!d.is_solve) lane.writer_running = false;
+        dispatch_lane(lane);
+        if (lane.in_flight == 0 && lane.parked.empty()) lanes_.erase(it);
+      }
+    }
+    const bool is_bye = std::holds_alternative<resp::Bye>(d.response);
+    fill_slot(d.conn_id, d.seq, d.response);
+    if (is_bye && !stopping_) begin_stop();
+  }
+
+  void fill_slot(std::uint64_t conn_id, std::uint64_t seq, const Response& response) {
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // the connection died; drop the response
+    Conn& c = *it->second;
+    const std::size_t idx = static_cast<std::size_t>(seq - c.base_seq);
+    if (idx >= c.slots.size()) return;
+    c.slots[idx].done = true;
+    c.slots[idx].bytes = encode_response_bytes(c.wire(), response);
+    if (c.quit_pending) maybe_post_quit(c);
+    flush_writes(c);
+    const auto again = conns_.find(conn_id);
+    if (again == conns_.end()) return;
+    Conn& alive = *again->second;
+    if (alive.reading_paused &&
+        alive.slots.size() <= static_cast<std::size_t>(opts_.max_pipelined) / 2) {
+      // Backpressure released: resume the socket and decode whatever the
+      // assembler already buffered (no EPOLLIN fires for those bytes).
+      alive.reading_paused = false;
+      drain_assembler(alive);
+    }
+  }
+
+  // --- write path ----------------------------------------------------------
+
+  /// Send the completed prefix of the slot queue, batched through one
+  /// sendmsg (writev with MSG_NOSIGNAL). Arms EPOLLOUT on a short write,
+  /// closes the connection once everything owed is out and the read side
+  /// is finished.
+  void flush_writes(Conn& c) {
+    constexpr int kMaxIov = 8;
+    for (;;) {
+      if (c.slots.empty() || !c.slots.front().done) break;
+      iovec iov[kMaxIov];
+      int iovcnt = 0;
+      for (auto it = c.slots.begin();
+           it != c.slots.end() && it->done && iovcnt < kMaxIov; ++it) {
+        const std::size_t off = (iovcnt == 0) ? c.write_off : 0;
+        iov[iovcnt].iov_base = const_cast<char*>(it->bytes.data() + off);
+        iov[iovcnt].iov_len = it->bytes.size() - off;
+        ++iovcnt;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+      ssize_t n = ::sendmsg(c.fd.get(), &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          c.want_write = true;
+          update_interest(c);
+          return;
+        }
+        close_conn(c.id);  // peer gone mid-response
+        return;
+      }
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        const std::size_t avail = c.slots.front().bytes.size() - c.write_off;
+        if (left >= avail) {
+          left -= avail;
+          c.slots.pop_front();
+          ++c.base_seq;
+          c.write_off = 0;
+        } else {
+          c.write_off += left;
+          left = 0;
+        }
+      }
+    }
+    if (c.want_write) {
+      c.want_write = false;
+      update_interest(c);
+    }
+    if (c.slots.empty() && c.read_done && !c.quit_pending) close_conn(c.id);
+  }
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn& c = *it->second;
+    if (c.shed) {
+      if (!c.read_done) --shed_count_;  // still counted as awaiting answer
+    } else {
+      --live_count_;
+    }
+    // Closing the fd removes it from the epoll set.
+    conns_.erase(it);
+  }
+
+  // --- shutdown ------------------------------------------------------------
+
+  /// A Bye was served: stop accepting, stop reading, drop parked commands
+  /// (like thread mode, a command a client managed to send after the
+  /// quit's flush dies with the server), let in-flight jobs drain through
+  /// the normal completion path, then run() flushes and returns.
+  void begin_stop() {
+    stopping_ = true;
+    (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
+    for (auto& [id, c] : conns_) {
+      if (!c->read_done) {
+        c->read_done = true;
+        if (c->shed) --shed_count_;
+        ::shutdown(c->fd.get(), SHUT_RD);
+        update_interest(*c);
+      }
+    }
+    for (auto& [key, lane] : lanes_) lane.parked.clear();
+  }
+
+  /// Deliver whatever completed responses are still queued (the quitting
+  /// client is owed its `ok quit` at minimum), with a bounded blocking
+  /// retry per connection — the loop is done, so poll(2) is fine here.
+  void final_flush() {
+    const long deadline = now_ms() + 3000;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, c] : conns_) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+      for (;;) {
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) break;
+        Conn& c = *it->second;
+        const bool owes = !c.slots.empty() && c.slots.front().done;
+        if (!owes) break;
+        c.want_write = false;
+        flush_writes(c);  // closes the conn when fully drained
+        const auto still = conns_.find(id);
+        if (still == conns_.end()) break;
+        if (!still->second->want_write) break;  // nothing more became writable
+        const long remaining = deadline - now_ms();
+        if (remaining <= 0) break;
+        pollfd pfd{still->second->fd.get(), POLLOUT, 0};
+        if (::poll(&pfd, 1, static_cast<int>(remaining)) <= 0) break;
+      }
+    }
+    conns_.clear();
+  }
+
+  Engine& engine_;
+  const TcpOptions& opts_;
+  UniqueFd listener_;
+  UniqueFd spare_;  ///< the EMFILE reserve descriptor
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+  UniqueFd epoll_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::map<std::string, Lane> lanes_;
+  std::uint64_t next_conn_id_ = kFirstConnId;
+  std::size_t live_count_ = 0;  ///< served (non-shed) connections
+  int shed_count_ = 0;          ///< shed connections awaiting their busy
+  int jobs_in_flight_ = 0;      ///< posted to the pool, completion not yet seen
+  bool stopping_ = false;
+
+  std::mutex done_mu_;
+  std::vector<DoneCmd> done_;  ///< completions awaiting the loop (guarded)
+
+  // Declared last: destroyed first, so a job the destructor drains still
+  // finds every member above alive.
+  std::unique_ptr<TaskPool> pool_;
+};
+
+}  // namespace
+
+void serve_tcp_event_loop(Engine& engine, const TcpOptions& opts) {
+  EventServer server(engine, opts);
+  server.run();
+}
+
+}  // namespace ingrass::serve::detail

@@ -164,4 +164,49 @@ void SerialWorker::loop() {
   }
 }
 
+TaskPool::TaskPool(int threads) {
+  const int count = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::post(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::logic_error("TaskPool::post after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void TaskPool::loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job();
+    } catch (...) {
+      // See the class contract: jobs report failure through their own
+      // channel; an exception here has nowhere better to go than away.
+    }
+  }
+}
+
 }  // namespace ingrass

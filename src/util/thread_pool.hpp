@@ -134,4 +134,41 @@ class SerialWorker {
   std::thread thread_;
 };
 
+/// N background threads executing posted jobs from one FIFO queue — the
+/// worker pool behind the event-loop transport's command execution.
+/// Complements the other executors here: ThreadPool is a blocking
+/// fork/join pool for data-parallel loops, SerialWorker is one thread,
+/// TaskPool is "SerialWorker × N": post() returns immediately, workers
+/// pop in queue order (so jobs *start* in arrival order, though they
+/// finish in any order), and the destructor finishes every queued job
+/// before joining — captured state must outlive the pool.
+///
+/// Jobs must not throw: an escaping exception would have no caller to
+/// land on, so it is swallowed (the posting side is expected to report
+/// failures through its own channel, e.g. a Response).
+class TaskPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1).
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueue a job. Throws std::logic_error after shutdown began.
+  void post(std::function<void()> job);
+
+  /// Worker-thread count.
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
 }  // namespace ingrass

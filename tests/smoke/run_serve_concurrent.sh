@@ -8,11 +8,17 @@
 # server incarnation restores both tenants from their checkpoints, and
 # kappa must land within budget for both.
 #
-# Invoked by CTest as: sh run_serve_concurrent.sh <ingrass_serve> <workdir>
+# Invoked by CTest as:
+#   sh run_serve_concurrent.sh <ingrass_serve> <workdir> [server-flags...]
+# The optional trailing flags (e.g. --event-loop) go to the *server*
+# incarnations only; clients are unchanged. Both transports must pass
+# this script verbatim — identical wire semantics are the contract.
 set -eu
 
 BIN=$1
 WORK=$2
+shift 2
+SERVER_FLAGS=${*:-}
 rm -rf "$WORK"
 mkdir -p "$WORK"
 cd "$WORK"
@@ -47,7 +53,7 @@ awk 'BEGIN{
 
 # Incarnation 1: the concurrent server.
 rm -f port.txt
-"$BIN" --listen 0 --port-file port.txt --max-connections 8 &
+"$BIN" --listen 0 --port-file port.txt --max-connections 8 $SERVER_FLAGS &
 SERVER_PID=$!
 
 cat > a.txt <<'EOF'
@@ -97,7 +103,7 @@ SERVER_PID=
 
 # Incarnation 2: restore both tenants and verify kappa within budget.
 rm -f port.txt
-"$BIN" --listen 0 --port-file port.txt &
+"$BIN" --listen 0 --port-file port.txt $SERVER_FLAGS &
 SERVER_PID=$!
 cat > r.txt <<'EOF'
 restore ck_solo.bin --name solo --target 100 --grass-target 40 --sync

@@ -1,0 +1,783 @@
+// The epoll transport (TcpOptions::event_loop) and its codec state
+// machine. Three layers:
+//
+//   - FrameAssembler unit tests: incremental text/binary decode, the
+//     dribbled-magic hold, header validation before any payload wait,
+//     fatal-vs-recoverable errors.
+//   - nofile_capacity_warning: the RLIMIT_NOFILE capacity check.
+//   - Event-loop TCP battery: the PR-5 thread-per-connection semantics
+//     (simultaneous progress, per-tenant arrival order, typed
+//     backpressure, over-cap busy, dribbled magic, quit-from-any-client)
+//     re-proven against the readiness loop, plus adversarial framing the
+//     loop alone must survive: slow-loris byte-at-a-time frames across
+//     100 interleaved connections, mid-frame disconnects, oversized
+//     length headers, and deep pipelining.
+//
+// These run under the ASan/UBSan and TSan presets in CI.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/mtx_io.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass::serve {
+namespace {
+
+/// Per-process scratch file: ctest runs cases as concurrent processes, so
+/// every artifact must be process-unique or cases cross-talk.
+std::string scratch_path(const std::string& name) {
+  static const std::string pid = std::to_string(::getpid());
+  return testing::TempDir() + "/ingrass_evl_" + pid + "_" + name;
+}
+
+/// A small connected test graph on disk, shared by every server test.
+const std::string& test_mtx() {
+  static const std::string path = [] {
+    Rng rng(7);
+    const Graph g = make_triangulated_grid(5, 5, rng);
+    const std::string p = scratch_path("grid.mtx");
+    write_mtx_file(p, g);
+    return p;
+  }();
+  return path;
+}
+
+SessionSpec fast_spec() {
+  SessionSpec spec;
+  spec.density = 0.3;
+  spec.target = 100.0;
+  spec.grass_target = 40.0;
+  spec.sync = true;  // deterministic rebuilds
+  return spec;
+}
+
+/// Encode one request in the binary framing.
+std::string encode_request(const Request& request) {
+  BinaryCodec codec;
+  std::ostringstream out;
+  codec.write_request(out, request);
+  return std::move(out).str();
+}
+
+/// A hand-built binary frame header (magic + version + length, little
+/// endian) for adversarial-framing cases.
+std::string frame_header(std::uint32_t version, std::uint32_t length) {
+  std::string h(kBinaryFrameMagic, 4);
+  const auto put32 = [&h](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) h.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  put32(version);
+  put32(length);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// FrameAssembler
+
+TEST(FrameAssembler, BinaryRequestInOneFeed) {
+  FrameAssembler a;
+  const std::string bytes = encode_request(req::Insert{"t", 3, 7, 1.5});
+  a.feed(bytes.data(), bytes.size());
+  const auto request = a.next();
+  ASSERT_TRUE(request.has_value());
+  ASSERT_TRUE(std::holds_alternative<req::Insert>(*request));
+  const auto& insert = std::get<req::Insert>(*request);
+  EXPECT_EQ(insert.name, "t");
+  EXPECT_EQ(insert.u, 3);
+  EXPECT_EQ(insert.v, 7);
+  EXPECT_DOUBLE_EQ(insert.w, 1.5);
+  EXPECT_EQ(a.wire(), WireFormat::kBinary);
+  EXPECT_EQ(a.buffered(), 0u);
+  EXPECT_FALSE(a.next().has_value());
+}
+
+TEST(FrameAssembler, BinaryByteAtATime) {
+  FrameAssembler a;
+  const std::string bytes = encode_request(req::Metrics{"m"});
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    a.feed(&bytes[i], 1);
+    EXPECT_FALSE(a.next().has_value()) << "byte " << i;
+  }
+  a.feed(&bytes[bytes.size() - 1], 1);
+  const auto request = a.next();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(std::holds_alternative<req::Metrics>(*request));
+}
+
+TEST(FrameAssembler, DribbledMagicHoldsTheCodecDecisionOpen) {
+  FrameAssembler a;
+  // 1..3 bytes of the magic must neither decode nor classify as text.
+  for (std::size_t i = 0; i < 3; ++i) {
+    a.feed(&kBinaryFrameMagic[i], 1);
+    EXPECT_FALSE(a.next().has_value());
+    EXPECT_EQ(a.wire(), WireFormat::kUndecided) << "after byte " << i;
+  }
+  a.feed(&kBinaryFrameMagic[3], 1);
+  EXPECT_FALSE(a.next().has_value());  // header incomplete, but decided
+  EXPECT_EQ(a.wire(), WireFormat::kBinary);
+}
+
+TEST(FrameAssembler, NonMagicPrefixDecidesTextImmediately) {
+  FrameAssembler a;
+  a.feed("me", 2);  // diverges from the magic at the first byte
+  EXPECT_FALSE(a.next().has_value());  // no newline yet
+  EXPECT_EQ(a.wire(), WireFormat::kText);
+  const std::string rest = "trics\n";
+  a.feed(rest.data(), rest.size());
+  const auto request = a.next();
+  ASSERT_TRUE(request.has_value());
+  ASSERT_TRUE(std::holds_alternative<req::Metrics>(*request));
+  EXPECT_TRUE(std::get<req::Metrics>(*request).name.empty());
+}
+
+TEST(FrameAssembler, TextSkipsBlankAndCommentLines) {
+  FrameAssembler a;
+  const std::string bytes = "# warm-up comment\n\n   \nmetrics\n";
+  a.feed(bytes.data(), bytes.size());
+  const auto request = a.next();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(std::holds_alternative<req::Metrics>(*request));
+  EXPECT_FALSE(a.next().has_value());
+}
+
+TEST(FrameAssembler, TextBadCommandIsRecoverable) {
+  FrameAssembler a;
+  const std::string bytes = "frobnicate\nmetrics\n";
+  a.feed(bytes.data(), bytes.size());
+  EXPECT_THROW((void)a.next(), ProtocolError);
+  EXPECT_FALSE(a.dead());  // a bad line costs one err, not the connection
+  const auto request = a.next();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(std::holds_alternative<req::Metrics>(*request));
+}
+
+TEST(FrameAssembler, TwoFramesInOneFeedDecodeInOrder) {
+  FrameAssembler a;
+  const std::string bytes =
+      encode_request(req::Insert{"t", 1, 2, 1.0}) + encode_request(req::Apply{"t"});
+  a.feed(bytes.data(), bytes.size());
+  const auto first = a.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(std::holds_alternative<req::Insert>(*first));
+  const auto second = a.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(std::holds_alternative<req::Apply>(*second));
+  EXPECT_FALSE(a.next().has_value());
+}
+
+TEST(FrameAssembler, ImplausibleLengthIsFatalAtTheHeader) {
+  FrameAssembler a;
+  // Twelve header bytes claiming a payload past the frame cap: the reject
+  // must happen now — no waiting for (or allocating) the claimed payload.
+  const std::string head =
+      frame_header(kBinaryFrameVersion, static_cast<std::uint32_t>(kMaxFrameBytes) + 1);
+  a.feed(head.data(), head.size());
+  EXPECT_THROW((void)a.next(), ProtocolError);
+  EXPECT_TRUE(a.dead());
+  // Dead assemblers ignore further input instead of buffering it.
+  const std::string more(1024, 'x');
+  a.feed(more.data(), more.size());
+  EXPECT_EQ(a.buffered(), head.size());
+  EXPECT_FALSE(a.next().has_value());
+}
+
+TEST(FrameAssembler, WrongVersionIsFatal) {
+  FrameAssembler a;
+  const std::string head = frame_header(kBinaryFrameVersion + 9, 4);
+  a.feed(head.data(), head.size());
+  try {
+    (void)a.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_TRUE(e.fatal());
+    EXPECT_NE(std::string(e.what()).find("unsupported version"), std::string::npos);
+  }
+  EXPECT_TRUE(a.dead());
+}
+
+TEST(FrameAssembler, OverlongTextLineWithoutNewlineIsFatal) {
+  FrameAssembler a;
+  const std::string chunk(kMaxFrameBytes / 4 + 1, 'a');
+  for (int i = 0; i < 4; ++i) a.feed(chunk.data(), chunk.size());
+  EXPECT_THROW((void)a.next(), ProtocolError);
+  EXPECT_TRUE(a.dead());
+}
+
+// ---------------------------------------------------------------------------
+// RLIMIT_NOFILE capacity check
+
+TEST(NofileCapacity, ImpossibleCapacityWarnsAndTinyCapacityDoesNot) {
+  // No process gets INT_MAX descriptors; the warning must name the limit
+  // and the shed behavior so the operator knows what will happen.
+  const auto warning =
+      nofile_capacity_warning(std::numeric_limits<int>::max());
+  ASSERT_TRUE(warning.has_value());
+  EXPECT_NE(warning->find("RLIMIT_NOFILE"), std::string::npos);
+  EXPECT_NE(warning->find("busy connections"), std::string::npos);
+  // A one-connection server fits any real limit.
+  EXPECT_FALSE(nofile_capacity_warning(1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop TCP battery
+
+/// One serve_tcp server in --event-loop mode on an ephemeral port.
+struct EventTestServer {
+  explicit EventTestServer(EngineOptions eopts = {}, TcpOptions topts = {})
+      : engine(eopts) {
+    static std::atomic<int> counter{0};
+    const std::string port_file =
+        scratch_path("port_" + std::to_string(counter.fetch_add(1)) + ".txt");
+    std::remove(port_file.c_str());
+    topts.port_file = port_file;
+    topts.event_loop = true;
+    thread = std::thread([this, topts] { serve_tcp(engine, topts); });
+    port = wait_for_port_file(port_file);
+  }
+
+  /// Send a quit on a fresh connection and join the server.
+  void stop() {
+    BinaryCodec codec;
+    TcpClient client(port);
+    codec.write_request(client.out(), req::Quit{});
+    client.out().flush();
+    (void)codec.read_response(client.in());
+    thread.join();
+  }
+
+  ~EventTestServer() {
+    if (!thread.joinable()) return;
+    try {
+      stop();
+    } catch (...) {
+      thread.detach();
+    }
+  }
+
+  Engine engine;
+  std::thread thread;
+  std::uint16_t port = 0;
+};
+
+/// Send one request and read its response over an established client.
+Response roundtrip(BinaryCodec& codec, TcpClient& client, const Request& request) {
+  codec.write_request(client.out(), request);
+  client.out().flush();
+  const auto response = codec.read_response(client.in());
+  if (!response) throw std::runtime_error("server closed the connection");
+  return *response;
+}
+
+TEST(ServeEventLoop, BasicBinarySessionRoundtrips) {
+  EventTestServer server;
+  BinaryCodec codec;
+  TcpClient client(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, client, req::Open{"t", test_mtx(), fast_spec()})));
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(
+      roundtrip(codec, client, req::Insert{"t", 0, 24, 1.0})));
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+      roundtrip(codec, client, req::Apply{"t"})));
+  const Response solved = roundtrip(codec, client, req::Solve{"t", 0, 24});
+  ASSERT_TRUE(std::holds_alternative<resp::Solved>(solved));
+  EXPECT_GT(std::get<resp::Solved>(solved).resistance, 0.0);
+  server.stop();
+}
+
+TEST(ServeEventLoop, TextClientSpeaksTheLineProtocol) {
+  EventTestServer server;
+  TcpClient client(server.port);
+  client.out() << "metrics\n" << std::flush;
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(client.in(), line)));
+  EXPECT_EQ(line, "err no session (use open or restore)");
+  // The same connection stays serviceable after the err.
+  client.out() << "open " << test_mtx() << " --name t --sync\n" << std::flush;
+  ASSERT_TRUE(static_cast<bool>(std::getline(client.in(), line)));
+  EXPECT_EQ(line.rfind("ok open", 0), 0u) << line;
+  server.stop();
+}
+
+TEST(ServeEventLoop, SecondClientCompletesWhileFirstHoldsItsConnection) {
+  EventTestServer server;
+  BinaryCodec codec;
+
+  TcpClient a(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, a, req::Open{"a", test_mtx(), fast_spec()})));
+
+  {
+    TcpClient b(server.port);
+    ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+        roundtrip(codec, b, req::Open{"b", test_mtx(), fast_spec()})));
+    ASSERT_TRUE(std::holds_alternative<resp::Staged>(
+        roundtrip(codec, b, req::Insert{"b", 0, 24, 1.0})));
+    ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+        roundtrip(codec, b, req::Apply{"b"})));
+    const Response solved = roundtrip(codec, b, req::Solve{"b", 0, 24});
+    ASSERT_TRUE(std::holds_alternative<resp::Solved>(solved));
+  }
+
+  const Response solved = roundtrip(codec, a, req::Solve{"a", 0, 24});
+  ASSERT_TRUE(std::holds_alternative<resp::Solved>(solved));
+  server.stop();
+}
+
+TEST(ServeEventLoop, ManyClientsInterleaveWithPerTenantArrivalOrder) {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 4;
+  EventTestServer server;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      const std::string suffix = std::to_string(c);
+      const std::string tenant = "t" + suffix;
+      try {
+        BinaryCodec codec;
+        TcpClient client(server.port);
+        Response r = roundtrip(codec, client, req::Open{tenant, test_mtx(), fast_spec()});
+        ASSERT_TRUE(std::holds_alternative<resp::Opened>(r));
+        std::uint64_t staged_total = 0;
+        for (int round = 0; round < kRounds; ++round) {
+          // Two stages then an apply: the Staged counts (1 then 2, reset
+          // by the apply) prove per-tenant arrival-order execution under
+          // the lane dispatcher, untouched by other tenants' traffic.
+          const NodeId u = static_cast<NodeId>((round * 3 + c) % 24);
+          r = roundtrip(codec, client, req::Insert{tenant, u, 24, 1.0});
+          ASSERT_TRUE(std::holds_alternative<resp::Staged>(r));
+          EXPECT_EQ(std::get<resp::Staged>(r).inserts, 1u);
+          r = roundtrip(codec, client, req::Insert{tenant, u, 23, 0.5});
+          ASSERT_TRUE(std::holds_alternative<resp::Staged>(r));
+          EXPECT_EQ(std::get<resp::Staged>(r).inserts, 2u);
+          staged_total += 2;
+          r = roundtrip(codec, client, req::Apply{tenant});
+          ASSERT_TRUE(std::holds_alternative<resp::Applied>(r));
+          r = roundtrip(codec, client, req::Solve{tenant, 0, 24});
+          ASSERT_TRUE(std::holds_alternative<resp::Solved>(r));
+        }
+        r = roundtrip(codec, client, req::Metrics{tenant});
+        ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(r));
+        const ServingMetrics m = std::get<resp::MetricsOut>(r).metrics;
+        EXPECT_EQ(m.counters.inserts_offered, staged_total);
+        EXPECT_EQ(m.busy_rejections, 0u);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "client " << c << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST(ServeEventLoop, SharedTenantTrafficLosesNothing) {
+  constexpr int kClients = 3;
+  constexpr int kRounds = 6;
+  EventTestServer server;
+
+  {
+    BinaryCodec codec;
+    TcpClient opener(server.port);
+    ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+        roundtrip(codec, opener, req::Open{"shared", test_mtx(), fast_spec()})));
+  }
+
+  std::atomic<std::uint64_t> staged_acks{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      try {
+        BinaryCodec codec;
+        TcpClient client(server.port);
+        for (int round = 0; round < kRounds; ++round) {
+          const NodeId u = static_cast<NodeId>((round * kClients + c) % 24);
+          const Response staged =
+              roundtrip(codec, client, req::Insert{"shared", u, 24, 0.5});
+          ASSERT_TRUE(std::holds_alternative<resp::Staged>(staged));
+          staged_acks.fetch_add(1);
+          ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+              roundtrip(codec, client, req::Apply{"shared"})));
+          ASSERT_TRUE(std::holds_alternative<resp::Solved>(
+              roundtrip(codec, client, req::Solve{"shared", 0, 24})));
+        }
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "client " << c << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  BinaryCodec codec;
+  TcpClient reader(server.port);
+  const Response metrics = roundtrip(codec, reader, req::Metrics{"shared"});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.counters.inserts_offered,
+            staged_acks.load());
+  server.stop();
+}
+
+TEST(ServeEventLoop, FloodPastStagedCapYieldsBusyNotAHang) {
+  EngineOptions eopts;
+  eopts.max_staged = 8;
+  EventTestServer server(eopts);
+
+  BinaryCodec codec;
+  TcpClient client(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, client, req::Open{"", test_mtx(), fast_spec()})));
+
+  int staged = 0;
+  int busy = 0;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId u = static_cast<NodeId>(i % 24);
+    const Response r = roundtrip(codec, client, req::Insert{"", u, 24, 1.0});
+    if (std::holds_alternative<resp::Staged>(r)) {
+      ++staged;
+    } else {
+      ASSERT_TRUE(std::holds_alternative<resp::Busy>(r)) << "response " << i;
+      EXPECT_EQ(std::get<resp::Busy>(r).what, "staged");
+      EXPECT_EQ(std::get<resp::Busy>(r).limit, 8u);
+      ++busy;
+    }
+  }
+  EXPECT_EQ(staged, 8);
+  EXPECT_EQ(busy, 12);
+
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+      roundtrip(codec, client, req::Apply{""})));
+  const Response metrics = roundtrip(codec, client, req::Metrics{""});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  const ServingMetrics m = std::get<resp::MetricsOut>(metrics).metrics;
+  EXPECT_EQ(m.counters.inserts_offered, 8u);
+  EXPECT_EQ(m.busy_rejections, 12u);
+  ASSERT_TRUE(std::holds_alternative<resp::Staged>(
+      roundtrip(codec, client, req::Insert{"", 3, 7, 1.0})));
+  server.stop();
+}
+
+TEST(ServeEventLoop, PipelineFloodPastQueueCapGetsTypedBusy) {
+  // A pipelining client fires a burst of applies without reading: the
+  // lane executes max_queued of them and refuses the rest O(1), with the
+  // refusals visible in the tenant's metrics — enforced at the loop (the
+  // pool never sees the excess), matching with_tenant's bound.
+  EngineOptions eopts;
+  eopts.max_queued = 2;
+  EventTestServer server(eopts);
+
+  BinaryCodec codec;
+  TcpClient client(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, client, req::Open{"", test_mtx(), fast_spec()})));
+
+  constexpr int kBurst = 12;
+  for (int i = 0; i < kBurst; ++i) {
+    codec.write_request(client.out(), req::Apply{""});
+  }
+  client.out().flush();
+
+  int applied = 0;
+  int busy = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto r = codec.read_response(client.in());
+    ASSERT_TRUE(r.has_value()) << "response " << i;
+    if (std::holds_alternative<resp::Applied>(*r)) {
+      ++applied;
+    } else {
+      ASSERT_TRUE(std::holds_alternative<resp::Busy>(*r)) << "response " << i;
+      EXPECT_EQ(std::get<resp::Busy>(*r).what, "queue");
+      EXPECT_EQ(std::get<resp::Busy>(*r).limit, 2u);
+      ++busy;
+    }
+  }
+  // Timing decides the exact split, but the cap guarantees refusals for a
+  // burst this deep, and nothing may be lost or duplicated.
+  EXPECT_EQ(applied + busy, kBurst);
+  EXPECT_GE(busy, 1);
+  EXPECT_GE(applied, 1);
+
+  const Response metrics = roundtrip(codec, client, req::Metrics{""});
+  ASSERT_TRUE(std::holds_alternative<resp::MetricsOut>(metrics));
+  EXPECT_EQ(std::get<resp::MetricsOut>(metrics).metrics.busy_rejections,
+            static_cast<std::uint64_t>(busy));
+  server.stop();
+}
+
+TEST(ServeEventLoop, DeepPipelineReturnsResponsesInRequestOrder) {
+  EventTestServer server;
+  BinaryCodec codec;
+  TcpClient client(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, client, req::Open{"t", test_mtx(), fast_spec()})));
+
+  // A burst of inserts without reading: the Staged counts must come back
+  // 1..N — arrival-order execution AND request-order responses, however
+  // the pool interleaves.
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    codec.write_request(client.out(),
+                        req::Insert{"t", static_cast<NodeId>(i % 24), 24, 1.0});
+  }
+  client.out().flush();
+  for (int i = 0; i < kBurst; ++i) {
+    const auto r = codec.read_response(client.in());
+    ASSERT_TRUE(r.has_value()) << "response " << i;
+    ASSERT_TRUE(std::holds_alternative<resp::Staged>(*r)) << "response " << i;
+    EXPECT_EQ(std::get<resp::Staged>(*r).inserts, static_cast<std::uint64_t>(i + 1));
+  }
+  ASSERT_TRUE(std::holds_alternative<resp::Applied>(
+      roundtrip(codec, client, req::Apply{"t"})));
+
+  // And a burst of solves (the overlapping command) still answers one
+  // Solved per request on the same connection.
+  constexpr int kSolves = 6;
+  for (int i = 0; i < kSolves; ++i) {
+    codec.write_request(client.out(), req::Solve{"t", 0, 24});
+  }
+  client.out().flush();
+  for (int i = 0; i < kSolves; ++i) {
+    const auto r = codec.read_response(client.in());
+    ASSERT_TRUE(r.has_value()) << "solve " << i;
+    ASSERT_TRUE(std::holds_alternative<resp::Solved>(*r)) << "solve " << i;
+  }
+  server.stop();
+}
+
+TEST(ServeEventLoop, OverCapConnectionGetsBusyAndCloses) {
+  TcpOptions topts;
+  topts.max_connections = 1;
+  EventTestServer server(EngineOptions{}, topts);
+
+  BinaryCodec codec;
+  TcpClient first(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, first, req::Open{"", test_mtx(), fast_spec()})));
+
+  {
+    // The second client gets exactly one typed Busy — in its own codec —
+    // then end-of-stream, not a hang.
+    TcpClient second(server.port);
+    codec.write_request(second.out(), req::Metrics{""});
+    second.out().flush();
+    const auto r = codec.read_response(second.in());
+    ASSERT_TRUE(r.has_value());
+    ASSERT_TRUE(std::holds_alternative<resp::Busy>(*r));
+    EXPECT_EQ(std::get<resp::Busy>(*r).what, "connections");
+    EXPECT_EQ(std::get<resp::Busy>(*r).limit, 1u);
+    EXPECT_FALSE(codec.read_response(second.in()).has_value());
+  }
+
+  // The occupant is unaffected and can quit the server itself.
+  codec.write_request(first.out(), req::Quit{});
+  first.out().flush();
+  const auto bye = codec.read_response(first.in());
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_TRUE(std::holds_alternative<resp::Bye>(*bye));
+  server.thread.join();
+}
+
+TEST(ServeEventLoop, DribbledBinaryMagicIsNotMisclassifiedAsText) {
+  EventTestServer server;
+  TcpClient client(server.port);
+
+  BinaryCodec codec;
+  const std::string bytes = encode_request(req::Metrics{""});
+  ASSERT_GE(bytes.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    client.out().put(bytes[i]);
+    client.out().flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  client.out().write(bytes.data() + 4, static_cast<std::streamsize>(bytes.size() - 4));
+  client.out().flush();
+
+  const auto response = codec.read_response(client.in());
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(std::holds_alternative<resp::Error>(*response));
+  EXPECT_EQ(std::get<resp::Error>(*response).message,
+            "no session (use open or restore)");
+
+  codec.write_request(client.out(), req::Quit{});
+  client.out().flush();
+  ASSERT_TRUE(std::holds_alternative<resp::Bye>(*codec.read_response(client.in())));
+  server.thread.join();
+}
+
+TEST(ServeEventLoop, QuitFromAnyClientStopsTheWholeServer) {
+  EventTestServer server;
+  BinaryCodec codec;
+
+  TcpClient holder(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, holder, req::Open{"h", test_mtx(), fast_spec()})));
+
+  {
+    TcpClient quitter(server.port);
+    codec.write_request(quitter.out(), req::Quit{});
+    quitter.out().flush();
+    const auto bye = codec.read_response(quitter.in());
+    ASSERT_TRUE(bye.has_value());
+    EXPECT_TRUE(std::holds_alternative<resp::Bye>(*bye));
+  }
+  server.thread.join();
+  // The holder's connection was shut down by the stop, not wedged.
+  EXPECT_FALSE(codec.read_response(holder.in()).has_value());
+}
+
+TEST(ServeEventLoop, MidFrameDisconnectLeavesTheServerHealthy) {
+  EventTestServer server;
+
+  {
+    // Half a binary frame, then a close mid-payload.
+    TcpClient partial(server.port);
+    const std::string bytes = encode_request(req::Metrics{""});
+    partial.out().write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 3));
+    partial.out().flush();
+  }
+  {
+    // Half a text line (no newline), then a close.
+    TcpClient partial(server.port);
+    partial.out() << "metri" << std::flush;
+  }
+
+  // A full session still completes afterwards.
+  BinaryCodec codec;
+  TcpClient client(server.port);
+  ASSERT_TRUE(std::holds_alternative<resp::Opened>(
+      roundtrip(codec, client, req::Open{"t", test_mtx(), fast_spec()})));
+  ASSERT_TRUE(std::holds_alternative<resp::Solved>(
+      roundtrip(codec, client, req::Solve{"t", 0, 24})));
+  server.stop();
+}
+
+TEST(ServeEventLoop, OversizedLengthHeaderIsRefusedWithErrThenEof) {
+  EventTestServer server;
+  BinaryCodec codec;
+  TcpClient client(server.port);
+
+  const std::string head =
+      frame_header(kBinaryFrameVersion, static_cast<std::uint32_t>(kMaxFrameBytes) + 1);
+  client.out().write(head.data(), static_cast<std::streamsize>(head.size()));
+  client.out().flush();
+
+  // One typed err naming the refusal, then end-of-stream — the server
+  // must not wait for (or buffer toward) the claimed payload.
+  const auto r = codec.read_response(client.in());
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(std::holds_alternative<resp::Error>(*r));
+  EXPECT_NE(std::get<resp::Error>(*r).message.find("implausible length"),
+            std::string::npos);
+  EXPECT_FALSE(codec.read_response(client.in()).has_value());
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Slow loris
+
+/// A raw blocking loopback socket (no FdStreamBuf buffering — the test
+/// controls every byte on the wire).
+struct RawConn {
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("RawConn: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      fd = -1;
+      throw std::runtime_error("RawConn: connect() failed");
+    }
+  }
+  RawConn(RawConn&& other) noexcept : fd(other.fd) { other.fd = -1; }
+  RawConn& operator=(RawConn&&) = delete;
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  void send_byte(char byte) const {
+    ASSERT_EQ(::send(fd, &byte, 1, MSG_NOSIGNAL), 1);
+  }
+  /// Blocking read of exactly `n` bytes.
+  void read_exact(char* out, std::size_t n) const {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd, out + got, n - got, 0);
+      ASSERT_GT(r, 0) << "peer closed after " << got << " of " << n << " bytes";
+      got += static_cast<std::size_t>(r);
+    }
+  }
+  int fd = -1;
+};
+
+std::uint32_t le32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+TEST(ServeEventLoop, SlowLorisHundredInterleavedByteAtATimeConnections) {
+  // 100 connections, all dribbling the same binary request one byte at a
+  // time, interleaved round-robin from a single thread: every partial
+  // frame sits buffered in its own assembler, no connection blocks any
+  // other, and every client gets its complete, uncorrupted response.
+  constexpr int kConns = 100;
+  TcpOptions topts;
+  topts.max_connections = kConns + 2;
+  EventTestServer server(EngineOptions{}, topts);
+
+  const std::string bytes = encode_request(req::Metrics{""});
+  std::vector<RawConn> conns;
+  conns.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) conns.emplace_back(server.port);
+
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    for (const RawConn& conn : conns) conn.send_byte(bytes[b]);
+  }
+
+  // Each response is one well-formed binary frame: magic, version, a
+  // sane length, and a complete payload.
+  for (const RawConn& conn : conns) {
+    char head[12];
+    conn.read_exact(head, sizeof head);
+    EXPECT_EQ(std::memcmp(head, kBinaryFrameMagic, 4), 0);
+    EXPECT_EQ(le32(head + 4), kBinaryFrameVersion);
+    const std::uint32_t length = le32(head + 8);
+    ASSERT_LE(length, kMaxFrameBytes);
+    std::vector<char> payload(length);
+    conn.read_exact(payload.data(), payload.size());
+  }
+  conns.clear();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ingrass::serve

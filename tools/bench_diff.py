@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare two ingrass-bench/1 snapshots: perf regressions fail the build.
+
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.10]
+  bench_diff.py --self-test
+
+Both files are BENCH_*.json documents written by the bench binaries'
+--json flag (schema "ingrass-bench/1"). Records are matched by benchmark
+name plus the full set of identifying params; a record present on only
+one side is reported but never fails the run (benchmarks come and go
+across PRs — only a *measured regression* should gate).
+
+For every matched pair, two one-sided checks with a relative noise band
+`--tolerance` (default 0.10 = 10%):
+
+  - throughput (when both sides report it) must not drop below
+    baseline * (1 - tolerance),
+  - median_seconds (when both sides are > 0) must not rise above
+    baseline * (1 + tolerance).
+
+Improvements never fail. Exit status: 0 = no regression, 1 = at least
+one regression, 2 = bad invocation/input. Output is one line per
+comparison so CI logs read as a table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA = "ingrass-bench/1"
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"bench_diff: {path}: expected schema {SCHEMA!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    out = {}
+    for rec in doc.get("benchmarks", []):
+        key = (rec["name"], tuple(sorted(rec.get("params", {}).items())))
+        if key in out:
+            raise SystemExit(f"bench_diff: {path}: duplicate record {key}")
+        out[key] = rec
+    return out
+
+
+def describe(key) -> str:
+    name, params = key
+    inside = ", ".join(f"{k}={v}" for k, v in params)
+    return f"{name}[{inside}]" if inside else name
+
+
+def diff(baseline: dict, current: dict, tolerance: float) -> int:
+    regressions = 0
+    for key in sorted(set(baseline) | set(current)):
+        label = describe(key)
+        if key not in current:
+            print(f"  gone      {label} (baseline only — not a failure)")
+            continue
+        if key not in baseline:
+            print(f"  new       {label} (current only — not a failure)")
+            continue
+        base, cur = baseline[key], current[key]
+        verdicts = []
+        bt, ct = base.get("throughput", 0.0), cur.get("throughput", 0.0)
+        if bt > 0 and ct > 0:
+            floor = bt * (1.0 - tolerance)
+            ok = ct >= floor
+            verdicts.append((ok, f"throughput {ct:.6g} vs {bt:.6g} "
+                                 f"(floor {floor:.6g})"))
+        bm, cm = base.get("median_seconds", 0.0), cur.get("median_seconds", 0.0)
+        if bm > 0 and cm > 0:
+            ceil = bm * (1.0 + tolerance)
+            ok = cm <= ceil
+            verdicts.append((ok, f"median {cm:.6g}s vs {bm:.6g}s "
+                                 f"(ceiling {ceil:.6g}s)"))
+        if not verdicts:
+            print(f"  skip      {label} (no comparable measurements)")
+            continue
+        bad = [text for ok, text in verdicts if not ok]
+        if bad:
+            regressions += 1
+            print(f"  REGRESSED {label}: " + "; ".join(bad))
+        else:
+            print(f"  ok        {label}: " + "; ".join(t for _, t in verdicts))
+    return regressions
+
+
+def self_test() -> int:
+    """Exercise the comparator on synthetic snapshots (no bench binaries)."""
+    def doc(records):
+        return {"schema": SCHEMA, "benchmarks": records}
+
+    def rec(name, params, median, throughput):
+        return {"name": name, "params": params, "reps": 1,
+                "median_seconds": median, "stddev_seconds": 0.0,
+                "throughput": throughput, "throughput_unit": "ops/s"}
+
+    base = doc([
+        rec("a", {"case": "x"}, 1.0, 100.0),   # will regress on throughput
+        rec("b", {"case": "x"}, 1.0, 100.0),   # will improve
+        rec("c", {"case": "x"}, 1.0, 100.0),   # within band
+        rec("gone", {}, 1.0, 100.0),           # disappears
+    ])
+    cur = doc([
+        rec("a", {"case": "x"}, 1.0, 80.0),
+        rec("b", {"case": "x"}, 0.5, 200.0),
+        rec("c", {"case": "x"}, 1.05, 95.0),
+        rec("new", {}, 1.0, 100.0),            # appears
+    ])
+    with tempfile.TemporaryDirectory() as tmp:
+        bp, cp = Path(tmp, "base.json"), Path(tmp, "cur.json")
+        bp.write_text(json.dumps(base))
+        cp.write_text(json.dumps(cur))
+        n = diff(load(str(bp)), load(str(cp)), 0.10)
+    if n != 1:
+        print(f"self-test FAILED: expected exactly 1 regression, got {n}")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv[1:])
+    if args == ["--self-test"]:
+        return self_test()
+    tolerance = 0.10
+    if "--tolerance" in args:
+        i = args.index("--tolerance")
+        try:
+            tolerance = float(args[i + 1])
+        except (IndexError, ValueError):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if len(args) != 2 or tolerance < 0:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline, current = load(args[0]), load(args[1])
+    print(f"bench_diff: {args[0]} -> {args[1]} (tolerance {tolerance:.0%})")
+    regressions = diff(baseline, current, tolerance)
+    if regressions:
+        print(f"bench_diff: {regressions} regression(s) past the "
+              f"{tolerance:.0%} band")
+        return 1
+    print("bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

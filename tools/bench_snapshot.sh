@@ -1,0 +1,84 @@
+#!/bin/sh
+# Produce one merged ingrass-bench/1 snapshot (BENCH_*.json) from the
+# bench binaries, under pinned workload knobs so two runs of this script
+# measure the same work and tools/bench_diff.py can compare them.
+#
+# usage: bench_snapshot.sh [--quick] <build-dir> <out.json>
+#
+#   --quick   serving-layer benches only (the seconds-scale subset CI can
+#             afford); records keep the exact keys of the full snapshot,
+#             so a quick run diffs cleanly against a committed full one —
+#             the session records just report as "gone" (not a failure).
+#
+# The full snapshot covers: session throughput under the three rebuild
+# policies, sharded (4) vs unsharded (1) dispatch, TCP aggregate at
+# 1/4/16 clients in both transports, and the 1000-connection mostly-idle
+# fleet in both transports (peak RSS included).
+set -eu
+
+quick=0
+if [ "${1:-}" = "--quick" ]; then
+  quick=1
+  shift
+fi
+if [ $# -ne 2 ]; then
+  echo "usage: bench_snapshot.sh [--quick] <build-dir> <out.json>" >&2
+  exit 2
+fi
+# Absolute paths: the benches run from a scratch cwd below.
+build=$(cd "$1" && pwd)
+case $2 in
+  /*) out=$2 ;;
+  *) out=$(pwd)/$2 ;;
+esac
+
+# Pinned workload: one representative case, scaled down so the full
+# snapshot stays minutes-scale. Changing any of these invalidates
+# comparisons against older snapshots.
+INGRASS_BENCH_CASES=G2_circuit
+INGRASS_BENCH_SCALE=0.25
+INGRASS_BENCH_SEED=2024
+export INGRASS_BENCH_CASES INGRASS_BENCH_SCALE INGRASS_BENCH_SEED
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"  # bench binaries drop scratch files (grid .mtx, port files) in cwd
+
+echo "== serve_tcp: 1/4/16-client aggregate, both transports" >&2
+"$build/bench/bench_serve_tcp" --rounds 10 --json "$tmp/tcp_scaling.json" >&2
+
+echo "== serve_tcp: 1000-connection mostly-idle fleet, both transports" >&2
+"$build/bench/bench_serve_tcp" --clients 1000 --idle-frac 0.95 --rounds 10 \
+  --json "$tmp/tcp_idle.json" >&2
+
+parts="$tmp/tcp_scaling.json $tmp/tcp_idle.json"
+if [ "$quick" -eq 0 ]; then
+  echo "== session: rebuild policies (never/sync/async)" >&2
+  "$build/bench/bench_session" --json "$tmp/session.json" >&2
+  echo "== session: unsharded (1) vs sharded (4) dispatch" >&2
+  "$build/bench/bench_session" --shards 1 --json "$tmp/shard1.json" >&2
+  "$build/bench/bench_session" --shards 4 --json "$tmp/shard4.json" >&2
+  parts="$parts $tmp/session.json $tmp/shard1.json $tmp/shard4.json"
+fi
+
+# Merge the per-binary documents into one snapshot, refusing key clashes.
+python3 - "$out" $parts <<'EOF'
+import json, sys
+
+out_path, parts = sys.argv[1], sys.argv[2:]
+merged, seen = [], set()
+for path in parts:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "ingrass-bench/1", path
+    for rec in doc["benchmarks"]:
+        key = (rec["name"], tuple(sorted(rec.get("params", {}).items())))
+        if key in seen:
+            raise SystemExit(f"duplicate benchmark key across parts: {key}")
+        seen.add(key)
+        merged.append(rec)
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump({"schema": "ingrass-bench/1", "benchmarks": merged}, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}: {len(merged)} benchmark records")
+EOF
