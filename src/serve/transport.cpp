@@ -115,6 +115,10 @@ UniqueFd open_listener(const TcpOptions& opts, std::uint16_t* port) {
   if (!listener.valid()) sys_error("socket");
   const int one = 1;
   ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (opts.sndbuf > 0) {
+    ::setsockopt(listener.get(), SOL_SOCKET, SO_SNDBUF, &opts.sndbuf,
+                 sizeof opts.sndbuf);
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -134,7 +138,10 @@ UniqueFd open_listener(const TcpOptions& opts, std::uint16_t* port) {
   // Non-blocking: readiness can outrun reality (a connection aborted
   // between poll/epoll and accept), and accept must then return EAGAIN
   // instead of blocking the loop.
-  ::fcntl(listener.get(), F_SETFL, O_NONBLOCK);
+  const int flags = ::fcntl(listener.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(listener.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    sys_error("fcntl O_NONBLOCK (listener)");
+  }
   return listener;
 }
 

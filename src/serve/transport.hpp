@@ -81,6 +81,12 @@ struct TcpOptions {
   /// receive windows then bound a flooding client's memory, instead of
   /// the server buffering its backlog without limit.
   int max_pipelined = 64;
+  /// When > 0, sets SO_SNDBUF on the listening socket — inherited by
+  /// every accepted connection, and an explicitly sized buffer also opts
+  /// out of kernel send-buffer autotuning. Bounds per-connection kernel
+  /// send memory under fleets of slow readers, and gives flood tests a
+  /// deterministic write-backpressure point. 0 keeps the kernel default.
+  int sndbuf = 0;
 };
 
 /// Run a concurrent TCP server over `engine`: every accepted connection

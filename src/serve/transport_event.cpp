@@ -1,4 +1,5 @@
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -60,7 +61,10 @@ long now_ms() {
   return ts.tv_sec * 1000L + ts.tv_nsec / 1000000L;
 }
 
-void set_nonblocking(int fd) { ::fcntl(fd, F_SETFL, O_NONBLOCK); }
+[[nodiscard]] bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
 
 /// Encode one response in the connection's detected codec. An undecided
 /// wire (never the case for a decoded request's response) falls back to
@@ -155,8 +159,9 @@ class EventServer {
     if (::pipe(wake_fds) != 0) sys_error("pipe");
     wake_read_ = UniqueFd(wake_fds[0]);
     wake_write_ = UniqueFd(wake_fds[1]);
-    set_nonblocking(wake_read_.get());
-    set_nonblocking(wake_write_.get());
+    if (!set_nonblocking(wake_read_.get()) || !set_nonblocking(wake_write_.get())) {
+      sys_error("fcntl O_NONBLOCK (wake pipe)");
+    }
 
     epoll_ = UniqueFd(::epoll_create1(0));
     if (!epoll_.valid()) sys_error("epoll_create1");
@@ -219,7 +224,15 @@ class EventServer {
     ev.data.u64 = c.id;
     // A mask of 0 keeps the registration: EPOLLERR/EPOLLHUP are always
     // reported, which is how a fully-quiesced connection's death is seen.
-    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) == 0) c.interest = mask;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) == 0) {
+      c.interest = mask;
+    } else {
+      // Interest tracking just desynchronized from the kernel (EBADF or
+      // ENOENT here means corrupted connection state) — surface it rather
+      // than stall or busy-spin silently.
+      std::fprintf(stderr, "ingrass_serve: epoll_ctl MOD failed on connection %llu: %s\n",
+                   static_cast<unsigned long long>(c.id), std::strerror(errno));
+    }
   }
 
   void wake() {
@@ -245,7 +258,7 @@ class EventServer {
         sys_error("accept");
       }
       if (stopping_) continue;  // closed: the server is going down
-      set_nonblocking(conn.get());
+      if (!set_nonblocking(conn.get())) continue;  // unusable fd: drop it
       const bool over_cap =
           live_count_ >= static_cast<std::size_t>(opts_.max_connections);
       if (over_cap && shed_count_ >= kMaxShedConns) continue;  // hard drop
@@ -372,7 +385,8 @@ class EventServer {
       return;
     }
     c.assembler.feed(buf, static_cast<std::size_t>(n));
-    drain_assembler(c);
+    decode_buffered(c);
+    flush_writes(c);
   }
 
   /// Codec-detect an over-cap connection from its first bytes (the same
@@ -389,7 +403,10 @@ class EventServer {
     // else: a magic prefix — keep waiting (bounded by the sweep deadline).
   }
 
-  void drain_assembler(Conn& c) {
+  /// Decode whatever the assembler has buffered into response slots, up
+  /// to the pipelining cap (reads pause at the cap; flush_writes resumes
+  /// them as responses drain). Decode only — the caller flushes.
+  void decode_buffered(Conn& c) {
     while (!c.read_done &&
            c.slots.size() < static_cast<std::size_t>(opts_.max_pipelined)) {
       std::optional<Request> request;
@@ -415,7 +432,6 @@ class EventServer {
       c.reading_paused = true;  // resumed by flush_writes as slots drain
     }
     update_interest(c);
-    flush_writes(c);
   }
 
   // --- dispatch ------------------------------------------------------------
@@ -556,17 +572,7 @@ class EventServer {
     c.slots[idx].done = true;
     c.slots[idx].bytes = encode_response_bytes(c.wire(), response);
     if (c.quit_pending) maybe_post_quit(c);
-    flush_writes(c);
-    const auto again = conns_.find(conn_id);
-    if (again == conns_.end()) return;
-    Conn& alive = *again->second;
-    if (alive.reading_paused &&
-        alive.slots.size() <= static_cast<std::size_t>(opts_.max_pipelined) / 2) {
-      // Backpressure released: resume the socket and decode whatever the
-      // assembler already buffered (no EPOLLIN fires for those bytes).
-      alive.reading_paused = false;
-      drain_assembler(alive);
-    }
+    flush_writes(c);  // may close c; resumes paused reads as slots drain
   }
 
   // --- write path ----------------------------------------------------------
@@ -574,53 +580,75 @@ class EventServer {
   /// Send the completed prefix of the slot queue, batched through one
   /// sendmsg (writev with MSG_NOSIGNAL). Arms EPOLLOUT on a short write,
   /// closes the connection once everything owed is out and the read side
-  /// is finished.
+  /// is finished. This is the one place paused reads resume: EVERY path
+  /// that drains slots ends here — pool completions (fill_slot),
+  /// loop-local completions (decode errors, busy refusals), and the
+  /// EPOLLOUT backlog drain — so the resume check cannot be bypassed by
+  /// a connection whose slots never see the pool.
   void flush_writes(Conn& c) {
     constexpr int kMaxIov = 8;
     for (;;) {
-      if (c.slots.empty() || !c.slots.front().done) break;
-      iovec iov[kMaxIov];
-      int iovcnt = 0;
-      for (auto it = c.slots.begin();
-           it != c.slots.end() && it->done && iovcnt < kMaxIov; ++it) {
-        const std::size_t off = (iovcnt == 0) ? c.write_off : 0;
-        iov[iovcnt].iov_base = const_cast<char*>(it->bytes.data() + off);
-        iov[iovcnt].iov_len = it->bytes.size() - off;
-        ++iovcnt;
-      }
-      msghdr msg{};
-      msg.msg_iov = iov;
-      msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
-      ssize_t n = ::sendmsg(c.fd.get(), &msg, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          c.want_write = true;
-          update_interest(c);
+      while (!c.slots.empty() && c.slots.front().done) {
+        iovec iov[kMaxIov];
+        int iovcnt = 0;
+        for (auto it = c.slots.begin();
+             it != c.slots.end() && it->done && iovcnt < kMaxIov; ++it) {
+          const std::size_t off = (iovcnt == 0) ? c.write_off : 0;
+          iov[iovcnt].iov_base = const_cast<char*>(it->bytes.data() + off);
+          iov[iovcnt].iov_len = it->bytes.size() - off;
+          ++iovcnt;
+        }
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+        ssize_t n = ::sendmsg(c.fd.get(), &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // Peer not reading: stay paused (backpressure) and let the
+            // EPOLLOUT re-entry run the resume check below after the
+            // backlog drains.
+            c.want_write = true;
+            update_interest(c);
+            return;
+          }
+          close_conn(c.id);  // peer gone mid-response
           return;
         }
-        close_conn(c.id);  // peer gone mid-response
-        return;
-      }
-      std::size_t left = static_cast<std::size_t>(n);
-      while (left > 0) {
-        const std::size_t avail = c.slots.front().bytes.size() - c.write_off;
-        if (left >= avail) {
-          left -= avail;
-          c.slots.pop_front();
-          ++c.base_seq;
-          c.write_off = 0;
-        } else {
-          c.write_off += left;
-          left = 0;
+        std::size_t left = static_cast<std::size_t>(n);
+        while (left > 0) {
+          const std::size_t avail = c.slots.front().bytes.size() - c.write_off;
+          if (left >= avail) {
+            left -= avail;
+            c.slots.pop_front();
+            ++c.base_seq;
+            c.write_off = 0;
+          } else {
+            c.write_off += left;
+            left = 0;
+          }
         }
       }
+      if (c.want_write) {
+        c.want_write = false;
+        update_interest(c);
+      }
+      if (c.slots.empty() && c.read_done && !c.quit_pending) {
+        close_conn(c.id);
+        return;
+      }
+      if (c.reading_paused && !c.read_done &&
+          c.slots.size() <= static_cast<std::size_t>(opts_.max_pipelined) / 2) {
+        // Backpressure released: resume the socket and decode whatever the
+        // assembler already buffered (no EPOLLIN fires for those bytes),
+        // then loop — the decode may have completed slots locally that
+        // need sending. Terminates: each round consumes buffered bytes.
+        c.reading_paused = false;
+        decode_buffered(c);
+        continue;
+      }
+      return;
     }
-    if (c.want_write) {
-      c.want_write = false;
-      update_interest(c);
-    }
-    if (c.slots.empty() && c.read_done && !c.quit_pending) close_conn(c.id);
   }
 
   void close_conn(std::uint64_t id) {

@@ -19,6 +19,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -701,11 +702,16 @@ TEST(ServeEventLoop, OversizedLengthHeaderIsRefusedWithErrThenEof) {
 // Slow loris
 
 /// A raw blocking loopback socket (no FdStreamBuf buffering — the test
-/// controls every byte on the wire).
+/// controls every byte on the wire). A positive `rcvbuf` shrinks
+/// SO_RCVBUF before connecting, so a test can make the server's sends
+/// back up (EAGAIN) with a small number of responses.
 struct RawConn {
-  explicit RawConn(std::uint16_t port) {
+  explicit RawConn(std::uint16_t port, int rcvbuf = 0) {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error("RawConn: socket() failed");
+    if (rcvbuf > 0) {
+      (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -723,6 +729,15 @@ struct RawConn {
   }
   void send_byte(char byte) const {
     ASSERT_EQ(::send(fd, &byte, 1, MSG_NOSIGNAL), 1);
+  }
+  void send_all(const std::string& bytes) const {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << "send failed after " << off << " of " << bytes.size();
+      off += static_cast<std::size_t>(n);
+    }
   }
   /// Blocking read of exactly `n` bytes.
   void read_exact(char* out, std::size_t n) const {
@@ -776,6 +791,99 @@ TEST(ServeEventLoop, SlowLorisHundredInterleavedByteAtATimeConnections) {
     conn.read_exact(payload.data(), payload.size());
   }
   conns.clear();
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Read-backpressure resume
+//
+// The pipelining cap (max_pipelined, 64) pauses EPOLLIN; the pause must
+// release through flush_writes — the one point every slot-draining path
+// reaches — not only through pool completions. Both regressions below
+// wedged permanently when the resume lived in the pool-completion path:
+// a burst of malformed lines completes every slot on the loop thread, so
+// no pool completion ever arrives.
+
+/// Read '\n'-terminated lines with a poll(2) deadline, so a wedged server
+/// fails the test instead of hanging it.
+struct LineReader {
+  explicit LineReader(const RawConn& conn) : fd(conn.fd) {}
+  std::optional<std::string> read_line(long timeout_ms = 10000) {
+    for (;;) {
+      const std::size_t nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return line;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(timeout_ms)) <= 0) return std::nullopt;
+      char chunk[16384];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  int fd;
+  std::string buf;
+};
+
+TEST(ServeEventLoop, MalformedBurstPastThePipelineCapDoesNotWedgeReading) {
+  // 96 bad lines (> max_pipelined) plus one valid command, pipelined in
+  // one burst: the first 64 err slots all complete locally, tripping the
+  // pause with the rest of the burst sitting undecoded in the assembler.
+  // Every response — including the post-burst command's — must still
+  // arrive.
+  EventTestServer server;
+  RawConn conn(server.port);
+  constexpr int kBad = 96;
+  std::string burst;
+  for (int i = 0; i < kBad; ++i) burst += "bogus" + std::to_string(i) + "\n";
+  burst += "metrics\n";
+  conn.send_all(burst);
+
+  LineReader reader(conn);
+  for (int i = 0; i < kBad; ++i) {
+    const auto line = reader.read_line();
+    ASSERT_TRUE(line.has_value()) << "reading wedged before err " << i;
+    EXPECT_EQ(line->rfind("err unknown command: bogus", 0), 0u) << *line;
+  }
+  const auto tail = reader.read_line();
+  ASSERT_TRUE(tail.has_value()) << "reading wedged before the post-burst command";
+  EXPECT_EQ(*tail, "err no session (use open or restore)");
+  server.stop();
+}
+
+TEST(ServeEventLoop, SlowReadingFlooderResumesThroughTheEpolloutDrain) {
+  // A flooder pipelines malformed lines without reading: the err
+  // responses echo the bad token, so with a pinned SO_SNDBUF (no kernel
+  // autotuning) and a tiny client SO_RCVBUF the server's sends hit
+  // EAGAIN, the pipelining pause trips with part of the burst still
+  // undecoded, and every completed slot completed locally. When the
+  // client finally drains, the backlog leaves through the EPOLLOUT ->
+  // flush_writes path — which must run the resume check, or the rest of
+  // the burst never decodes.
+  TcpOptions topts;
+  topts.sndbuf = 16 * 1024;
+  EventTestServer server(EngineOptions{}, topts);
+  RawConn conn(server.port, /*rcvbuf=*/4096);
+  constexpr int kBad = 96;  // surplus past the cap stays modest so the
+                            // unread burst tail fits kernel buffers
+  const std::string junk(2048, 'x');
+  std::string burst;
+  for (int i = 0; i < kBad; ++i) burst += junk + "\n";
+  burst += "metrics\n";
+  conn.send_all(burst);
+
+  LineReader reader(conn);
+  for (int i = 0; i < kBad; ++i) {
+    const auto line = reader.read_line(20000);
+    ASSERT_TRUE(line.has_value()) << "reading wedged before err " << i;
+    EXPECT_EQ(line->rfind("err unknown command: xxxx", 0), 0u) << "line " << i;
+  }
+  const auto tail = reader.read_line(20000);
+  ASSERT_TRUE(tail.has_value()) << "reading wedged before the post-burst command";
+  EXPECT_EQ(*tail, "err no session (use open or restore)");
   server.stop();
 }
 
