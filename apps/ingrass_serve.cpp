@@ -45,13 +45,19 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/metrics_http.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
+#include "serve/transport_detail.hpp"
 #include "util/parse.hpp"
 
 using namespace ingrass;
@@ -68,6 +74,11 @@ int usage() {
       "                [--event-loop]\n"
       "  ingrass_serve --connect <port> [--script <file>]... [--text]\n"
       "  ingrass_serve --connect-port-file <path> [--script <file>]... [--text]\n"
+      "observability (any server mode):\n"
+      "  --metrics-port <port>        Prometheus /metrics endpoint (0 = ephemeral)\n"
+      "  --metrics-port-file <path>   publish the bound metrics port (atomic write)\n"
+      "  --log-json <path>            append JSON-lines structured log events\n"
+      "  --slow-ms <N>                log requests slower than N ms (0 = off)\n"
       "commands are read per connection; see docs/serve_protocol.md\n");
   return 1;
 }
@@ -82,6 +93,10 @@ struct Args {
   std::string connect_port_file;
   std::vector<std::string> scripts;
   bool client_text = false;
+  std::optional<long> metrics_port;
+  std::string metrics_port_file;
+  std::string log_json;
+  std::optional<long> slow_ms;
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -129,6 +144,23 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.scripts.push_back(*v);
     } else if (flag == "--text") {
       a.client_text = true;
+    } else if (flag == "--metrics-port") {
+      a.metrics_port = port_value();
+      if (!a.metrics_port) return std::nullopt;
+    } else if (flag == "--metrics-port-file") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.metrics_port_file = *v;
+    } else if (flag == "--log-json") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      a.log_json = *v;
+    } else if (flag == "--slow-ms") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      const auto n = parse_full_long(*v);
+      if (!n || *n < 0) return std::nullopt;
+      a.slow_ms = *n;
     } else {
       return std::nullopt;
     }
@@ -145,6 +177,13 @@ std::optional<Args> parse_args(int argc, char** argv) {
   if (!server_tcp && a.max_connections) return std::nullopt;
   if (!server_tcp && a.event_loop) return std::nullopt;
   if (!client && (a.client_text || !a.scripts.empty())) return std::nullopt;
+  // Observability flags belong to server modes (stdio or TCP), and a
+  // metrics port file is meaningless without a metrics listener.
+  if (client && (a.metrics_port || !a.metrics_port_file.empty() ||
+                 !a.log_json.empty() || a.slow_ms)) {
+    return std::nullopt;
+  }
+  if (!a.metrics_port && !a.metrics_port_file.empty()) return std::nullopt;
   return a;
 }
 
@@ -205,6 +244,21 @@ int main(int argc, char** argv) {
       return run_client(*args);
     }
     serve::Engine engine;
+    // Observability surfaces come up before the transport so the first
+    // request is already scrapeable and loggable.
+    if (!args->log_json.empty()) obs::log().open(args->log_json);
+    if (args->slow_ms) {
+      obs::set_slow_request_threshold_ns(
+          static_cast<std::uint64_t>(*args->slow_ms) * 1000000ull);
+    }
+    std::unique_ptr<obs::MetricsHttpServer> metrics;
+    if (args->metrics_port) {
+      metrics = std::make_unique<obs::MetricsHttpServer>(
+          obs::registry(), static_cast<std::uint16_t>(*args->metrics_port));
+      if (!args->metrics_port_file.empty()) {
+        serve::detail::write_port_file(args->metrics_port_file, metrics->port());
+      }
+    }
     if (args->listen_port) {
       serve::TcpOptions opts;
       opts.port = static_cast<std::uint16_t>(*args->listen_port);

@@ -335,8 +335,13 @@ int main(int argc, char** argv) {
     std::printf("%8s %10s %12s %12s %12s %12s\n", "mode", "connect s", "commands",
                 "drive s", "cmd/s", "peak RSS MB");
     for (const bool event_loop : cli->modes) {
+      const auto solve_before =
+          capture_histogram("ingrass_tenant_command_seconds", {{"verb", "solve"}});
       const IdleResult r = run_idle_fleet(event_loop, count, cli->idle_frac,
                                           cli->rounds, mtx, nodes, seed);
+      const auto solve_delta = histogram_delta(
+          solve_before,
+          capture_histogram("ingrass_tenant_command_seconds", {{"verb", "solve"}}));
       std::printf("%8s %10.3f %12llu %12.3f %12.0f %12.1f\n", mode_name(event_loop),
                   r.connect_seconds,
                   static_cast<unsigned long long>(r.active.commands),
@@ -354,21 +359,40 @@ int main(int argc, char** argv) {
                      {"connect_seconds", r.connect_seconds},
                      {"commands", static_cast<double>(r.active.commands)}};
       json.add(std::move(rec));
+      // Server-side solve latency percentiles, cut from the engine's
+      // per-tenant histograms (the server runs in-process, so the bench
+      // shares its obs registry).
+      if (auto lat = percentile_record(
+              "serve_tcp.solve_latency",
+              {{"mode", mode_name(event_loop)},
+               {"clients", std::to_string(count)},
+               {"idle_frac", std::to_string(cli->idle_frac)},
+               {"rounds", std::to_string(cli->rounds)}},
+              solve_delta)) {
+        json.add(std::move(*lat));
+      }
     }
   } else {
     std::printf("bench_serve_tcp: %d-node grid, %d rounds/client, seed %llu\n",
                 nodes, cli->rounds, static_cast<unsigned long long>(seed));
-    std::printf("%8s %8s %12s %12s %12s %10s\n", "mode", "clients", "commands",
-                "seconds", "cmd/s", "vs 1");
+    std::printf("%8s %8s %12s %12s %12s %10s %10s %10s\n", "mode", "clients",
+                "commands", "seconds", "cmd/s", "vs 1", "p50 ms", "p99 ms");
     for (const bool event_loop : cli->modes) {
       double base = 0.0;
       for (const int count : cli->counts) {
+        const auto solve_before = capture_histogram("ingrass_tenant_command_seconds",
+                                                    {{"verb", "solve"}});
         const RunResult r = run_clients(event_loop, count, cli->rounds, mtx, nodes, seed);
+        const auto solve_delta = histogram_delta(
+            solve_before, capture_histogram("ingrass_tenant_command_seconds",
+                                            {{"verb", "solve"}}));
         if (base == 0.0) base = r.commands_per_sec();
-        std::printf("%8s %8d %12llu %12.3f %12.0f %9.2fx\n", mode_name(event_loop),
-                    count, static_cast<unsigned long long>(r.commands), r.seconds,
+        std::printf("%8s %8d %12llu %12.3f %12.0f %9.2fx %10.3f %10.3f\n",
+                    mode_name(event_loop), count,
+                    static_cast<unsigned long long>(r.commands), r.seconds,
                     r.commands_per_sec(),
-                    base > 0 ? r.commands_per_sec() / base : 0.0);
+                    base > 0 ? r.commands_per_sec() / base : 0.0,
+                    solve_delta.quantile(0.50) * 1e3, solve_delta.quantile(0.99) * 1e3);
         BenchRecord rec;
         rec.name = "serve_tcp.aggregate";
         rec.params = {{"mode", mode_name(event_loop)},
@@ -379,6 +403,14 @@ int main(int argc, char** argv) {
         rec.throughput_unit = "commands/s";
         rec.metrics = {{"commands", static_cast<double>(r.commands)}};
         json.add(std::move(rec));
+        if (auto lat = percentile_record(
+                "serve_tcp.solve_latency",
+                {{"mode", mode_name(event_loop)},
+                 {"clients", std::to_string(count)},
+                 {"rounds", std::to_string(cli->rounds)}},
+                solve_delta)) {
+          json.add(std::move(*lat));
+        }
       }
     }
   }

@@ -163,6 +163,18 @@ RunResult run_sharded(const Graph& g0, const std::vector<UpdateBatch>& batches,
   return r;
 }
 
+/// Capture-run-capture: the rebuild-duration histogram delta that belongs
+/// to exactly this run (the obs registry is process-global and the three
+/// policies run back to back in one process).
+template <typename Run>
+std::pair<RunResult, obs::Histogram::Snapshot> observe_rebuilds(Run&& run) {
+  const auto before = capture_histogram("ingrass_rebuild_seconds");
+  RunResult r = run();
+  auto delta =
+      histogram_delta(before, capture_histogram("ingrass_rebuild_seconds"));
+  return {std::move(r), std::move(delta)};
+}
+
 /// The JSON record shared by every policy/shard run of one case.
 BenchRecord session_record(const std::string& case_name, const std::string& mode,
                            NodeId nodes, const RunResult& r) {
@@ -189,12 +201,18 @@ int run_sharded_bench(int shards, JsonReporter* json) {
     const Graph g0 = build_case(name, 0.4);
     const auto batches = make_traffic(g0, static_cast<std::uint64_t>(
                                               env_long("INGRASS_BENCH_SEED", 2024)));
-    const RunResult r = run_sharded(g0, batches, shards);
+    const auto [r, rebuild_delta] =
+        observe_rebuilds([&] { return run_sharded(g0, batches, shards); });
     table.add_row({name, format_count(g0.num_nodes()), format_fixed(r.ops_per_sec, 0),
                    format_fixed(r.solve_seconds, 2), std::to_string(r.rebuilds)});
     if (json) {
-      json->add(session_record(name, "sharded" + std::to_string(shards),
-                               g0.num_nodes(), r));
+      const std::string mode = "sharded" + std::to_string(shards);
+      json->add(session_record(name, mode, g0.num_nodes(), r));
+      if (auto cost = percentile_record("session.rebuild_cost",
+                                        {{"case", name}, {"mode", mode}},
+                                        rebuild_delta)) {
+        json->add(std::move(*cost));
+      }
     }
     std::cerr << "done: " << name << "\n";
   }
@@ -245,8 +263,10 @@ int main(int argc, char** argv) {
                                               env_long("INGRASS_BENCH_SEED", 2024)));
 
     const RunResult never = run_policy(g0, batches, false, false);
-    const RunResult sync = run_policy(g0, batches, true, false);
-    const RunResult async = run_policy(g0, batches, true, true);
+    const auto [sync, sync_rebuilds] =
+        observe_rebuilds([&] { return run_policy(g0, batches, true, false); });
+    const auto [async, async_rebuilds] =
+        observe_rebuilds([&] { return run_policy(g0, batches, true, true); });
 
     table.add_row({name, format_count(g0.num_nodes()), format_fixed(never.ops_per_sec, 0),
                    format_fixed(sync.ops_per_sec, 0), format_fixed(async.ops_per_sec, 0),
@@ -260,6 +280,17 @@ int main(int argc, char** argv) {
       reporter->add(session_record(name, "never", g0.num_nodes(), never));
       reporter->add(session_record(name, "sync", g0.num_nodes(), sync));
       reporter->add(session_record(name, "async", g0.num_nodes(), async));
+      // Rebuild cost percentiles per policy ("never" has none to report).
+      if (auto cost = percentile_record("session.rebuild_cost",
+                                        {{"case", name}, {"mode", "sync"}},
+                                        sync_rebuilds)) {
+        reporter->add(std::move(*cost));
+      }
+      if (auto cost = percentile_record("session.rebuild_cost",
+                                        {{"case", name}, {"mode", "async"}},
+                                        async_rebuilds)) {
+        reporter->add(std::move(*cost));
+      }
     }
     std::cerr << "done: " << name << "\n";
   }

@@ -235,6 +235,62 @@ void JsonReporter::write(const std::string& path) const {
   }
 }
 
+obs::Histogram::Snapshot capture_histogram(const std::string& name,
+                                           const obs::Labels& match) {
+  obs::Histogram::Snapshot merged;
+  for (const obs::Sample& s : obs::registry().snapshot()) {
+    if (s.kind != obs::SampleKind::kHistogram || s.name != name) continue;
+    bool matches = true;
+    for (const auto& kv : match) {
+      matches = matches &&
+                std::find(s.labels.begin(), s.labels.end(), kv) != s.labels.end();
+    }
+    if (!matches) continue;
+    if (merged.bounds.empty()) {
+      merged.bounds = s.hist.bounds;
+      merged.counts.assign(s.hist.counts.size(), 0);
+    } else if (s.hist.bounds != merged.bounds) {
+      throw std::runtime_error("histogram family has mixed bucket ladders: " + name);
+    }
+    for (std::size_t i = 0; i < merged.counts.size(); ++i) {
+      merged.counts[i] += s.hist.counts[i];
+    }
+    merged.count += s.hist.count;
+    merged.sum += s.hist.sum;
+  }
+  return merged;
+}
+
+obs::Histogram::Snapshot histogram_delta(const obs::Histogram::Snapshot& before,
+                                         const obs::Histogram::Snapshot& after) {
+  if (before.counts.empty()) return after;  // family born between captures
+  if (after.bounds != before.bounds) {
+    throw std::runtime_error("histogram delta across different bucket ladders");
+  }
+  obs::Histogram::Snapshot delta = after;
+  for (std::size_t i = 0; i < delta.counts.size(); ++i) {
+    delta.counts[i] -= before.counts[i];
+  }
+  delta.count -= before.count;
+  delta.sum -= before.sum;
+  return delta;
+}
+
+std::optional<BenchRecord> percentile_record(
+    std::string name, std::vector<std::pair<std::string, std::string>> params,
+    const obs::Histogram::Snapshot& delta) {
+  if (delta.count == 0) return std::nullopt;
+  BenchRecord rec;
+  rec.name = std::move(name);
+  rec.params = std::move(params);
+  rec.reps = 1;
+  rec.metrics = {{"p50_seconds", delta.quantile(0.50)},
+                 {"p99_seconds", delta.quantile(0.99)},
+                 {"count", static_cast<double>(delta.count)},
+                 {"sum_seconds", delta.sum}};
+  return rec;
+}
+
 std::optional<std::string> consume_flag_value(std::vector<std::string>& args,
                                               const std::string& flag) {
   for (std::size_t i = 0; i < args.size(); ++i) {

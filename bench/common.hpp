@@ -15,6 +15,7 @@
 
 #include "core/edge_stream.hpp"
 #include "graph/generators.hpp"
+#include "obs/registry.hpp"
 #include "spectral/condition_number.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -125,5 +126,37 @@ class JsonReporter {
 
 /// Consume a bare `--flag`: true (and erased) when present.
 [[nodiscard]] bool consume_flag(std::vector<std::string>& args, const std::string& flag);
+
+// ---------------------------------------------------------------------------
+// Latency percentile records (obs registry -> bench snapshot)
+//
+// The serving layer records per-command and rebuild latencies into the
+// process-wide obs registry (obs/registry.hpp); a bench that runs the
+// server in-process can cut percentile records from those histograms.
+// Because the registry is process-global and benches run several
+// configurations back to back, records are always cut from a *delta*:
+// capture the family before the run, again after, subtract bucket-wise,
+// and take quantiles of just the work in between.
+
+/// Merge every histogram series of family `name` whose labels contain all
+/// of `match` into one snapshot (bucket-wise sum; all series of a family
+/// share the bucket ladder). Empty snapshot when nothing matches.
+[[nodiscard]] obs::Histogram::Snapshot capture_histogram(
+    const std::string& name, const obs::Labels& match = {});
+
+/// Bucket-wise `after - before` of two captures of the same family; the
+/// observations made between the captures. A series that appeared between
+/// the captures counts in full.
+[[nodiscard]] obs::Histogram::Snapshot histogram_delta(
+    const obs::Histogram::Snapshot& before, const obs::Histogram::Snapshot& after);
+
+/// A percentile record: p50/p99 (plus count and sum) in `metrics`, no
+/// throughput or median. tools/bench_diff.py gates these with a one-sided
+/// p99 ceiling — latency may improve freely but must not regress past the
+/// noise band. Returns nullopt when the delta holds no observations (a
+/// policy that never rebuilt has no rebuild-cost record).
+[[nodiscard]] std::optional<BenchRecord> percentile_record(
+    std::string name, std::vector<std::pair<std::string, std::string>> params,
+    const obs::Histogram::Snapshot& delta);
 
 }  // namespace ingrass::bench

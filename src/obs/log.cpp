@@ -1,0 +1,134 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ingrass::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonValue::append_to(std::string& out) const {
+  char buf[64];
+  switch (kind_) {
+    case Kind::kString:
+      append_json_string(out, str_);
+      break;
+    case Kind::kBool:
+      out += b_ ? "true" : "false";
+      break;
+    case Kind::kDouble:
+      if (!std::isfinite(d_)) {
+        append_json_string(out, std::isnan(d_) ? "nan" : (d_ > 0 ? "inf" : "-inf"));
+        break;
+      }
+      std::snprintf(buf, sizeof(buf), "%.17g", d_);
+      out += buf;
+      break;
+    case Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i_));
+      out += buf;
+      break;
+    case Kind::kUInt:
+      std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(u_));
+      out += buf;
+      break;
+  }
+}
+
+void Logger::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    throw std::runtime_error("obs::Logger: cannot open log file: " + path);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) std::fclose(sink_);
+  sink_ = f;
+}
+
+void Logger::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) std::fclose(sink_);
+  sink_ = nullptr;
+}
+
+bool Logger::enabled() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sink_ != nullptr;
+}
+
+void Logger::info(const char* event, std::initializer_list<LogField> fields) {
+  emit("info", event, fields, /*stderr_fallback=*/false);
+}
+
+void Logger::warn(const char* event, std::initializer_list<LogField> fields) {
+  emit("warn", event, fields, /*stderr_fallback=*/true);
+}
+
+void Logger::emit(const char* level, const char* event,
+                  std::initializer_list<LogField> fields, bool stderr_fallback) {
+  // Build outside the lock; only the write serializes.
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts\":";
+  {
+    const double ts =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", ts);
+    line += buf;
+  }
+  line += ",\"level\":\"";
+  line += level;
+  line += "\",\"event\":";
+  append_json_string(line, event);
+  for (const LogField& field : fields) {
+    line += ',';
+    append_json_string(line, field.first);
+    line += ':';
+    field.second.append_to(line);
+  }
+  line += "}\n";
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+  } else if (stderr_fallback) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+Logger& log() {
+  static Logger* instance = new Logger();  // leaked: outlives every thread
+  return *instance;
+}
+
+}  // namespace ingrass::obs

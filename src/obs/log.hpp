@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+
+/// @file
+/// Structured JSON-lines logging for the serving stack: one JSON object
+/// per line, each carrying a wall-clock timestamp, a severity, an event
+/// name, and typed fields. Two severities with different defaults:
+///
+///  - info events (slow requests, rebuild start/finish, sheds) are
+///    emitted only when a sink file is open (`ingrass_serve --log-json`),
+///    so default operation stays as quiet as before this layer existed;
+///  - warn events (nofile capacity, epoll_ctl failures) always emit —
+///    to the sink when one is open, to stderr otherwise — replacing the
+///    raw fprintf warnings with a machine-readable line.
+
+namespace ingrass::obs {
+
+/// One typed field value. Constructors cover the common C++ scalar
+/// spellings so call sites never hit integer-conversion ambiguity.
+class JsonValue {
+ public:
+  JsonValue(const char* v) : kind_(Kind::kString), str_(v) {}                  // NOLINT
+  JsonValue(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}       // NOLINT
+  JsonValue(bool v) : kind_(Kind::kBool), b_(v) {}                             // NOLINT
+  JsonValue(double v) : kind_(Kind::kDouble), d_(v) {}                         // NOLINT
+  JsonValue(int v) : kind_(Kind::kInt), i_(v) {}                               // NOLINT
+  JsonValue(long v) : kind_(Kind::kInt), i_(v) {}                              // NOLINT
+  JsonValue(long long v) : kind_(Kind::kInt), i_(v) {}                         // NOLINT
+  JsonValue(unsigned v) : kind_(Kind::kUInt), u_(v) {}                         // NOLINT
+  JsonValue(unsigned long v) : kind_(Kind::kUInt), u_(v) {}                    // NOLINT
+  JsonValue(unsigned long long v) : kind_(Kind::kUInt), u_(v) {}               // NOLINT
+
+  /// Append this value's JSON spelling to `out`.
+  void append_to(std::string& out) const;
+
+ private:
+  enum class Kind : std::uint8_t { kString, kBool, kDouble, kInt, kUInt };
+  Kind kind_;
+  std::string str_;
+  bool b_ = false;
+  double d_ = 0.0;
+  std::int64_t i_ = 0;
+  std::uint64_t u_ = 0;
+};
+
+/// A named field of a log record.
+using LogField = std::pair<const char*, JsonValue>;
+
+/// The JSON-lines logger (thread-safe; one line per event call).
+class Logger {
+ public:
+  /// Open (or replace) the sink file in append mode. Throws
+  /// std::runtime_error when the path cannot be opened.
+  void open(const std::string& path);
+
+  /// Close the sink; info events go quiet, warn events fall back to
+  /// stderr.
+  void close();
+
+  /// A sink file is open.
+  [[nodiscard]] bool enabled() const;
+
+  /// Emit an info event to the sink (no-op without one).
+  void info(const char* event, std::initializer_list<LogField> fields);
+
+  /// Emit a warn event to the sink, or to stderr when no sink is open.
+  void warn(const char* event, std::initializer_list<LogField> fields);
+
+ private:
+  void emit(const char* level, const char* event,
+            std::initializer_list<LogField> fields, bool stderr_fallback);
+
+  mutable std::mutex mu_;
+  std::FILE* sink_ = nullptr;
+};
+
+/// The process-wide logger (parallel to obs::registry()).
+[[nodiscard]] Logger& log();
+
+}  // namespace ingrass::obs

@@ -1,0 +1,157 @@
+#include "obs/metrics_http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace ingrass::obs {
+
+namespace {
+
+[[noreturn]] void sys_error(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; a scrape is best-effort
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int code, const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + status +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+struct MetricsHttpServer::Impl {
+  Registry& reg;
+  int listener = -1;
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::uint16_t port = 0;
+  std::thread thread;
+
+  explicit Impl(Registry& r) : reg(r) {}
+
+  ~Impl() {
+    if (wake_wr >= 0) {
+      const char byte = 'q';
+      (void)!::write(wake_wr, &byte, 1);
+    }
+    if (thread.joinable()) thread.join();
+    if (listener >= 0) ::close(listener);
+    if (wake_rd >= 0) ::close(wake_rd);
+    if (wake_wr >= 0) ::close(wake_wr);
+  }
+
+  void open(std::uint16_t want_port, bool any_address) {
+    listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listener < 0) sys_error("metrics: socket");
+    const int yes = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(any_address ? INADDR_ANY : INADDR_LOOPBACK);
+    addr.sin_port = htons(want_port);
+    if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+      sys_error("metrics: bind");
+    }
+    if (::listen(listener, 8) < 0) sys_error("metrics: listen");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      sys_error("metrics: getsockname");
+    }
+    port = ntohs(bound.sin_port);
+    int pipefd[2];
+    if (::pipe(pipefd) < 0) sys_error("metrics: pipe");
+    wake_rd = pipefd[0];
+    wake_wr = pipefd[1];
+  }
+
+  void loop() {
+    for (;;) {
+      pollfd fds[2] = {{listener, POLLIN, 0}, {wake_rd, POLLIN, 0}};
+      if (::poll(fds, 2, -1) < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if ((fds[1].revents & POLLIN) != 0) return;  // shutdown
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(listener, nullptr, nullptr);
+      if (conn < 0) continue;  // aborted between readiness and accept
+      serve_one(conn);
+      ::close(conn);
+    }
+  }
+
+  /// Read one request (bounded, with a poll timeout so a silent client
+  /// cannot wedge the endpoint) and answer it.
+  void serve_one(int conn) {
+    std::string req;
+    req.reserve(256);
+    char buf[1024];
+    while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+           req.find('\n') != 0) {
+      pollfd pfd{conn, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 2000);
+      if (ready <= 0) return;  // timeout or error: drop the connection
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+      // The request line is all we route on; stop once it is complete.
+      if (req.find("\r\n") != std::string::npos ||
+          req.find('\n') != std::string::npos) {
+        break;
+      }
+    }
+    const std::size_t eol = req.find_first_of("\r\n");
+    const std::string line = eol == std::string::npos ? req : req.substr(0, eol);
+    if (line.rfind("GET /metrics", 0) == 0) {
+      write_all(conn, http_response(200, "OK", "text/plain; version=0.0.4",
+                                    reg.render_prometheus()));
+    } else if (line.rfind("GET ", 0) == 0) {
+      write_all(conn, http_response(404, "Not Found", "text/plain",
+                                    "only /metrics is served\n"));
+    } else {
+      write_all(conn, http_response(400, "Bad Request", "text/plain",
+                                    "expected an HTTP GET\n"));
+    }
+  }
+};
+
+MetricsHttpServer::MetricsHttpServer(Registry& reg, std::uint16_t port,
+                                     bool any_address)
+    : impl_(std::make_unique<Impl>(reg)) {
+  impl_->open(port, any_address);
+  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() = default;
+
+std::uint16_t MetricsHttpServer::port() const { return impl_->port; }
+
+}  // namespace ingrass::obs

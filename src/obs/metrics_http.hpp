@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+/// @file
+/// A dependency-free Prometheus scrape endpoint: a tiny single-threaded
+/// HTTP/1.0 listener that answers `GET /metrics` with the registry's
+/// text exposition (content type `text/plain; version=0.0.4`) and 404s
+/// everything else. One request per connection, served serially off its
+/// own thread — scrapes are rare and small, so the endpoint deliberately
+/// stays out of the serving transports' event loop and thread budget.
+
+namespace ingrass::obs {
+
+class Registry;
+
+/// The scrape listener. Construction binds + listens and starts the
+/// serving thread; destruction stops it and closes the socket.
+class MetricsHttpServer {
+ public:
+  /// Listen on 127.0.0.1:`port` (0 = ephemeral; read the bound port back
+  /// via port()), serving `reg`'s exposition. `any_address` binds
+  /// 0.0.0.0 instead. Throws std::runtime_error when the socket cannot
+  /// be bound.
+  explicit MetricsHttpServer(Registry& reg, std::uint16_t port = 0,
+                             bool any_address = false);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ingrass::obs

@@ -1,0 +1,286 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ingrass::obs {
+
+namespace {
+
+/// Round-robin writer stripes: each thread keeps one stripe for life, so
+/// its updates stay on one cache line regardless of how many histograms
+/// it touches.
+std::size_t this_thread_stripe(std::size_t num_stripes) {
+  static std::atomic<std::size_t> next{0};
+  static thread_local std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine % num_stripes;
+}
+
+/// Shortest exact spelling of a metric value: integers print bare,
+/// everything else at round-trip precision.
+std::string fmt_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Bucket bounds print compactly (%g) — they are configuration, not
+/// measurements, so display precision is enough and keeps `le` readable.
+std::string fmt_bound(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k="v",...}` with `extra` appended (the histogram `le` label), or ""
+/// when there is nothing to render.
+std::string render_labels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label(v);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: at least one bucket bound required");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+  num_buckets_ = bounds_.size() + 1;  // + overflow
+  shards_ = std::vector<Shard>(kShards);
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<std::uint64_t>[]>(num_buckets_);
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      s.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t Histogram::bucket_of(double v) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+}
+
+void Histogram::observe(double v) {
+  Shard& s = shards_[this_thread_stripe(kShards)];
+  s.counts[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(num_buckets_, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b < num_buckets_; ++b) {
+      out.counts[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += in_bucket;
+    if (static_cast<double>(cum) >= target) {
+      if (b >= bounds.size()) return bounds.back();  // overflow: clamp
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double frac =
+          std::clamp((target - before) / static_cast<double>(in_bucket), 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return bounds.back();
+}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(27);
+  double b = 1e-6;  // 1 µs
+  for (int i = 0; i < 27; ++i) {
+    bounds.push_back(b);
+    b *= 2.0;  // top finite bound ~67 s
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Sample
+
+std::string Sample::full_name() const { return name + render_labels(labels); }
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
+                               const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, c] : counters_) {
+    Sample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = SampleKind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, g] : gauges_) {
+    Sample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = SampleKind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, h] : histograms_) {
+    Sample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = SampleKind::kHistogram;
+    s.hist = h->snapshot();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::string Registry::render_prometheus() const {
+  const std::vector<Sample> samples = snapshot();
+  std::string out;
+  out.reserve(4096);
+  std::string last_family;
+  for (const Sample& s : samples) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      out += "# TYPE ";
+      out += s.name;
+      switch (s.kind) {
+        case SampleKind::kCounter: out += " counter\n"; break;
+        case SampleKind::kGauge: out += " gauge\n"; break;
+        case SampleKind::kHistogram: out += " histogram\n"; break;
+      }
+    }
+    if (s.kind == SampleKind::kHistogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < s.hist.bounds.size(); ++b) {
+        cum += s.hist.counts[b];
+        out += s.name;
+        out += "_bucket";
+        out += render_labels(s.labels, "le=\"" + fmt_bound(s.hist.bounds[b]) + "\"");
+        out += ' ';
+        out += fmt_value(static_cast<double>(cum));
+        out += '\n';
+      }
+      out += s.name;
+      out += "_bucket";
+      out += render_labels(s.labels, "le=\"+Inf\"");
+      out += ' ';
+      out += fmt_value(static_cast<double>(s.hist.count));
+      out += '\n';
+      out += s.name;
+      out += "_sum";
+      out += render_labels(s.labels);
+      out += ' ';
+      out += fmt_value(s.hist.sum);
+      out += '\n';
+      out += s.name;
+      out += "_count";
+      out += render_labels(s.labels);
+      out += ' ';
+      out += fmt_value(static_cast<double>(s.hist.count));
+      out += '\n';
+    } else {
+      out += s.name;
+      out += render_labels(s.labels);
+      out += ' ';
+      out += fmt_value(s.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives every thread
+  return *instance;
+}
+
+}  // namespace ingrass::obs

@@ -1,0 +1,177 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// @file
+/// The metrics core of the observability layer: named counters, gauges,
+/// and fixed-bucket histograms behind one process-wide Registry. The hot
+/// path is a handful of relaxed atomic operations — no locks, no
+/// allocation — and histograms additionally stripe their buckets across
+/// cache-line-aligned shards so concurrent writers on different threads
+/// do not ping-pong one counter line. Reads (snapshot, percentile
+/// extraction, Prometheus rendering) walk the shards and pay the
+/// aggregation cost instead.
+///
+/// Layering: obs depends on nothing above util; the serve layer, the
+/// transports, and the bench harness all record into the default
+/// registry() and three surfaces read it back out — the `stats` protocol
+/// verb, the /metrics HTTP endpoint (obs/metrics_http.hpp), and the
+/// bench JSON records.
+
+namespace ingrass::obs {
+
+/// Metric labels: ordered key/value pairs, rendered Prometheus-style
+/// (`name{key="value"}`). Two metrics with the same name but different
+/// labels are distinct series of one family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  /// Add `n` (relaxed; the value is a statistic, not a synchronization).
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Current value.
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// A point-in-time level (queue depths, backlog sizes, staleness).
+class Gauge {
+ public:
+  /// Replace the value.
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Add a (possibly negative) delta.
+  void add(double d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Current value.
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// A fixed-bucket histogram with sharded atomic updates. Bucket bounds
+/// are upper edges: observation v lands in the first bucket with
+/// v <= bound, or in the implicit overflow bucket past the last bound.
+/// Quantiles are extracted on read by linear interpolation inside the
+/// covering bucket; an estimate inside the overflow bucket is clamped to
+/// the top finite bound (the honest answer once resolution runs out).
+class Histogram {
+ public:
+  /// Build with ascending upper bounds (at least one; copied).
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Record one observation (relaxed atomics on this thread's stripe).
+  void observe(double v);
+
+  /// An aggregated point-in-time copy, safe to read at leisure.
+  struct Snapshot {
+    std::vector<double> bounds;        ///< ascending upper bucket edges
+    std::vector<std::uint64_t> counts; ///< per-bucket counts; last = overflow
+    std::uint64_t count = 0;           ///< total observations
+    double sum = 0.0;                  ///< sum of observations
+
+    /// Quantile estimate for q in [0, 1] (0 when the histogram is empty).
+    [[nodiscard]] double quantile(double q) const;
+  };
+
+  /// Aggregate the shards into one Snapshot.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// The default latency bucket ladder: 1 µs doubling up to ~67 s (27
+  /// buckets) plus the overflow bucket — wide enough for a shed counted
+  /// in microseconds and a cold sharded open counted in tens of seconds.
+  [[nodiscard]] static std::vector<double> default_latency_bounds();
+
+ private:
+  /// One writer stripe: its own bucket array + sum/count, on its own
+  /// cache lines.
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  static constexpr std::size_t kShards = 8;
+
+  [[nodiscard]] std::size_t bucket_of(double v) const;
+
+  std::vector<double> bounds_;
+  std::size_t num_buckets_ = 0;  // bounds_.size() + 1 (overflow)
+  std::vector<Shard> shards_;
+};
+
+/// What kind of metric a snapshot sample describes.
+enum class SampleKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+/// One flattened series from Registry::snapshot() — the common carrier
+/// for every read surface (stats verb, Prometheus rendering, bench).
+struct Sample {
+  std::string name;              ///< family name (Prometheus-safe)
+  Labels labels;                 ///< the series' labels (may be empty)
+  SampleKind kind = SampleKind::kCounter;
+  double value = 0.0;            ///< counter/gauge value
+  Histogram::Snapshot hist;      ///< histogram data (kind == kHistogram)
+
+  /// `name` or `name{k="v",...}` — the series' canonical spelling.
+  [[nodiscard]] std::string full_name() const;
+};
+
+/// A named collection of metrics. Registration is idempotent: the first
+/// counter("x") creates the series, later calls return the same object,
+/// so call sites simply look up what they need (and hot paths cache the
+/// returned reference). Registration takes a mutex; returned references
+/// stay valid for the registry's lifetime.
+class Registry {
+ public:
+  /// The counter named `name` with `labels` (created on first use).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  /// The gauge named `name` with `labels` (created on first use).
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// The histogram named `name` with `labels` (created on first use with
+  /// `bounds`; later calls ignore `bounds` and return the existing one).
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::vector<double>& bounds =
+                           Histogram::default_latency_bounds());
+
+  /// Flatten every series, sorted by (name, labels).
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Render the Prometheus text exposition format (version 0.0.4):
+  /// `# TYPE` lines per family, histogram series as cumulative
+  /// `_bucket{le=...}` + `_sum` + `_count`.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide default registry every serving-layer metric records
+/// into — one scrape surface per process, matching one /metrics endpoint
+/// and one `stats` verb per server.
+[[nodiscard]] Registry& registry();
+
+}  // namespace ingrass::obs

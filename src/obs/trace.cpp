@@ -1,0 +1,94 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+
+namespace ingrass::obs {
+
+namespace {
+
+thread_local RequestTrace* g_current = nullptr;
+
+std::atomic<std::uint64_t> g_slow_threshold_ns{0};
+
+/// Per-stage latency histograms, resolved once: the hot path pays six
+/// relaxed atomic adds, not six registry lookups.
+struct StageHistograms {
+  Histogram& decode = registry().histogram("ingrass_stage_seconds",
+                                           {{"stage", "decode"}});
+  Histogram& queue = registry().histogram("ingrass_stage_seconds",
+                                          {{"stage", "queue_wait"}});
+  Histogram& gate = registry().histogram("ingrass_stage_seconds",
+                                         {{"stage", "gate_wait"}});
+  Histogram& execute = registry().histogram("ingrass_stage_seconds",
+                                            {{"stage", "execute"}});
+  Histogram& encode = registry().histogram("ingrass_stage_seconds",
+                                           {{"stage", "encode"}});
+  Histogram& write = registry().histogram("ingrass_stage_seconds",
+                                          {{"stage", "write_drain"}});
+  Histogram& total = registry().histogram("ingrass_request_seconds");
+};
+
+StageHistograms& stage_histograms() {
+  static StageHistograms* h = new StageHistograms();
+  return *h;
+}
+
+constexpr double kNs = 1e-9;
+
+}  // namespace
+
+RequestTrace* current_trace() { return g_current; }
+
+TraceScope::TraceScope(RequestTrace* trace) : prev_(g_current) {
+  g_current = trace;
+}
+
+TraceScope::~TraceScope() { g_current = prev_; }
+
+std::uint64_t elapsed_ns_between(std::chrono::steady_clock::time_point from,
+                                 std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+void finish_trace(const RequestTrace& trace) {
+  StageHistograms& h = stage_histograms();
+  if (trace.decode_ns != 0) h.decode.observe(kNs * static_cast<double>(trace.decode_ns));
+  if (trace.queue_ns != 0) h.queue.observe(kNs * static_cast<double>(trace.queue_ns));
+  if (trace.gate_ns != 0) h.gate.observe(kNs * static_cast<double>(trace.gate_ns));
+  h.execute.observe(kNs * static_cast<double>(trace.execute_ns));
+  if (trace.encode_ns != 0) h.encode.observe(kNs * static_cast<double>(trace.encode_ns));
+  if (trace.write_ns != 0) h.write.observe(kNs * static_cast<double>(trace.write_ns));
+  const std::uint64_t total = trace.total_ns();
+  h.total.observe(kNs * static_cast<double>(total));
+
+  const std::uint64_t threshold = slow_request_threshold_ns();
+  if (threshold != 0 && total >= threshold) {
+    log().info("slow_request",
+               {{"verb", trace.verb},
+                {"tenant", trace.tenant},
+                {"total_ms", 1e-6 * static_cast<double>(total)},
+                {"decode_ms", 1e-6 * static_cast<double>(trace.decode_ns)},
+                {"queue_ms", 1e-6 * static_cast<double>(trace.queue_ns)},
+                {"gate_ms", 1e-6 * static_cast<double>(trace.gate_ns)},
+                {"execute_ms", 1e-6 * static_cast<double>(trace.execute_ns)},
+                {"encode_ms", 1e-6 * static_cast<double>(trace.encode_ns)},
+                {"write_ms", 1e-6 * static_cast<double>(trace.write_ns)},
+                {"cg_iterations", trace.cg_iterations},
+                {"rebuild_triggered", trace.rebuild_triggered}});
+  }
+}
+
+void set_slow_request_threshold_ns(std::uint64_t ns) {
+  g_slow_threshold_ns.store(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t slow_request_threshold_ns() {
+  return g_slow_threshold_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace ingrass::obs

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+/// @file
+/// Per-request latency tracing: a RequestTrace accumulates one request's
+/// stage timings (decode, loop-queue wait, FifoMutex gate wait, session
+/// execute, encode, write-drain) as it moves through the serve path, and
+/// finish() folds the stages into the default registry's per-stage
+/// histograms — plus a structured slow-request log record when the total
+/// crosses the configured threshold.
+///
+/// Plumbing: the transport owns the RequestTrace and installs it as the
+/// thread's current trace (TraceScope) around Engine::handle, so deep
+/// layers (the Engine's gate wait, the session's solve) stamp stages via
+/// current_trace() without threading a parameter through every
+/// signature. The event-loop transport re-installs the scope on the
+/// worker thread that executes the command; stages recorded on the loop
+/// thread (decode, queue wait, write drain) are stamped directly.
+
+namespace ingrass::obs {
+
+/// One request's stage timings and execution facts.
+struct RequestTrace {
+  const char* verb = "?";      ///< protocol verb (static string)
+  std::string tenant;          ///< resolved tenant name ("" until known)
+  std::uint64_t decode_ns = 0;   ///< bytes -> Request
+  std::uint64_t queue_ns = 0;    ///< event-loop lane wait (0 in blocking mode)
+  std::uint64_t gate_ns = 0;     ///< FifoMutex arrival-order gate wait
+  std::uint64_t execute_ns = 0;  ///< Engine::handle body (session work)
+  std::uint64_t encode_ns = 0;   ///< Response -> bytes
+  std::uint64_t write_ns = 0;    ///< socket write/drain (blocking mode)
+  int cg_iterations = -1;        ///< solver iterations (-1: not a solve)
+  bool rebuild_triggered = false;  ///< an apply tripped a rebuild
+
+  /// Sum of every stage.
+  [[nodiscard]] std::uint64_t total_ns() const {
+    return decode_ns + queue_ns + gate_ns + execute_ns + encode_ns + write_ns;
+  }
+};
+
+/// The thread's current trace, or nullptr outside a TraceScope.
+[[nodiscard]] RequestTrace* current_trace();
+
+/// RAII installer for current_trace(): saves and restores the previous
+/// pointer, so nested scopes (a transport trace around an engine-internal
+/// one) unwind correctly.
+class TraceScope {
+ public:
+  explicit TraceScope(RequestTrace* trace);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  RequestTrace* prev_;
+};
+
+/// RAII stage timer: accumulates elapsed nanoseconds into `slot` when it
+/// is stopped or destroyed. `slot` must outlive the timer.
+class StageTimer {
+ public:
+  explicit StageTimer(std::uint64_t& slot)
+      : slot_(&slot), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() { stop(); }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Stop now and bank the elapsed time (idempotent).
+  void stop() {
+    if (slot_ == nullptr) return;
+    *slot_ += elapsed_ns();
+    slot_ = nullptr;
+  }
+
+  /// Abandon without banking (the stage did not happen after all).
+  void cancel() { slot_ = nullptr; }
+
+ private:
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  std::uint64_t* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Convenience: elapsed nanoseconds between two steady_clock points.
+[[nodiscard]] std::uint64_t elapsed_ns_between(
+    std::chrono::steady_clock::time_point from,
+    std::chrono::steady_clock::time_point to);
+
+/// Fold a completed trace into the default registry (per-stage latency
+/// histograms, per-verb command histogram) and emit a slow-request log
+/// record when total_ns() >= slow_request_threshold_ns() > 0.
+void finish_trace(const RequestTrace& trace);
+
+/// Slow-request threshold in nanoseconds; 0 disables slow-request
+/// logging (the default).
+void set_slow_request_threshold_ns(std::uint64_t ns);
+[[nodiscard]] std::uint64_t slow_request_threshold_ns();
+
+}  // namespace ingrass::obs

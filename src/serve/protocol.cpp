@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "graph/mtx_io.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/wire.hpp"
 #include "util/parse.hpp"
 
@@ -158,6 +160,13 @@ Request parse_command(const std::vector<std::string>& args, std::string name) {
       bad_line("quit takes no tenant (use close " + name + " to drop one session)");
     }
     return req::Quit{};
+  }
+  if (cmd == "stats") {
+    // Process-wide, like quit: the registry aggregates every tenant, so
+    // an address would promise a scoping the snapshot does not have.
+    if (!name.empty()) bad_line("stats takes no tenant (the snapshot is process-wide)");
+    if (args.size() != 1) bad_line("usage: stats");
+    return req::Stats{};
   }
   if (cmd == "open" || cmd == "restore") {
     if (args.size() < 2) bad_line(cmd + " requires a path");
@@ -366,6 +375,8 @@ std::string request_line(const Request& request) {
           line += "close";
         } else if constexpr (std::is_same_v<T, req::Quit>) {
           line += "quit";
+        } else if constexpr (std::is_same_v<T, req::Stats>) {
+          line += "stats";
         }
       },
       request);
@@ -401,6 +412,31 @@ void append_counters_tail(std::string& out, const SessionCounters& c, double sta
       static_cast<unsigned long long>(c.rebuild_failures), staleness,
       rebuild_in_flight ? 1 : 0);
   out += buf;
+}
+
+const char* stat_kind_name(resp::StatPoint::Kind kind) {
+  switch (kind) {
+    case resp::StatPoint::kCounter: return "counter";
+    case resp::StatPoint::kGauge: return "gauge";
+    case resp::StatPoint::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+/// One `point ...` line of the stats table. `name=` is last so the series
+/// name (which contains `{label="value"}` punctuation and may contain
+/// spaces) parses back with the rest-of-line rule used for paths.
+void append_stat_point(std::string& out, const resp::StatPoint& p) {
+  out += "point kind=";
+  out += stat_kind_name(p.kind);
+  out += " value=" + exact_double(p.value);
+  out += " count=" + std::to_string(p.count);
+  out += " sum=" + exact_double(p.sum);
+  out += " p50=" + exact_double(p.p50);
+  out += " p90=" + exact_double(p.p90);
+  out += " p99=" + exact_double(p.p99);
+  out += " p999=" + exact_double(p.p999);
+  out += " name=" + p.name;
 }
 
 const char* open_verb_name(resp::OpenVerb verb) {
@@ -507,6 +543,14 @@ std::string response_line(const Response& response) {
           line = "ok quit";
         } else if constexpr (std::is_same_v<T, resp::Busy>) {
           line = "busy " + r.what + " limit=" + std::to_string(r.limit);
+        } else if constexpr (std::is_same_v<T, resp::StatsOut>) {
+          // A multi-line table: the header declares the point count so a
+          // reader knows exactly how many lines follow.
+          line = "ok stats points=" + std::to_string(r.points.size());
+          for (const resp::StatPoint& p : r.points) {
+            line += '\n';
+            append_stat_point(line, p);
+          }
         }
       },
       response);
@@ -565,6 +609,68 @@ std::string rest_after(const std::string& line, const std::string& key) {
   const auto pos = line.find(key);
   if (pos == std::string::npos) bad_line("bad response line: " + line);
   return line.substr(pos + key.size());
+}
+
+/// Upper bound on a stats table's declared point count — rejects a
+/// hostile header before the reader loops on it. Far above any real
+/// registry (a few dozen series).
+constexpr std::uint64_t kMaxStatsPoints = 1u << 16;
+
+/// Parse one `point ...` line of a stats table. The `name=` tail is split
+/// off first (rest-of-line, it may contain spaces inside label values);
+/// the head tokenizes as ordinary k=v fields.
+resp::StatPoint parse_stat_point(const std::string& line) {
+  const auto name_pos = line.find(" name=");
+  if (name_pos == std::string::npos) bad_line("bad stats point line: " + line);
+  const std::string head = line.substr(0, name_pos);
+  std::istringstream ss(head);
+  std::vector<std::string> tokens;
+  for (std::string tok; ss >> tok;) tokens.push_back(std::move(tok));
+  if (tokens.empty() || tokens[0] != "point") bad_line("bad stats point line: " + line);
+  resp::StatPoint p;
+  p.name = line.substr(name_pos + 6);
+  std::string kind;
+  for (const std::string& tok : tokens) {
+    if (tok.rfind("kind=", 0) == 0) kind = tok.substr(5);
+  }
+  if (kind == "counter") {
+    p.kind = resp::StatPoint::kCounter;
+  } else if (kind == "gauge") {
+    p.kind = resp::StatPoint::kGauge;
+  } else if (kind == "histogram") {
+    p.kind = resp::StatPoint::kHistogram;
+  } else {
+    bad_line("bad stats point kind: '" + kind + "'");
+  }
+  const KvFields kv(tokens, 1, line);
+  p.value = kv.f64("value");
+  p.count = kv.u64("count");
+  p.sum = kv.f64("sum");
+  p.p50 = kv.f64("p50");
+  p.p90 = kv.f64("p90");
+  p.p99 = kv.f64("p99");
+  p.p999 = kv.f64("p999");
+  return p;
+}
+
+/// Read the `ok stats points=N` table: the header already parsed into
+/// `tokens`, the N point lines still on the stream.
+Response read_stats_table(std::istream& in, const std::string& header,
+                          const std::vector<std::string>& tokens) {
+  const KvFields kv(tokens, 2, header);
+  const std::uint64_t n = kv.u64("points");
+  if (n > kMaxStatsPoints) bad_line("implausible stats point count in: " + header);
+  resp::StatsOut out;
+  out.points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string line;
+    if (!std::getline(in, line)) {
+      bad_line("truncated stats table: expected " + std::to_string(n) +
+               " points, got " + std::to_string(i));
+    }
+    out.points.push_back(parse_stat_point(line));
+  }
+  return out;
 }
 
 Response parse_response_line(const std::string& line,
@@ -682,6 +788,11 @@ std::optional<Response> TextCodec::read_response(std::istream& in) {
     std::vector<std::string> tokens;
     for (std::string tok; ss >> tok;) tokens.push_back(std::move(tok));
     if (tokens.empty()) continue;
+    if (tokens[0] == "ok" && tokens.size() >= 2 && tokens[1] == "stats") {
+      // The one multi-line response: the header says how many point
+      // lines follow, and they are consumed here, off the same stream.
+      return read_stats_table(in, line, tokens);
+    }
     return parse_response_line(line, tokens);
   }
   return std::nullopt;
@@ -714,6 +825,7 @@ enum Tag : std::uint8_t {
   kTagAutosave = 13,
   kTagClose = 14,
   kTagQuit = 15,
+  kTagStats = 16,
   kTagError = 129,
   kTagOpened = 130,
   kTagStaged = 131,
@@ -727,6 +839,7 @@ enum Tag : std::uint8_t {
   kTagClosed = 139,
   kTagBye = 140,
   kTagBusy = 141,
+  kTagStatsOut = 142,
 };
 
 void put_optional_f64(std::ostream& out, const std::optional<double>& v) {
@@ -906,6 +1019,8 @@ std::string encode_request_payload(const Request& request) {
           put_string(out, r.name);
         } else if constexpr (std::is_same_v<T, req::Quit>) {
           wire::put_u8(out, kTagQuit);
+        } else if constexpr (std::is_same_v<T, req::Stats>) {
+          wire::put_u8(out, kTagStats);
         }
       },
       request);
@@ -993,6 +1108,7 @@ Request decode_request_payload(std::istream& in) {
     }
     case kTagClose: return req::Close{get_string(in)};
     case kTagQuit: return req::Quit{};
+    case kTagStats: return req::Stats{};
     default: throw std::runtime_error("unknown request tag " + std::to_string(tag));
   }
 }
@@ -1061,6 +1177,20 @@ std::string encode_response_payload(const Response& response) {
           wire::put_u8(out, kTagBusy);
           put_string(out, r.what);
           wire::put_u64(out, r.limit);
+        } else if constexpr (std::is_same_v<T, resp::StatsOut>) {
+          wire::put_u8(out, kTagStatsOut);
+          wire::put_u32(out, static_cast<std::uint32_t>(r.points.size()));
+          for (const resp::StatPoint& p : r.points) {
+            put_string(out, p.name);
+            wire::put_u8(out, static_cast<std::uint8_t>(p.kind));
+            wire::put_f64(out, p.value);
+            wire::put_u64(out, p.count);
+            wire::put_f64(out, p.sum);
+            wire::put_f64(out, p.p50);
+            wire::put_f64(out, p.p90);
+            wire::put_f64(out, p.p99);
+            wire::put_f64(out, p.p999);
+          }
         }
       },
       response);
@@ -1135,6 +1265,28 @@ Response decode_response_payload(std::istream& in) {
       resp::Busy r;
       r.what = get_string(in);
       r.limit = wire::get_u64(in);
+      return r;
+    }
+    case kTagStatsOut: {
+      const std::uint32_t n = wire::get_u32(in);
+      if (n > kMaxStatsPoints) throw std::runtime_error("implausible stats point count");
+      resp::StatsOut r;
+      r.points.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        resp::StatPoint p;
+        p.name = get_string(in);
+        const std::uint8_t kind = wire::get_u8(in);
+        if (kind > 2) throw std::runtime_error("bad stats point kind");
+        p.kind = static_cast<resp::StatPoint::Kind>(kind);
+        p.value = wire::get_f64(in);
+        p.count = wire::get_u64(in);
+        p.sum = wire::get_f64(in);
+        p.p50 = wire::get_f64(in);
+        p.p90 = wire::get_f64(in);
+        p.p99 = wire::get_f64(in);
+        p.p999 = wire::get_f64(in);
+        r.points.push_back(std::move(p));
+      }
       return r;
     }
     default: throw std::runtime_error("unknown response tag " + std::to_string(tag));
@@ -1326,6 +1478,12 @@ struct Engine::Tenant {
   std::string autosave_path;           ///< guarded by gate
   std::uint64_t autosave_every = 0;    ///< guarded by gate
   std::uint64_t applies_since_save = 0;  ///< guarded by gate
+  // Per-tenant latency histograms, resolved once at open so the hot path
+  // never takes the registry's registration mutex. Registry-owned; raw
+  // pointers stay valid for the process lifetime.
+  obs::Histogram* solve_seconds = nullptr;
+  obs::Histogram* apply_seconds = nullptr;
+  obs::Histogram* checkpoint_seconds = nullptr;
 };
 
 namespace {
@@ -1346,6 +1504,39 @@ struct BusyRejection {
 
 [[noreturn]] void already_open(const std::string& key) {
   throw std::runtime_error("tenant '" + key + "' is already open (close it first)");
+}
+
+/// Verb names indexed by Request::index() — the label vocabulary shared
+/// by the per-verb request counters and the trace's verb stamp.
+constexpr const char* kVerbNames[] = {
+    "open",  "open-sharded", "restore", "restore-sharded", "insert", "remove",
+    "apply", "solve",        "metrics", "shard-metrics",   "kappa",  "checkpoint",
+    "autosave", "close",     "quit",    "stats",
+};
+static_assert(std::variant_size_v<Request> == std::size(kVerbNames),
+              "kVerbNames must cover every Request alternative");
+
+/// The engine's registry handles, resolved once (leaked static): the
+/// per-request cost is a relaxed atomic increment, not a map lookup.
+struct EngineCounters {
+  std::array<obs::Counter*, std::variant_size_v<Request>> requests{};
+  obs::Counter& errors = obs::registry().counter("ingrass_errors_total");
+  obs::Counter& busy_queue =
+      obs::registry().counter("ingrass_busy_total", {{"what", "queue"}});
+  obs::Counter& busy_staged =
+      obs::registry().counter("ingrass_busy_total", {{"what", "staged"}});
+
+  EngineCounters() {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      requests[i] =
+          &obs::registry().counter("ingrass_requests_total", {{"verb", kVerbNames[i]}});
+    }
+  }
+};
+
+EngineCounters& engine_counters() {
+  static EngineCounters* c = new EngineCounters();  // leaked: outlives threads
+  return *c;
 }
 
 }  // namespace
@@ -1417,7 +1608,17 @@ Response Engine::with_tenant(const std::string& name, Fn&& body) {
     Tenant* tenant;
     ~InflightGuard() { tenant->inflight.fetch_sub(1, std::memory_order_acq_rel); }
   } inflight_guard{tenant.get()};
-  std::unique_lock<FifoMutex> gate(tenant->gate);
+  obs::RequestTrace* const trace = obs::current_trace();
+  if (trace != nullptr) trace->tenant = key;
+  std::unique_lock<FifoMutex> gate;
+  if (trace != nullptr) {
+    // The arrival-order wait is the queueing delay a loaded tenant shows
+    // its clients — worth its own stage in the trace.
+    obs::StageTimer gate_wait(trace->gate_ns);
+    gate = std::unique_lock<FifoMutex>(tenant->gate);
+  } else {
+    gate = std::unique_lock<FifoMutex>(tenant->gate);
+  }
   if (tenant->closed.load(std::memory_order_acquire) || !tenant->session) {
     throw_no_session(key);
   }
@@ -1429,6 +1630,16 @@ Response Engine::open_tenant(const std::string& name, resp::OpenVerb verb,
                              Fn&& make_session) {
   const std::string key = resolve(name);
   auto [tenant, gate] = reserve_tenant(key);
+  // Resolve the tenant's latency histograms now, off the hot path; the
+  // metrics registry keys on (name, labels), so a re-opened tenant picks
+  // its history back up.
+  obs::Registry& reg = obs::registry();
+  tenant->solve_seconds = &reg.histogram("ingrass_tenant_command_seconds",
+                                         {{"tenant", key}, {"verb", "solve"}});
+  tenant->apply_seconds = &reg.histogram("ingrass_tenant_command_seconds",
+                                         {{"tenant", key}, {"verb", "apply"}});
+  tenant->checkpoint_seconds = &reg.histogram("ingrass_tenant_command_seconds",
+                                              {{"tenant", key}, {"verb", "checkpoint"}});
   try {
     // Construction runs outside the registry lock (an open must not stall
     // other tenants' commands) but under this tenant's command lock.
@@ -1488,11 +1699,19 @@ ServingMetrics Engine::metrics_of(const Tenant& tenant) {
 }
 
 Response Engine::handle(const Request& request) {
+  EngineCounters& counters = engine_counters();
+  counters.requests[request.index()]->inc();
+  obs::RequestTrace* const trace = obs::current_trace();
+  std::uint64_t scratch_ns = 0;
+  if (trace != nullptr) trace->verb = kVerbNames[request.index()];
+  obs::StageTimer execute(trace != nullptr ? trace->execute_ns : scratch_ns);
   try {
     return std::visit([&](const auto& r) { return do_handle(r); }, request);
   } catch (const BusyRejection& rejected) {
+    (rejected.busy.what == "staged" ? counters.busy_staged : counters.busy_queue).inc();
     return rejected.busy;
   } catch (const std::exception& e) {
+    counters.errors.inc();
     return resp::Error{e.what()};
   }
 }
@@ -1576,7 +1795,16 @@ Response Engine::do_handle(const req::Apply& r) {
   return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
     const UpdateBatch batch = std::move(tenant.pending);
     tenant.pending = UpdateBatch{};
+    const auto apply_start = std::chrono::steady_clock::now();
     const ApplyResult result = apply_now(tenant, batch);
+    if (tenant.apply_seconds != nullptr) {
+      tenant.apply_seconds->observe(
+          1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                     apply_start, std::chrono::steady_clock::now())));
+    }
+    if (obs::RequestTrace* const trace = obs::current_trace()) {
+      trace->rebuild_triggered = trace->rebuild_triggered || result.rebuild_triggered;
+    }
     resp::Applied out;
     out.inserted = static_cast<std::uint64_t>(result.stats.inserted);
     out.merged = static_cast<std::uint64_t>(result.stats.merged);
@@ -1597,6 +1825,7 @@ Response Engine::do_handle(const req::Solve& r) {
     validate_endpoints(tenant, r.u, r.v);
     if (r.u == r.v) throw std::runtime_error("solve endpoints must differ");
     Session* const session = tenant.session.get();
+    obs::Histogram* const solve_seconds = tenant.solve_seconds;
     // Release the command lock: the solve runs on the session's
     // internally-synchronized reader path, so solves on one tenant
     // proceed concurrently with each other. The TenantPtr in with_tenant
@@ -1608,7 +1837,15 @@ Response Engine::do_handle(const req::Solve& r) {
     std::vector<double> x(n, 0.0);
     b[static_cast<std::size_t>(r.u)] = 1.0;
     b[static_cast<std::size_t>(r.v)] = -1.0;
+    const auto solve_start = std::chrono::steady_clock::now();
     const auto result = session->solve(b, x);
+    if (solve_seconds != nullptr) {
+      solve_seconds->observe(1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                                        solve_start, std::chrono::steady_clock::now())));
+    }
+    if (obs::RequestTrace* const trace = obs::current_trace()) {
+      trace->cg_iterations = result.outer_iterations;
+    }
     if (!result.converged) throw std::runtime_error("solve did not converge");
     resp::Solved out;
     out.iterations = result.outer_iterations;
@@ -1660,7 +1897,13 @@ Response Engine::do_handle(const req::Kappa& r) {
 Response Engine::do_handle(const req::Checkpoint& r) {
   return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
     flush(tenant);
+    const auto ckpt_start = std::chrono::steady_clock::now();
     tenant.session->checkpoint(r.path);
+    if (tenant.checkpoint_seconds != nullptr) {
+      tenant.checkpoint_seconds->observe(
+          1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                     ckpt_start, std::chrono::steady_clock::now())));
+    }
     return resp::Checkpointed{r.path};
   });
 }
@@ -1704,6 +1947,35 @@ Response Engine::do_handle(const req::Quit&) {
     flush(*tenant);
   }
   return resp::Bye{};
+}
+
+Response Engine::do_handle(const req::Stats&) {
+  // Snapshot the process-wide registry — reads pay the shard-aggregation
+  // and percentile-extraction cost so the recording hot paths never do.
+  resp::StatsOut out;
+  const std::vector<obs::Sample> samples = obs::registry().snapshot();
+  out.points.reserve(samples.size());
+  for (const obs::Sample& s : samples) {
+    resp::StatPoint p;
+    p.name = s.full_name();
+    switch (s.kind) {
+      case obs::SampleKind::kCounter: p.kind = resp::StatPoint::kCounter; break;
+      case obs::SampleKind::kGauge: p.kind = resp::StatPoint::kGauge; break;
+      case obs::SampleKind::kHistogram: p.kind = resp::StatPoint::kHistogram; break;
+    }
+    if (s.kind == obs::SampleKind::kHistogram) {
+      p.count = s.hist.count;
+      p.sum = s.hist.sum;
+      p.p50 = s.hist.quantile(0.50);
+      p.p90 = s.hist.quantile(0.90);
+      p.p99 = s.hist.quantile(0.99);
+      p.p999 = s.hist.quantile(0.999);
+    } else {
+      p.value = s.value;
+    }
+    out.points.push_back(std::move(p));
+  }
+  return out;
 }
 
 }  // namespace ingrass::serve

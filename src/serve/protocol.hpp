@@ -212,6 +212,14 @@ struct Quit {
   friend bool operator==(const Quit&, const Quit&) = default;
 };
 
+/// `stats` — snapshot the process-wide observability registry (counters,
+/// gauges, latency histograms with percentiles). Process-scoped like
+/// `quit`: it takes no tenant address.
+struct Stats {
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Stats&, const Stats&) = default;
+};
+
 }  // namespace req
 
 /// One protocol request (see the req:: message structs).
@@ -219,7 +227,7 @@ using Request =
     std::variant<req::Open, req::OpenSharded, req::Restore, req::RestoreSharded,
                  req::Insert, req::Remove, req::Apply, req::Solve, req::Metrics,
                  req::ShardMetrics, req::Kappa, req::Checkpoint, req::Autosave,
-                 req::Close, req::Quit>;
+                 req::Close, req::Quit, req::Stats>;
 
 /// Response messages, mirroring the `ok ...` / `err ...` line grammar.
 namespace resp {
@@ -348,6 +356,38 @@ struct Busy {
   friend bool operator==(const Busy&, const Busy&) = default;
 };
 
+/// One metric in a stats snapshot. Counters and gauges carry `value`;
+/// histograms carry `count`, `sum`, and the extracted percentiles. The
+/// name is the fully-qualified series name including any labels, e.g.
+/// `ingrass_stage_seconds{stage="execute"}`.
+struct StatPoint {
+  /// Metric kinds on the wire (values match the binary encoding).
+  enum Kind : std::uint8_t {
+    kCounter = 0,    ///< monotonically increasing count
+    kGauge = 1,      ///< last-set value
+    kHistogram = 2,  ///< latency distribution with percentiles
+  };
+  std::string name;         ///< full series name with labels
+  Kind kind = kCounter;     ///< which metric kind this point is
+  double value = 0.0;       ///< counter/gauge value (0 for histograms)
+  std::uint64_t count = 0;  ///< histogram observation count
+  double sum = 0.0;         ///< histogram observation sum
+  double p50 = 0.0;         ///< histogram 50th percentile
+  double p90 = 0.0;         ///< histogram 90th percentile
+  double p99 = 0.0;         ///< histogram 99th percentile
+  double p999 = 0.0;        ///< histogram 99.9th percentile
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const StatPoint&, const StatPoint&) = default;
+};
+
+/// `ok stats points=N` followed by one `point ...` line per metric — the
+/// process-wide observability snapshot.
+struct StatsOut {
+  std::vector<StatPoint> points;  ///< one entry per live metric series
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const StatsOut&, const StatsOut&) = default;
+};
+
 }  // namespace resp
 
 /// One protocol response (see the resp:: message structs).
@@ -355,7 +395,7 @@ using Response =
     std::variant<resp::Error, resp::Opened, resp::Staged, resp::Applied,
                  resp::Solved, resp::MetricsOut, resp::ShardMetricsOut,
                  resp::KappaOut, resp::Checkpointed, resp::AutosaveOut,
-                 resp::Closed, resp::Bye, resp::Busy>;
+                 resp::Closed, resp::Bye, resp::Busy, resp::StatsOut>;
 
 /// Codec-level failure. Non-fatal errors (a malformed text line) cost one
 /// `err` response and the stream keeps serving; fatal errors (a corrupt
@@ -411,8 +451,9 @@ class TextCodec final : public Codec {
 inline constexpr char kBinaryFrameMagic[4] = {'I', 'G', 'R', 'B'};
 
 /// Version of the binary frame format emitted by BinaryCodec. v2 added
-/// the Busy response tag and the busy_rejections metrics field.
-inline constexpr std::uint32_t kBinaryFrameVersion = 2;
+/// the Busy response tag and the busy_rejections metrics field; v3 added
+/// the stats verb (request tag 16, StatsOut response tag 142).
+inline constexpr std::uint32_t kBinaryFrameVersion = 3;
 
 /// Hard cap on a binary frame's payload length; larger declared lengths
 /// are rejected as corrupt before any allocation.
@@ -619,6 +660,7 @@ class Engine {
   Response do_handle(const req::Autosave& r);
   Response do_handle(const req::Close& r);
   Response do_handle(const req::Quit& r);
+  Response do_handle(const req::Stats& r);
 
   EngineOptions opts_;
   mutable std::shared_mutex registry_mu_;  // guards tenants_ (the map only)

@@ -1,13 +1,64 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace ingrass {
 
 namespace {
+
+/// Rebuild observability series, resolved once (registry-owned, process
+/// lifetime). Rebuilds are per-session events but the series are
+/// process-wide: ShardedSession fans one logical rebuild out across its
+/// shards, and the per-shard costs are exactly what capacity planning
+/// needs to see.
+struct RebuildMetrics {
+  obs::Histogram& sync_seconds;
+  obs::Histogram& async_seconds;
+  obs::Histogram& staleness_at_trip;
+  obs::Histogram& backlog_batches;
+  obs::Counter& rebuilds;
+  obs::Counter& failures;
+};
+
+/// The active exception's message, for a catch (...) handler that wants
+/// to log what it swallowed.
+std::string current_exception_message() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+RebuildMetrics& rebuild_metrics() {
+  static RebuildMetrics* m = new RebuildMetrics{
+      obs::registry().histogram("ingrass_rebuild_seconds", {{"mode", "sync"}}),
+      obs::registry().histogram("ingrass_rebuild_seconds", {{"mode", "async"}}),
+      // Staleness is a fraction of the rebuild threshold's kappa budget;
+      // trips land at >= the configured fraction (0.25 by default) and can
+      // overshoot past 1 when one batch carries a large charge.
+      obs::registry().histogram(
+          "ingrass_rebuild_staleness_at_trip", {},
+          {0.125, 0.25, 0.375, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0}),
+      // Batches replayed per catch-up round of a background rebuild.
+      obs::registry().histogram(
+          "ingrass_rebuild_backlog_batches", {},
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0}),
+      obs::registry().counter("ingrass_rebuilds_total"),
+      obs::registry().counter("ingrass_rebuild_failures_total"),
+  };
+  return *m;
+}
 
 /// Staleness charge for one removal. `graph_w` is the weight dropped from
 /// G (0 if the pair was absent), `ghost_w` the weight the sparsifier still
@@ -290,8 +341,15 @@ void SparsifierSession::set_coupling(NodeId u, NodeId v, double w) {
 
 void SparsifierSession::maybe_trigger_rebuild_locked(ApplyResult& result) {
   if (!opts_.enable_rebuild || rebuilding_) return;
-  if (staleness_locked() < opts_.rebuild_staleness_fraction) return;
+  const double staleness = staleness_locked();
+  if (staleness < opts_.rebuild_staleness_fraction) return;
   result.rebuild_triggered = true;
+  rebuild_metrics().staleness_at_trip.observe(staleness);
+  obs::log().info("rebuild_start",
+                  {{"mode", opts_.background_rebuild ? "async" : "sync"},
+                   {"staleness", staleness},
+                   {"nodes", static_cast<std::uint64_t>(g_.num_nodes())},
+                   {"graph_edges", static_cast<std::uint64_t>(g_.num_edges())}});
   if (!opts_.background_rebuild) {
     rebuild_synchronously_locked();
     result.staleness = staleness_locked();
@@ -306,6 +364,7 @@ void SparsifierSession::maybe_trigger_rebuild_locked(ApplyResult& result) {
 }
 
 void SparsifierSession::rebuild_synchronously_locked() {
+  const auto started = std::chrono::steady_clock::now();
   try {
     GrassResult gr = grass_sparsify(g_, opts_.grass);
     engine_ = std::make_unique<Ingrass>(std::move(gr.sparsifier), opts_.engine);
@@ -314,16 +373,31 @@ void SparsifierSession::rebuild_synchronously_locked() {
     counters_.removals_pending = 0;
     ghost_pairs_.clear();
     refresh_solver_locked();
+    const double seconds =
+        1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                   started, std::chrono::steady_clock::now()));
+    rebuild_metrics().sync_seconds.observe(seconds);
+    rebuild_metrics().rebuilds.inc();
+    obs::log().info("rebuild_finish",
+                    {{"mode", "sync"},
+                     {"seconds", seconds},
+                     {"sparsifier_edges",
+                      static_cast<std::uint64_t>(engine_->sparsifier().num_edges())}});
   } catch (...) {
     // Rebuild failed (e.g. removals disconnected G, which GRASS rejects):
     // keep serving from the live pair. Resetting the score is a cooldown —
     // otherwise every subsequent batch would re-trigger a doomed rebuild.
     ++counters_.rebuild_failures;
     counters_.staleness_score = 0.0;
+    rebuild_metrics().failures.inc();
+    obs::log().warn("rebuild_failure",
+                    {{"mode", "sync"}, {"error", current_exception_message()}});
   }
 }
 
 void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
+  const auto started = std::chrono::steady_clock::now();
+  std::uint64_t replayed_batches = 0;
   try {
     // Heavy phase, no session lock held: the live engine keeps absorbing
     // updates and serving solves (the double-buffered idiom).
@@ -346,6 +420,18 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
           ++counters_.rebuilds;
           rebuilding_ = false;
           refresh_solver_locked();
+          const double seconds =
+              1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                         started, std::chrono::steady_clock::now()));
+          rebuild_metrics().async_seconds.observe(seconds);
+          rebuild_metrics().rebuilds.inc();
+          obs::log().info(
+              "rebuild_finish",
+              {{"mode", "async"},
+               {"seconds", seconds},
+               {"replayed_batches", replayed_batches},
+               {"sparsifier_edges",
+                static_cast<std::uint64_t>(engine_->sparsifier().num_edges())}});
           if (staleness_locked() >= opts_.rebuild_staleness_fraction) {
             // The replay itself left the fresh pair over threshold (e.g.
             // heavy ghost removals landed mid-rebuild). Chain another
@@ -363,6 +449,8 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
         todo = std::move(rebuild_backlog_);
         rebuild_backlog_.clear();
       }
+      replayed_batches += todo.size();
+      rebuild_metrics().backlog_batches.observe(static_cast<double>(todo.size()));
       for (const BacklogEntry& entry : todo) {
         // Removals already left G, but the shadow was sparsified from a
         // snapshot that may still carry them. Mirror the live path's
@@ -403,11 +491,14 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
       }
     }
   } catch (...) {
+    const std::string error = current_exception_message();
     auto lock = exclusive_lock();
     ++counters_.rebuild_failures;
     counters_.staleness_score = 0.0;  // cooldown; see rebuild_synchronously_locked
     rebuilding_ = false;
     rebuild_backlog_.clear();  // nobody will replay these now
+    rebuild_metrics().failures.inc();
+    obs::log().warn("rebuild_failure", {{"mode", "async"}, {"error", error}});
   }
 }
 

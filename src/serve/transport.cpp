@@ -24,6 +24,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/transport_detail.hpp"
 
 namespace ingrass::serve {
@@ -33,6 +36,29 @@ using detail::sys_error;
 using detail::UniqueFd;
 
 namespace {
+
+/// Connection-lifecycle series for the thread-per-connection transport
+/// (the event loop registers its own under transport="event"), resolved
+/// once. Registry-owned, process lifetime.
+struct ThreadTransportMetrics {
+  obs::Counter& accepted;
+  obs::Gauge& active;
+  obs::Counter& shed_over_cap;
+  obs::Counter& shed_emfile;
+};
+
+ThreadTransportMetrics& transport_metrics() {
+  const obs::Labels labels{{"transport", "thread"}};
+  static ThreadTransportMetrics* m = new ThreadTransportMetrics{
+      obs::registry().counter("ingrass_connections_total", labels),
+      obs::registry().gauge("ingrass_connections_active", labels),
+      obs::registry().counter("ingrass_connections_shed_total",
+                              {{"transport", "thread"}, {"what", "connections"}}),
+      obs::registry().counter("ingrass_connections_shed_total",
+                              {{"transport", "thread"}, {"what", "emfile"}}),
+  };
+  return *m;
+}
 
 /// A bidirectional streambuf over a connected socket. Reads via recv,
 /// writes via send with MSG_NOSIGNAL (a peer that disconnected mid-write
@@ -147,7 +173,8 @@ UniqueFd open_listener(const TcpOptions& opts, std::uint16_t* port) {
 
 void warn_nofile_capacity(int max_connections) {
   if (const auto warning = nofile_capacity_warning(max_connections)) {
-    std::fprintf(stderr, "%s\n", warning->c_str());
+    obs::log().warn("nofile_capacity",
+                    {{"max_connections", max_connections}, {"message", *warning}});
   }
 }
 
@@ -182,9 +209,23 @@ ServeOutcome serve_stream(Engine& engine, Codec& codec, std::istream& in,
       continue;
     }
     if (!request) break;
-    const Response response = engine.handle(*request);
-    codec.write_response(out, response);
-    out.flush();
+    // Decode is deliberately left at 0 in blocking mode: the read above
+    // includes the client's own think time, which is not server latency.
+    obs::RequestTrace trace;
+    Response response;
+    {
+      obs::TraceScope scope(&trace);
+      response = engine.handle(*request);
+    }
+    {
+      obs::StageTimer encode(trace.encode_ns);
+      codec.write_response(out, response);
+    }
+    {
+      obs::StageTimer write(trace.write_ns);
+      out.flush();
+    }
+    obs::finish_trace(trace);
     if (std::holds_alternative<resp::Bye>(response)) return ServeOutcome::kQuit;
   }
   // End-of-stream (EOF or a fatal framing error): when this stream is the
@@ -396,6 +437,8 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
         // reserve fd instead of spinning on accept retries. The client
         // gets the same typed `busy connections` refusal an over-cap
         // accept gets — a retry signal, not a hang.
+        transport_metrics().shed_emfile.inc();
+        obs::log().info("shed", {{"what", "emfile"}, {"transport", "thread"}});
         spare.reset();
         UniqueFd doomed(::accept(listener_fd, nullptr, nullptr));
         if (doomed.valid()) reject_connection(doomed, opts.max_connections);
@@ -425,6 +468,10 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
       active = conns.size();
     }
     if (active >= static_cast<std::size_t>(opts.max_connections)) {
+      transport_metrics().shed_over_cap.inc();
+      obs::log().info("shed", {{"what", "connections"},
+                               {"transport", "thread"},
+                               {"limit", opts.max_connections}});
       // Off-thread: the rejection's bounded codec peek (up to ~250 ms
       // against a silent client) must not stall accepts — a freed slot
       // should go to the next real client immediately. Rejector threads
@@ -460,6 +507,8 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
       const std::lock_guard<std::mutex> lock(conns_mu);
       conns.emplace_back(std::thread{}, conn);
       conns.back().first = std::thread([&engine, &begin_shutdown, conn] {
+        transport_metrics().accepted.inc();
+        transport_metrics().active.add(1.0);
         ServeOutcome outcome = ServeOutcome::kEof;
         try {
           outcome = serve_connection(engine, conn->fd.get());
@@ -467,6 +516,7 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
           // A connection dying (codec throw past serve_stream, stream
           // failure) must not take the server with it.
         }
+        transport_metrics().active.add(-1.0);
         if (outcome == ServeOutcome::kQuit) begin_shutdown();
         conn->done.store(true, std::memory_order_release);
       });

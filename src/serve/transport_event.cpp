@@ -1,5 +1,5 @@
 #include <cerrno>
-#include <cstdio>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -20,6 +20,9 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/transport_detail.hpp"
 #include "util/thread_pool.hpp"
 
@@ -61,6 +64,37 @@ long now_ms() {
   return ts.tv_sec * 1000L + ts.tv_nsec / 1000000L;
 }
 
+/// Event-loop transport series (transport="event"; the threaded transport
+/// registers its own under transport="thread"), resolved once.
+/// Registry-owned, process lifetime.
+struct EventTransportMetrics {
+  obs::Counter& accepted;
+  obs::Gauge& active;
+  obs::Counter& shed_over_cap;
+  obs::Counter& shed_emfile;
+  obs::Counter& epoll_wakeups;
+  obs::Counter& pipeline_pauses;
+  obs::Counter& pipeline_resumes;
+  obs::Counter& busy_queue;  ///< same series Engine::handle's catch bumps
+};
+
+EventTransportMetrics& event_metrics() {
+  const obs::Labels labels{{"transport", "event"}};
+  static EventTransportMetrics* m = new EventTransportMetrics{
+      obs::registry().counter("ingrass_connections_total", labels),
+      obs::registry().gauge("ingrass_connections_active", labels),
+      obs::registry().counter("ingrass_connections_shed_total",
+                              {{"transport", "event"}, {"what", "connections"}}),
+      obs::registry().counter("ingrass_connections_shed_total",
+                              {{"transport", "event"}, {"what", "emfile"}}),
+      obs::registry().counter("ingrass_epoll_wakeups_total"),
+      obs::registry().counter("ingrass_pipeline_pauses_total"),
+      obs::registry().counter("ingrass_pipeline_resumes_total"),
+      obs::registry().counter("ingrass_busy_total", {{"what", "queue"}}),
+  };
+  return *m;
+}
+
 [[nodiscard]] bool set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
@@ -85,8 +119,17 @@ std::string encode_response_bytes(WireFormat wire, const Response& response) {
 /// and written strictly front-to-back, so responses leave in request
 /// order even though the worker pool completes them in any order.
 struct Slot {
+  Slot() = default;
+  Slot(bool d, std::string b) : done(d), bytes(std::move(b)) {}
+
   bool done = false;   ///< response encoded and ready to send
   std::string bytes;   ///< encoded response
+  /// This request's latency trace, parked here until the write drains
+  /// (null for loop-local fills: decode errors, busy refusals, sheds).
+  std::unique_ptr<obs::RequestTrace> trace;
+  /// When the encoded response landed in the slot — the write-drain
+  /// stage runs from here to the slot leaving the deque.
+  std::chrono::steady_clock::time_point ready_at;
 };
 
 /// One live connection's loop-side state. Everything here is touched by
@@ -121,6 +164,8 @@ struct PendingCmd {
   std::string lane;  ///< resolved tenant key
   bool is_solve = false;
   Request request;
+  std::unique_ptr<obs::RequestTrace> trace;  ///< decode stage already stamped
+  std::chrono::steady_clock::time_point enqueued_at;  ///< lane-wait start
 };
 
 /// Per-tenant dispatch lane: commands enter in decode (arrival) order and
@@ -143,6 +188,7 @@ struct DoneCmd {
   std::string lane;  ///< "" for Quit (no lane bookkeeping)
   bool is_solve = false;
   Response response;
+  std::unique_ptr<obs::RequestTrace> trace;  ///< queue/gate/execute stamped
 };
 
 class EventServer {
@@ -185,6 +231,7 @@ class EventServer {
         if (errno == EINTR) continue;
         sys_error("epoll_wait");
       }
+      event_metrics().epoll_wakeups.inc();
       for (int i = 0; i < n; ++i) {
         const std::uint64_t id = events[i].data.u64;
         const std::uint32_t ev = events[i].events;
@@ -230,8 +277,8 @@ class EventServer {
       // Interest tracking just desynchronized from the kernel (EBADF or
       // ENOENT here means corrupted connection state) — surface it rather
       // than stall or busy-spin silently.
-      std::fprintf(stderr, "ingrass_serve: epoll_ctl MOD failed on connection %llu: %s\n",
-                   static_cast<unsigned long long>(c.id), std::strerror(errno));
+      obs::log().warn("epoll_ctl_mod_failed",
+                      {{"connection", c.id}, {"error", std::strerror(errno)}});
     }
   }
 
@@ -268,8 +315,14 @@ class EventServer {
         c->shed = true;
         c->shed_deadline_ms = now_ms() + kShedDefaultTextMs;
         ++shed_count_;
+        event_metrics().shed_over_cap.inc();
+        obs::log().info("shed", {{"what", "connections"},
+                                 {"transport", "event"},
+                                 {"limit", opts_.max_connections}});
       } else {
         ++live_count_;
+        event_metrics().accepted.inc();
+        event_metrics().active.set(static_cast<double>(live_count_));
       }
       epoll_event ev{};
       ev.events = EPOLLIN;
@@ -277,6 +330,7 @@ class EventServer {
       c->interest = EPOLLIN;
       if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, c->fd.get(), &ev) != 0) {
         if (c->shed) --shed_count_; else --live_count_;
+        event_metrics().active.set(static_cast<double>(live_count_));
         continue;  // resource exhaustion: drop this one, keep the server
       }
       conns_.emplace(id, std::move(c));
@@ -289,6 +343,8 @@ class EventServer {
   /// re-arm the reserve. The accept queue drains instead of the loop
   /// spinning on EMFILE while clients hang.
   void shed_emfile() {
+    event_metrics().shed_emfile.inc();
+    obs::log().info("shed", {{"what", "emfile"}, {"transport", "event"}});
     spare_.reset();
     UniqueFd doomed(::accept(listener_.get(), nullptr, nullptr));
     if (doomed.valid()) {
@@ -410,7 +466,9 @@ class EventServer {
     while (!c.read_done &&
            c.slots.size() < static_cast<std::size_t>(opts_.max_pipelined)) {
       std::optional<Request> request;
+      auto trace = std::make_unique<obs::RequestTrace>();
       try {
+        obs::StageTimer decode(trace->decode_ns);
         request = c.assembler.next();
       } catch (const ProtocolError& e) {
         // One err response per codec error, exactly like serve_stream:
@@ -425,18 +483,19 @@ class EventServer {
         continue;
       }
       if (!request) break;
-      route(c, std::move(*request));
+      route(c, std::move(*request), std::move(trace));
     }
     if (c.slots.size() >= static_cast<std::size_t>(opts_.max_pipelined) &&
         !c.reading_paused && !c.read_done) {
       c.reading_paused = true;  // resumed by flush_writes as slots drain
+      event_metrics().pipeline_pauses.inc();
     }
     update_interest(c);
   }
 
   // --- dispatch ------------------------------------------------------------
 
-  void route(Conn& c, Request request) {
+  void route(Conn& c, Request request, std::unique_ptr<obs::RequestTrace> trace) {
     const std::uint64_t seq = c.next_seq++;
     c.slots.push_back({});
 
@@ -466,15 +525,20 @@ class EventServer {
     if (outstanding >= engine_.options().max_queued) {
       // The same bound with_tenant enforces, applied before the pool so a
       // flooding pipeline is refused O(1); the refusal must still count
-      // in the tenant's metrics, hence note_busy_rejection.
+      // in the tenant's metrics, hence note_busy_rejection. The process
+      // counter Engine::handle's catch would bump is bumped here too, so
+      // both transports' refusals land in one series.
       engine_.note_busy_rejection(key);
+      event_metrics().busy_queue.inc();
+      obs::log().info("busy", {{"what", "queue"}, {"tenant", key}});
       complete_local(c, seq,
                      resp::Busy{"queue",
                                 static_cast<std::uint64_t>(engine_.options().max_queued)});
       return;
     }
     lane.parked.push_back({c.id, seq, key, std::holds_alternative<req::Solve>(request),
-                           std::move(request)});
+                           std::move(request), std::move(trace),
+                           std::chrono::steady_clock::now()});
     dispatch_lane(lane);
   }
 
@@ -504,12 +568,24 @@ class EventServer {
     ++lane.in_flight;
     if (!cmd.is_solve) lane.writer_running = true;
     ++jobs_in_flight_;
-    pool_->post([this, cmd = std::move(cmd)]() mutable {
-      Response response = engine_.handle(cmd.request);
+    // shared_ptr because the pool's std::function requires a copyable
+    // callable and the command now carries a move-only trace.
+    pool_->post([this, cmd = std::make_shared<PendingCmd>(std::move(cmd))] {
+      Response response;
+      if (cmd->trace != nullptr) {
+        // The lane wait ends now that a worker picked the command up; the
+        // gate/execute stages stamp inside handle via the installed scope.
+        cmd->trace->queue_ns += obs::elapsed_ns_between(
+            cmd->enqueued_at, std::chrono::steady_clock::now());
+        obs::TraceScope scope(cmd->trace.get());
+        response = engine_.handle(cmd->request);
+      } else {
+        response = engine_.handle(cmd->request);
+      }
       {
         const std::lock_guard<std::mutex> lock(done_mu_);
-        done_.push_back({cmd.conn_id, cmd.seq, std::move(cmd.lane), cmd.is_solve,
-                         std::move(response)});
+        done_.push_back({cmd->conn_id, cmd->seq, std::move(cmd->lane), cmd->is_solve,
+                         std::move(response), std::move(cmd->trace)});
       }
       wake();
     });
@@ -526,7 +602,8 @@ class EventServer {
       Response response = engine_.handle(req::Quit{});
       {
         const std::lock_guard<std::mutex> lock(done_mu_);
-        done_.push_back({conn_id, seq, std::string(), false, std::move(response)});
+        done_.push_back({conn_id, seq, std::string(), false, std::move(response),
+                         nullptr});
       }
       wake();
     });
@@ -559,18 +636,30 @@ class EventServer {
       }
     }
     const bool is_bye = std::holds_alternative<resp::Bye>(d.response);
-    fill_slot(d.conn_id, d.seq, d.response);
+    fill_slot(d.conn_id, d.seq, d.response, std::move(d.trace));
     if (is_bye && !stopping_) begin_stop();
   }
 
-  void fill_slot(std::uint64_t conn_id, std::uint64_t seq, const Response& response) {
+  void fill_slot(std::uint64_t conn_id, std::uint64_t seq, const Response& response,
+                 std::unique_ptr<obs::RequestTrace> trace) {
     const auto it = conns_.find(conn_id);
     if (it == conns_.end()) return;  // the connection died; drop the response
     Conn& c = *it->second;
     const std::size_t idx = static_cast<std::size_t>(seq - c.base_seq);
     if (idx >= c.slots.size()) return;
     c.slots[idx].done = true;
-    c.slots[idx].bytes = encode_response_bytes(c.wire(), response);
+    if (trace != nullptr) {
+      obs::StageTimer encode(trace->encode_ns);
+      c.slots[idx].bytes = encode_response_bytes(c.wire(), response);
+    } else {
+      c.slots[idx].bytes = encode_response_bytes(c.wire(), response);
+    }
+    // The trace parks in the slot; flush_writes finishes it (write-drain
+    // stage) when the response fully leaves the socket. A connection that
+    // dies first simply drops the trace — an undelivered response has no
+    // meaningful drain time.
+    c.slots[idx].trace = std::move(trace);
+    c.slots[idx].ready_at = std::chrono::steady_clock::now();
     if (c.quit_pending) maybe_post_quit(c);
     flush_writes(c);  // may close c; resumes paused reads as slots drain
   }
@@ -620,6 +709,11 @@ class EventServer {
           const std::size_t avail = c.slots.front().bytes.size() - c.write_off;
           if (left >= avail) {
             left -= avail;
+            if (Slot& s = c.slots.front(); s.trace != nullptr) {
+              s.trace->write_ns += obs::elapsed_ns_between(
+                  s.ready_at, std::chrono::steady_clock::now());
+              obs::finish_trace(*s.trace);
+            }
             c.slots.pop_front();
             ++c.base_seq;
             c.write_off = 0;
@@ -644,6 +738,7 @@ class EventServer {
         // then loop — the decode may have completed slots locally that
         // need sending. Terminates: each round consumes buffered bytes.
         c.reading_paused = false;
+        event_metrics().pipeline_resumes.inc();
         decode_buffered(c);
         continue;
       }
@@ -659,6 +754,7 @@ class EventServer {
       if (!c.read_done) --shed_count_;  // still counted as awaiting answer
     } else {
       --live_count_;
+      event_metrics().active.set(static_cast<double>(live_count_));
     }
     // Closing the fd removes it from the epoll set.
     conns_.erase(it);

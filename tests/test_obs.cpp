@@ -1,0 +1,370 @@
+// The observability layer: histogram bucket assignment and percentile
+// interpolation (including the overflow clamp), sharded concurrent
+// updates, registry registration semantics, Prometheus text-exposition
+// rendering, the JSON-lines logger's escaping, per-request trace
+// finishing (stage histograms + slow-request records), and the /metrics
+// HTTP endpoint end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics_http.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ingrass::obs {
+namespace {
+
+std::string scratch_path(const std::string& name) {
+  static const std::string pid = std::to_string(::getpid());
+  return testing::TempDir() + "/ingrass_obs_" + pid + "_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram math
+
+TEST(Histogram, BucketAssignmentIncludingOverflow) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.0);  // upper edges are inclusive: lands in the first bucket
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(100.0);  // past the last bound: the implicit overflow bucket
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 106.0);
+}
+
+TEST(Histogram, QuantileInterpolatesLinearlyWithinTheCoveringBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // one observation, bucket [0, 1]
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.5);
+
+  Histogram two({1.0, 2.0, 4.0});
+  two.observe(1.2);
+  two.observe(1.8);  // both in bucket (1, 2]
+  const auto snap = two.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 1.25);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, OverflowQuantileClampsToTopFiniteBound) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(1000.0);
+  h.observe(2000.0);
+  // Resolution ran out: the honest estimate is the top finite bound, not
+  // an extrapolation past it.
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 4.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, DefaultLatencyLadderIsAscendingMicrosecondDoubling) {
+  const auto bounds = Histogram::default_latency_bounds();
+  ASSERT_EQ(bounds.size(), 27u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+  }
+  EXPECT_GT(bounds.back(), 60.0);  // covers a cold sharded open
+}
+
+TEST(Histogram, ConcurrentObserversLoseNothing) {
+  // The sharded hot path under contention: every observation must land
+  // exactly once (this is the case the TSan job checks for races).
+  Histogram h(Histogram::default_latency_bounds());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(1e-6 * static_cast<double>(1 + (t + i) % 1000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(snap.sum, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, RegistrationIsIdempotentPerNameAndLabels) {
+  Registry reg;
+  Counter& a = reg.counter("x_total", {{"k", "1"}});
+  Counter& b = reg.counter("x_total", {{"k", "1"}});
+  Counter& c = reg.counter("x_total", {{"k", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+
+  Histogram& h1 = reg.histogram("lat_seconds");
+  Histogram& h2 = reg.histogram("lat_seconds");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, SnapshotIsSortedAndCarriesFullNames) {
+  Registry reg;
+  reg.counter("b_total").inc();
+  reg.gauge("a_level", {{"zone", "x"}}).set(2.5);
+  reg.histogram("c_seconds").observe(0.001);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].full_name(), "a_level{zone=\"x\"}");
+  EXPECT_EQ(samples[1].full_name(), "b_total");
+  EXPECT_EQ(samples[2].full_name(), "c_seconds");
+  EXPECT_EQ(samples[0].kind, SampleKind::kGauge);
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.5);
+  EXPECT_EQ(samples[2].hist.count, 1u);
+}
+
+TEST(Registry, PrometheusExpositionIsWellFormed) {
+  Registry reg;
+  reg.counter("req_total", {{"verb", "solve"}}).inc(7);
+  Histogram& h = reg.histogram("lat_seconds", {}, {0.001, 0.01, 0.1});
+  h.observe(0.0005);
+  h.observe(0.05);
+  h.observe(5.0);  // overflow
+  const std::string text = reg.render_prometheus();
+
+  // One # TYPE line per family, every series line `name[{labels}] value`.
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("req_total{verb=\"solve\"} 7\n"), std::string::npos) << text;
+  // Cumulative buckets: le="0.001" has 1, le="0.1" has 2, +Inf has all 3.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.001\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos) << text;
+  // Every non-comment line has exactly one space separating series/value.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# ", 0) == 0) continue;
+    const auto space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', space + 1), std::string::npos) << line;
+  }
+}
+
+TEST(Registry, LabelValuesAreEscapedInExposition) {
+  Registry reg;
+  reg.counter("esc_total", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos)
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+TEST(Logger, WritesOneEscapedJsonObjectPerLine) {
+  const std::string path = scratch_path("log.jsonl");
+  std::remove(path.c_str());
+  Logger logger;
+  logger.open(path);
+  logger.info("test_event", {{"text", "a\"b\\c\nd"},
+                             {"n", 42},
+                             {"ratio", 0.5},
+                             {"flag", true}});
+  logger.warn("warn_event", {{"count", 7u}});
+  logger.close();
+
+  const std::string contents = read_file(path);
+  std::istringstream lines(contents);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\":\"test_event\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"text\":\"a\\\"b\\\\c\\nd\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"n\":42"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"flag\":true"), std::string::npos) << line;
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"count\":7"), std::string::npos) << line;
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(Logger, InfoEventsAreDroppedWithoutASink) {
+  // Default operation stays quiet: info events need an open sink.
+  Logger logger;
+  EXPECT_FALSE(logger.enabled());
+  logger.info("dropped", {{"k", 1}});  // must not crash or print
+}
+
+// ---------------------------------------------------------------------------
+// Trace finishing
+
+TEST(Trace, FinishFoldsStagesIntoTheDefaultRegistryAndLogsSlowRequests) {
+  const std::string path = scratch_path("slow.jsonl");
+  std::remove(path.c_str());
+  const auto count_of = [](const std::string& name) -> std::uint64_t {
+    for (const Sample& s : registry().snapshot()) {
+      if (s.full_name() == name) return s.hist.count;
+    }
+    return 0;
+  };
+  const std::uint64_t total_before = count_of("ingrass_request_seconds");
+  const std::uint64_t gate_before =
+      count_of("ingrass_stage_seconds{stage=\"gate_wait\"}");
+
+  log().open(path);
+  set_slow_request_threshold_ns(1);  // everything is slow
+  RequestTrace trace;
+  trace.verb = "solve";
+  trace.tenant = "alpha";
+  trace.gate_ns = 2'000'000;
+  trace.execute_ns = 5'000'000;
+  trace.cg_iterations = 17;
+  trace.rebuild_triggered = true;
+  finish_trace(trace);
+  set_slow_request_threshold_ns(0);
+  log().close();
+
+  EXPECT_EQ(count_of("ingrass_request_seconds"), total_before + 1);
+  EXPECT_EQ(count_of("ingrass_stage_seconds{stage=\"gate_wait\"}"), gate_before + 1);
+
+  const std::string contents = read_file(path);
+  EXPECT_NE(contents.find("\"event\":\"slow_request\""), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"verb\":\"solve\""), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"tenant\":\"alpha\""), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"cg_iterations\":17"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"rebuild_triggered\":true"), std::string::npos) << contents;
+}
+
+TEST(Trace, ScopeInstallsAndRestoresTheThreadCurrent) {
+  EXPECT_EQ(current_trace(), nullptr);
+  RequestTrace outer;
+  {
+    TraceScope a(&outer);
+    EXPECT_EQ(current_trace(), &outer);
+    RequestTrace inner;
+    {
+      TraceScope b(&inner);
+      EXPECT_EQ(current_trace(), &inner);
+    }
+    EXPECT_EQ(current_trace(), &outer);
+  }
+  EXPECT_EQ(current_trace(), nullptr);
+}
+
+TEST(Trace, StageTimerAccumulatesAndCancelAbandons) {
+  std::uint64_t slot = 0;
+  {
+    StageTimer t(slot);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    t.stop();
+    t.stop();  // idempotent: a second stop banks nothing extra
+  }
+  const std::uint64_t once = slot;
+  EXPECT_GE(once, 1'000'000u);  // at least the slept millisecond
+
+  {
+    StageTimer t(slot);
+    t.cancel();
+  }
+  EXPECT_EQ(slot, once);  // cancelled stage banked nothing
+}
+
+// ---------------------------------------------------------------------------
+// The /metrics endpoint
+
+/// Minimal scrape client: one GET, read to EOF.
+std::string http_get(std::uint16_t port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  const std::string req = request_line + "\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0), static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(MetricsHttp, ServesTheRegistryExposition) {
+  Registry reg;
+  reg.counter("scrape_total", {{"job", "test"}}).inc(5);
+  reg.histogram("scrape_seconds", {}, {0.1, 1.0}).observe(0.05);
+  MetricsHttpServer server(reg);  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = http_get(server.port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("scrape_total{job=\"test\"} 5\n"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("scrape_seconds_bucket{le=\"0.1\"} 1\n"), std::string::npos)
+      << response;
+
+  // A second scrape sees updated values (one connection per request).
+  reg.counter("scrape_total", {{"job", "test"}}).inc();
+  const std::string again = http_get(server.port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(again.find("scrape_total{job=\"test\"} 6\n"), std::string::npos) << again;
+}
+
+TEST(MetricsHttp, RejectsOtherPathsAndNonGets) {
+  Registry reg;
+  MetricsHttpServer server(reg);
+  EXPECT_NE(http_get(server.port(), "GET /other HTTP/1.0").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(), "POST /metrics HTTP/1.0").find("400"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ingrass::obs

@@ -98,7 +98,33 @@ std::vector<Request> all_requests() {
       req::Autosave{"a", "auto.bin", 16},
       req::Close{"b"},
       req::Quit{},
+      req::Stats{},
   };
+}
+
+/// A stats snapshot with one point of each kind and awkward name bytes
+/// (spaces and '=' in a label value must survive the text grammar).
+resp::StatsOut stats_out() {
+  resp::StatsOut out;
+  resp::StatPoint counter;
+  counter.name = "ingrass_requests_total{verb=\"solve\"}";
+  counter.kind = resp::StatPoint::Kind::kCounter;
+  counter.value = 42.0;
+  resp::StatPoint gauge;
+  gauge.name = "ingrass_connections_active{transport=\"event\",note=\"a b=c\"}";
+  gauge.kind = resp::StatPoint::Kind::kGauge;
+  gauge.value = 3.5;
+  resp::StatPoint hist;
+  hist.name = "ingrass_request_seconds";
+  hist.kind = resp::StatPoint::Kind::kHistogram;
+  hist.count = 128;
+  hist.sum = 0.75;
+  hist.p50 = 0.001;
+  hist.p90 = 0.004;
+  hist.p99 = 0.25;
+  hist.p999 = 1.5;
+  out.points = {counter, gauge, hist};
+  return out;
 }
 
 /// One of each response variant, with distinctive field values.
@@ -143,6 +169,7 @@ std::vector<Response> all_responses() {
       resp::Closed{"tenant-x"},
       resp::Bye{},
       resp::Busy{"staged", 1024},
+      Response{stats_out()},
   };
 }
 
@@ -326,6 +353,65 @@ TEST(TextCodec, MalformedLinesKeepTheDocumentedMessages) {
   expect_text_error("autosave snap.bin 0", "autosave interval must be >= 1");
   expect_text_error("@ metrics", "empty tenant name");
   expect_text_error("@a quit", "quit takes no tenant (use close a to drop one session)");
+  expect_text_error("@a stats", "stats takes no tenant (the snapshot is process-wide)");
+  expect_text_error("stats now", "usage: stats");
+}
+
+// ---------------------------------------------------------------------------
+// The stats verb
+
+TEST(TextCodec, StatsRequestParses) {
+  TextCodec codec;
+  std::istringstream in("stats\n");
+  const auto request = codec.read_request(in);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_TRUE(std::holds_alternative<req::Stats>(*request));
+}
+
+TEST(TextCodec, StatsTableRoundTrips) {
+  TextCodec codec;
+  const Response response{stats_out()};
+  std::stringstream wire;
+  codec.write_response(wire, response);
+  // Header + one `point` line per series; percentiles only on histograms.
+  EXPECT_NE(wire.str().find("ok stats points=3"), std::string::npos) << wire.str();
+  EXPECT_NE(wire.str().find("kind=histogram"), std::string::npos) << wire.str();
+  const auto back = codec.read_response(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, response);
+}
+
+TEST(TextCodec, TruncatedStatsTableIsAnError) {
+  TextCodec codec;
+  std::istringstream in(
+      "ok stats points=2\n"
+      "point kind=counter value=1 count=0 sum=0 p50=0 p90=0 p99=0 p999=0 name=x\n");
+  try {
+    (void)codec.read_response(in);
+    FAIL() << "truncated stats table parsed";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated stats table"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Engine, StatsSnapshotsTheProcessRegistry) {
+  Engine engine;
+  // The stats request itself increments its own per-verb counter, so the
+  // snapshot is guaranteed non-empty even in a fresh process.
+  const Response response = engine.handle(req::Stats{});
+  const auto* stats = std::get_if<resp::StatsOut>(&response);
+  ASSERT_NE(stats, nullptr) << error_message(response);
+  bool saw_stats_counter = false;
+  for (const resp::StatPoint& p : stats->points) {
+    if (p.name.find("ingrass_requests_total") != std::string::npos &&
+        p.name.find("verb=\"stats\"") != std::string::npos) {
+      saw_stats_counter = true;
+      EXPECT_EQ(p.kind, resp::StatPoint::Kind::kCounter);
+      EXPECT_GE(p.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_stats_counter);
 }
 
 // ---------------------------------------------------------------------------
@@ -402,6 +488,50 @@ TEST(BinaryCodec, RejectsTrailingBytesInsideFrame) {
   bytes.push_back('\0');
   bytes[8] = static_cast<char>(static_cast<unsigned char>(bytes[8]) + 1);
   expect_fatal_frame_error(bytes, "trailing bytes");
+}
+
+TEST(BinaryCodec, StatsRequestUsesFrameVersion3) {
+  // The stats verb arrived with frame version 3; the version field is the
+  // little-endian u32 right after the 4-byte magic.
+  const std::string bytes = encoded_request(req::Stats{});
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 3u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[5]), 0u);
+}
+
+TEST(BinaryCodec, RejectsOlderFrameVersions) {
+  // A v2 peer (pre-stats) must get the documented fatal version error,
+  // not a silent misparse — the frame layout is versioned, not sniffed.
+  std::string v2 = encoded_request(req::Metrics{"a"});
+  v2[4] = 2;
+  expect_fatal_frame_error(v2, "unsupported version");
+  std::string v1 = std::move(v2);
+  v1[4] = 1;
+  expect_fatal_frame_error(v1, "unsupported version");
+}
+
+TEST(BinaryCodec, RejectsImplausibleStatsPointCount) {
+  // A response frame claiming 2^31 stats points must die on the count
+  // guard, not attempt a huge allocation.
+  BinaryCodec codec;
+  std::stringstream wire;
+  codec.write_response(wire, Response{resp::StatsOut{}});
+  std::string bytes = wire.str();
+  // Payload: u8 tag (kTagStatsOut) then u32 point count at offset 13.
+  bytes[13] = '\x00';
+  bytes[14] = '\x00';
+  bytes[15] = '\x00';
+  bytes[16] = '\x80';
+  BinaryCodec reader;
+  std::istringstream in(bytes);
+  try {
+    (void)reader.read_response(in);
+    FAIL() << "implausible stats point count parsed";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible stats point count"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -11,13 +11,18 @@ name plus the full set of identifying params; a record present on only
 one side is reported but never fails the run (benchmarks come and go
 across PRs — only a *measured regression* should gate).
 
-For every matched pair, two one-sided checks with a relative noise band
+For every matched pair, one-sided checks with a relative noise band
 `--tolerance` (default 0.10 = 10%):
 
   - throughput (when both sides report it) must not drop below
     baseline * (1 - tolerance),
   - median_seconds (when both sides are > 0) must not rise above
-    baseline * (1 + tolerance).
+    baseline * (1 + tolerance),
+  - metrics.p99_seconds (when both sides carry it) must not rise above
+    baseline * (1 + tolerance) — the gate for percentile record kinds
+    (*.solve_latency, *.rebuild_cost), whose p50 is reported but never
+    gates: tails regress first and noise-band p50 checks double the
+    false-positive rate for no added coverage.
 
 Improvements never fail. Exit status: 0 = no regression, 1 = at least
 one regression, 2 = bad invocation/input. Output is one line per
@@ -84,6 +89,17 @@ def diff(baseline: dict, current: dict, tolerance: float) -> int:
             ok = cm <= ceil
             verdicts.append((ok, f"median {cm:.6g}s vs {bm:.6g}s "
                                  f"(ceiling {ceil:.6g}s)"))
+        bx, cx = base.get("metrics", {}), cur.get("metrics", {})
+        bp, cp = bx.get("p99_seconds", 0.0), cx.get("p99_seconds", 0.0)
+        if bp > 0 and cp > 0:
+            ceil = bp * (1.0 + tolerance)
+            ok = cp <= ceil
+            tail = ""
+            if bx.get("p50_seconds", 0.0) > 0 and cx.get("p50_seconds", 0.0) > 0:
+                tail = (f"; p50 {cx['p50_seconds']:.6g}s vs "
+                        f"{bx['p50_seconds']:.6g}s (informational)")
+            verdicts.append((ok, f"p99 {cp:.6g}s vs {bp:.6g}s "
+                                 f"(ceiling {ceil:.6g}s){tail}"))
         if not verdicts:
             print(f"  skip      {label} (no comparable measurements)")
             continue
@@ -106,25 +122,40 @@ def self_test() -> int:
                 "median_seconds": median, "stddev_seconds": 0.0,
                 "throughput": throughput, "throughput_unit": "ops/s"}
 
+    def pct(name, params, p50, p99):
+        # Percentile record kinds (solve_latency / rebuild_cost): no
+        # throughput, no median — only metrics.p99_seconds gates.
+        return {"name": name, "params": params, "reps": 1,
+                "median_seconds": 0.0, "stddev_seconds": 0.0,
+                "metrics": {"p50_seconds": p50, "p99_seconds": p99,
+                            "count": 100.0, "sum_seconds": p50 * 100.0}}
+
     base = doc([
         rec("a", {"case": "x"}, 1.0, 100.0),   # will regress on throughput
         rec("b", {"case": "x"}, 1.0, 100.0),   # will improve
         rec("c", {"case": "x"}, 1.0, 100.0),   # within band
         rec("gone", {}, 1.0, 100.0),           # disappears
+        pct("lat", {"mode": "event"}, 0.001, 0.010),   # p99 will regress
+        pct("lat", {"mode": "thread"}, 0.001, 0.010),  # p99 will improve
+        pct("cost", {"mode": "sync"}, 0.050, 0.100),   # within band
     ])
     cur = doc([
         rec("a", {"case": "x"}, 1.0, 80.0),
         rec("b", {"case": "x"}, 0.5, 200.0),
         rec("c", {"case": "x"}, 1.05, 95.0),
         rec("new", {}, 1.0, 100.0),            # appears
+        # p50 regresses tenfold too, but only p99 gates.
+        pct("lat", {"mode": "event"}, 0.010, 0.020),
+        pct("lat", {"mode": "thread"}, 0.0005, 0.002),
+        pct("cost", {"mode": "sync"}, 0.055, 0.105),
     ])
     with tempfile.TemporaryDirectory() as tmp:
         bp, cp = Path(tmp, "base.json"), Path(tmp, "cur.json")
         bp.write_text(json.dumps(base))
         cp.write_text(json.dumps(cur))
         n = diff(load(str(bp)), load(str(cp)), 0.10)
-    if n != 1:
-        print(f"self-test FAILED: expected exactly 1 regression, got {n}")
+    if n != 2:
+        print(f"self-test FAILED: expected exactly 2 regressions, got {n}")
         return 1
     print("self-test passed")
     return 0

@@ -13,7 +13,11 @@
 # The full snapshot covers: session throughput under the three rebuild
 # policies, sharded (4) vs unsharded (1) dispatch, TCP aggregate at
 # 1/4/16 clients in both transports, and the 1000-connection mostly-idle
-# fleet in both transports (peak RSS included).
+# fleet in both transports (peak RSS included). Since the benches share
+# the server's obs registry in-process, every serving run additionally
+# yields latency-percentile records (serve_tcp.solve_latency p50/p99 per
+# mode and client count; session.rebuild_cost per rebuild policy) that
+# bench_diff.py gates with a one-sided p99 ceiling.
 set -eu
 
 quick=0
