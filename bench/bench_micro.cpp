@@ -1,93 +1,248 @@
-// Microbenchmarks (google-benchmark): the complexity claims behind the
-// paper's §III.D analysis.
-//   * setup phase ~ O(N log N): build time across grid sizes
-//   * resistance_bound query ~ O(log N)
-//   * insert_edges ~ O(log N) per edge
-//   * exact-resistance CG solve (the cost inGRASS avoids per query)
+// Kernel-level microbench on the solve hot path, harness-native (the
+// shared ingrass-bench/1 reporter, no external benchmark library):
+//
+//   micro.spmv            banded CSR matvec on the case's Laplacian matrix
+//   micro.laplacian       matrix-free Laplacian operator apply
+//   micro.cg_vector_pass  the per-iteration CG vector work, fused kernels
+//                         vs the classic composed axpy/dot sequence
+//   micro.precond_apply   inner preconditioner application, fp32 vs fp64
+//   micro.solve           one end-to-end SparsifierSolver solve
+//
+// Each record carries median wall seconds over `--reps` samples (plus
+// throughput where a rate is meaningful), so tools/bench_diff.py gates
+// kernel regressions exactly like the serving-layer records.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
-#include "core/edge_stream.hpp"
-#include "core/ingrass.hpp"
-#include "graph/generators.hpp"
+#include "common.hpp"
+#include "graph/graph.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/precond32.hpp"
+#include "linalg/vector_ops.hpp"
+#include "solver/sparsifier_solver.hpp"
 #include "sparsify/grass.hpp"
-#include "spectral/effective_resistance.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
 
 using namespace ingrass;
+using namespace ingrass::bench;
 
 namespace {
 
-Graph sparsifier_for(NodeId side) {
-  Rng rng(1);
-  const Graph g = make_triangulated_grid(side, side, rng);
-  GrassOptions opts;
-  opts.target_offtree_density = 0.10;
-  return grass_sparsify(g, opts).sparsifier;
+/// Keep a result observable without volatile tricks: accumulate into a
+/// global the optimizer cannot elide.
+double g_sink = 0.0;
+
+/// Median seconds of `reps` timed runs of `body` (one warmup first).
+template <typename Body>
+SampleStats time_reps(int reps, Body&& body) {
+  body();  // warmup: page in, warm caches
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    body();
+    samples.push_back(t.seconds());
+  }
+  return summarize_samples(std::move(samples));
 }
 
-void BM_SetupPhase(benchmark::State& state) {
-  const auto side = static_cast<NodeId>(state.range(0));
-  const Graph h = sparsifier_for(side);
-  for (auto _ : state) {
-    const Ingrass ing{Graph(h)};
-    benchmark::DoNotOptimize(ing.num_levels());
+void add_record(JsonReporter* json, BenchRecord rec) {
+  std::printf("  %-22s", rec.name.c_str());
+  for (const auto& [k, v] : rec.params) std::printf(" %s=%s", k.c_str(), v.c_str());
+  std::printf("  median=%.6fs", rec.median_seconds);
+  if (rec.throughput > 0) {
+    std::printf("  %.3g %s", rec.throughput, rec.throughput_unit.c_str());
   }
-  state.SetComplexityN(static_cast<std::int64_t>(side) * side);
+  std::printf("\n");
+  if (json) json->add(std::move(rec));
 }
-BENCHMARK(BM_SetupPhase)->RangeMultiplier(2)->Range(16, 128)->Complexity(benchmark::oNLogN);
 
-void BM_ResistanceBoundQuery(benchmark::State& state) {
-  const auto side = static_cast<NodeId>(state.range(0));
-  const Ingrass ing(sparsifier_for(side));
-  Rng rng(7);
-  const auto n = static_cast<std::uint64_t>(side) * side;
-  for (auto _ : state) {
-    const auto u = static_cast<NodeId>(rng.uniform_index(n));
-    const auto v = static_cast<NodeId>(rng.uniform_index(n));
-    benchmark::DoNotOptimize(ing.estimate_resistance(u, v));
-  }
-  state.SetComplexityN(static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_ResistanceBoundQuery)->RangeMultiplier(2)->Range(16, 256)->Complexity(benchmark::oLogN);
+void run_case(const std::string& name, int reps, JsonReporter* json) {
+  const Graph g = build_case(name);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const CsrAdjacency csr = build_csr(g);
+  const CsrMatrix lap_m = laplacian_matrix(g);
+  std::printf("%s: |V|=%d |E|=%lld nnz=%lld\n", name.c_str(), g.num_nodes(),
+              static_cast<long long>(g.num_edges()),
+              static_cast<long long>(lap_m.nnz()));
 
-void BM_InsertEdgesPerEdge(benchmark::State& state) {
-  const auto side = static_cast<NodeId>(state.range(0));
-  Rng rng(1);
-  const Graph g = make_triangulated_grid(side, side, rng);
-  GrassOptions opts;
-  opts.target_offtree_density = 0.10;
-  Ingrass ing(grass_sparsify(g, opts).sparsifier);
-  EdgeStreamOptions sopts;
-  sopts.iterations = 1;
-  sopts.total_per_node = 0.5;
-  const auto batches = make_edge_stream(g, sopts);
-  std::size_t cursor = 0;
-  for (auto _ : state) {
-    const Edge e = batches[0][cursor % batches[0].size()];
-    ++cursor;
-    std::vector<Edge> one{e};
-    benchmark::DoNotOptimize(ing.insert_edges(one));
-  }
-  state.SetComplexityN(static_cast<std::int64_t>(side) * side);
-}
-BENCHMARK(BM_InsertEdgesPerEdge)->RangeMultiplier(2)->Range(16, 128)->Complexity(benchmark::oLogN);
+  Rng rng(11);
+  Vec x(n), y(n);
+  randomize(x, rng);
 
-void BM_ExactResistanceSolve(benchmark::State& state) {
-  const auto side = static_cast<NodeId>(state.range(0));
-  Rng rng(1);
-  const Graph g = make_triangulated_grid(side, side, rng);
-  const EffectiveResistanceOracle oracle(g);
-  Rng qrng(9);
-  const auto n = static_cast<std::uint64_t>(g.num_nodes());
-  for (auto _ : state) {
-    const auto u = static_cast<NodeId>(qrng.uniform_index(n));
-    const auto v = static_cast<NodeId>(qrng.uniform_index(n));
-    benchmark::DoNotOptimize(oracle.resistance(u, v));
+  {
+    const SampleStats s = time_reps(reps, [&] {
+      lap_m.multiply(x, y);
+      g_sink += y[0];
+    });
+    add_record(json, {.name = "micro.spmv",
+                      .params = {{"case", name}},
+                      .reps = reps,
+                      .median_seconds = s.median,
+                      .stddev_seconds = s.stddev,
+                      .throughput = s.median > 0
+                          ? static_cast<double>(lap_m.nnz()) / s.median
+                          : 0.0,
+                      .throughput_unit = "nnz/s"});
   }
-  state.SetComplexityN(static_cast<std::int64_t>(side) * side);
+
+  {
+    const LinOp op = laplacian_operator(csr);
+    const SampleStats s = time_reps(reps, [&] {
+      op(x, y);
+      g_sink += y[0];
+    });
+    add_record(json, {.name = "micro.laplacian",
+                      .params = {{"case", name}},
+                      .reps = reps,
+                      .median_seconds = s.median,
+                      .stddev_seconds = s.stddev,
+                      .throughput = s.median > 0
+                          ? 2.0 * static_cast<double>(g.num_edges()) / s.median
+                          : 0.0,
+                      .throughput_unit = "arcs/s"});
+  }
+
+  // The CG iteration's vector work at fixed operand values: fused
+  // (cg_fused_update + dot + xpby) vs composed (2x axpy + 2x dot + xpby).
+  // Same arithmetic, different number of passes over the vectors.
+  {
+    Vec p(n), ap(n), xx(n), r(n), z(n);
+    randomize(p, rng);
+    randomize(ap, rng);
+    randomize(xx, rng);
+    randomize(r, rng);
+    randomize(z, rng);
+    const SampleStats fused = time_reps(reps, [&] {
+      const double rr = cg_fused_update(1e-3, p, ap, xx, r);
+      const double rz = dot(r, z);
+      xpby(z, rz, p);
+      g_sink += rr + rz;
+    });
+    const SampleStats composed = time_reps(reps, [&] {
+      axpy(1e-3, p, xx);
+      axpy(-1e-3, ap, r);
+      const double rr = dot(r, r);
+      const double rz = dot(r, z);
+      xpby(z, rz, p);
+      g_sink += rr + rz;
+    });
+    for (const auto& [variant, s] :
+         {std::pair<const char*, SampleStats>{"fused", fused},
+          std::pair<const char*, SampleStats>{"composed", composed}}) {
+      add_record(json, {.name = "micro.cg_vector_pass",
+                        .params = {{"case", name}, {"kernels", variant}},
+                        .reps = reps,
+                        .median_seconds = s.median,
+                        .stddev_seconds = s.stddev,
+                        .throughput = s.median > 0
+                            ? static_cast<double>(n) / s.median
+                            : 0.0,
+                        .throughput_unit = "rows/s"});
+    }
+  }
+
+  // Inner preconditioner application: the fp32 path vs the same Jacobi-PCG
+  // recursion in fp64 (rel_tol=0 pins both to the full iteration budget).
+  {
+    constexpr int kInnerIters = 12;
+    Fp32LaplacianPrecond p32;
+    p32.rebuild(csr);
+    Vec r(n), z(n);
+    randomize(r, rng);
+    project_out_ones(r);
+    const SampleStats s32 = time_reps(reps, [&] {
+      p32.apply(r, z, kInnerIters);
+      g_sink += z[0];
+    });
+    const LinOp op = laplacian_operator(csr);
+    const JacobiPreconditioner jacobi(csr.degree);
+    CgOptions copts;
+    copts.rel_tol = 0.0;
+    copts.max_iters = kInnerIters;
+    copts.project_nullspace = true;
+    const SampleStats s64 = time_reps(reps, [&] {
+      fill(z, 0.0);
+      const CgResult cr = pcg(op, r, z, &jacobi, copts);
+      g_sink += z[0] + cr.relative_residual;
+    });
+    for (const auto& [prec, s] :
+         {std::pair<const char*, SampleStats>{"fp32", s32},
+          std::pair<const char*, SampleStats>{"fp64", s64}}) {
+      add_record(json, {.name = "micro.precond_apply",
+                        .params = {{"case", name}, {"prec", prec}},
+                        .reps = reps,
+                        .median_seconds = s.median,
+                        .stddev_seconds = s.stddev,
+                        .metrics = {{"inner_iters", kInnerIters}}});
+    }
+  }
+
+  // End-to-end: one sparsifier-preconditioned solve, the serving layer's
+  // per-request hot path.
+  {
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    const Graph h = grass_sparsify(g, gopts).sparsifier;
+    SparsifierSolver solver(g, h, {});
+    Vec b(n);
+    randomize(b, rng);
+    project_out_ones(b);
+    Vec sol(n, 0.0);
+    int iters = 0;
+    const SampleStats s = time_reps(std::max(3, reps / 4), [&] {
+      fill(sol, 0.0);
+      const auto res = solver.solve(b, sol);
+      iters = res.outer_iterations;
+      g_sink += sol[0];
+    });
+    add_record(json, {.name = "micro.solve",
+                      .params = {{"case", name}},
+                      .reps = std::max(3, reps / 4),
+                      .median_seconds = s.median,
+                      .stddev_seconds = s.stddev,
+                      .throughput = s.median > 0 ? 1.0 / s.median : 0.0,
+                      .throughput_unit = "solves/s",
+                      .metrics = {{"outer_iterations", iters}}});
+  }
 }
-BENCHMARK(BM_ExactResistanceSolve)->RangeMultiplier(2)->Range(16, 64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::optional<std::string> json_path;
+  int reps = 20;
+  try {
+    json_path = consume_flag_value(args, "--json");
+    if (const auto v = consume_flag_value(args, "--reps")) {
+      reps = std::atoi(v->c_str());
+      if (reps < 1) throw std::runtime_error("--reps must be >= 1");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_micro: %s\n", e.what());
+    return 1;
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr, "usage: bench_micro [--reps N] [--json <path>]\n");
+    return 1;
+  }
+
+  std::cout << "=== Solve-path kernel microbench (lower median is better) ===\n\n";
+  JsonReporter json;
+  for (const std::string& name : selected_cases({"G2_circuit"})) {
+    run_case(name, reps, json_path ? &json : nullptr);
+  }
+  if (json_path) json.write(*json_path);
+  if (g_sink == 42.123456789) std::cerr << "";  // keep the sink live
+  return 0;
+}

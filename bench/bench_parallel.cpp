@@ -1,78 +1,191 @@
-// Parallel-friendliness microbench (google-benchmark): update-phase batch
-// scoring throughput vs thread count. The paper calls inGRASS
-// "parallel-friendly"; the data-parallel part is the per-edge spectral
-// distortion estimation (read-only O(log N) lookups), measured here on a
-// large synthetic batch against one fixed setup.
+// Parallel-friendliness bench, harness-native: throughput vs thread count
+// for the three data-parallel passes the serving layer fans out over the
+// ThreadPool. Every pass is bit-identical to its serial run (an API
+// contract the kernel tests enforce), so this bench is purely about
+// scaling:
+//
+//   parallel.spmv        banded CSR matvec, row bands over the pool
+//   parallel.grass_rank  the GRASS distortion-ranking pass
+//   parallel.score_batch inGRASS per-edge spectral distortion estimation
+//
+// On a single-core runner the threads>1 records mostly document pool
+// overhead; on real hardware they show the scaling curve.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/ingrass.hpp"
-#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/vector_ops.hpp"
 #include "sparsify/grass.hpp"
+#include "spectral/laplacian.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
-namespace ingrass {
+using namespace ingrass;
+using namespace ingrass::bench;
+
 namespace {
 
-struct Fixture {
-  Graph h;
-  std::vector<Edge> batch;
+double g_sink = 0.0;
 
-  Fixture() {
-    Rng rng(0xC0FFEE);
-    const Graph g = make_triangulated_grid(120, 120, rng);
-    GrassOptions gopts;
-    gopts.target_offtree_density = 0.10;
-    h = grass_sparsify(g, gopts).sparsifier;
-    Rng brng(5);
-    batch.reserve(200'000);
-    while (batch.size() < 200'000) {
-      const auto u = static_cast<NodeId>(brng.uniform_index(g.num_nodes()));
-      const auto v = static_cast<NodeId>(brng.uniform_index(g.num_nodes()));
-      if (u != v) batch.push_back(Edge{std::min(u, v), std::max(u, v), 1.0});
+template <typename Body>
+SampleStats time_reps(int reps, Body&& body) {
+  body();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    body();
+    samples.push_back(t.seconds());
+  }
+  return summarize_samples(std::move(samples));
+}
+
+void add_record(JsonReporter* json, BenchRecord rec) {
+  std::printf("  %-20s", rec.name.c_str());
+  for (const auto& [k, v] : rec.params) std::printf(" %s=%s", k.c_str(), v.c_str());
+  std::printf("  median=%.6fs", rec.median_seconds);
+  if (rec.throughput > 0) {
+    std::printf("  %.3g %s", rec.throughput, rec.throughput_unit.c_str());
+  }
+  std::printf("\n");
+  if (json) json->add(std::move(rec));
+}
+
+void run_case(const std::string& name, int reps, JsonReporter* json) {
+  const Graph g = build_case(name);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::printf("%s: |V|=%d |E|=%lld\n", name.c_str(), g.num_nodes(),
+              static_cast<long long>(g.num_edges()));
+
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+
+  // Banded SpMV over the pool.
+  {
+    const CsrMatrix m = laplacian_matrix(g);
+    Rng rng(3);
+    Vec x(n), y(n);
+    randomize(x, rng);
+    for (const int threads : thread_counts) {
+      ThreadPool pool(threads);
+      const SampleStats s = time_reps(reps, [&] {
+        m.multiply(x, y, &pool);
+        g_sink += y[0];
+      });
+      add_record(json, {.name = "parallel.spmv",
+                        .params = {{"case", name},
+                                   {"threads", std::to_string(threads)}},
+                        .reps = reps,
+                        .median_seconds = s.median,
+                        .stddev_seconds = s.stddev,
+                        .throughput = s.median > 0
+                            ? static_cast<double>(m.nnz()) / s.median
+                            : 0.0,
+                        .throughput_unit = "nnz/s"});
     }
   }
-};
 
-const Fixture& fixture() {
-  static const Fixture f;
-  return f;
-}
-
-void BM_ScoreBatch(benchmark::State& state) {
-  const Fixture& f = fixture();
-  Ingrass::Options opts;
-  opts.num_threads = static_cast<int>(state.range(0));
-  opts.parallel_batch_threshold = 1;
-  const Ingrass ing{Graph(f.h), opts};
-  for (auto _ : state) {
-    auto scores = ing.score_batch(f.batch);
-    benchmark::DoNotOptimize(scores.data());
+  // The GRASS distortion-ranking pass (the dominant part of a rebuild's
+  // ranking stage) at several thread counts.
+  for (const int threads : thread_counts) {
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    gopts.num_threads = threads;
+    EdgeId offtree = 0;
+    const SampleStats s = time_reps(std::max(3, reps / 4), [&] {
+      const GrassResult r = grass_sparsify(g, gopts);
+      offtree = r.offtree_edges;
+      g_sink += static_cast<double>(r.sparsifier.num_edges());
+    });
+    add_record(json, {.name = "parallel.grass_rank",
+                      .params = {{"case", name},
+                                 {"threads", std::to_string(threads)}},
+                      .reps = std::max(3, reps / 4),
+                      .median_seconds = s.median,
+                      .stddev_seconds = s.stddev,
+                      .throughput = s.median > 0
+                          ? static_cast<double>(g.num_edges()) / s.median
+                          : 0.0,
+                      .throughput_unit = "edges/s",
+                      .metrics = {{"offtree_edges", static_cast<double>(offtree)}}});
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f.batch.size()));
-}
-BENCHMARK(BM_ScoreBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
 
-void BM_InsertBatchSerialVsParallel(benchmark::State& state) {
-  const Fixture& f = fixture();
-  for (auto _ : state) {
-    state.PauseTiming();
-    Ingrass::Options opts;
-    opts.num_threads = static_cast<int>(state.range(0));
-    opts.parallel_batch_threshold = 1;
-    Ingrass ing{Graph(f.h), opts};
-    state.ResumeTiming();
-    ing.insert_edges(f.batch);
+  // inGRASS batch scoring: read-only O(log N) distortion lookups per
+  // candidate edge, the update phase's data-parallel core.
+  {
+    GrassOptions gopts;
+    gopts.target_offtree_density = 0.10;
+    const Graph h = grass_sparsify(g, gopts).sparsifier;
+    Rng brng(5);
+    std::vector<Edge> batch;
+    const std::size_t batch_size =
+        std::max<std::size_t>(10'000, n);  // scale the batch with the case
+    batch.reserve(batch_size);
+    while (batch.size() < batch_size) {
+      const auto u = static_cast<NodeId>(
+          brng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+      const auto v = static_cast<NodeId>(
+          brng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+      if (u != v) batch.push_back(Edge{std::min(u, v), std::max(u, v), 1.0});
+    }
+    for (const int threads : thread_counts) {
+      Ingrass::Options iopts;
+      iopts.num_threads = threads;
+      iopts.parallel_batch_threshold = 1;
+      const Ingrass ing{Graph(h), iopts};
+      const SampleStats s = time_reps(reps, [&] {
+        const auto scores = ing.score_batch(batch);
+        g_sink += scores.empty() ? 0.0 : scores[0];
+      });
+      add_record(json, {.name = "parallel.score_batch",
+                        .params = {{"case", name},
+                                   {"threads", std::to_string(threads)}},
+                        .reps = reps,
+                        .median_seconds = s.median,
+                        .stddev_seconds = s.stddev,
+                        .throughput = s.median > 0
+                            ? static_cast<double>(batch.size()) / s.median
+                            : 0.0,
+                        .throughput_unit = "edges/s"});
+    }
   }
 }
-BENCHMARK(BM_InsertBatchSerialVsParallel)->Arg(1)->Arg(4)->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
-}  // namespace ingrass
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::optional<std::string> json_path;
+  int reps = 10;
+  try {
+    json_path = consume_flag_value(args, "--json");
+    if (const auto v = consume_flag_value(args, "--reps")) {
+      reps = std::atoi(v->c_str());
+      if (reps < 1) throw std::runtime_error("--reps must be >= 1");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_parallel: %s\n", e.what());
+    return 1;
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr, "usage: bench_parallel [--reps N] [--json <path>]\n");
+    return 1;
+  }
+
+  std::cout << "=== ThreadPool scaling on the data-parallel passes ===\n\n";
+  JsonReporter json;
+  for (const std::string& name : selected_cases({"G2_circuit"})) {
+    run_case(name, reps, json_path ? &json : nullptr);
+  }
+  if (json_path) json.write(*json_path);
+  if (g_sink == 42.123456789) std::cerr << "";
+  return 0;
+}

@@ -29,10 +29,14 @@ CgResult pcg(const LinOp& apply_a, std::span<const double> b, std::span<double> 
     return res;
   }
 
-  // r = b - A x
+  // r = b - A x, fused with the ||r||^2 the loop head needs. Projection
+  // changes the norm, so the projected path re-reduces.
   apply_a(x, r);
-  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - r[i];
-  if (opts.project_nullspace) project_out_ones(r);
+  double rr = xpby_norm2(rhs, -1.0, r);
+  if (opts.project_nullspace) {
+    project_out_ones(r);
+    rr = dot(r, r);
+  }
 
   auto precondition = [&](const Vec& in, Vec& out) {
     if (precond != nullptr) {
@@ -48,8 +52,7 @@ CgResult pcg(const LinOp& apply_a, std::span<const double> b, std::span<double> 
   double rz = dot(r, z);
 
   for (int it = 0; it < opts.max_iters; ++it) {
-    const double rnorm = norm2(r);
-    res.relative_residual = rnorm / bnorm;
+    res.relative_residual = std::sqrt(rr) / bnorm;
     if (res.relative_residual <= opts.rel_tol) {
       res.converged = true;
       res.iterations = it;
@@ -65,8 +68,9 @@ CgResult pcg(const LinOp& apply_a, std::span<const double> b, std::span<double> 
       return res;
     }
     const double alpha = rz / pap;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
+    // One pass over (p, ap, x, r): both iterate updates plus the
+    // convergence reduction, instead of two axpys and a later norm.
+    rr = cg_fused_update(alpha, p, ap, x, r);
     precondition(r, z);
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
@@ -74,7 +78,7 @@ CgResult pcg(const LinOp& apply_a, std::span<const double> b, std::span<double> 
     xpby(z, beta, p);
   }
   res.iterations = opts.max_iters;
-  res.relative_residual = norm2(r) / bnorm;
+  res.relative_residual = std::sqrt(rr) / bnorm;
   res.converged = res.relative_residual <= opts.rel_tol;
   return res;
 }

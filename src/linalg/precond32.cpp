@@ -1,0 +1,114 @@
+#include "linalg/precond32.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace ingrass {
+
+namespace {
+
+/// Laplacian matvec in fp32 over the snapshot arrays; same row-major,
+/// restrict-qualified shape as the fp64 kernel in spectral/laplacian.cpp.
+void laplacian_rows32(NodeId n, const std::int64_t* __restrict offsets,
+                      const NodeId* __restrict targets,
+                      const float* __restrict weights,
+                      const float* __restrict degree,
+                      const float* __restrict x, float* __restrict y) {
+  for (NodeId u = 0; u < n; ++u) {
+    const auto begin = static_cast<std::size_t>(offsets[u]);
+    const auto end = static_cast<std::size_t>(offsets[u + 1]);
+    float s0 = 0.0f, s1 = 0.0f;
+    std::size_t i = begin;
+    for (; i + 2 <= end; i += 2) {
+      s0 += weights[i] * x[targets[i]];
+      s1 += weights[i + 1] * x[targets[i + 1]];
+    }
+    if (i < end) s0 += weights[i] * x[targets[i]];
+    y[u] = degree[u] * x[u] - (s0 + s1);
+  }
+}
+
+}  // namespace
+
+void Fp32LaplacianPrecond::rebuild(const CsrAdjacency& csr) {
+  n_ = csr.num_nodes();
+  offsets_.assign(csr.offsets.begin(), csr.offsets.end());
+  targets_.assign(csr.targets.begin(), csr.targets.end());
+  weights_.resize(csr.weights.size());
+  for (std::size_t i = 0; i < csr.weights.size(); ++i) {
+    weights_[i] = static_cast<float>(csr.weights[i]);
+  }
+  degree_.resize(csr.degree.size());
+  inv_diag_.resize(csr.degree.size());
+  for (std::size_t i = 0; i < csr.degree.size(); ++i) {
+    const auto d = static_cast<float>(csr.degree[i]);
+    degree_[i] = d;
+    // Isolated node: harmless fallback, mirrors the fp64 Jacobi setup.
+    inv_diag_[i] = d > 0.0f ? 1.0f / d : 1.0f;
+  }
+}
+
+void Fp32LaplacianPrecond::apply(std::span<const double> r, std::span<double> z,
+                                 int iters) const {
+  const auto n = static_cast<std::size_t>(n_);
+  assert(r.size() == n && z.size() == n);
+
+  // Demote the residual, projecting in float (the conversion itself can
+  // reintroduce a small ones-component).
+  std::vector<float> rhs(n), x32(n, 0.0f), r32(n), z32(n), p32(n), ap32(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = static_cast<float>(r[i]);
+  project_out_ones(std::span<float>(rhs));
+
+  const float* __restrict invd = inv_diag_.data();
+
+  // r = rhs (x = 0), z = D^{-1} r, p = z; rz via the same fused pattern the
+  // fp64 loop uses.
+  float rr = 0.0f;
+  float rz = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float ri = rhs[i];
+    r32[i] = ri;
+    const float zi = ri * invd[i];
+    z32[i] = zi;
+    p32[i] = zi;
+    rr += ri * ri;
+    rz += ri * zi;
+  }
+  const float stop = rr * 1e-12f;  // ~(1e-6 relative)^2: fp32 floor
+
+  for (int it = 0; it < iters; ++it) {
+    if (!(rr > stop)) break;
+    laplacian_rows32(n_, offsets_.data(), targets_.data(), weights_.data(),
+                     degree_.data(), p32.data(), ap32.data());
+    project_out_ones(std::span<float>(ap32));
+    const float pap = dot(std::span<const float>(p32), std::span<const float>(ap32));
+    if (!(pap > 0.0f)) break;
+    const float alpha = rz / pap;
+    rr = cg_fused_update(alpha, std::span<const float>(p32),
+                         std::span<const float>(ap32), std::span<float>(x32),
+                         std::span<float>(r32));
+    // Jacobi apply fused with the r.z reduction (elementwise diagonal).
+    float rz_next = 0.0f;
+    {
+      const float* __restrict pr = r32.data();
+      float* __restrict pz = z32.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        const float zi = pr[i] * invd[i];
+        pz[i] = zi;
+        rz_next += pr[i] * zi;
+      }
+    }
+    const float beta = rz_next / rz;
+    rz = rz_next;
+    xpby(std::span<const float>(z32), beta, std::span<float>(p32));
+  }
+
+  // Promote and re-project in double: the correction happens outside, in
+  // the fp64 outer iteration.
+  for (std::size_t i = 0; i < n; ++i) z[i] = static_cast<double>(x32[i]);
+  project_out_ones(z);
+}
+
+}  // namespace ingrass

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ingrass {
+
+/// fp32 snapshot of a graph Laplacian with a Jacobi-PCG apply: the
+/// mixed-precision preconditioner inside SparsifierSolver's fp64 flexible
+/// CG. The sparsifier's CSR structure, weights, and Jacobi diagonal are
+/// stored in float; apply() runs the whole inner iteration in float —
+/// halving the memory traffic of the inner loop, which dominates each
+/// outer step — and converts only at the boundaries.
+///
+/// Accuracy contract: the result is a ~1e-7-relative-accurate application
+/// of the same inexact preconditioner the fp64 inner solve computes. The
+/// outer iteration is *flexible* CG precisely so an inexact, slightly
+/// varying preconditioner is tolerated; a solve that still fails to
+/// converge falls back to the fp64 inner path (see SparsifierSolver).
+class Fp32LaplacianPrecond {
+ public:
+  Fp32LaplacianPrecond() = default;
+
+  /// Re-snapshot structure + weights from a CSR adjacency (double).
+  void rebuild(const CsrAdjacency& csr);
+
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+
+  /// z ~= L^+ r via `iters` Jacobi-PCG steps carried out in fp32. z is
+  /// overwritten (zero initial guess); both r and z are projected against
+  /// the all-ones nullspace. Thread-safe: const, all scratch is local.
+  void apply(std::span<const double> r, std::span<double> z, int iters) const;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::int64_t> offsets_;
+  std::vector<NodeId> targets_;
+  std::vector<float> weights_;
+  std::vector<float> degree_;
+  std::vector<float> inv_diag_;
+};
+
+}  // namespace ingrass

@@ -5,23 +5,123 @@
 
 namespace ingrass {
 
-double dot(std::span<const double> a, std::span<const double> b) {
+namespace {
+
+/// Four-accumulator reduction body shared by the fused kernels. Keeping
+/// four independent chains breaks the loop-carried dependence on the sum,
+/// which lets the compiler vectorize the reduction at -O3 without
+/// -ffast-math (it may not reassociate a single sequential chain).
+template <typename T, typename Body>
+T unrolled_reduce(std::size_t n, Body&& body) {
+  T s0{}, s1{}, s2{}, s3{};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += body(i);
+    s1 += body(i + 1);
+    s2 += body(i + 2);
+    s3 += body(i + 3);
+  }
+  for (; i < n; ++i) s0 += body(i);
+  return (s0 + s1) + (s2 + s3);
+}
+
+template <typename T>
+T dot_impl(std::span<const T> a, std::span<const T> b) {
   assert(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  const T* __restrict pa = a.data();
+  const T* __restrict pb = b.data();
+  return unrolled_reduce<T>(a.size(), [&](std::size_t i) { return pa[i] * pb[i]; });
+}
+
+template <typename T>
+void axpy_impl(T alpha, std::span<const T> x, std::span<T> y) {
+  assert(x.size() == y.size());
+  const T* __restrict px = x.data();
+  T* __restrict py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+}
+
+template <typename T>
+void xpby_impl(std::span<const T> x, T beta, std::span<T> y) {
+  assert(x.size() == y.size());
+  const T* __restrict px = x.data();
+  T* __restrict py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = px[i] + beta * py[i];
+}
+
+template <typename T>
+T axpy_norm2_impl(T alpha, std::span<const T> x, std::span<T> y) {
+  assert(x.size() == y.size());
+  const T* __restrict px = x.data();
+  T* __restrict py = y.data();
+  return unrolled_reduce<T>(x.size(), [&](std::size_t i) {
+    const T yi = py[i] + alpha * px[i];
+    py[i] = yi;
+    return yi * yi;
+  });
+}
+
+template <typename T>
+T xpby_norm2_impl(std::span<const T> x, T beta, std::span<T> y) {
+  assert(x.size() == y.size());
+  const T* __restrict px = x.data();
+  T* __restrict py = y.data();
+  return unrolled_reduce<T>(x.size(), [&](std::size_t i) {
+    const T yi = px[i] + beta * py[i];
+    py[i] = yi;
+    return yi * yi;
+  });
+}
+
+template <typename T>
+T cg_fused_update_impl(T alpha, std::span<const T> p, std::span<const T> ap,
+                       std::span<T> x, std::span<T> r) {
+  assert(p.size() == x.size() && ap.size() == r.size() && p.size() == r.size());
+  const T* __restrict pp = p.data();
+  const T* __restrict pap = ap.data();
+  T* __restrict px = x.data();
+  T* __restrict pr = r.data();
+  return unrolled_reduce<T>(p.size(), [&](std::size_t i) {
+    px[i] += alpha * pp[i];
+    const T ri = pr[i] - alpha * pap[i];
+    pr[i] = ri;
+    return ri * ri;
+  });
+}
+
+template <typename T>
+void project_out_ones_impl(std::span<T> x) {
+  if (x.empty()) return;
+  T* __restrict px = x.data();
+  const T sum =
+      unrolled_reduce<T>(x.size(), [&](std::size_t i) { return px[i]; });
+  const T mean = sum / static_cast<T>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) px[i] -= mean;
+}
+
+}  // namespace
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  return dot_impl(a, b);
+}
+float dot(std::span<const float> a, std::span<const float> b) {
+  return dot_impl(a, b);
 }
 
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  axpy_impl(alpha, x, y);
+}
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  axpy_impl(alpha, x, y);
 }
 
 void xpby(std::span<const double> x, double beta, std::span<double> y) {
-  assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+  xpby_impl(x, beta, y);
+}
+void xpby(std::span<const float> x, float beta, std::span<float> y) {
+  xpby_impl(x, beta, y);
 }
 
 void scale(std::span<double> x, double alpha) {
@@ -31,19 +131,42 @@ void scale(std::span<double> x, double alpha) {
 void fill(std::span<double> x, double value) {
   for (double& v : x) v = value;
 }
+void fill(std::span<float> x, float value) {
+  for (float& v : x) v = value;
+}
 
 void copy(std::span<const double> src, std::span<double> dst) {
   assert(src.size() == dst.size());
   for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
 }
 
-void project_out_ones(std::span<double> x) {
-  if (x.empty()) return;
-  double mean = 0.0;
-  for (const double v : x) mean += v;
-  mean /= static_cast<double>(x.size());
-  for (double& v : x) v -= mean;
+double axpy_norm2(double alpha, std::span<const double> x, std::span<double> y) {
+  return axpy_norm2_impl(alpha, x, y);
 }
+float axpy_norm2(float alpha, std::span<const float> x, std::span<float> y) {
+  return axpy_norm2_impl(alpha, x, y);
+}
+
+double xpby_norm2(std::span<const double> x, double beta, std::span<double> y) {
+  return xpby_norm2_impl(x, beta, y);
+}
+float xpby_norm2(std::span<const float> x, float beta, std::span<float> y) {
+  return xpby_norm2_impl(x, beta, y);
+}
+
+double cg_fused_update(double alpha, std::span<const double> p,
+                       std::span<const double> ap, std::span<double> x,
+                       std::span<double> r) {
+  return cg_fused_update_impl(alpha, p, ap, x, r);
+}
+float cg_fused_update(float alpha, std::span<const float> p,
+                      std::span<const float> ap, std::span<float> x,
+                      std::span<float> r) {
+  return cg_fused_update_impl(alpha, p, ap, x, r);
+}
+
+void project_out_ones(std::span<double> x) { project_out_ones_impl(x); }
+void project_out_ones(std::span<float> x) { project_out_ones_impl(x); }
 
 void randomize(std::span<double> x, Rng& rng) {
   for (double& v : x) v = rng.normal();

@@ -10,24 +10,65 @@ namespace ingrass {
 /// Dense vector kernels used by the iterative solvers and Krylov builders.
 /// All spans must have equal length; that is checked with assertions in
 /// debug builds only (these are inner-loop kernels).
+///
+/// The fused variants (axpy_norm2, xpby_norm2, cg_fused_update) combine an
+/// update with the reduction the CG loop needs next, so the loop streams
+/// each vector once per iteration instead of re-reading it for a separate
+/// dot/norm pass. They use unrolled multi-accumulator reductions (so the
+/// compiler can vectorize without -ffast-math); the summation order differs
+/// from the sequential dot(), within the usual n*eps reassociation bound.
+///
+/// float overloads back the fp32 preconditioner path (linalg/precond32):
+/// the kernels are precision-generic and tested differentially against the
+/// double versions.
 
 using Vec = std::vector<double>;
 
 [[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] float dot(std::span<const float> a, std::span<const float> b);
 [[nodiscard]] double norm2(std::span<const double> a);
 
 /// y += alpha * x
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
 /// y = x + beta * y  (classic CG direction update)
 void xpby(std::span<const double> x, double beta, std::span<double> y);
+void xpby(std::span<const float> x, float beta, std::span<float> y);
 void scale(std::span<double> x, double alpha);
 void fill(std::span<double> x, double value);
+void fill(std::span<float> x, float value);
 void copy(std::span<const double> src, std::span<double> dst);
+
+/// Fused axpy + dot: y += alpha * x, returning ||y||^2 of the updated y —
+/// the CG residual update combined with the convergence reduction.
+[[nodiscard]] double axpy_norm2(double alpha, std::span<const double> x,
+                                std::span<double> y);
+[[nodiscard]] float axpy_norm2(float alpha, std::span<const float> x,
+                               std::span<float> y);
+
+/// Fused xpby + norm: y = x + beta * y, returning ||y||^2 of the updated y.
+/// With beta = -1 this is the initial-residual computation r = b - Ax fused
+/// with the ||r||^2 the loop head needs.
+[[nodiscard]] double xpby_norm2(std::span<const double> x, double beta,
+                                std::span<double> y);
+[[nodiscard]] float xpby_norm2(std::span<const float> x, float beta,
+                               std::span<float> y);
+
+/// The per-iteration CG iterate update in one pass over the four arrays:
+/// x += alpha * p; r -= alpha * ap; returns ||r||^2 of the updated r.
+/// Replaces two axpy passes plus a separate norm pass.
+[[nodiscard]] double cg_fused_update(double alpha, std::span<const double> p,
+                                     std::span<const double> ap, std::span<double> x,
+                                     std::span<double> r);
+[[nodiscard]] float cg_fused_update(float alpha, std::span<const float> p,
+                                    std::span<const float> ap, std::span<float> x,
+                                    std::span<float> r);
 
 /// Subtract the mean from x, making it orthogonal to the all-ones vector —
 /// the null space of a connected graph's Laplacian. Solvers call this on
 /// right-hand sides and iterates to keep the singular system consistent.
 void project_out_ones(std::span<double> x);
+void project_out_ones(std::span<float> x);
 
 /// Fill with unit-variance Gaussian entries.
 void randomize(std::span<double> x, Rng& rng);

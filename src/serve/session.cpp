@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -38,6 +39,34 @@ std::string current_exception_message() {
   } catch (...) {
     return "unknown exception";
   }
+}
+
+/// Warm-start observability series (process-wide, like the rebuild ones).
+struct WarmStartMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Histogram& saved_iterations;
+};
+
+WarmStartMetrics& warmstart_metrics() {
+  static WarmStartMetrics* m = new WarmStartMetrics{
+      obs::registry().counter("ingrass_warmstart_total", {{"result", "hit"}}),
+      obs::registry().counter("ingrass_warmstart_total", {{"result", "miss"}}),
+      // Outer CG iterations saved per warm hit, versus the last cold solve.
+      obs::registry().histogram(
+          "ingrass_warmstart_saved_iterations", {},
+          {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}),
+  };
+  return *m;
+}
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+double cosine_similarity(std::span<const double> a, std::span<const double> b) {
+  const double ab = dot(a, b);
+  const double aa = dot(a, a);
+  const double bb = dot(b, b);
+  if (!(aa > 0.0) || !(bb > 0.0)) return 0.0;
+  return ab / std::sqrt(aa * bb);
 }
 
 RebuildMetrics& rebuild_metrics() {
@@ -505,6 +534,12 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
 void SparsifierSession::refresh_solver_locked() {
   solver_->update(g_, engine_->sparsifier());
   solver_dirty_ = false;
+  // Every mutation path (apply, set_coupling, rebuild swap) marks the
+  // solver dirty, and every solve refreshes before solving — so clearing
+  // the warm-start cache here covers all invalidation rules in one place:
+  // a cached solution never seeds a solve against a changed graph.
+  const std::lock_guard<std::mutex> warm(warm_mu_);
+  warm_valid_ = false;
 }
 
 SparsifierSolver::Result SparsifierSession::solve(std::span<const double> b,
@@ -513,7 +548,33 @@ SparsifierSolver::Result SparsifierSession::solve(std::span<const double> b,
     {
       auto lock = reader_lock();
       if (!solver_dirty_) {
+        bool warm = false;
+        if (opts_.warm_start) {
+          const std::lock_guard<std::mutex> wl(warm_mu_);
+          if (warm_valid_ && warm_b_.size() == b.size() &&
+              cosine_similarity(b, warm_b_) >= opts_.warm_start_cosine) {
+            copy(warm_x_, x);
+            warm = true;
+          }
+        }
         const auto result = solver_->solve(b, x);
+        if (opts_.warm_start) {
+          // Still under the shared session lock: the store lands before
+          // any mutation can acquire the exclusive lock and invalidate.
+          const std::lock_guard<std::mutex> wl(warm_mu_);
+          warm_b_.assign(b.begin(), b.end());
+          warm_x_.assign(x.begin(), x.end());
+          warm_valid_ = true;
+          auto& wm = warmstart_metrics();
+          if (warm) {
+            wm.hits.inc();
+            wm.saved_iterations.observe(static_cast<double>(
+                std::max(0, warm_cold_iters_ - result.outer_iterations)));
+          } else {
+            wm.misses.inc();
+            warm_cold_iters_ = result.outer_iterations;
+          }
+        }
         solves_.fetch_add(1, std::memory_order_relaxed);
         return result;
       }

@@ -59,6 +59,21 @@ struct SessionOptions {
   /// Master switch: false disables rebuilds entirely (staleness is still
   /// tracked and reported).
   bool enable_rebuild = true;
+
+  /// Warm-start cache: seed solve() with the previous solution whenever
+  /// the incoming RHS is cosine-similar to the previous one (sustained
+  /// per-tenant traffic repeats near-identical solves, and CG started at
+  /// the old solution only has to correct the difference). Any mutation —
+  /// apply(), set_coupling(), a rebuild swap — invalidates the cache, and
+  /// restore() starts cold, so a warm seed never crosses a graph change.
+  /// Hits and misses are counted in the obs registry
+  /// (ingrass_warmstart_total{result=...}) along with a histogram of outer
+  /// iterations saved per hit (ingrass_warmstart_saved_iterations).
+  bool warm_start = true;
+
+  /// Minimum cosine similarity between consecutive RHS vectors for the
+  /// cached solution to be used as the CG starting guess.
+  double warm_start_cosine = 0.99;
 };
 
 /// Outcome of one SparsifierSession::apply call.
@@ -282,6 +297,21 @@ class SparsifierSession : public serve::Session {
   /// Solve counter kept outside the lock discipline so concurrent solves
   /// (shared lock) can bump it; folded into counters_ on read.
   mutable std::atomic<std::uint64_t> solves_{0};
+
+  /// Warm-start cache: the previous solve's RHS and solution. Guarded by
+  /// its own mutex because solves hold only the *shared* session lock and
+  /// so cannot serialize cache writes among themselves through mu_. All
+  /// access happens while a session lock (shared or exclusive) is held,
+  /// which orders cache writes against the invalidation in
+  /// refresh_solver_locked(): a solve's cache store completes before any
+  /// mutation can take the exclusive lock and clear it.
+  mutable std::mutex warm_mu_;
+  Vec warm_b_;
+  Vec warm_x_;
+  bool warm_valid_ = false;
+  /// Outer iterations of the last cold (miss) solve — the baseline the
+  /// saved-iterations histogram measures hits against.
+  int warm_cold_iters_ = 0;
 
   /// Background rebuild executor, created on first use. Declared last so
   /// its destructor (which finishes queued jobs) runs while every member

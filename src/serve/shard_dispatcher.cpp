@@ -123,6 +123,13 @@ ShardedSession::ShardedSession(Graph g, int shards, const ShardedOptions& opts)
   sopts.solver.outer_tol = opts_.inner_tol;
   sopts.solver.max_outer_iters = opts_.inner_max_iters;
   sopts.solver.inner_iters = opts_.inner_jacobi_iters;
+  // Block solves are bounded-iteration preconditioner applications: they
+  // are expected to stop on max_outer_iters, so the fp64 "non-converged"
+  // retry would fire on every call and double the work.
+  sopts.solver.fp32_fallback = false;
+  // And they receive a fresh residual-driven RHS every outer iteration;
+  // warm seeding would only add cosine checks and cache noise.
+  sopts.warm_start = false;
 
   // Split g into induced shard subgraphs (local ids, one trailing ground
   // node each) plus the boundary graph of cut edges.
@@ -205,6 +212,9 @@ std::unique_ptr<ShardedSession> ShardedSession::restore(
     sopts.solver.outer_tol = opts.inner_tol;
     sopts.solver.max_outer_iters = opts.inner_max_iters;
     sopts.solver.inner_iters = opts.inner_jacobi_iters;
+    sopts.solver.fp32_fallback = false;  // see the sharded constructor
+    sopts.warm_start = false;
+
   }
   std::vector<std::unique_ptr<SparsifierSession>> sessions;
   sessions.reserve(static_cast<std::size_t>(m.shards));

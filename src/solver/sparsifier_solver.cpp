@@ -31,6 +31,7 @@ void SparsifierSolver::rebuild_jacobi() {
     if (!(d > 0.0)) d = 1.0;  // isolated sparsifier node: harmless fallback
   }
   jacobi_h_ = JacobiPreconditioner(std::move(diag));
+  if (opts_.fp32_precond) precond32_.rebuild(csr_h_);
 }
 
 void SparsifierSolver::update_sparsifier(const Graph& h) {
@@ -56,16 +57,38 @@ SparsifierSolver::Result SparsifierSolver::solve(std::span<const double> b,
   if (x.size() != n || static_cast<NodeId>(n) != csr_g_.num_nodes()) {
     throw std::invalid_argument("SparsifierSolver::solve: size mismatch");
   }
+  if (!opts_.fp32_precond) return solve_impl(b, x, false);
+  if (!opts_.fp32_fallback) return solve_impl(b, x, true);
+
+  // Mixed-precision path with a fp64 safety net: keep the caller's guess
+  // so a (rare) non-converged fp32-preconditioned solve can retry cleanly.
+  Vec x0(x.begin(), x.end());
+  Result res = solve_impl(b, x, true);
+  if (res.converged) return res;
+  copy(x0, x);
+  return solve_impl(b, x, false);
+}
+
+SparsifierSolver::Result SparsifierSolver::solve_impl(std::span<const double> b,
+                                                      std::span<double> x,
+                                                      bool use_fp32) const {
+  const std::size_t n = b.size();
   const LinOp apply_g = laplacian_operator(csr_g_);
   const LinOp apply_h = laplacian_operator(csr_h_);
 
-  // Preconditioner: z ~= L_H^+ r via a fixed number of Jacobi-PCG steps.
+  // Preconditioner: z ~= L_H^+ r via a fixed number of Jacobi-PCG steps —
+  // in fp32 when enabled (the flexible outer iteration absorbs the reduced
+  // precision), otherwise the fp64 inner pcg.
   CgOptions inner;
   inner.max_iters = opts_.inner_iters;
   inner.rel_tol = 1e-12;  // run the fixed budget; tolerance rarely binds
   inner.project_nullspace = true;
   Vec z(n);
   auto precondition = [&](const Vec& r, Vec& out) {
+    if (use_fp32) {
+      precond32_.apply(r, out, opts_.inner_iters);
+      return;
+    }
     fill(out, 0.0);
     pcg(apply_h, r, out, &jacobi_h_, inner);
     project_out_ones(out);
@@ -83,17 +106,17 @@ SparsifierSolver::Result SparsifierSolver::solve(std::span<const double> b,
     return res;
   }
 
-  Vec r(n), p(n), ap(n), z_prev(n);
+  Vec r(n), p(n), ap(n);
   apply_g(x, r);
-  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - r[i];
+  xpby(rhs, -1.0, r);
   project_out_ones(r);
+  double rr = dot(r, r);
   precondition(r, z);
   copy(z, p);
   double rz = dot(r, z);
 
   for (int it = 0; it < opts_.max_outer_iters; ++it) {
-    const double rnorm = norm2(r);
-    res.relative_residual = rnorm / bnorm;
+    res.relative_residual = std::sqrt(rr) / bnorm;
     if (res.relative_residual <= opts_.outer_tol) {
       res.converged = true;
       res.outer_iterations = it;
@@ -107,20 +130,21 @@ SparsifierSolver::Result SparsifierSolver::solve(std::span<const double> b,
       return res;
     }
     const double alpha = rz / pap;
-    axpy(alpha, p, x);
-    copy(z, z_prev);
-    axpy(-alpha, ap, r);
+    // One fused pass updates x and r and yields ||r||^2; reading r.z_old
+    // right after (before precondition overwrites z) replaces the z_prev
+    // copy and difference pass the flexible beta used to need.
+    rr = cg_fused_update(alpha, p, ap, x, r);
+    const double r_dot_zold = dot(r, z);
     precondition(r, z);
+    const double rz_next = dot(r, z);
     // Flexible CG (Polak-Ribiere): beta = r^T (z - z_prev) / rz_old —
     // robust to the inexact, slightly varying preconditioner.
-    double rz_diff = 0.0;
-    for (std::size_t i = 0; i < n; ++i) rz_diff += r[i] * (z[i] - z_prev[i]);
-    const double beta = std::max(0.0, rz_diff / rz);
-    rz = dot(r, z);
+    const double beta = std::max(0.0, (rz_next - r_dot_zold) / rz);
+    rz = rz_next;
     xpby(z, beta, p);
   }
   res.outer_iterations = opts_.max_outer_iters;
-  res.relative_residual = norm2(r) / bnorm;
+  res.relative_residual = std::sqrt(rr) / bnorm;
   res.converged = res.relative_residual <= opts_.outer_tol;
   return res;
 }

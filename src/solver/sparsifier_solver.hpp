@@ -5,6 +5,7 @@
 #include "graph/graph.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/jacobi.hpp"
+#include "linalg/precond32.hpp"
 
 namespace ingrass {
 
@@ -19,6 +20,13 @@ namespace ingrass {
 /// inner solve is inexact the outer iteration uses *flexible* CG
 /// (Polak-Ribiere beta), which tolerates a varying preconditioner.
 ///
+/// By default the inner solve runs in fp32 (linalg/precond32): the
+/// preconditioner only needs to be a spectrally-close map, not an accurate
+/// one, and the flexible outer iteration absorbs the reduced precision.
+/// The outer iteration itself stays in fp64, so the returned solution has
+/// full double accuracy; a solve that fails to converge is retried once
+/// with the fp64 inner path before giving up.
+///
 /// Outer iteration count tracks sqrt(kappa(L_G, L_H)) — this is exactly
 /// why inGRASS maintaining a low kappa under edge insertions matters
 /// downstream: a stale sparsifier makes every subsequent solve slower.
@@ -28,6 +36,18 @@ class SparsifierSolver {
     int inner_iters = 24;       // PCG steps on L_H per preconditioner apply
     double outer_tol = 1e-8;    // relative residual target on L_G
     int max_outer_iters = 2000;
+    /// Apply the L_H preconditioner in fp32 (store the factors in float,
+    /// iterate in float, correct in double). A non-converged outer solve
+    /// falls back to one fp64-preconditioned retry automatically (see
+    /// fp32_fallback).
+    bool fp32_precond = true;
+    /// Retry a non-converged fp32-preconditioned solve once with the fp64
+    /// inner path. Disable when the solve is itself used as a bounded-
+    /// iteration preconditioner application (e.g. sharded block solves,
+    /// which run a handful of outer iterations at loose tolerance and are
+    /// *expected* not to "converge") — there the retry just doubles the
+    /// work without improving the outer iteration that consumes it.
+    bool fp32_fallback = true;
   };
 
   struct Result {
@@ -58,10 +78,13 @@ class SparsifierSolver {
 
  private:
   void rebuild_jacobi();
+  Result solve_impl(std::span<const double> b, std::span<double> x,
+                    bool use_fp32) const;
 
   CsrAdjacency csr_g_;
   CsrAdjacency csr_h_;
   JacobiPreconditioner jacobi_h_;
+  Fp32LaplacianPrecond precond32_;
   Options opts_;
 };
 

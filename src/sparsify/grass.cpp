@@ -7,6 +7,7 @@
 #include "sparsify/density.hpp"
 #include "tree/spanning_tree.hpp"
 #include "tree/tree_resistance.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ingrass {
 
@@ -73,13 +74,25 @@ GrassResult grass_sparsify(const Graph& g, const GrassOptions& opts) {
   // 1. Backbone tree.
   const std::vector<EdgeId> tree = max_weight_spanning_forest(g);
 
-  // 2. Exact tree-path distortion ranking of off-tree edges.
+  // 2. Exact tree-path distortion ranking of off-tree edges. The scoring
+  // loop is embarrassingly parallel (read-only LCA queries, each edge
+  // writing its own score slot) and bit-identical across thread counts;
+  // the sort below breaks score ties by edge id, so the final ranking is
+  // deterministic either way.
   const TreePathResistance tree_res(g, tree);
   const TreeSplit split = split_by_forest(g, tree);
   std::vector<EdgeId> ranked = split.off_tree;
   std::vector<double> score(static_cast<std::size_t>(g.num_edges()), 0.0);
-  for (const EdgeId e : ranked) {
-    score[static_cast<std::size_t>(e)] = tree_res.distortion(g.edge(e));
+  if (opts.num_threads > 1 && !ranked.empty()) {
+    ThreadPool pool(opts.num_threads);
+    pool.parallel_for(ranked.size(), 256, [&](std::size_t i) {
+      const EdgeId e = ranked[i];
+      score[static_cast<std::size_t>(e)] = tree_res.distortion(g.edge(e));
+    });
+  } else {
+    for (const EdgeId e : ranked) {
+      score[static_cast<std::size_t>(e)] = tree_res.distortion(g.edge(e));
+    }
   }
   std::sort(ranked.begin(), ranked.end(), [&](EdgeId a, EdgeId b) {
     const double sa = score[static_cast<std::size_t>(a)];

@@ -43,6 +43,14 @@ struct GrassOptions {
   /// endpoint, so the budget is not blown on a cluster of mutually
   /// redundant high-distortion edges in one weak region. 0 disables.
   int spread_rounds = 16;
+
+  /// Worker threads for the distortion-ranking pass (each off-tree edge's
+  /// tree-path distortion is an independent read-only O(log N) LCA query
+  /// against the frozen tree structures). The output is bit-identical to
+  /// the serial pass for any thread count: every edge's score is written
+  /// to its own slot with the same arithmetic, and the subsequent sort
+  /// tie-breaks deterministically by edge id. <= 1 keeps the pass serial.
+  int num_threads = 1;
 };
 
 struct GrassResult {

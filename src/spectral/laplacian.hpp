@@ -19,6 +19,13 @@ namespace ingrass {
 /// The snapshot is captured by reference — it must outlive the operator.
 [[nodiscard]] LinOp laplacian_operator(const CsrAdjacency& csr);
 
+/// Row-band-parallel variant: rows split into contiguous ranges fanned out
+/// over `pool` (captured by pointer; null or size-1 pool = serial). Each
+/// y[u] is computed by exactly one band with a fixed per-row summation
+/// order, so the result is bit-identical to the serial operator for any
+/// thread count. Both captures must outlive the operator.
+[[nodiscard]] LinOp laplacian_operator(const CsrAdjacency& csr, ThreadPool* pool);
+
 /// Matrix-free adjacency matvec over a CSR snapshot.
 [[nodiscard]] LinOp adjacency_operator(const CsrAdjacency& csr);
 

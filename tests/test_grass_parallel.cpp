@@ -1,0 +1,107 @@
+// Determinism contract of the pooled GRASS distortion-ranking pass: the
+// sparsifier must be bit-identical to the serial pass for any thread
+// count. Each off-tree edge's score is written to its own slot with the
+// same arithmetic, and the ranking sort tie-breaks by edge id — so the
+// edge *sequence* (not just the set) must match exactly, as must every
+// weight. Runs under the `concurrency` label so the TSan job also checks
+// the score writes don't race.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/edge_stream.hpp"
+#include "graph/generators.hpp"
+#include "serve/session.hpp"
+#include "sparsify/grass.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass {
+namespace {
+
+/// Exact structural equality: same edge sequence, same endpoints, and
+/// bit-identical weights.
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const Edge& ea = a.edge(e);
+    const Edge& eb = b.edge(e);
+    EXPECT_EQ(ea.u, eb.u) << "edge " << e;
+    EXPECT_EQ(ea.v, eb.v) << "edge " << e;
+    EXPECT_EQ(ea.w, eb.w) << "edge " << e;  // bit-identical doubles
+  }
+}
+
+TEST(GrassParallel, RankingBitIdenticalAcrossThreadCounts) {
+  Rng rng(5);
+  const Graph g = make_triangulated_grid(24, 24, rng);
+  GrassOptions serial;
+  serial.target_offtree_density = 0.15;
+  const GrassResult base = grass_sparsify(g, serial);
+  for (const int threads : {1, 2, 8}) {
+    GrassOptions pooled = serial;
+    pooled.num_threads = threads;
+    const GrassResult r = grass_sparsify(g, pooled);
+    EXPECT_EQ(r.tree_edges, base.tree_edges) << "threads=" << threads;
+    EXPECT_EQ(r.offtree_edges, base.offtree_edges) << "threads=" << threads;
+    expect_identical(r.sparsifier, base.sparsifier);
+  }
+}
+
+TEST(GrassParallel, ConditionTargetedModeAlsoDeterministic) {
+  Rng rng(6);
+  const Graph g = make_triangulated_grid(16, 16, rng);
+  GrassOptions serial;
+  serial.target_offtree_density.reset();
+  serial.target_condition = 30.0;
+  const GrassResult base = grass_sparsify(g, serial);
+  GrassOptions pooled = serial;
+  pooled.num_threads = 8;
+  const GrassResult r = grass_sparsify(g, pooled);
+  EXPECT_EQ(r.offtree_edges, base.offtree_edges);
+  expect_identical(r.sparsifier, base.sparsifier);
+}
+
+TEST(GrassParallel, ChurnStreamRebuildsBitIdenticalSerialVsPooled) {
+  // Two sessions fed the same seeded churn stream, differing only in the
+  // rebuild pass's thread count, must end with identical sparsifiers —
+  // every rebuild along the way ranked identically.
+  Rng rng(7);
+  const Graph g0 = make_triangulated_grid(12, 12, rng);
+
+  auto run = [&](int threads) {
+    SessionOptions opts;
+    opts.engine.target_condition = 40.0;
+    opts.grass.target_offtree_density = 0.20;
+    opts.grass.target_condition = 20.0;
+    opts.grass.num_threads = threads;
+    opts.background_rebuild = false;
+    opts.rebuild_staleness_fraction = 0.25;  // force several rebuilds
+    opts.warm_start = false;
+    SparsifierSession session(g0, opts);
+
+    EdgeStreamOptions sopts;
+    sopts.iterations = 6;
+    sopts.total_per_node = 0.5;
+    sopts.global_weight_factor = 12.0;
+    sopts.seed = 77;
+    const auto inserts = make_edge_stream(session.graph(), sopts);
+    std::size_t rebuilds = 0;
+    for (const auto& batch_edges : inserts) {
+      UpdateBatch batch;
+      batch.inserts = batch_edges;
+      rebuilds += session.apply(batch).rebuild_triggered ? 1u : 0u;
+    }
+    return std::make_pair(session.sparsifier(), rebuilds);
+  };
+
+  const auto [h_serial, rebuilds_serial] = run(1);
+  const auto [h_pooled, rebuilds_pooled] = run(8);
+  ASSERT_GE(rebuilds_serial, 1u);  // the stream must actually trip rebuilds
+  EXPECT_EQ(rebuilds_serial, rebuilds_pooled);
+  expect_identical(h_serial, h_pooled);
+}
+
+}  // namespace
+}  // namespace ingrass

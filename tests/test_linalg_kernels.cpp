@@ -1,0 +1,403 @@
+// Differential battery for the raw-speed solve-path kernels: the banded
+// SpMV, the fused CG vector ops, and the fp32 preconditioner are each
+// checked against naive scalar references over seeded random inputs.
+//
+// Tolerances are derived, not guessed:
+//  * SpMV row error is bounded by nnz_row * eps * sum_j |a_ij||x_j|
+//    (standard forward error of a reordered dot product); the test allows
+//    a small constant times that bound.
+//  * Fused reductions differ from the sequential dot only by summation
+//    reassociation, bounded by n * eps * sum |terms|.
+//  * The fp32 preconditioner's deviation from an identical fp64 algorithm
+//    is bounded by C * kappa(L) * eps_f32 relative, with kappa estimated
+//    in-test via power iteration (lambda_max) and inverse iteration
+//    through pcg (lambda_2).
+// Parallel variants must be *bit-identical* to serial — that is an API
+// contract, so those checks are exact EXPECT_EQ.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/precond32.hpp"
+#include "linalg/vector_ops.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ingrass {
+namespace {
+
+constexpr double kEps64 = std::numeric_limits<double>::epsilon();
+constexpr double kEps32 = std::numeric_limits<float>::epsilon();
+
+/// Random n-by-n CSR with expected `row_nnz` entries per row. Rows 0 and
+/// (when present) n/2 are forced empty so the empty-row path is always
+/// exercised; values and x are O(1) so error bounds stay interpretable.
+CsrMatrix random_csr(std::int32_t n, int row_nnz, Rng& rng) {
+  std::vector<CsrMatrix::Triplet> t;
+  for (std::int32_t r = 0; r < n; ++r) {
+    if (r == 0 || (n > 4 && r == n / 2)) continue;  // forced empty rows
+    for (int k = 0; k < row_nnz; ++k) {
+      const auto c = static_cast<std::int32_t>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+      t.push_back({r, c, rng.normal()});
+    }
+  }
+  return CsrMatrix(n, t);
+}
+
+Vec random_vec(std::size_t n, Rng& rng) {
+  Vec x(n);
+  randomize(x, rng);
+  return x;
+}
+
+/// Naive scalar reference SpMV: strictly sequential accumulation per row,
+/// plus the per-row error bound nnz_row * eps * sum |a||x|.
+void reference_multiply(const CsrMatrix& m, const Vec& x, Vec& y, Vec& bound) {
+  const auto offsets = m.row_offsets();
+  const auto cols = m.col_indices();
+  const auto vals = m.values();
+  for (std::int32_t r = 0; r < m.rows(); ++r) {
+    double s = 0.0;
+    double abs_sum = 0.0;
+    for (std::int64_t k = offsets[static_cast<std::size_t>(r)];
+         k < offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      const double term = vals[static_cast<std::size_t>(k)] *
+                          x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+      s += term;
+      abs_sum += std::abs(term);
+    }
+    const auto nnz_row = static_cast<double>(offsets[static_cast<std::size_t>(r) + 1] -
+                                             offsets[static_cast<std::size_t>(r)]);
+    y[static_cast<std::size_t>(r)] = s;
+    bound[static_cast<std::size_t>(r)] = 4.0 * nnz_row * kEps64 * abs_sum;
+  }
+}
+
+TEST(KernelSpmv, MatchesScalarReferenceAcrossShapes) {
+  Rng rng(7);
+  for (const std::int32_t n : {0, 1, 2, 3, 5, 17, 64, 257, 1000}) {
+    for (const int row_nnz : {1, 3, 9}) {
+      const CsrMatrix m = random_csr(n, row_nnz, rng);
+      const Vec x = random_vec(static_cast<std::size_t>(n), rng);
+      Vec y(static_cast<std::size_t>(n), -1.0);
+      Vec ref(static_cast<std::size_t>(n));
+      Vec bound(static_cast<std::size_t>(n));
+      m.multiply(x, y);
+      reference_multiply(m, x, ref, bound);
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_LE(std::abs(y[i] - ref[i]), bound[i])
+            << "n=" << n << " row_nnz=" << row_nnz << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelSpmv, EmptyRowsProduceExactZero) {
+  Rng rng(11);
+  const CsrMatrix m = random_csr(40, 4, rng);
+  const Vec x = random_vec(40, rng);
+  Vec y(40, 99.0);
+  m.multiply(x, y);
+  EXPECT_EQ(y[0], 0.0);    // row 0 forced empty
+  EXPECT_EQ(y[20], 0.0);   // row n/2 forced empty
+}
+
+TEST(KernelSpmv, SingleRowMatrix) {
+  const std::vector<CsrMatrix::Triplet> t{{0, 0, 2.5}};
+  const CsrMatrix m(1, t);
+  const Vec x{4.0};
+  Vec y(1);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.0);
+}
+
+TEST(KernelSpmv, PooledMultiplyBitIdenticalToSerial) {
+  Rng rng(13);
+  // Large enough that the nnz-balanced banding yields several bands.
+  const CsrMatrix m = random_csr(3000, 6, rng);
+  const Vec x = random_vec(3000, rng);
+  Vec serial(3000);
+  m.multiply(x, serial);
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    Vec pooled(3000, -7.0);
+    m.multiply(x, pooled, &pool);
+    EXPECT_EQ(pooled, serial) << "threads=" << threads;
+  }
+  Vec nullp(3000, -7.0);
+  m.multiply(x, nullp, nullptr);
+  EXPECT_EQ(nullp, serial);
+}
+
+TEST(KernelSpmv, MultiplyAddMatchesReferenceWithBeta) {
+  Rng rng(17);
+  const CsrMatrix m = random_csr(120, 5, rng);
+  const Vec x = random_vec(120, rng);
+  Vec y0 = random_vec(120, rng);
+  Vec y = y0;
+  m.multiply_add(x, 0.75, y);
+  Vec ref(120), bound(120);
+  reference_multiply(m, x, ref, bound);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double want = ref[i] + 0.75 * y0[i];
+    EXPECT_LE(std::abs(y[i] - want), bound[i] + 4.0 * kEps64 * std::abs(want));
+  }
+}
+
+TEST(KernelLaplacian, PooledOperatorBitIdenticalToSerial) {
+  Rng rng(19);
+  const Graph g = make_triangulated_grid(40, 40, rng);
+  const CsrAdjacency csr = build_csr(g);
+  const LinOp serial_op = laplacian_operator(csr);
+  const Vec x = random_vec(static_cast<std::size_t>(g.num_nodes()), rng);
+  Vec serial(x.size());
+  serial_op(x, serial);
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const LinOp pooled_op = laplacian_operator(csr, &pool);
+    Vec pooled(x.size(), -3.0);
+    pooled_op(x, pooled);
+    EXPECT_EQ(pooled, serial) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused vector kernels vs their composed counterparts.
+
+/// Reassociation bound for a reduction over `terms`: n * eps * sum|term|.
+template <typename T>
+double reassoc_bound(const std::vector<T>& v, double eps) {
+  double abs_sum = 0.0;
+  for (const T t : v) abs_sum += std::abs(static_cast<double>(t)) *
+                                 std::abs(static_cast<double>(t));
+  return 4.0 * static_cast<double>(v.size()) * eps * abs_sum;
+}
+
+TEST(KernelFused, AxpyNorm2MatchesComposed) {
+  Rng rng(23);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{5}, std::size_t{17}, std::size_t{1024}}) {
+    const Vec x = random_vec(n, rng);
+    Vec y_fused = random_vec(n, rng);
+    Vec y_ref = y_fused;
+    const double alpha = 0.37;
+    const double fused = axpy_norm2(alpha, x, y_fused);
+    axpy(alpha, x, y_ref);
+    EXPECT_EQ(y_fused, y_ref) << "n=" << n;  // update arithmetic is identical
+    const double composed = dot(y_ref, y_ref);
+    EXPECT_LE(std::abs(fused - composed), reassoc_bound(y_ref, kEps64)) << "n=" << n;
+  }
+}
+
+TEST(KernelFused, XpbyNorm2MatchesComposed) {
+  Rng rng(29);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{513}}) {
+    const Vec x = random_vec(n, rng);
+    Vec y_fused = random_vec(n, rng);
+    Vec y_ref = y_fused;
+    const double beta = -1.0;  // the initial-residual configuration
+    const double fused = xpby_norm2(x, beta, y_fused);
+    xpby(x, beta, y_ref);
+    EXPECT_EQ(y_fused, y_ref) << "n=" << n;
+    EXPECT_LE(std::abs(fused - dot(y_ref, y_ref)), reassoc_bound(y_ref, kEps64));
+  }
+}
+
+TEST(KernelFused, CgFusedUpdateMatchesComposed) {
+  Rng rng(31);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{2048}}) {
+    const Vec p = random_vec(n, rng);
+    const Vec ap = random_vec(n, rng);
+    Vec x_fused = random_vec(n, rng);
+    Vec r_fused = random_vec(n, rng);
+    Vec x_ref = x_fused;
+    Vec r_ref = r_fused;
+    const double alpha = 1.618;
+    const double fused = cg_fused_update(alpha, p, ap, x_fused, r_fused);
+    axpy(alpha, p, x_ref);
+    axpy(-alpha, ap, r_ref);
+    // x += a*p and r -= a*ap are elementwise-identical IEEE operations in
+    // both formulations, so the updated vectors must match exactly.
+    EXPECT_EQ(x_fused, x_ref) << "n=" << n;
+    EXPECT_EQ(r_fused, r_ref) << "n=" << n;
+    EXPECT_LE(std::abs(fused - dot(r_ref, r_ref)), reassoc_bound(r_ref, kEps64));
+  }
+}
+
+TEST(KernelFused, FloatOverloadsMatchComposedFloat) {
+  Rng rng(37);
+  const std::size_t n = 777;
+  std::vector<float> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(rng.normal());
+    y[i] = static_cast<float>(rng.normal());
+  }
+  std::vector<float> y_ref = y;
+  const float fused = axpy_norm2(0.5f, std::span<const float>(x), std::span<float>(y));
+  axpy(0.5f, std::span<const float>(x), std::span<float>(y_ref));
+  EXPECT_EQ(y, y_ref);
+  const float composed = dot(std::span<const float>(y_ref), std::span<const float>(y_ref));
+  EXPECT_LE(std::abs(static_cast<double>(fused) - static_cast<double>(composed)),
+            reassoc_bound(y_ref, kEps32));
+
+  std::vector<float> p(n), ap(n), xx(n), r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.normal());
+    ap[i] = static_cast<float>(rng.normal());
+    xx[i] = static_cast<float>(rng.normal());
+    r[i] = static_cast<float>(rng.normal());
+  }
+  std::vector<float> xx_ref = xx, r_ref = r;
+  const float rr = cg_fused_update(0.25f, std::span<const float>(p),
+                                   std::span<const float>(ap), std::span<float>(xx),
+                                   std::span<float>(r));
+  axpy(0.25f, std::span<const float>(p), std::span<float>(xx_ref));
+  axpy(-0.25f, std::span<const float>(ap), std::span<float>(r_ref));
+  EXPECT_EQ(xx, xx_ref);
+  EXPECT_EQ(r, r_ref);
+  const float rr_ref = dot(std::span<const float>(r_ref), std::span<const float>(r_ref));
+  EXPECT_LE(std::abs(static_cast<double>(rr) - static_cast<double>(rr_ref)),
+            reassoc_bound(r_ref, kEps32));
+}
+
+// ---------------------------------------------------------------------------
+// fp32 preconditioner vs an identical-algorithm fp64 reference.
+
+/// In-test fp64 replica of Fp32LaplacianPrecond::apply — the same Jacobi-
+/// PCG recursion with naive scalar kernels, so the only difference from
+/// the production path is arithmetic precision.
+void jacobi_pcg64(const CsrAdjacency& csr, const Vec& r_in, Vec& z, int iters) {
+  const auto n = static_cast<std::size_t>(csr.num_nodes());
+  const LinOp op = laplacian_operator(csr);
+  Vec rhs = r_in;
+  project_out_ones(rhs);
+  Vec x(n, 0.0), r = rhs, zv(n), p(n), ap(n);
+  Vec inv_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_diag[i] = csr.degree[i] > 0.0 ? 1.0 / csr.degree[i] : 1.0;
+  }
+  double rr = dot(r, r);
+  const double stop = rr * 1e-12;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    zv[i] = inv_diag[i] * r[i];
+    rz += r[i] * zv[i];
+  }
+  p = zv;
+  for (int it = 0; it < iters; ++it) {
+    if (!(rr > stop)) break;
+    op(p, ap);
+    project_out_ones(ap);
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) break;
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    rr = dot(r, r);
+    double rz_next = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      zv[i] = inv_diag[i] * r[i];
+      rz_next += r[i] * zv[i];
+    }
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    xpby(zv, beta, p);
+  }
+  copy(x, z);
+  project_out_ones(z);
+}
+
+/// kappa(L) = lambda_max / lambda_2, both estimated iteratively: power
+/// iteration for lambda_max, inverse iteration (pcg solves) for lambda_2.
+/// Nullspace (the ones vector) is projected out throughout.
+double estimate_kappa(const CsrAdjacency& csr, Rng& rng) {
+  const auto n = static_cast<std::size_t>(csr.num_nodes());
+  const LinOp op = laplacian_operator(csr);
+  Vec v = random_vec(n, rng);
+  project_out_ones(v);
+  Vec w(n);
+  double lambda_max = 0.0;
+  for (int it = 0; it < 60; ++it) {
+    op(v, w);
+    project_out_ones(w);
+    lambda_max = dot(v, w) / dot(v, v);
+    const double nrm = std::sqrt(dot(w, w));
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nrm;
+  }
+
+  Vec u = random_vec(n, rng);
+  project_out_ones(u);
+  CgOptions copts;
+  copts.rel_tol = 1e-10;
+  copts.project_nullspace = true;
+  double lambda2 = lambda_max;
+  for (int it = 0; it < 12; ++it) {
+    Vec y(n, 0.0);
+    pcg(op, u, y, nullptr, copts);
+    project_out_ones(y);
+    op(y, w);
+    project_out_ones(w);
+    lambda2 = dot(y, w) / dot(y, y);
+    const double nrm = std::sqrt(dot(y, y));
+    for (std::size_t i = 0; i < n; ++i) u[i] = y[i] / nrm;
+  }
+  return lambda_max / lambda2;
+}
+
+TEST(KernelPrecond32, TracksFp64ReferenceWithinConditionBound) {
+  Rng rng(41);
+  const Graph g = make_triangulated_grid(12, 12, rng);
+  const CsrAdjacency csr = build_csr(g);
+  const double kappa = estimate_kappa(csr, rng);
+  ASSERT_GT(kappa, 1.0);
+
+  Fp32LaplacianPrecond precond;
+  precond.rebuild(csr);
+  ASSERT_FALSE(precond.empty());
+  ASSERT_EQ(precond.num_nodes(), g.num_nodes());
+
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  for (const int iters : {4, 12}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      Rng vr(seed);
+      Vec r = random_vec(n, vr);
+      Vec z32(n), z64(n);
+      precond.apply(r, z32, iters);
+      jacobi_pcg64(csr, r, z64, iters);
+      // Forward-error model: an fp32 run of the same recursion deviates by
+      // O(kappa * eps_f32) relative per the standard CG perturbation
+      // bound; 64x covers the iteration-count constant.
+      const double tol = 64.0 * kappa * kEps32 * std::sqrt(dot(z64, z64));
+      const double diff = rel_diff(z32, z64) * std::sqrt(dot(z64, z64));
+      EXPECT_LE(diff, tol) << "iters=" << iters << " seed=" << seed
+                           << " kappa=" << kappa;
+    }
+  }
+}
+
+TEST(KernelPrecond32, ResultIsOrthogonalToOnes) {
+  Rng rng(43);
+  const Graph g = make_triangulated_grid(8, 8, rng);
+  const CsrAdjacency csr = build_csr(g);
+  Fp32LaplacianPrecond precond;
+  precond.rebuild(csr);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  Vec r = random_vec(n, rng);
+  Vec z(n);
+  precond.apply(r, z, 10);
+  double mean = 0.0;
+  for (const double v : z) mean += v;
+  mean /= static_cast<double>(n);
+  EXPECT_LE(std::abs(mean), 1e-9 * std::sqrt(dot(z, z) / static_cast<double>(n)) + 1e-12);
+}
+
+}  // namespace
+}  // namespace ingrass

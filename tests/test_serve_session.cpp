@@ -4,7 +4,9 @@
 
 #include "core/edge_stream.hpp"
 #include "graph/generators.hpp"
+#include "obs/registry.hpp"
 #include "serve/session.hpp"
+#include "serve/shard_dispatcher.hpp"
 #include "solver/sparsifier_solver.hpp"
 #include "spectral/condition_number.hpp"
 
@@ -286,6 +288,162 @@ TEST(ServeSession, RejectsNonPositiveBudget) {
   SessionOptions opts = sync_options();
   opts.engine.target_condition = 0.0;
   EXPECT_THROW(SparsifierSession(test_graph(), opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start cache. The counters live in the process-global obs registry,
+// so every assertion works on before/after deltas.
+
+struct WarmCounts {
+  std::uint64_t hits;
+  std::uint64_t misses;
+  std::uint64_t saved_observations;
+};
+
+WarmCounts warm_counts() {
+  return {
+      obs::registry().counter("ingrass_warmstart_total", {{"result", "hit"}}).value(),
+      obs::registry().counter("ingrass_warmstart_total", {{"result", "miss"}}).value(),
+      obs::registry().histogram("ingrass_warmstart_saved_iterations").snapshot().count,
+  };
+}
+
+std::vector<double> pair_rhs(std::size_t n, std::size_t u, std::size_t v) {
+  std::vector<double> b(n, 0.0);
+  b[u] = 1.0;
+  b[v] = -1.0;
+  return b;
+}
+
+TEST(ServeSession, WarmStartHitCutsIterationsOnRepeatedRhs) {
+  SparsifierSession session(test_graph(), sync_options());
+  const auto n = static_cast<std::size_t>(session.num_nodes());
+  const auto b = pair_rhs(n, 0, n - 1);
+  std::vector<double> x(n, 0.0);
+
+  const WarmCounts before = warm_counts();
+  const auto cold = session.solve(b, x);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_GT(cold.outer_iterations, 0);
+  const WarmCounts after_cold = warm_counts();
+  EXPECT_EQ(after_cold.misses, before.misses + 1);
+  EXPECT_EQ(after_cold.hits, before.hits);
+
+  // Identical RHS: the cached solution seeds CG, which must now converge
+  // in strictly fewer outer iterations than the cold solve.
+  std::vector<double> x2(n, 0.0);
+  const auto warm = session.solve(b, x2);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.outer_iterations, cold.outer_iterations);
+  const WarmCounts after_warm = warm_counts();
+  EXPECT_EQ(after_warm.hits, after_cold.hits + 1);
+  EXPECT_EQ(after_warm.misses, after_cold.misses);
+  EXPECT_EQ(after_warm.saved_observations, after_cold.saved_observations + 1);
+
+  // Both solves answer the same system.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x2[i], x[i], 1e-6);
+}
+
+TEST(ServeSession, WarmStartMissesOnDissimilarRhs) {
+  SparsifierSession session(test_graph(), sync_options());
+  const auto n = static_cast<std::size_t>(session.num_nodes());
+  std::vector<double> x(n, 0.0);
+  session.solve(pair_rhs(n, 0, n - 1), x);
+
+  // A pair supported on different nodes: cosine similarity ~0, so the
+  // cache must not seed (a wrong seed would still converge, but the
+  // counters would lie about the hit rate).
+  const WarmCounts before = warm_counts();
+  std::vector<double> x2(n, 0.0);
+  const auto r = session.solve(pair_rhs(n, 1, 2), x2);
+  ASSERT_TRUE(r.converged);
+  const WarmCounts after = warm_counts();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses + 1);
+}
+
+TEST(ServeSession, WarmStartInvalidatedByApplyAndRebuild) {
+  SessionOptions opts = sync_options(/*budget=*/40.0);
+  opts.rebuild_staleness_fraction = 0.25;
+  SparsifierSession session(test_graph(), opts);
+  const auto n = static_cast<std::size_t>(session.num_nodes());
+  const auto b = pair_rhs(n, 0, n - 1);
+  std::vector<double> x(n, 0.0);
+  session.solve(b, x);
+
+  // Mutate the graph (this hostile stream also trips synchronous
+  // rebuilds): a repeat of the exact same RHS must re-solve cold — the
+  // cached solution belongs to the previous operator.
+  bool rebuilt = false;
+  for (const auto& batch : hostile_stream(session.graph(), 4, 2)) {
+    rebuilt |= session.apply(batch).rebuild_triggered;
+  }
+  EXPECT_TRUE(rebuilt);
+
+  const WarmCounts before = warm_counts();
+  std::vector<double> x2(n, 0.0);
+  ASSERT_TRUE(session.solve(b, x2).converged);
+  const WarmCounts after = warm_counts();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses + 1);
+}
+
+TEST(ServeSession, WarmStartRestoreStartsCold) {
+  const SessionOptions opts = sync_options();
+  SparsifierSession session(test_graph(), opts);
+  const auto n = static_cast<std::size_t>(session.num_nodes());
+  const auto b = pair_rhs(n, 0, n - 1);
+  std::vector<double> x(n, 0.0);
+  session.solve(b, x);
+
+  const std::string path = testing::TempDir() + "/ingrass_warm_restore.bin";
+  session.checkpoint(path);
+  const auto restored = SparsifierSession::restore(path, opts);
+
+  const WarmCounts before = warm_counts();
+  std::vector<double> x2(n, 0.0);
+  ASSERT_TRUE(restored->solve(b, x2).converged);
+  const WarmCounts after = warm_counts();
+  EXPECT_EQ(after.hits, before.hits);  // fresh object, no carried seed
+  EXPECT_EQ(after.misses, before.misses + 1);
+}
+
+TEST(ServeSession, WarmStartDisabledByOption) {
+  SessionOptions opts = sync_options();
+  opts.warm_start = false;
+  SparsifierSession session(test_graph(), opts);
+  const auto n = static_cast<std::size_t>(session.num_nodes());
+  const auto b = pair_rhs(n, 0, n - 1);
+  const WarmCounts before = warm_counts();
+  std::vector<double> x(n, 0.0);
+  session.solve(b, x);
+  std::vector<double> x2(n, 0.0);
+  session.solve(b, x2);
+  const WarmCounts after = warm_counts();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(ServeSession, ShardedSolvesLeaveWarmStartCountersUntouched) {
+  // Shard sub-sessions run with warm_start disabled: their block solves
+  // see a fresh residual-driven RHS every outer iteration, so seeding
+  // would only distort the tenant-level hit-rate statistics.
+  ShardedOptions opts;
+  opts.session.engine.target_condition = 80.0;
+  opts.session.grass.target_offtree_density = 0.20;
+  opts.session.background_rebuild = false;
+  ShardedSession session(test_graph(12, 7), 2, opts);
+  const auto n = static_cast<std::size_t>(session.metrics().nodes);
+  const auto b = pair_rhs(n, 0, n - 1);
+
+  const WarmCounts before = warm_counts();
+  std::vector<double> x(n, 0.0);
+  ASSERT_TRUE(session.solve(b, x).converged);
+  std::vector<double> x2(n, 0.0);
+  ASSERT_TRUE(session.solve(b, x2).converged);
+  const WarmCounts after = warm_counts();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
 }
 
 }  // namespace

@@ -5,17 +5,23 @@
 #
 # usage: bench_snapshot.sh [--quick] <build-dir> <out.json>
 #
-#   --quick   serving-layer benches only (the seconds-scale subset CI can
-#             afford); records keep the exact keys of the full snapshot,
-#             so a quick run diffs cleanly against a committed full one —
-#             the session records just report as "gone" (not a failure).
+#   --quick   serving-layer benches + kernel micro only (the seconds-
+#             scale subset CI can afford); records keep the exact keys
+#             of the full snapshot, so a quick run diffs cleanly against
+#             a committed full one — the session records just report as
+#             "gone" (not a failure).
 #
-# The full snapshot covers: session throughput under the three rebuild
-# policies, sharded (4) vs unsharded (1) dispatch, TCP aggregate at
-# 1/4/16 clients in both transports, and the 1000-connection mostly-idle
-# fleet in both transports (peak RSS included). Since the benches share
-# the server's obs registry in-process, every serving run additionally
-# yields latency-percentile records (serve_tcp.solve_latency p50/p99 per
+# The full snapshot covers: the solve-path kernel micro records (SpMV,
+# fused CG vector pass, fp32/fp64 preconditioner apply, end-to-end
+# solve), ThreadPool scaling of the data-parallel passes, session
+# throughput under the three rebuild policies, sharded (4) vs unsharded
+# (1) dispatch, TCP aggregate at 1/4/16 clients in both transports, and
+# the 1000-connection mostly-idle fleet in both transports (peak RSS
+# included). The quick subset keeps the serving-layer benches plus the
+# kernel micro records, so CI gates kernel regressions too.
+#
+# Since the benches share the server's obs registry in-process, every
+# serving run additionally yields latency-percentile records (serve_tcp.solve_latency p50/p99 per
 # mode and client count; session.rebuild_cost per rebuild policy) that
 # bench_diff.py gates with a one-sided p99 ceiling.
 set -eu
@@ -48,6 +54,9 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 cd "$tmp"  # bench binaries drop scratch files (grid .mtx, port files) in cwd
 
+echo "== micro: solve-path kernels" >&2
+"$build/bench/bench_micro" --reps 20 --json "$tmp/micro.json" >&2
+
 echo "== serve_tcp: 1/4/16-client aggregate, both transports" >&2
 "$build/bench/bench_serve_tcp" --rounds 10 --json "$tmp/tcp_scaling.json" >&2
 
@@ -55,8 +64,11 @@ echo "== serve_tcp: 1000-connection mostly-idle fleet, both transports" >&2
 "$build/bench/bench_serve_tcp" --clients 1000 --idle-frac 0.95 --rounds 10 \
   --json "$tmp/tcp_idle.json" >&2
 
-parts="$tmp/tcp_scaling.json $tmp/tcp_idle.json"
+parts="$tmp/micro.json $tmp/tcp_scaling.json $tmp/tcp_idle.json"
 if [ "$quick" -eq 0 ]; then
+  echo "== parallel: ThreadPool scaling" >&2
+  "$build/bench/bench_parallel" --reps 10 --json "$tmp/parallel.json" >&2
+  parts="$parts $tmp/parallel.json"
   echo "== session: rebuild policies (never/sync/async)" >&2
   "$build/bench/bench_session" --json "$tmp/session.json" >&2
   echo "== session: unsharded (1) vs sharded (4) dispatch" >&2
