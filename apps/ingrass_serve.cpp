@@ -71,9 +71,13 @@ int usage() {
       "  ingrass_serve                                  text protocol on stdin/stdout\n"
       "  ingrass_serve --binary                         binary frames on stdin/stdout\n"
       "  ingrass_serve --listen <port> [--port-file <path>] [--max-connections <N>]\n"
-      "                [--event-loop]\n"
+      "                [--event-loop] [--shard-server]\n"
       "  ingrass_serve --connect <port> [--script <file>]... [--text]\n"
       "  ingrass_serve --connect-port-file <path> [--script <file>]... [--text]\n"
+      "distributed serving:\n"
+      "  --shard-server               host shard sub-sessions for a coordinator\n"
+      "                               (enables the handshake/block-solve/...\n"
+      "                               verbs; requires --listen)\n"
       "observability (any server mode):\n"
       "  --metrics-port <port>        Prometheus /metrics endpoint (0 = ephemeral)\n"
       "  --metrics-port-file <path>   publish the bound metrics port (atomic write)\n"
@@ -89,6 +93,7 @@ struct Args {
   std::string port_file;
   std::optional<long> max_connections;
   bool event_loop = false;
+  bool shard_server = false;
   std::optional<long> connect_port;
   std::string connect_port_file;
   std::vector<std::string> scripts;
@@ -131,6 +136,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.max_connections = *n;
     } else if (flag == "--event-loop") {
       a.event_loop = true;
+    } else if (flag == "--shard-server") {
+      a.shard_server = true;
     } else if (flag == "--connect") {
       a.connect_port = port_value();
       if (!a.connect_port) return std::nullopt;
@@ -176,6 +183,9 @@ std::optional<Args> parse_args(int argc, char** argv) {
   if (!server_tcp && !a.port_file.empty()) return std::nullopt;
   if (!server_tcp && a.max_connections) return std::nullopt;
   if (!server_tcp && a.event_loop) return std::nullopt;
+  // Shard servers are fleet-internal: a coordinator dials them over TCP,
+  // so the stdio modes have no use for the flag.
+  if (!server_tcp && a.shard_server) return std::nullopt;
   if (!client && (a.client_text || !a.scripts.empty())) return std::nullopt;
   // Observability flags belong to server modes (stdio or TCP), and a
   // metrics port file is meaningless without a metrics listener.
@@ -243,7 +253,9 @@ int main(int argc, char** argv) {
     if (args->connect_port || !args->connect_port_file.empty()) {
       return run_client(*args);
     }
-    serve::Engine engine;
+    serve::EngineOptions eopts;
+    eopts.shard_server = args->shard_server;
+    serve::Engine engine(eopts);
     // Observability surfaces come up before the transport so the first
     // request is already scrapeable and loggable.
     if (!args->log_json.empty()) obs::log().open(args->log_json);

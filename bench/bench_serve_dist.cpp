@@ -1,0 +1,237 @@
+// Distributed-vs-local serving bench: the same K-shard session hosted
+// two ways — in-process (ShardedSession, function calls between shards)
+// and distributed (DistributedSession over loopback TCP against a
+// LocalFleet of shard servers) — so the RPC layer's cost is a number,
+// not a vibe. For each shard count the bench reports fleet setup time,
+// solve latency (median over reps), and apply throughput on small
+// steady-state batches.
+//
+//   bench_serve_dist [--shards K]... [--solves N] [--batches N] [--json <path>]
+//
+// Default shard counts {2, 4}; --shards may repeat to pin a subset.
+// --json writes the machine-readable snapshot (schema ingrass-bench/1)
+// consumed by tools/bench_diff.py.
+//
+// Honors INGRASS_BENCH_SEED (workload seed, default 2024).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "dist/dist_session.hpp"
+#include "dist/fleet.hpp"
+#include "graph/generators.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serving.hpp"
+#include "serve/session.hpp"
+#include "serve/shard_dispatcher.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace ingrass;
+using namespace ingrass::bench;
+
+namespace {
+
+serve::SessionSpec bench_spec() {
+  serve::SessionSpec spec;
+  spec.density = 0.2;
+  spec.no_rebuild = true;  // measure serving, not rebuild scheduling
+  return spec;
+}
+
+struct BackendResult {
+  double setup_seconds = 0.0;
+  SampleStats solve;            // per-solve wall time
+  double apply_seconds = 0.0;   // total across batches
+  std::uint64_t batches = 0;
+  [[nodiscard]] double solves_per_sec() const {
+    return solve.median > 0 ? 1.0 / solve.median : 0.0;
+  }
+  [[nodiscard]] double batches_per_sec() const {
+    return apply_seconds > 0 ? static_cast<double>(batches) / apply_seconds : 0.0;
+  }
+};
+
+/// Alternating right-hand sides (distinct pair per rep) so a warm-start
+/// cache cannot turn the latency series into cache hits.
+std::vector<double> pair_rhs(NodeId n, int rep) {
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  const auto u = static_cast<std::size_t>(rep % 4);
+  b[u] = 1.0;
+  b[static_cast<std::size_t>(n - 1) - u] = -1.0;
+  return b;
+}
+
+/// Small steady-state batches: a handful of inserts, then the same pairs
+/// removed two batches later — the dispatcher routes, the sparsifier
+/// filters, no rebuild fires (spec.no_rebuild).
+std::vector<UpdateBatch> apply_stream(const Graph& g, int batches,
+                                      std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  Rng rng(seed);
+  std::vector<UpdateBatch> out(static_cast<std::size_t>(batches));
+  for (int i = 0; i < batches; ++i) {
+    auto& batch = out[static_cast<std::size_t>(i)];
+    for (int e = 0; e < 4; ++e) {
+      const auto u = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+      auto v = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+      if (u == v) v = static_cast<NodeId>((v + 1) % n);
+      if (g.has_edge(u, v)) continue;
+      batch.inserts.push_back(Edge{u, v, 0.5});
+    }
+    if (i >= 2) {
+      for (const Edge& e : out[static_cast<std::size_t>(i - 2)].inserts)
+        batch.removals.emplace_back(e.u, e.v);
+    }
+  }
+  return out;
+}
+
+BackendResult drive(serve::Session& session, const Graph& g, int solves,
+                    const std::vector<UpdateBatch>& batches) {
+  BackendResult r;
+  const NodeId n = g.num_nodes();
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(solves));
+  for (int rep = 0; rep < solves; ++rep) {
+    const std::vector<double> b = pair_rhs(n, rep);
+    Timer t;
+    const auto result = session.solve(b, x);
+    samples.push_back(t.seconds());
+    if (!result.converged) throw std::runtime_error("bench solve did not converge");
+  }
+  r.solve = summarize_samples(std::move(samples));
+
+  Timer t;
+  for (const UpdateBatch& batch : batches) (void)session.apply(batch);
+  r.apply_seconds = t.seconds();
+  r.batches = batches.size();
+  return r;
+}
+
+struct Cli {
+  std::optional<std::string> json_path;
+  std::vector<int> shard_counts{2, 4};
+  int solves = 10;
+  int batches = 20;
+};
+
+std::optional<Cli> parse_cli(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Cli cli;
+  try {
+    cli.json_path = consume_flag_value(args, "--json");
+    std::vector<int> counts;
+    while (const auto v = consume_flag_value(args, "--shards")) {
+      const int k = std::atoi(v->c_str());
+      if (k < 2) throw std::runtime_error("--shards must be >= 2");
+      counts.push_back(k);
+    }
+    if (!counts.empty()) cli.shard_counts = std::move(counts);
+    if (const auto v = consume_flag_value(args, "--solves")) {
+      cli.solves = std::atoi(v->c_str());
+      if (cli.solves < 1) throw std::runtime_error("--solves must be >= 1");
+    }
+    if (const auto v = consume_flag_value(args, "--batches")) {
+      cli.batches = std::atoi(v->c_str());
+      if (cli.batches < 1) throw std::runtime_error("--batches must be >= 1");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve_dist: %s\n", e.what());
+    return std::nullopt;
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_serve_dist [--shards K]... [--solves N] [--batches N]\n"
+                 "                        [--json <path>]\n");
+    return std::nullopt;
+  }
+  return cli;
+}
+
+void report(JsonReporter& json, const char* backend, int shards, int solves,
+            const BackendResult& r) {
+  std::printf("%8s %7d %9.3f %12.3f %12.0f %12.0f\n", backend, shards,
+              r.setup_seconds, r.solve.median * 1e3, r.solves_per_sec(),
+              r.batches_per_sec());
+  BenchRecord solve;
+  solve.name = "serve_dist.solve";
+  solve.params = {{"backend", backend}, {"shards", std::to_string(shards)}};
+  solve.reps = solves;
+  solve.median_seconds = r.solve.median;
+  solve.stddev_seconds = r.solve.stddev;
+  solve.throughput = r.solves_per_sec();
+  solve.throughput_unit = "solves/s";
+  solve.metrics = {{"setup_seconds", r.setup_seconds}};
+  json.add(std::move(solve));
+  BenchRecord apply;
+  apply.name = "serve_dist.apply";
+  apply.params = {{"backend", backend}, {"shards", std::to_string(shards)}};
+  apply.reps = 1;
+  apply.median_seconds = r.apply_seconds;
+  apply.throughput = r.batches_per_sec();
+  apply.throughput_unit = "batches/s";
+  apply.metrics = {{"batches", static_cast<double>(r.batches)}};
+  json.add(std::move(apply));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = parse_cli(argc, argv);
+  if (!cli) return 1;
+
+  const auto seed = static_cast<std::uint64_t>(env_long("INGRASS_BENCH_SEED", 2024));
+  Rng rng(seed);
+  const Graph g = make_triangulated_grid(24, 24, rng);
+  std::printf("bench_serve_dist: %d-node grid, %d solves, %d apply batches, seed %llu\n",
+              g.num_nodes(), cli->solves, cli->batches,
+              static_cast<unsigned long long>(seed));
+  std::printf("%8s %7s %9s %12s %12s %12s\n", "backend", "shards", "setup s",
+              "solve ms", "solves/s", "batches/s");
+
+  JsonReporter json;
+  for (const int shards : cli->shard_counts) {
+    const auto stream = apply_stream(g, cli->batches, seed + 1);
+
+    BackendResult local;
+    {
+      Timer setup;
+      ShardedSession session(Graph(g), shards,
+                             bench_spec().sharded_options(PartitionStrategy::kGreedy));
+      local.setup_seconds = setup.seconds();
+      const BackendResult driven = drive(session, g, cli->solves, stream);
+      local.solve = driven.solve;
+      local.apply_seconds = driven.apply_seconds;
+      local.batches = driven.batches;
+    }
+    report(json, "local", shards, cli->solves, local);
+
+    BackendResult dist;
+    {
+      dist::DistOptions opts;
+      opts.spec = bench_spec();
+      Timer setup;
+      dist::LocalFleet fleet(shards, ".");
+      dist::DistributedSession session(Graph(g), fleet.endpoints(), opts);
+      dist.setup_seconds = setup.seconds();
+      const BackendResult driven = drive(session, g, cli->solves, stream);
+      dist.solve = driven.solve;
+      dist.apply_seconds = driven.apply_seconds;
+      dist.batches = driven.batches;
+    }
+    report(json, "dist", shards, cli->solves, dist);
+  }
+
+  if (cli->json_path) json.write(*cli->json_path);
+  return 0;
+}

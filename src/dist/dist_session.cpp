@@ -1,0 +1,790 @@
+#include "dist/dist_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <variant>
+
+#include "linalg/vector_ops.hpp"
+#include "obs/registry.hpp"
+#include "spectral/condition_number.hpp"
+
+namespace ingrass::dist {
+
+namespace {
+
+/// Coordinator-level counters, one registration per process.
+struct CoordMetrics {
+  obs::Counter& recoveries;  ///< shard sessions rebuilt from the mirror
+
+  CoordMetrics()
+      : recoveries(obs::registry().counter("ingrass_dist_shard_recoveries_total")) {}
+};
+
+CoordMetrics& coord_metrics() {
+  static CoordMetrics* m = new CoordMetrics();  // leaked: registry outlives us
+  return *m;
+}
+
+/// Split "a/b/base" into the directory prefix (with trailing '/') and base.
+std::pair<std::string, std::string> split_path(const std::string& path) {
+  const auto slash = path.rfind('/');
+  if (slash == std::string::npos) return {"", path};
+  return {path.substr(0, slash + 1), path.substr(slash + 1)};
+}
+
+RemoteShardOptions rpc_options(const DistOptions& opts) {
+  RemoteShardOptions r;
+  r.connect_timeout = opts.connect_timeout;
+  r.handshake_deadline = opts.handshake_deadline;
+  r.retries = opts.retries;
+  r.backoff_ms = opts.backoff_ms;
+  return r;
+}
+
+/// Field-wise counter accumulation (matches ShardedMetrics::counters).
+void accumulate(SessionCounters& into, const SessionCounters& c) {
+  into.batches += c.batches;
+  into.inserts_offered += c.inserts_offered;
+  into.removals_applied += c.removals_applied;
+  into.removals_pending += c.removals_pending;
+  into.solves += c.solves;
+  into.rebuilds += c.rebuilds;
+  into.rebuild_failures += c.rebuild_failures;
+  into.inserted += c.inserted;
+  into.merged += c.merged;
+  into.redistributed += c.redistributed;
+  into.reinforced += c.reinforced;
+  into.staleness_score += c.staleness_score;
+  into.lifetime_filtered_distortion += c.lifetime_filtered_distortion;
+}
+
+/// The expected response alternative, or a typed internal error — a shard
+/// server answering a verb with the wrong shape is a protocol bug, not a
+/// transient fault.
+template <typename T>
+const T& expect(const serve::Response& response, const char* verb) {
+  const T* typed = std::get_if<T>(&response);
+  if (typed == nullptr)
+    throw serve::ShardOpError(serve::resp::ShardErrorCode::kInternal,
+                              std::string("unexpected response to ") + verb);
+  return *typed;
+}
+
+}  // namespace
+
+DistributedSession::DistributedSession(Graph g, std::vector<std::string> endpoints,
+                                       const DistOptions& opts)
+    : opts_(opts),
+      sharded_(opts.spec.sharded_options(opts.partition)),
+      shards_(static_cast<int>(endpoints.size())),
+      endpoints_(std::move(endpoints)),
+      g_(std::move(g)),
+      boundary_(g_.num_nodes()) {
+  const NodeId n = g_.num_nodes();
+  if (shards_ < 2)
+    throw std::invalid_argument("a distributed session needs >= 2 shard endpoints");
+  if (n < shards_) throw std::invalid_argument("more shards than nodes");
+  Partition part = opts_.partition == PartitionStrategy::kHash
+                       ? hash_partition(n, shards_)
+                       : greedy_partition(g_, shards_);
+  shard_of_ = std::move(part.shard_of);
+  init_maps();
+  for (const Edge& e : g_.edges())
+    if (shard_of_[static_cast<std::size_t>(e.u)] != shard_of_[static_cast<std::size_t>(e.v)])
+      boundary_.add_or_merge_edge(e.u, e.v, e.w);
+
+  rpc_.reserve(static_cast<std::size_t>(shards_));
+  for (int k = 0; k < shards_; ++k)
+    rpc_.push_back(std::make_unique<RemoteShard>(endpoints_[static_cast<std::size_t>(k)],
+                                                 rpc_options(opts_)));
+
+  // Hand each server its grounded block as a fresh handshake blob (empty
+  // sparsifier — the server runs GRASS), pipelined so the K setup passes
+  // run in parallel across the fleet.
+  const std::string tag = checkpoint_name_tag();
+  std::vector<std::string> blobs;
+  blobs.reserve(static_cast<std::size_t>(shards_));
+  for (int k = 0; k < shards_; ++k) {
+    blobs.push_back(opts_.dir + "/ingrass-handshake" + tag + ".shard" + std::to_string(k));
+    save_checkpoint(blobs.back(),
+                    SessionCheckpoint{build_shard_graph(k),
+                                      Graph(static_cast<NodeId>(shard_size(k)) + 1),
+                                      SessionCounters{}});
+  }
+  try {
+    for (int k = 0; k < shards_; ++k)
+      rpc_[static_cast<std::size_t>(k)]->start(make_handshake(k, generation_, true, blobs[static_cast<std::size_t>(k)]));
+    for (int k = 0; k < shards_; ++k) {
+      const serve::Response response =
+          rpc_[static_cast<std::size_t>(k)]->finish(opts_.handshake_deadline);
+      const auto& hello = expect<serve::resp::ShardHello>(response, "handshake");
+      if (hello.nodes != static_cast<NodeId>(shard_size(k)) + 1)
+        throw serve::ShardOpError(serve::resp::ShardErrorCode::kBadRequest,
+                                  "shard " + std::to_string(k) + " answered with " +
+                                      std::to_string(hello.nodes) + " nodes");
+    }
+  } catch (...) {
+    for (const std::string& blob : blobs) std::remove(blob.c_str());
+    throw;
+  }
+  for (const std::string& blob : blobs) std::remove(blob.c_str());
+  for (int k = 0; k < shards_; ++k) install_recovery(k);
+}
+
+DistributedSession::DistributedSession(ShardManifest manifest,
+                                       std::vector<std::string> endpoints,
+                                       std::uint64_t generation, const DistOptions& opts)
+    : opts_(opts),
+      sharded_(opts.spec.sharded_options(opts.partition)),
+      shards_(manifest.shards),
+      endpoints_(std::move(endpoints)),
+      g_(manifest.num_nodes),
+      boundary_(std::move(manifest.boundary)),
+      generation_(generation) {
+  shard_of_ = std::move(manifest.shard_of);
+  init_maps();
+  rpc_.reserve(static_cast<std::size_t>(shards_));
+  for (int k = 0; k < shards_; ++k)
+    rpc_.push_back(std::make_unique<RemoteShard>(endpoints_[static_cast<std::size_t>(k)],
+                                                 rpc_options(opts_)));
+}
+
+std::unique_ptr<DistributedSession> DistributedSession::restore(
+    const std::string& manifest_path, const DistOptions& opts) {
+  DistManifest m = load_dist_manifest(manifest_path);
+  const auto [dir, base] = split_path(manifest_path);
+  (void)base;
+  std::vector<std::string> blobs;
+  blobs.reserve(m.base.shard_files.size());
+  for (const std::string& name : m.base.shard_files) blobs.push_back(dir + name);
+
+  auto s = std::unique_ptr<DistributedSession>(new DistributedSession(
+      std::move(m.base), std::move(m.endpoints), m.generation, opts));
+
+  // Reassemble the mirror locally from the shard blobs (ground edges are
+  // coupling bookkeeping, not global edges) plus the manifest's boundary.
+  for (int k = 0; k < s->shards_; ++k) {
+    const auto& mem = s->members_[static_cast<std::size_t>(k)];
+    const SessionCheckpoint ck = load_checkpoint(blobs[static_cast<std::size_t>(k)]);
+    const NodeId ground = s->ground_of(k);
+    if (ck.g.num_nodes() != ground + 1)
+      throw std::runtime_error("shard blob " + blobs[static_cast<std::size_t>(k)] +
+                               " does not match the manifest's partition");
+    for (const Edge& e : ck.g.edges()) {
+      if (e.u == ground || e.v == ground) continue;
+      s->g_.add_or_merge_edge(mem[static_cast<std::size_t>(e.u)],
+                              mem[static_cast<std::size_t>(e.v)], e.w);
+    }
+  }
+  for (const Edge& e : s->boundary_.edges()) s->g_.add_or_merge_edge(e.u, e.v, e.w);
+
+  // Re-handshake every endpoint from its blob (restore semantics).
+  for (int k = 0; k < s->shards_; ++k)
+    s->rpc_[static_cast<std::size_t>(k)]->start(
+        s->make_handshake(k, s->generation_, false, blobs[static_cast<std::size_t>(k)]));
+  for (int k = 0; k < s->shards_; ++k) {
+    const serve::Response response =
+        s->rpc_[static_cast<std::size_t>(k)]->finish(opts.handshake_deadline);
+    (void)expect<serve::resp::ShardHello>(response, "handshake");
+  }
+  for (int k = 0; k < s->shards_; ++k) s->install_recovery(k);
+  return s;
+}
+
+DistributedSession::~DistributedSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int k = 0; k < shards_; ++k) {
+    auto& rpc = rpc_[static_cast<std::size_t>(k)];
+    if (!rpc || !rpc->connected() || rpc->inflight() != 0) continue;
+    try {
+      rpc->start(serve::req::Close{""});
+      (void)rpc->finish(5.0);
+    } catch (...) {
+      // Teardown is best-effort; the server reaps the tenant on EOF too.
+    }
+    std::remove((opts_.dir + "/ingrass-recover.shard" + std::to_string(k)).c_str());
+  }
+}
+
+void DistributedSession::init_maps() {
+  const NodeId n = static_cast<NodeId>(shard_of_.size());
+  local_id_.assign(static_cast<std::size_t>(n), 0);
+  members_.assign(static_cast<std::size_t>(shards_), {});
+  for (NodeId u = 0; u < n; ++u) {
+    const auto k = static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(u)]);
+    if (k >= members_.size()) throw std::invalid_argument("partition names a bad shard");
+    local_id_[static_cast<std::size_t>(u)] = static_cast<NodeId>(members_[k].size());
+    members_[k].push_back(u);
+  }
+  for (int k = 0; k < shards_; ++k)
+    if (members_[static_cast<std::size_t>(k)].empty())
+      throw std::invalid_argument("shard " + std::to_string(k) + " is empty");
+}
+
+Graph DistributedSession::build_shard_graph(int k) const {
+  const auto& mem = members_[static_cast<std::size_t>(k)];
+  const NodeId ground = ground_of(k);
+  Graph sg(ground + 1);
+  for (const Edge& e : g_.edges()) {
+    if (shard_of_[static_cast<std::size_t>(e.u)] != k ||
+        shard_of_[static_cast<std::size_t>(e.v)] != k)
+      continue;
+    sg.add_or_merge_edge(local_id_[static_cast<std::size_t>(e.u)],
+                         local_id_[static_cast<std::size_t>(e.v)], e.w);
+  }
+  for (const NodeId u : mem) {
+    const double cw = boundary_.weighted_degree(u);
+    if (cw > 0.0) sg.add_edge(local_id_[static_cast<std::size_t>(u)], ground, cw);
+  }
+  return sg;
+}
+
+serve::Request DistributedSession::make_handshake(int k, std::uint64_t generation,
+                                                  bool fresh,
+                                                  const std::string& blob) const {
+  serve::req::Handshake h;
+  h.name = "";  // shard sub-sessions live on each server's default tenant
+  h.shard = k;
+  h.shards = shards_;
+  h.nodes = static_cast<NodeId>(shard_size(k)) + 1;
+  h.generation = generation;
+  h.fresh = fresh;
+  h.blob = blob;
+  h.spec = opts_.spec;
+  h.inner_tol = sharded_.inner_tol;
+  h.inner_max_iters = sharded_.inner_max_iters;
+  h.inner_jacobi_iters = sharded_.inner_jacobi_iters;
+  return h;
+}
+
+void DistributedSession::install_recovery(int k) {
+  rpc_[static_cast<std::size_t>(k)]->set_recover([this, k]() -> serve::Request {
+    // The mirror is the source of truth: rebuild the shard's grounded
+    // block from it and hand the (possibly restarted) server a *fresh*
+    // handshake at a bumped generation. Bumping defeats the handshake's
+    // idempotence on purpose — after a connection loss the shard may have
+    // missed a half-delivered fan-out, so "same generation, keep your
+    // state" would be a silent divergence.
+    const std::string blob = opts_.dir + "/ingrass-recover.shard" + std::to_string(k);
+    save_checkpoint(blob, SessionCheckpoint{build_shard_graph(k),
+                                            Graph(static_cast<NodeId>(shard_size(k)) + 1),
+                                            SessionCounters{}});
+    coord_metrics().recoveries.inc();
+    generation_ += 1;
+    return make_handshake(k, generation_, true, blob);
+  });
+}
+
+std::vector<std::vector<serve::Response>> DistributedSession::drain_all(
+    double deadline_seconds) {
+  std::vector<std::vector<serve::Response>> out(static_cast<std::size_t>(shards_));
+  std::optional<serve::ShardOpError> first;
+  for (int k = 0; k < shards_; ++k) {
+    auto& rpc = *rpc_[static_cast<std::size_t>(k)];
+    while (rpc.inflight() > 0) {
+      try {
+        out[static_cast<std::size_t>(k)].push_back(rpc.finish(deadline_seconds));
+      } catch (const serve::ShardOpError& e) {
+        // Whether the failure was the wire or a typed refusal, this
+        // shard's fan-out did not land while the mirror's copy did — kill
+        // the connection so the next RPC recovers it fresh from the
+        // mirror instead of serving from diverged state.
+        rpc.mark_dead();
+        if (!first) first = e;
+        break;
+      }
+    }
+  }
+  if (first) throw *first;
+  return out;
+}
+
+ApplyResult DistributedSession::apply(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeId n = num_nodes();
+  for (const auto& [u, v] : batch.removals) {
+    if (u < 0 || u >= n || v < 0 || v >= n)
+      throw std::invalid_argument("removal endpoint out of range");
+    if (u == v) throw std::invalid_argument("self-loop removal");
+  }
+  for (const Edge& e : batch.inserts) {
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n)
+      throw std::invalid_argument("insert endpoint out of range");
+    if (e.u == e.v) throw std::invalid_argument("self-loop insert");
+    if (!(e.w > 0.0)) throw std::invalid_argument("insert weight must be > 0");
+  }
+
+  // Mirror first (the batch is never lost), routing as we go.
+  struct Routed {
+    std::vector<serve::req::CouplingRec> inserts;
+    std::vector<std::pair<NodeId, NodeId>> removals;
+  };
+  std::vector<Routed> routed(static_cast<std::size_t>(shards_));
+  std::set<NodeId> reground;
+  EdgeId cross_removed = 0;
+  bool mutated = false;
+  for (const auto& [u, v] : batch.removals) {
+    const int su = shard_of_[static_cast<std::size_t>(u)];
+    const int sv = shard_of_[static_cast<std::size_t>(v)];
+    if (su == sv) {
+      const EdgeId e = g_.find_edge(u, v);
+      if (e == kInvalidEdge) continue;
+      g_.remove_edge(e);
+      routed[static_cast<std::size_t>(su)].removals.emplace_back(
+          local_id_[static_cast<std::size_t>(u)], local_id_[static_cast<std::size_t>(v)]);
+    } else {
+      const EdgeId eb = boundary_.find_edge(u, v);
+      if (eb == kInvalidEdge) continue;
+      boundary_.remove_edge(eb);
+      const EdgeId eg = g_.find_edge(u, v);
+      if (eg != kInvalidEdge) g_.remove_edge(eg);
+      ++cross_removed;
+      reground.insert(u);
+      reground.insert(v);
+    }
+    mutated = true;
+  }
+  for (const Edge& e : batch.inserts) {
+    g_.add_or_merge_edge(e.u, e.v, e.w);
+    const int su = shard_of_[static_cast<std::size_t>(e.u)];
+    const int sv = shard_of_[static_cast<std::size_t>(e.v)];
+    if (su == sv) {
+      routed[static_cast<std::size_t>(su)].inserts.push_back(serve::req::CouplingRec{
+          local_id_[static_cast<std::size_t>(e.u)], local_id_[static_cast<std::size_t>(e.v)],
+          e.w});
+    } else {
+      boundary_.add_or_merge_edge(e.u, e.v, e.w);
+      reground.insert(e.u);
+      reground.insert(e.v);
+    }
+    mutated = true;
+  }
+  std::vector<std::vector<serve::req::CouplingRec>> couplings(
+      static_cast<std::size_t>(shards_));
+  for (const NodeId u : reground) {
+    const int k = shard_of_[static_cast<std::size_t>(u)];
+    couplings[static_cast<std::size_t>(k)].push_back(
+        serve::req::CouplingRec{local_id_[static_cast<std::size_t>(u)], ground_of(k),
+                                boundary_.weighted_degree(u)});
+    ++coupling_updates_;
+  }
+  if (mutated) csr_dirty_ = true;
+
+  // Fan out, pipelined per shard: coupling reweights land before the
+  // routed records, exactly like the in-process dispatcher's ordering. A
+  // start() failure (dead shard noticed at send time) must not abort the
+  // loop: the shards already in flight get drained below regardless, so a
+  // failure cannot leave stray responses that would desynchronize the
+  // next fan-out on healthy connections.
+  std::optional<serve::ShardOpError> start_error;
+  for (int k = 0; k < shards_; ++k) {
+    auto& rpc = *rpc_[static_cast<std::size_t>(k)];
+    const auto ks = static_cast<std::size_t>(k);
+    try {
+      if (!couplings[ks].empty())
+        rpc.start(serve::req::CouplingUpdate{"", std::move(couplings[ks])});
+      if (!routed[ks].inserts.empty() || !routed[ks].removals.empty())
+        rpc.start(serve::req::ShardApply{"", std::move(routed[ks].inserts),
+                                         std::move(routed[ks].removals)});
+    } catch (const serve::ShardOpError& e) {
+      if (!start_error) start_error = e;
+    }
+  }
+  const auto responses = drain_all(opts_.rpc_deadline);
+  if (start_error) throw *start_error;
+
+  ApplyResult out;
+  out.removed = cross_removed;
+  for (const auto& per_shard : responses) {
+    for (const serve::Response& response : per_shard) {
+      const auto& a = expect<serve::resp::Applied>(response, "shard fan-out");
+      out.stats.inserted += static_cast<EdgeId>(a.inserted);
+      out.stats.merged += static_cast<EdgeId>(a.merged);
+      out.stats.redistributed += static_cast<EdgeId>(a.redistributed);
+      out.stats.reinforced += static_cast<EdgeId>(a.reinforced);
+      out.removed += a.removed;
+      out.ghost_removals += a.ghosts;
+      out.staleness = std::max(out.staleness, a.staleness);
+      out.rebuild_triggered = out.rebuild_triggered || a.rebuild;
+    }
+  }
+  return out;
+}
+
+void DistributedSession::rebuild_csr_locked() {
+  if (!refresh_csr_weights(g_, csr_g_)) csr_g_ = build_csr(g_);
+  rebuild_coarse_locked();
+  csr_dirty_ = false;
+}
+
+void DistributedSession::rebuild_coarse_locked() {
+  const int k = shards_;
+  const auto kk = static_cast<std::size_t>(k);
+  std::vector<double> a(kk * kk, 0.0);
+  for (const Edge& e : boundary_.edges()) {
+    const auto su = static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(e.u)]);
+    const auto sv = static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(e.v)]);
+    a[su * kk + su] += e.w;
+    a[sv * kk + sv] += e.w;
+    a[su * kk + sv] -= e.w;
+    a[sv * kk + su] -= e.w;
+  }
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < kk; ++i) max_diag = std::max(max_diag, a[i * kk + i]);
+  if (!(max_diag > 0.0)) max_diag = 1.0;
+  // Shift the rank-deficient quotient Laplacian off its null space (the
+  // constant vector) and ridge the diagonal, as the in-process
+  // dispatcher's coarse factorization does.
+  const double shift = max_diag / static_cast<double>(k);
+  for (double& v : a) v += shift;
+  const double ridge = 1e-12 * max_diag;
+  for (std::size_t i = 0; i < kk; ++i) a[i * kk + i] += ridge;
+  for (std::size_t i = 0; i < kk; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * kk + j];
+      for (std::size_t m = 0; m < j; ++m) sum -= a[i * kk + m] * a[j * kk + m];
+      if (i == j) {
+        a[i * kk + j] = std::sqrt(std::max(sum, ridge));
+      } else {
+        a[i * kk + j] = sum / a[j * kk + j];
+      }
+    }
+  }
+  coarse_chol_ = std::move(a);
+}
+
+void DistributedSession::coarse_solve(std::vector<double>& rc) const {
+  const auto kk = static_cast<std::size_t>(shards_);
+  for (std::size_t i = 0; i < kk; ++i) {
+    double sum = rc[i];
+    for (std::size_t m = 0; m < i; ++m) sum -= coarse_chol_[i * kk + m] * rc[m];
+    rc[i] = sum / coarse_chol_[i * kk + i];
+  }
+  for (std::size_t i = kk; i-- > 0;) {
+    double sum = rc[i];
+    for (std::size_t m = i + 1; m < kk; ++m) sum -= coarse_chol_[m * kk + i] * rc[m];
+    rc[i] = sum / coarse_chol_[i * kk + i];
+  }
+  double mean = 0.0;
+  for (const double v : rc) mean += v;
+  mean /= static_cast<double>(kk);
+  for (double& v : rc) v -= mean;
+}
+
+void DistributedSession::precondition_locked(const std::vector<double>& r,
+                                             std::vector<double>& z) {
+  // Start the K grounded block solves (balanced restriction, ground slot
+  // last), keeping each shard's RHS around for the sequential retry path.
+  std::vector<std::vector<double>> rhs(static_cast<std::size_t>(shards_));
+  std::vector<bool> started(static_cast<std::size_t>(shards_), false);
+  for (int k = 0; k < shards_; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const auto& mem = members_[ks];
+    const std::size_t nk = mem.size();
+    std::vector<double>& rk = rhs[ks];
+    rk.resize(nk + 1);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < nk; ++i) {
+      rk[i] = r[static_cast<std::size_t>(mem[i])];
+      sum += rk[i];
+    }
+    rk[nk] = -sum;
+    try {
+      rpc_[ks]->start(serve::req::BlockSolve{"", rk});
+      started[ks] = true;
+    } catch (const serve::ShardOpError&) {
+      // Recovered and retried below, after the healthy shards are in
+      // flight.
+    }
+  }
+
+  // The coarse shard-quotient correction rides inside the fan-out's
+  // network latency.
+  std::vector<double> rc(static_cast<std::size_t>(shards_), 0.0);
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    rc[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(u)])] +=
+        r[static_cast<std::size_t>(u)];
+  coarse_solve(rc);
+
+  fill(z, 0.0);
+  const auto add_block = [&](int k, const serve::resp::BlockSolved& bs) {
+    const auto ks = static_cast<std::size_t>(k);
+    const auto& mem = members_[ks];
+    const std::size_t nk = mem.size();
+    if (bs.x.size() != nk + 1)
+      throw serve::ShardOpError(serve::resp::ShardErrorCode::kInternal,
+                                "block solve answered with a wrong-size vector");
+    const double ground = bs.x[nk];
+    for (std::size_t i = 0; i < nk; ++i)
+      z[static_cast<std::size_t>(mem[i])] += bs.x[i] - ground;
+  };
+  std::vector<int> failed;
+  for (int k = 0; k < shards_; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    if (!started[ks]) {
+      failed.push_back(k);
+      continue;
+    }
+    try {
+      const serve::Response response = rpc_[ks]->finish(opts_.rpc_deadline);
+      add_block(k, expect<serve::resp::BlockSolved>(response, "block-solve"));
+    } catch (const serve::ShardOpError&) {
+      rpc_[ks]->mark_dead();
+      failed.push_back(k);
+    }
+  }
+  // Failed shards retry through call(): reconnect, recovery handshake
+  // from the mirror, bounded backoff. A shard that still fails after that
+  // fails the solve with its typed cause.
+  for (const int k : failed) {
+    const auto ks = static_cast<std::size_t>(k);
+    const serve::Response response =
+        rpc_[ks]->call(serve::req::BlockSolve{"", rhs[ks]}, opts_.rpc_deadline);
+    add_block(k, expect<serve::resp::BlockSolved>(response, "block-solve"));
+  }
+
+  // Additive coarse level.
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    z[static_cast<std::size_t>(u)] +=
+        rc[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(u)])];
+  project_out_ones(z);
+}
+
+SparsifierSolver::Result DistributedSession::solve_locked(std::span<const double> b,
+                                                          std::span<double> x) {
+  const auto n = static_cast<std::size_t>(num_nodes());
+  if (b.size() != n || x.size() != n)
+    throw std::invalid_argument("solve vectors must match the node count");
+  if (csr_dirty_) rebuild_csr_locked();
+  ++solves_;
+  const LinOp apply_g = laplacian_operator(csr_g_);
+  const double tol = sharded_.session.solver.outer_tol;
+
+  SparsifierSolver::Result res;
+  Vec rhs(b.begin(), b.end());
+  project_out_ones(rhs);
+  const double bnorm = norm2(rhs);
+  if (!(bnorm > 0.0)) {
+    fill(x, 0.0);
+    res.converged = true;
+    return res;
+  }
+  Vec xv(x.begin(), x.end());
+  project_out_ones(xv);
+  Vec r(n), z(n), z_prev(n), p(n), ap(n);
+  apply_g(xv, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - r[i];
+  project_out_ones(r);
+  precondition_locked(r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+  // Flexible CG (Polak-Ribiere beta): the preconditioner varies per
+  // iteration — remote block solves run to a loose tolerance from
+  // whatever state each shard's sparsifier is in.
+  for (int it = 0; it < sharded_.max_outer_iters; ++it) {
+    res.outer_iterations = it;
+    res.relative_residual = norm2(r) / bnorm;
+    if (res.relative_residual <= tol) {
+      res.converged = true;
+      break;
+    }
+    apply_g(p, ap);
+    project_out_ones(ap);
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) break;  // numerical breakdown; report what we have
+    const double alpha = rz / pap;
+    axpy(alpha, p, xv);
+    copy(z, z_prev);
+    axpy(-alpha, ap, r);
+    precondition_locked(r, z);
+    double num = 0.0;
+    for (std::size_t i = 0; i < n; ++i) num += r[i] * (z[i] - z_prev[i]);
+    const double beta = std::max(0.0, num / rz);
+    rz = dot(r, z);
+    xpby(z, beta, p);
+  }
+  project_out_ones(xv);
+  copy(xv, x);
+  return res;
+}
+
+SparsifierSolver::Result DistributedSession::solve(std::span<const double> b,
+                                                   std::span<double> x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return solve_locked(b, x);
+}
+
+serve::ServingMetrics DistributedSession::fetch_shard_metrics_locked(int k) const {
+  const serve::Response response =
+      rpc_[static_cast<std::size_t>(k)]->call(serve::req::Metrics{""}, opts_.rpc_deadline);
+  return expect<serve::resp::MetricsOut>(response, "metrics").metrics;
+}
+
+serve::ServingMetrics DistributedSession::serving_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  serve::ServingMetrics m;
+  m.sharded = true;
+  m.nodes = num_nodes();
+  m.g_edges = g_.num_edges();
+  m.target_condition = opts_.spec.resolved_target();
+  m.shards = shards_;
+  m.boundary_edges = boundary_.num_edges();
+  for (const Edge& e : boundary_.edges()) m.boundary_weight += e.w;
+  m.global_solves = solves_;
+  m.coupling_updates = coupling_updates_;
+  for (int k = 0; k < shards_; ++k) {
+    const serve::ServingMetrics s = fetch_shard_metrics_locked(k);
+    m.h_edges += s.h_edges;
+    m.staleness = std::max(m.staleness, s.staleness);
+    m.rebuild_in_flight = m.rebuild_in_flight || s.rebuild_in_flight;
+    accumulate(m.counters, s.counters);
+  }
+  return m;
+}
+
+SessionMetrics DistributedSession::shard_metrics(int k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (k < 0 || k >= shards_) throw std::invalid_argument("shard index out of range");
+  const serve::ServingMetrics s = fetch_shard_metrics_locked(k);
+  SessionMetrics out;
+  out.nodes = s.nodes;
+  out.g_edges = s.g_edges;
+  out.h_edges = s.h_edges;
+  out.target_condition = s.target_condition;
+  out.staleness = s.staleness;
+  out.rebuild_in_flight = s.rebuild_in_flight;
+  out.counters = s.counters;
+  return out;
+}
+
+double DistributedSession::settled_kappa() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Wait out in-flight rebuilds (bounded — kappa is a diagnostic, a
+  // wedged shard should fail loudly rather than hang the caller).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(300);
+  for (;;) {
+    bool rebuilding = false;
+    for (int k = 0; k < shards_ && !rebuilding; ++k)
+      rebuilding = fetch_shard_metrics_locked(k).rebuild_in_flight;
+    if (!rebuilding) break;
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("timed out waiting for shard rebuilds to settle");
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  // Pull each shard's settled sparsifier via a same-generation checkpoint
+  // and stitch the global H exactly like the in-process dispatcher.
+  const std::string tag = checkpoint_name_tag();
+  std::vector<std::string> blobs;
+  blobs.reserve(static_cast<std::size_t>(shards_));
+  for (int k = 0; k < shards_; ++k)
+    blobs.push_back(opts_.dir + "/ingrass-kappa" + tag + ".shard" + std::to_string(k));
+  Graph h(num_nodes());
+  try {
+    for (int k = 0; k < shards_; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      const serve::Response response = rpc_[ks]->call(
+          serve::req::ShardCheckpoint{"", blobs[ks], generation_}, opts_.handshake_deadline);
+      (void)expect<serve::resp::Checkpointed>(response, "shard-checkpoint");
+    }
+    for (int k = 0; k < shards_; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      const auto& mem = members_[ks];
+      const NodeId ground = ground_of(k);
+      const SessionCheckpoint ck = load_checkpoint(blobs[ks]);
+      for (const Edge& e : ck.h.edges()) {
+        if (e.u == ground || e.v == ground) continue;
+        h.add_or_merge_edge(mem[static_cast<std::size_t>(e.u)],
+                            mem[static_cast<std::size_t>(e.v)], e.w);
+      }
+    }
+  } catch (...) {
+    for (const std::string& blob : blobs) std::remove(blob.c_str());
+    throw;
+  }
+  for (const std::string& blob : blobs) std::remove(blob.c_str());
+  for (const Edge& e : boundary_.edges()) h.add_or_merge_edge(e.u, e.v, e.w);
+  return condition_number(g_, h);
+}
+
+void DistributedSession::checkpoint(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bump before the fan-out (never after): a recovery handshake inside a
+  // retry below bumps generation_ again, and the counter must stay
+  // monotone — re-using a generation a server already hosts would make
+  // the handshake's idempotence ack diverged state.
+  const std::uint64_t gen = ++generation_;
+  const auto [dir, base] = split_path(path);
+  const std::string tag = checkpoint_name_tag();
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(shards_));
+  for (int k = 0; k < shards_; ++k)
+    names.push_back(base + tag + ".shard" + std::to_string(k));
+
+  // Stale blobs of the generation this one supersedes, collected before
+  // the rename clobbers the old manifest.
+  std::vector<std::string> stale;
+  try {
+    stale = load_dist_manifest(path).base.shard_files;
+  } catch (const std::exception&) {
+    // First checkpoint at this path (or an unreadable one) — nothing to GC.
+  }
+
+  // Every shard writes its own blob; the manifest rename below is the
+  // fleet-wide commit point, so a failure here leaves the previous
+  // generation fully intact. Pipelined, with failures retried through
+  // call()'s recovery path (shard-checkpoint is idempotent per
+  // generation).
+  for (int k = 0; k < shards_; ++k) {
+    try {
+      rpc_[static_cast<std::size_t>(k)]->start(serve::req::ShardCheckpoint{
+          "", dir + names[static_cast<std::size_t>(k)], gen});
+    } catch (const serve::ShardOpError&) {
+      // Its finish() below fails on the empty pipeline and the shard
+      // joins the call()-with-recovery retry pass.
+    }
+  }
+  std::vector<int> failed;
+  for (int k = 0; k < shards_; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    try {
+      (void)expect<serve::resp::Checkpointed>(rpc_[ks]->finish(opts_.handshake_deadline),
+                                              "shard-checkpoint");
+    } catch (const serve::ShardOpError&) {
+      rpc_[ks]->mark_dead();
+      failed.push_back(k);
+    }
+  }
+  for (const int k : failed) {
+    const auto ks = static_cast<std::size_t>(k);
+    (void)expect<serve::resp::Checkpointed>(
+        rpc_[ks]->call(serve::req::ShardCheckpoint{"", dir + names[ks], gen},
+                       opts_.handshake_deadline),
+        "shard-checkpoint");
+  }
+
+  DistManifest m;
+  m.base.shards = shards_;
+  m.base.num_nodes = num_nodes();
+  m.base.shard_of = shard_of_;
+  m.base.boundary = boundary_;
+  m.base.shard_files = names;
+  m.generation = gen;
+  m.endpoints = endpoints_;
+  save_dist_manifest(path, m);
+  for (const std::string& s : stale) {
+    if (std::find(names.begin(), names.end(), s) == names.end())
+      std::remove((dir + s).c_str());
+  }
+}
+
+std::uint64_t DistributedSession::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+}  // namespace ingrass::dist

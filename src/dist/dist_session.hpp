@@ -1,0 +1,215 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dist/remote_shard.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serving.hpp"
+#include "serve/session.hpp"
+#include "serve/shard_dispatcher.hpp"
+#include "spectral/laplacian.hpp"
+
+/// @file
+/// The distributed serving coordinator: the sharded dispatcher's
+/// partition/boundary/solve machinery re-hosted over RPC, with each
+/// shard's SparsifierSession living in a remote `ingrass_serve
+/// --shard-server` process.
+
+namespace ingrass::dist {
+
+/// Policy knobs for a distributed coordinator session.
+struct DistOptions {
+  /// Per-shard session policy, forwarded verbatim in every handshake (the
+  /// shard server materializes its own SessionOptions from it, exactly as
+  /// the coordinator materializes the solve tolerances below).
+  serve::SessionSpec spec;
+  /// How vertices are assigned to shards (fresh sessions only; a restore
+  /// takes the partition from the manifest).
+  PartitionStrategy partition = PartitionStrategy::kGreedy;
+  /// Scratch directory (a filesystem shared with the shard servers) for
+  /// handshake and recovery blobs.
+  std::string dir = ".";
+  /// RPC policy (see RemoteShardOptions).
+  double connect_timeout = 10.0;
+  double handshake_deadline = 120.0;
+  /// Per-RPC deadline for steady-state verbs (block solves, applies,
+  /// metrics, checkpoints).
+  double rpc_deadline = 60.0;
+  int retries = 2;
+  int backoff_ms = 50;
+};
+
+/// A K-shard serving session whose shards are *remote*: the coordinator
+/// owns the partition, the boundary graph of cut edges, a full mirror of
+/// the global graph G, and one persistent RPC connection per shard server
+/// (dist/remote_shard.hpp). The sharding model is exactly
+/// ShardedSession's — grounded augmented subgraphs, boundary coupling
+/// folded into per-shard ground edges — so a distributed solve meets the
+/// same tolerance on the same global Laplacian; only the transport under
+/// the block solves changes.
+///
+/// Solving runs flexible CG on the exact global Laplacian (local CSR
+/// mirror), preconditioned by an *additive* two-level pass per iteration:
+/// the K grounded block solves are started as pipelined block-solve RPCs,
+/// the coarse shard-quotient correction is computed locally while those
+/// RPCs are in flight, and the pieces are summed as the responses land —
+/// so the coarse level rides entirely inside the fan-out's network
+/// latency.
+///
+/// Fault tolerance. The mirror makes the coordinator the source of truth
+/// for G: every apply updates the mirror *first*, then fans out. A shard
+/// RPC that fails marks that connection dead and surfaces a typed
+/// serve::ShardOpError (an apply is never silently half-landed); the next
+/// RPC to that shard reconnects and re-handshakes it *fresh* from a blob
+/// rebuilt out of the mirror, so a shard-server restart costs one GRASS
+/// rebuild on that shard and nothing else — no global rebuild, no lost
+/// updates, no wedged coordinator. (The restarted shard's lifetime
+/// counters restart with it; the graphs do not.)
+///
+/// Checkpointing writes a v3 distributed manifest: each shard server
+/// writes its own v1 blob (shard-checkpoint verb) onto the shared
+/// filesystem, and the coordinator commits the generation by atomically
+/// renaming the manifest only after every shard acknowledged.
+///
+/// Thread safety: one internal mutex serializes every member — remote
+/// connections are stateful pipelines, so overlapping fan-outs would
+/// interleave frames. The serve::Engine's per-tenant gate already
+/// serializes commands; concurrent solves on one distributed tenant queue
+/// here instead of corrupting the wire.
+class DistributedSession : public serve::Session {
+ public:
+  /// Fresh fleet: partition g across endpoints.size() shards, write one
+  /// handshake blob per shard under opts.dir, and handshake every shard
+  /// server in parallel (each runs GRASS on its block). Requires a
+  /// connected graph and 2 <= shards <= num_nodes.
+  DistributedSession(Graph g, std::vector<std::string> endpoints,
+                     const DistOptions& opts);
+
+  /// Resume a fleet from a v3 manifest: the mirror is reassembled locally
+  /// from the shard blobs, and every endpoint is re-handshaken with its
+  /// blob (restore semantics — no GRASS pass).
+  [[nodiscard]] static std::unique_ptr<DistributedSession> restore(
+      const std::string& manifest_path, const DistOptions& opts);
+
+  /// Best-effort `close` to every connected shard server.
+  ~DistributedSession() override;
+
+  DistributedSession(const DistributedSession&) = delete;
+  DistributedSession& operator=(const DistributedSession&) = delete;
+
+  /// Apply one batch of global-id records: mirror first, then routed
+  /// coupling-update / shard-apply fan-outs. Throws serve::ShardOpError
+  /// when a shard fan-out fails (the mirror keeps the batch; the failed
+  /// shard recovers on its next RPC).
+  ApplyResult apply(const UpdateBatch& batch) override;
+
+  /// Solve L_G x = b on the global graph to the configured tolerance.
+  /// A shard that fails its block solve is recovered (reconnect +
+  /// fresh handshake from the mirror) and retried within the same
+  /// iteration.
+  SparsifierSolver::Result solve(std::span<const double> b,
+                                 std::span<double> x) override;
+
+  /// Aggregate metrics: mirror-side fields locally, per-shard fields via
+  /// a metrics RPC fan-out.
+  [[nodiscard]] serve::ServingMetrics serving_metrics() const override;
+
+  /// Waits out every shard's in-flight rebuild (polling metrics RPCs),
+  /// then measures kappa(L_G, L_H) against the stitched global
+  /// sparsifier pulled from shard checkpoints. Expensive — diagnostics.
+  [[nodiscard]] double settled_kappa() override;
+
+  /// Fleet checkpoint: shard-checkpoint fan-out, then the v3 manifest's
+  /// atomic rename as the commit point (class comment).
+  void checkpoint(const std::string& path) const override;
+
+  [[nodiscard]] NodeId num_nodes() const override {
+    return static_cast<NodeId>(shard_of_.size());
+  }
+  [[nodiscard]] const SessionOptions& session_options() const override {
+    return sharded_.session;
+  }
+  [[nodiscard]] int num_shards() const override { return shards_; }
+
+  /// One shard's metrics via a metrics RPC.
+  [[nodiscard]] SessionMetrics shard_metrics(int k) const override;
+
+  /// The endpoints this coordinator drives, in shard order.
+  [[nodiscard]] const std::vector<std::string>& endpoints() const {
+    return endpoints_;
+  }
+  /// Current fleet checkpoint/handshake generation.
+  [[nodiscard]] std::uint64_t generation() const;
+
+ private:
+  DistributedSession(ShardManifest manifest, std::vector<std::string> endpoints,
+                     std::uint64_t generation, const DistOptions& opts);
+
+  [[nodiscard]] std::size_t shard_size(int k) const {
+    return members_[static_cast<std::size_t>(k)].size();
+  }
+  /// Ground-node local id of shard k (== its real-vertex count).
+  [[nodiscard]] NodeId ground_of(int k) const {
+    return static_cast<NodeId>(shard_size(k));
+  }
+  void init_maps();
+  /// Build shard k's grounded augmented subgraph from the mirror.
+  [[nodiscard]] Graph build_shard_graph(int k) const;
+  /// The handshake request that (re)binds shard k at `generation` from
+  /// `blob` (fresh => the server runs GRASS on the blob's graph).
+  [[nodiscard]] serve::Request make_handshake(int k, std::uint64_t generation,
+                                              bool fresh,
+                                              const std::string& blob) const;
+  /// Install shard k's recovery hook: write a fresh blob from the mirror
+  /// and re-handshake at a bumped generation.
+  void install_recovery(int k);
+  /// Read every pending response off every shard (so a failure cannot
+  /// leave stray frames that would desynchronize later RPCs), collecting
+  /// responses per shard in send order. Throws the first failure *after*
+  /// the drain, with the failing shards marked dead.
+  [[nodiscard]] std::vector<std::vector<serve::Response>> drain_all(
+      double deadline_seconds);
+  void rebuild_csr_locked();
+  void rebuild_coarse_locked();
+  void coarse_solve(std::vector<double>& rc) const;
+  [[nodiscard]] SparsifierSolver::Result solve_locked(std::span<const double> b,
+                                                      std::span<double> x);
+  /// One additive two-level preconditioner application: z := M^{-1} r.
+  void precondition_locked(const std::vector<double>& r, std::vector<double>& z);
+  /// Metrics RPC to shard k (caller holds mu_).
+  [[nodiscard]] serve::ServingMetrics fetch_shard_metrics_locked(int k) const;
+
+  DistOptions opts_;
+  ShardedOptions sharded_;  // spec materialized once (solve tolerances)
+  int shards_ = 0;
+  std::vector<std::string> endpoints_;
+
+  /// One big lock (class comment): RPC connections are stateful pipelines.
+  mutable std::mutex mu_;
+
+  std::vector<NodeId> shard_of_;              // global node -> shard
+  std::vector<NodeId> local_id_;              // global node -> local id
+  std::vector<std::vector<NodeId>> members_;  // shard -> local id -> global
+  mutable std::vector<std::unique_ptr<RemoteShard>> rpc_;  // one per shard
+
+  Graph g_;         // full mirror of the global graph (source of truth)
+  Graph boundary_;  // cut edges, global ids
+  CsrAdjacency csr_g_;
+  bool csr_dirty_ = true;
+  /// Cholesky factor of the regularized shard-quotient Laplacian (K x K,
+  /// row-major lower triangle) — the coarse level of the preconditioner.
+  std::vector<double> coarse_chol_;
+
+  mutable std::uint64_t generation_ = 1;  // bumped per checkpoint/recovery
+  std::uint64_t coupling_updates_ = 0;
+  mutable std::uint64_t solves_ = 0;
+};
+
+}  // namespace ingrass::dist

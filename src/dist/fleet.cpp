@@ -1,0 +1,98 @@
+#include "dist/fleet.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "serve/transport.hpp"
+
+namespace ingrass::dist {
+
+namespace {
+
+serve::EngineOptions shard_server_options() {
+  serve::EngineOptions opts;
+  opts.shard_server = true;
+  return opts;
+}
+
+}  // namespace
+
+LocalFleet::LocalFleet(int shards, std::string dir) : dir_(std::move(dir)) {
+  if (shards < 1) throw std::invalid_argument("a fleet needs >= 1 shard server");
+  servers_.resize(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    Server& s = servers_[static_cast<std::size_t>(k)];
+    s.engine = std::make_unique<serve::Engine>(shard_server_options());
+    const std::string port_file = dir_ + "/ingrass-fleet." + std::to_string(::getpid()) +
+                                  "." + std::to_string(k) + ".port";
+    launch(s, 0, port_file);
+  }
+}
+
+LocalFleet::~LocalFleet() {
+  for (int k = 0; k < shards(); ++k) {
+    auto& s = servers_[static_cast<std::size_t>(k)];
+    if (!s.thread.joinable()) continue;
+    try {
+      stop(k);
+    } catch (...) {
+      s.thread.detach();  // beyond reach; don't terminate() on the member
+    }
+  }
+}
+
+void LocalFleet::launch(Server& s, std::uint16_t port, const std::string& port_file) {
+  std::remove(port_file.c_str());
+  serve::TcpOptions topts;
+  topts.port = port;
+  topts.port_file = port_file;
+  s.thread = std::thread(
+      [engine = s.engine.get(), topts] { serve::serve_tcp(*engine, topts); });
+  s.port = serve::wait_for_port_file(port_file);
+  s.running = true;
+  std::remove(port_file.c_str());
+}
+
+std::uint16_t LocalFleet::port(int k) const {
+  return servers_.at(static_cast<std::size_t>(k)).port;
+}
+
+bool LocalFleet::running(int k) const {
+  return servers_.at(static_cast<std::size_t>(k)).running;
+}
+
+std::vector<std::string> LocalFleet::endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const Server& s : servers_)
+    out.push_back("127.0.0.1:" + std::to_string(s.port));
+  return out;
+}
+
+void LocalFleet::stop(int k) {
+  Server& s = servers_.at(static_cast<std::size_t>(k));
+  if (!s.running) return;
+  serve::BinaryCodec codec;
+  serve::TcpClient client(s.port);
+  codec.write_request(client.out(), serve::req::Quit{});
+  client.out().flush();
+  (void)codec.read_response(client.in());
+  s.thread.join();
+  s.running = false;
+  s.engine.reset();  // the shard sub-session dies with its server
+}
+
+void LocalFleet::restart(int k) {
+  Server& s = servers_.at(static_cast<std::size_t>(k));
+  if (s.running) return;
+  s.engine = std::make_unique<serve::Engine>(shard_server_options());
+  const std::string port_file = dir_ + "/ingrass-fleet." + std::to_string(::getpid()) +
+                                "." + std::to_string(k) + ".restart.port";
+  // Same port on purpose (the listener sets SO_REUSEADDR): a restarted
+  // shard server must come back where the manifest's endpoint points.
+  launch(s, s.port, port_file);
+}
+
+}  // namespace ingrass::dist

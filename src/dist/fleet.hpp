@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+/// @file
+/// An in-process fleet of shard servers for tests and benches: one
+/// shard-server Engine + serve_tcp thread per shard on loopback, with
+/// deterministic stop/restart of individual servers for fault injection.
+/// (The multi-process battery lives in tests/smoke/run_serve_dist.sh;
+/// this helper gives unit tests the same topology without forking.)
+
+namespace ingrass::dist {
+
+class LocalFleet {
+ public:
+  /// Launch `shards` shard servers on ephemeral loopback ports
+  /// (rendezvous port files under `dir`, removed once read).
+  LocalFleet(int shards, std::string dir);
+
+  /// Stops every running server (best-effort).
+  ~LocalFleet();
+
+  LocalFleet(const LocalFleet&) = delete;
+  LocalFleet& operator=(const LocalFleet&) = delete;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(servers_.size()); }
+  [[nodiscard]] std::uint16_t port(int k) const;
+  [[nodiscard]] bool running(int k) const;
+  /// "127.0.0.1:<port>" per shard, in shard order.
+  [[nodiscard]] std::vector<std::string> endpoints() const;
+
+  /// Stop shard k's server (quit + join). Its hosted shard sub-session
+  /// dies with the process-equivalent — exactly the failure a coordinator
+  /// must survive.
+  void stop(int k);
+
+  /// Relaunch shard k on the SAME port with a fresh Engine (empty tenant
+  /// map — the coordinator's recovery handshake rebuilds the shard).
+  void restart(int k);
+
+ private:
+  struct Server {
+    std::unique_ptr<serve::Engine> engine;
+    std::thread thread;
+    std::uint16_t port = 0;
+    bool running = false;
+  };
+  /// Start s.engine's serve_tcp thread; `port` 0 binds an ephemeral port.
+  /// Returns once the server is accepting (port-file rendezvous).
+  void launch(Server& s, std::uint16_t port, const std::string& port_file);
+
+  std::string dir_;
+  std::vector<Server> servers_;
+};
+
+}  // namespace ingrass::dist

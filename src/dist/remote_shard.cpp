@@ -1,0 +1,362 @@
+#include "dist/remote_shard.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <variant>
+
+#include "obs/registry.hpp"
+
+namespace ingrass::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deadline helpers: all socket waits are bounded by an absolute deadline
+/// computed once per operation, so a slow peer cannot stretch an RPC by
+/// trickling bytes.
+Clock::time_point deadline_after(double seconds) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(seconds));
+}
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = deadline - Clock::now();
+  if (left <= Clock::duration::zero()) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+  // Round up so a sub-millisecond remainder still polls once.
+  return static_cast<int>(ms) + 1;
+}
+
+/// Verb label for the RPC metrics, derived from the request alternative.
+const char* verb_of(const serve::Request& request) {
+  using namespace serve::req;
+  if (std::holds_alternative<Handshake>(request)) return "handshake";
+  if (std::holds_alternative<BlockSolve>(request)) return "block-solve";
+  if (std::holds_alternative<CouplingUpdate>(request)) return "coupling-update";
+  if (std::holds_alternative<ShardApply>(request)) return "shard-apply";
+  if (std::holds_alternative<ShardCheckpoint>(request)) return "shard-checkpoint";
+  if (std::holds_alternative<Metrics>(request)) return "metrics";
+  if (std::holds_alternative<Close>(request)) return "close";
+  if (std::holds_alternative<Quit>(request)) return "quit";
+  return "other";
+}
+
+/// Coordinator-side RPC metrics, one registration per process.
+struct RpcMetrics {
+  obs::Counter& bytes_out;
+  obs::Counter& bytes_in;
+  obs::Counter& retries;
+  obs::Counter& reconnects;
+  obs::Gauge& inflight;
+
+  RpcMetrics()
+      : bytes_out(obs::registry().counter("ingrass_rpc_bytes_total", {{"dir", "out"}})),
+        bytes_in(obs::registry().counter("ingrass_rpc_bytes_total", {{"dir", "in"}})),
+        retries(obs::registry().counter("ingrass_rpc_retries_total")),
+        reconnects(obs::registry().counter("ingrass_rpc_reconnects_total")),
+        inflight(obs::registry().gauge("ingrass_rpc_inflight")) {}
+
+  obs::Histogram& seconds(const char* verb) {
+    return obs::registry().histogram("ingrass_rpc_seconds", {{"verb", verb}});
+  }
+};
+
+RpcMetrics& rpc_metrics() {
+  static RpcMetrics* m = new RpcMetrics();  // leaked: registry outlives shards
+  return *m;
+}
+
+[[noreturn]] void throw_unavailable(const std::string& what) {
+  throw serve::ShardOpError(serve::resp::ShardErrorCode::kUnavailable, what);
+}
+
+[[noreturn]] void throw_timeout(const std::string& what) {
+  throw serve::ShardOpError(serve::resp::ShardErrorCode::kTimeout, what);
+}
+
+}  // namespace
+
+RemoteShard::RemoteShard(std::string endpoint, RemoteShardOptions opts)
+    : endpoint_(std::move(endpoint)), opts_(opts) {
+  const auto colon = endpoint_.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == endpoint_.size())
+    throw std::invalid_argument("shard endpoint must be host:port, got \"" + endpoint_ + "\"");
+  host_ = endpoint_.substr(0, colon);
+  const std::string port_str = endpoint_.substr(colon + 1);
+  int port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoi(port_str, &used);
+    if (used != port_str.size()) port = -1;
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535)
+    throw std::invalid_argument("shard endpoint has a bad port: \"" + endpoint_ + "\"");
+  port_ = static_cast<std::uint16_t>(port);
+}
+
+RemoteShard::~RemoteShard() { mark_dead(); }
+
+void RemoteShard::mark_dead() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rxbuf_.clear();
+  if (!pending_.empty()) {
+    rpc_metrics().inflight.add(-static_cast<double>(pending_.size()));
+    pending_.clear();
+  }
+}
+
+void RemoteShard::connect_now() {
+  const auto deadline = deadline_after(opts_.connect_timeout);
+  std::string last_error = "connect timed out";
+  // The shard server may be mid-restart: keep dialing until the connect
+  // deadline, the same grace the in-process TcpClient gives a server.
+  for (;;) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int gai = ::getaddrinfo(host_.c_str(), std::to_string(port_).c_str(), &hints, &res);
+    if (gai == 0) {
+      for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (rc != 0 && errno == EINPROGRESS) {
+          pollfd pfd{fd, POLLOUT, 0};
+          const int pr = ::poll(&pfd, 1, remaining_ms(deadline));
+          if (pr > 0) {
+            int soerr = 0;
+            socklen_t len = sizeof(soerr);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+            rc = soerr == 0 ? 0 : -1;
+            if (soerr != 0) errno = soerr;
+          } else {
+            rc = -1;
+            if (pr == 0) errno = ETIMEDOUT;
+          }
+        }
+        if (rc == 0) {
+          int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          ::freeaddrinfo(res);
+          fd_ = fd;
+          return;
+        }
+        last_error = std::string("connect to ") + endpoint_ + " failed: " + std::strerror(errno);
+        ::close(fd);
+      }
+      ::freeaddrinfo(res);
+    } else {
+      last_error = std::string("resolve ") + host_ + " failed: " + ::gai_strerror(gai);
+    }
+    if (remaining_ms(deadline) <= 0) throw_unavailable(last_error);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void RemoteShard::ensure_connected() {
+  if (fd_ >= 0) return;
+  connect_now();
+  rpc_metrics().reconnects.inc();
+  if (recover_ && !recovering_) {
+    // A fresh connection to a (possibly restarted) server: re-handshake
+    // the shard sub-session before anything else flows. The guard keeps
+    // the handshake's own start()/finish() from recursing back here.
+    recovering_ = true;
+    struct Reset {
+      bool& flag;
+      ~Reset() { flag = false; }
+    } reset{recovering_};
+    const serve::Request handshake = recover_();
+    start(handshake);
+    const serve::Response response = finish(opts_.handshake_deadline);
+    if (!std::holds_alternative<serve::resp::ShardHello>(response))
+      throw_unavailable("recovery handshake to " + endpoint_ + " rejected");
+  }
+}
+
+void RemoteShard::send_all(const std::string& bytes, double deadline_seconds) {
+  const auto deadline = deadline_after(deadline_seconds);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int ms = remaining_ms(deadline);
+      if (ms <= 0) {
+        mark_dead();
+        throw_timeout("send to " + endpoint_ + " timed out");
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, ms);
+      if (pr < 0 && errno != EINTR) {
+        mark_dead();
+        throw_unavailable("poll on " + endpoint_ + " failed: " + std::strerror(errno));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const std::string what =
+        std::string("send to ") + endpoint_ + " failed: " + std::strerror(errno);
+    mark_dead();
+    throw_unavailable(what);
+  }
+  rpc_metrics().bytes_out.inc(bytes.size());
+}
+
+std::string RemoteShard::read_frame(double deadline_seconds) {
+  const auto deadline = deadline_after(deadline_seconds);
+  constexpr std::size_t kHeader = 12;  // magic + version + length
+  for (;;) {
+    if (rxbuf_.size() >= kHeader) {
+      const auto le_u32 = [&](std::size_t off) {
+        const auto* p = reinterpret_cast<const unsigned char*>(rxbuf_.data() + off);
+        return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16) |
+               (static_cast<std::uint32_t>(p[3]) << 24);
+      };
+      const std::uint32_t version = le_u32(4);
+      const std::uint32_t length = le_u32(8);
+      if (std::memcmp(rxbuf_.data(), serve::kBinaryFrameMagic, 4) != 0 ||
+          version != serve::kBinaryFrameVersion || length > serve::kMaxFrameBytes) {
+        mark_dead();
+        throw_unavailable("bad frame header from " + endpoint_);
+      }
+      if (rxbuf_.size() >= kHeader + length) {
+        std::string frame = rxbuf_.substr(0, kHeader + length);
+        rxbuf_.erase(0, kHeader + length);
+        return frame;
+      }
+    }
+    const int ms = remaining_ms(deadline);
+    if (ms <= 0) {
+      // Past the deadline the stream's framing is unknowable (a late
+      // response would desynchronize every later RPC), so the connection
+      // is poisoned, not just this call.
+      mark_dead();
+      throw_timeout("response from " + endpoint_ + " timed out");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      mark_dead();
+      throw_unavailable("poll on " + endpoint_ + " failed: " + std::strerror(errno));
+    }
+    if (pr == 0) continue;  // loop re-checks the deadline
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rxbuf_.append(buf, static_cast<std::size_t>(n));
+      rpc_metrics().bytes_in.inc(static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      mark_dead();
+      throw_unavailable("connection to " + endpoint_ + " closed by peer");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    const std::string what =
+        std::string("recv from ") + endpoint_ + " failed: " + std::strerror(errno);
+    mark_dead();
+    throw_unavailable(what);
+  }
+}
+
+serve::Response RemoteShard::read_response(double deadline_seconds) {
+  const std::string frame = read_frame(deadline_seconds);
+  std::istringstream in(frame);
+  std::optional<serve::Response> response;
+  try {
+    response = codec_.read_response(in);
+  } catch (const std::exception& e) {
+    mark_dead();
+    throw_unavailable("bad response from " + endpoint_ + ": " + e.what());
+  }
+  if (!response) {
+    mark_dead();
+    throw_unavailable("empty response frame from " + endpoint_);
+  }
+  return std::move(*response);
+}
+
+void RemoteShard::start(const serve::Request& request) {
+  ensure_connected();
+  std::ostringstream out;
+  codec_.write_request(out, request);
+  send_all(out.str(), opts_.connect_timeout);
+  pending_.push_back(Pending{Clock::now(), verb_of(request)});
+  rpc_metrics().inflight.add(1.0);
+}
+
+serve::Response RemoteShard::finish(double deadline_seconds) {
+  if (pending_.empty())
+    throw serve::ShardOpError(serve::resp::ShardErrorCode::kInternal,
+                              "finish() with no request in flight to " + endpoint_);
+  serve::Response response = [&] {
+    try {
+      return read_response(deadline_seconds);
+    } catch (...) {
+      // mark_dead() already cleared pending_ and the inflight gauge.
+      throw;
+    }
+  }();
+  const Pending sent = pending_.front();
+  pending_.pop_front();
+  rpc_metrics().inflight.add(-1.0);
+  rpc_metrics()
+      .seconds(sent.verb)
+      .observe(std::chrono::duration<double>(Clock::now() - sent.sent).count());
+  // A well-formed shard-err frame leaves the stream in sync — surface it
+  // typed without dropping the connection.
+  if (const auto* err = std::get_if<serve::resp::ShardError>(&response))
+    throw serve::ShardOpError(err->code, err->what);
+  if (const auto* err = std::get_if<serve::resp::Error>(&response))
+    throw serve::ShardOpError(serve::resp::ShardErrorCode::kInternal, err->message);
+  return response;
+}
+
+serve::Response RemoteShard::call(const serve::Request& request, double deadline_seconds) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      start(request);
+      return finish(deadline_seconds);
+    } catch (const serve::ShardOpError& e) {
+      const bool transient = e.code() == serve::resp::ShardErrorCode::kUnavailable ||
+                             e.code() == serve::resp::ShardErrorCode::kTimeout;
+      if (!transient || attempt >= opts_.retries) throw;
+      // kUnavailable from a live stream (e.g. "no session" after a server
+      // restart wiped the tenant) still needs a fresh recovery handshake:
+      // drop the connection so ensure_connected() re-runs it.
+      mark_dead();
+      rpc_metrics().retries.inc();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(opts_.backoff_ms) << attempt));
+    }
+  }
+}
+
+}  // namespace ingrass::dist

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+/// @file
+/// The coordinator's RPC client for one remote shard server: a persistent
+/// binary-protocol connection with request pipelining, per-RPC deadlines,
+/// bounded retry-with-backoff, and a pluggable recovery hook that
+/// re-handshakes the shard after a server restart.
+
+namespace ingrass::dist {
+
+/// Connection and retry policy for one RemoteShard.
+struct RemoteShardOptions {
+  /// Seconds to establish (or re-establish) the TCP connection.
+  double connect_timeout = 10.0;
+  /// Seconds a recovery handshake may take (GRASS runs server-side).
+  double handshake_deadline = 120.0;
+  /// Attempts after the first failure of an idempotent RPC (call() only;
+  /// start()/finish() never retry — the caller owns pipelined recovery).
+  int retries = 2;
+  /// Base backoff before a retry, doubled per attempt.
+  int backoff_ms = 50;
+};
+
+/// One persistent connection to a shard server, speaking the binary
+/// protocol. Two usage shapes:
+///
+///   - call(request, deadline): one round trip with bounded
+///     retry-with-backoff. On a connection failure the socket is re-dialed
+///     and, when a recovery hook is installed, the shard is re-handshaken
+///     before the retry — so a shard-server restart costs one recovery,
+///     not a dead coordinator. Only use for idempotent RPCs.
+///   - start(request) ... finish(deadline): explicit pipelining for
+///     fan-outs — start one RPC per shard, overlap local work, then
+///     collect. No retry: a failure marks the connection dead (buffered
+///     state is discarded) and surfaces as a typed ShardOpError; the next
+///     call() reconnects and recovers.
+///
+/// Every failure path throws serve::ShardOpError with a typed cause
+/// (kUnavailable for connect/IO failures, kTimeout for an expired
+/// deadline, or the code carried by a shard-err response). Not
+/// thread-safe: the owning DistributedSession serializes access.
+class RemoteShard {
+ public:
+  RemoteShard(std::string endpoint, RemoteShardOptions opts);
+  ~RemoteShard();
+
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+
+  /// The "host:port" this client dials.
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+
+  /// Install the recovery hook: invoked after a reconnect to produce the
+  /// handshake request that re-binds the shard sub-session (the
+  /// coordinator writes a fresh blob from its mirror and bumps the
+  /// generation). The returned handshake is sent on the fresh connection
+  /// and must be answered with ShardHello before the original RPC is
+  /// retried.
+  void set_recover(std::function<serve::Request()> fn) { recover_ = std::move(fn); }
+
+  /// One round trip with bounded retry (idempotent RPCs only).
+  serve::Response call(const serve::Request& request, double deadline_seconds);
+
+  /// Pipelining: serialize and send one request (connecting first if
+  /// needed). Responses are collected by finish() in send order.
+  void start(const serve::Request& request);
+
+  /// Read the next pipelined response; `deadline_seconds` bounds the wait.
+  serve::Response finish(double deadline_seconds);
+
+  /// Number of start()ed requests whose responses are still unread.
+  [[nodiscard]] std::size_t inflight() const { return pending_.size(); }
+
+  /// Drop the connection; the next use re-dials (and recovers).
+  void mark_dead();
+
+  /// True when a live socket is held.
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Ensure a live socket, dialing and running the recovery handshake
+  /// (when installed) on a fresh connection.
+  void ensure_connected();
+  void connect_now();
+  void send_all(const std::string& bytes, double deadline_seconds);
+  /// Read exactly one validated binary frame (header + payload bytes).
+  std::string read_frame(double deadline_seconds);
+  serve::Response read_response(double deadline_seconds);
+
+  std::string endpoint_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  RemoteShardOptions opts_;
+  int fd_ = -1;
+  bool recovering_ = false;  // re-entrancy guard for the recovery handshake
+  std::function<serve::Request()> recover_;
+  serve::BinaryCodec codec_;
+  std::string rxbuf_;  // bytes received past the last complete frame
+  /// Send timestamps + verb labels of unanswered pipelined requests, in
+  /// send order (finish() pops the front to record the RPC latency).
+  struct Pending {
+    std::chrono::steady_clock::time_point sent;
+    const char* verb;
+  };
+  std::deque<Pending> pending_;
+};
+
+}  // namespace ingrass::dist

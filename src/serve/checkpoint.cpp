@@ -289,4 +289,120 @@ ShardManifest load_shard_manifest(const std::string& path) {
   return read_shard_manifest(in);
 }
 
+void write_dist_manifest(std::ostream& out, const DistManifest& m) {
+  const ShardManifest& b = m.base;
+  if (b.shards < 2) corrupt("dist manifest: shard count must be >= 2");
+  if (b.num_nodes < 0) corrupt("dist manifest: negative node count");
+  if (b.num_nodes > kMaxCheckpointNodes) {
+    corrupt("dist manifest: graph exceeds the checkpoint node cap (" +
+            std::to_string(b.num_nodes) + " > " +
+            std::to_string(kMaxCheckpointNodes) + ")");
+  }
+  if (b.shard_of.size() != static_cast<std::size_t>(b.num_nodes)) {
+    corrupt("dist manifest: shard_of size does not match node count");
+  }
+  if (b.boundary.num_nodes() != b.num_nodes) {
+    corrupt("dist manifest: boundary graph node count does not match");
+  }
+  if (m.endpoints.size() != static_cast<std::size_t>(b.shards)) {
+    corrupt("dist manifest: endpoint list size does not match shard count");
+  }
+  if (b.shard_files.size() != static_cast<std::size_t>(b.shards)) {
+    corrupt("dist manifest: shard file list size does not match shard count");
+  }
+  out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+  put_u32(out, kDistCheckpointVersion);
+  put_u64(out, m.generation);
+  put_u32(out, static_cast<std::uint32_t>(b.shards));
+  put_i32(out, b.num_nodes);
+  for (const NodeId s : b.shard_of) put_i32(out, s);
+  put_graph(out, b.boundary);
+  for (const std::string& ep : m.endpoints) {
+    if (ep.empty() || ep.size() > 4096) {
+      corrupt("dist manifest: implausible endpoint '" + ep + "'");
+    }
+    put_u32(out, static_cast<std::uint32_t>(ep.size()));
+    out.write(ep.data(), static_cast<std::streamsize>(ep.size()));
+  }
+  for (const std::string& name : b.shard_files) {
+    check_shard_filename(name);
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  if (!out) corrupt("write failed");
+}
+
+DistManifest read_dist_manifest(std::istream& in) {
+  std::array<char, 8> magic;
+  in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  if (in.gcount() != static_cast<std::streamsize>(magic.size()) || magic != kMagic) {
+    corrupt("bad magic (not a session checkpoint)");
+  }
+  const std::uint32_t version = get_u32(in);
+  if (version != kDistCheckpointVersion) {
+    corrupt("unsupported format version " + std::to_string(version) +
+            " (expected a v3 distributed manifest)");
+  }
+  DistManifest m;
+  m.generation = get_u64(in);
+  ShardManifest& b = m.base;
+  const std::uint32_t shards = get_u32(in);
+  if (shards < 2 || shards > (1u << 20)) {
+    corrupt("dist manifest: implausible shard count " + std::to_string(shards));
+  }
+  b.shards = static_cast<int>(shards);
+  b.num_nodes = get_i32(in);
+  if (b.num_nodes < 0) corrupt("dist manifest: negative node count");
+  if (b.num_nodes > kMaxCheckpointNodes) {
+    corrupt("dist manifest: implausible node count " + std::to_string(b.num_nodes));
+  }
+  b.shard_of.resize(static_cast<std::size_t>(b.num_nodes));
+  for (NodeId u = 0; u < b.num_nodes; ++u) {
+    const NodeId s = get_i32(in);
+    if (s < 0 || s >= static_cast<NodeId>(b.shards)) {
+      corrupt("dist manifest: node " + std::to_string(u) + " assigned to shard " +
+              std::to_string(s) + " outside [0, " + std::to_string(b.shards) + ")");
+    }
+    b.shard_of[static_cast<std::size_t>(u)] = s;
+  }
+  b.boundary = get_graph(in, "boundary graph");
+  if (b.boundary.num_nodes() != b.num_nodes) {
+    corrupt("dist manifest: boundary graph node count does not match");
+  }
+  for (std::uint32_t k = 0; k < shards; ++k) {
+    const std::uint32_t len = get_u32(in);
+    if (len == 0 || len > 4096) {
+      corrupt("dist manifest: implausible endpoint length " + std::to_string(len));
+    }
+    std::string ep(len, '\0');
+    in.read(ep.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) corrupt("truncated payload");
+    m.endpoints.push_back(std::move(ep));
+  }
+  for (std::uint32_t k = 0; k < shards; ++k) {
+    const std::uint32_t len = get_u32(in);
+    if (len == 0 || len > 4096) {
+      corrupt("dist manifest: implausible shard filename length " + std::to_string(len));
+    }
+    std::string name(len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(len));
+    if (in.gcount() != static_cast<std::streamsize>(len)) corrupt("truncated payload");
+    check_shard_filename(name);
+    b.shard_files.push_back(std::move(name));
+  }
+  if (in.peek() != std::istream::traits_type::eof()) corrupt("trailing bytes");
+  return m;
+}
+
+void save_dist_manifest(const std::string& path, const DistManifest& m) {
+  atomic_save(path, "dist manifest",
+              [&](std::ostream& out) { write_dist_manifest(out, m); });
+}
+
+DistManifest load_dist_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open dist manifest: " + path);
+  return read_dist_manifest(in);
+}
+
 }  // namespace ingrass

@@ -146,4 +146,45 @@ void save_shard_manifest(const std::string& path, const ShardManifest& m);
 /// Load a v2 manifest file; throws std::runtime_error on corruption.
 [[nodiscard]] ShardManifest load_shard_manifest(const std::string& path);
 
+/// Format version of distributed-fleet manifests (see DistManifest).
+inline constexpr std::uint32_t kDistCheckpointVersion = 3;
+
+/// Manifest of a distributed-session checkpoint (format v3): the v2
+/// payload extended with the fleet generation and one endpoint per shard,
+/// so a restarted coordinator knows which shard servers to re-handshake
+/// and which blob generation to hand each of them:
+///
+///   char[8]   magic "INGRSCKP"
+///   u32       format version (3)
+///   u64       fleet checkpoint generation
+///   u32       shard count K (>= 2)
+///   i32       global node count N
+///   i32[N]    shard_of
+///   graph     boundary graph (v1 graph layout)
+///   K x       length-prefixed endpoint string ("host:port")
+///   K x       length-prefixed shard blob filename (manifest-relative)
+///
+/// Shard blobs are v1 checkpoints of each shard's augmented subgraph,
+/// written *by the shard servers* (shard-checkpoint verb) onto the shared
+/// filesystem; the manifest's atomic rename is the fleet-wide commit
+/// point, exactly like the v2 manifest's.
+struct DistManifest {
+  /// Partition, boundary, and blob names (shards >= 2 for v3).
+  ShardManifest base;
+  /// Fleet checkpoint generation the blobs belong to.
+  std::uint64_t generation = 0;
+  /// One "host:port" per shard, in shard order.
+  std::vector<std::string> endpoints;
+};
+
+/// Serialize a v3 distributed manifest to a stream.
+void write_dist_manifest(std::ostream& out, const DistManifest& m);
+/// Parse a v3 distributed manifest; throws std::runtime_error on corruption.
+[[nodiscard]] DistManifest read_dist_manifest(std::istream& in);
+
+/// Write a v3 manifest to `path` atomically (write temp + rename).
+void save_dist_manifest(const std::string& path, const DistManifest& m);
+/// Load a v3 manifest file; throws std::runtime_error on corruption.
+[[nodiscard]] DistManifest load_dist_manifest(const std::string& path);
+
 }  // namespace ingrass

@@ -11,9 +11,11 @@
 #include <sstream>
 #include <utility>
 
+#include "dist/dist_session.hpp"
 #include "graph/mtx_io.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/wire.hpp"
 #include "util/parse.hpp"
 
@@ -67,6 +69,7 @@ SessionOptions SessionSpec::session_options() const {
   opts.rebuild_staleness_fraction = staleness;
   opts.background_rebuild = !sync;
   opts.enable_rebuild = !no_rebuild;
+  opts.min_rebuild_interval = min_rebuild_interval;
   return opts;
 }
 
@@ -96,6 +99,8 @@ bool consume_session_flag(const std::vector<std::string>& args, std::size_t& i,
     spec.sync = true;
   } else if (flag == "--no-rebuild") {
     spec.no_rebuild = true;
+  } else if (flag == "--min-rebuild-interval") {
+    spec.min_rebuild_interval = parse_double_tok(value(), "--min-rebuild-interval");
   } else {
     return false;
   }
@@ -109,16 +114,17 @@ Codec::~Codec() = default;
 
 namespace {
 
-/// Option tail of the open family: shared session flags, `--name`, and
-/// (sharded commands only) `--partition`.
+/// Option tail of the open family: shared session flags, `--name`,
+/// (sharded commands) `--partition`, and (open-dist) `--dir`.
 struct OpenTail {
   SessionSpec spec;
   std::string name;
   PartitionStrategy partition = PartitionStrategy::kGreedy;
+  std::string dir;
 };
 
 OpenTail parse_open_tail(const std::vector<std::string>& args, std::size_t from,
-                         bool sharded, std::string name) {
+                         bool sharded, std::string name, bool dist = false) {
   OpenTail tail;
   tail.name = std::move(name);
   for (std::size_t i = from; i < args.size(); ++i) {
@@ -144,11 +150,28 @@ OpenTail parse_open_tail(const std::vector<std::string>& args, std::size_t from,
       } else {
         bad_line("bad --partition (want hash or greedy): '" + v + "'");
       }
+    } else if (dist && flag == "--dir") {
+      tail.dir = value();
     } else {
       bad_line("unknown option: " + flag);
     }
   }
   return tail;
+}
+
+/// Split a comma-separated endpoint list ("host:port,host:port,...").
+std::vector<std::string> split_endpoints(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= list.size()) {
+    const std::size_t comma = list.find(',', from);
+    const std::size_t to = comma == std::string::npos ? list.size() : comma;
+    if (to == from) bad_line("empty endpoint in list: '" + list + "'");
+    out.push_back(list.substr(from, to - from));
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return out;
 }
 
 Request parse_command(const std::vector<std::string>& args, std::string name) {
@@ -261,6 +284,132 @@ Request parse_command(const std::vector<std::string>& args, std::string name) {
     }
     return req::Close{args[1]};
   }
+  if (cmd == "open-dist") {
+    if (args.size() < 3) {
+      bad_line("usage: open-dist <g.mtx> <host:port,...> [--dir <d>] [options]");
+    }
+    OpenTail tail = parse_open_tail(args, 3, /*sharded=*/true, std::move(name),
+                                    /*dist=*/true);
+    req::OpenDist r;
+    r.name = std::move(tail.name);
+    r.path = args[1];
+    r.endpoints = split_endpoints(args[2]);
+    r.partition = tail.partition;
+    r.spec = tail.spec;
+    r.dir = std::move(tail.dir);
+    return r;
+  }
+  if (cmd == "restore-dist") {
+    if (args.size() < 2) bad_line("usage: restore-dist <manifest> [options]");
+    OpenTail tail = parse_open_tail(args, 2, /*sharded=*/true, std::move(name));
+    return req::RestoreDist{std::move(tail.name), args[1], tail.spec};
+  }
+  if (cmd == "handshake") {
+    // handshake <shard> <shards> <nodes> <generation> <blob> [--fresh]
+    //   [--inner-tol T] [--inner-iters N] [--inner-jacobi N] [session flags]
+    if (args.size() < 6) {
+      bad_line("usage: handshake <shard> <shards> <nodes> <generation> <blob> [options]");
+    }
+    req::Handshake r;
+    r.name = std::move(name);
+    const long shard = parse_long_tok(args[1], "shard index");
+    const long shards = parse_long_tok(args[2], "shard count");
+    if (shards < 2 || shards > std::numeric_limits<int>::max()) {
+      bad_line("shard count must be >= 2");
+    }
+    if (shard < 0 || shard >= shards) bad_line("shard index out of range");
+    r.shard = static_cast<int>(shard);
+    r.shards = static_cast<int>(shards);
+    r.nodes = parse_node_tok(args[3]);
+    const long generation = parse_long_tok(args[4], "generation");
+    if (generation < 0) bad_line("generation must be non-negative");
+    r.generation = static_cast<std::uint64_t>(generation);
+    r.blob = args[5];
+    for (std::size_t i = 6; i < args.size(); ++i) {
+      if (consume_session_flag(args, i, r.spec)) continue;
+      const std::string& flag = args[i];
+      auto value = [&]() -> const std::string& {
+        if (i + 1 >= args.size()) bad_line("missing value for " + flag);
+        return args[++i];
+      };
+      if (flag == "--fresh") {
+        r.fresh = true;
+      } else if (flag == "--inner-tol") {
+        r.inner_tol = parse_double_tok(value(), "--inner-tol");
+      } else if (flag == "--inner-iters") {
+        const long n = parse_long_tok(value(), "--inner-iters");
+        if (n < 1 || n > std::numeric_limits<int>::max()) bad_line("bad --inner-iters");
+        r.inner_max_iters = static_cast<int>(n);
+      } else if (flag == "--inner-jacobi") {
+        const long n = parse_long_tok(value(), "--inner-jacobi");
+        if (n < 1 || n > std::numeric_limits<int>::max()) bad_line("bad --inner-jacobi");
+        r.inner_jacobi_iters = static_cast<int>(n);
+      } else {
+        bad_line("unknown option: " + flag);
+      }
+    }
+    return r;
+  }
+  if (cmd == "block-solve") {
+    if (args.size() < 2) bad_line("usage: block-solve <v0> [v1 ...]");
+    req::BlockSolve r;
+    r.name = std::move(name);
+    r.rhs.reserve(args.size() - 1);
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      r.rhs.push_back(parse_double_tok(args[i], "rhs value"));
+    }
+    return r;
+  }
+  if (cmd == "coupling-update") {
+    if ((args.size() - 1) % 3 != 0) {
+      bad_line("usage: coupling-update <u> <v> <w> [<u> <v> <w> ...]");
+    }
+    req::CouplingUpdate r;
+    r.name = std::move(name);
+    r.couplings.reserve((args.size() - 1) / 3);
+    for (std::size_t i = 1; i + 2 < args.size(); i += 3) {
+      req::CouplingRec c;
+      c.u = parse_node_tok(args[i]);
+      c.v = parse_node_tok(args[i + 1]);
+      c.w = parse_double_tok(args[i + 2], "coupling weight");
+      r.couplings.push_back(c);
+    }
+    return r;
+  }
+  if (cmd == "shard-apply") {
+    // shard-apply <ni> <nr> then ni (u v w) triples, then nr (u v) pairs.
+    if (args.size() < 3) bad_line("usage: shard-apply <ni> <nr> [records...]");
+    const long ni = parse_long_tok(args[1], "insert count");
+    const long nr = parse_long_tok(args[2], "removal count");
+    if (ni < 0 || nr < 0 ||
+        args.size() != 3 + static_cast<std::size_t>(ni) * 3 +
+                           static_cast<std::size_t>(nr) * 2) {
+      bad_line("shard-apply record count does not match header");
+    }
+    req::ShardApply r;
+    r.name = std::move(name);
+    std::size_t i = 3;
+    r.inserts.reserve(static_cast<std::size_t>(ni));
+    for (long k = 0; k < ni; ++k, i += 3) {
+      req::CouplingRec c;
+      c.u = parse_node_tok(args[i]);
+      c.v = parse_node_tok(args[i + 1]);
+      c.w = parse_double_tok(args[i + 2], "weight");
+      r.inserts.push_back(c);
+    }
+    r.removals.reserve(static_cast<std::size_t>(nr));
+    for (long k = 0; k < nr; ++k, i += 2) {
+      r.removals.emplace_back(parse_node_tok(args[i]), parse_node_tok(args[i + 1]));
+    }
+    return r;
+  }
+  if (cmd == "shard-checkpoint") {
+    if (args.size() != 3) bad_line("usage: shard-checkpoint <generation> <path>");
+    const long generation = parse_long_tok(args[1], "generation");
+    if (generation < 0) bad_line("generation must be non-negative");
+    return req::ShardCheckpoint{std::move(name), args[2],
+                                static_cast<std::uint64_t>(generation)};
+  }
   bad_line("unknown command: " + cmd);
 }
 
@@ -311,6 +460,9 @@ void append_spec(std::string& out, const SessionSpec& spec) {
   }
   if (spec.sync) out += " --sync";
   if (spec.no_rebuild) out += " --no-rebuild";
+  if (spec.min_rebuild_interval != defaults.min_rebuild_interval) {
+    out += " --min-rebuild-interval " + exact_double(spec.min_rebuild_interval);
+  }
 }
 
 std::string request_line(const Request& request) {
@@ -377,6 +529,78 @@ std::string request_line(const Request& request) {
           line += "quit";
         } else if constexpr (std::is_same_v<T, req::Stats>) {
           line += "stats";
+        } else if constexpr (std::is_same_v<T, req::Handshake>) {
+          prefix(r.name);
+          line += "handshake " + std::to_string(r.shard) + " " +
+                  std::to_string(r.shards) + " " + std::to_string(r.nodes) + " " +
+                  std::to_string(r.generation) + " " + r.blob;
+          if (r.fresh) line += " --fresh";
+          const req::Handshake defaults;
+          if (r.inner_tol != defaults.inner_tol) {
+            line += " --inner-tol " + exact_double(r.inner_tol);
+          }
+          if (r.inner_max_iters != defaults.inner_max_iters) {
+            line += " --inner-iters " + std::to_string(r.inner_max_iters);
+          }
+          if (r.inner_jacobi_iters != defaults.inner_jacobi_iters) {
+            line += " --inner-jacobi " + std::to_string(r.inner_jacobi_iters);
+          }
+          append_spec(line, r.spec);
+        } else if constexpr (std::is_same_v<T, req::BlockSolve>) {
+          prefix(r.name);
+          line += "block-solve";
+          for (const double v : r.rhs) {
+            line += ' ';
+            line += exact_double(v);
+          }
+        } else if constexpr (std::is_same_v<T, req::CouplingUpdate>) {
+          prefix(r.name);
+          line += "coupling-update";
+          for (const req::CouplingRec& c : r.couplings) {
+            line += ' ';
+            line += std::to_string(c.u);
+            line += ' ';
+            line += std::to_string(c.v);
+            line += ' ';
+            line += exact_double(c.w);
+          }
+        } else if constexpr (std::is_same_v<T, req::ShardApply>) {
+          prefix(r.name);
+          line += "shard-apply ";
+          line += std::to_string(r.inserts.size());
+          line += ' ';
+          line += std::to_string(r.removals.size());
+          for (const req::CouplingRec& c : r.inserts) {
+            line += ' ';
+            line += std::to_string(c.u);
+            line += ' ';
+            line += std::to_string(c.v);
+            line += ' ';
+            line += exact_double(c.w);
+          }
+          for (const auto& [u, v] : r.removals) {
+            line += ' ';
+            line += std::to_string(u);
+            line += ' ';
+            line += std::to_string(v);
+          }
+        } else if constexpr (std::is_same_v<T, req::ShardCheckpoint>) {
+          prefix(r.name);
+          line += "shard-checkpoint " + std::to_string(r.generation) + " " + r.path;
+        } else if constexpr (std::is_same_v<T, req::OpenDist>) {
+          prefix(r.name);
+          line += "open-dist " + r.path + " ";
+          for (std::size_t i = 0; i < r.endpoints.size(); ++i) {
+            if (i > 0) line += ",";
+            line += r.endpoints[i];
+          }
+          if (!r.dir.empty()) line += " --dir " + r.dir;
+          if (r.partition == PartitionStrategy::kHash) line += " --partition hash";
+          append_spec(line, r.spec);
+        } else if constexpr (std::is_same_v<T, req::RestoreDist>) {
+          prefix(r.name);
+          line += "restore-dist " + r.path;
+          append_spec(line, r.spec);
         }
       },
       request);
@@ -445,6 +669,8 @@ const char* open_verb_name(resp::OpenVerb verb) {
     case resp::OpenVerb::kOpenSharded: return "open-sharded";
     case resp::OpenVerb::kRestore: return "restore";
     case resp::OpenVerb::kRestoreSharded: return "restore-sharded";
+    case resp::OpenVerb::kOpenDist: return "open-dist";
+    case resp::OpenVerb::kRestoreDist: return "restore-dist";
   }
   return "open";
 }
@@ -551,6 +777,23 @@ std::string response_line(const Response& response) {
             line += '\n';
             append_stat_point(line, p);
           }
+        } else if constexpr (std::is_same_v<T, resp::ShardHello>) {
+          std::snprintf(buf, sizeof buf, "ok handshake shard=%d generation=%llu nodes=%d",
+                        r.shard, static_cast<unsigned long long>(r.generation), r.nodes);
+          line = buf;
+        } else if constexpr (std::is_same_v<T, resp::BlockSolved>) {
+          std::snprintf(buf, sizeof buf, "ok block-solve iters=%d resid=%.17g converged=%d x=",
+                        r.iterations, r.residual, r.converged ? 1 : 0);
+          line = buf;
+          // The solution as one comma-joined token so the k=v tokenizer
+          // stays applicable to the head of the line.
+          for (std::size_t i = 0; i < r.x.size(); ++i) {
+            if (i > 0) line += ",";
+            line += exact_double(r.x[i]);
+          }
+        } else if constexpr (std::is_same_v<T, resp::ShardError>) {
+          line = "shard-err code=" + std::to_string(static_cast<int>(r.code)) +
+                 " what=" + r.what;
         }
       },
       response);
@@ -683,17 +926,57 @@ Response parse_response_line(const std::string& line,
     const KvFields kv(tokens, 2, line);
     return resp::Busy{tokens[1], kv.u64("limit")};
   }
+  if (tokens[0] == "shard-err") {
+    const std::string what = rest_after(line, "what=");
+    // The code token precedes what=, so tokenizing the head is safe even
+    // when the message itself contains '=' characters.
+    const auto cut = line.find(" what=");
+    const std::string head = cut == std::string::npos ? line : line.substr(0, cut);
+    std::istringstream hs(head);
+    std::vector<std::string> head_tokens;
+    for (std::string tok; hs >> tok;) head_tokens.push_back(std::move(tok));
+    const KvFields kv(head_tokens, 1, line);
+    const std::int64_t code = kv.i64("code");
+    if (code < 0 || code > 4) bad_line("bad shard error code in: " + line);
+    return resp::ShardError{static_cast<resp::ShardErrorCode>(code), what};
+  }
   if (tokens[0] != "ok" || tokens.size() < 2) bad_line("bad response line: " + line);
   const std::string& verb = tokens[1];
   if (verb == "quit") return resp::Bye{};
+  if (verb == "handshake") {
+    const KvFields kv(tokens, 2, line);
+    resp::ShardHello r;
+    r.shard = static_cast<int>(kv.i64("shard"));
+    r.generation = kv.u64("generation");
+    r.nodes = static_cast<NodeId>(kv.i64("nodes"));
+    return r;
+  }
+  if (verb == "block-solve") {
+    const KvFields kv(tokens, 2, line);
+    resp::BlockSolved r;
+    r.iterations = static_cast<int>(kv.i64("iters"));
+    r.residual = kv.f64("resid");
+    r.converged = kv.u64("converged") != 0;
+    const std::string values = rest_after(line, "x=");
+    std::size_t from = 0;
+    while (from < values.size()) {
+      const std::size_t comma = values.find(',', from);
+      const std::size_t to = comma == std::string::npos ? values.size() : comma;
+      r.x.push_back(parse_double_tok(values.substr(from, to - from), "solution value"));
+      from = comma == std::string::npos ? values.size() : comma + 1;
+    }
+    return r;
+  }
   if (verb == "open" || verb == "open-sharded" || verb == "restore" ||
-      verb == "restore-sharded") {
+      verb == "restore-sharded" || verb == "open-dist" || verb == "restore-dist") {
     const KvFields kv(tokens, 2, line);
     resp::Opened r;
-    r.verb = verb == "open"           ? resp::OpenVerb::kOpen
-             : verb == "open-sharded" ? resp::OpenVerb::kOpenSharded
-             : verb == "restore"      ? resp::OpenVerb::kRestore
-                                      : resp::OpenVerb::kRestoreSharded;
+    r.verb = verb == "open"             ? resp::OpenVerb::kOpen
+             : verb == "open-sharded"   ? resp::OpenVerb::kOpenSharded
+             : verb == "restore"        ? resp::OpenVerb::kRestore
+             : verb == "restore-sharded" ? resp::OpenVerb::kRestoreSharded
+             : verb == "open-dist"      ? resp::OpenVerb::kOpenDist
+                                        : resp::OpenVerb::kRestoreDist;
     r.metrics.sharded = kv.has("shards");
     r.metrics.nodes = static_cast<NodeId>(kv.i64("nodes"));
     r.metrics.g_edges = kv.i64("g_edges");
@@ -826,6 +1109,13 @@ enum Tag : std::uint8_t {
   kTagClose = 14,
   kTagQuit = 15,
   kTagStats = 16,
+  kTagHandshake = 17,
+  kTagBlockSolve = 18,
+  kTagCouplingUpdate = 19,
+  kTagShardApply = 20,
+  kTagShardCheckpoint = 21,
+  kTagOpenDist = 22,
+  kTagRestoreDist = 23,
   kTagError = 129,
   kTagOpened = 130,
   kTagStaged = 131,
@@ -840,6 +1130,9 @@ enum Tag : std::uint8_t {
   kTagBye = 140,
   kTagBusy = 141,
   kTagStatsOut = 142,
+  kTagShardHello = 143,
+  kTagBlockSolved = 144,
+  kTagShardError = 145,
 };
 
 void put_optional_f64(std::ostream& out, const std::optional<double>& v) {
@@ -861,6 +1154,7 @@ void put_spec(std::ostream& out, const SessionSpec& spec) {
   wire::put_f64(out, spec.staleness);
   wire::put_u8(out, spec.sync ? 1 : 0);
   wire::put_u8(out, spec.no_rebuild ? 1 : 0);
+  wire::put_f64(out, spec.min_rebuild_interval);
 }
 
 SessionSpec get_spec(std::istream& in) {
@@ -871,7 +1165,55 @@ SessionSpec get_spec(std::istream& in) {
   spec.staleness = wire::get_f64(in);
   spec.sync = wire::get_u8(in) != 0;
   spec.no_rebuild = wire::get_u8(in) != 0;
+  spec.min_rebuild_interval = wire::get_f64(in);
   return spec;
+}
+
+/// Plausibility guard on a decoded record count: the payload is already
+/// bounded by kMaxFrameBytes, so any count a valid frame could carry is
+/// far below it — reject before reserving.
+std::size_t checked_count(std::uint32_t n, const char* what) {
+  if (n > kMaxFrameBytes) {
+    throw std::runtime_error(std::string("implausible ") + what + " count " +
+                             std::to_string(n));
+  }
+  return n;
+}
+
+void put_f64_vector(std::ostream& out, const std::vector<double>& v) {
+  wire::put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const double x : v) wire::put_f64(out, x);
+}
+
+std::vector<double> get_f64_vector(std::istream& in, const char* what) {
+  const std::size_t n = checked_count(wire::get_u32(in), what);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(wire::get_f64(in));
+  return v;
+}
+
+void put_coupling_recs(std::ostream& out, const std::vector<req::CouplingRec>& recs) {
+  wire::put_u32(out, static_cast<std::uint32_t>(recs.size()));
+  for (const req::CouplingRec& c : recs) {
+    wire::put_i32(out, c.u);
+    wire::put_i32(out, c.v);
+    wire::put_f64(out, c.w);
+  }
+}
+
+std::vector<req::CouplingRec> get_coupling_recs(std::istream& in, const char* what) {
+  const std::size_t n = checked_count(wire::get_u32(in), what);
+  std::vector<req::CouplingRec> recs;
+  recs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    req::CouplingRec c;
+    c.u = wire::get_i32(in);
+    c.v = wire::get_i32(in);
+    c.w = wire::get_f64(in);
+    recs.push_back(c);
+  }
+  return recs;
 }
 
 void put_counters(std::ostream& out, const SessionCounters& c) {
@@ -1021,6 +1363,55 @@ std::string encode_request_payload(const Request& request) {
           wire::put_u8(out, kTagQuit);
         } else if constexpr (std::is_same_v<T, req::Stats>) {
           wire::put_u8(out, kTagStats);
+        } else if constexpr (std::is_same_v<T, req::Handshake>) {
+          wire::put_u8(out, kTagHandshake);
+          put_string(out, r.name);
+          wire::put_i32(out, r.shard);
+          wire::put_i32(out, r.shards);
+          wire::put_i32(out, r.nodes);
+          wire::put_u64(out, r.generation);
+          wire::put_u8(out, r.fresh ? 1 : 0);
+          put_string(out, r.blob);
+          put_spec(out, r.spec);
+          wire::put_f64(out, r.inner_tol);
+          wire::put_i32(out, r.inner_max_iters);
+          wire::put_i32(out, r.inner_jacobi_iters);
+        } else if constexpr (std::is_same_v<T, req::BlockSolve>) {
+          wire::put_u8(out, kTagBlockSolve);
+          put_string(out, r.name);
+          put_f64_vector(out, r.rhs);
+        } else if constexpr (std::is_same_v<T, req::CouplingUpdate>) {
+          wire::put_u8(out, kTagCouplingUpdate);
+          put_string(out, r.name);
+          put_coupling_recs(out, r.couplings);
+        } else if constexpr (std::is_same_v<T, req::ShardApply>) {
+          wire::put_u8(out, kTagShardApply);
+          put_string(out, r.name);
+          put_coupling_recs(out, r.inserts);
+          wire::put_u32(out, static_cast<std::uint32_t>(r.removals.size()));
+          for (const auto& [u, v] : r.removals) {
+            wire::put_i32(out, u);
+            wire::put_i32(out, v);
+          }
+        } else if constexpr (std::is_same_v<T, req::ShardCheckpoint>) {
+          wire::put_u8(out, kTagShardCheckpoint);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          wire::put_u64(out, r.generation);
+        } else if constexpr (std::is_same_v<T, req::OpenDist>) {
+          wire::put_u8(out, kTagOpenDist);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          wire::put_u32(out, static_cast<std::uint32_t>(r.endpoints.size()));
+          for (const std::string& ep : r.endpoints) put_string(out, ep);
+          wire::put_u8(out, r.partition == PartitionStrategy::kHash ? 0 : 1);
+          put_spec(out, r.spec);
+          put_string(out, r.dir);
+        } else if constexpr (std::is_same_v<T, req::RestoreDist>) {
+          wire::put_u8(out, kTagRestoreDist);
+          put_string(out, r.name);
+          put_string(out, r.path);
+          put_spec(out, r.spec);
         }
       },
       request);
@@ -1109,6 +1500,80 @@ Request decode_request_payload(std::istream& in) {
     case kTagClose: return req::Close{get_string(in)};
     case kTagQuit: return req::Quit{};
     case kTagStats: return req::Stats{};
+    case kTagHandshake: {
+      req::Handshake r;
+      r.name = get_string(in);
+      r.shard = wire::get_i32(in);
+      r.shards = wire::get_i32(in);
+      r.nodes = wire::get_i32(in);
+      r.generation = wire::get_u64(in);
+      const std::uint8_t fresh = wire::get_u8(in);
+      if (fresh > 1) throw std::runtime_error("bad fresh flag");
+      r.fresh = fresh != 0;
+      r.blob = get_string(in);
+      r.spec = get_spec(in);
+      r.inner_tol = wire::get_f64(in);
+      r.inner_max_iters = wire::get_i32(in);
+      r.inner_jacobi_iters = wire::get_i32(in);
+      if (r.shards < 2) throw std::runtime_error("shard count must be >= 2");
+      if (r.shard < 0 || r.shard >= r.shards) {
+        throw std::runtime_error("shard index out of range");
+      }
+      return r;
+    }
+    case kTagBlockSolve: {
+      req::BlockSolve r;
+      r.name = get_string(in);
+      r.rhs = get_f64_vector(in, "block-solve rhs");
+      return r;
+    }
+    case kTagCouplingUpdate: {
+      req::CouplingUpdate r;
+      r.name = get_string(in);
+      r.couplings = get_coupling_recs(in, "coupling");
+      return r;
+    }
+    case kTagShardApply: {
+      req::ShardApply r;
+      r.name = get_string(in);
+      r.inserts = get_coupling_recs(in, "insert");
+      const std::size_t nr = checked_count(wire::get_u32(in), "removal");
+      r.removals.reserve(nr);
+      for (std::size_t i = 0; i < nr; ++i) {
+        const NodeId u = wire::get_i32(in);
+        const NodeId v = wire::get_i32(in);
+        r.removals.emplace_back(u, v);
+      }
+      return r;
+    }
+    case kTagShardCheckpoint: {
+      req::ShardCheckpoint r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      r.generation = wire::get_u64(in);
+      return r;
+    }
+    case kTagOpenDist: {
+      req::OpenDist r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      const std::size_t n = checked_count(wire::get_u32(in), "endpoint");
+      r.endpoints.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) r.endpoints.push_back(get_string(in));
+      const std::uint8_t p = wire::get_u8(in);
+      if (p > 1) throw std::runtime_error("bad partition strategy");
+      r.partition = p == 0 ? PartitionStrategy::kHash : PartitionStrategy::kGreedy;
+      r.spec = get_spec(in);
+      r.dir = get_string(in);
+      return r;
+    }
+    case kTagRestoreDist: {
+      req::RestoreDist r;
+      r.name = get_string(in);
+      r.path = get_string(in);
+      r.spec = get_spec(in);
+      return r;
+    }
     default: throw std::runtime_error("unknown request tag " + std::to_string(tag));
   }
 }
@@ -1191,6 +1656,21 @@ std::string encode_response_payload(const Response& response) {
             wire::put_f64(out, p.p99);
             wire::put_f64(out, p.p999);
           }
+        } else if constexpr (std::is_same_v<T, resp::ShardHello>) {
+          wire::put_u8(out, kTagShardHello);
+          wire::put_i32(out, r.shard);
+          wire::put_u64(out, r.generation);
+          wire::put_i32(out, r.nodes);
+        } else if constexpr (std::is_same_v<T, resp::BlockSolved>) {
+          wire::put_u8(out, kTagBlockSolved);
+          wire::put_i32(out, r.iterations);
+          wire::put_f64(out, r.residual);
+          wire::put_u8(out, r.converged ? 1 : 0);
+          put_f64_vector(out, r.x);
+        } else if constexpr (std::is_same_v<T, resp::ShardError>) {
+          wire::put_u8(out, kTagShardError);
+          wire::put_u8(out, static_cast<std::uint8_t>(r.code));
+          put_string(out, r.what);
         }
       },
       response);
@@ -1204,7 +1684,7 @@ Response decode_response_payload(std::istream& in) {
     case kTagOpened: {
       resp::Opened r;
       const std::uint8_t verb = wire::get_u8(in);
-      if (verb > 3) throw std::runtime_error("bad open verb");
+      if (verb > 5) throw std::runtime_error("bad open verb");
       r.verb = static_cast<resp::OpenVerb>(verb);
       r.metrics = get_serving_metrics(in);
       return r;
@@ -1288,6 +1768,28 @@ Response decode_response_payload(std::istream& in) {
         r.points.push_back(std::move(p));
       }
       return r;
+    }
+    case kTagShardHello: {
+      resp::ShardHello r;
+      r.shard = wire::get_i32(in);
+      r.generation = wire::get_u64(in);
+      r.nodes = wire::get_i32(in);
+      return r;
+    }
+    case kTagBlockSolved: {
+      resp::BlockSolved r;
+      r.iterations = wire::get_i32(in);
+      r.residual = wire::get_f64(in);
+      const std::uint8_t converged = wire::get_u8(in);
+      if (converged > 1) throw std::runtime_error("bad converged flag");
+      r.converged = converged != 0;
+      r.x = get_f64_vector(in, "block-solve solution");
+      return r;
+    }
+    case kTagShardError: {
+      const std::uint8_t code = wire::get_u8(in);
+      if (code > 4) throw std::runtime_error("bad shard error code");
+      return resp::ShardError{static_cast<resp::ShardErrorCode>(code), get_string(in)};
     }
     default: throw std::runtime_error("unknown response tag " + std::to_string(tag));
   }
@@ -1475,6 +1977,10 @@ struct Engine::Tenant {
   std::atomic<std::uint64_t> busy_rejections{0};  ///< backpressure refusals
   std::unique_ptr<Session> session;    ///< guarded by gate (see above)
   UpdateBatch pending;                 ///< guarded by gate
+  /// Fleet checkpoint generation this tenant hosts (shard-server mode
+  /// only; guarded by gate). A handshake naming this generation is
+  /// acknowledged idempotently; any other replaces the session.
+  std::uint64_t generation = 0;
   std::string autosave_path;           ///< guarded by gate
   std::uint64_t autosave_every = 0;    ///< guarded by gate
   std::uint64_t applies_since_save = 0;  ///< guarded by gate
@@ -1511,7 +2017,9 @@ struct BusyRejection {
 constexpr const char* kVerbNames[] = {
     "open",  "open-sharded", "restore", "restore-sharded", "insert", "remove",
     "apply", "solve",        "metrics", "shard-metrics",   "kappa",  "checkpoint",
-    "autosave", "close",     "quit",    "stats",
+    "autosave", "close",     "quit",    "stats",           "handshake",
+    "block-solve", "coupling-update", "shard-apply", "shard-checkpoint",
+    "open-dist", "restore-dist",
 };
 static_assert(std::variant_size_v<Request> == std::size(kVerbNames),
               "kVerbNames must cover every Request alternative");
@@ -1710,6 +2218,11 @@ Response Engine::handle(const Request& request) {
   } catch (const BusyRejection& rejected) {
     (rejected.busy.what == "staged" ? counters.busy_staged : counters.busy_queue).inc();
     return rejected.busy;
+  } catch (const ShardOpError& e) {
+    // Before the generic catch (ShardOpError is a runtime_error): the
+    // typed cause must survive onto the wire as shard-err, not err.
+    counters.errors.inc();
+    return resp::ShardError{e.code(), e.what()};
   } catch (const std::exception& e) {
     counters.errors.inc();
     return resp::Error{e.what()};
@@ -1976,6 +2489,267 @@ Response Engine::do_handle(const req::Stats&) {
     out.points.push_back(std::move(p));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed shard verbs (--shard-server mode)
+
+namespace {
+
+/// Run one shard-verb body, mapping untyped failures to ShardOpError so
+/// the coordinator always sees a typed cause. "no session" — the shard
+/// server restarted and lost its tenant — maps to kUnavailable, the
+/// coordinator's cue to re-handshake; anything else is kInternal.
+/// BusyRejection is not a std::exception and passes through untouched.
+template <typename Fn>
+Response shard_guard(Fn&& body) {
+  try {
+    return body();
+  } catch (const ShardOpError&) {
+    throw;
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    const resp::ShardErrorCode code = what.find("no session") != std::string::npos
+                                          ? resp::ShardErrorCode::kUnavailable
+                                          : resp::ShardErrorCode::kInternal;
+    throw ShardOpError(code, what);
+  }
+}
+
+/// The resp::Applied projection of one ApplyResult, shared by the
+/// coupling-update and shard-apply handlers (the client-facing apply
+/// handler repeats this inline with its tracing hooks).
+resp::Applied applied_of(const ApplyResult& result) {
+  resp::Applied out;
+  out.inserted = static_cast<std::uint64_t>(result.stats.inserted);
+  out.merged = static_cast<std::uint64_t>(result.stats.merged);
+  out.redistributed = static_cast<std::uint64_t>(result.stats.redistributed);
+  out.reinforced = static_cast<std::uint64_t>(result.stats.reinforced);
+  out.removed = result.removed;
+  out.ghosts = result.ghost_removals;
+  out.staleness = result.staleness;
+  out.rebuild = result.rebuild_triggered;
+  return out;
+}
+
+}  // namespace
+
+void Engine::require_shard_server(const char* verb) const {
+  if (!opts_.shard_server) {
+    throw ShardOpError(resp::ShardErrorCode::kBadRequest,
+                       std::string(verb) + " requires --shard-server mode");
+  }
+}
+
+Response Engine::do_handle(const req::Handshake& r) {
+  require_shard_server("handshake");
+  if (r.shards < 2) {
+    throw ShardOpError(resp::ShardErrorCode::kBadRequest, "shard count must be >= 2");
+  }
+  if (r.shard < 0 || r.shard >= r.shards) {
+    throw ShardOpError(resp::ShardErrorCode::kBadRequest, "shard index out of range");
+  }
+  const std::string key = resolve(r.name);
+  // Idempotence: a coordinator retrying after a lost response must be able
+  // to re-bind without tearing down a healthy session. The generation it
+  // names decides: same generation → acknowledge what is already hosted;
+  // different generation → replace from the blob.
+  try {
+    const TenantPtr tenant = find_tenant(key);
+    const std::lock_guard<FifoMutex> gate(tenant->gate);
+    if (!tenant->closed.load(std::memory_order_acquire) && tenant->session &&
+        tenant->generation == r.generation) {
+      return resp::ShardHello{r.shard, tenant->generation, tenant->session->num_nodes()};
+    }
+    // Different generation (or a half-open carcass): drop it and rebind.
+    tenant->closed.store(true, std::memory_order_release);
+    erase_tenant(key, tenant.get());
+  } catch (const std::runtime_error&) {
+    // No tenant under this name — the common first-handshake path.
+  }
+  SessionOptions sopts = r.spec.session_options();
+  // The hosted session is one block of the coordinator's block-Jacobi
+  // preconditioner: mirror the inner-solver overrides the in-process
+  // dispatcher applies to its shard sessions (see ShardedSession's ctor).
+  sopts.solver.outer_tol = r.inner_tol;
+  sopts.solver.max_outer_iters = r.inner_max_iters;
+  sopts.solver.inner_iters = r.inner_jacobi_iters;
+  sopts.solver.fp32_fallback = false;  // bounded-iteration solves rarely "converge"
+  sopts.warm_start = false;            // the RHS changes every outer iteration
+  return shard_guard([&]() -> Response {
+    auto [tenant, gate] = reserve_tenant(key);
+    obs::Registry& reg = obs::registry();
+    tenant->solve_seconds = &reg.histogram("ingrass_tenant_command_seconds",
+                                           {{"tenant", key}, {"verb", "solve"}});
+    tenant->apply_seconds = &reg.histogram("ingrass_tenant_command_seconds",
+                                           {{"tenant", key}, {"verb", "apply"}});
+    tenant->checkpoint_seconds = &reg.histogram(
+        "ingrass_tenant_command_seconds", {{"tenant", key}, {"verb", "checkpoint"}});
+    tenant->generation = r.generation;
+    try {
+      std::unique_ptr<SparsifierSession> session;
+      if (r.fresh) {
+        // The blob carries the shard subgraph and an empty sparsifier:
+        // GRASS runs here, so fleet bring-up parallelizes the expensive
+        // setup across shard hosts instead of serializing it on the
+        // coordinator.
+        SessionCheckpoint ck = load_checkpoint(r.blob);
+        session = std::make_unique<SparsifierSession>(std::move(ck.g), sopts);
+      } else {
+        session = SparsifierSession::restore(r.blob, sopts);
+      }
+      if (session->num_nodes() != r.nodes) {
+        throw ShardOpError(resp::ShardErrorCode::kBadRequest,
+                           "handshake blob has " + std::to_string(session->num_nodes()) +
+                               " nodes, expected " + std::to_string(r.nodes));
+      }
+      tenant->session = std::move(session);
+    } catch (...) {
+      // Same unwind as open_tenant: no half-open tenants.
+      tenant->closed.store(true, std::memory_order_release);
+      gate.unlock();
+      erase_tenant(key, tenant.get());
+      throw;
+    }
+    return resp::ShardHello{r.shard, r.generation, tenant->session->num_nodes()};
+  });
+}
+
+Response Engine::do_handle(const req::BlockSolve& r) {
+  require_shard_server("block-solve");
+  return shard_guard([&]() -> Response {
+    return with_tenant(r.name, [&](Tenant& tenant,
+                                   std::unique_lock<FifoMutex>& gate) -> Response {
+      Session* const session = tenant.session.get();
+      if (r.rhs.size() != static_cast<std::size_t>(session->num_nodes())) {
+        throw ShardOpError(resp::ShardErrorCode::kBadRequest,
+                           "block-solve rhs has " + std::to_string(r.rhs.size()) +
+                               " entries, session has " +
+                               std::to_string(session->num_nodes()) + " nodes");
+      }
+      obs::Histogram* const solve_seconds = tenant.solve_seconds;
+      // Same reader-path release as the client-facing solve: block solves
+      // from a pipelining coordinator proceed concurrently.
+      gate.unlock();
+      std::vector<double> x(r.rhs.size(), 0.0);
+      const auto solve_start = std::chrono::steady_clock::now();
+      const auto result = session->solve(r.rhs, x);
+      if (solve_seconds != nullptr) {
+        solve_seconds->observe(
+            1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                       solve_start, std::chrono::steady_clock::now())));
+      }
+      // No converged check: a preconditioner application is bounded by
+      // iteration count, and "not converged" is its normal exit.
+      resp::BlockSolved out;
+      out.x = std::move(x);
+      out.iterations = result.outer_iterations;
+      out.residual = result.relative_residual;
+      out.converged = result.converged;
+      return out;
+    });
+  });
+}
+
+Response Engine::do_handle(const req::CouplingUpdate& r) {
+  require_shard_server("coupling-update");
+  return shard_guard([&]() -> Response {
+    return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+      auto* const session = dynamic_cast<SparsifierSession*>(tenant.session.get());
+      if (session == nullptr) {
+        throw ShardOpError(resp::ShardErrorCode::kBadRequest,
+                           "coupling-update requires a shard sub-session");
+      }
+      const NodeId nodes = session->num_nodes();
+      for (const auto& c : r.couplings) {
+        if (c.u < 0 || c.v < 0 || c.u >= nodes || c.v >= nodes || c.u == c.v ||
+            !(c.w >= 0.0)) {
+          throw ShardOpError(resp::ShardErrorCode::kBadRequest, "bad coupling record");
+        }
+      }
+      for (const auto& c : r.couplings) session->set_coupling(c.u, c.v, c.w);
+      // An empty apply runs the staleness accounting and rebuild trigger
+      // exactly as the in-process dispatcher's fan-out does.
+      return applied_of(apply_now(tenant, UpdateBatch{}));
+    });
+  });
+}
+
+Response Engine::do_handle(const req::ShardApply& r) {
+  require_shard_server("shard-apply");
+  return shard_guard([&]() -> Response {
+    return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+      UpdateBatch batch;
+      batch.inserts.reserve(r.inserts.size());
+      batch.removals.reserve(r.removals.size());
+      for (const auto& c : r.inserts) {
+        validate_endpoints(tenant, c.u, c.v);
+        if (c.u == c.v) throw std::runtime_error("self-loop");
+        if (!(c.w > 0.0)) throw std::runtime_error("weight must be positive");
+        Edge e;
+        e.u = std::min(c.u, c.v);
+        e.v = std::max(c.u, c.v);
+        e.w = c.w;
+        batch.inserts.push_back(e);
+      }
+      for (const auto& [u, v] : r.removals) {
+        validate_endpoints(tenant, u, v);
+        if (u == v) throw std::runtime_error("self-loop");
+        batch.removals.emplace_back(std::min(u, v), std::max(u, v));
+      }
+      const auto apply_start = std::chrono::steady_clock::now();
+      const ApplyResult result = apply_now(tenant, batch);
+      if (tenant.apply_seconds != nullptr) {
+        tenant.apply_seconds->observe(
+            1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                       apply_start, std::chrono::steady_clock::now())));
+      }
+      return applied_of(result);
+    });
+  });
+}
+
+Response Engine::do_handle(const req::ShardCheckpoint& r) {
+  require_shard_server("shard-checkpoint");
+  return shard_guard([&]() -> Response {
+    return with_tenant(r.name, [&](Tenant& tenant, std::unique_lock<FifoMutex>&) -> Response {
+      flush(tenant);
+      const auto ckpt_start = std::chrono::steady_clock::now();
+      tenant.session->checkpoint(r.path);
+      if (tenant.checkpoint_seconds != nullptr) {
+        tenant.checkpoint_seconds->observe(
+            1e-9 * static_cast<double>(obs::elapsed_ns_between(
+                       ckpt_start, std::chrono::steady_clock::now())));
+      }
+      // The blob now on disk belongs to this generation; the coordinator
+      // commits it fleet-wide by writing the v3 manifest only after every
+      // shard acknowledged.
+      tenant.generation = r.generation;
+      return resp::Checkpointed{r.path};
+    });
+  });
+}
+
+Response Engine::do_handle(const req::OpenDist& r) {
+  if (r.endpoints.size() < 2) {
+    throw std::runtime_error("open-dist requires at least 2 endpoints");
+  }
+  return open_tenant(r.name, resp::OpenVerb::kOpenDist, [&] {
+    dist::DistOptions dopts;
+    dopts.spec = r.spec;
+    dopts.partition = r.partition;
+    if (!r.dir.empty()) dopts.dir = r.dir;
+    return std::make_unique<dist::DistributedSession>(read_mtx_file(r.path),
+                                                      r.endpoints, dopts);
+  });
+}
+
+Response Engine::do_handle(const req::RestoreDist& r) {
+  return open_tenant(r.name, resp::OpenVerb::kRestoreDist, [&] {
+    dist::DistOptions dopts;
+    dopts.spec = r.spec;  // partition comes from the manifest
+    return dist::DistributedSession::restore(r.path, dopts);
+  });
 }
 
 }  // namespace ingrass::serve

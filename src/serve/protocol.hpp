@@ -54,6 +54,9 @@ struct SessionSpec {
   bool sync = false;
   /// Disable rebuilds entirely (`--no-rebuild`).
   bool no_rebuild = false;
+  /// Rebuild hysteresis: minimum seconds between re-sparsifications
+  /// (`--min-rebuild-interval`); 0 disables the admission control.
+  double min_rebuild_interval = 0.0;
 
   /// The kappa budget with the serving default applied.
   [[nodiscard]] double resolved_target() const { return target.value_or(100.0); }
@@ -220,6 +223,108 @@ struct Stats {
   friend bool operator==(const Stats&, const Stats&) = default;
 };
 
+/// One weighted pair record on the distributed wire — a coupling
+/// reweight (CouplingUpdate) or a routed insert (ShardApply). Local
+/// (shard-space) node ids.
+struct CouplingRec {
+  NodeId u = 0;   ///< endpoint (shard-local id)
+  NodeId v = 0;   ///< endpoint (shard-local id)
+  double w = 0.0; ///< new weight (couplings: 0 drops the pair)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const CouplingRec&, const CouplingRec&) = default;
+};
+
+/// `handshake ...` — bind (or rebind) one shard sub-session on a shard
+/// server. Idempotent per (name, generation): a handshake naming the
+/// generation the server already hosts is acknowledged without rebuilding;
+/// a different generation replaces the hosted session from `blob`. With
+/// `fresh` the blob carries the shard subgraph and an *empty* sparsifier
+/// and the server runs GRASS itself (so fleet bring-up parallelizes the
+/// setup across shard hosts); without it the blob is a full-fidelity v1
+/// checkpoint and restore semantics apply.
+struct Handshake {
+  std::string name;            ///< tenant hosting the shard ("" = default)
+  int shard = 0;               ///< this shard's index in [0, shards)
+  int shards = 0;              ///< fleet shard count K (>= 2)
+  NodeId nodes = 0;            ///< expected augmented node count (with ground)
+  std::uint64_t generation = 0;  ///< fleet checkpoint generation
+  bool fresh = false;          ///< blob is G_k + empty H; run GRASS server-side
+  std::string blob;            ///< v1 checkpoint path (shared filesystem)
+  SessionSpec spec;            ///< per-shard session options
+  double inner_tol = 5e-2;     ///< block-solve outer tolerance
+  int inner_max_iters = 4;     ///< block-solve outer iteration cap
+  int inner_jacobi_iters = 2;  ///< block-solve inner Jacobi sweeps
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const Handshake&, const Handshake&) = default;
+};
+
+/// `block-solve ...` — one grounded block solve: the coordinator's
+/// restriction of the outer CG residual to this shard (ground slot last).
+struct BlockSolve {
+  std::string name;        ///< target tenant ("" = default)
+  std::vector<double> rhs; ///< per-node right-hand side, ground included
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const BlockSolve&, const BlockSolve&) = default;
+};
+
+/// `coupling-update ...` — fold boundary-coupling churn into the shard:
+/// each record reweights the (u, ground) edge, then an empty apply runs
+/// the rebuild trigger exactly as the in-process dispatcher would.
+struct CouplingUpdate {
+  std::string name;                   ///< target tenant ("" = default)
+  std::vector<CouplingRec> couplings; ///< (local node, ground, new weight)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const CouplingUpdate&, const CouplingUpdate&) = default;
+};
+
+/// `shard-apply ...` — the shard's routed slice of one update batch
+/// (shard-local ids; intra-shard edges only, the coordinator keeps cut
+/// edges in its boundary graph).
+struct ShardApply {
+  std::string name;                                 ///< target tenant
+  std::vector<CouplingRec> inserts;                 ///< routed insertions
+  std::vector<std::pair<NodeId, NodeId>> removals;  ///< routed removals
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const ShardApply&, const ShardApply&) = default;
+};
+
+/// `shard-checkpoint ...` — write the shard's v1 blob for one fleet
+/// checkpoint generation; the coordinator commits the generation by
+/// renaming the v3 manifest only after every shard acknowledged.
+struct ShardCheckpoint {
+  std::string name;              ///< target tenant ("" = default)
+  std::string path;              ///< destination blob (shared filesystem)
+  std::uint64_t generation = 0;  ///< generation this blob belongs to
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const ShardCheckpoint&, const ShardCheckpoint&) = default;
+};
+
+/// `open-dist <g.mtx> <host:port,...> [--dir <d>] [options]` — open a
+/// coordinator session: partition the graph, hand each shard server its
+/// grounded subgraph via handshake blobs under `dir`, serve the unchanged
+/// client protocol on top.
+struct OpenDist {
+  std::string name;                    ///< tenant to create ("" = default)
+  std::string path;                    ///< Matrix Market graph file
+  std::vector<std::string> endpoints;  ///< one host:port per shard (K >= 2)
+  /// Vertex partitioner for the K shards.
+  PartitionStrategy partition = PartitionStrategy::kGreedy;
+  SessionSpec spec;                    ///< per-shard session options
+  std::string dir;                     ///< scratch dir for handshake blobs
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const OpenDist&, const OpenDist&) = default;
+};
+
+/// `restore-dist <manifest> [options]` — resume a coordinator session
+/// from a v3 distributed manifest (endpoints + generation + blob names).
+struct RestoreDist {
+  std::string name;  ///< tenant to create ("" = default)
+  std::string path;  ///< v3 distributed manifest file
+  SessionSpec spec;  ///< per-shard session options
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const RestoreDist&, const RestoreDist&) = default;
+};
+
 }  // namespace req
 
 /// One protocol request (see the req:: message structs).
@@ -227,7 +332,9 @@ using Request =
     std::variant<req::Open, req::OpenSharded, req::Restore, req::RestoreSharded,
                  req::Insert, req::Remove, req::Apply, req::Solve, req::Metrics,
                  req::ShardMetrics, req::Kappa, req::Checkpoint, req::Autosave,
-                 req::Close, req::Quit, req::Stats>;
+                 req::Close, req::Quit, req::Stats, req::Handshake, req::BlockSolve,
+                 req::CouplingUpdate, req::ShardApply, req::ShardCheckpoint,
+                 req::OpenDist, req::RestoreDist>;
 
 /// Response messages, mirroring the `ok ...` / `err ...` line grammar.
 namespace resp {
@@ -245,6 +352,8 @@ enum class OpenVerb : std::uint8_t {
   kOpenSharded = 1,     ///< `open-sharded`
   kRestore = 2,         ///< `restore`
   kRestoreSharded = 3,  ///< `restore-sharded`
+  kOpenDist = 4,        ///< `open-dist`
+  kRestoreDist = 5,     ///< `restore-dist`
 };
 
 /// `ok open ...` family — the tenant is live; carries its metrics.
@@ -388,6 +497,47 @@ struct StatsOut {
   friend bool operator==(const StatsOut&, const StatsOut&) = default;
 };
 
+/// Why a shard RPC failed — carried on the wire so the coordinator (and
+/// ultimately the client) can branch on retryability without parsing
+/// message text.
+enum class ShardErrorCode : std::uint8_t {
+  kUnavailable = 0,         ///< connect/IO failure, shard restarting
+  kTimeout = 1,             ///< per-RPC deadline expired
+  kGenerationMismatch = 2,  ///< shard hosts a different fleet generation
+  kBadRequest = 3,          ///< malformed or out-of-contract shard verb
+  kInternal = 4,            ///< the shard session itself threw
+};
+
+/// `ok handshake shard=K generation=G nodes=N` — the shard sub-session is
+/// bound and serving.
+struct ShardHello {
+  int shard = 0;                 ///< the shard index the server now hosts
+  std::uint64_t generation = 0;  ///< fleet generation acknowledged
+  NodeId nodes = 0;              ///< augmented node count (ground included)
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const ShardHello&, const ShardHello&) = default;
+};
+
+/// Result of one grounded block solve.
+struct BlockSolved {
+  std::vector<double> x;    ///< solution (ground slot last)
+  int iterations = 0;       ///< outer iterations spent
+  double residual = 0.0;    ///< final relative residual
+  bool converged = false;   ///< bounded-iteration solves legitimately say no
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const BlockSolved&, const BlockSolved&) = default;
+};
+
+/// `shard-err code=<c> what=<message>` — a shard verb failed with a typed
+/// cause. Distinct from Error so the coordinator can map wire failures to
+/// retry/recover decisions without string matching.
+struct ShardError {
+  ShardErrorCode code = ShardErrorCode::kInternal;  ///< typed failure cause
+  std::string what;                                 ///< one-line description
+  /// Field-wise equality (codec round-trip tests).
+  friend bool operator==(const ShardError&, const ShardError&) = default;
+};
+
 }  // namespace resp
 
 /// One protocol response (see the resp:: message structs).
@@ -395,7 +545,8 @@ using Response =
     std::variant<resp::Error, resp::Opened, resp::Staged, resp::Applied,
                  resp::Solved, resp::MetricsOut, resp::ShardMetricsOut,
                  resp::KappaOut, resp::Checkpointed, resp::AutosaveOut,
-                 resp::Closed, resp::Bye, resp::Busy, resp::StatsOut>;
+                 resp::Closed, resp::Bye, resp::Busy, resp::StatsOut,
+                 resp::ShardHello, resp::BlockSolved, resp::ShardError>;
 
 /// Codec-level failure. Non-fatal errors (a malformed text line) cost one
 /// `err` response and the stream keeps serving; fatal errors (a corrupt
@@ -411,6 +562,23 @@ class ProtocolError : public std::runtime_error {
 
  private:
   bool fatal_ = false;
+};
+
+/// Typed failure of a distributed shard operation. Thrown by shard-verb
+/// handlers and by the coordinator's RPC layer (dist/remote_shard.hpp);
+/// Engine::handle maps it to resp::ShardError instead of a generic Error
+/// so the cause survives every hop of the wire.
+class ShardOpError : public std::runtime_error {
+ public:
+  /// Build with the typed cause and the message for the shard-err line.
+  ShardOpError(resp::ShardErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  /// The typed failure cause.
+  [[nodiscard]] resp::ShardErrorCode code() const { return code_; }
+
+ private:
+  resp::ShardErrorCode code_;
 };
 
 /// A request/response serialization: the pluggable layer between typed
@@ -452,8 +620,10 @@ inline constexpr char kBinaryFrameMagic[4] = {'I', 'G', 'R', 'B'};
 
 /// Version of the binary frame format emitted by BinaryCodec. v2 added
 /// the Busy response tag and the busy_rejections metrics field; v3 added
-/// the stats verb (request tag 16, StatsOut response tag 142).
-inline constexpr std::uint32_t kBinaryFrameVersion = 3;
+/// the stats verb (request tag 16, StatsOut response tag 142); v4 added
+/// the distributed shard verbs (request tags 17-23, response tags
+/// 143-145) and the SessionSpec min_rebuild_interval field.
+inline constexpr std::uint32_t kBinaryFrameVersion = 4;
 
 /// Hard cap on a binary frame's payload length; larger declared lengths
 /// are rejected as corrupt before any allocation.
@@ -549,6 +719,12 @@ struct EngineOptions {
   /// immediately — the server never builds an unbounded queue behind a
   /// slow apply.
   int max_queued = 32;
+  /// Serve the distributed shard verbs (handshake, block-solve,
+  /// coupling-update, shard-apply, shard-checkpoint). Off by default:
+  /// only a process launched as `ingrass_serve --shard-server` hosts
+  /// shard sub-sessions; a coordinator-facing server refuses the verbs
+  /// with a typed ShardError.
+  bool shard_server = false;
 };
 
 /// The transport-independent serving core: a name → Session map (several
@@ -661,6 +837,16 @@ class Engine {
   Response do_handle(const req::Close& r);
   Response do_handle(const req::Quit& r);
   Response do_handle(const req::Stats& r);
+  Response do_handle(const req::Handshake& r);
+  Response do_handle(const req::BlockSolve& r);
+  Response do_handle(const req::CouplingUpdate& r);
+  Response do_handle(const req::ShardApply& r);
+  Response do_handle(const req::ShardCheckpoint& r);
+  Response do_handle(const req::OpenDist& r);
+  Response do_handle(const req::RestoreDist& r);
+  /// Throw the typed refusal when a shard verb arrives without
+  /// --shard-server mode (see EngineOptions::shard_server).
+  void require_shard_server(const char* verb) const;
 
   EngineOptions opts_;
   mutable std::shared_mutex registry_mu_;  // guards tenants_ (the map only)

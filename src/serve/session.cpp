@@ -27,6 +27,7 @@ struct RebuildMetrics {
   obs::Histogram& backlog_batches;
   obs::Counter& rebuilds;
   obs::Counter& failures;
+  obs::Counter& suppressed;
 };
 
 /// The active exception's message, for a catch (...) handler that wants
@@ -85,6 +86,8 @@ RebuildMetrics& rebuild_metrics() {
           {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0}),
       obs::registry().counter("ingrass_rebuilds_total"),
       obs::registry().counter("ingrass_rebuild_failures_total"),
+      // Trips refused by the min_rebuild_interval hysteresis window.
+      obs::registry().counter("ingrass_rebuilds_suppressed_total"),
   };
   return *m;
 }
@@ -372,6 +375,16 @@ void SparsifierSession::maybe_trigger_rebuild_locked(ApplyResult& result) {
   if (!opts_.enable_rebuild || rebuilding_) return;
   const double staleness = staleness_locked();
   if (staleness < opts_.rebuild_staleness_fraction) return;
+  if (opts_.min_rebuild_interval > 0.0 &&
+      last_rebuild_ != std::chrono::steady_clock::time_point{} &&
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - last_rebuild_)
+              .count() < opts_.min_rebuild_interval) {
+    // Hysteresis: the threshold is crossed but the last rebuild is too
+    // recent. Staleness keeps accumulating (no cooldown reset), so the
+    // first batch after the window expires fires the rebuild.
+    rebuild_metrics().suppressed.inc();
+    return;
+  }
   result.rebuild_triggered = true;
   rebuild_metrics().staleness_at_trip.observe(staleness);
   obs::log().info("rebuild_start",
@@ -422,6 +435,9 @@ void SparsifierSession::rebuild_synchronously_locked() {
     obs::log().warn("rebuild_failure",
                     {{"mode", "sync"}, {"error", current_exception_message()}});
   }
+  // Success or failure, the attempt opens a hysteresis window: a doomed
+  // rebuild retried on every batch is exactly the thrash to prevent.
+  last_rebuild_ = std::chrono::steady_clock::now();
 }
 
 void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
@@ -448,6 +464,7 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
           ghost_pairs_ = std::move(shadow_ghosts);
           ++counters_.rebuilds;
           rebuilding_ = false;
+          last_rebuild_ = std::chrono::steady_clock::now();
           refresh_solver_locked();
           const double seconds =
               1e-9 * static_cast<double>(obs::elapsed_ns_between(
@@ -466,12 +483,19 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
             // heavy ghost removals landed mid-rebuild). Chain another
             // rebuild from the now-current G — it starts with those
             // removals already applied, so the chain terminates once
-            // traffic pauses.
-            rebuilding_ = true;
-            rebuild_backlog_.clear();
-            worker_->post([this, snap = g_]() mutable {
-              rebuild_into_shadow(std::move(snap));
-            });
+            // traffic pauses. The hysteresis window applies here too
+            // (chained rebuilds are exactly the back-to-back GRASS runs it
+            // exists to prevent); the next over-threshold apply after the
+            // window expires re-trips instead.
+            if (opts_.min_rebuild_interval > 0.0) {
+              rebuild_metrics().suppressed.inc();
+            } else {
+              rebuilding_ = true;
+              rebuild_backlog_.clear();
+              worker_->post([this, snap = g_]() mutable {
+                rebuild_into_shadow(std::move(snap));
+              });
+            }
           }
           return;
         }
@@ -525,6 +549,7 @@ void SparsifierSession::rebuild_into_shadow(Graph snapshot) {
     ++counters_.rebuild_failures;
     counters_.staleness_score = 0.0;  // cooldown; see rebuild_synchronously_locked
     rebuilding_ = false;
+    last_rebuild_ = std::chrono::steady_clock::now();
     rebuild_backlog_.clear();  // nobody will replay these now
     rebuild_metrics().failures.inc();
     obs::log().warn("rebuild_failure", {{"mode", "async"}, {"error", error}});

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -59,6 +60,14 @@ struct SessionOptions {
   /// Master switch: false disables rebuilds entirely (staleness is still
   /// tracked and reported).
   bool enable_rebuild = true;
+
+  /// Hysteresis: minimum seconds between rebuild starts (0 = off). Hostile
+  /// churn that re-crosses the staleness threshold immediately after every
+  /// rebuild would otherwise thrash GRASS back-to-back; within the window
+  /// the trip is suppressed (counted in ingrass_rebuilds_suppressed_total)
+  /// and staleness keeps accumulating, so the rebuild fires as soon as the
+  /// window expires. The first rebuild of a session is never suppressed.
+  double min_rebuild_interval = 0.0;
 
   /// Warm-start cache: seed solve() with the previous solution whenever
   /// the incoming RHS is cosine-similar to the previous one (sustained
@@ -274,6 +283,11 @@ class SparsifierSession : public serve::Session {
   /// a subset of G's apart from exactly these pairs.
   std::set<std::pair<NodeId, NodeId>> ghost_pairs_;
   bool rebuilding_ = false;
+  /// When the last rebuild attempt finished (sync return, async swap or
+  /// failure), for the min_rebuild_interval hysteresis window. Epoch value
+  /// = no rebuild yet, so the first trip is never suppressed. Guarded by
+  /// the session's writer lock like the rest of the rebuild state.
+  std::chrono::steady_clock::time_point last_rebuild_{};
   /// One backlog record per batch applied to the live engine while a
   /// background rebuild is in flight; the shadow replays them before
   /// swapping in. The weight each removal took out of G is recorded at

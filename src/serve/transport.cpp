@@ -19,6 +19,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
@@ -450,6 +451,15 @@ void serve_tcp(Engine& engine, const TcpOptions& opts) {
       begin_shutdown();  // genuinely fatal (EBADF, ENOTSOCK, ...)
       for (auto& [thread, conn] : conns) thread.join();
       sys_error("accept");
+    }
+
+    {
+      // Pipelined small frames (the distributed coordinator issues
+      // back-to-back shard RPCs) stall ~40ms per exchange under
+      // Nagle + delayed ACK unless responses flush immediately.
+      const int one = 1;
+      (void)::setsockopt(accepted.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
     }
 
     std::size_t active = 0;

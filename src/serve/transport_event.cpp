@@ -14,6 +14,8 @@
 #include <vector>
 
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
@@ -306,6 +308,14 @@ class EventServer {
       }
       if (stopping_) continue;  // closed: the server is going down
       if (!set_nonblocking(conn.get())) continue;  // unusable fd: drop it
+      {
+        // Pipelined small frames (the distributed coordinator issues
+        // back-to-back shard RPCs) stall ~40ms per exchange under
+        // Nagle + delayed ACK unless responses flush immediately.
+        const int one = 1;
+        (void)::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                           sizeof one);
+      }
       const bool over_cap =
           live_count_ >= static_cast<std::size_t>(opts_.max_connections);
       if (over_cap && shed_count_ >= kMaxShedConns) continue;  // hard drop

@@ -1,0 +1,161 @@
+#!/bin/sh
+# Smoke test for distributed serving, with real process boundaries: two
+# `ingrass_serve --shard-server` processes on loopback, a coordinator
+# server in a third process, and a client driving open-dist over the text
+# grammar. The fault-injection leg kills one shard server with SIGKILL
+# mid-session (no goodbye, no flush): the next fan-out must surface the
+# typed shard-err line — never hang — and after the shard server is
+# relaunched on the same port, the next solve recovers the shard from the
+# coordinator's mirror. Finally the whole fleet (shards + coordinator) is
+# restarted and restore-dist resumes from the v3 manifest with kappa
+# within budget.
+#
+# Invoked by CTest as:
+#   sh run_serve_dist.sh <ingrass_serve> <workdir>
+set -eu
+
+BIN=$1
+WORK=$2
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+PIDS=
+cleanup() {
+  for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+fail() {
+  echo "run_serve_dist: $1" >&2
+  for f in out_1.txt out_2.txt out_3.txt out_r.txt; do
+    echo "--- $f ---"; cat "$f" 2>/dev/null || true
+  done
+  exit 1
+}
+
+# Poll a port file into existence (the server writes it atomically once
+# the listener is bound).
+read_port() {
+  i=0
+  while [ ! -s "$1" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && fail "port file $1 never appeared"
+    sleep 0.05
+  done
+  cat "$1"
+}
+
+# A 6x6 grid graph (36 nodes, 60 unit edges) in Matrix Market
+# coordinate/symmetric format (lower triangle, 1-based).
+awk 'BEGIN{
+  n = 6; count = 0;
+  for (y = 0; y < n; y++) for (x = 0; x < n; x++) {
+    id = y * n + x + 1;
+    if (x < n - 1) entries[count++] = (id + 1) " " id " 1.0";
+    if (y < n - 1) entries[count++] = (id + n) " " id " 1.0";
+  }
+  printf "%%%%MatrixMarket matrix coordinate real symmetric\n";
+  printf "%d %d %d\n", n * n, n * n, count;
+  for (i = 0; i < count; i++) print entries[i];
+}' > g.mtx
+
+# The fleet: two shard servers on ephemeral loopback ports.
+"$BIN" --listen 0 --port-file shard0.port --shard-server &
+SHARD0_PID=$!
+PIDS="$SHARD0_PID"
+"$BIN" --listen 0 --port-file shard1.port --shard-server &
+SHARD1_PID=$!
+PIDS="$PIDS $SHARD1_PID"
+P0=$(read_port shard0.port)
+P1=$(read_port shard1.port)
+
+# The coordinator server (a plain ingrass_serve; open-dist makes the
+# tenant distributed).
+"$BIN" --listen 0 --port-file coord.port &
+COORD_PID=$!
+PIDS="$PIDS $COORD_PID"
+
+cat > c1.txt <<EOF
+open-dist g.mtx 127.0.0.1:$P0,127.0.0.1:$P1 --density 0.3 --target 100 --sync
+insert 0 35 1.0
+insert 3 32 0.5
+apply
+solve 0 35
+checkpoint fleet.ck
+EOF
+"$BIN" --connect-port-file coord.port --script c1.txt > out_1.txt \
+  || fail "client 1 exited nonzero"
+grep -q "ok open-dist nodes=36" out_1.txt || fail "open-dist marker missing"
+grep -q "ok apply" out_1.txt || fail "apply marker missing"
+grep -q "ok solve iters=" out_1.txt || fail "solve marker missing"
+grep -q "ok checkpoint path=fleet.ck" out_1.txt || fail "checkpoint marker missing"
+[ -f fleet.ck ] || fail "fleet.ck was not written"
+
+# Fault injection: SIGKILL shard 1's server mid-session. The next apply
+# fan-out must come back as a typed shard-err (and the tenant must keep
+# serving) — the coordinator's mirror keeps the batch.
+kill -9 "$SHARD1_PID"
+wait "$SHARD1_PID" 2>/dev/null || true
+cat > c2.txt <<'EOF'
+insert 1 34 2.0
+apply
+EOF
+"$BIN" --connect-port-file coord.port --script c2.txt > out_2.txt \
+  || fail "client 2 exited nonzero"
+grep -q "shard-err code=" out_2.txt || fail "typed shard-err marker missing"
+
+# Relaunch shard 1 on the SAME port: the next solve reconnects and
+# re-handshakes the shard fresh from the mirror (which has the batch the
+# failed apply kept), so the solve must land within tolerance.
+"$BIN" --listen "$P1" --port-file shard1b.port --shard-server &
+SHARD1_PID=$!
+PIDS="$PIDS $SHARD1_PID"
+read_port shard1b.port > /dev/null
+cat > c3.txt <<'EOF'
+solve 0 35
+metrics
+checkpoint fleet.ck
+quit
+EOF
+"$BIN" --connect-port-file coord.port --script c3.txt > out_3.txt \
+  || fail "client 3 exited nonzero"
+grep -q "ok solve iters=" out_3.txt || fail "post-recovery solve marker missing"
+grep -q "shards=2" out_3.txt || fail "post-recovery metrics marker missing"
+grep -q "ok checkpoint path=fleet.ck" out_3.txt || fail "post-recovery checkpoint missing"
+wait "$COORD_PID" || fail "coordinator server exited nonzero"
+
+# Full fleet restart: stop the shard servers, bring both back on their
+# recorded ports (the manifest's endpoints), and restore-dist from the
+# manifest in a fresh coordinator.
+kill "$SHARD0_PID" 2>/dev/null || true
+kill "$SHARD1_PID" 2>/dev/null || true
+wait "$SHARD0_PID" 2>/dev/null || true
+wait "$SHARD1_PID" 2>/dev/null || true
+PIDS=
+"$BIN" --listen "$P0" --port-file shard0c.port --shard-server &
+PIDS="$!"
+"$BIN" --listen "$P1" --port-file shard1c.port --shard-server &
+PIDS="$PIDS $!"
+read_port shard0c.port > /dev/null
+read_port shard1c.port > /dev/null
+rm -f coord.port
+"$BIN" --listen 0 --port-file coord.port &
+COORD_PID=$!
+PIDS="$PIDS $COORD_PID"
+
+cat > r.txt <<'EOF'
+restore-dist fleet.ck --target 100 --sync
+solve 0 35
+kappa
+quit
+EOF
+"$BIN" --connect-port-file coord.port --script r.txt > out_r.txt \
+  || fail "restore client exited nonzero"
+grep -q "ok restore-dist nodes=36" out_r.txt || fail "restore-dist marker missing"
+grep -q "ok solve iters=" out_r.txt || fail "restored solve marker missing"
+grep -q "within=1" out_r.txt || fail "restored kappa missed its budget"
+wait "$COORD_PID" || fail "restored coordinator exited nonzero"
+
+# The two relaunched shard servers are still up; the EXIT trap reaps them.
+echo "ingrass_serve distributed smoke test passed"

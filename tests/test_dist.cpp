@@ -1,0 +1,256 @@
+// The distributed coordinator against an in-process shard-server fleet
+// (dist/fleet.hpp): the acceptance bar is differential — a 4-shard
+// DistributedSession over loopback TCP solves the exact global Laplacian
+// to the same tolerance as the in-process ShardedSession — plus the
+// fault-injection battery: killing a shard server mid-session surfaces a
+// typed serve::ShardOpError (never a hang), and the next RPC after a
+// restart recovers the shard from the coordinator's mirror.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dist/dist_session.hpp"
+#include "dist/fleet.hpp"
+#include "graph/generators.hpp"
+#include "obs/registry.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+#include "serve/shard_dispatcher.hpp"
+#include "util/rng.hpp"
+
+namespace ingrass::dist {
+namespace {
+
+std::string scratch_path(const std::string& name) {
+  static const std::string pid = std::to_string(::getpid());
+  return "dist_scratch_" + pid + "_" + name;
+}
+
+Graph test_graph(int side = 10, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return make_triangulated_grid(static_cast<NodeId>(side),
+                                static_cast<NodeId>(side), rng);
+}
+
+serve::SessionSpec fast_spec() {
+  serve::SessionSpec spec;
+  spec.density = 0.20;
+  spec.target = 80.0;
+  spec.sync = true;  // deterministic rebuilds on the shard servers
+  return spec;
+}
+
+DistOptions fast_opts() {
+  DistOptions opts;
+  opts.spec = fast_spec();
+  opts.dir = ".";
+  // Loopback: failures should fail fast, not wait out production windows.
+  opts.connect_timeout = 5.0;
+  opts.rpc_deadline = 30.0;
+  opts.retries = 1;
+  opts.backoff_ms = 10;
+  return opts;
+}
+
+/// b = e_u - e_v on any serve::Session; returns x[u] - x[v].
+double solve_pair(serve::Session& s, NodeId u, NodeId v,
+                  SparsifierSolver::Result* out = nullptr) {
+  const auto n = static_cast<std::size_t>(s.num_nodes());
+  std::vector<double> b(n, 0.0), x(n, 0.0);
+  b[static_cast<std::size_t>(u)] = 1.0;
+  b[static_cast<std::size_t>(v)] = -1.0;
+  const auto r = s.solve(b, x);
+  if (out) *out = r;
+  return x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+}
+
+TEST(DistSession, FourShardSolveMatchesInProcessShardedSession) {
+  const Graph g0 = test_graph();
+  const NodeId n = g0.num_nodes();
+  LocalFleet fleet(4, ".");
+  DistOptions opts = fast_opts();
+  DistributedSession dist(Graph(g0), fleet.endpoints(), opts);
+  ShardedSession sharded(Graph(g0), 4,
+                         opts.spec.sharded_options(opts.partition));
+
+  SparsifierSolver::Result rd, rs;
+  const double got = solve_pair(dist, 0, static_cast<NodeId>(n - 1), &rd);
+  const double want = solve_pair(sharded, 0, static_cast<NodeId>(n - 1), &rs);
+  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(rd.converged);
+  // The acceptance bar: the distributed path meets the *same* tolerance
+  // on the *same* exact global Laplacian.
+  const double tol = opts.spec.session_options().solver.outer_tol;
+  EXPECT_LE(rd.relative_residual, tol);
+  EXPECT_LE(rs.relative_residual, tol);
+  EXPECT_NEAR(got, want, 1e-5 * std::abs(want));
+
+  const serve::ServingMetrics m = dist.serving_metrics();
+  EXPECT_TRUE(m.sharded);
+  EXPECT_EQ(m.shards, 4);
+  EXPECT_EQ(m.nodes, n);
+  EXPECT_EQ(m.g_edges, g0.num_edges());
+  EXPECT_GT(m.h_edges, 0);
+  EXPECT_GT(m.boundary_edges, 0);
+  EXPECT_EQ(m.global_solves, 1u);
+  // Per-shard metrics come back over the wire; real nodes must add up.
+  NodeId real_nodes = 0;
+  for (int k = 0; k < 4; ++k) {
+    const SessionMetrics sm = dist.shard_metrics(k);
+    EXPECT_GT(sm.h_edges, 0) << "shard " << k;
+    real_nodes += sm.nodes - 1;  // minus each shard's ground node
+  }
+  EXPECT_EQ(real_nodes, n);
+}
+
+TEST(DistSession, ApplyRoutesUpdatesAndSolvesStayExact) {
+  const Graph g0 = test_graph(8, 11);
+  const NodeId n = g0.num_nodes();
+  LocalFleet fleet(2, ".");
+  DistOptions opts = fast_opts();
+  DistributedSession dist(Graph(g0), fleet.endpoints(), opts);
+
+  // Mutate: a batch of fresh edges (some will cross the cut), then a
+  // second batch removing a pre-existing edge — separate batches so the
+  // local model below does not depend on intra-batch ordering.
+  Graph mutated(g0);
+  UpdateBatch batch;
+  Rng rng(23);
+  for (int i = 0; i < 12; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(
+        static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<NodeId>(rng.uniform_index(
+        static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    batch.inserts.push_back(Edge{u, v, 0.5 + 0.1 * i});
+    mutated.add_or_merge_edge(u, v, 0.5 + 0.1 * i);
+  }
+  (void)dist.apply(batch);
+
+  const Edge doomed = g0.edge(0);
+  UpdateBatch removal;
+  removal.removals.emplace_back(doomed.u, doomed.v);
+  mutated.remove_edge(mutated.find_edge(doomed.u, doomed.v));
+  const ApplyResult r = dist.apply(removal);
+  EXPECT_EQ(r.removed, 1);
+  EXPECT_EQ(dist.serving_metrics().g_edges, mutated.num_edges());
+
+  // Differential against an in-process sharded session opened on the
+  // already-mutated graph: same Laplacian, same tolerance.
+  ShardedSession sharded(Graph(mutated), 2,
+                         opts.spec.sharded_options(opts.partition));
+  SparsifierSolver::Result rd;
+  const double got = solve_pair(dist, 0, static_cast<NodeId>(n - 1), &rd);
+  const double want = solve_pair(sharded, 0, static_cast<NodeId>(n - 1));
+  ASSERT_TRUE(rd.converged);
+  EXPECT_NEAR(got, want, 1e-5 * std::abs(want));
+}
+
+TEST(DistSession, KilledShardSurfacesTypedErrorThenRecoversOnRestart) {
+  const Graph g0 = test_graph(8, 5);
+  const NodeId n = g0.num_nodes();
+  LocalFleet fleet(2, ".");
+  DistOptions opts = fast_opts();
+  opts.retries = 0;  // the apply path must fail, not paper over the kill
+  DistributedSession dist(Graph(g0), fleet.endpoints(), opts);
+  const std::uint64_t gen0 = dist.generation();
+  const double want = solve_pair(dist, 0, static_cast<NodeId>(n - 1));
+
+  obs::Counter& recoveries =
+      obs::registry().counter("ingrass_dist_shard_recoveries_total");
+  const std::uint64_t recovered_before = recoveries.value();
+
+  // Kill shard 1's server mid-session: the next fan-out must surface the
+  // typed error (and return — never hang) because the shard missed the
+  // batch the mirror already took.
+  fleet.stop(1);
+  UpdateBatch batch;
+  batch.inserts.push_back(Edge{0, static_cast<NodeId>(n - 1), 2.0});
+  try {
+    (void)dist.apply(batch);
+    FAIL() << "apply against a dead shard server succeeded";
+  } catch (const serve::ShardOpError& e) {
+    EXPECT_TRUE(e.code() == serve::resp::ShardErrorCode::kUnavailable ||
+                e.code() == serve::resp::ShardErrorCode::kTimeout)
+        << static_cast<int>(e.code()) << ": " << e.what();
+  }
+
+  // Restart on the same port: the next RPC reconnects and re-handshakes
+  // the shard fresh from the mirror — which already holds the batch the
+  // failed apply kept — so the solve sees the post-batch graph.
+  fleet.restart(1);
+  SparsifierSolver::Result rd;
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  b[0] = 1.0;
+  b[static_cast<std::size_t>(n - 1)] = -1.0;
+  rd = dist.solve(b, x);
+  ASSERT_TRUE(rd.converged);
+  const double got = x[0] - x[static_cast<std::size_t>(n - 1)];
+  // The inserted edge lowers the effective resistance between its
+  // endpoints; recovering from the pre-batch blob instead would give the
+  // old value back.
+  EXPECT_LT(got, want);
+  EXPECT_GE(recoveries.value(), recovered_before + 1);
+  EXPECT_GT(dist.generation(), gen0);  // recovery handshakes bump it
+}
+
+TEST(DistSession, CheckpointRestoreRoundTripsAcrossCoordinators) {
+  const Graph g0 = test_graph(8, 3);
+  const NodeId n = g0.num_nodes();
+  LocalFleet fleet(2, ".");
+  DistOptions opts = fast_opts();
+  const std::string manifest = scratch_path("fleet.ck");
+
+  double want = 0.0;
+  std::uint64_t gen = 0;
+  {
+    DistributedSession dist(Graph(g0), fleet.endpoints(), opts);
+    UpdateBatch batch;
+    batch.inserts.push_back(Edge{1, static_cast<NodeId>(n - 2), 3.0});
+    (void)dist.apply(batch);
+    want = solve_pair(dist, 0, static_cast<NodeId>(n - 1));
+    dist.checkpoint(manifest);
+    gen = dist.generation();
+  }  // the coordinator's dtor closes the shard sub-sessions
+
+  const DistManifest m = load_dist_manifest(manifest);
+  EXPECT_EQ(m.generation, gen);
+  EXPECT_EQ(m.endpoints, fleet.endpoints());
+  ASSERT_EQ(m.base.shard_files.size(), 2u);
+
+  auto restored = DistributedSession::restore(manifest, opts);
+  EXPECT_EQ(restored->generation(), gen);
+  EXPECT_EQ(restored->num_nodes(), n);
+  SparsifierSolver::Result rr;
+  const double got = solve_pair(*restored, 0, static_cast<NodeId>(n - 1), &rr);
+  ASSERT_TRUE(rr.converged);
+  EXPECT_NEAR(got, want, 1e-5 * std::abs(want));
+  // Stitched-sparsifier diagnostics still work across the round trip.
+  const double kappa = restored->settled_kappa();
+  EXPECT_GT(kappa, 1.0);
+  EXPECT_TRUE(std::isfinite(kappa));
+
+  restored.reset();
+  for (const std::string& f : m.base.shard_files) std::remove(f.c_str());
+  std::remove(manifest.c_str());
+}
+
+TEST(DistSession, RejectsDegeneratePartitions) {
+  LocalFleet fleet(2, ".");
+  EXPECT_THROW(DistributedSession(test_graph(4), {"127.0.0.1:1"}, fast_opts()),
+               std::invalid_argument);
+  Graph tiny(1);
+  EXPECT_THROW(DistributedSession(std::move(tiny), fleet.endpoints(), fast_opts()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ingrass::dist

@@ -214,6 +214,48 @@ TEST(ServeCheckpoint, ManifestAndBlobReadersRejectEachOther) {
   EXPECT_THROW(read_shard_manifest(cbuf), std::runtime_error);  // v2 reader, v1 bytes
 }
 
+DistManifest small_dist_manifest() {
+  DistManifest m;
+  m.base = small_manifest();
+  m.generation = 17;
+  m.endpoints = {"127.0.0.1:7001", "10.1.2.3:7002"};
+  return m;
+}
+
+TEST(ServeCheckpoint, DistManifestRoundTrips) {
+  const DistManifest m = small_dist_manifest();
+  std::stringstream buf;
+  write_dist_manifest(buf, m);
+  const DistManifest back = read_dist_manifest(buf);
+  EXPECT_EQ(back.base.shards, m.base.shards);
+  EXPECT_EQ(back.base.shard_of, m.base.shard_of);
+  EXPECT_EQ(back.base.shard_files, m.base.shard_files);
+  EXPECT_EQ(back.base.boundary.num_edges(), 1);
+  EXPECT_EQ(back.generation, 17u);
+  EXPECT_EQ(back.endpoints, m.endpoints);
+}
+
+TEST(ServeCheckpoint, DistManifestAndOtherReadersRejectEachOther) {
+  // v3 bytes through the v1/v2 readers and vice versa: every pairing is a
+  // typed failure, never a misparse (the version field is load-bearing).
+  std::stringstream dbuf;
+  write_dist_manifest(dbuf, small_dist_manifest());
+  EXPECT_THROW(read_shard_manifest(dbuf), std::runtime_error);
+  std::stringstream dbuf2;
+  write_dist_manifest(dbuf2, small_dist_manifest());
+  EXPECT_THROW(read_checkpoint(dbuf2), std::runtime_error);
+  std::stringstream mbuf;
+  write_shard_manifest(mbuf, small_manifest());
+  EXPECT_THROW(read_dist_manifest(mbuf), std::runtime_error);
+}
+
+TEST(ServeCheckpoint, DistManifestRejectsEndpointShardCountMismatch) {
+  DistManifest m = small_dist_manifest();
+  m.endpoints.pop_back();  // 1 endpoint for 2 shards
+  std::stringstream buf;
+  EXPECT_THROW(write_dist_manifest(buf, m), std::runtime_error);
+}
+
 TEST(ServeCheckpoint, ManifestRejectsPathTraversalInShardFilenames) {
   // Blob names are joined onto the manifest's directory for restore reads
   // and stale-generation deletes — separators and dot segments must be

@@ -490,22 +490,23 @@ TEST(BinaryCodec, RejectsTrailingBytesInsideFrame) {
   expect_fatal_frame_error(bytes, "trailing bytes");
 }
 
-TEST(BinaryCodec, StatsRequestUsesFrameVersion3) {
-  // The stats verb arrived with frame version 3; the version field is the
+TEST(BinaryCodec, FramesCarryFrameVersion4) {
+  // The shard verbs arrived with frame version 4; the version field is the
   // little-endian u32 right after the 4-byte magic.
   const std::string bytes = encoded_request(req::Stats{});
   ASSERT_GE(bytes.size(), 8u);
-  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 3u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 4u);
   EXPECT_EQ(static_cast<unsigned char>(bytes[5]), 0u);
 }
 
 TEST(BinaryCodec, RejectsOlderFrameVersions) {
-  // A v2 peer (pre-stats) must get the documented fatal version error,
-  // not a silent misparse — the frame layout is versioned, not sniffed.
-  std::string v2 = encoded_request(req::Metrics{"a"});
-  v2[4] = 2;
-  expect_fatal_frame_error(v2, "unsupported version");
-  std::string v1 = std::move(v2);
+  // A v3 peer (pre-shard-verbs) must get the documented fatal version
+  // error, not a silent misparse — the frame layout is versioned, not
+  // sniffed.
+  std::string v3 = encoded_request(req::Metrics{"a"});
+  v3[4] = 3;
+  expect_fatal_frame_error(v3, "unsupported version");
+  std::string v1 = std::move(v3);
   v1[4] = 1;
   expect_fatal_frame_error(v1, "unsupported version");
 }

@@ -95,6 +95,38 @@ TEST(ServeSession, HostileStreamTripsRebuildAndStaysWithinBudget) {
   EXPECT_LE(session.measure_kappa(), opts.engine.target_condition);
 }
 
+TEST(ServeSession, RebuildHysteresisSuppressesBackToBackRebuilds) {
+  // Same hostile stream, but with a rebuild window far longer than the
+  // test: the first trip rebuilds (never suppressed), every later trip
+  // lands inside the window and must be counted as suppressed instead of
+  // thrashing GRASS back-to-back.
+  SessionOptions opts = sync_options(/*budget=*/40.0);
+  opts.rebuild_staleness_fraction = 0.25;
+  opts.min_rebuild_interval = 3600.0;
+  obs::Counter& suppressed =
+      obs::registry().counter("ingrass_rebuilds_suppressed_total");
+  const std::uint64_t suppressed_before = suppressed.value();
+
+  SparsifierSession session(test_graph(), opts);
+  const auto batches = hostile_stream(session.graph(), 12, 2);
+  for (const auto& b : batches) (void)session.apply(b);
+
+  const SessionMetrics m = session.metrics();
+  EXPECT_EQ(m.counters.rebuilds, 1u);  // only the first trip fired
+  EXPECT_GE(suppressed.value(), suppressed_before + 1);
+  // Staleness keeps accumulating through suppressed trips (no cooldown
+  // reset), so the rebuild fires as soon as the window expires.
+  EXPECT_GE(m.staleness, opts.rebuild_staleness_fraction);
+
+  // Control: the identical stream with the window off rebuilds more than
+  // once — the window, not the workload, is what held rebuilds back.
+  SessionOptions free_opts = opts;
+  free_opts.min_rebuild_interval = 0.0;
+  SparsifierSession free_session(test_graph(), free_opts);
+  for (const auto& b : batches) (void)free_session.apply(b);
+  EXPECT_GT(free_session.metrics().counters.rebuilds, 1u);
+}
+
 TEST(ServeSession, RemovalOfSparsifierEdgeBecomesGhost) {
   SessionOptions opts = sync_options();
   opts.enable_rebuild = false;

@@ -15,10 +15,12 @@
 # fused CG vector pass, fp32/fp64 preconditioner apply, end-to-end
 # solve), ThreadPool scaling of the data-parallel passes, session
 # throughput under the three rebuild policies, sharded (4) vs unsharded
-# (1) dispatch, TCP aggregate at 1/4/16 clients in both transports, and
-# the 1000-connection mostly-idle fleet in both transports (peak RSS
-# included). The quick subset keeps the serving-layer benches plus the
-# kernel micro records, so CI gates kernel regressions too.
+# (1) dispatch, TCP aggregate at 1/4/16 clients in both transports, the
+# 1000-connection mostly-idle fleet in both transports (peak RSS
+# included), and distributed-vs-local serving at 2/4 shards over
+# loopback (bench_serve_dist). The quick subset keeps the serving-layer
+# benches plus the kernel micro records, so CI gates kernel regressions
+# too.
 #
 # Since the benches share the server's obs registry in-process, every
 # serving run additionally yields latency-percentile records (serve_tcp.solve_latency p50/p99 per
@@ -64,7 +66,10 @@ echo "== serve_tcp: 1000-connection mostly-idle fleet, both transports" >&2
 "$build/bench/bench_serve_tcp" --clients 1000 --idle-frac 0.95 --rounds 10 \
   --json "$tmp/tcp_idle.json" >&2
 
-parts="$tmp/micro.json $tmp/tcp_scaling.json $tmp/tcp_idle.json"
+echo "== serve_dist: dist-vs-local at 2/4 shards over loopback" >&2
+"$build/bench/bench_serve_dist" --json "$tmp/serve_dist.json" >&2
+
+parts="$tmp/micro.json $tmp/tcp_scaling.json $tmp/tcp_idle.json $tmp/serve_dist.json"
 if [ "$quick" -eq 0 ]; then
   echo "== parallel: ThreadPool scaling" >&2
   "$build/bench/bench_parallel" --reps 10 --json "$tmp/parallel.json" >&2
